@@ -1,0 +1,50 @@
+//! Bench for Figure 1: prints the block diagram once, then measures the
+//! ASCII rendering of quadtree decompositions at two tree sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_experiments::figures;
+use popan_geom::Rect;
+use popan_spatial::{visualize, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    print_once(|| {
+        let f = figures::fig1();
+        format!("## {} — {}\n\n{}", f.id, f.caption, f.ascii)
+    });
+
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("render_4_points", |b| {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            1,
+            [
+                popan_geom::Point2::new(0.2, 0.75),
+                popan_geom::Point2::new(0.6, 0.8),
+                popan_geom::Point2::new(0.85, 0.6),
+                popan_geom::Point2::new(0.3, 0.25),
+            ],
+        )
+        .unwrap();
+        b.iter(|| visualize::render_blocks(black_box(&tree), 8))
+    });
+    group.bench_function("render_200_points", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree =
+            PrQuadtree::build(Rect::unit(), 1, UniformRect::unit().sample_n(&mut rng, 200))
+                .unwrap();
+        b.iter(|| visualize::render_blocks(black_box(&tree), 64))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig1
+}
+criterion_main!(benches);

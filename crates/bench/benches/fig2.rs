@@ -1,0 +1,42 @@
+//! Bench for Figure 2: prints the uniform-workload semi-log chart once,
+//! then measures chart rendering (ASCII and SVG) from a fixed series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_experiments::plot::{ascii_semilog, svg_semilog, Series};
+use popan_experiments::{figures, ExperimentConfig};
+use std::hint::black_box;
+
+fn paper_series() -> Vec<Series> {
+    vec![Series::new(
+        "paper table 4",
+        popan_experiments::paper_data::TABLE4
+            .iter()
+            .map(|&(n, _, occ)| (n as f64, occ))
+            .collect(),
+    )]
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_once(|| {
+        let f = figures::fig2(&ExperimentConfig::paper());
+        format!("## {} — {}\n\n{}", f.id, f.caption, f.ascii)
+    });
+
+    let series = paper_series();
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("ascii_semilog", |b| {
+        b.iter(|| ascii_semilog(black_box(&series), 72, 18))
+    });
+    group.bench_function("svg_semilog", |b| {
+        b.iter(|| svg_semilog(black_box(&series), "Figure 2"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Figure 3: prints the Gaussian-workload chart once, then
+//! measures the full figure pipeline at a reduced trial count (sweep +
+//! analysis + both renderings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_experiments::{figures, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    print_once(|| {
+        let f = figures::fig3(&ExperimentConfig::paper());
+        format!("## {} — {}\n\n{}", f.id, f.caption, f.ascii)
+    });
+
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("full_pipeline_2trials", |b| {
+        let cfg = ExperimentConfig {
+            trials: 2,
+            ..ExperimentConfig::paper()
+        };
+        b.iter(|| figures::fig3(black_box(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench for Table 1: regenerates the table once, then measures its two
+//! ingredients — the steady-state solve (theory column) and a full
+//! 1000-point tree build plus occupancy profile (one experimental trial).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_core::{PrModel, SteadyStateSolver};
+use popan_experiments::{table1, ExperimentConfig};
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    print_once(|| table1::table(&ExperimentConfig::paper()).render());
+
+    let mut group = c.benchmark_group("table1");
+    for m in [1usize, 4, 8] {
+        group.bench_function(format!("theory_solve_m{m}"), |b| {
+            let model = PrModel::quadtree(m).unwrap();
+            b.iter(|| {
+                SteadyStateSolver::new()
+                    .solve(black_box(&model))
+                    .unwrap()
+                    .distribution()
+                    .average_occupancy()
+            })
+        });
+    }
+    for m in [1usize, 8] {
+        group.bench_function(format!("experiment_trial_m{m}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let points = UniformRect::unit().sample_n(&mut rng, 1000);
+            b.iter(|| {
+                let tree =
+                    PrQuadtree::build(Rect::unit(), m, black_box(points.iter().copied())).unwrap();
+                tree.occupancy_profile().proportions(m)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for Table 2: regenerates the table once, then measures the
+//! reduction from a solved distribution to the scalar occupancy metrics,
+//! and the full per-capacity pipeline at a reduced trial count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_core::{PrModel, SteadyStateSolver};
+use popan_experiments::{table2, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    print_once(|| table2::table(&ExperimentConfig::paper()).render());
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("metrics_from_distribution", |b| {
+        let model = PrModel::quadtree(8).unwrap();
+        let steady = SteadyStateSolver::new().solve(&model).unwrap();
+        b.iter(|| {
+            let d = black_box(steady.distribution());
+            (d.average_occupancy(), d.utilization(), d.nodes_per_item())
+        })
+    });
+    group.bench_function("pipeline_m3_2trials", |b| {
+        let cfg = ExperimentConfig {
+            trials: 2,
+            points: 500,
+            ..ExperimentConfig::paper()
+        };
+        b.iter(|| table2::run(black_box(&cfg), 3))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_table2
+}
+criterion_main!(benches);

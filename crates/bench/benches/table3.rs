@@ -1,0 +1,50 @@
+//! Bench for Table 3: regenerates the aging table once, then measures
+//! depth-table collection over a depth-truncated tree (the per-trial unit
+//! of the experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_experiments::{table3, ExperimentConfig};
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    print_once(|| table3::table(&ExperimentConfig::paper()).render());
+
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("truncated_tree_build_1000pts", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = UniformRect::unit().sample_n(&mut rng, 1000);
+        b.iter(|| {
+            let mut tree = PrQuadtree::with_max_depth(Rect::unit(), 1, 9).unwrap();
+            for p in black_box(&points) {
+                tree.insert(*p).unwrap();
+            }
+            tree
+        })
+    });
+    group.bench_function("depth_table_collection", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let points = UniformRect::unit().sample_n(&mut rng, 1000);
+        let mut tree = PrQuadtree::with_max_depth(Rect::unit(), 1, 9).unwrap();
+        for p in points {
+            tree.insert(p).unwrap();
+        }
+        b.iter(|| {
+            let table = black_box(&tree).depth_table();
+            table.depths().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table3
+}
+criterion_main!(benches);

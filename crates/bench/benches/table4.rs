@@ -1,0 +1,44 @@
+//! Bench for Table 4: regenerates the uniform phasing sweep once, then
+//! measures a single ladder point (4096-point tree, the heaviest) and
+//! the phasing analysis of the resulting series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_core::phasing::analyze_phasing;
+use popan_experiments::table45::{self, Workload};
+use popan_experiments::ExperimentConfig;
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    print_once(|| table45::table(&ExperimentConfig::paper(), Workload::Uniform).render());
+
+    let mut group = c.benchmark_group("table4");
+    group.bench_function("ladder_point_4096_uniform", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let points = UniformRect::unit().sample_n(&mut rng, 4096);
+        b.iter(|| {
+            let tree =
+                PrQuadtree::build(Rect::unit(), 8, black_box(points.iter().copied())).unwrap();
+            tree.occupancy_profile().average_occupancy()
+        })
+    });
+    group.bench_function("phasing_analysis", |b| {
+        let series: Vec<f64> = (0..13)
+            .map(|i| 3.7 + 0.4 * (i as f64 * std::f64::consts::FRAC_PI_2).sin())
+            .collect();
+        b.iter(|| analyze_phasing(black_box(&series), 4, 2f64.sqrt()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for Table 5: regenerates the Gaussian phasing sweep once, then
+//! measures the Gaussian sampling (rejection cost) and the tree build on
+//! Gaussian data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::print_once;
+use popan_experiments::table45::{self, Workload};
+use popan_experiments::ExperimentConfig;
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{GaussianCentered, PointSource, UniformRect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table5(c: &mut Criterion) {
+    print_once(|| table45::table(&ExperimentConfig::paper(), Workload::Gaussian).render());
+
+    let mut group = c.benchmark_group("table5");
+    group.bench_function("gaussian_sampling_4096", |b| {
+        let source = GaussianCentered::two_sigma_wide(Rect::unit());
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| source.sample_n(black_box(&mut rng), 4096))
+    });
+    group.bench_function("uniform_sampling_4096", |b| {
+        let source = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| source.sample_n(black_box(&mut rng), 4096))
+    });
+    group.bench_function("ladder_point_4096_gaussian", |b| {
+        let source = GaussianCentered::two_sigma_wide(Rect::unit());
+        let mut rng = StdRng::seed_from_u64(6);
+        let points = source.sample_n(&mut rng, 4096);
+        b.iter(|| {
+            let tree =
+                PrQuadtree::build(Rect::unit(), 8, black_box(points.iter().copied())).unwrap();
+            tree.occupancy_profile().average_occupancy()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table5
+}
+criterion_main!(benches);

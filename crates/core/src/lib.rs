@@ -1,0 +1,72 @@
+//! Population analysis for hierarchical data structures.
+//!
+//! This crate is the primary contribution of **Nelson & Samet, "A
+//! Population Analysis for Hierarchical Data Structures" (SIGMOD 1987)**:
+//! a method for predicting the node-occupancy distribution of bucketing
+//! trees without laborious statistical derivations.
+//!
+//! # The method
+//!
+//! Model the tree as *populations* of nodes, one per occupancy class
+//! `0..=m`. Inserting a data item into a class-`i` node produces, on
+//! average, a vector `t_i` of nodes of each class (the *transform
+//! vector*); the `t_i` are the rows of the transform matrix `T`. The
+//! *expected distribution* `e` is the population mix that insertion leaves
+//! unchanged:
+//!
+//! ```text
+//! e T = a e,   a = Σᵢ eᵢ·(row-sum of T row i)
+//! ```
+//!
+//! a quadratic system with at most one positive solution. Everything else
+//! follows: average occupancy `e·(0,…,m)`, storage utilization, nodes per
+//! stored item.
+//!
+//! # Map of the crate
+//!
+//! * [`transform`] — the [`transform::TransformMatrix`]
+//!   type and the [`transform::PopulationModel`] trait.
+//! * [`pr_model`] — analytic transform matrices for PR-style trees with
+//!   any branching factor `b = 2^d` (quadtree 4, octree 8, bintree 2) and
+//!   capacity `m`, including skewed-bucket generalizations.
+//! * [`pmr_model`] — Monte-Carlo *local simulation* of transform vectors
+//!   for the PMR quadtree for line segments, where no closed form is
+//!   available (the paper's companion analysis \[Nels86b\]).
+//! * [`solver`] — steady-state solvers: the paper's normalized fixed-point
+//!   iteration, cross-checked by a damped Newton method.
+//! * [`distribution`] — the [`distribution::ExpectedDistribution`]
+//!   result type and its derived metrics.
+//! * [`analytic`] — closed-form special cases (`m = 1` for any branching
+//!   factor) used to validate the numeric path.
+//! * [`convergence`] — empirical contraction-rate measurement of the
+//!   fixed-point map, predicting the solver's iteration counts.
+//! * [`dynamics`] — mean-field population dynamics: evolves expected node
+//!   counts (optionally per-level, area-weighted) under insertion;
+//!   reproduces *aging* and *phasing* (paper §IV) without building trees.
+//! * [`aging`] — newborn-population occupancy and depth-gradient analysis.
+//! * [`phasing`] — log-periodic oscillation prediction and detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod analytic;
+pub mod btree_model;
+pub mod convergence;
+pub mod distribution;
+pub mod dynamics;
+pub mod error;
+pub mod phasing;
+pub mod pmr_model;
+pub mod pr_model;
+pub mod solver;
+pub mod transform;
+
+pub use distribution::ExpectedDistribution;
+pub use error::ModelError;
+pub use pr_model::PrModel;
+pub use solver::{SolveMethod, SteadyState, SteadyStateSolver};
+pub use transform::{PopulationModel, TransformMatrix};
+
+/// Result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;

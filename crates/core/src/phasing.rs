@@ -1,0 +1,182 @@
+//! Phasing analysis (paper §IV).
+//!
+//! *Phasing*: under a uniform workload, "the nodes will tend to split and
+//! fill in phase", so the average occupancy oscillates as items are added,
+//! with a cycle "which repeats every time the number of points increases
+//! by a factor of four" (branching factor `b` in general). Because the
+//! oscillation is scale-invariant it never damps for uniform data — which
+//! is why the statistical limit `lim d⃗_N` of §II does not exist. For
+//! non-uniform data (the paper's Gaussian, Table 5) regions of different
+//! density drift out of phase and the oscillation damps.
+//!
+//! This module predicts the phasing period for a sampling ladder and
+//! classifies measured series as sustained or damped.
+
+use crate::{ModelError, Result};
+use popan_numeric::series::{oscillation_metrics, OscillationMetrics};
+
+/// The phasing period in *samples* for a series sampled along a geometric
+/// ladder `N_k = N_0 · step^k` of a structure with branching factor `b`:
+/// occupancy repeats every ×`b` in N, i.e. every `ln b / ln step` samples.
+///
+/// The paper's Tables 4–5 ladder is `step = √2`, quadtree `b = 4`:
+/// period 4 samples ("relative maxima and minima are separated by factors
+/// of four (four steps)").
+pub fn phasing_period_in_samples(branching: usize, ladder_step: f64) -> Result<f64> {
+    if branching < 2 {
+        return Err(ModelError::invalid("branching factor must be at least 2"));
+    }
+    if ladder_step.is_nan() || ladder_step <= 1.0 {
+        return Err(ModelError::invalid("ladder step must exceed 1"));
+    }
+    Ok((branching as f64).ln() / ladder_step.ln())
+}
+
+/// Verdict on a measured occupancy-vs-size series.
+#[derive(Debug, Clone)]
+pub struct PhasingReport {
+    /// Raw oscillation metrics of the detrended series.
+    pub metrics: OscillationMetrics,
+    /// Hypothesized period (samples) used for the autocorrelation test.
+    pub period_samples: usize,
+    /// Amplitude of the first half of the series minus the second half —
+    /// positive when the oscillation is damping out.
+    pub damping: f64,
+}
+
+impl PhasingReport {
+    /// `true` when the series shows period-aligned oscillation
+    /// (autocorrelation at the hypothesized period above `threshold`).
+    pub fn oscillates(&self, threshold: f64) -> bool {
+        self.metrics
+            .autocorr_at_period
+            .is_some_and(|ac| ac > threshold)
+    }
+
+    /// `true` when the oscillation decays over the series (second-half
+    /// swing below `ratio` of first-half swing).
+    pub fn is_damped(&self, ratio: f64) -> bool {
+        self.damping > 0.0 && {
+            let (first, second) = self.half_amplitudes();
+            second < ratio * first
+        }
+    }
+
+    fn half_amplitudes(&self) -> (f64, f64) {
+        // Recoverable from damping + amplitude: damping = first − second,
+        // amplitude = max(first, second) = first when damping ≥ 0.
+        let first = self.metrics.amplitude.max(self.metrics.amplitude - 0.0);
+        (first, first - self.damping)
+    }
+}
+
+/// Analyzes a measured `average occupancy` series sampled on a geometric
+/// ladder with the given branching factor and step.
+pub fn analyze_phasing(
+    series: &[f64],
+    branching: usize,
+    ladder_step: f64,
+) -> Result<PhasingReport> {
+    let period = phasing_period_in_samples(branching, ladder_step)?.round() as usize;
+    let metrics =
+        oscillation_metrics(series, Some(period.max(1))).map_err(ModelError::Numeric)?;
+    // Damping: compare peak-to-trough swing of the two halves of the
+    // detrended series.
+    let resid = popan_numeric::series::detrend(series).map_err(ModelError::Numeric)?;
+    let mid = resid.len() / 2;
+    let swing = |s: &[f64]| -> f64 {
+        let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mn = s.iter().copied().fold(f64::INFINITY, f64::min);
+        mx - mn
+    };
+    let first = swing(&resid[..mid]);
+    let second = swing(&resid[mid..]);
+    Ok(PhasingReport {
+        metrics: OscillationMetrics {
+            amplitude: first.max(second),
+            ..metrics
+        },
+        period_samples: period.max(1),
+        damping: first - second,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_matches_paper_ladder() {
+        // ×√2 ladder, quadtree: period 4 samples.
+        assert!((phasing_period_in_samples(4, 2f64.sqrt()).unwrap() - 4.0).abs() < 1e-12);
+        // ×2 ladder, quadtree: period 2.
+        assert!((phasing_period_in_samples(4, 2.0).unwrap() - 2.0).abs() < 1e-12);
+        // Extendible hashing (b = 2) on ×2 ladder: period 1.
+        assert!((phasing_period_in_samples(2, 2.0).unwrap() - 1.0).abs() < 1e-12);
+        // Octree on ×√2: period 6.
+        assert!((phasing_period_in_samples(8, 2f64.sqrt()).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_rejects_bad_arguments() {
+        assert!(phasing_period_in_samples(1, 2.0).is_err());
+        assert!(phasing_period_in_samples(4, 1.0).is_err());
+        assert!(phasing_period_in_samples(4, 0.5).is_err());
+    }
+
+    #[test]
+    fn sustained_oscillation_detected_as_phasing() {
+        // Synthetic Table 4: period-4 oscillation, constant amplitude.
+        let series: Vec<f64> = (0..13)
+            .map(|i| 3.7 + 0.4 * (i as f64 * std::f64::consts::PI / 2.0).sin())
+            .collect();
+        let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+        assert_eq!(report.period_samples, 4);
+        assert!(report.oscillates(0.3), "{:?}", report.metrics);
+        assert!(!report.is_damped(0.5), "damping {}", report.damping);
+    }
+
+    #[test]
+    fn damped_oscillation_detected_as_damped() {
+        // Synthetic Table 5: same oscillation decaying to near zero.
+        let series: Vec<f64> = (0..13)
+            .map(|i| {
+                let decay = (-(i as f64) / 2.5).exp();
+                3.7 + 0.4 * decay * (i as f64 * std::f64::consts::PI / 2.0).sin()
+            })
+            .collect();
+        let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+        assert!(report.is_damped(0.5), "damping {}", report.damping);
+    }
+
+    #[test]
+    fn flat_series_neither_oscillates_nor_damps() {
+        let series: Vec<f64> = (0..13).map(|i| 3.0 + 1e-3 * (i % 2) as f64).collect();
+        let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+        assert!(report.metrics.amplitude < 0.01);
+    }
+
+    #[test]
+    fn paper_table4_series_oscillates() {
+        // The actual published Table 4 numbers (m = 8, uniform).
+        let series = [
+            3.79, 4.15, 3.64, 3.33, 3.80, 3.99, 3.53, 3.35, 3.84, 4.13, 3.65, 3.30, 3.81,
+        ];
+        let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+        assert!(report.oscillates(0.3), "{:?}", report.metrics);
+        assert!(report.metrics.amplitude > 0.5);
+    }
+
+    #[test]
+    fn paper_table5_series_damps() {
+        // The published Table 5 numbers (m = 8, Gaussian).
+        let series = [
+            3.72, 4.15, 3.63, 3.46, 3.75, 3.65, 3.55, 3.56, 3.72, 3.68, 3.62, 3.69, 3.71,
+        ];
+        let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+        assert!(report.is_damped(0.6), "damping {}", report.damping);
+        // And its late-half swing is small in absolute terms too.
+        let (first, second) = (report.metrics.amplitude, report.metrics.amplitude - report.damping);
+        assert!(second < 0.5 * first, "first {first}, second {second}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Steady-state solvers for the quadratic system `eT = a(e)·e`.
+//!
+//! The paper: "The systems were solved numerically using an iterative
+//! technique which converged on the positive solution." That technique is
+//! the normalized fixed-point iteration `e ← eT / ‖eT‖₁` (the map's fixed
+//! points are exactly the steady states, because every solution of
+//! `eT = a·e` automatically satisfies `Σe = 1` — summing the equation's
+//! components gives `a = a·Σe`).
+//!
+//! A damped Newton method on the raw residual `F(e) = eT − a(e)·e` is
+//! provided as an independent cross-check; the two agreeing to ~1e-10 on
+//! every model is this reproduction's core internal-consistency test.
+
+use crate::distribution::ExpectedDistribution;
+use crate::transform::PopulationModel;
+use crate::{ModelError, Result};
+use popan_numeric::{
+    solve_fixed_point, solve_newton, DVector, FixedPointOptions, NewtonOptions,
+};
+
+/// Which numerical method to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMethod {
+    /// Normalized fixed-point (power) iteration — the paper's method.
+    #[default]
+    FixedPoint,
+    /// Damped Newton on the steady-state residual.
+    Newton,
+}
+
+/// Diagnostics from a solve.
+#[derive(Debug, Clone)]
+pub struct SolveDiagnostics {
+    /// Method that produced the solution.
+    pub method: SolveMethod,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final steady-state residual `‖eT − a·e‖∞`.
+    pub residual: f64,
+}
+
+/// A solved steady state.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    distribution: ExpectedDistribution,
+    diagnostics: SolveDiagnostics,
+}
+
+impl SteadyState {
+    /// The expected distribution `e`.
+    pub fn distribution(&self) -> &ExpectedDistribution {
+        &self.distribution
+    }
+
+    /// Solve diagnostics.
+    pub fn diagnostics(&self) -> &SolveDiagnostics {
+        &self.diagnostics
+    }
+}
+
+/// Configurable steady-state solver.
+#[derive(Debug, Clone)]
+pub struct SteadyStateSolver {
+    method: SolveMethod,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl Default for SteadyStateSolver {
+    fn default() -> Self {
+        SteadyStateSolver {
+            method: SolveMethod::FixedPoint,
+            tolerance: 1e-14,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+impl SteadyStateSolver {
+    /// A solver with default settings (fixed-point, tolerance `1e-14`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the method.
+    pub fn method(mut self, method: SolveMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Solves `model` for its expected distribution.
+    ///
+    /// Starts from the uniform vector, verifies the result is a strictly
+    /// positive probability vector with a small steady-state residual
+    /// (the acceptance criterion from the paper's uniqueness argument:
+    /// "at most one positive solution is possible … any positive solution
+    /// we find will be appropriate").
+    pub fn solve<M: PopulationModel + ?Sized>(&self, model: &M) -> Result<SteadyState> {
+        let n = model.classes();
+        if n == 0 {
+            return Err(ModelError::invalid("model has no classes"));
+        }
+        let start = DVector::filled(n, 1.0 / n as f64);
+        let (solution, iterations, method) = match self.method {
+            SolveMethod::FixedPoint => {
+                let t = model.transform_matrix();
+                let map = |e: &DVector| {
+                    t.apply(e)
+                        .and_then(|et| et.normalized_l1().map_err(ModelError::Numeric))
+                        .map_err(|e| popan_numeric::NumericError::invalid(e.to_string()))
+                };
+                let outcome = solve_fixed_point(
+                    map,
+                    &start,
+                    &FixedPointOptions {
+                        max_iterations: self.max_iterations,
+                        tolerance: self.tolerance,
+                        damping: 1.0,
+                    },
+                )
+                .map_err(ModelError::Numeric)?;
+                (outcome.solution, outcome.iterations, SolveMethod::FixedPoint)
+            }
+            SolveMethod::Newton => {
+                let t = model.transform_matrix();
+                let f = |e: &DVector| {
+                    t.residual(e)
+                        .map_err(|e| popan_numeric::NumericError::invalid(e.to_string()))
+                };
+                let outcome = solve_newton(
+                    f,
+                    &start,
+                    &NewtonOptions {
+                        max_iterations: self.max_iterations.min(500),
+                        tolerance: self.tolerance.max(1e-14),
+                        ..NewtonOptions::default()
+                    },
+                )
+                .map_err(ModelError::Numeric)?;
+                (outcome.solution, outcome.iterations, SolveMethod::Newton)
+            }
+        };
+
+        // Acceptance: strictly positive probability vector, small residual.
+        if !solution.is_strictly_positive() {
+            return Err(ModelError::NoPositiveSolution {
+                detail: format!("converged to {solution} with non-positive components"),
+            });
+        }
+        let normalized = solution.normalized_l1().map_err(ModelError::Numeric)?;
+        let residual = model.transform_matrix().residual(&normalized)?.norm_inf();
+        // The fixed-point tolerance bounds the *step*, not the residual;
+        // accept residuals within a generous multiple of it.
+        let residual_budget = (self.tolerance * 1e3).max(1e-10);
+        if residual > residual_budget {
+            return Err(ModelError::NoPositiveSolution {
+                detail: format!(
+                    "residual {residual:.3e} exceeds acceptance budget {residual_budget:.3e}"
+                ),
+            });
+        }
+        let distribution = ExpectedDistribution::new(normalized)?;
+        Ok(SteadyState {
+            distribution,
+            diagnostics: SolveDiagnostics {
+                method,
+                iterations,
+                residual,
+            },
+        })
+    }
+
+    /// Solves with both methods and checks they agree to `agreement_tol`,
+    /// returning the fixed-point result. The reproduction's belt-and-
+    /// braces entry point.
+    pub fn solve_cross_checked<M: PopulationModel + ?Sized>(
+        &self,
+        model: &M,
+        agreement_tol: f64,
+    ) -> Result<SteadyState> {
+        let fp = self.clone().method(SolveMethod::FixedPoint).solve(model)?;
+        let newton = self.clone().method(SolveMethod::Newton).solve(model)?;
+        let diff = fp
+            .distribution()
+            .max_abs_diff(newton.distribution())?;
+        if diff > agreement_tol {
+            return Err(ModelError::NoPositiveSolution {
+                detail: format!(
+                    "fixed-point and Newton disagree by {diff:.3e} (> {agreement_tol:.3e})"
+                ),
+            });
+        }
+        Ok(fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pr_model::PrModel;
+
+    #[test]
+    fn solves_paper_m1_exactly() {
+        // §III: "This particular example can be solved analytically to
+        // yield e = (1/2, 1/2), the only positive solution."
+        let model = PrModel::quadtree(1).unwrap();
+        let s = SteadyStateSolver::new().solve(&model).unwrap();
+        let e = s.distribution();
+        assert!((e.proportion(0) - 0.5).abs() < 1e-10, "{e}");
+        assert!((e.proportion(1) - 0.5).abs() < 1e-10, "{e}");
+        assert!(s.diagnostics().residual < 1e-10);
+    }
+
+    #[test]
+    fn newton_agrees_with_fixed_point_for_all_paper_capacities() {
+        for m in 1..=8 {
+            let model = PrModel::quadtree(m).unwrap();
+            let s = SteadyStateSolver::new()
+                .solve_cross_checked(&model, 1e-9)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            assert!(s.distribution().proportions().iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table1_theory_rows() {
+        // Table 1 theory rows to the printed 3 decimals.
+        let expected: [&[f64]; 8] = [
+            &[0.500, 0.500],
+            &[0.278, 0.418, 0.304],
+            &[0.165, 0.320, 0.305, 0.210],
+            &[0.102, 0.239, 0.276, 0.225, 0.158],
+            &[0.065, 0.179, 0.238, 0.220, 0.172, 0.126],
+            &[0.043, 0.132, 0.200, 0.207, 0.176, 0.137, 0.105],
+            &[0.028, 0.098, 0.165, 0.189, 0.173, 0.143, 0.114, 0.090],
+            &[0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078],
+        ];
+        for (m, row) in expected.iter().enumerate() {
+            let m = m + 1;
+            let model = PrModel::quadtree(m).unwrap();
+            let s = SteadyStateSolver::new().solve(&model).unwrap();
+            for (i, &want) in row.iter().enumerate() {
+                let got = s.distribution().proportion(i);
+                assert!(
+                    (got - want).abs() < 2e-3,
+                    "m={m} i={i}: computed {got:.4}, paper prints {want:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table2_theory_column() {
+        // Table 2 theoretical occupancies: 0.50, 1.03, 1.56, 2.10, 2.63,
+        // 3.17, 3.72, 4.25 (printed to 2 decimals).
+        let expected = [0.50, 1.03, 1.56, 2.10, 2.63, 3.17, 3.72, 4.25];
+        for (m, &want) in expected.iter().enumerate() {
+            let m = m + 1;
+            let model = PrModel::quadtree(m).unwrap();
+            let s = SteadyStateSolver::new().solve(&model).unwrap();
+            let got = s.distribution().average_occupancy();
+            assert!(
+                (got - want).abs() < 1e-2,
+                "m={m}: computed {got:.4}, paper prints {want:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_shape_matches_paper_description() {
+        // "a distribution which has a small value for low occupancies,
+        // rises to a peak, and decreases again for high occupancies".
+        for m in 3..=8 {
+            let model = PrModel::quadtree(m).unwrap();
+            let s = SteadyStateSolver::new().solve(&model).unwrap();
+            let p = s.distribution().proportions().to_vec();
+            let peak = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert!(peak > 0 && peak < m, "m={m}: peak at {peak}");
+            // Rising up to the peak, falling after.
+            for i in 0..peak {
+                assert!(p[i] < p[i + 1], "m={m}: not rising at {i}");
+            }
+            for i in peak..m {
+                assert!(p[i] > p[i + 1], "m={m}: not falling at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn octree_and_bintree_models_solve() {
+        for model in [PrModel::octree(4).unwrap(), PrModel::bintree(4).unwrap()] {
+            let s = SteadyStateSolver::new()
+                .solve_cross_checked(&model, 1e-8)
+                .unwrap();
+            let e = s.distribution();
+            assert!((e.proportions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(e.average_occupancy() > 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_branching_lowers_utilization() {
+        // Splitting into more buckets scatters points more thinly: the
+        // octree's steady-state occupancy is below the quadtree's, which
+        // is below the bintree's.
+        let occ = |model: &PrModel| {
+            SteadyStateSolver::new()
+                .solve(model)
+                .unwrap()
+                .distribution()
+                .average_occupancy()
+        };
+        let bin = occ(&PrModel::bintree(4).unwrap());
+        let quad = occ(&PrModel::quadtree(4).unwrap());
+        let oct = occ(&PrModel::octree(4).unwrap());
+        assert!(bin > quad, "bintree {bin} vs quadtree {quad}");
+        assert!(quad > oct, "quadtree {quad} vs octree {oct}");
+    }
+
+    #[test]
+    fn skewed_models_solve_positively() {
+        let model = PrModel::with_bucket_probs(vec![0.55, 0.15, 0.15, 0.15], 4).unwrap();
+        let s = SteadyStateSolver::new()
+            .solve_cross_checked(&model, 1e-8)
+            .unwrap();
+        assert!(s.distribution().proportions().iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn solver_options_are_respected() {
+        let model = PrModel::quadtree(3).unwrap();
+        // A one-iteration budget cannot converge.
+        let res = SteadyStateSolver::new().max_iterations(1).solve(&model);
+        assert!(res.is_err());
+        // Loose tolerance converges fast.
+        let s = SteadyStateSolver::new()
+            .tolerance(1e-6)
+            .solve(&model)
+            .unwrap();
+        let tight = SteadyStateSolver::new().solve(&model).unwrap();
+        assert!(s.diagnostics().iterations <= tight.diagnostics().iterations);
+    }
+
+    #[test]
+    fn newton_uses_fewer_iterations_than_fixed_point() {
+        let model = PrModel::quadtree(8).unwrap();
+        let fp = SteadyStateSolver::new()
+            .method(SolveMethod::FixedPoint)
+            .solve(&model)
+            .unwrap();
+        let nt = SteadyStateSolver::new()
+            .method(SolveMethod::Newton)
+            .solve(&model)
+            .unwrap();
+        assert!(
+            nt.diagnostics().iterations < fp.diagnostics().iterations,
+            "newton {} vs fixed-point {}",
+            nt.diagnostics().iterations,
+            fp.diagnostics().iterations
+        );
+    }
+
+    #[test]
+    fn large_capacity_solves() {
+        let model = PrModel::quadtree(24).unwrap();
+        let s = SteadyStateSolver::new().solve(&model).unwrap();
+        let e = s.distribution();
+        assert_eq!(e.capacity(), 24);
+        // Utilization keeps improving with capacity but stays below 1.
+        assert!(e.utilization() > 0.5 && e.utilization() < 1.0);
+    }
+}

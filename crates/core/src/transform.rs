@@ -1,0 +1,206 @@
+//! Transform matrices and the population-model abstraction.
+//!
+//! "For any node type, the average result of adding a point to the node
+//! can be described by a transform vector t⃗ … The vectors t⃗ᵢ form the
+//! rows of a matrix **T** called the transform matrix."
+//!
+//! [`TransformMatrix`] wraps a validated square nonnegative matrix whose
+//! row `i` is `t_i`. [`PopulationModel`] is the interface the solvers
+//! consume: anything that can produce a transform matrix (analytic PR
+//! models, Monte-Carlo PMR models, hand-built toy models).
+
+use crate::{ModelError, Result};
+use popan_numeric::{DMatrix, DVector};
+
+/// A validated transform matrix for a population model with `n` classes.
+///
+/// Invariants enforced at construction:
+/// * square, at least 1×1;
+/// * all entries finite and nonnegative (entries count produced nodes);
+/// * every row sum ≥ 1 (absorbing an item never destroys the node
+///   without replacement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformMatrix {
+    matrix: DMatrix,
+    row_sums: DVector,
+}
+
+impl TransformMatrix {
+    /// Validates and wraps a matrix.
+    pub fn new(matrix: DMatrix) -> Result<Self> {
+        if !matrix.is_square() || matrix.rows() == 0 {
+            return Err(ModelError::invalid(format!(
+                "transform matrix must be square and non-empty, got {}×{}",
+                matrix.rows(),
+                matrix.cols()
+            )));
+        }
+        if matrix.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::invalid("transform matrix has non-finite entries"));
+        }
+        if !matrix.is_nonnegative(0.0) {
+            return Err(ModelError::invalid(
+                "transform matrix has negative entries (entries count produced nodes)",
+            ));
+        }
+        let row_sums = matrix.row_sums();
+        if let Some(bad) = row_sums.iter().position(|&s| s < 1.0 - 1e-9) {
+            return Err(ModelError::invalid(format!(
+                "transform row {bad} has sum {} < 1 (a node cannot vanish)",
+                row_sums[bad]
+            )));
+        }
+        Ok(TransformMatrix { matrix, row_sums })
+    }
+
+    /// Builds from row vectors `t_0, …, t_n-1`.
+    pub fn from_rows(rows: &[DVector]) -> Result<Self> {
+        let m = DMatrix::from_rows(rows).map_err(ModelError::Numeric)?;
+        Self::new(m)
+    }
+
+    /// Number of population classes.
+    pub fn classes(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &DMatrix {
+        &self.matrix
+    }
+
+    /// Transform vector `t_i` (row `i`).
+    pub fn row(&self, i: usize) -> DVector {
+        self.matrix.row_vector(i)
+    }
+
+    /// Row sums — the expected number of nodes each class produces per
+    /// absorbed item.
+    pub fn row_sums(&self) -> &DVector {
+        &self.row_sums
+    }
+
+    /// The normalization scalar `a(e) = Σᵢ eᵢ·rowsumᵢ` of the steady-state
+    /// equation.
+    pub fn normalizer(&self, e: &DVector) -> Result<f64> {
+        e.dot(&self.row_sums).map_err(ModelError::Numeric)
+    }
+
+    /// One application of the insertion map: `e ↦ eT` (unnormalized).
+    pub fn apply(&self, e: &DVector) -> Result<DVector> {
+        self.matrix.left_mul(e).map_err(ModelError::Numeric)
+    }
+
+    /// The steady-state residual `eT − a(e)·e`, zero at the expected
+    /// distribution.
+    pub fn residual(&self, e: &DVector) -> Result<DVector> {
+        let et = self.apply(e)?;
+        let a = self.normalizer(e)?;
+        et.sub(&e.scale(a)).map_err(ModelError::Numeric)
+    }
+}
+
+/// Anything that defines a population model solvable for a steady state.
+pub trait PopulationModel {
+    /// The number of occupancy classes (for capacity-`m` bucketing trees
+    /// this is `m + 1`).
+    fn classes(&self) -> usize;
+
+    /// The transform matrix.
+    fn transform_matrix(&self) -> &TransformMatrix;
+
+    /// A human-readable description for diagnostics.
+    fn describe(&self) -> String {
+        format!("population model with {} classes", self.classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_m1_matrix() -> TransformMatrix {
+        // t_0 = (0, 1), t_1 = (3, 2) — the worked example of §III.
+        TransformMatrix::from_rows(&[
+            DVector::from(&[0.0, 1.0][..]),
+            DVector::from(&[3.0, 2.0][..]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_the_paper_example() {
+        let t = paper_m1_matrix();
+        assert_eq!(t.classes(), 2);
+        assert_eq!(t.row(1).as_slice(), &[3.0, 2.0]);
+        assert_eq!(t.row_sums().as_slice(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn normalizer_matches_paper_formula() {
+        // a = e_0 + ((4²−1)/(4−1)) e_1 = e_0 + 5 e_1.
+        let t = paper_m1_matrix();
+        let e = DVector::from(&[0.5, 0.5][..]);
+        assert_eq!(t.normalizer(&e).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn residual_vanishes_at_known_fixed_point() {
+        let t = paper_m1_matrix();
+        let e = DVector::from(&[0.5, 0.5][..]);
+        let r = t.residual(&e).unwrap();
+        assert!(r.norm_inf() < 1e-15, "residual {r}");
+        // And does not vanish elsewhere.
+        let bad = DVector::from(&[0.9, 0.1][..]);
+        assert!(t.residual(&bad).unwrap().norm_inf() > 0.1);
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(TransformMatrix::new(DMatrix::zeros(2, 3)).is_err());
+        assert!(TransformMatrix::new(DMatrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_and_non_finite() {
+        let neg = DMatrix::from_row_major(1, 1, vec![-0.5]).unwrap();
+        assert!(TransformMatrix::new(neg).is_err());
+        let nan = DMatrix::from_row_major(1, 1, vec![f64::NAN]).unwrap();
+        assert!(TransformMatrix::new(nan).is_err());
+    }
+
+    #[test]
+    fn rejects_vanishing_rows() {
+        // Row sum 0.5 < 1: a node that half-disappears is not a valid
+        // transform.
+        let m = DMatrix::from_row_major(2, 2, vec![0.25, 0.25, 0.0, 1.0]).unwrap();
+        match TransformMatrix::new(m) {
+            Err(ModelError::InvalidModel(msg)) => assert!(msg.contains("row 0")),
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_is_left_multiplication() {
+        let t = paper_m1_matrix();
+        let e = DVector::from(&[1.0, 0.0][..]);
+        assert_eq!(t.apply(&e).unwrap().as_slice(), &[0.0, 1.0]);
+        let e1 = DVector::from(&[0.0, 1.0][..]);
+        assert_eq!(t.apply(&e1).unwrap().as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn trait_default_describe() {
+        struct Toy(TransformMatrix);
+        impl PopulationModel for Toy {
+            fn classes(&self) -> usize {
+                self.0.classes()
+            }
+            fn transform_matrix(&self) -> &TransformMatrix {
+                &self.0
+            }
+        }
+        let toy = Toy(paper_m1_matrix());
+        assert!(toy.describe().contains("2 classes"));
+    }
+}

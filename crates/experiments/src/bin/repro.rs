@@ -1,0 +1,134 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p popan-experiments --release --bin repro            # everything
+//! cargo run -p popan-experiments --release --bin repro -- table1  # one artifact
+//! cargo run -p popan-experiments --release --bin repro -- --quick # fast pass
+//! cargo run -p popan-experiments --release --bin repro -- --out EXPERIMENTS.md
+//! ```
+//!
+//! `--out <path>` additionally writes the full report as a Markdown file
+//! (ASCII figures fenced); SVG figures land in `target/figures/`.
+
+use popan_experiments::table45::Workload;
+use popan_experiments::{
+    ablation, aging_exp, churn, dims, excell_exp, exthash_exp, figures, phasing_sweep, pmr_exp, skew, table1,
+    table2, table3, table45, ExperimentConfig,
+};
+use std::io::Write;
+
+const ALL: &[&str] = &[
+    "fig1", "table1", "table2", "table3", "table4", "fig2", "table5", "fig3", "dims", "exthash",
+    "excell", "pmr", "aging", "ablation", "skew", "churn", "phasing_sweep",
+];
+
+fn render_figure(fig: &popan_experiments::figures::Figure) -> String {
+    let mut s = format!("## {} — {}\n\n```text\n{}```\n", fig.id, fig.caption, fig.ascii);
+    if !fig.svg.is_empty() {
+        let dir = std::path::Path::new("target/figures");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{}.svg", fig.id));
+            if std::fs::write(&path, &fig.svg).is_ok() {
+                s.push_str(&format!("\n(SVG written to {})\n", path.display()));
+            }
+        }
+    }
+    s
+}
+
+fn render(id: &str, config: &ExperimentConfig) -> String {
+    match id {
+        "fig1" => render_figure(&figures::fig1()),
+        "fig2" => render_figure(&figures::fig2(config)),
+        "fig3" => render_figure(&figures::fig3(config)),
+        "table1" => table1::table(config).render(),
+        "table2" => table2::table(config).render(),
+        "table3" => table3::table(config).render(),
+        "table4" => table45::table(config, Workload::Uniform).render(),
+        "table5" => table45::table(config, Workload::Gaussian).render(),
+        "dims" => dims::table(config).render(),
+        "exthash" => exthash_exp::table(config).render(),
+        "excell" => excell_exp::table(config).render(),
+        "skew" => skew::table(config).render(),
+        "churn" => churn::table(config).render(),
+        "phasing_sweep" => phasing_sweep::table(config).render(),
+        "pmr" => pmr_exp::table(config).render(),
+        "aging" => aging_exp::table(config).render(),
+        "ablation" => ablation::table(config).render(),
+        other => unreachable!("validated in main: {other}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    let mut skip_next = false;
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    let selected: Vec<&str> = if selected.is_empty() {
+        ALL.to_vec()
+    } else {
+        for s in &selected {
+            if !ALL.contains(s) {
+                eprintln!("unknown experiment {s:?}; known: {ALL:?}");
+                std::process::exit(2);
+            }
+        }
+        selected
+    };
+
+    let header = format!(
+        "# popan reproduction — Nelson & Samet, SIGMOD 1987\n\n\
+         Seed {:#x}, {} trials per configuration, {} points per tree \
+         (Tables 1–3); regenerate with `cargo run -p popan-experiments \
+         --release --bin repro`.\n",
+        config.master_seed, config.trials, config.points
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "{header}").unwrap();
+
+    let mut report = header;
+    report.push('\n');
+
+    for id in selected {
+        let t0 = std::time::Instant::now();
+        let section = render(id, &config);
+        writeln!(out, "{section}").unwrap();
+        writeln!(out, "  [{id} done in {:.1?}]\n", t0.elapsed()).unwrap();
+        report.push_str(&section);
+        report.push('\n');
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, &report).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        writeln!(out, "report written to {path}").unwrap();
+    }
+}

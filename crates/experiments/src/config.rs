@@ -1,0 +1,78 @@
+//! Experiment configuration.
+
+/// Shared configuration for the reproduction experiments.
+///
+/// The defaults are the paper's protocol: 10 trees of 1000 points each,
+/// built from points "drawn from a uniform distribution" over the unit
+/// square. A fixed master seed makes every number in EXPERIMENTS.md
+/// exactly reproducible; larger `trials` tightens the experimental
+/// columns at the cost of runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Master seed from which all per-trial RNG streams derive.
+    pub master_seed: u64,
+    /// Trees per configuration (the paper used 10).
+    pub trials: usize,
+    /// Points per tree for Tables 1–3 (the paper used 1000).
+    pub points: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            master_seed: 0x5167_4d0d_1987, // SIGMOD 1987
+            trials: 10,
+            points: 1000,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's protocol with the default seed.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A reduced configuration for fast test runs (3 trials, 300 points).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            trials: 3,
+            points: 300,
+            ..Self::default()
+        }
+    }
+
+    /// The trial runner for a sub-experiment, salted so different tables
+    /// never share RNG streams.
+    pub fn runner(&self, salt: u64) -> popan_workload::TrialRunner {
+        popan_workload::TrialRunner::new(self.master_seed ^ salt, self.trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.trials, 10);
+        assert_eq!(c.points, 1000);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = ExperimentConfig::quick();
+        assert!(q.trials < 10);
+        assert!(q.points < 1000);
+    }
+
+    #[test]
+    fn runners_with_different_salts_differ() {
+        use rand::Rng;
+        let c = ExperimentConfig::paper();
+        let a: u64 = c.runner(1).rng_for_trial(0).random();
+        let b: u64 = c.runner(2).rng_for_trial(0).random();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Extension: the Fagin et al. baseline on real extendible hashing.
+//!
+//! The paper motivates population analysis against the statistical
+//! tradition of Fagin et al. (1979), whose extendible-hashing analysis
+//! "turns out also to apply to certain types of quadtrees" and already
+//! exhibits the oscillation the paper names *phasing*. This experiment
+//! builds real extendible hash tables along a geometric key-count ladder
+//! and shows:
+//!
+//! * storage utilization oscillating around `ln 2 ≈ 0.693`;
+//! * the oscillation period is ×2 in N (`log₂` phasing — the hashing
+//!   analogue of the quadtree's ×4).
+
+use crate::config::ExperimentConfig;
+use crate::report::TableData;
+use popan_core::phasing::analyze_phasing;
+use popan_exthash::{fagin, ExtendibleHashTable};
+use popan_workload::keys::UniformKeys;
+
+/// One ladder point.
+#[derive(Debug, Clone)]
+pub struct ExthashRow {
+    /// Keys inserted.
+    pub keys: usize,
+    /// Mean bucket count over trials.
+    pub buckets: f64,
+    /// Mean storage utilization over trials.
+    pub utilization: f64,
+    /// Fagin prediction for the bucket count.
+    pub predicted_buckets: f64,
+}
+
+/// Bucket capacity used for the sweep.
+pub const BUCKET_CAPACITY: usize = 8;
+
+/// The ×√2 key-count ladder (same shape as the paper's Tables 4–5).
+pub fn ladder() -> Vec<usize> {
+    (0..15)
+        .map(|k| (256.0 * 2f64.powf(k as f64 / 2.0)).round() as usize)
+        .collect()
+}
+
+/// Runs the sweep.
+pub fn run(config: &ExperimentConfig) -> Vec<ExthashRow> {
+    ladder()
+        .into_iter()
+        .map(|n| {
+            let runner = config.runner(0xe8a5 ^ (n as u64) << 20);
+            let results: Vec<(f64, f64)> = runner.run(|_, rng| {
+                let mut table =
+                    ExtendibleHashTable::new(BUCKET_CAPACITY).expect("capacity ≥ 1");
+                for k in UniformKeys.sample_n(rng, n) {
+                    table.insert(k);
+                }
+                (table.bucket_count() as f64, table.utilization())
+            });
+            let trials = results.len() as f64;
+            ExthashRow {
+                keys: n,
+                buckets: results.iter().map(|r| r.0).sum::<f64>() / trials,
+                utilization: results.iter().map(|r| r.1).sum::<f64>() / trials,
+                predicted_buckets: fagin::expected_bucket_count(n, BUCKET_CAPACITY),
+            }
+        })
+        .collect()
+}
+
+/// Renders the baseline table.
+pub fn table(config: &ExperimentConfig) -> TableData {
+    let rows = run(config);
+    let series: Vec<f64> = rows.iter().map(|r| r.utilization).collect();
+    // b = 2 for hashing: utilization repeats every doubling of N, i.e.
+    // every 2 samples on the ×√2 ladder.
+    let report = analyze_phasing(&series, 2, 2f64.sqrt()).expect("long series");
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.keys.to_string(),
+                format!("{:.1}", r.buckets),
+                format!("{:.1}", r.predicted_buckets),
+                format!("{:.3}", r.utilization),
+            ]
+        })
+        .collect();
+    TableData::new(
+        "exthash",
+        "Extendible hashing (Fagin baseline): utilization vs keys (extension)",
+        vec![
+            "keys".into(),
+            "buckets (measured)".into(),
+            "buckets (Fagin n/(b·ln2))".into(),
+            "utilization".into(),
+        ],
+        body,
+    )
+    .with_note(format!(
+        "expected utilization ln 2 = {:.4}; phasing amplitude {:.3} with period 2 samples (×2 in N)",
+        fagin::expected_utilization(),
+        report.metrics.amplitude,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 5,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    #[test]
+    fn utilization_oscillates_around_ln2() {
+        let rows = run(&cfg());
+        let mean: f64 =
+            rows.iter().map(|r| r.utilization).sum::<f64>() / rows.len() as f64;
+        assert!(
+            (mean - fagin::expected_utilization()).abs() < 0.04,
+            "mean utilization {mean} vs ln2"
+        );
+        for r in &rows {
+            assert!(
+                (0.55..=0.85).contains(&r.utilization),
+                "n={}: utilization {}",
+                r.keys,
+                r.utilization
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_counts_track_fagin_prediction() {
+        for r in run(&cfg()) {
+            let ratio = r.buckets / r.predicted_buckets;
+            assert!(
+                (0.85..=1.20).contains(&ratio),
+                "n={}: measured {} vs predicted {}",
+                r.keys,
+                r.buckets,
+                r.predicted_buckets
+            );
+        }
+    }
+
+    #[test]
+    fn phasing_has_period_two_on_sqrt2_ladder() {
+        let rows = run(&cfg());
+        let series: Vec<f64> = rows.iter().map(|r| r.utilization).collect();
+        let report = analyze_phasing(&series, 2, 2f64.sqrt()).unwrap();
+        assert_eq!(report.period_samples, 2);
+        assert!(
+            report.oscillates(0.1),
+            "hashing utilization should phase: {:?}",
+            report.metrics
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&ExperimentConfig::quick());
+        assert!(t.render().contains("ln 2"));
+        assert_eq!(t.rows.len(), ladder().len());
+    }
+}

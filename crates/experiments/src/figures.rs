@@ -1,0 +1,130 @@
+//! Figures 1–3.
+//!
+//! * Figure 1 — the PR-quadtree block diagram for four points.
+//! * Figure 2 — Table 4's occupancy-vs-size series on a semi-log plot
+//!   (uniform workload; sustained oscillation).
+//! * Figure 3 — Table 5's series (Gaussian workload; damped oscillation).
+//!
+//! Each figure renders both as ASCII (for the terminal) and as SVG (for
+//! files); ours and the paper's published series are overlaid.
+
+use crate::config::ExperimentConfig;
+use crate::plot::{ascii_semilog, svg_semilog, Series};
+use crate::table45::{run, Workload};
+use popan_geom::{Point2, Rect};
+
+/// A rendered figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure id (`fig1`, `fig2`, `fig3`).
+    pub id: String,
+    /// Caption.
+    pub caption: String,
+    /// Terminal rendering.
+    pub ascii: String,
+    /// SVG rendering (empty for ASCII-only figures).
+    pub svg: String,
+}
+
+/// Figure 1: the paper's four-point PR quadtree diagram.
+pub fn fig1() -> Figure {
+    // Four points chosen to reproduce the paper's diagram: one split
+    // separates three of them, a second separates the close pair.
+    let points = [
+        Point2::new(0.20, 0.75),
+        Point2::new(0.60, 0.80),
+        Point2::new(0.85, 0.60),
+        Point2::new(0.30, 0.25),
+    ];
+    let ascii = popan_spatial::visualize::figure1(Rect::unit(), &points);
+    Figure {
+        id: "fig1".into(),
+        caption: "PR quadtree for four points: blocks are recursively quartered \
+                  until no block contains more than one point"
+            .into(),
+        ascii,
+        svg: String::new(),
+    }
+}
+
+fn size_figure(config: &ExperimentConfig, workload: Workload) -> Figure {
+    let rows = run(config, workload);
+    let ours = Series::new(
+        "ours",
+        rows.iter()
+            .map(|r| (r.points as f64, r.occupancy))
+            .collect(),
+    );
+    let paper_rows: &[(usize, f64, f64)] = match workload {
+        Workload::Uniform => &crate::paper_data::TABLE4,
+        Workload::Gaussian => &crate::paper_data::TABLE5,
+    };
+    let paper = Series::new(
+        "paper (1987)",
+        paper_rows
+            .iter()
+            .map(|&(n, _, occ)| (n as f64, occ))
+            .collect(),
+    );
+    let (id, caption) = match workload {
+        Workload::Uniform => (
+            "fig2",
+            "Average node occupancy vs number of points, uniform distribution \
+             (m = 8): sustained log-periodic oscillation",
+        ),
+        Workload::Gaussian => (
+            "fig3",
+            "Average node occupancy vs number of points, Gaussian distribution \
+             (m = 8): oscillation damps out",
+        ),
+    };
+    let series = [ours, paper];
+    Figure {
+        id: id.into(),
+        caption: caption.into(),
+        ascii: ascii_semilog(&series, 72, 18),
+        svg: svg_semilog(&series, caption),
+    }
+}
+
+/// Figure 2: uniform-workload occupancy series.
+pub fn fig2(config: &ExperimentConfig) -> Figure {
+    size_figure(config, Workload::Uniform)
+}
+
+/// Figure 3: Gaussian-workload occupancy series.
+pub fn fig3(config: &ExperimentConfig) -> Figure {
+    size_figure(config, Workload::Gaussian)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_draws_four_points_and_nested_blocks() {
+        let f = fig1();
+        assert_eq!(f.id, "fig1");
+        assert_eq!(f.ascii.matches('*').count(), 4);
+        assert!(f.ascii.matches('+').count() > 4, "needs interior borders");
+        assert!(f.svg.is_empty());
+    }
+
+    #[test]
+    fn fig2_overlays_ours_and_paper() {
+        let f = fig2(&ExperimentConfig::quick());
+        assert_eq!(f.id, "fig2");
+        assert!(f.ascii.contains("* = ours"));
+        assert!(f.ascii.contains("o = paper"));
+        assert!(f.svg.contains("<svg"));
+        assert!(f.svg.contains("polyline"));
+    }
+
+    #[test]
+    fn fig3_is_gaussian() {
+        let f = fig3(&ExperimentConfig::quick());
+        assert_eq!(f.id, "fig3");
+        assert!(f.caption.contains("Gaussian"));
+        assert!(f.svg.contains("damps"));
+    }
+}

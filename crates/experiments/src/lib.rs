@@ -1,0 +1,56 @@
+//! Reproduction harness for every table and figure of the paper.
+//!
+//! Each experiment module exposes `run(&ExperimentConfig)` returning typed
+//! rows plus a `table(...)`/`figure(...)` renderer producing the same
+//! rows/series the paper prints, side by side with the published values
+//! (embedded in [`paper_data`]).
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — expected distribution, theory vs experiment |
+//! | [`table2`] | Table 2 — average node occupancy + percent difference |
+//! | [`table3`] | Table 3 — occupancy by node size (aging) |
+//! | [`table45`] | Tables 4 & 5 — occupancy vs tree size (phasing), uniform & Gaussian |
+//! | [`figures`] | Figures 1–3 — block diagram and semi-log plots |
+//!
+//! Extension experiments (beyond the published artifacts):
+//!
+//! | module | question |
+//! |---|---|
+//! | [`dims`] | does the model generalize across b = 2, 4, 8, 16? |
+//! | [`exthash_exp`] | the Fagin baseline: utilization ≈ ln 2 with log₂ phasing |
+//! | [`excell_exp`] | EXCELL vs PR quadtree: directory blow-up under clustering |
+//! | [`pmr_exp`] | PMR quadtree model (local Monte-Carlo) vs simulation |
+//! | [`aging_exp`] | area-weighted mean-field vs count-proportional model |
+//! | [`skew`] | skew-aware model vs multiplicative-cascade data |
+//! | [`churn`] | does insert/delete churn shift the steady state? (no) |
+//! | [`phasing_sweep`] | oscillation amplitude vs node capacity |
+//! | [`ablation`] | solver ablation: fixed-point vs Newton, contraction rates |
+//!
+//! Run everything with `cargo run -p popan-experiments --release --bin
+//! repro`, or a single experiment with `… --bin repro -- table1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod aging_exp;
+pub mod churn;
+pub mod config;
+pub mod dims;
+pub mod excell_exp;
+pub mod exthash_exp;
+pub mod figures;
+pub mod paper_data;
+pub mod phasing_sweep;
+pub mod plot;
+pub mod pmr_exp;
+pub mod report;
+pub mod skew;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table45;
+
+pub use config::ExperimentConfig;
+pub use report::TableData;

@@ -1,0 +1,180 @@
+//! The paper's published numbers, transcribed for side-by-side
+//! comparison.
+//!
+//! Values are exactly as printed in the SIGMOD '87 proceedings (the
+//! source text drops decimal points; e.g. "536" is 0.536, "0 46" is
+//! 0.46).
+
+/// Table 1, theory rows: expected distribution vectors for `m = 1..=8`.
+pub const TABLE1_THEORY: [&[f64]; 8] = [
+    &[0.500, 0.500],
+    &[0.278, 0.418, 0.304],
+    &[0.165, 0.320, 0.305, 0.210],
+    &[0.102, 0.239, 0.276, 0.225, 0.158],
+    &[0.065, 0.179, 0.238, 0.220, 0.172, 0.126],
+    &[0.043, 0.132, 0.200, 0.207, 0.176, 0.137, 0.105],
+    &[0.028, 0.098, 0.165, 0.189, 0.173, 0.143, 0.114, 0.090],
+    &[0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078],
+];
+
+/// Table 1, experiment rows (10 trees × 1000 uniform points).
+pub const TABLE1_EXPERIMENT: [&[f64]; 8] = [
+    &[0.536, 0.464],
+    &[0.326, 0.427, 0.247],
+    &[0.213, 0.364, 0.273, 0.149],
+    &[0.139, 0.293, 0.264, 0.184, 0.120],
+    &[0.084, 0.217, 0.241, 0.204, 0.151, 0.104],
+    &[0.050, 0.150, 0.201, 0.215, 0.176, 0.127, 0.081],
+    &[0.034, 0.110, 0.177, 0.214, 0.187, 0.143, 0.091, 0.044],
+    &[0.024, 0.086, 0.151, 0.206, 0.194, 0.156, 0.100, 0.049, 0.034],
+];
+
+/// Table 2: (capacity, experimental occupancy, theoretical occupancy,
+/// percent difference) as printed.
+pub const TABLE2: [(usize, f64, f64, f64); 8] = [
+    (1, 0.46, 0.50, 7.2),
+    (2, 0.92, 1.03, 10.8),
+    (3, 1.36, 1.56, 12.9),
+    (4, 1.85, 2.10, 11.6),
+    (5, 2.44, 2.63, 7.4),
+    (6, 3.03, 3.17, 4.4),
+    (7, 3.44, 3.72, 7.5),
+    (8, 3.79, 4.25, 10.8),
+];
+
+/// Table 3: (depth, n₀ nodes, n₁ nodes, occupancy) for `m = 1`,
+/// averages over 10 trees of 1000 points, tree truncated at depth 9.
+pub const TABLE3: [(u32, f64, f64, f64); 6] = [
+    (4, 6.6, 20.1, 0.75),
+    (5, 300.2, 354.3, 0.54),
+    (6, 533.7, 411.6, 0.44),
+    (7, 225.4, 144.9, 0.39),
+    (8, 71.5, 49.6, 0.41),
+    (9, 16.1, 19.5, 0.55),
+];
+
+/// The point-count ladder of Tables 4 and 5 (×√2 per step; ×4 over four
+/// steps).
+pub const SIZE_LADDER: [usize; 13] = [
+    64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048, 2896, 4096,
+];
+
+/// Table 4: (points, nodes, occupancy) for `m = 8`, uniform distribution,
+/// averages over 10 trees.
+pub const TABLE4: [(usize, f64, f64); 13] = [
+    (64, 16.9, 3.79),
+    (90, 21.7, 4.15),
+    (128, 35.2, 3.64),
+    (181, 54.4, 3.33),
+    (256, 67.3, 3.80),
+    (362, 90.7, 3.99),
+    (512, 145.0, 3.53),
+    (724, 216.4, 3.35),
+    (1024, 266.5, 3.84),
+    (1448, 350.8, 4.13),
+    (2048, 560.5, 3.65),
+    (2896, 876.6, 3.30),
+    (4096, 1075.6, 3.81),
+];
+
+/// Table 5: (points, nodes, occupancy) for `m = 8`, Gaussian distribution
+/// "two standard deviations wide centered in the square region".
+pub const TABLE5: [(usize, f64, f64); 13] = [
+    (64, 17.2, 3.72),
+    (90, 21.7, 4.15),
+    (128, 35.2, 3.63),
+    (181, 52.3, 3.46),
+    (256, 68.2, 3.75),
+    (362, 99.1, 3.65),
+    (512, 144.1, 3.55),
+    (724, 203.5, 3.56),
+    (1024, 275.5, 3.72),
+    (1448, 393.4, 3.68),
+    (2048, 565.3, 3.62),
+    (2896, 784.9, 3.69),
+    (4096, 1104.7, 3.71),
+];
+
+/// The paper's headline `m = 1` experimental split: "approximately 53%
+/// empty and 47% full nodes".
+pub const M1_EMPTY_FRACTION: f64 = 0.53;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_distributions() {
+        for (m, row) in TABLE1_THEORY.iter().enumerate() {
+            assert_eq!(row.len(), m + 2, "theory row {m}");
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 0.005, "theory row {m} sums to {s}");
+        }
+        for (m, row) in TABLE1_EXPERIMENT.iter().enumerate() {
+            assert_eq!(row.len(), m + 2, "experiment row {m}");
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 0.005, "experiment row {m} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn table2_is_consistent_with_table1() {
+        // Average occupancy of each Table 1 row reproduces the Table 2
+        // column (within print rounding).
+        for (m, &(cap, exp_occ, thy_occ, _)) in TABLE2.iter().enumerate() {
+            assert_eq!(cap, m + 1);
+            let weighted = |row: &[f64]| -> f64 {
+                row.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+            };
+            let t1_thy = weighted(TABLE1_THEORY[m]);
+            let t1_exp = weighted(TABLE1_EXPERIMENT[m]);
+            assert!((t1_thy - thy_occ).abs() < 0.02, "m={cap}: {t1_thy} vs {thy_occ}");
+            assert!((t1_exp - exp_occ).abs() < 0.04, "m={cap}: {t1_exp} vs {exp_occ}");
+        }
+    }
+
+    #[test]
+    fn table3_occupancy_column_is_n1_fraction() {
+        // Depths 4–8 hold only n₀/n₁ leaves, so occupancy = n₁/(n₀+n₁);
+        // depth 9 is the truncation artifact (occupancy above the m = 1
+        // cap because truncated leaves hold extra points).
+        for &(depth, n0, n1, occ) in &TABLE3[..5] {
+            let frac = n1 / (n0 + n1);
+            assert!(
+                (frac - occ).abs() < 0.01,
+                "depth {depth}: {frac:.3} vs printed {occ}"
+            );
+        }
+        let (_, n0, n1, occ) = TABLE3[5];
+        assert!(occ > n1 / (n0 + n1), "depth 9 must exceed the n₁ fraction");
+    }
+
+    #[test]
+    fn ladders_match() {
+        assert_eq!(SIZE_LADDER.len(), 13);
+        for (i, &(n, _, _)) in TABLE4.iter().enumerate() {
+            assert_eq!(n, SIZE_LADDER[i]);
+        }
+        for (i, &(n, _, _)) in TABLE5.iter().enumerate() {
+            assert_eq!(n, SIZE_LADDER[i]);
+        }
+        // ×4 over four steps.
+        for i in 4..SIZE_LADDER.len() {
+            let ratio = SIZE_LADDER[i] as f64 / SIZE_LADDER[i - 4] as f64;
+            // The printed ladder rounds to integers (e.g. 181·4 = 724 but
+            // 724/181 ≈ 4.02 through the rounded 90→362 chain).
+            assert!((ratio - 4.0).abs() < 0.05, "step {i}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn table4_occupancy_equals_points_over_nodes() {
+        for &(points, nodes, occ) in &TABLE4 {
+            let implied = points as f64 / nodes;
+            assert!(
+                (implied - occ).abs() < 0.02,
+                "{points}: {implied:.3} vs printed {occ}"
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Minimal plotting: ASCII charts for the terminal and hand-rolled SVG
+//! for files. Enough to regenerate the paper's Figures 2 and 3 (average
+//! occupancy against the number of points on a semi-log axis).
+
+/// A named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series as an ASCII chart with a log₂ x-axis.
+///
+/// Each series gets a marker (`*`, `o`, `x`, `+`). The y-axis is linear
+/// between the data's min and max (padded 5%).
+pub fn ascii_semilog(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 20 && height >= 5, "chart too small to render");
+    assert!(!series.is_empty(), "nothing to plot");
+    let markers = ['*', 'o', 'x', '+'];
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .collect();
+    assert!(!xs.is_empty(), "series have no points");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "semi-log x-axis requires positive x"
+    );
+    let (x_lo, x_hi) = (
+        xs.iter().copied().fold(f64::INFINITY, f64::min).log2(),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).log2(),
+    );
+    let (mut y_lo, mut y_hi) = (
+        ys.iter().copied().fold(f64::INFINITY, f64::min),
+        ys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let pad = ((y_hi - y_lo) * 0.05).max(1e-9);
+    y_lo -= pad;
+    y_hi += pad;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = markers[si % markers.len()];
+        for &(x, y) in &s.points {
+            let fx = if x_hi > x_lo {
+                (x.log2() - x_lo) / (x_hi - x_lo)
+            } else {
+                0.5
+            };
+            let fy = (y - y_lo) / (y_hi - y_lo);
+            let col = ((fx * (width - 1) as f64).round() as usize).min(width - 1);
+            let row = height - 1 - ((fy * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = if r == 0 {
+            format!("{y_hi:7.2} ")
+        } else if r == height - 1 {
+            format!("{y_lo:7.2} ")
+        } else {
+            "        ".to_string()
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "         {:<10.0}{}{:>10.0}  (log₂ x)\n",
+        2f64.powf(x_lo),
+        " ".repeat(width.saturating_sub(20)),
+        2f64.powf(x_hi)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "         {} = {}\n",
+            markers[si % markers.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Renders series as a self-contained SVG with a log₂ x-axis, polyline
+/// per series, and a small legend.
+pub fn svg_semilog(series: &[Series], title: &str) -> String {
+    assert!(!series.is_empty(), "nothing to plot");
+    const W: f64 = 640.0;
+    const H: f64 = 400.0;
+    const MARGIN: f64 = 50.0;
+    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .collect();
+    assert!(xs.iter().all(|&x| x > 0.0), "semi-log needs positive x");
+    let x_lo = xs.iter().copied().fold(f64::INFINITY, f64::min).log2();
+    let x_hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).log2();
+    let mut y_lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut y_hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let pad = ((y_hi - y_lo) * 0.08).max(1e-9);
+    y_lo -= pad;
+    y_hi += pad;
+
+    let px = |x: f64| MARGIN + (x.log2() - x_lo) / (x_hi - x_lo).max(1e-12) * (W - 2.0 * MARGIN);
+    let py = |y: f64| H - MARGIN - (y - y_lo) / (y_hi - y_lo) * (H - 2.0 * MARGIN);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    ));
+    svg.push_str(&format!(
+        r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-size="15">{title}</text>"#,
+        W / 2.0
+    ));
+    // Axes.
+    svg.push_str(&format!(
+        r#"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="black"/>"#,
+        m = MARGIN,
+        r = W - MARGIN,
+        t = MARGIN,
+        b = H - MARGIN
+    ));
+    // X tick labels at powers of two.
+    let mut p = x_lo.ceil() as i64;
+    while (p as f64) <= x_hi {
+        let x = px(2f64.powi(p as i32));
+        svg.push_str(&format!(
+            r#"<line x1="{x}" y1="{b}" x2="{x}" y2="{b2}" stroke="black"/><text x="{x}" y="{ty}" text-anchor="middle" font-size="10">{v}</text>"#,
+            b = H - MARGIN,
+            b2 = H - MARGIN + 5.0,
+            ty = H - MARGIN + 18.0,
+            v = 2f64.powi(p as i32) as u64,
+        ));
+        p += 1;
+    }
+    // Y tick labels.
+    for k in 0..=4 {
+        let y = y_lo + (y_hi - y_lo) * k as f64 / 4.0;
+        svg.push_str(&format!(
+            r#"<text x="{tx}" y="{ty}" text-anchor="end" font-size="10">{y:.2}</text>"#,
+            tx = MARGIN - 6.0,
+            ty = py(y) + 3.0,
+        ));
+    }
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = colors[si % colors.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        svg.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+            path.join(" ")
+        ));
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{tx}" y="{ty}" font-size="11" fill="{color}">{label}</text>"#,
+            tx = MARGIN + 8.0,
+            ty = MARGIN + 14.0 + 14.0 * si as f64,
+            label = s.label,
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new(
+                "ours",
+                (0..13)
+                    .map(|i| {
+                        let n = 64.0 * 2f64.powf(i as f64 / 2.0);
+                        (n, 3.7 + 0.4 * (i as f64 * 1.57).sin())
+                    })
+                    .collect(),
+            ),
+            Series::new("paper", vec![(64.0, 3.79), (1024.0, 3.84), (4096.0, 3.81)]),
+        ]
+    }
+
+    #[test]
+    fn ascii_chart_renders_markers_and_legend() {
+        let s = ascii_semilog(&demo_series(), 60, 15);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* = ours"));
+        assert!(s.contains("o = paper"));
+        assert!(s.contains("log₂ x"));
+    }
+
+    #[test]
+    fn ascii_chart_has_requested_dimensions() {
+        let s = ascii_semilog(&demo_series(), 60, 15);
+        let plot_lines = s.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(plot_lines, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ascii_chart_rejects_tiny_dimensions() {
+        ascii_semilog(&demo_series(), 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn ascii_chart_rejects_nonpositive_x() {
+        ascii_semilog(&[Series::new("bad", vec![(0.0, 1.0)])], 40, 10);
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = svg_semilog(&demo_series(), "Figure 2");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Figure 2"));
+        assert!(svg.contains("polyline"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Every circle closed.
+        assert_eq!(svg.matches("<circle").count(), 13 + 3);
+    }
+
+    #[test]
+    fn svg_places_x_ticks_at_powers_of_two() {
+        let svg = svg_semilog(&demo_series(), "t");
+        assert!(svg.contains(">64<"));
+        assert!(svg.contains(">1024<"));
+        assert!(svg.contains(">4096<"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Table rendering (ASCII and CSV) for experiment output.
+
+/// A rendered experiment table: headers, string rows, and footnotes.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Experiment id (`table1`, `fig2`, …).
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl TableData {
+    /// Creates a table, checking row widths against the header.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        let headers_len = headers.len();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                headers_len,
+                "row {i} has {} cells for {headers_len} headers",
+                r.len()
+            );
+        }
+        TableData {
+            id: id.into(),
+            title: title.into(),
+            headers,
+            rows,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a footnote.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, cell) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:width$} |", cell, width = widths[c]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        let _ = cols;
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a distribution vector as the paper prints them: parenthesized
+/// three-decimal proportions, e.g. `(.278, .418, .304)`.
+pub fn format_distribution(values: &[f64]) -> String {
+    let cells: Vec<String> = values
+        .iter()
+        .map(|v| {
+            let s = format!("{v:.3}");
+            s.strip_prefix('0').map(str::to_string).unwrap_or(s)
+        })
+        .collect();
+    format!("({})", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableData {
+        TableData::new(
+            "t",
+            "demo",
+            vec!["a".into(), "b".into()],
+            vec![
+                vec!["1".into(), "22".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("## t — demo"));
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(rows.len(), 4); // header + separator + 2 rows
+        let w = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == w), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn rejects_ragged_rows() {
+        TableData::new(
+            "t",
+            "demo",
+            vec!["a".into()],
+            vec![vec!["1".into(), "2".into()]],
+        );
+    }
+
+    #[test]
+    fn notes_are_appended() {
+        let s = sample().with_note("hello world").render();
+        assert!(s.contains("> hello world"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let t = TableData::new(
+            "t",
+            "demo",
+            vec!["x,y".into(), "q\"q".into()],
+            vec![vec!["plain".into(), "with,comma".into()]],
+        );
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"q\""));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("plain"));
+    }
+
+    #[test]
+    fn distribution_formatting_matches_paper_style() {
+        assert_eq!(
+            format_distribution(&[0.278, 0.418, 0.304]),
+            "(.278, .418, .304)"
+        );
+        assert_eq!(format_distribution(&[1.0]), "(1.000)");
+    }
+}

@@ -1,0 +1,191 @@
+//! Table 1 — expected distribution in PR quadtrees, theory vs experiment.
+//!
+//! For each node capacity `m = 1..=8`:
+//! * **theory**: solve the `b = 4` PR population model for its steady
+//!   state;
+//! * **experiment**: build `trials` PR quadtrees of `points` uniform
+//!   points each and average the leaf-occupancy proportion vectors.
+
+use crate::config::ExperimentConfig;
+use crate::report::{format_distribution, TableData};
+use popan_core::{PrModel, SteadyStateSolver};
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+
+/// Result for one node capacity.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Node capacity `m`.
+    pub capacity: usize,
+    /// Theoretical expected distribution (solved model).
+    pub theory: Vec<f64>,
+    /// Experimental mean distribution over trials.
+    pub experiment: Vec<f64>,
+    /// Worst relative spread of per-trial average occupancy (the paper:
+    /// "typically within about 10% of each other").
+    pub trial_spread: f64,
+}
+
+/// Runs the experiment for capacities `1..=max_capacity`.
+pub fn run(config: &ExperimentConfig, max_capacity: usize) -> Vec<Table1Row> {
+    (1..=max_capacity)
+        .map(|m| run_capacity(config, m))
+        .collect()
+}
+
+/// Runs one capacity.
+pub fn run_capacity(config: &ExperimentConfig, capacity: usize) -> Table1Row {
+    let model = PrModel::quadtree(capacity).expect("capacity ≥ 1");
+    let theory = SteadyStateSolver::new()
+        .solve(&model)
+        .expect("paper models solve")
+        .distribution()
+        .proportions()
+        .to_vec();
+
+    let runner = config.runner(0x7ab1e1 ^ (capacity as u64) << 32);
+    let source = UniformRect::unit();
+    let per_trial: Vec<(Vec<f64>, f64)> = runner.run(|_, rng| {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            capacity,
+            source.sample_n(rng, config.points),
+        )
+        .expect("points lie in the unit square");
+        let profile = tree.occupancy_profile();
+        (profile.proportions(capacity), profile.average_occupancy())
+    });
+
+    let vectors: Vec<Vec<f64>> = per_trial.iter().map(|(v, _)| v.clone()).collect();
+    let experiment =
+        popan_numeric::stats::mean_vector(&vectors).expect("equal-length proportion vectors");
+    let occupancies: Vec<f64> = per_trial.iter().map(|&(_, o)| o).collect();
+    let trial_spread = popan_numeric::stats::Summary::of(&occupancies)
+        .expect("non-empty trials")
+        .relative_spread();
+
+    Table1Row {
+        capacity,
+        theory,
+        experiment,
+        trial_spread,
+    }
+}
+
+/// Renders the paper's Table 1 with the published values alongside.
+pub fn table(config: &ExperimentConfig) -> TableData {
+    let rows = run(config, 8);
+    let mut out = Vec::new();
+    for row in &rows {
+        out.push(vec![
+            row.capacity.to_string(),
+            "thy (ours)".to_string(),
+            format_distribution(&row.theory),
+        ]);
+        out.push(vec![
+            String::new(),
+            "thy (paper)".to_string(),
+            format_distribution(crate::paper_data::TABLE1_THEORY[row.capacity - 1]),
+        ]);
+        out.push(vec![
+            String::new(),
+            "exp (ours)".to_string(),
+            format_distribution(&row.experiment),
+        ]);
+        out.push(vec![
+            String::new(),
+            "exp (paper)".to_string(),
+            format_distribution(crate::paper_data::TABLE1_EXPERIMENT[row.capacity - 1]),
+        ]);
+    }
+    TableData::new(
+        "table1",
+        "Expected distribution in PR quadtrees: theoretical (thy) and experimental (exp)",
+        vec![
+            "bucket size".into(),
+            "row".into(),
+            "expected distribution vector".into(),
+        ],
+        out,
+    )
+    .with_note(format!(
+        "experiment: {} trees × {} uniform points per capacity, master seed {:#x}",
+        config.trials, config.points, config.master_seed
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 4,
+            points: 600,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    #[test]
+    fn theory_matches_paper_print() {
+        let row = run_capacity(&quick(), 2);
+        for (i, &want) in crate::paper_data::TABLE1_THEORY[1].iter().enumerate() {
+            assert!(
+                (row.theory[i] - want).abs() < 2e-3,
+                "i={i}: {} vs {want}",
+                row.theory[i]
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_tracks_paper_experiment_shape() {
+        // Experimental columns are stochastic: assert the paper's
+        // qualitative claims — experiment has more empty nodes than
+        // theory (aging) and the vectors are close overall.
+        let row = run_capacity(&quick(), 2);
+        assert!(
+            row.experiment[0] > row.theory[0],
+            "aging: measured empty fraction {} should exceed theory {}",
+            row.experiment[0],
+            row.theory[0]
+        );
+        let l1: f64 = row
+            .experiment
+            .iter()
+            .zip(crate::paper_data::TABLE1_EXPERIMENT[1])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 < 0.15, "L1 distance to paper experiment row: {l1}");
+    }
+
+    #[test]
+    fn trial_spread_is_moderate() {
+        // "Corresponding data points from different trees were typically
+        // within about 10% of each other" — allow a loose band.
+        let row = run_capacity(&quick(), 1);
+        assert!(row.trial_spread < 0.25, "spread {}", row.trial_spread);
+    }
+
+    #[test]
+    fn distributions_are_probability_vectors() {
+        for row in run(&ExperimentConfig::quick(), 3) {
+            let st: f64 = row.theory.iter().sum();
+            let se: f64 = row.experiment.iter().sum();
+            assert!((st - 1.0).abs() < 1e-9);
+            assert!((se - 1.0).abs() < 1e-9);
+            assert_eq!(row.theory.len(), row.capacity + 1);
+            assert_eq!(row.experiment.len(), row.capacity + 1);
+        }
+    }
+
+    #[test]
+    fn table_renders_all_capacities() {
+        let t = table(&ExperimentConfig::quick());
+        assert_eq!(t.rows.len(), 8 * 4);
+        let s = t.render();
+        assert!(s.contains("thy (ours)"));
+        assert!(s.contains("exp (paper)"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Table 3 — occupancy by node size (the aging effect).
+//!
+//! `m = 1`, 10 trees of 1000 uniform points, trees truncated at depth 9
+//! exactly as the paper's implementation was. For each depth the table
+//! reports the average number of empty (`n₀`) and full (`n₁`) leaves and
+//! the average occupancy, which decreases with depth toward the newborn
+//! value 0.4 — except at the truncation depth, where the artifact pushes
+//! it back up.
+
+use crate::config::ExperimentConfig;
+use crate::report::TableData;
+use popan_core::aging::newborn_average_occupancy;
+use popan_core::PrModel;
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+
+/// The paper's truncation depth.
+pub const PAPER_MAX_DEPTH: u32 = 9;
+
+/// One depth row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Leaf depth.
+    pub depth: u32,
+    /// Mean number of empty leaves at this depth.
+    pub n0: f64,
+    /// Mean number of single-point leaves at this depth (at the
+    /// truncation depth this counts occupancy-1 leaves only; overflow
+    /// leaves contribute to `occupancy` but not to `n1`).
+    pub n1: f64,
+    /// Mean items per leaf at this depth.
+    pub occupancy: f64,
+}
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> Vec<Table3Row> {
+    run_with_depth(config, PAPER_MAX_DEPTH)
+}
+
+/// Runs with an explicit truncation depth (test hook).
+pub fn run_with_depth(config: &ExperimentConfig, max_depth: u32) -> Vec<Table3Row> {
+    let runner = config.runner(0x7ab1e3);
+    let source = UniformRect::unit();
+    // depth → (n0 total, n1 total, items total, leaves total).
+    let mut acc: std::collections::BTreeMap<u32, (f64, f64, f64, f64)> = Default::default();
+    runner.run(|_, rng| {
+        let tree = PrQuadtree::with_max_depth(Rect::unit(), 1, max_depth)
+            .and_then(|mut t| {
+                for p in source.sample_n(rng, config.points) {
+                    t.insert(p)?;
+                }
+                Ok(t)
+            })
+            .expect("in-region points");
+        let table = tree.depth_table();
+        for depth in table.depths() {
+            let entry = acc.entry(depth).or_default();
+            entry.0 += table.count(depth, 0) as f64;
+            entry.1 += table.count(depth, 1) as f64;
+            let leaves = table.leaves_at(depth) as f64;
+            entry.3 += leaves;
+            entry.2 += table.average_occupancy_at(depth).unwrap_or(0.0) * leaves;
+        }
+    });
+    let trials = config.trials as f64;
+    acc.into_iter()
+        .map(|(depth, (n0, n1, items, leaves))| Table3Row {
+            depth,
+            n0: n0 / trials,
+            n1: n1 / trials,
+            occupancy: if leaves > 0.0 { items / leaves } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Renders the paper's Table 3 with published values alongside (for the
+/// depths the paper prints).
+pub fn table(config: &ExperimentConfig) -> TableData {
+    let rows = run(config);
+    let newborn = newborn_average_occupancy(&PrModel::quadtree(1).expect("m = 1"));
+    let body = rows
+        .iter()
+        .map(|r| {
+            let paper = crate::paper_data::TABLE3
+                .iter()
+                .find(|&&(d, _, _, _)| d == r.depth);
+            let paper_str = match paper {
+                Some(&(_, n0, n1, occ)) => format!("{n0:.1} / {n1:.1} / {occ:.2}"),
+                None => "—".to_string(),
+            };
+            vec![
+                r.depth.to_string(),
+                format!("{:.1}", r.n0),
+                format!("{:.1}", r.n1),
+                format!("{:.2}", r.occupancy),
+                paper_str,
+            ]
+        })
+        .collect();
+    TableData::new(
+        "table3",
+        "Occupancy by node size (m = 1, trees truncated at depth 9)",
+        vec![
+            "depth".into(),
+            "n0 nodes".into(),
+            "n1 nodes".into(),
+            "occupancy".into(),
+            "paper (n0 / n1 / occ)".into(),
+        ],
+        body,
+    )
+    .with_note(format!(
+        "newborn-population occupancy (t_m·(0..m)/Σt_m) = {newborn:.2}; \
+         occupancy decreases with depth toward it (aging), except at the truncation depth"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 5,
+            points: 1000,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    #[test]
+    fn occupancy_decreases_with_depth_in_the_bulk() {
+        // The aging trend over the well-populated depths (≥ 50 leaves):
+        // each is within the decreasing envelope the paper shows.
+        let rows = run(&cfg());
+        let bulk: Vec<&Table3Row> =
+            rows.iter().filter(|r| r.n0 + r.n1 >= 50.0).collect();
+        assert!(bulk.len() >= 3, "need several populated depths");
+        for w in bulk.windows(2) {
+            assert!(
+                w[1].occupancy < w[0].occupancy + 0.05,
+                "depth {} occupancy {} vs depth {} occupancy {}",
+                w[0].depth,
+                w[0].occupancy,
+                w[1].depth,
+                w[1].occupancy
+            );
+        }
+    }
+
+    #[test]
+    fn deep_occupancy_approaches_newborn_value() {
+        // Paper: "the experimental data shows the predicted decrease
+        // towards this value (0.4) which is reached at depths 7 and 8".
+        let rows = run(&cfg());
+        let deep: Vec<&Table3Row> = rows
+            .iter()
+            .filter(|r| (7..=8).contains(&r.depth) && r.n0 + r.n1 > 10.0)
+            .collect();
+        assert!(!deep.is_empty());
+        for r in deep {
+            assert!(
+                (r.occupancy - 0.4).abs() < 0.08,
+                "depth {}: occupancy {} far from newborn 0.4",
+                r.depth,
+                r.occupancy
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_artifact_at_max_depth() {
+        // The anomalously high occupancy at depth 9 is the paper's
+        // implementation artifact — reproduced by our depth cap.
+        let rows = run(&cfg());
+        let last = rows.last().unwrap();
+        let second_last = &rows[rows.len() - 2];
+        if last.depth == PAPER_MAX_DEPTH {
+            assert!(
+                last.occupancy > second_last.occupancy,
+                "truncated depth {} should bounce up: {} vs {}",
+                last.depth,
+                last.occupancy,
+                second_last.occupancy
+            );
+        }
+    }
+
+    #[test]
+    fn depth_counts_are_in_paper_ballpark() {
+        // Compare the dominant depths (5–7) against the paper's printed
+        // counts within a generous band — exact counts are stochastic.
+        let rows = run(&cfg());
+        for &(depth, p_n0, p_n1, _) in &crate::paper_data::TABLE3 {
+            if !(5..=7).contains(&depth) {
+                continue;
+            }
+            let row = rows.iter().find(|r| r.depth == depth).expect("depth exists");
+            let p_total = p_n0 + p_n1;
+            let total = row.n0 + row.n1;
+            assert!(
+                (total - p_total).abs() / p_total < 0.25,
+                "depth {depth}: {total:.0} leaves vs paper {p_total:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_leaves_beyond_truncation() {
+        let rows = run(&cfg());
+        assert!(rows.iter().all(|r| r.depth <= PAPER_MAX_DEPTH));
+    }
+
+    #[test]
+    fn table_renders_with_paper_column() {
+        let t = table(&ExperimentConfig::quick());
+        let s = t.render();
+        assert!(s.contains("paper (n0 / n1 / occ)"));
+        assert!(s.contains("newborn-population occupancy"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Fagin et al.'s statistical predictions for extendible hashing.
+//!
+//! The 1979 TODS analysis predicts, for `n` uniformly hashed keys and
+//! bucket capacity `b`:
+//!
+//! * expected number of buckets `≈ n / (b·ln 2)`, hence storage
+//!   utilization oscillating around `ln 2 ≈ 0.6931`;
+//! * the oscillation ("higher terms in a Fourier series expansion", as the
+//!   population-analysis paper puts it) is periodic in `log₂ n` and does
+//!   not damp — the phenomenon the population-analysis paper names
+//!   *phasing* and derives for quadtrees with period `log₄ n`.
+//!
+//! These closed forms are the baseline the `exthash` experiment compares
+//! measurements against.
+
+/// Asymptotic expected storage utilization, `ln 2`.
+pub fn expected_utilization() -> f64 {
+    std::f64::consts::LN_2
+}
+
+/// Asymptotic expected number of buckets for `n` keys at capacity `b`.
+pub fn expected_bucket_count(n: usize, bucket_capacity: usize) -> f64 {
+    assert!(bucket_capacity > 0, "bucket capacity must be positive");
+    n as f64 / (bucket_capacity as f64 * std::f64::consts::LN_2)
+}
+
+/// Asymptotic expected directory size for `n` keys at capacity `b`:
+/// Flajolet's refinement gives directory size `≈ (e/(b ln 2)) ·
+/// n^{1 + 1/b}` up to oscillation; this returns that leading form. It
+/// over-counts for small `n` — use it for trends, not point predictions.
+pub fn expected_directory_size(n: usize, bucket_capacity: usize) -> f64 {
+    assert!(bucket_capacity > 0, "bucket capacity must be positive");
+    let b = bucket_capacity as f64;
+    (std::f64::consts::E / (b * std::f64::consts::LN_2)) * (n as f64).powf(1.0 + 1.0 / b)
+}
+
+/// The phasing period of extendible hashing on a geometric size ladder:
+/// utilization repeats every doubling of `n`, i.e. every
+/// `log(2)/log(step)` samples when `n` grows by `step` per sample.
+pub fn phasing_period_in_steps(step: f64) -> f64 {
+    assert!(step > 1.0, "ladder step must exceed 1");
+    std::f64::consts::LN_2 / step.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExtendibleHashTable;
+
+    #[test]
+    fn utilization_constant_is_ln2() {
+        assert_eq!(expected_utilization(), std::f64::consts::LN_2);
+        assert!(expected_utilization() > 0.69 && expected_utilization() < 0.70);
+    }
+
+    #[test]
+    fn bucket_count_formula() {
+        // 1000 keys, b = 4: 1000/(4·0.6931) ≈ 360.7.
+        let e = expected_bucket_count(1000, 4);
+        assert!((e - 360.67).abs() < 0.1, "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bucket_count_rejects_zero_capacity() {
+        expected_bucket_count(10, 0);
+    }
+
+    #[test]
+    fn phasing_period_doubling_ladder() {
+        // On a ×√2 ladder, utilization repeats every 2 samples.
+        assert!((phasing_period_in_steps(2f64.sqrt()) - 2.0).abs() < 1e-12);
+        // On a ×2 ladder, every sample.
+        assert!((phasing_period_in_steps(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_bucket_count_matches_prediction_within_oscillation() {
+        // Build a real table and compare. The oscillation keeps measured
+        // utilization within roughly ±10% of ln 2.
+        for &n in &[4096usize, 10_000, 30_000] {
+            let mut t = ExtendibleHashTable::new(8).unwrap();
+            for k in 0..n as u64 {
+                t.insert(k);
+            }
+            let predicted = expected_bucket_count(n, 8);
+            let measured = t.bucket_count() as f64;
+            let ratio = measured / predicted;
+            assert!(
+                (0.85..=1.20).contains(&ratio),
+                "n={n}: measured {measured} vs predicted {predicted:.1} (ratio {ratio:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn directory_size_grows_superlinearly() {
+        let small = expected_directory_size(1000, 4);
+        let large = expected_directory_size(2000, 4);
+        // n^{1.25}: doubling n grows the directory by 2^{1.25} ≈ 2.38.
+        assert!((large / small - 2f64.powf(1.25)).abs() < 1e-9);
+    }
+}

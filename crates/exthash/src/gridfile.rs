@@ -1,0 +1,600 @@
+//! The grid file (Nievergelt, Hinterberger & Sevcik, TODS 1984).
+//!
+//! The paper's §I names the grid file as a member of the hierarchical
+//! family ("grid files \[Niev84\]"), and §II notes its splitting principle
+//! is the one the generalized PR quadtree shares. The grid file organizes
+//! points with:
+//!
+//! * two *linear scales* — sorted split positions per axis, defining a
+//!   grid of cells;
+//! * a *directory* mapping each cell to a data bucket, where a bucket may
+//!   serve a rectangular *region* of cells;
+//! * fixed-capacity buckets.
+//!
+//! An overflowing bucket whose region spans several cells splits its
+//! region (no directory growth); one whose region is a single cell forces
+//! a new split line across the whole axis (directory grows by one row or
+//! column), after which the region split applies. This implementation
+//! follows that textbook algorithm with midpoint splits and keeps every
+//! bucket region rectangular — the grid file's signature invariant.
+
+use crate::HashError;
+use popan_geom::{Point2, Rect};
+
+/// Cap on splits per axis; beyond it buckets overflow in place (guards
+/// against coincident-point pathologies, like the quadtree's depth cap).
+pub const MAX_SCALES_PER_AXIS: usize = 4096;
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Cell region `[cx0, cx1) × [cy0, cy1)` this bucket serves.
+    cx0: usize,
+    cx1: usize,
+    cy0: usize,
+    cy1: usize,
+    points: Vec<Point2>,
+}
+
+impl Bucket {
+    fn cell_span(&self) -> (usize, usize) {
+        (self.cx1 - self.cx0, self.cy1 - self.cy0)
+    }
+}
+
+/// A grid file over a rectangular region with fixed-capacity buckets.
+#[derive(Debug, Clone)]
+pub struct GridFile {
+    region: Rect,
+    /// Interior split positions per axis, sorted ascending.
+    x_scale: Vec<f64>,
+    y_scale: Vec<f64>,
+    /// `directory[cy * nx + cx]` = bucket index for cell `(cx, cy)`.
+    directory: Vec<usize>,
+    buckets: Vec<Bucket>,
+    bucket_capacity: usize,
+    len: usize,
+}
+
+impl GridFile {
+    /// Creates an empty grid file over `region`.
+    pub fn new(region: Rect, bucket_capacity: usize) -> Result<Self, HashError> {
+        if bucket_capacity == 0 {
+            return Err(HashError::InvalidParameter(
+                "bucket capacity must be at least 1",
+            ));
+        }
+        Ok(GridFile {
+            region,
+            x_scale: Vec::new(),
+            y_scale: Vec::new(),
+            directory: vec![0],
+            buckets: vec![Bucket {
+                cx0: 0,
+                cx1: 1,
+                cy0: 0,
+                cy1: 1,
+                points: Vec::new(),
+            }],
+            bucket_capacity,
+            len: 0,
+        })
+    }
+
+    /// The covered region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Stored point count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grid width in cells (`x` splits + 1).
+    pub fn nx(&self) -> usize {
+        self.x_scale.len() + 1
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.y_scale.len() + 1
+    }
+
+    /// Directory size in cells.
+    pub fn cell_count(&self) -> usize {
+        self.nx() * self.ny()
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Storage utilization `n / (buckets · b)`.
+    pub fn utilization(&self) -> f64 {
+        self.len as f64 / (self.buckets.len() * self.bucket_capacity) as f64
+    }
+
+    /// Cell column of coordinate `x` (count of splits ≤ x).
+    fn col_of(&self, x: f64) -> usize {
+        self.x_scale.partition_point(|&s| s <= x)
+    }
+
+    fn row_of(&self, y: f64) -> usize {
+        self.y_scale.partition_point(|&s| s <= y)
+    }
+
+    fn cell_of(&self, p: &Point2) -> (usize, usize) {
+        (self.col_of(p.x), self.row_of(p.y))
+    }
+
+    fn bucket_of_cell(&self, cx: usize, cy: usize) -> usize {
+        self.directory[cy * self.nx() + cx]
+    }
+
+    /// The coordinate interval of cell column `cx`: `[lo, hi)`.
+    fn col_bounds(&self, cx: usize) -> (f64, f64) {
+        let lo = if cx == 0 {
+            self.region.x().lo()
+        } else {
+            self.x_scale[cx - 1]
+        };
+        let hi = if cx == self.x_scale.len() {
+            self.region.x().hi()
+        } else {
+            self.x_scale[cx]
+        };
+        (lo, hi)
+    }
+
+    fn row_bounds(&self, cy: usize) -> (f64, f64) {
+        let lo = if cy == 0 {
+            self.region.y().lo()
+        } else {
+            self.y_scale[cy - 1]
+        };
+        let hi = if cy == self.y_scale.len() {
+            self.region.y().hi()
+        } else {
+            self.y_scale[cy]
+        };
+        (lo, hi)
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &Point2) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        let (cx, cy) = self.cell_of(p);
+        self.buckets[self.bucket_of_cell(cx, cy)].points.contains(p)
+    }
+
+    /// Inserts a point (multiset semantics).
+    pub fn insert(&mut self, p: Point2) -> Result<(), HashError> {
+        if !p.is_finite() || !self.region.contains(&p) {
+            return Err(HashError::InvalidParameter(
+                "point must be finite and inside the region",
+            ));
+        }
+        loop {
+            let (cx, cy) = self.cell_of(&p);
+            let bi = self.bucket_of_cell(cx, cy);
+            if self.buckets[bi].points.len() < self.bucket_capacity {
+                self.buckets[bi].points.push(p);
+                self.len += 1;
+                return Ok(());
+            }
+            if !self.make_room(bi) {
+                // Unsplittable (coincident pile or scale cap): overflow.
+                self.buckets[bi].points.push(p);
+                self.len += 1;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Tries to create room in bucket `bi`: region split if it spans
+    /// several cells, otherwise a new scale line followed by the region
+    /// split. Returns `false` when no progress is possible.
+    fn make_room(&mut self, bi: usize) -> bool {
+        let (span_x, span_y) = self.buckets[bi].cell_span();
+        if span_x <= 1 && span_y <= 1 {
+            // Single-cell region: refine the grid first.
+            if !self.refine_cell(bi) {
+                return false;
+            }
+        }
+        self.split_bucket_region(bi);
+        true
+    }
+
+    /// Adds a scale line through bucket `bi`'s single cell, choosing the
+    /// axis whose coordinate extent is larger. Returns `false` when the
+    /// bucket's points cannot be separated or the scale cap is reached.
+    fn refine_cell(&mut self, bi: usize) -> bool {
+        let b = &self.buckets[bi];
+        let (x_lo, x_hi) = self.col_bounds(b.cx0);
+        let (y_lo, y_hi) = self.row_bounds(b.cy0);
+        // A pile of coincident points can never be separated.
+        let first = b.points[0];
+        if b.points.iter().all(|q| *q == first) {
+            return false;
+        }
+        let split_x = (x_hi - x_lo) >= (y_hi - y_lo);
+        if split_x {
+            if self.x_scale.len() >= MAX_SCALES_PER_AXIS {
+                return false;
+            }
+            let mid = x_lo + (x_hi - x_lo) / 2.0;
+            if mid <= x_lo || mid >= x_hi {
+                return false; // interval exhausted f64 resolution
+            }
+            self.insert_x_scale(self.buckets[bi].cx0, mid);
+        } else {
+            if self.y_scale.len() >= MAX_SCALES_PER_AXIS {
+                return false;
+            }
+            let mid = y_lo + (y_hi - y_lo) / 2.0;
+            if mid <= y_lo || mid >= y_hi {
+                return false;
+            }
+            self.insert_y_scale(self.buckets[bi].cy0, mid);
+        }
+        true
+    }
+
+    /// Inserts a vertical split after column `col` at position `value`:
+    /// column `col` becomes columns `col` and `col + 1`.
+    fn insert_x_scale(&mut self, col: usize, value: f64) {
+        self.x_scale.insert(col, value);
+        for b in &mut self.buckets {
+            if b.cx0 > col {
+                b.cx0 += 1;
+            }
+            if b.cx1 > col {
+                b.cx1 += 1;
+            }
+        }
+        self.rebuild_directory();
+    }
+
+    fn insert_y_scale(&mut self, row: usize, value: f64) {
+        self.y_scale.insert(row, value);
+        for b in &mut self.buckets {
+            if b.cy0 > row {
+                b.cy0 += 1;
+            }
+            if b.cy1 > row {
+                b.cy1 += 1;
+            }
+        }
+        self.rebuild_directory();
+    }
+
+    /// Splits bucket `bi`'s multi-cell region in half along its wider
+    /// axis (in cells), creating a sibling bucket and redistributing
+    /// points geometrically.
+    fn split_bucket_region(&mut self, bi: usize) {
+        let (span_x, span_y) = self.buckets[bi].cell_span();
+        debug_assert!(span_x > 1 || span_y > 1, "region must be splittable");
+        let old = &self.buckets[bi];
+        let split_on_x = span_x >= span_y;
+        let mut sibling = Bucket {
+            cx0: old.cx0,
+            cx1: old.cx1,
+            cy0: old.cy0,
+            cy1: old.cy1,
+            points: Vec::new(),
+        };
+        let (boundary_col, boundary_row);
+        if split_on_x {
+            let mid = old.cx0 + span_x / 2;
+            sibling.cx0 = mid;
+            boundary_col = mid;
+            boundary_row = usize::MAX;
+        } else {
+            let mid = old.cy0 + span_y / 2;
+            sibling.cy0 = mid;
+            boundary_col = usize::MAX;
+            boundary_row = mid;
+        }
+        // Redistribute points: those at/right of the boundary move.
+        let pts = std::mem::take(&mut self.buckets[bi].points);
+        let (stay, go): (Vec<Point2>, Vec<Point2>) = pts.into_iter().partition(|p| {
+            if split_on_x {
+                self.col_of(p.x) < boundary_col
+            } else {
+                self.row_of(p.y) < boundary_row
+            }
+        });
+        if split_on_x {
+            self.buckets[bi].cx1 = boundary_col;
+        } else {
+            self.buckets[bi].cy1 = boundary_row;
+        }
+        self.buckets[bi].points = stay;
+        sibling.points = go;
+        self.buckets.push(sibling);
+        self.rebuild_directory();
+    }
+
+    /// Rewrites the cell → bucket map from the bucket regions.
+    fn rebuild_directory(&mut self) {
+        let nx = self.nx();
+        let ny = self.ny();
+        self.directory = vec![usize::MAX; nx * ny];
+        for (i, b) in self.buckets.iter().enumerate() {
+            for cy in b.cy0..b.cy1 {
+                for cx in b.cx0..b.cx1 {
+                    debug_assert_eq!(
+                        self.directory[cy * nx + cx],
+                        usize::MAX,
+                        "bucket regions must not overlap"
+                    );
+                    self.directory[cy * nx + cx] = i;
+                }
+            }
+        }
+        debug_assert!(
+            self.directory.iter().all(|&b| b != usize::MAX),
+            "bucket regions must tile the grid"
+        );
+    }
+
+    /// All points within `query`.
+    pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
+        let mut out = Vec::new();
+        if !self.region.overlaps(query) {
+            return out;
+        }
+        // Candidate buckets: those whose cell-region bounding box
+        // overlaps the query's cell range.
+        let cx_lo = self.col_of(query.x().lo().max(self.region.x().lo()));
+        let cx_hi = self.col_of(
+            (query.x().hi() - f64::EPSILON).min(self.region.x().hi() - f64::EPSILON),
+        );
+        let cy_lo = self.row_of(query.y().lo().max(self.region.y().lo()));
+        let cy_hi = self.row_of(
+            (query.y().hi() - f64::EPSILON).min(self.region.y().hi() - f64::EPSILON),
+        );
+        let mut seen = vec![false; self.buckets.len()];
+        for cy in cy_lo..=cy_hi.min(self.ny() - 1) {
+            for cx in cx_lo..=cx_hi.min(self.nx() - 1) {
+                let bi = self.bucket_of_cell(cx, cy);
+                if seen[bi] {
+                    continue;
+                }
+                seen[bi] = true;
+                out.extend(
+                    self.buckets[bi]
+                        .points
+                        .iter()
+                        .filter(|p| query.contains(p))
+                        .copied(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Verifies structural invariants; panics on violation.
+    pub fn check_invariants(&self) {
+        // Scales sorted strictly inside the region.
+        for w in self.x_scale.windows(2) {
+            assert!(w[0] < w[1], "x scale must be strictly increasing");
+        }
+        for w in self.y_scale.windows(2) {
+            assert!(w[0] < w[1], "y scale must be strictly increasing");
+        }
+        // Regions tile the grid (rebuild_directory asserts in debug; do
+        // it unconditionally here).
+        let nx = self.nx();
+        let mut coverage = vec![0u32; self.cell_count()];
+        for b in &self.buckets {
+            assert!(b.cx0 < b.cx1 && b.cy0 < b.cy1, "empty bucket region");
+            assert!(b.cx1 <= nx && b.cy1 <= self.ny(), "region out of grid");
+            for cy in b.cy0..b.cy1 {
+                for cx in b.cx0..b.cx1 {
+                    coverage[cy * nx + cx] += 1;
+                }
+            }
+        }
+        assert!(
+            coverage.iter().all(|&c| c == 1),
+            "bucket regions must tile the grid exactly once"
+        );
+        // Every point lies in its bucket's geometric region, counts agree.
+        let mut total = 0;
+        for b in &self.buckets {
+            total += b.points.len();
+            let (x_lo, _) = self.col_bounds(b.cx0);
+            let (_, x_hi) = self.col_bounds(b.cx1 - 1);
+            let (y_lo, _) = self.row_bounds(b.cy0);
+            let (_, y_hi) = self.row_bounds(b.cy1 - 1);
+            for p in &b.points {
+                assert!(
+                    p.x >= x_lo && p.x < x_hi && p.y >= y_lo && p.y < y_hi,
+                    "point {p} outside its bucket region"
+                );
+            }
+        }
+        assert_eq!(total, self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_workload::points::{PointSource, UniformRect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn empty_grid_file() {
+        let g = GridFile::new(Rect::unit(), 2).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.cell_count(), 1);
+        assert_eq!(g.bucket_count(), 1);
+        assert!(!g.contains(&pt(0.5, 0.5)));
+        g.check_invariants();
+        assert!(GridFile::new(Rect::unit(), 0).is_err());
+    }
+
+    #[test]
+    fn insert_and_lookup_with_splitting() {
+        let mut g = GridFile::new(Rect::unit(), 2).unwrap();
+        let points = [
+            pt(0.1, 0.1),
+            pt(0.9, 0.1),
+            pt(0.1, 0.9),
+            pt(0.9, 0.9),
+            pt(0.5, 0.5),
+            pt(0.3, 0.7),
+        ];
+        for p in points {
+            g.insert(p).unwrap();
+            g.check_invariants();
+        }
+        assert_eq!(g.len(), 6);
+        for p in points {
+            assert!(g.contains(&p), "{p}");
+        }
+        assert!(!g.contains(&pt(0.2, 0.2)));
+        assert!(g.bucket_count() > 1, "6 points at b=2 must split");
+    }
+
+    #[test]
+    fn rejects_out_of_region() {
+        let mut g = GridFile::new(Rect::unit(), 2).unwrap();
+        assert!(g.insert(pt(1.5, 0.5)).is_err());
+        assert!(g.insert(pt(f64::NAN, 0.5)).is_err());
+    }
+
+    #[test]
+    fn coincident_points_overflow_in_place() {
+        let mut g = GridFile::new(Rect::unit(), 1).unwrap();
+        for _ in 0..5 {
+            g.insert(pt(0.25, 0.75)).unwrap();
+        }
+        assert_eq!(g.len(), 5);
+        g.check_invariants();
+        assert_eq!(g.bucket_count(), 1);
+    }
+
+    #[test]
+    fn random_build_invariants_and_lookup() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let points = UniformRect::unit().sample_n(&mut rng, 800);
+        let mut g = GridFile::new(Rect::unit(), 4).unwrap();
+        for p in &points {
+            g.insert(*p).unwrap();
+        }
+        g.check_invariants();
+        assert_eq!(g.len(), 800);
+        for p in &points {
+            assert!(g.contains(p));
+        }
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let points = UniformRect::unit().sample_n(&mut rng, 500);
+        let mut g = GridFile::new(Rect::unit(), 4).unwrap();
+        for p in &points {
+            g.insert(*p).unwrap();
+        }
+        for query in [
+            Rect::from_bounds(0.2, 0.1, 0.7, 0.8),
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Rect::from_bounds(0.45, 0.45, 0.55, 0.55),
+        ] {
+            let mut got = g.range_query(&query);
+            let mut expect: Vec<Point2> =
+                points.iter().filter(|p| query.contains(p)).copied().collect();
+            let key = |p: &Point2| (p.x, p.y);
+            got.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+            expect.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+            assert_eq!(got, expect, "{query}");
+        }
+    }
+
+    #[test]
+    fn utilization_is_healthy_for_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut g = GridFile::new(Rect::unit(), 8).unwrap();
+        for p in UniformRect::unit().sample_n(&mut rng, 10_000) {
+            g.insert(p).unwrap();
+        }
+        g.check_invariants();
+        let u = g.utilization();
+        // Grid-file utilization for uniform data sits in the 0.5–0.75
+        // band (Nievergelt et al. report ≈ 69% for the two-bucket split).
+        assert!((0.45..=0.8).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn directory_stays_moderate_for_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut g = GridFile::new(Rect::unit(), 8).unwrap();
+        for p in UniformRect::unit().sample_n(&mut rng, 4000) {
+            g.insert(p).unwrap();
+        }
+        // nx·ny cells vs buckets: super-linear but tame on uniform data.
+        assert!(
+            g.cell_count() < 30 * g.bucket_count(),
+            "{} cells for {} buckets",
+            g.cell_count(),
+            g.bucket_count()
+        );
+    }
+
+    #[test]
+    fn scales_partition_both_axes() {
+        let mut g = GridFile::new(Rect::from_bounds(-4.0, 10.0, 4.0, 20.0), 1).unwrap();
+        for i in 0..40 {
+            let f = i as f64 / 40.0;
+            g.insert(pt(-4.0 + 8.0 * f, 10.0 + 10.0 * ((f * 3.7) % 1.0)))
+                .unwrap();
+        }
+        g.check_invariants();
+        assert!(g.nx() > 1, "x axis must have split");
+        assert!(g.ny() > 1, "y axis must have split");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn invariants_hold_and_all_points_findable(
+            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120),
+            capacity in 1usize..5,
+        ) {
+            let mut g = GridFile::new(Rect::unit(), capacity).unwrap();
+            for &(x, y) in &raw {
+                g.insert(Point2::new(x, y)).unwrap();
+            }
+            g.check_invariants();
+            prop_assert_eq!(g.len(), raw.len());
+            for &(x, y) in &raw {
+                prop_assert!(g.contains(&Point2::new(x, y)));
+            }
+        }
+    }
+}

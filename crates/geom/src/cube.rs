@@ -1,0 +1,203 @@
+//! Axis-aligned 3-D boxes with regular octant decomposition.
+//!
+//! [`Aabb3`] is the block of a PR octree — the paper notes its method
+//! applies unchanged "in the case of octrees and higher dimensional data
+//! structures" (branching factor 8 instead of 4), and the `dims`
+//! validation experiment exercises exactly that.
+
+use crate::interval::Interval;
+use crate::point::Point3;
+use std::fmt;
+
+/// One of the eight octants of a split box. The index is a 3-bit code:
+/// bit 0 = x half, bit 1 = y half, bit 2 = z half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Octant(u8);
+
+impl Octant {
+    /// Creates an octant from an index in `0..8`.
+    pub fn from_index(i: usize) -> Octant {
+        assert!(i < 8, "octant index {i} out of range");
+        Octant(i as u8)
+    }
+
+    /// The octant's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All eight octants in index order.
+    pub fn all() -> impl Iterator<Item = Octant> {
+        (0..8).map(Octant::from_index)
+    }
+}
+
+impl fmt::Display for Octant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// An axis-aligned box, half-open on all three axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb3 {
+    x: Interval,
+    y: Interval,
+    z: Interval,
+}
+
+impl Aabb3 {
+    /// Creates a box from three half-open intervals.
+    pub fn new(x: Interval, y: Interval, z: Interval) -> Self {
+        Aabb3 { x, y, z }
+    }
+
+    /// The unit cube `[0, 1)³`.
+    pub fn unit() -> Self {
+        Aabb3::new(Interval::unit(), Interval::unit(), Interval::unit())
+    }
+
+    /// X interval.
+    pub fn x(&self) -> Interval {
+        self.x
+    }
+
+    /// Y interval.
+    pub fn y(&self) -> Interval {
+        self.y
+    }
+
+    /// Z interval.
+    pub fn z(&self) -> Interval {
+        self.z
+    }
+
+    /// Volume.
+    pub fn volume(&self) -> f64 {
+        self.x.length() * self.y.length() * self.z.length()
+    }
+
+    /// Half-open containment.
+    pub fn contains(&self, p: &Point3) -> bool {
+        self.x.contains(p.x) && self.y.contains(p.y) && self.z.contains(p.z)
+    }
+
+    /// The octant of this box containing `p` (debug-asserted containment).
+    pub fn octant_of(&self, p: &Point3) -> Octant {
+        debug_assert!(self.contains(p), "octant_of: point outside box");
+        let xi = usize::from(p.x >= self.x.mid());
+        let yi = usize::from(p.y >= self.y.mid());
+        let zi = usize::from(p.z >= self.z.mid());
+        Octant::from_index(zi * 4 + yi * 2 + xi)
+    }
+
+    /// A single child octant as a box.
+    pub fn octant(&self, o: Octant) -> Aabb3 {
+        let i = o.index();
+        let [xl, xh] = self.x.split();
+        let [yl, yh] = self.y.split();
+        let [zl, zh] = self.z.split();
+        Aabb3::new(
+            if i & 1 == 0 { xl } else { xh },
+            if i & 2 == 0 { yl } else { yh },
+            if i & 4 == 0 { zl } else { zh },
+        )
+    }
+
+    /// All eight octants in index order.
+    pub fn octants(&self) -> Vec<Aabb3> {
+        Octant::all().map(|o| self.octant(o)).collect()
+    }
+}
+
+impl fmt::Display for Aabb3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}×{}", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_containment() {
+        let b = Aabb3::unit();
+        assert_eq!(b.volume(), 1.0);
+        assert!(b.contains(&Point3::new(0.0, 0.0, 0.0)));
+        assert!(!b.contains(&Point3::new(1.0, 0.5, 0.5)));
+        assert!(!b.contains(&Point3::new(0.5, 0.5, -0.1)));
+    }
+
+    #[test]
+    fn octants_tile_parent() {
+        let b = Aabb3::unit();
+        let os = b.octants();
+        assert_eq!(os.len(), 8);
+        let total: f64 = os.iter().map(Aabb3::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_of_matches_octant_box() {
+        let b = Aabb3::unit();
+        let samples = [
+            Point3::new(0.1, 0.1, 0.1),
+            Point3::new(0.9, 0.1, 0.1),
+            Point3::new(0.1, 0.9, 0.1),
+            Point3::new(0.1, 0.1, 0.9),
+            Point3::new(0.9, 0.9, 0.9),
+            Point3::new(0.5, 0.5, 0.5), // midpoint goes to upper halves
+        ];
+        for p in samples {
+            let o = b.octant_of(&p);
+            assert!(b.octant(o).contains(&p), "{p}");
+            // Exactly one octant contains it.
+            let hits = Octant::all().filter(|&o| b.octant(o).contains(&p)).count();
+            assert_eq!(hits, 1, "{p}");
+        }
+    }
+
+    #[test]
+    fn octant_index_round_trips() {
+        for o in Octant::all() {
+            assert_eq!(Octant::from_index(o.index()), o);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn octant_index_bounds() {
+        Octant::from_index(8);
+    }
+
+    #[test]
+    fn midpoint_goes_to_upper_octant() {
+        let b = Aabb3::unit();
+        assert_eq!(b.octant_of(&Point3::new(0.5, 0.5, 0.5)).index(), 7);
+        assert_eq!(b.octant_of(&Point3::new(0.5, 0.0, 0.0)).index(), 1);
+        assert_eq!(b.octant_of(&Point3::new(0.0, 0.5, 0.0)).index(), 2);
+        assert_eq!(b.octant_of(&Point3::new(0.0, 0.0, 0.5)).index(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn contained_point_in_exactly_one_octant(
+            x in 0.0f64..1.0,
+            y in 0.0f64..1.0,
+            z in 0.0f64..1.0,
+        ) {
+            let b = Aabb3::unit();
+            let p = Point3::new(x, y, z);
+            prop_assume!(b.contains(&p));
+            let hits = Octant::all().filter(|&o| b.octant(o).contains(&p)).count();
+            prop_assert_eq!(hits, 1);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Approximate floating-point comparisons, made explicit.
+//!
+//! Geometry code that compares `f64` implicitly is a bug factory; these
+//! helpers make tolerance choices visible at call sites.
+
+/// Default absolute tolerance for geometric predicates.
+pub const DEFAULT_EPS: f64 = 1e-12;
+
+/// `true` when `a` and `b` differ by at most `eps` absolutely.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// `true` when `a` and `b` differ by at most [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_eq_default(a: f64, b: f64) -> bool {
+    approx_eq(a, b, DEFAULT_EPS)
+}
+
+/// `true` when `a ≤ b + eps`.
+#[inline]
+pub fn approx_le(a: f64, b: f64, eps: f64) -> bool {
+    a <= b + eps
+}
+
+/// `true` when `a ≥ b − eps`.
+#[inline]
+pub fn approx_ge(a: f64, b: f64, eps: f64) -> bool {
+    a >= b - eps
+}
+
+/// Clamps `v` into `[lo, hi]`.
+#[inline]
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    v.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6, 1e-12));
+        assert!(approx_eq_default(0.1 + 0.2, 0.3));
+    }
+
+    #[test]
+    fn approx_inequalities() {
+        assert!(approx_le(1.0 + 1e-13, 1.0, 1e-12));
+        assert!(!approx_le(1.1, 1.0, 1e-12));
+        assert!(approx_ge(1.0 - 1e-13, 1.0, 1e-12));
+        assert!(!approx_ge(0.9, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Z-order (Morton) codes.
+//!
+//! A Morton code interleaves the bits of quantized coordinates, linearizing
+//! the quadtree's regular decomposition: two points share a length-`2k`
+//! Morton prefix exactly when they fall in the same depth-`k` quadtree
+//! block. The spatial tests use this duality to cross-check block
+//! addressing, and the workload tooling uses it for deterministic
+//! space-filling orderings.
+
+use crate::point::Point2;
+use crate::rect::Rect;
+
+/// Number of bits per coordinate in a [`morton2`] code.
+pub const MORTON_BITS: u32 = 31;
+
+/// Spreads the low 31 bits of `v` so bit `i` moves to bit `2i`.
+fn spread_bits(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x7fff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Collapses bits at even positions back into a compact integer.
+fn compact_bits(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x as u32
+}
+
+/// Interleaves two 31-bit integers into a Morton code (x in even bits).
+pub fn morton2(x: u32, y: u32) -> u64 {
+    spread_bits(x) | (spread_bits(y) << 1)
+}
+
+/// Inverse of [`morton2`].
+pub fn demorton2(code: u64) -> (u32, u32) {
+    (compact_bits(code), compact_bits(code >> 1))
+}
+
+/// Quantizes a point in `rect` to a Morton code with [`MORTON_BITS`] bits
+/// per axis. Callers must ensure `rect.contains(p)` (debug-asserted).
+pub fn morton_of_point(p: &Point2, rect: &Rect) -> u64 {
+    debug_assert!(rect.contains(p), "morton_of_point: point outside rect");
+    let scale = (1u64 << MORTON_BITS) as f64;
+    let fx = (p.x - rect.x().lo()) / rect.width();
+    let fy = (p.y - rect.y().lo()) / rect.height();
+    let qx = ((fx * scale) as u32).min((1 << MORTON_BITS) - 1);
+    let qy = ((fy * scale) as u32).min((1 << MORTON_BITS) - 1);
+    morton2(qx, qy)
+}
+
+/// The depth-`k` quadtree block id of a Morton code: its top `2k` bits.
+///
+/// Two points are in the same depth-`k` block of the regular decomposition
+/// of `rect` iff their codes agree on this prefix.
+pub fn block_id_at_depth(code: u64, depth: u32) -> u64 {
+    assert!(depth <= MORTON_BITS, "depth {depth} exceeds {MORTON_BITS}");
+    if depth == 0 {
+        0
+    } else {
+        code >> (2 * (MORTON_BITS - depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_round_trips() {
+        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (12345, 67890), (0x7fff_ffff, 0x7fff_ffff)] {
+            assert_eq!(demorton2(morton2(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn bit_interleaving_is_correct_for_small_values() {
+        // x = 0b11, y = 0b01 → code = y1 x1 y0 x0 = 0 1 1 1 = 0b0111.
+        assert_eq!(morton2(0b11, 0b01), 0b0111);
+        assert_eq!(morton2(0b01, 0b11), 0b1011);
+    }
+
+    #[test]
+    fn morton_order_is_monotone_in_each_axis_at_fixed_other() {
+        assert!(morton2(1, 0) < morton2(2, 0));
+        assert!(morton2(0, 1) < morton2(0, 2));
+    }
+
+    #[test]
+    fn point_quantization_respects_quadrants() {
+        let r = Rect::unit();
+        // Depth-1 block ids follow quadrant structure: points in the same
+        // quadrant share a depth-1 id, points in different quadrants don't.
+        let sw = morton_of_point(&Point2::new(0.1, 0.1), &r);
+        let sw2 = morton_of_point(&Point2::new(0.4, 0.4), &r);
+        let ne = morton_of_point(&Point2::new(0.9, 0.9), &r);
+        assert_eq!(block_id_at_depth(sw, 1), block_id_at_depth(sw2, 1));
+        assert_ne!(block_id_at_depth(sw, 1), block_id_at_depth(ne, 1));
+    }
+
+    #[test]
+    fn depth_zero_is_one_block() {
+        let r = Rect::unit();
+        let a = morton_of_point(&Point2::new(0.1, 0.9), &r);
+        let b = morton_of_point(&Point2::new(0.9, 0.1), &r);
+        assert_eq!(block_id_at_depth(a, 0), block_id_at_depth(b, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn depth_bound_enforced() {
+        block_id_at_depth(0, MORTON_BITS + 1);
+    }
+
+    #[test]
+    fn deeper_blocks_refine_shallower() {
+        let r = Rect::unit();
+        let c = morton_of_point(&Point2::new(0.3, 0.7), &r);
+        for depth in 1..10 {
+            let parent = block_id_at_depth(c, depth - 1);
+            let child = block_id_at_depth(c, depth);
+            assert_eq!(child >> 2, parent, "depth {depth}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn round_trip(x in 0u32..0x8000_0000, y in 0u32..0x8000_0000) {
+            prop_assert_eq!(demorton2(morton2(x, y)), (x, y));
+        }
+
+        #[test]
+        fn same_block_iff_same_prefix(
+            px in 0.0f64..1.0, py in 0.0f64..1.0,
+            qx in 0.0f64..1.0, qy in 0.0f64..1.0,
+            depth in 1u32..8,
+        ) {
+            let r = Rect::unit();
+            let p = Point2::new(px, py);
+            let q = Point2::new(qx, qy);
+            // Compute the depth-k block by walking the decomposition.
+            let mut bp = r;
+            let mut bq = r;
+            for _ in 0..depth {
+                bp = bp.quadrant(bp.quadrant_of(&p));
+                bq = bq.quadrant(bq.quadrant_of(&q));
+            }
+            let same_block_geom = bp == bq;
+            let same_block_morton = block_id_at_depth(morton_of_point(&p, &r), depth)
+                == block_id_at_depth(morton_of_point(&q, &r), depth);
+            // Quantization at 31 bits vs f64 midpoints can only disagree
+            // on points within one quantum of a split line; exclude those.
+            let quantum = 1.0 / (1u64 << MORTON_BITS) as f64 * 4.0;
+            let near_boundary = |v: f64| {
+                let scaled = v * (1u64 << depth) as f64;
+                (scaled - scaled.round()).abs() * (1.0 / (1u64 << depth) as f64) < quantum
+            };
+            prop_assume!(![px, py, qx, qy].iter().any(|&v| near_boundary(v)));
+            prop_assert_eq!(same_block_geom, same_block_morton);
+        }
+    }
+}

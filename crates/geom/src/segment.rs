@@ -1,0 +1,261 @@
+//! Line segments and segment–rectangle intersection.
+//!
+//! The PMR quadtree stores line segments; inserting a segment requires
+//! knowing which quadrants of a block it passes through. The intersection
+//! test is Liang–Barsky parametric clipping against the (closed) block
+//! boundary: a segment "is in" a block when the clipped parameter range is
+//! non-degenerate, i.e. the segment actually passes through the block's
+//! interior for a positive length, or it lies on the boundary.
+
+use crate::point::Point2;
+use crate::rect::Rect;
+use std::fmt;
+
+/// A directed line segment between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment2 {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+impl Segment2 {
+    /// Creates a segment. Panics if the endpoints coincide or are
+    /// non-finite — zero-length "segments" break quadrant classification
+    /// and indicate a generator bug.
+    pub fn new(a: Point2, b: Point2) -> Self {
+        assert!(a.is_finite() && b.is_finite(), "non-finite segment endpoint");
+        assert!(a != b, "degenerate segment: endpoints coincide at {a}");
+        Segment2 { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn eval(&self, t: f64) -> Point2 {
+        Point2::new(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+    }
+
+    /// Liang–Barsky clip of the segment's parameter interval to the closed
+    /// rectangle `[x_lo, x_hi] × [y_lo, y_hi]`.
+    ///
+    /// Returns `Some((t0, t1))` with `0 ≤ t0 ≤ t1 ≤ 1` when a portion of
+    /// the segment lies inside (or on the boundary of) the rectangle,
+    /// `None` otherwise.
+    pub fn clip_to_rect(&self, rect: &Rect) -> Option<(f64, f64)> {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let mut t0 = 0.0_f64;
+        let mut t1 = 1.0_f64;
+
+        // Each boundary contributes p·t ≤ q.
+        let checks = [
+            (-dx, self.a.x - rect.x().lo()), // x ≥ x_lo
+            (dx, rect.x().hi() - self.a.x),  // x ≤ x_hi
+            (-dy, self.a.y - rect.y().lo()), // y ≥ y_lo
+            (dy, rect.y().hi() - self.a.y),  // y ≤ y_hi
+        ];
+        for (p, q) in checks {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return None; // parallel and outside
+                }
+                continue;
+            }
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return None;
+                }
+                if r > t0 {
+                    t0 = r;
+                }
+            } else {
+                if r < t0 {
+                    return None;
+                }
+                if r < t1 {
+                    t1 = r;
+                }
+            }
+        }
+        if t0 <= t1 {
+            Some((t0, t1))
+        } else {
+            None
+        }
+    }
+
+    /// `true` when the segment passes through the rectangle's interior for
+    /// a positive length (a grazing touch at a single point does not
+    /// count — a segment touching only a block corner is not stored in
+    /// that block).
+    pub fn crosses_rect(&self, rect: &Rect) -> bool {
+        match self.clip_to_rect(rect) {
+            Some((t0, t1)) => (t1 - t0) * self.length() > 1e-12,
+            None => false,
+        }
+    }
+
+    /// The quadrants of `rect` the segment passes through (positive-length
+    /// crossings only), as indices into [`crate::rect::Quadrant::ALL`].
+    pub fn quadrants_crossed(&self, rect: &Rect) -> Vec<usize> {
+        rect.quadrants()
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| self.crosses_rect(q))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for Segment2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment2 {
+        Segment2::new(Point2::new(ax, ay), Point2::new(bx, by))
+    }
+
+    #[test]
+    fn basic_measures() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.eval(0.0), Point2::new(0.0, 0.0));
+        assert_eq!(s.eval(1.0), Point2::new(3.0, 4.0));
+        assert_eq!(s.eval(0.5), Point2::new(1.5, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate segment")]
+    fn rejects_zero_length() {
+        seg(1.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn clip_fully_inside() {
+        let r = Rect::unit();
+        let s = seg(0.25, 0.25, 0.75, 0.75);
+        assert_eq!(s.clip_to_rect(&r), Some((0.0, 1.0)));
+        assert!(s.crosses_rect(&r));
+    }
+
+    #[test]
+    fn clip_crossing_through() {
+        let r = Rect::unit();
+        let s = seg(-1.0, 0.5, 2.0, 0.5);
+        let (t0, t1) = s.clip_to_rect(&r).unwrap();
+        assert!((t0 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.crosses_rect(&r));
+    }
+
+    #[test]
+    fn clip_misses() {
+        let r = Rect::unit();
+        assert_eq!(seg(2.0, 0.0, 3.0, 1.0).clip_to_rect(&r), None);
+        assert!(!seg(2.0, 0.0, 3.0, 1.0).crosses_rect(&r));
+        // Parallel to an edge, outside.
+        assert_eq!(seg(-0.5, 2.0, 1.5, 2.0).clip_to_rect(&r), None);
+    }
+
+    #[test]
+    fn corner_graze_does_not_count_as_crossing() {
+        let r = Rect::from_bounds(0.0, 0.0, 1.0, 1.0);
+        // Passes exactly through the corner (1, 1) at a point.
+        let s = seg(0.5, 1.5, 1.5, 0.5);
+        // Clip returns a degenerate interval at the corner...
+        if let Some((t0, t1)) = s.clip_to_rect(&r) {
+            assert!((t1 - t0).abs() < 1e-12);
+        }
+        // ...which crosses_rect rejects.
+        assert!(!s.crosses_rect(&r));
+    }
+
+    #[test]
+    fn diagonal_crosses_expected_quadrants() {
+        let r = Rect::unit();
+        // Main diagonal passes through SW and NE (touches center point
+        // shared with the others only at a point).
+        let s = seg(0.01, 0.01, 0.99, 0.99);
+        let q = s.quadrants_crossed(&r);
+        assert_eq!(q, vec![0, 3]); // SW, NE
+    }
+
+    #[test]
+    fn horizontal_segment_crosses_two_lower_quadrants() {
+        let r = Rect::unit();
+        let s = seg(0.1, 0.25, 0.9, 0.25);
+        assert_eq!(s.quadrants_crossed(&r), vec![0, 1]); // SW, SE
+    }
+
+    #[test]
+    fn segment_confined_to_one_quadrant() {
+        let r = Rect::unit();
+        let s = seg(0.1, 0.6, 0.4, 0.9);
+        assert_eq!(s.quadrants_crossed(&r), vec![2]); // NW
+    }
+
+    #[test]
+    fn long_segment_crosses_three_quadrants() {
+        let r = Rect::unit();
+        // From SW up through NW into NE.
+        let s = seg(0.1, 0.1, 0.9, 0.9001);
+        let q = s.quadrants_crossed(&r);
+        assert!(q.contains(&0) && q.contains(&3));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn clip_interval_is_ordered_and_bounded(
+            ax in -2.0f64..3.0, ay in -2.0f64..3.0,
+            bx in -2.0f64..3.0, by in -2.0f64..3.0,
+        ) {
+            prop_assume!((ax, ay) != (bx, by));
+            let s = Segment2::new(Point2::new(ax, ay), Point2::new(bx, by));
+            if let Some((t0, t1)) = s.clip_to_rect(&Rect::unit()) {
+                prop_assert!((0.0..=1.0).contains(&t0));
+                prop_assert!((0.0..=1.0).contains(&t1));
+                prop_assert!(t0 <= t1);
+                // Clipped endpoints lie in the closed unit square.
+                for t in [t0, t1] {
+                    let p = s.eval(t);
+                    prop_assert!(p.x >= -1e-9 && p.x <= 1.0 + 1e-9);
+                    prop_assert!(p.y >= -1e-9 && p.y <= 1.0 + 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn segment_inside_square_crosses_at_least_one_quadrant(
+            ax in 0.0f64..1.0, ay in 0.0f64..1.0,
+            bx in 0.0f64..1.0, by in 0.0f64..1.0,
+        ) {
+            prop_assume!((ax, ay) != (bx, by));
+            let s = Segment2::new(Point2::new(ax, ay), Point2::new(bx, by));
+            prop_assume!(s.length() > 1e-6);
+            let q = s.quadrants_crossed(&Rect::unit());
+            prop_assert!(!q.is_empty());
+            prop_assert!(q.len() <= 3, "a straight segment crosses at most 3 quadrants");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Exact combinatorics for the transform-matrix formulas.
+//!
+//! The PR-quadtree split row is
+//!
+//! ```text
+//! T_{m,i} = C(m+1, i) · (b−1)^{m+1−i} / (b^m − 1)
+//! ```
+//!
+//! for branching factor `b` (4 for a quadtree). All pieces are computed
+//! exactly in `u128` for the sizes that matter (capacity `m ≲ 60`), with an
+//! `f64` fallback via log-space for larger arguments.
+
+use crate::{NumericError, Result};
+
+/// Exact binomial coefficient `C(n, k)` in `u128`.
+///
+/// Errors on overflow (which for `u128` means `n` of several dozen at
+/// minimum — far beyond any practical node capacity).
+pub fn binomial_exact(n: u64, k: u64) -> Result<u128> {
+    if k > n {
+        return Ok(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) / (i + 1) stays integral at every step because the
+        // running product of j consecutive integers is divisible by j!.
+        let num = (n - i) as u128;
+        acc = acc
+            .checked_mul(num)
+            .ok_or_else(|| NumericError::invalid(format!("binomial C({n},{k}) overflows u128")))?;
+        acc /= (i + 1) as u128;
+    }
+    Ok(acc)
+}
+
+/// Binomial coefficient as `f64` (exact when representable; log-space
+/// otherwise).
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    match binomial_exact(n, k) {
+        Ok(v) => v as f64,
+        Err(_) => {
+            if k > n {
+                return 0.0;
+            }
+            (ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)).exp()
+        }
+    }
+}
+
+/// Natural log of `n!` via Stirling's series (exact table for small `n`).
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE: [f64; 21] = [
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5040.0,
+        40320.0,
+        362880.0,
+        3628800.0,
+        39916800.0,
+        479001600.0,
+        6227020800.0,
+        87178291200.0,
+        1307674368000.0,
+        20922789888000.0,
+        355687428096000.0,
+        6402373705728000.0,
+        121645100408832000.0,
+        2432902008176640000.0,
+    ];
+    if (n as usize) < TABLE.len() {
+        return TABLE[n as usize].ln();
+    }
+    // Stirling series with the 1/(12n) and 1/(360 n^3) corrections: more
+    // than enough precision for probability ratios at n > 20.
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Binomial probability `C(n, k) p^k (1−p)^{n−k}`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(NumericError::invalid(format!(
+            "binomial probability p must be in [0,1], got {p}"
+        )));
+    }
+    if k > n {
+        return Ok(0.0);
+    }
+    // Handle the degenerate edges without 0^0 trouble.
+    if p == 0.0 {
+        return Ok(if k == 0 { 1.0 } else { 0.0 });
+    }
+    if p == 1.0 {
+        return Ok(if k == n { 1.0 } else { 0.0 });
+    }
+    Ok(binomial_f64(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32))
+}
+
+/// Integer power `base^exp` in `u128` with overflow checking.
+pub fn checked_pow_u128(base: u64, exp: u32) -> Result<u128> {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base as u128).ok_or_else(|| {
+            NumericError::invalid(format!("{base}^{exp} overflows u128"))
+        })?;
+    }
+    Ok(acc)
+}
+
+/// Expected number of buckets containing exactly `i` of `n` items thrown
+/// independently and uniformly into `b` buckets:
+///
+/// ```text
+/// P_i = b · C(n, i) (1/b)^i ((b−1)/b)^{n−i} = C(n, i) (b−1)^{n−i} / b^{n−1}
+/// ```
+///
+/// This is the paper's `P_i` with `n = m + 1`, `b = 4`.
+pub fn expected_buckets_with_count(n: u64, i: u64, b: u64) -> Result<f64> {
+    if b < 2 {
+        return Err(NumericError::invalid(format!(
+            "bucket count must be at least 2, got {b}"
+        )));
+    }
+    if i > n {
+        return Ok(0.0);
+    }
+    Ok(b as f64 * binomial_pmf(n, i, 1.0 / b as f64)?)
+}
+
+/// The full vector `(P_0, …, P_n)` of expected bucket counts for `n` items
+/// into `b` buckets. Components sum to `b`; the occupancy-weighted sum is
+/// `n` (every item lands somewhere).
+pub fn expected_bucket_count_vector(n: u64, b: u64) -> Result<Vec<f64>> {
+    (0..=n)
+        .map(|i| expected_buckets_with_count(n, i, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial_exact(0, 0).unwrap(), 1);
+        assert_eq!(binomial_exact(5, 0).unwrap(), 1);
+        assert_eq!(binomial_exact(5, 5).unwrap(), 1);
+        assert_eq!(binomial_exact(5, 2).unwrap(), 10);
+        assert_eq!(binomial_exact(9, 4).unwrap(), 126);
+        assert_eq!(binomial_exact(3, 7).unwrap(), 0);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 0..=20u64 {
+            for k in 0..=n {
+                assert_eq!(
+                    binomial_exact(n, k).unwrap(),
+                    binomial_exact(n, n - k).unwrap()
+                );
+                if n > 0 && k > 0 {
+                    assert_eq!(
+                        binomial_exact(n, k).unwrap(),
+                        binomial_exact(n - 1, k - 1).unwrap()
+                            + binomial_exact(n - 1, k).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_large_exact() {
+        // C(100, 50) is known.
+        assert_eq!(
+            binomial_exact(100, 50).unwrap(),
+            100891344545564193334812497256u128
+        );
+    }
+
+    #[test]
+    fn binomial_overflow_reported() {
+        assert!(binomial_exact(300, 150).is_err());
+        // ...but the f64 fallback still gives a sensible magnitude.
+        let v = binomial_f64(300, 150);
+        assert!(v.is_finite() && v > 1e80);
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact_values() {
+        assert!((ln_factorial(0) - 0.0).abs() < 1e-12);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        // n = 25 uses Stirling; compare against sum of logs.
+        let direct: f64 = (1..=25u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(25) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.3), (9, 0.25), (16, 0.5), (40, 0.9)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p).unwrap()).sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(5, 0, 0.0).unwrap(), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0).unwrap(), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0).unwrap(), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0).unwrap(), 0.0);
+        assert_eq!(binomial_pmf(3, 5, 0.5).unwrap(), 0.0);
+        assert!(binomial_pmf(3, 1, 1.5).is_err());
+        assert!(binomial_pmf(3, 1, -0.1).is_err());
+    }
+
+    #[test]
+    fn checked_pow_works_and_overflows() {
+        assert_eq!(checked_pow_u128(4, 0).unwrap(), 1);
+        assert_eq!(checked_pow_u128(4, 8).unwrap(), 65536);
+        assert_eq!(checked_pow_u128(2, 127).unwrap(), 1u128 << 127);
+        assert!(checked_pow_u128(2, 128).is_err());
+    }
+
+    #[test]
+    fn expected_buckets_matches_paper_m1() {
+        // Paper, m = 1 (two points into four quadrants):
+        // P_0 = 2 empty in 3/4 of cases... exact values:
+        // P_i = C(2, i) 3^{2-i} / 4^1: P_0 = 9/4, P_1 = 6/4, P_2 = 1/4.
+        let p = expected_bucket_count_vector(2, 4).unwrap();
+        assert!((p[0] - 2.25).abs() < 1e-12);
+        assert!((p[1] - 1.5).abs() < 1e-12);
+        assert!((p[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_buckets_conservation_laws() {
+        for &(n, b) in &[(2u64, 4u64), (9, 4), (5, 2), (9, 8), (17, 4)] {
+            let p = expected_bucket_count_vector(n, b).unwrap();
+            let buckets: f64 = p.iter().sum();
+            let items: f64 = p.iter().enumerate().map(|(i, v)| i as f64 * v).sum();
+            assert!((buckets - b as f64).abs() < 1e-10, "n={n} b={b}");
+            assert!((items - n as f64).abs() < 1e-10, "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn expected_buckets_rejects_degenerate_bucket_count() {
+        assert!(expected_buckets_with_count(3, 1, 1).is_err());
+        assert!(expected_buckets_with_count(3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn all_in_one_bucket_probability() {
+        // P_{m+1} in the paper is b^{-m}: the chance all m+1 points land in
+        // one particular-but-arbitrary quadrant.
+        for m in 1..8u64 {
+            let p = expected_buckets_with_count(m + 1, m + 1, 4).unwrap();
+            assert!((p - 4.0f64.powi(-(m as i32))).abs() < 1e-12, "m={m}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn binomial_exact_matches_f64(n in 0u64..60, k in 0u64..60) {
+            let exact = binomial_exact(n, k).unwrap() as f64;
+            let approx = binomial_f64(n, k);
+            prop_assert!((exact - approx).abs() <= 1e-9 * exact.max(1.0));
+        }
+
+        #[test]
+        fn pmf_is_a_distribution(n in 1u64..40, p in 0.0f64..=1.0) {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p).unwrap()).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn bucket_counts_conserve_mass(n in 1u64..40, b in 2u64..16) {
+            let v = expected_bucket_count_vector(n, b).unwrap();
+            let buckets: f64 = v.iter().sum();
+            let items: f64 = v.iter().enumerate().map(|(i, x)| i as f64 * x).sum();
+            prop_assert!((buckets - b as f64).abs() < 1e-8);
+            prop_assert!((items - n as f64).abs() < 1e-8);
+        }
+    }
+}

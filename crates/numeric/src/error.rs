@@ -1,0 +1,136 @@
+//! Error type shared by the numeric routines.
+
+use std::fmt;
+
+/// Errors produced by numeric routines.
+///
+/// The numeric layer is deliberately strict: dimension mismatches and
+/// singular systems are programming or modeling errors upstream, so they are
+/// reported rather than papered over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+        /// Short description of the operation that failed.
+        context: &'static str,
+    },
+    /// A matrix was singular (or numerically singular) during factorization.
+    SingularMatrix {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the last iterate.
+        residual: f64,
+        /// Convergence tolerance that was requested.
+        tolerance: f64,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        message: String,
+    },
+}
+
+impl NumericError {
+    /// Convenience constructor for [`NumericError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        NumericError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular (zero pivot at column {pivot})")
+            }
+            NumericError::DidNotConverge {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} steps \
+                 (residual {residual:.3e} > tolerance {tolerance:.3e})"
+            ),
+            NumericError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumericError::DimensionMismatch {
+            expected: 3,
+            actual: 4,
+            context: "dot product",
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in dot product: expected 3, got 4"
+        );
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = NumericError::SingularMatrix { pivot: 2 };
+        assert!(e.to_string().contains("singular"));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn display_did_not_converge() {
+        let e = NumericError::DidNotConverge {
+            iterations: 100,
+            residual: 1e-3,
+            tolerance: 1e-12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("1.000e-3"));
+    }
+
+    #[test]
+    fn invalid_constructor() {
+        let e = NumericError::invalid("capacity must be positive");
+        assert!(e.to_string().contains("capacity must be positive"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NumericError::SingularMatrix { pivot: 1 },
+            NumericError::SingularMatrix { pivot: 1 }
+        );
+        assert_ne!(
+            NumericError::SingularMatrix { pivot: 1 },
+            NumericError::SingularMatrix { pivot: 2 }
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Damped fixed-point iteration.
+//!
+//! The paper determines the expected distribution by iterating the
+//! insertion map until the population proportions stop changing ("The
+//! systems were solved numerically using an iterative technique which
+//! converged on the positive solution"). This module provides that
+//! iteration as a reusable, instrumented routine: given a map
+//! `g: R^n -> R^n`, find `x` with `g(x) = x`.
+
+use crate::vector::DVector;
+use crate::{NumericError, Result};
+
+/// Options controlling a fixed-point solve.
+#[derive(Debug, Clone)]
+pub struct FixedPointOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on `‖x_{k+1} − x_k‖∞`.
+    pub tolerance: f64,
+    /// Damping factor in `(0, 1]`: the update is
+    /// `x_{k+1} = (1 − damping)·x_k + damping·g(x_k)`.
+    ///
+    /// `1.0` is the raw iteration; smaller values trade speed for
+    /// robustness on stiff maps.
+    pub damping: f64,
+}
+
+impl Default for FixedPointOptions {
+    fn default() -> Self {
+        FixedPointOptions {
+            max_iterations: 10_000,
+            tolerance: 1e-14,
+            damping: 1.0,
+        }
+    }
+}
+
+/// Result of a converged fixed-point solve.
+#[derive(Debug, Clone)]
+pub struct FixedPointOutcome {
+    /// The fixed point found.
+    pub solution: DVector,
+    /// Number of iterations used.
+    pub iterations: usize,
+    /// Final update size `‖x_{k+1} − x_k‖∞`.
+    pub final_step: f64,
+}
+
+/// Iterates `g` from `start` until the update is below tolerance.
+///
+/// Errors if options are invalid, the map changes dimension, produces
+/// non-finite values, or the iteration budget is exhausted.
+pub fn solve_fixed_point<G>(
+    g: G,
+    start: &DVector,
+    options: &FixedPointOptions,
+) -> Result<FixedPointOutcome>
+where
+    G: Fn(&DVector) -> Result<DVector>,
+{
+    if options.damping.is_nan() || options.damping <= 0.0 || options.damping > 1.0 {
+        return Err(NumericError::invalid(format!(
+            "damping must be in (0, 1], got {}",
+            options.damping
+        )));
+    }
+    if options.max_iterations == 0 {
+        return Err(NumericError::invalid("max_iterations must be positive"));
+    }
+    if options.tolerance.is_nan() || options.tolerance <= 0.0 {
+        return Err(NumericError::invalid("tolerance must be positive"));
+    }
+
+    let mut x = start.clone();
+    let mut step = f64::INFINITY;
+    for k in 1..=options.max_iterations {
+        let gx = g(&x)?;
+        if gx.len() != x.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: x.len(),
+                actual: gx.len(),
+                context: "fixed-point map output",
+            });
+        }
+        if gx.iter().any(|v| !v.is_finite()) {
+            return Err(NumericError::invalid(format!(
+                "fixed-point map produced non-finite values at iteration {k}"
+            )));
+        }
+        let next = if options.damping == 1.0 {
+            gx
+        } else {
+            x.scale(1.0 - options.damping)
+                .add(&gx.scale(options.damping))?
+        };
+        step = next.max_abs_diff(&x)?;
+        x = next;
+        if step <= options.tolerance {
+            return Ok(FixedPointOutcome {
+                solution: x,
+                iterations: k,
+                final_step: step,
+            });
+        }
+    }
+    Err(NumericError::DidNotConverge {
+        iterations: options.max_iterations,
+        residual: step,
+        tolerance: options.tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> FixedPointOptions {
+        FixedPointOptions::default()
+    }
+
+    #[test]
+    fn converges_on_linear_contraction() {
+        // g(x) = 0.5 x + 1 has fixed point x = 2.
+        let g = |x: &DVector| x.scale(0.5).add(&DVector::filled(1, 1.0));
+        let out = solve_fixed_point(g, &DVector::zeros(1), &opts()).unwrap();
+        assert!((out.solution[0] - 2.0).abs() < 1e-12);
+        assert!(out.iterations > 1);
+        assert!(out.final_step <= opts().tolerance);
+    }
+
+    #[test]
+    fn converges_on_2d_map() {
+        // Babylonian square root of 2 embedded in a 2-vector.
+        let g = |x: &DVector| {
+            Ok(DVector::from_vec(vec![
+                0.5 * (x[0] + 2.0 / x[0]),
+                0.5 * (x[1] + 3.0 / x[1]),
+            ]))
+        };
+        let out =
+            solve_fixed_point(g, &DVector::from(&[1.0, 1.0][..]), &opts()).unwrap();
+        assert!((out.solution[0] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((out.solution[1] - 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_stabilizes_oscillating_map() {
+        // g(x) = -x + 2 oscillates forever undamped (period 2 around the
+        // fixed point x = 1); damping 0.5 lands on it in one step.
+        let g = |x: &DVector| x.scale(-1.0).add(&DVector::filled(1, 2.0));
+        let raw = solve_fixed_point(g, &DVector::zeros(1), &FixedPointOptions {
+            max_iterations: 50,
+            ..opts()
+        });
+        assert!(matches!(raw, Err(NumericError::DidNotConverge { .. })));
+        let damped = solve_fixed_point(g, &DVector::zeros(1), &FixedPointOptions {
+            damping: 0.5,
+            ..opts()
+        })
+        .unwrap();
+        assert!((damped.solution[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let g = |x: &DVector| Ok(x.scale(2.0)); // expanding map, fixed point 0 unstable
+        let res = solve_fixed_point(g, &DVector::filled(1, 1.0), &FixedPointOptions {
+            max_iterations: 10,
+            ..opts()
+        });
+        match res {
+            Err(NumericError::DidNotConverge { iterations, .. }) => assert_eq!(iterations, 10),
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let g = |x: &DVector| Ok(x.clone());
+        let x0 = DVector::zeros(1);
+        assert!(solve_fixed_point(g, &x0, &FixedPointOptions { damping: 0.0, ..opts() }).is_err());
+        assert!(solve_fixed_point(g, &x0, &FixedPointOptions { damping: 1.5, ..opts() }).is_err());
+        assert!(
+            solve_fixed_point(g, &x0, &FixedPointOptions { max_iterations: 0, ..opts() }).is_err()
+        );
+        assert!(
+            solve_fixed_point(g, &x0, &FixedPointOptions { tolerance: 0.0, ..opts() }).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_dimension_changing_map() {
+        let g = |_: &DVector| Ok(DVector::zeros(3));
+        let res = solve_fixed_point(g, &DVector::zeros(2), &opts());
+        assert!(matches!(res, Err(NumericError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_non_finite_map_output() {
+        let g = |_: &DVector| Ok(DVector::from(&[f64::NAN][..]));
+        let res = solve_fixed_point(g, &DVector::zeros(1), &opts());
+        assert!(matches!(res, Err(NumericError::InvalidArgument { .. })));
+    }
+
+    #[test]
+    fn immediate_fixed_point_converges_in_one_iteration() {
+        let g = |x: &DVector| Ok(x.clone());
+        let out = solve_fixed_point(g, &DVector::filled(2, 0.25), &opts()).unwrap();
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.final_step, 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Goodness-of-fit measures between distributions.
+//!
+//! The experiments compare predicted occupancy distributions against
+//! measured ones; these helpers quantify the comparison beyond eyeballing
+//! componentwise differences: Pearson's chi-square statistic (with a
+//! conservative critical-value table), KL divergence, and total variation
+//! distance.
+
+use crate::{NumericError, Result};
+
+/// Pearson chi-square statistic of observed counts against expected
+/// proportions: `Σ (O_i − E_i)² / E_i` with `E_i = N·p_i`.
+///
+/// Classes whose expected count is below `min_expected` are pooled into
+/// the following class (standard practice: the statistic misbehaves with
+/// tiny expectations). Returns `(statistic, degrees_of_freedom)`.
+pub fn chi_square(
+    observed_counts: &[f64],
+    expected_proportions: &[f64],
+    min_expected: f64,
+) -> Result<(f64, usize)> {
+    if observed_counts.len() != expected_proportions.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: expected_proportions.len(),
+            actual: observed_counts.len(),
+            context: "chi_square",
+        });
+    }
+    if observed_counts.is_empty() {
+        return Err(NumericError::invalid("chi_square of empty distributions"));
+    }
+    if observed_counts.iter().any(|&c| c < 0.0 || !c.is_finite()) {
+        return Err(NumericError::invalid("observed counts must be nonnegative"));
+    }
+    let p_sum: f64 = expected_proportions.iter().sum();
+    if (p_sum - 1.0).abs() > 1e-6 || expected_proportions.iter().any(|&p| p < 0.0) {
+        return Err(NumericError::invalid(
+            "expected proportions must be a probability vector",
+        ));
+    }
+    let n: f64 = observed_counts.iter().sum();
+    if n <= 0.0 {
+        return Err(NumericError::invalid("no observations"));
+    }
+
+    // Pool adjacent classes until every expected count is adequate.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &p) in observed_counts.iter().zip(expected_proportions) {
+        acc_o += o;
+        acc_e += n * p;
+        if acc_e >= min_expected {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        // Fold the undersized tail into the last pooled class.
+        match pooled.last_mut() {
+            Some(last) => {
+                last.0 += acc_o;
+                last.1 += acc_e;
+            }
+            None => pooled.push((acc_o, acc_e)),
+        }
+    }
+    if pooled.len() < 2 {
+        return Err(NumericError::invalid(
+            "fewer than 2 classes survive pooling; cannot test",
+        ));
+    }
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    Ok((statistic, pooled.len() - 1))
+}
+
+/// Conservative 99th-percentile critical values of the chi-square
+/// distribution for small degrees of freedom (df 1..=12), used by the
+/// experiments' sanity checks. For larger df the Wilson–Hilferty
+/// approximation is used.
+pub fn chi_square_critical_99(df: usize) -> f64 {
+    const TABLE: [f64; 12] = [
+        6.635, 9.210, 11.345, 13.277, 15.086, 16.812, 18.475, 20.090, 21.666, 23.209, 24.725,
+        26.217,
+    ];
+    if df == 0 {
+        return 0.0;
+    }
+    if df <= TABLE.len() {
+        return TABLE[df - 1];
+    }
+    // Wilson–Hilferty: X²(df) ≈ df·(1 − 2/(9df) + z·√(2/(9df)))³, z₀.₉₉ = 2.326.
+    let d = df as f64;
+    let z = 2.326;
+    d * (1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt()).powi(3)
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Components of `p`
+/// that are zero contribute zero; a zero in `q` where `p` is positive
+/// yields infinity (reported as an error — it means the model assigns
+/// zero probability to something observed).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: p.len(),
+            actual: q.len(),
+            context: "kl_divergence",
+        });
+    }
+    let mut total = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi < 0.0 || qi < 0.0 {
+            return Err(NumericError::invalid("distributions must be nonnegative"));
+        }
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return Err(NumericError::invalid(
+                "KL undefined: q assigns zero probability where p is positive",
+            ));
+        }
+        total += pi * (pi / qi).ln();
+    }
+    Ok(total)
+}
+
+/// Total variation distance `½ Σ |p_i − q_i|`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: p.len(),
+            actual: q.len(),
+            context: "total_variation",
+        });
+    }
+    Ok(0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_zero_for_perfect_fit() {
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let observed = [250.0, 250.0, 250.0, 250.0];
+        let (stat, df) = chi_square(&observed, &expected, 5.0).unwrap();
+        assert!(stat < 1e-12);
+        assert_eq!(df, 3);
+    }
+
+    #[test]
+    fn chi_square_detects_gross_mismatch() {
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let observed = [400.0, 100.0, 400.0, 100.0];
+        let (stat, df) = chi_square(&observed, &expected, 5.0).unwrap();
+        assert!(stat > chi_square_critical_99(df), "stat {stat}");
+    }
+
+    #[test]
+    fn chi_square_accepts_sampling_noise() {
+        // Counts within ~2σ of expectation should be far below critical.
+        let expected = [0.5, 0.3, 0.2];
+        let observed = [515.0, 290.0, 195.0];
+        let (stat, df) = chi_square(&observed, &expected, 5.0).unwrap();
+        assert!(stat < chi_square_critical_99(df), "stat {stat}");
+    }
+
+    #[test]
+    fn chi_square_pools_tiny_classes() {
+        // Last class expects 0.1 of 100 = 10... make one expecting < 5.
+        let expected = [0.6, 0.38, 0.02];
+        let observed = [60.0, 38.0, 2.0];
+        let (_, df) = chi_square(&observed, &expected, 5.0).unwrap();
+        // Third class pooled into the second: 2 classes → df 1.
+        assert_eq!(df, 1);
+    }
+
+    #[test]
+    fn chi_square_rejects_bad_inputs() {
+        assert!(chi_square(&[1.0], &[1.0, 0.0], 5.0).is_err());
+        assert!(chi_square(&[], &[], 5.0).is_err());
+        assert!(chi_square(&[-1.0, 2.0], &[0.5, 0.5], 5.0).is_err());
+        assert!(chi_square(&[1.0, 2.0], &[0.7, 0.7], 5.0).is_err());
+        assert!(chi_square(&[0.0, 0.0], &[0.5, 0.5], 5.0).is_err());
+    }
+
+    #[test]
+    fn critical_values_increase_with_df() {
+        let mut prev = 0.0;
+        for df in 1..30 {
+            let c = chi_square_critical_99(df);
+            assert!(c > prev, "df={df}");
+            prev = c;
+        }
+        // Spot values.
+        assert!((chi_square_critical_99(1) - 6.635).abs() < 1e-9);
+        // Wilson–Hilferty at df=20 vs true 37.57.
+        assert!((chi_square_critical_99(20) - 37.57).abs() < 0.3);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = [0.5, 0.3, 0.2];
+        assert_eq!(kl_divergence(&p, &p).unwrap(), 0.0);
+        let q = [0.4, 0.4, 0.2];
+        let d = kl_divergence(&p, &q).unwrap();
+        assert!(d > 0.0);
+        // Asymmetric.
+        assert_ne!(d, kl_divergence(&q, &p).unwrap());
+        // Zero in p is fine; zero in q where p > 0 errors.
+        assert!(kl_divergence(&[0.0, 1.0], &[0.5, 0.5]).unwrap() > 0.0);
+        assert!(kl_divergence(&[0.5, 0.5], &[0.0, 1.0]).is_err());
+        assert!(kl_divergence(&[0.5], &[0.5, 0.5]).is_err());
+        assert!(kl_divergence(&[-0.1, 1.1], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        let p = [0.5, 0.5];
+        let q = [0.0, 1.0];
+        assert_eq!(total_variation(&p, &p).unwrap(), 0.0);
+        assert_eq!(total_variation(&p, &q).unwrap(), 0.5);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]).unwrap(), 1.0);
+        assert!(total_variation(&[1.0], &[0.5, 0.5]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.01f64..1.0, n).prop_map(|v| {
+            let s: f64 = v.iter().sum();
+            v.into_iter().map(|x| x / s).collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn kl_nonnegative(p in distribution(5), q in distribution(5)) {
+            prop_assert!(kl_divergence(&p, &q).unwrap() >= -1e-12);
+        }
+
+        #[test]
+        fn tv_symmetric_and_bounded(p in distribution(6), q in distribution(6)) {
+            let d1 = total_variation(&p, &q).unwrap();
+            let d2 = total_variation(&q, &p).unwrap();
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&d1));
+        }
+
+        #[test]
+        fn chi_square_statistic_nonnegative(
+            p in distribution(5),
+            counts in proptest::collection::vec(1.0f64..500.0, 5),
+        ) {
+            let (stat, df) = chi_square(&counts, &p, 1.0).unwrap();
+            prop_assert!(stat >= 0.0);
+            prop_assert!(df >= 1);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Numeric substrate for population analysis.
+//!
+//! This crate provides everything the population-analysis core needs that a
+//! general-purpose numerical library would normally supply, implemented
+//! from scratch and tuned for the small dense problems that arise when
+//! analyzing hierarchical data structures:
+//!
+//! * [`DVector`] / [`DMatrix`] — dense, heap-allocated, `f64` vectors and
+//!   row-major matrices with the handful of operations the solvers need
+//!   (vector–matrix products, norms, scaling, elementwise ops).
+//! * [`lu`] — LU decomposition with partial pivoting, linear solves,
+//!   determinants and inverses; used by the Newton steady-state solver.
+//! * [`fixed_point`] — a generic damped fixed-point iterator with
+//!   convergence diagnostics; the paper solves its quadratic systems "using
+//!   an iterative technique which converged on the positive solution", and
+//!   this module is that technique.
+//! * [`newton`] — a damped multivariate Newton solver (analytic or
+//!   finite-difference Jacobians) used to cross-check the fixed-point
+//!   solution.
+//! * [`combinatorics`] — exact binomial coefficients, binomial and
+//!   multinomial probability mass functions. The paper's split row
+//!   `T_{m,i} = C(m+1,i) 3^{m+1-i} / (4^m - 1)` is built from these.
+//! * [`stats`] — descriptive statistics for experimental data: means,
+//!   variances, confidence intervals, histograms, percentiles.
+//! * [`series`] — analysis of experiment series: linear regression,
+//!   autocorrelation, peak finding and oscillation metrics used by the
+//!   phasing analysis (paper §IV).
+//!
+//! All numerics are deterministic: no randomness, no platform-dependent
+//! fast-math. Everything is `f64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combinatorics;
+pub mod error;
+pub mod fixed_point;
+pub mod goodness;
+pub mod lu;
+pub mod matrix;
+pub mod newton;
+pub mod series;
+pub mod stats;
+pub mod vector;
+
+pub use error::NumericError;
+pub use fixed_point::{FixedPointOptions, FixedPointOutcome, solve_fixed_point};
+pub use lu::LuDecomposition;
+pub use matrix::DMatrix;
+pub use newton::{NewtonOptions, NewtonOutcome, solve_newton};
+pub use vector::DVector;
+
+/// Result alias used throughout the numeric crate.
+pub type Result<T> = std::result::Result<T, NumericError>;

@@ -1,0 +1,309 @@
+//! LU decomposition with partial pivoting.
+//!
+//! The Newton steady-state solver needs to solve a small dense linear
+//! system per iteration (the Jacobian of the quadratic fixed-point
+//! equations bordered by the normalization constraint). Partial pivoting
+//! keeps the factorization stable for these well-scaled systems.
+
+use crate::matrix::DMatrix;
+use crate::vector::DVector;
+use crate::{NumericError, Result};
+
+/// An LU decomposition `P A = L U` of a square matrix, with partial
+/// pivoting.
+///
+/// `L` has unit diagonal and is stored (together with `U`) in a single
+/// packed matrix; `P` is kept as a permutation of row indices.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed L (strict lower, unit diagonal implied) and U (upper).
+    lu: DMatrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1.0 or -1.0) for determinants.
+    parity: f64,
+}
+
+/// Pivot threshold below which a matrix is reported singular.
+const SINGULARITY_TOL: f64 = 1e-300;
+
+impl LuDecomposition {
+    /// Factorizes `a`. Errors if `a` is not square or is singular.
+    pub fn new(a: &DMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: a.rows(),
+                actual: a.cols(),
+                context: "LU factorization (square matrix required)",
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(NumericError::invalid("cannot factorize a 0×0 matrix"));
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut parity = 1.0;
+
+        for col in 0..n {
+            // Find the pivot: largest magnitude on/below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = lu.get(r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULARITY_TOL || !pivot_val.is_finite() {
+                return Err(NumericError::SingularMatrix { pivot: col });
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = lu.get(col, c);
+                    lu.set(col, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(col, pivot_row);
+                parity = -parity;
+            }
+            let pivot = lu.get(col, col);
+            for r in (col + 1)..n {
+                let factor = lu.get(r, col) / pivot;
+                lu.set(r, col, factor);
+                for c in (col + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(col, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+
+        Ok(LuDecomposition { lu, perm, parity })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &DVector) -> Result<DVector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+                context: "LU solve",
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu.get(i, j) * yj;
+            }
+            y[i] = acc;
+        }
+        // Back substitution with U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu.get(i, j) * xj;
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(DVector::from_vec(x))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.parity;
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Inverse of the factored matrix (column-by-column solves).
+    pub fn inverse(&self) -> Result<DMatrix> {
+        let n = self.dim();
+        let mut inv = DMatrix::zeros(n, n);
+        for c in 0..n {
+            let e = DVector::basis(n, c)?;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv.set(r, c, col[r]);
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: solves `A x = b` with a one-shot factorization.
+pub fn solve_linear(a: &DMatrix, b: &DVector) -> Result<DVector> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, d: &[f64]) -> DMatrix {
+        DMatrix::from_row_major(rows, cols, d.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = DMatrix::identity(3);
+        let b = DVector::from(&[1.0, 2.0, 3.0][..]);
+        let x = solve_linear(&a, &b).unwrap();
+        assert_eq!(x.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = mat(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let b = DVector::from(&[5.0, 10.0][..]);
+        let x = solve_linear(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_with_pivoting_required() {
+        // Leading zero forces a row swap.
+        let a = mat(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let b = DVector::from(&[2.0, 7.0][..]);
+        let x = solve_linear(&a, &b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = mat(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        match LuDecomposition::new(&a) {
+            Err(NumericError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(LuDecomposition::new(&DMatrix::zeros(2, 3)).is_err());
+        assert!(LuDecomposition::new(&DMatrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_rhs() {
+        let lu = LuDecomposition::new(&DMatrix::identity(2)).unwrap();
+        assert!(lu.solve(&DVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        assert!((LuDecomposition::new(&DMatrix::identity(4)).unwrap().determinant() - 1.0).abs() < 1e-12);
+        let a = mat(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det - 5.0).abs() < 1e-12);
+        // Swapped rows flip the sign.
+        let b = mat(2, 2, &[1.0, 3.0, 2.0, 1.0]);
+        let det_b = LuDecomposition::new(&b).unwrap().determinant();
+        assert!((det_b + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = mat(
+            3,
+            3,
+            &[4.0, 2.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.0, 2.5],
+        );
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (prod.get(i, j) - expect).abs() < 1e-10,
+                    "({i},{j}) = {}",
+                    prod.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_small_for_larger_system() {
+        // Deterministic, diagonally dominant 8×8 system.
+        let n = 8;
+        let mut a = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j {
+                    10.0 + i as f64
+                } else {
+                    ((i * 7 + j * 3) % 5) as f64 * 0.25
+                };
+                a.set(i, j, v);
+            }
+        }
+        let x_true: DVector = (0..n).map(|i| (i as f64) - 3.5).collect();
+        let b = a.right_mul(&x_true).unwrap();
+        let x = solve_linear(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn well_conditioned_matrix() -> impl Strategy<Value = DMatrix> {
+        // Diagonally dominant random matrices are guaranteed nonsingular.
+        (2usize..6).prop_flat_map(|n| {
+            proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
+                for i in 0..n {
+                    data[i * n + i] = if data[i * n + i] >= 0.0 {
+                        data[i * n + i] + n as f64 + 1.0
+                    } else {
+                        data[i * n + i] - (n as f64) - 1.0
+                    };
+                }
+                DMatrix::from_row_major(n, n, data).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn solve_recovers_solution(a in well_conditioned_matrix()) {
+            let n = a.rows();
+            let x_true: DVector = (0..n).map(|i| (i as f64 * 0.7) - 1.0).collect();
+            let b = a.right_mul(&x_true).unwrap();
+            let x = solve_linear(&a, &b).unwrap();
+            prop_assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+        }
+
+        #[test]
+        fn determinant_sign_flips_under_row_swap(a in well_conditioned_matrix()) {
+            let n = a.rows();
+            let det = LuDecomposition::new(&a).unwrap().determinant();
+            // Swap first two rows.
+            let mut swapped = DMatrix::zeros(n, n);
+            for r in 0..n {
+                let src = match r { 0 => 1, 1 => 0, other => other };
+                for c in 0..n {
+                    swapped.set(r, c, a.get(src, c));
+                }
+            }
+            let det_s = LuDecomposition::new(&swapped).unwrap().determinant();
+            prop_assert!((det + det_s).abs() <= 1e-8 * det.abs().max(1.0));
+        }
+    }
+}

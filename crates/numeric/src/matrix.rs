@@ -1,0 +1,410 @@
+//! Dense row-major `f64` matrices.
+//!
+//! Population analysis works with small square transform matrices (an
+//! `(m+1) × (m+1)` matrix for node capacity `m`, where practical `m` is a
+//! few dozen at most), so [`DMatrix`] favors a checked, readable API over
+//! blocked kernels.
+
+use crate::vector::DVector;
+use crate::{NumericError, Result};
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                context: "from_row_major",
+            });
+        }
+        Ok(DMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix whose rows are the given vectors.
+    ///
+    /// This is how transform matrices are assembled: "The vectors `t_i`
+    /// form the rows of a matrix `T` called the transform matrix."
+    pub fn from_rows(rows: &[DVector]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(NumericError::invalid("from_rows requires at least one row"));
+        }
+        let cols = rows[0].len();
+        for r in rows.iter() {
+            if r.len() != cols {
+                return Err(NumericError::DimensionMismatch {
+                    expected: cols,
+                    actual: r.len(),
+                    context: "from_rows",
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r.as_slice());
+        }
+        Ok(DMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element at `(row, col)`. Panics on out-of-bounds (programming error).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows one row as a slice.
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies one row into a [`DVector`].
+    pub fn row_vector(&self, row: usize) -> DVector {
+        DVector::from(self.row(row))
+    }
+
+    /// Copies one column into a [`DVector`].
+    pub fn col_vector(&self, col: usize) -> DVector {
+        assert!(col < self.cols, "column out of bounds");
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Sum of the entries in `row`.
+    ///
+    /// For a transform matrix the row sum is the expected number of nodes
+    /// produced when a node of that occupancy absorbs one more item — unity
+    /// for non-splitting rows, `(b^{m+1} − 1)/(b^m − 1)` for the split row.
+    pub fn row_sum(&self, row: usize) -> f64 {
+        self.row(row).iter().sum()
+    }
+
+    /// All row sums as a vector.
+    pub fn row_sums(&self) -> DVector {
+        (0..self.rows).map(|r| self.row_sum(r)).collect()
+    }
+
+    /// Row-vector × matrix product `v M` (the orientation used by the
+    /// steady-state equation `e T = a e`).
+    pub fn left_mul(&self, v: &DVector) -> Result<DVector> {
+        if v.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.rows,
+                actual: v.len(),
+                context: "left_mul (vector–matrix)",
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &vr) in v.as_slice().iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (c, &m) in row.iter().enumerate() {
+                out[c] += vr * m;
+            }
+        }
+        Ok(DVector::from_vec(out))
+    }
+
+    /// Matrix × column-vector product `M v`.
+    pub fn right_mul(&self, v: &DVector) -> Result<DVector> {
+        if v.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.cols,
+                actual: v.len(),
+                context: "right_mul (matrix–vector)",
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            out.push(
+                row.iter()
+                    .zip(v.as_slice().iter())
+                    .map(|(a, b)| a * b)
+                    .sum(),
+            );
+        }
+        Ok(DVector::from_vec(out))
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, other: &DMatrix) -> Result<DMatrix> {
+        if self.cols != other.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+                context: "matrix multiplication",
+            });
+        }
+        let mut out = DMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DMatrix {
+        let mut out = DMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Componentwise sum.
+    pub fn add(&self, other: &DMatrix) -> Result<DMatrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.rows * self.cols,
+                actual: other.rows * other.cols,
+                context: "matrix addition",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        DMatrix::from_row_major(self.rows, self.cols, data)
+    }
+
+    /// Returns the matrix scaled by `factor`.
+    pub fn scale(&self, factor: f64) -> DMatrix {
+        DMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * factor).collect(),
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, a| acc.max(a.abs()))
+    }
+
+    /// `true` when every entry is ≥ `-tol`.
+    ///
+    /// Transform matrices count produced nodes, so all entries must be
+    /// nonnegative; this is a model-validity check.
+    pub fn is_nonnegative(&self, tol: f64) -> bool {
+        self.data.iter().all(|&a| a >= -tol)
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl fmt::Display for DMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x2(a: f64, b: f64, c: f64, d: f64) -> DMatrix {
+        DMatrix::from_row_major(2, 2, vec![a, b, c, d]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DMatrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(!z.is_square());
+        let i = DMatrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_row_major_checks_len() {
+        assert!(DMatrix::from_row_major(2, 2, vec![1.0; 3]).is_err());
+        assert!(DMatrix::from_row_major(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_assembles_transform_matrix_shape() {
+        // The m = 1 PR quadtree transform matrix from the paper:
+        // t_0 = (0, 1), t_1 = (3, 2).
+        let t = DMatrix::from_rows(&[
+            DVector::from(&[0.0, 1.0][..]),
+            DVector::from(&[3.0, 2.0][..]),
+        ])
+        .unwrap();
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.row_sum(0), 1.0);
+        assert_eq!(t.row_sum(1), 5.0); // (4^2 - 1)/(4^1 - 1) = 5
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_and_empty() {
+        assert!(DMatrix::from_rows(&[]).is_err());
+        assert!(DMatrix::from_rows(&[
+            DVector::from(&[1.0][..]),
+            DVector::from(&[1.0, 2.0][..])
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = m2x2(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.row_vector(0).as_slice(), &[1.0, 2.0]);
+        assert_eq!(m.col_vector(1).as_slice(), &[2.0, 4.0]);
+        assert_eq!(m.row_sums().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn left_mul_is_row_vector_times_matrix() {
+        // e T for the paper's m = 1 matrix with e = (1/2, 1/2):
+        // (1/2)(0,1) + (1/2)(3,2) = (3/2, 3/2) = (5/2)·(0.6, 0.6)… check raw.
+        let t = m2x2(0.0, 1.0, 3.0, 2.0);
+        let e = DVector::from(&[0.5, 0.5][..]);
+        let et = t.left_mul(&e).unwrap();
+        assert_eq!(et.as_slice(), &[1.5, 1.5]);
+        // a = e·rowsums = 0.5·1 + 0.5·5 = 3, and eT = a·e = (1.5, 1.5):
+        // confirms (1/2, 1/2) is the fixed point.
+        assert!(t.left_mul(&DVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn right_mul_matches_manual() {
+        let m = m2x2(1.0, 2.0, 3.0, 4.0);
+        let v = DVector::from(&[1.0, 1.0][..]);
+        assert_eq!(m.right_mul(&v).unwrap().as_slice(), &[3.0, 7.0]);
+        assert!(m.right_mul(&DVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn matrix_multiplication() {
+        let a = m2x2(1.0, 2.0, 3.0, 4.0);
+        let i = DMatrix::identity(2);
+        assert_eq!(a.mul(&i).unwrap(), a);
+        let b = m2x2(0.0, 1.0, 1.0, 0.0);
+        assert_eq!(a.mul(&b).unwrap(), m2x2(2.0, 1.0, 4.0, 3.0));
+        assert!(a.mul(&DMatrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let m = DMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = m2x2(1.0, 0.0, 0.0, 1.0);
+        let b = m2x2(0.0, 1.0, 1.0, 0.0);
+        assert_eq!(a.add(&b).unwrap(), m2x2(1.0, 1.0, 1.0, 1.0));
+        assert_eq!(a.scale(3.0), m2x2(3.0, 0.0, 0.0, 3.0));
+        assert!(a.add(&DMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn norms_and_nonnegativity() {
+        let m = m2x2(1.0, -2.0, 0.5, 0.0);
+        assert_eq!(m.norm_max(), 2.0);
+        assert!(!m.is_nonnegative(0.0));
+        assert!(m2x2(0.0, 0.1, 0.2, 0.3).is_nonnegative(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        DMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = format!("{}", DMatrix::identity(2));
+        assert!(s.contains("[1.000000, 0.000000]"));
+    }
+}

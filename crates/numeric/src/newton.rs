@@ -1,0 +1,269 @@
+//! Damped multivariate Newton's method.
+//!
+//! Used to cross-check the paper's fixed-point iteration: the steady-state
+//! conditions `e T = a(e) e`, `Σ e_i = 1` form a square system of quadratic
+//! equations `F(e) = 0`, and Newton converges quadratically from a sensible
+//! start. Having two independent solvers agree to ~1e-10 is the main
+//! internal consistency check of the reproduction.
+
+use crate::lu::LuDecomposition;
+use crate::matrix::DMatrix;
+use crate::vector::DVector;
+use crate::{NumericError, Result};
+
+/// Options controlling a Newton solve.
+#[derive(Debug, Clone)]
+pub struct NewtonOptions {
+    /// Maximum number of Newton steps.
+    pub max_iterations: usize,
+    /// Convergence tolerance on `‖F(x)‖∞`.
+    pub tolerance: f64,
+    /// Step size used for forward-difference Jacobians.
+    pub fd_step: f64,
+    /// Backtracking: halve the step up to this many times when a full step
+    /// does not reduce the residual.
+    pub max_backtracks: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 200,
+            tolerance: 1e-13,
+            fd_step: 1e-7,
+            max_backtracks: 30,
+        }
+    }
+}
+
+/// Result of a converged Newton solve.
+#[derive(Debug, Clone)]
+pub struct NewtonOutcome {
+    /// The root found.
+    pub solution: DVector,
+    /// Number of Newton steps used.
+    pub iterations: usize,
+    /// Final residual `‖F(x)‖∞`.
+    pub residual: f64,
+}
+
+/// Finds `x` with `F(x) = 0` using damped Newton with a forward-difference
+/// Jacobian.
+///
+/// `f` must map `R^n -> R^n`. Errors if the Jacobian becomes singular, the
+/// residual cannot be reduced, or the iteration budget is exhausted.
+pub fn solve_newton<F>(f: F, start: &DVector, options: &NewtonOptions) -> Result<NewtonOutcome>
+where
+    F: Fn(&DVector) -> Result<DVector>,
+{
+    if options.max_iterations == 0 {
+        return Err(NumericError::invalid("max_iterations must be positive"));
+    }
+    if options.tolerance.is_nan() || options.tolerance <= 0.0 {
+        return Err(NumericError::invalid("tolerance must be positive"));
+    }
+    if options.fd_step.is_nan() || options.fd_step <= 0.0 {
+        return Err(NumericError::invalid("fd_step must be positive"));
+    }
+
+    let n = start.len();
+    let mut x = start.clone();
+    let mut fx = eval(&f, &x, n)?;
+    let mut res = fx.norm_inf();
+
+    for k in 1..=options.max_iterations {
+        if res <= options.tolerance {
+            return Ok(NewtonOutcome {
+                solution: x,
+                iterations: k - 1,
+                residual: res,
+            });
+        }
+        let jac = forward_difference_jacobian(&f, &x, &fx, options.fd_step)?;
+        let lu = LuDecomposition::new(&jac)?;
+        let delta = lu.solve(&fx)?;
+
+        // Backtracking line search on the residual norm.
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        for _ in 0..=options.max_backtracks {
+            let candidate = x.axpy(-lambda, &delta)?;
+            match eval(&f, &candidate, n) {
+                Ok(fc) => {
+                    let rc = fc.norm_inf();
+                    // Accept a strict decrease, or any step once we're in
+                    // the quadratic basin (tiny residual).
+                    if rc < res || rc <= options.tolerance {
+                        x = candidate;
+                        fx = fc;
+                        res = rc;
+                        accepted = true;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // Candidate left the domain of F; shrink the step.
+                }
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            return Err(NumericError::DidNotConverge {
+                iterations: k,
+                residual: res,
+                tolerance: options.tolerance,
+            });
+        }
+    }
+
+    if res <= options.tolerance {
+        Ok(NewtonOutcome {
+            solution: x,
+            iterations: options.max_iterations,
+            residual: res,
+        })
+    } else {
+        Err(NumericError::DidNotConverge {
+            iterations: options.max_iterations,
+            residual: res,
+            tolerance: options.tolerance,
+        })
+    }
+}
+
+fn eval<F>(f: &F, x: &DVector, n: usize) -> Result<DVector>
+where
+    F: Fn(&DVector) -> Result<DVector>,
+{
+    let fx = f(x)?;
+    if fx.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: n,
+            actual: fx.len(),
+            context: "Newton residual",
+        });
+    }
+    if fx.iter().any(|v| !v.is_finite()) {
+        return Err(NumericError::invalid(
+            "Newton residual contains non-finite values",
+        ));
+    }
+    Ok(fx)
+}
+
+/// Forward-difference Jacobian `J[i][j] = ∂F_i/∂x_j`.
+fn forward_difference_jacobian<F>(
+    f: &F,
+    x: &DVector,
+    fx: &DVector,
+    h: f64,
+) -> Result<DMatrix>
+where
+    F: Fn(&DVector) -> Result<DVector>,
+{
+    let n = x.len();
+    let mut jac = DMatrix::zeros(n, n);
+    for j in 0..n {
+        // Scale the step to the magnitude of the component.
+        let step = h * x[j].abs().max(1.0);
+        let mut xp = x.clone();
+        xp[j] += step;
+        let fp = eval(f, &xp, n)?;
+        for i in 0..n {
+            jac.set(i, j, (fp[i] - fx[i]) / step);
+        }
+    }
+    Ok(jac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> NewtonOptions {
+        NewtonOptions::default()
+    }
+
+    #[test]
+    fn solves_scalar_quadratic() {
+        // x^2 - 4 = 0, start near the positive root.
+        let f = |x: &DVector| Ok(DVector::from_vec(vec![x[0] * x[0] - 4.0]));
+        let out = solve_newton(f, &DVector::filled(1, 3.0), &opts()).unwrap();
+        assert!((out.solution[0] - 2.0).abs() < 1e-10);
+        assert!(out.residual <= opts().tolerance);
+    }
+
+    #[test]
+    fn solves_coupled_system() {
+        // x + y = 3, x*y = 2 → (1, 2) or (2, 1). Start near (0.5, 2.5).
+        let f = |v: &DVector| {
+            Ok(DVector::from_vec(vec![
+                v[0] + v[1] - 3.0,
+                v[0] * v[1] - 2.0,
+            ]))
+        };
+        let out = solve_newton(f, &DVector::from(&[0.5, 2.5][..]), &opts()).unwrap();
+        let (x, y) = (out.solution[0], out.solution[1]);
+        assert!((x + y - 3.0).abs() < 1e-10);
+        assert!((x * y - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn converges_quadratically_fast() {
+        let f = |x: &DVector| Ok(DVector::from_vec(vec![x[0] * x[0] - 2.0]));
+        let out = solve_newton(f, &DVector::filled(1, 1.5), &opts()).unwrap();
+        // Quadratic convergence: a handful of steps suffice.
+        assert!(out.iterations <= 8, "took {} iterations", out.iterations);
+    }
+
+    #[test]
+    fn already_converged_start_takes_zero_iterations() {
+        let f = |x: &DVector| Ok(DVector::from_vec(vec![x[0] - 1.0]));
+        let out = solve_newton(f, &DVector::filled(1, 1.0), &opts()).unwrap();
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn reports_singular_jacobian() {
+        // F(x) = x^3 at x = 0 has zero derivative; residual is 0 there,
+        // so instead use F(x) = 1 (constant): Jacobian identically zero.
+        let f = |_: &DVector| Ok(DVector::from_vec(vec![1.0]));
+        let res = solve_newton(f, &DVector::filled(1, 0.5), &opts());
+        assert!(matches!(res, Err(NumericError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn reports_non_convergence_on_rootless_system() {
+        // x^2 + 1 = 0 has no real root; backtracking must eventually fail.
+        let f = |x: &DVector| Ok(DVector::from_vec(vec![x[0] * x[0] + 1.0]));
+        let res = solve_newton(f, &DVector::filled(1, 2.0), &NewtonOptions {
+            max_iterations: 50,
+            ..opts()
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let f = |x: &DVector| Ok(x.clone());
+        let x0 = DVector::zeros(1);
+        assert!(solve_newton(f, &x0, &NewtonOptions { max_iterations: 0, ..opts() }).is_err());
+        assert!(solve_newton(f, &x0, &NewtonOptions { tolerance: -1.0, ..opts() }).is_err());
+        assert!(solve_newton(f, &x0, &NewtonOptions { fd_step: 0.0, ..opts() }).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_changing_residual() {
+        let f = |_: &DVector| Ok(DVector::zeros(3));
+        let res = solve_newton(f, &DVector::zeros(2), &opts());
+        assert!(matches!(res, Err(NumericError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn backtracking_handles_overshoot() {
+        // atan has a famously narrow Newton basin; backtracking widens it.
+        let f = |x: &DVector| Ok(DVector::from_vec(vec![x[0].atan()]));
+        let out = solve_newton(f, &DVector::filled(1, 5.0), &opts()).unwrap();
+        assert!(out.solution[0].abs() < 1e-10);
+    }
+}

@@ -1,0 +1,345 @@
+//! Series analysis for the phasing experiments.
+//!
+//! The paper's §IV shows that under a uniform workload the average node
+//! occupancy oscillates with a period that is constant in `log(N)` — the
+//! series in Table 4 has "relative maxima and minima separated by factors
+//! of four". The routines here quantify that: detrend a series, find its
+//! local extrema, estimate the oscillation amplitude, and measure the
+//! period in index steps (the experiments sample N along a geometric
+//! ladder, so a log-periodic oscillation is an index-periodic one).
+
+use crate::stats::Summary;
+use crate::{NumericError, Result};
+
+/// Least-squares straight-line fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Fitted slope.
+    pub slope: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a line to `(x, y)` pairs by ordinary least squares.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit> {
+    if x.len() != y.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: x.len(),
+            actual: y.len(),
+            context: "linear_fit",
+        });
+    }
+    if x.len() < 2 {
+        return Err(NumericError::invalid("linear_fit needs at least 2 points"));
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+        syy += (yi - my) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return Err(NumericError::invalid(
+            "linear_fit: x values are all identical",
+        ));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    })
+}
+
+/// Removes a least-squares linear trend, returning residuals.
+pub fn detrend(y: &[f64]) -> Result<Vec<f64>> {
+    let x: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+    let fit = linear_fit(&x, y)?;
+    Ok(y.iter()
+        .enumerate()
+        .map(|(i, &v)| v - fit.predict(i as f64))
+        .collect())
+}
+
+/// Sample autocorrelation of a series at `lag`.
+///
+/// A log-periodic oscillation sampled on a geometric ladder shows a
+/// positive autocorrelation peak at its period (4 index steps for the
+/// paper's ×√2-per-step ladder and ×4 oscillation period).
+pub fn autocorrelation(y: &[f64], lag: usize) -> Result<f64> {
+    if y.len() < 2 {
+        return Err(NumericError::invalid(
+            "autocorrelation needs at least 2 observations",
+        ));
+    }
+    if lag >= y.len() {
+        return Err(NumericError::invalid(format!(
+            "lag {lag} out of range for series of length {}",
+            y.len()
+        )));
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let denom: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if denom == 0.0 {
+        return Err(NumericError::invalid(
+            "autocorrelation of a constant series is undefined",
+        ));
+    }
+    let num: f64 = (0..y.len() - lag)
+        .map(|i| (y[i] - mean) * (y[i + lag] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Indices of strict local maxima (greater than both neighbors).
+pub fn local_maxima(y: &[f64]) -> Vec<usize> {
+    (1..y.len().saturating_sub(1))
+        .filter(|&i| y[i] > y[i - 1] && y[i] > y[i + 1])
+        .collect()
+}
+
+/// Indices of strict local minima.
+pub fn local_minima(y: &[f64]) -> Vec<usize> {
+    (1..y.len().saturating_sub(1))
+        .filter(|&i| y[i] < y[i - 1] && y[i] < y[i + 1])
+        .collect()
+}
+
+/// Metrics describing the oscillation of a series.
+#[derive(Debug, Clone)]
+pub struct OscillationMetrics {
+    /// Peak-to-trough amplitude of the detrended series.
+    pub amplitude: f64,
+    /// Standard deviation of the detrended series.
+    pub residual_std: f64,
+    /// Mean spacing (in index steps) between consecutive local maxima of
+    /// the detrended series; `None` with fewer than two maxima.
+    pub mean_peak_spacing: Option<f64>,
+    /// Autocorrelation of the detrended series at the hypothesized period.
+    pub autocorr_at_period: Option<f64>,
+}
+
+/// Computes oscillation metrics after removing a linear trend.
+///
+/// `hypothesized_period` is in index steps (the paper's factor-of-four
+/// cycle is 4 steps on the ×√2 ladder).
+pub fn oscillation_metrics(
+    y: &[f64],
+    hypothesized_period: Option<usize>,
+) -> Result<OscillationMetrics> {
+    if y.len() < 3 {
+        return Err(NumericError::invalid(
+            "oscillation metrics need at least 3 observations",
+        ));
+    }
+    let resid = detrend(y)?;
+    let summary = Summary::of(&resid)?;
+    let maxima = local_maxima(&resid);
+    let mean_peak_spacing = if maxima.len() >= 2 {
+        let total: usize = maxima.windows(2).map(|w| w[1] - w[0]).sum();
+        Some(total as f64 / (maxima.len() - 1) as f64)
+    } else {
+        None
+    };
+    let autocorr_at_period = match hypothesized_period {
+        Some(p) if p < resid.len() => Some(autocorrelation(&resid, p)?),
+        _ => None,
+    };
+    Ok(OscillationMetrics {
+        amplitude: summary.max - summary.min,
+        residual_std: summary.std_dev,
+        mean_peak_spacing,
+        autocorr_at_period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_err());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn r_squared_for_noisy_line_is_below_one() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 1.2, 1.8, 3.2, 3.8];
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!(fit.r_squared > 0.97 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn r_squared_of_constant_y_is_one() {
+        let fit = linear_fit(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn detrend_removes_line() {
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 0.5 * i as f64).collect();
+        let r = detrend(&y).unwrap();
+        assert!(r.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn detrend_preserves_oscillation() {
+        let y: Vec<f64> = (0..16)
+            .map(|i| i as f64 * 0.1 + (i as f64 * std::f64::consts::PI / 2.0).sin())
+            .collect();
+        let r = detrend(&y).unwrap();
+        let s = Summary::of(&r).unwrap();
+        assert!(s.max - s.min > 1.5, "oscillation should survive detrending");
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_series_peaks_at_period() {
+        // Period-4 square-ish wave.
+        let y: Vec<f64> = (0..32).map(|i| [1.0, 0.0, -1.0, 0.0][i % 4]).collect();
+        let at4 = autocorrelation(&y, 4).unwrap();
+        let at2 = autocorrelation(&y, 2).unwrap();
+        assert!(at4 > 0.8);
+        assert!(at2 < 0.0);
+        assert!((autocorrelation(&y, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_rejects_bad_input() {
+        assert!(autocorrelation(&[1.0], 0).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_err());
+        assert!(autocorrelation(&[3.0, 3.0, 3.0], 1).is_err());
+    }
+
+    #[test]
+    fn extrema_detection() {
+        let y = [0.0, 2.0, 1.0, 3.0, 0.5, 0.7];
+        assert_eq!(local_maxima(&y), vec![1, 3]);
+        assert_eq!(local_minima(&y), vec![2, 4]);
+        assert!(local_maxima(&[1.0, 2.0]).is_empty());
+        assert!(local_maxima(&[]).is_empty());
+    }
+
+    #[test]
+    fn plateaus_are_not_strict_extrema() {
+        let y = [0.0, 1.0, 1.0, 0.0];
+        assert!(local_maxima(&y).is_empty());
+    }
+
+    #[test]
+    fn oscillation_metrics_on_synthetic_phasing_series() {
+        // Mimic Table 4: a flat trend with a period-4 oscillation.
+        let y: Vec<f64> = (0..13)
+            .map(|i| 3.7 + 0.4 * (i as f64 * std::f64::consts::PI / 2.0).sin())
+            .collect();
+        let m = oscillation_metrics(&y, Some(4)).unwrap();
+        assert!(m.amplitude > 0.6 && m.amplitude < 1.0, "amplitude {}", m.amplitude);
+        assert!(m.autocorr_at_period.unwrap() > 0.5);
+        let spacing = m.mean_peak_spacing.unwrap();
+        assert!((spacing - 4.0).abs() < 1.01, "spacing {spacing}");
+    }
+
+    #[test]
+    fn oscillation_metrics_on_damped_series_show_smaller_amplitude() {
+        let oscillating: Vec<f64> = (0..13)
+            .map(|i| 3.7 + 0.4 * (i as f64 * std::f64::consts::PI / 2.0).sin())
+            .collect();
+        let damped: Vec<f64> = (0..13)
+            .map(|i| {
+                let decay = (-(i as f64) / 3.0).exp();
+                3.7 + 0.4 * decay * (i as f64 * std::f64::consts::PI / 2.0).sin()
+            })
+            .collect();
+        let mo = oscillation_metrics(&oscillating, Some(4)).unwrap();
+        let md = oscillation_metrics(&damped, Some(4)).unwrap();
+        assert!(md.residual_std < mo.residual_std);
+    }
+
+    #[test]
+    fn oscillation_metrics_reject_short_series() {
+        assert!(oscillation_metrics(&[1.0, 2.0], Some(1)).is_err());
+    }
+
+    #[test]
+    fn oscillation_metrics_without_period_hypothesis() {
+        let y = [1.0, 2.0, 1.0, 2.0, 1.0];
+        let m = oscillation_metrics(&y, None).unwrap();
+        assert!(m.autocorr_at_period.is_none());
+        // Out-of-range period hypothesis is ignored rather than an error.
+        let m2 = oscillation_metrics(&y, Some(10)).unwrap();
+        assert!(m2.autocorr_at_period.is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fit_recovers_exact_lines(
+            slope in -10.0f64..10.0,
+            intercept in -10.0f64..10.0,
+            n in 3usize..30,
+        ) {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let y: Vec<f64> = x.iter().map(|&xi| intercept + slope * xi).collect();
+            let fit = linear_fit(&x, &y).unwrap();
+            prop_assert!((fit.slope - slope).abs() < 1e-8);
+            prop_assert!((fit.intercept - intercept).abs() < 1e-7);
+        }
+
+        #[test]
+        fn detrended_series_has_zero_mean(
+            y in proptest::collection::vec(-100.0f64..100.0, 3..40)
+        ) {
+            let r = detrend(&y).unwrap();
+            let mean = r.iter().sum::<f64>() / r.len() as f64;
+            prop_assert!(mean.abs() < 1e-8);
+        }
+
+        #[test]
+        fn autocorrelation_bounded(
+            y in proptest::collection::vec(-10.0f64..10.0, 4..40),
+            lag_frac in 0.0f64..1.0,
+        ) {
+            let mean = y.iter().sum::<f64>() / y.len() as f64;
+            let denom: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+            prop_assume!(denom > 1e-9);
+            let lag = ((y.len() - 1) as f64 * lag_frac) as usize;
+            let ac = autocorrelation(&y, lag).unwrap();
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ac));
+        }
+    }
+}

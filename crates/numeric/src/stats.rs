@@ -1,0 +1,342 @@
+//! Descriptive statistics for experimental data.
+//!
+//! The paper's experimental columns are averages over 10 trees with
+//! "corresponding data points from different trees typically within about
+//! 10% of each other" — so every experiment here reports not just means but
+//! dispersion, which this module computes.
+
+use crate::{NumericError, Result};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n−1 denominator); 0 for n = 1.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Errors on an empty sample or
+    /// non-finite observations.
+    pub fn of(sample: &[f64]) -> Result<Summary> {
+        if sample.is_empty() {
+            return Err(NumericError::invalid("cannot summarize an empty sample"));
+        }
+        if sample.iter().any(|v| !v.is_finite()) {
+            return Err(NumericError::invalid(
+                "sample contains non-finite observations",
+            ));
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = variance.sqrt();
+        Ok(Summary {
+            n,
+            mean,
+            variance,
+            std_dev,
+            std_err: std_dev / (n as f64).sqrt(),
+            min: sample.iter().copied().fold(f64::INFINITY, f64::min),
+            max: sample.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (normal approximation, 1.96 standard errors).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err
+    }
+
+    /// Relative spread `(max − min) / mean`; the paper's "within about 10%
+    /// of each other" claim is checked against this.
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean.abs()
+        }
+    }
+}
+
+/// Signed percent difference `100 · (a − b) / b`, the convention used by
+/// the paper's Table 2 ("percent difference" between theoretical and
+/// experimental occupancy).
+pub fn percent_difference(a: f64, b: f64) -> Result<f64> {
+    if b == 0.0 {
+        return Err(NumericError::invalid(
+            "percent difference undefined against a zero reference",
+        ));
+    }
+    Ok(100.0 * (a - b) / b)
+}
+
+/// Averages several equal-length vectors componentwise (used to average
+/// occupancy-distribution vectors over trees).
+pub fn mean_vector(samples: &[Vec<f64>]) -> Result<Vec<f64>> {
+    if samples.is_empty() {
+        return Err(NumericError::invalid("mean_vector of no samples"));
+    }
+    let dim = samples[0].len();
+    for s in samples {
+        if s.len() != dim {
+            return Err(NumericError::DimensionMismatch {
+                expected: dim,
+                actual: s.len(),
+                context: "mean_vector",
+            });
+        }
+    }
+    let mut acc = vec![0.0; dim];
+    for s in samples {
+        for (a, v) in acc.iter_mut().zip(s.iter()) {
+            *a += v;
+        }
+    }
+    let inv = 1.0 / samples.len() as f64;
+    for a in &mut acc {
+        *a *= inv;
+    }
+    Ok(acc)
+}
+
+/// A simple fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo` or at/above `hi`.
+    outliers: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+        if hi.is_nan() || lo.is_nan() || hi <= lo {
+            return Err(NumericError::invalid(format!(
+                "histogram range must be increasing, got [{lo}, {hi})"
+            )));
+        }
+        if bins == 0 {
+            return Err(NumericError::invalid("histogram needs at least one bin"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+            total: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if !value.is_finite() || value < self.lo || value >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((value - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total observations recorded (including outliers).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Per-bin proportions of in-range observations.
+    pub fn proportions(&self) -> Vec<f64> {
+        let in_range = (self.total - self.outliers) as f64;
+        if in_range == 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / in_range).collect()
+    }
+}
+
+/// A percentile of a sample via linear interpolation (type-7 /
+/// spreadsheet convention). `q` in `[0, 1]`.
+pub fn percentile(sample: &[f64], q: f64) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(NumericError::invalid("percentile of an empty sample"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericError::invalid(format!(
+            "percentile q must be in [0, 1], got {q}"
+        )));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample value"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance = 4 * 8/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std_err, 0.0);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::of(&[]).is_err());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_err());
+        assert!(Summary::of(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn relative_spread_matches_paper_quote() {
+        // "typically within about 10% of each other": spread 0.1 of mean.
+        let s = Summary::of(&[0.95, 1.0, 1.05]).unwrap();
+        assert!((s.relative_spread() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_difference_matches_table2_convention() {
+        // Table 2, m = 1: experimental 0.46, theoretical 0.50 → 7.2%
+        // difference (paper rounds from ~8.7 with unrounded values; with
+        // the printed values it is 8.7 — we just verify the formula).
+        let d = percent_difference(0.50, 0.46).unwrap();
+        assert!((d - 8.6956).abs() < 1e-3);
+        assert!(percent_difference(1.0, 0.0).is_err());
+        assert!((percent_difference(1.0, 2.0).unwrap() + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_vector_averages_componentwise() {
+        let m = mean_vector(&[vec![1.0, 2.0], vec![3.0, 6.0]]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_vector(&[]).is_err());
+        assert!(mean_vector(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for v in [0.5, 1.5, 2.5, 9.9, -1.0, 10.0, f64::NAN] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.count(0), 2); // 0.5, 1.5
+        assert_eq!(h.count(1), 1); // 2.5
+        assert_eq!(h.count(4), 1); // 9.9
+        let p = h.proportions();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_empty_proportions_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.proportions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&s, 1.0).unwrap(), 4.0);
+        assert_eq!(percentile(&s, 0.5).unwrap(), 2.5);
+        assert!((percentile(&s, 1.0 / 3.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(percentile(&s, 1.5).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(sample in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let s = Summary::of(&sample).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-12);
+            prop_assert!(s.mean <= s.max + 1e-12);
+            prop_assert!(s.variance >= 0.0);
+        }
+
+        #[test]
+        fn shifting_sample_shifts_mean_not_variance(
+            sample in proptest::collection::vec(-10.0f64..10.0, 2..30),
+            shift in -5.0f64..5.0,
+        ) {
+            let s1 = Summary::of(&sample).unwrap();
+            let shifted: Vec<f64> = sample.iter().map(|v| v + shift).collect();
+            let s2 = Summary::of(&shifted).unwrap();
+            prop_assert!((s2.mean - s1.mean - shift).abs() < 1e-9);
+            prop_assert!((s2.variance - s1.variance).abs() < 1e-8);
+        }
+
+        #[test]
+        fn histogram_conserves_observations(
+            values in proptest::collection::vec(-2.0f64..12.0, 0..100)
+        ) {
+            let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+            for v in &values {
+                h.record(*v);
+            }
+            let binned: u64 = (0..7).map(|i| h.count(i)).sum();
+            prop_assert_eq!(binned + h.outliers(), h.total());
+            prop_assert_eq!(h.total(), values.len() as u64);
+        }
+    }
+}

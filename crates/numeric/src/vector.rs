@@ -1,0 +1,437 @@
+//! Dense `f64` vectors.
+//!
+//! [`DVector`] is a thin, explicit wrapper over `Vec<f64>`. The population
+//! analysis works with short vectors (a node-capacity-`m` model has `m + 1`
+//! components), so the priority here is a clear, checked API rather than
+//! SIMD heroics.
+
+use crate::{NumericError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, heap-allocated vector of `f64`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DVector {
+    data: Vec<f64>,
+}
+
+impl DVector {
+    /// Creates a vector from a `Vec` of components.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        DVector { data }
+    }
+
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        DVector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of `len` copies of `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        DVector {
+            data: vec![value; len],
+        }
+    }
+
+    /// The standard basis vector `e_i` of dimension `len` (1 at `index`).
+    ///
+    /// The paper's non-splitting transform vectors `t_i = (0,…,1,…,0)`
+    /// (a node of occupancy `i` simply becomes one of occupancy `i + 1`)
+    /// are basis vectors built with this constructor.
+    pub fn basis(len: usize, index: usize) -> Result<Self> {
+        if index >= len {
+            return Err(NumericError::invalid(format!(
+                "basis index {index} out of range for dimension {len}"
+            )));
+        }
+        let mut v = Self::zeros(len);
+        v.data[index] = 1.0;
+        Ok(v)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows the components mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterates over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &DVector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+                context: "dot product",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Componentwise sum `self + other`.
+    pub fn add(&self, other: &DVector) -> Result<DVector> {
+        if self.len() != other.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+                context: "vector addition",
+            });
+        }
+        Ok(DVector::from_vec(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        ))
+    }
+
+    /// Componentwise difference `self - other`.
+    pub fn sub(&self, other: &DVector) -> Result<DVector> {
+        if self.len() != other.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+                context: "vector subtraction",
+            });
+        }
+        Ok(DVector::from_vec(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        ))
+    }
+
+    /// Returns `self` scaled by `factor`.
+    pub fn scale(&self, factor: f64) -> DVector {
+        DVector::from_vec(self.data.iter().map(|a| a * factor).collect())
+    }
+
+    /// Scales in place.
+    pub fn scale_mut(&mut self, factor: f64) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// `self + factor * other`, the classic axpy kernel.
+    pub fn axpy(&self, factor: f64, other: &DVector) -> Result<DVector> {
+        if self.len() != other.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+                context: "axpy",
+            });
+        }
+        Ok(DVector::from_vec(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + factor * b)
+                .collect(),
+        ))
+    }
+
+    /// Sum of all components.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|a| a.abs()).sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm_l2(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Maximum (L∞) norm.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, a| acc.max(a.abs()))
+    }
+
+    /// Largest component value (not absolute value). `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::max)
+    }
+
+    /// Smallest component value. `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::min)
+    }
+
+    /// `true` when every component is strictly positive.
+    ///
+    /// The paper's steady-state equations can have up to `2^{m+1}`
+    /// solutions; only the all-positive one is a valid distribution, so
+    /// positivity is the acceptance criterion for a solve.
+    pub fn is_strictly_positive(&self) -> bool {
+        self.data.iter().all(|&a| a > 0.0)
+    }
+
+    /// `true` when every component is ≥ `-tol` (nonnegative up to noise).
+    pub fn is_nonnegative(&self, tol: f64) -> bool {
+        self.data.iter().all(|&a| a >= -tol)
+    }
+
+    /// Returns a copy normalized so components sum to one.
+    ///
+    /// Errors when the sum is zero, negative, or non-finite — there is no
+    /// meaningful probability vector in those cases.
+    pub fn normalized_l1(&self) -> Result<DVector> {
+        let s = self.sum();
+        if !(s.is_finite() && s > 0.0) {
+            return Err(NumericError::invalid(format!(
+                "cannot L1-normalize a vector with component sum {s}"
+            )));
+        }
+        Ok(self.scale(1.0 / s))
+    }
+
+    /// `true` when components sum to 1 within `tol` and are nonnegative.
+    pub fn is_probability_vector(&self, tol: f64) -> bool {
+        self.is_nonnegative(tol) && (self.sum() - 1.0).abs() <= tol
+    }
+
+    /// Maximum absolute componentwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &DVector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+                context: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |acc, (a, b)| acc.max((a - b).abs())))
+    }
+
+    /// Dot product with the occupancy weights `(0, 1, 2, …, len-1)`.
+    ///
+    /// Applied to an expected distribution this is exactly the paper's
+    /// *average node occupancy*: `e · (0, 1, 2, …, m)`.
+    pub fn occupancy_weighted_sum(&self) -> f64 {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| i as f64 * a)
+            .sum()
+    }
+}
+
+impl Index<usize> for DVector {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for DVector {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.data[index]
+    }
+}
+
+impl From<Vec<f64>> for DVector {
+    fn from(data: Vec<f64>) -> Self {
+        DVector::from_vec(data)
+    }
+}
+
+impl From<&[f64]> for DVector {
+    fn from(data: &[f64]) -> Self {
+        DVector::from_vec(data.to_vec())
+    }
+}
+
+impl FromIterator<f64> for DVector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        DVector::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for DVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:.6}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f64]) -> DVector {
+        DVector::from(data)
+    }
+
+    #[test]
+    fn construction_and_len() {
+        assert_eq!(DVector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(DVector::filled(2, 7.0).as_slice(), &[7.0, 7.0]);
+        assert!(DVector::zeros(0).is_empty());
+        assert_eq!(v(&[1.0, 2.0]).len(), 2);
+    }
+
+    #[test]
+    fn basis_vectors() {
+        let b = DVector::basis(4, 2).unwrap();
+        assert_eq!(b.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+        assert!(DVector::basis(4, 4).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(v(&[1.0, 2.0, 3.0]).dot(&v(&[4.0, 5.0, 6.0])).unwrap(), 32.0);
+        assert!(v(&[1.0]).dot(&v(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = v(&[1.0, 2.0]);
+        let b = v(&[3.0, 5.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.scale_mut(-1.0);
+        assert_eq!(c.as_slice(), &[-1.0, -2.0]);
+        assert!(a.add(&v(&[1.0])).is_err());
+        assert!(a.sub(&v(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn axpy_combines() {
+        let a = v(&[1.0, 1.0]);
+        let b = v(&[2.0, 3.0]);
+        assert_eq!(a.axpy(0.5, &b).unwrap().as_slice(), &[2.0, 2.5]);
+        assert!(a.axpy(1.0, &v(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let a = v(&[3.0, -4.0]);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(a.norm_l2(), 5.0);
+        assert_eq!(a.norm_inf(), 4.0);
+        assert_eq!(a.sum(), -1.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = v(&[3.0, -4.0, 2.0]);
+        assert_eq!(a.max(), Some(3.0));
+        assert_eq!(a.min(), Some(-4.0));
+        assert_eq!(DVector::zeros(0).max(), None);
+    }
+
+    #[test]
+    fn positivity_checks() {
+        assert!(v(&[0.1, 0.9]).is_strictly_positive());
+        assert!(!v(&[0.0, 1.0]).is_strictly_positive());
+        assert!(v(&[0.0, 1.0]).is_nonnegative(0.0));
+        assert!(v(&[-1e-15, 1.0]).is_nonnegative(1e-12));
+        assert!(!v(&[-1e-3, 1.0]).is_nonnegative(1e-12));
+    }
+
+    #[test]
+    fn normalization() {
+        let n = v(&[1.0, 3.0]).normalized_l1().unwrap();
+        assert_eq!(n.as_slice(), &[0.25, 0.75]);
+        assert!(n.is_probability_vector(1e-12));
+        assert!(v(&[0.0, 0.0]).normalized_l1().is_err());
+        assert!(v(&[-1.0, 0.5]).normalized_l1().is_err());
+        assert!(v(&[f64::NAN, 1.0]).normalized_l1().is_err());
+    }
+
+    #[test]
+    fn probability_vector_check() {
+        assert!(v(&[0.5, 0.5]).is_probability_vector(1e-12));
+        assert!(!v(&[0.5, 0.6]).is_probability_vector(1e-12));
+        assert!(!v(&[-0.1, 1.1]).is_probability_vector(1e-12));
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = v(&[1.0, 2.0]);
+        let b = v(&[1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+        assert!(a.max_abs_diff(&v(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn occupancy_weighted_sum_matches_paper_formula() {
+        // e · (0, 1, 2) for e = (0.25, 0.5, 0.25) is 0.5 + 0.5 = 1.0.
+        assert_eq!(v(&[0.25, 0.5, 0.25]).occupancy_weighted_sum(), 1.0);
+        // The m = 1 newborn population t_1 = (3, 2): 0·3 + 1·2 = 2 total
+        // points over 5 nodes; the weighted sum itself is 2.
+        assert_eq!(v(&[3.0, 2.0]).occupancy_weighted_sum(), 2.0);
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let mut a = v(&[1.0, 2.0]);
+        a[0] = 9.0;
+        assert_eq!(a[0], 9.0);
+        let collected: DVector = a.iter().map(|x| x * 2.0).collect();
+        assert_eq!(collected.as_slice(), &[18.0, 4.0]);
+    }
+
+    #[test]
+    fn display_formats_components() {
+        assert_eq!(format!("{}", v(&[0.5, 0.25])), "(0.500000, 0.250000)");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a = v(&[1.0, 2.0]);
+        let raw = a.clone().into_vec();
+        assert_eq!(DVector::from_vec(raw), a);
+        let s: &[f64] = &[1.0, 2.0];
+        assert_eq!(DVector::from(s), a);
+    }
+}

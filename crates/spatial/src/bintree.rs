@@ -1,0 +1,420 @@
+//! The bintree: regular decomposition with alternating axis halving.
+//!
+//! A bintree (Samet & Tamminen; Knowlton's original) splits a block in two
+//! along one axis, alternating axes level by level — branching factor 2.
+//! It is the `d = 1` end of the paper's "the same principles apply …"
+//! generalization; the `dims` experiment validates the `b = 2` population
+//! model against it.
+
+use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::pr_quadtree::TreeError;
+use popan_geom::{Point2, Rect};
+
+/// Default depth limit. A bintree halves area every *two* levels, so it
+/// runs twice as deep as a quadtree for the same resolution.
+pub const DEFAULT_MAX_DEPTH: u32 = 64;
+
+/// Axis being split at a level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+impl Axis {
+    fn next(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+fn split_block(block: Rect, axis: Axis) -> [Rect; 2] {
+    match axis {
+        Axis::X => {
+            let [lo, hi] = block.x().split();
+            [Rect::new(lo, block.y()), Rect::new(hi, block.y())]
+        }
+        Axis::Y => {
+            let [lo, hi] = block.y().split();
+            [Rect::new(block.x(), lo), Rect::new(block.x(), hi)]
+        }
+    }
+}
+
+fn child_index(block: &Rect, axis: Axis, p: &Point2) -> usize {
+    match axis {
+        Axis::X => usize::from(p.x >= block.x().mid()),
+        Axis::Y => usize::from(p.y >= block.y().mid()),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<Point2>),
+    Internal(Box<[Node; 2]>),
+}
+
+impl Node {
+    fn empty_leaf() -> Node {
+        Node::Leaf(Vec::new())
+    }
+}
+
+/// A generalized bintree with node capacity `m`.
+#[derive(Debug, Clone)]
+pub struct Bintree {
+    root: Node,
+    region: Rect,
+    capacity: usize,
+    max_depth: u32,
+    len: usize,
+}
+
+impl Bintree {
+    /// Creates an empty bintree over `region` with node capacity
+    /// `capacity`.
+    pub fn new(region: Rect, capacity: usize) -> Result<Self, TreeError> {
+        if capacity == 0 {
+            return Err(TreeError::InvalidParameter(
+                "node capacity must be at least 1".into(),
+            ));
+        }
+        Ok(Bintree {
+            root: Node::empty_leaf(),
+            region,
+            capacity,
+            max_depth: DEFAULT_MAX_DEPTH,
+            len: 0,
+        })
+    }
+
+    /// Builds a bintree by inserting `points` in order.
+    pub fn build(
+        region: Rect,
+        capacity: usize,
+        points: impl IntoIterator<Item = Point2>,
+    ) -> Result<Self, TreeError> {
+        let mut t = Self::new(region, capacity)?;
+        for p in points {
+            t.insert(p)?;
+        }
+        Ok(t)
+    }
+
+    /// The region covered.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point, splitting per the PR rule with alternating axes
+    /// (depth-even splits are on x, depth-odd on y).
+    pub fn insert(&mut self, p: Point2) -> Result<(), TreeError> {
+        if !p.is_finite() {
+            return Err(TreeError::NonFinitePoint);
+        }
+        if !self.region.contains(&p) {
+            return Err(TreeError::OutOfRegion { point: p });
+        }
+        Self::insert_rec(
+            &mut self.root,
+            self.region,
+            Axis::X,
+            0,
+            self.max_depth,
+            self.capacity,
+            p,
+        );
+        self.len += 1;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_rec(
+        node: &mut Node,
+        block: Rect,
+        axis: Axis,
+        depth: u32,
+        max_depth: u32,
+        capacity: usize,
+        p: Point2,
+    ) {
+        match node {
+            Node::Internal(children) => {
+                let i = child_index(&block, axis, &p);
+                Self::insert_rec(
+                    &mut children[i],
+                    split_block(block, axis)[i],
+                    axis.next(),
+                    depth + 1,
+                    max_depth,
+                    capacity,
+                    p,
+                );
+            }
+            Node::Leaf(points) => {
+                points.push(p);
+                if points.len() > capacity && depth < max_depth {
+                    let first = points[0];
+                    if points.iter().all(|q| *q == first) {
+                        return;
+                    }
+                    Self::split_leaf(node, block, axis, depth, max_depth, capacity);
+                }
+            }
+        }
+    }
+
+    fn split_leaf(
+        node: &mut Node,
+        block: Rect,
+        axis: Axis,
+        depth: u32,
+        max_depth: u32,
+        capacity: usize,
+    ) {
+        let points = match std::mem::replace(node, Node::empty_leaf()) {
+            Node::Leaf(points) => points,
+            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
+        };
+        let mut children = Box::new([Node::empty_leaf(), Node::empty_leaf()]);
+        for p in points {
+            let i = child_index(&block, axis, &p);
+            match &mut children[i] {
+                Node::Leaf(v) => v.push(p),
+                Node::Internal(_) => unreachable!(),
+            }
+        }
+        let halves = split_block(block, axis);
+        for (i, child) in children.iter_mut().enumerate() {
+            let needs_split = match child {
+                Node::Leaf(v) => {
+                    v.len() > capacity && depth + 1 < max_depth && {
+                        let first = v[0];
+                        !v.iter().all(|q| *q == first)
+                    }
+                }
+                Node::Internal(_) => false,
+            };
+            if needs_split {
+                Self::split_leaf(child, halves[i], axis.next(), depth + 1, max_depth, capacity);
+            }
+        }
+        *node = Node::Internal(children);
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &Point2) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        let mut node = &self.root;
+        let mut block = self.region;
+        let mut axis = Axis::X;
+        loop {
+            match node {
+                Node::Leaf(points) => return points.contains(p),
+                Node::Internal(children) => {
+                    let i = child_index(&block, axis, p);
+                    node = &children[i];
+                    block = split_block(block, axis)[i];
+                    axis = axis.next();
+                }
+            }
+        }
+    }
+
+    /// Total node count (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Leaf node count.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_records().len()
+    }
+
+    /// Verifies structural invariants; panics on violation.
+    pub fn check_invariants(&self) {
+        fn walk(
+            node: &Node,
+            block: Rect,
+            axis: Axis,
+            depth: u32,
+            capacity: usize,
+            max_depth: u32,
+            total: &mut usize,
+        ) {
+            match node {
+                Node::Leaf(points) => {
+                    *total += points.len();
+                    for p in points {
+                        assert!(block.contains(p), "point {p} outside its bintree leaf");
+                    }
+                    if points.len() > capacity {
+                        let first = points[0];
+                        let coincident = points.iter().all(|q| *q == first);
+                        assert!(
+                            depth >= max_depth || coincident,
+                            "over-full bintree leaf at depth {depth}"
+                        );
+                    }
+                }
+                Node::Internal(children) => {
+                    let halves = split_block(block, axis);
+                    for (i, child) in children.iter().enumerate() {
+                        walk(child, halves[i], axis.next(), depth + 1, capacity, max_depth, total);
+                    }
+                }
+            }
+        }
+        let mut total = 0;
+        walk(
+            &self.root,
+            self.region,
+            Axis::X,
+            0,
+            self.capacity,
+            self.max_depth,
+            &mut total,
+        );
+        assert_eq!(total, self.len, "stored point count mismatch");
+    }
+}
+
+impl OccupancyInstrumented for Bintree {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn leaf_records(&self) -> Vec<LeafRecord> {
+        fn walk(node: &Node, depth: u32, out: &mut Vec<LeafRecord>) {
+            match node {
+                Node::Leaf(points) => out.push(LeafRecord {
+                    depth,
+                    occupancy: points.len(),
+                }),
+                Node::Internal(children) => {
+                    for child in children.iter() {
+                        walk(child, depth + 1, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_workload::points::{PointSource, UniformRect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn empty_and_errors() {
+        assert!(Bintree::new(Rect::unit(), 0).is_err());
+        let mut t = Bintree::new(Rect::unit(), 1).unwrap();
+        assert!(t.is_empty());
+        assert!(t.insert(pt(2.0, 0.0)).is_err());
+        assert!(t.insert(pt(0.0, f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn first_split_is_on_x() {
+        let mut t = Bintree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.1, 0.5)).unwrap();
+        t.insert(pt(0.9, 0.5)).unwrap();
+        // Same y, different x halves: one split suffices.
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.leaf_count(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn same_x_half_requires_y_split() {
+        let mut t = Bintree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.1, 0.1)).unwrap();
+        t.insert(pt(0.2, 0.9)).unwrap();
+        // Both in the left x half; second split (on y) separates them:
+        // root + 2 children + 2 grandchildren = 5 nodes.
+        assert_eq!(t.node_count(), 5);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn random_build_invariants() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(77);
+        let points = src.sample_n(&mut rng, 800);
+        let t = Bintree::build(Rect::unit(), 3, points.iter().copied()).unwrap();
+        t.check_invariants();
+        for p in &points {
+            assert!(t.contains(p));
+        }
+        let profile = t.occupancy_profile();
+        assert_eq!(profile.total_items(), 800);
+        assert!(profile.max_occupancy() <= 3);
+    }
+
+    #[test]
+    fn node_count_identity_binary() {
+        // leaves = internal + 1 in a proper binary tree.
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(78);
+        let t = Bintree::build(Rect::unit(), 1, src.sample_n(&mut rng, 400)).unwrap();
+        let n = t.node_count();
+        let leaves = t.leaf_count();
+        assert_eq!(leaves, (n - leaves) + 1);
+    }
+
+    #[test]
+    fn coincident_points_do_not_split() {
+        let mut t = Bintree::new(Rect::unit(), 2).unwrap();
+        for _ in 0..6 {
+            t.insert(pt(0.4, 0.4)).unwrap();
+        }
+        assert_eq!(t.node_count(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bintree_needs_about_twice_quadtree_depth() {
+        use crate::pr_quadtree::PrQuadtree;
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(79);
+        let points = src.sample_n(&mut rng, 500);
+        let bt = Bintree::build(Rect::unit(), 1, points.iter().copied()).unwrap();
+        let qt = PrQuadtree::build(Rect::unit(), 1, points.iter().copied()).unwrap();
+        let bt_depth = bt.leaf_records().iter().map(|r| r.depth).max().unwrap();
+        let qt_depth = qt.leaf_records().iter().map(|r| r.depth).max().unwrap();
+        assert!(
+            bt_depth >= qt_depth && bt_depth <= 2 * qt_depth + 1,
+            "bintree depth {bt_depth} vs quadtree depth {qt_depth}"
+        );
+    }
+}

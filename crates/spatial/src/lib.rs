@@ -1,0 +1,48 @@
+//! Hierarchical spatial data structures with occupancy instrumentation.
+//!
+//! The experimental half of the SIGMOD '87 population-analysis paper:
+//! actual bucketing trees that can be built from synthetic workloads and
+//! interrogated for the node-occupancy statistics the model predicts.
+//!
+//! * [`PrQuadtree`] — the generalized PR quadtree (regular decomposition,
+//!   node capacity `m`, "split until no block contains more than m
+//!   points"). The paper's primary experimental subject.
+//! * [`PrOctree`] — the same discipline in 3-D (branching factor 8).
+//! * [`Bintree`] — regular decomposition with alternating axis halving
+//!   (branching factor 2).
+//! * [`PointQuadtree`] — the classical Finkel–Bentley point quadtree,
+//!   where partitions are data-dependent (included for the paper's §II
+//!   taxonomy; it has no bucket populations, so only depth statistics).
+//! * [`PmrQuadtree`] — the PMR quadtree for line segments (split-once
+//!   rule), subject of the paper's companion analysis \[Nels86a/b\].
+//! * [`node_stats`] — occupancy profiles, per-depth tables, and the
+//!   [`OccupancyInstrumented`] trait the experiments consume.
+//! * [`visualize`] — ASCII rendering of a quadtree's block decomposition
+//!   (Figure 1).
+//!
+//! All trees are deterministic given their insertion sequence, use
+//! half-open regular decomposition from [`popan_geom`], and enforce their
+//! splitting rule as an internal invariant (checked by `debug_assert` and
+//! by each tree's `check_invariants` test hook).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bintree;
+pub mod linear_quadtree;
+pub mod node_stats;
+pub mod pmr_quadtree;
+pub mod point_quadtree;
+pub mod pr_octree;
+pub mod pr_quadtree;
+pub mod pr_tree_nd;
+pub mod visualize;
+
+pub use bintree::Bintree;
+pub use linear_quadtree::LinearQuadtree;
+pub use node_stats::{LeafRecord, OccupancyInstrumented, OccupancyProfile};
+pub use pmr_quadtree::PmrQuadtree;
+pub use point_quadtree::PointQuadtree;
+pub use pr_octree::PrOctree;
+pub use pr_quadtree::PrQuadtree;
+pub use pr_tree_nd::PrTreeNd;

@@ -1,0 +1,346 @@
+//! The linear (pointerless) quadtree.
+//!
+//! A classic companion representation from the quadtree literature the
+//! paper builds on (Gargantini's linear quadtrees; Samet's survey
+//! \[Same84a\]): instead of pointer nodes, store one record per *leaf*,
+//! keyed by its locational code — the Morton prefix of its block — in
+//! sorted order. Point lookup is then a binary search, the whole index is
+//! two flat allocations, and the structure is trivially serializable.
+//!
+//! [`LinearQuadtree`] is built by freezing a [`crate::PrQuadtree`]; the
+//! two answer queries identically (tested), with the linear form trading
+//! mutability for compactness and cache-friendly search.
+
+use crate::pr_quadtree::PrQuadtree;
+use popan_geom::{morton, Point2, Rect};
+
+/// One leaf record: the block's locational code and its points.
+#[derive(Debug, Clone, PartialEq)]
+struct LeafEntry {
+    /// Morton code of the block's low corner at full resolution — the
+    /// first code contained in the block.
+    code_lo: u64,
+    /// One past the last full-resolution code contained in the block.
+    code_hi: u64,
+    /// Leaf depth (block side = region side / 2^depth).
+    depth: u32,
+    /// Offset of the leaf's points in the flat `points` array.
+    points_start: u32,
+    /// Number of points in the leaf.
+    points_len: u32,
+}
+
+/// A frozen, pointerless PR quadtree.
+#[derive(Debug, Clone)]
+pub struct LinearQuadtree {
+    region: Rect,
+    /// Leaf entries sorted by `code_lo`; their `[code_lo, code_hi)`
+    /// ranges partition the full Morton range.
+    leaves: Vec<LeafEntry>,
+    /// All points, grouped by leaf.
+    points: Vec<Point2>,
+}
+
+impl LinearQuadtree {
+    /// Freezes a PR quadtree into linear form.
+    pub fn from_tree(tree: &PrQuadtree) -> Self {
+        let region = tree.region();
+        let mut leaves = Vec::new();
+        let mut points = Vec::new();
+        tree.for_each_leaf(|block, depth, pts| {
+            // The block's Morton range: its low corner's code is the
+            // smallest in the block; a depth-d block spans
+            // 2^(2·(MORTON_BITS − d)) codes.
+            let corner = Point2::new(block.x().lo(), block.y().lo());
+            let code_lo = morton::morton_of_point(&corner, &region);
+            let span = 1u64 << (2 * (morton::MORTON_BITS - depth.min(morton::MORTON_BITS)));
+            leaves.push(LeafEntry {
+                code_lo,
+                code_hi: code_lo + span,
+                depth,
+                points_start: points.len() as u32,
+                points_len: pts.len() as u32,
+            });
+            points.extend_from_slice(pts);
+        });
+        leaves.sort_by_key(|l| l.code_lo);
+        LinearQuadtree {
+            region,
+            leaves,
+            points,
+        }
+    }
+
+    /// The region covered.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of leaf records.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    fn leaf_index_of(&self, p: &Point2) -> Option<usize> {
+        if !self.region.contains(p) {
+            return None;
+        }
+        let code = morton::morton_of_point(p, &self.region);
+        // Last leaf with code_lo <= code.
+        let idx = self.leaves.partition_point(|l| l.code_lo <= code);
+        if idx == 0 {
+            return None;
+        }
+        let leaf = &self.leaves[idx - 1];
+        debug_assert!(code < leaf.code_hi, "leaf ranges must tile the space");
+        Some(idx - 1)
+    }
+
+    /// The points stored in the leaf block containing `p` (empty slice
+    /// when `p` is outside the region).
+    pub fn block_points(&self, p: &Point2) -> &[Point2] {
+        match self.leaf_index_of(p) {
+            Some(i) => {
+                let l = &self.leaves[i];
+                &self.points[l.points_start as usize..(l.points_start + l.points_len) as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &Point2) -> bool {
+        self.block_points(p).contains(p)
+    }
+
+    /// The depth of the leaf block containing `p`.
+    pub fn block_depth(&self, p: &Point2) -> Option<u32> {
+        self.leaf_index_of(p).map(|i| self.leaves[i].depth)
+    }
+
+    /// All stored points inside `query`.
+    ///
+    /// Walks only the leaves whose Morton ranges can intersect the query
+    /// rectangle's code range (a conservative prune: Z-order ranges of a
+    /// rectangle are not contiguous, but the min/max corner codes bound
+    /// them).
+    pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
+        let mut out = Vec::new();
+        if !self.region.overlaps(query) {
+            return out;
+        }
+        // Clamp the query into the region to compute code bounds.
+        let eps = f64::EPSILON;
+        let lo = Point2::new(
+            query.x().lo().max(self.region.x().lo()),
+            query.y().lo().max(self.region.y().lo()),
+        );
+        let hi = Point2::new(
+            (query.x().hi().min(self.region.x().hi()) - eps).max(lo.x),
+            (query.y().hi().min(self.region.y().hi()) - eps).max(lo.y),
+        );
+        let code_min = morton::morton_of_point(&lo, &self.region);
+        let code_max = morton::morton_of_point(&hi, &self.region);
+        let start = self
+            .leaves
+            .partition_point(|l| l.code_hi <= code_min);
+        for l in &self.leaves[start..] {
+            if l.code_lo > code_max {
+                break;
+            }
+            let pts =
+                &self.points[l.points_start as usize..(l.points_start + l.points_len) as usize];
+            out.extend(pts.iter().filter(|p| query.contains(p)).copied());
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes (leaves + points arrays).
+    pub fn heap_bytes(&self) -> usize {
+        self.leaves.len() * std::mem::size_of::<LeafEntry>()
+            + self.points.len() * std::mem::size_of::<Point2>()
+    }
+
+    /// Verifies that leaf ranges are sorted, disjoint, and tile the full
+    /// Morton range; panics on violation.
+    pub fn check_invariants(&self) {
+        assert!(!self.leaves.is_empty(), "at least the root leaf exists");
+        let full_span = 1u64 << (2 * morton::MORTON_BITS);
+        assert_eq!(self.leaves[0].code_lo, 0, "first leaf starts at 0");
+        for w in self.leaves.windows(2) {
+            assert_eq!(
+                w[0].code_hi, w[1].code_lo,
+                "leaf ranges must be contiguous"
+            );
+        }
+        assert_eq!(
+            self.leaves.last().expect("non-empty").code_hi,
+            full_span,
+            "last leaf ends the space"
+        );
+        let total: u32 = self.leaves.iter().map(|l| l.points_len).sum();
+        assert_eq!(total as usize, self.points.len());
+    }
+}
+
+impl From<&PrQuadtree> for LinearQuadtree {
+    fn from(tree: &PrQuadtree) -> Self {
+        LinearQuadtree::from_tree(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_workload::points::{PointSource, UniformRect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_pair(n: usize, capacity: usize, seed: u64) -> (PrQuadtree, LinearQuadtree) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = UniformRect::unit().sample_n(&mut rng, n);
+        let tree = PrQuadtree::build(Rect::unit(), capacity, points).unwrap();
+        let linear = LinearQuadtree::from_tree(&tree);
+        (tree, linear)
+    }
+
+    #[test]
+    fn empty_tree_freezes_to_single_leaf() {
+        let tree = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        let linear = LinearQuadtree::from_tree(&tree);
+        assert!(linear.is_empty());
+        assert_eq!(linear.leaf_count(), 1);
+        linear.check_invariants();
+    }
+
+    #[test]
+    fn ranges_tile_the_space() {
+        let (_, linear) = build_pair(500, 2, 1);
+        linear.check_invariants();
+    }
+
+    #[test]
+    fn contains_matches_pointer_tree() {
+        let (tree, linear) = build_pair(400, 3, 2);
+        assert_eq!(linear.len(), tree.len());
+        assert_eq!(linear.leaf_count(), tree.leaf_count());
+        for p in tree.points() {
+            assert!(linear.contains(&p), "{p}");
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in UniformRect::unit().sample_n(&mut rng, 200) {
+            assert_eq!(linear.contains(&p), tree.contains(&p), "{p}");
+        }
+        assert!(!linear.contains(&Point2::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn block_depth_matches_leaf_records() {
+        use crate::node_stats::OccupancyInstrumented;
+        let (tree, linear) = build_pair(300, 1, 4);
+        // Every stored point's block depth appears in the tree's records.
+        let depths: std::collections::BTreeSet<u32> =
+            tree.leaf_records().iter().map(|r| r.depth).collect();
+        for p in tree.points() {
+            let d = linear.block_depth(&p).unwrap();
+            assert!(depths.contains(&d), "depth {d}");
+        }
+        assert_eq!(linear.block_depth(&Point2::new(-1.0, 0.0)), None);
+    }
+
+    #[test]
+    fn block_points_returns_the_leaf_contents() {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            2,
+            [
+                Point2::new(0.1, 0.1),
+                Point2::new(0.15, 0.12),
+                Point2::new(0.9, 0.9),
+            ],
+        )
+        .unwrap();
+        let linear = LinearQuadtree::from_tree(&tree);
+        let blk = linear.block_points(&Point2::new(0.12, 0.11));
+        assert_eq!(blk.len(), 2);
+        assert!(linear.block_points(&Point2::new(5.0, 5.0)).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_pointer_tree() {
+        let (tree, linear) = build_pair(600, 2, 5);
+        for rect in [
+            Rect::from_bounds(0.1, 0.2, 0.5, 0.9),
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Rect::from_bounds(0.48, 0.48, 0.52, 0.52),
+            Rect::from_bounds(0.9, 0.9, 0.95, 0.95),
+        ] {
+            let mut a = linear.range_query(&rect);
+            let mut b = tree.range_query(&rect);
+            let key = |p: &Point2| (p.x, p.y);
+            a.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+            b.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+            assert_eq!(a, b, "{rect}");
+        }
+    }
+
+    #[test]
+    fn range_query_outside_region_is_empty() {
+        let (_, linear) = build_pair(100, 2, 6);
+        assert!(linear
+            .range_query(&Rect::from_bounds(2.0, 2.0, 3.0, 3.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn footprint_is_reported() {
+        let (_, linear) = build_pair(1000, 4, 7);
+        let bytes = linear.heap_bytes();
+        assert!(bytes > 0);
+        // Flat arrays: points dominate (16 bytes each), leaves ~32 bytes.
+        assert!(bytes < 1000 * 16 + linear.leaf_count() * 64 + 1024);
+    }
+
+    #[test]
+    fn from_reference_conversion() {
+        let (tree, _) = build_pair(50, 1, 8);
+        let linear: LinearQuadtree = (&tree).into();
+        assert_eq!(linear.len(), 50);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn linear_and_pointer_trees_agree(
+            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120),
+            capacity in 1usize..5,
+            probe in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10),
+        ) {
+            let points: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let tree = PrQuadtree::build(Rect::unit(), capacity, points).unwrap();
+            let linear = LinearQuadtree::from_tree(&tree);
+            linear.check_invariants();
+            for &(x, y) in &probe {
+                let p = Point2::new(x, y);
+                prop_assert_eq!(linear.contains(&p), tree.contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Occupancy statistics over a tree's leaf nodes.
+//!
+//! The paper's state vector `d = (p_0, p_1, …, p_m)` is "the proportion of
+//! the nodes having occupancy i" over the *leaf* nodes of a quadtree.
+//! [`OccupancyProfile`] computes that vector (and the derived average
+//! occupancy) from a tree; [`DepthOccupancyTable`] breaks the counts down
+//! by node depth for the aging analysis (Table 3).
+
+use std::collections::BTreeMap;
+
+/// One leaf node observation: its depth and how many items it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafRecord {
+    /// Depth of the leaf (root = 0).
+    pub depth: u32,
+    /// Number of stored items.
+    pub occupancy: usize,
+}
+
+/// Counts of leaf nodes by occupancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyProfile {
+    /// `counts[i]` = number of leaves holding exactly `i` items.
+    counts: Vec<u64>,
+}
+
+impl OccupancyProfile {
+    /// Builds a profile from leaf records.
+    pub fn from_leaves<'a>(leaves: impl IntoIterator<Item = &'a LeafRecord>) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        for leaf in leaves {
+            if leaf.occupancy >= counts.len() {
+                counts.resize(leaf.occupancy + 1, 0);
+            }
+            counts[leaf.occupancy] += 1;
+        }
+        OccupancyProfile { counts }
+    }
+
+    /// Builds a profile directly from occupancy counts (`counts[i]` leaves
+    /// of occupancy `i`).
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        OccupancyProfile { counts }
+    }
+
+    /// Number of leaves with occupancy `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total number of leaves.
+    pub fn total_leaves(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total number of stored items.
+    pub fn total_items(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum()
+    }
+
+    /// Highest observed occupancy.
+    pub fn max_occupancy(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Average items per leaf — the paper's *average node occupancy*.
+    /// Returns 0 for an empty profile.
+    pub fn average_occupancy(&self) -> f64 {
+        let leaves = self.total_leaves();
+        if leaves == 0 {
+            0.0
+        } else {
+            self.total_items() as f64 / leaves as f64
+        }
+    }
+
+    /// The proportion vector `(p_0, …, p_m)` of length `capacity + 1`.
+    ///
+    /// Occupancies above `capacity` (possible only for max-depth-truncated
+    /// leaves) are folded into the last component, mirroring how the
+    /// paper's implementation reported its deepest level. Returns all
+    /// zeros for an empty profile.
+    pub fn proportions(&self, capacity: usize) -> Vec<f64> {
+        let total = self.total_leaves();
+        let mut out = vec![0.0; capacity + 1];
+        if total == 0 {
+            return out;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            out[i.min(capacity)] += c as f64 / total as f64;
+        }
+        out
+    }
+
+    /// Storage utilization: average occupancy divided by capacity.
+    pub fn utilization(&self, capacity: usize) -> f64 {
+        assert!(capacity > 0, "capacity must be positive");
+        self.average_occupancy() / capacity as f64
+    }
+}
+
+/// Leaf counts broken down by depth — the raw data of the paper's
+/// Table 3 ("Occupancy by node size").
+#[derive(Debug, Clone, Default)]
+pub struct DepthOccupancyTable {
+    /// depth → occupancy counts at that depth.
+    rows: BTreeMap<u32, Vec<u64>>,
+}
+
+impl DepthOccupancyTable {
+    /// Builds the table from leaf records.
+    pub fn from_leaves<'a>(leaves: impl IntoIterator<Item = &'a LeafRecord>) -> Self {
+        let mut rows: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for leaf in leaves {
+            let row = rows.entry(leaf.depth).or_default();
+            if leaf.occupancy >= row.len() {
+                row.resize(leaf.occupancy + 1, 0);
+            }
+            row[leaf.occupancy] += 1;
+        }
+        DepthOccupancyTable { rows }
+    }
+
+    /// Depths present, ascending.
+    pub fn depths(&self) -> Vec<u32> {
+        self.rows.keys().copied().collect()
+    }
+
+    /// Count of depth-`d` leaves with occupancy `i`.
+    pub fn count(&self, depth: u32, occupancy: usize) -> u64 {
+        self.rows
+            .get(&depth)
+            .and_then(|r| r.get(occupancy))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total leaves at a depth.
+    pub fn leaves_at(&self, depth: u32) -> u64 {
+        self.rows.get(&depth).map_or(0, |r| r.iter().sum())
+    }
+
+    /// Average occupancy of the leaves at a depth (`None` if no leaves).
+    ///
+    /// The paper's Table 3 shows this decreasing with depth (i.e. with
+    /// decreasing block size): the *aging* effect.
+    pub fn average_occupancy_at(&self, depth: u32) -> Option<f64> {
+        let row = self.rows.get(&depth)?;
+        let leaves: u64 = row.iter().sum();
+        if leaves == 0 {
+            return None;
+        }
+        let items: u64 = row.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
+        Some(items as f64 / leaves as f64)
+    }
+
+    /// Collapses the table into an [`OccupancyProfile`].
+    pub fn profile(&self) -> OccupancyProfile {
+        let max = self
+            .rows
+            .values()
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0u64; max];
+        for row in self.rows.values() {
+            for (i, &c) in row.iter().enumerate() {
+                counts[i] += c;
+            }
+        }
+        OccupancyProfile::from_counts(counts)
+    }
+}
+
+/// A tree whose leaves can be enumerated for occupancy analysis.
+///
+/// Implemented by every bucketing structure in this crate; the experiment
+/// harness is generic over it.
+pub trait OccupancyInstrumented {
+    /// Node capacity `m` of the splitting rule.
+    fn capacity(&self) -> usize;
+
+    /// One record per leaf node.
+    fn leaf_records(&self) -> Vec<LeafRecord>;
+
+    /// Occupancy profile over all leaves.
+    fn occupancy_profile(&self) -> OccupancyProfile {
+        OccupancyProfile::from_leaves(&self.leaf_records())
+    }
+
+    /// Per-depth occupancy table.
+    fn depth_table(&self) -> DepthOccupancyTable {
+        DepthOccupancyTable::from_leaves(&self.leaf_records())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(records: &[(u32, usize)]) -> Vec<LeafRecord> {
+        records
+            .iter()
+            .map(|&(depth, occupancy)| LeafRecord { depth, occupancy })
+            .collect()
+    }
+
+    #[test]
+    fn profile_counts_and_totals() {
+        let ls = leaves(&[(1, 0), (1, 1), (2, 1), (2, 2), (3, 2)]);
+        let p = OccupancyProfile::from_leaves(&ls);
+        assert_eq!(p.count(0), 1);
+        assert_eq!(p.count(1), 2);
+        assert_eq!(p.count(2), 2);
+        assert_eq!(p.count(3), 0);
+        assert_eq!(p.total_leaves(), 5);
+        assert_eq!(p.total_items(), 6);
+        assert_eq!(p.max_occupancy(), 2);
+        assert!((p.average_occupancy() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let p = OccupancyProfile::from_leaves(&[]);
+        assert_eq!(p.total_leaves(), 0);
+        assert_eq!(p.average_occupancy(), 0.0);
+        assert_eq!(p.proportions(3), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn proportions_sum_to_one_and_fold_overflow() {
+        let ls = leaves(&[(9, 0), (9, 1), (9, 3)]); // occupancy 3 > capacity 1
+        let p = OccupancyProfile::from_leaves(&ls);
+        let props = p.proportions(1);
+        assert_eq!(props.len(), 2);
+        assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((props[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((props[1] - 2.0 / 3.0).abs() < 1e-12); // 1 and the folded 3
+    }
+
+    #[test]
+    fn utilization_is_relative_to_capacity() {
+        let p = OccupancyProfile::from_counts(vec![0, 0, 4]); // all leaves at occupancy 2
+        assert!((p.utilization(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn utilization_rejects_zero_capacity() {
+        OccupancyProfile::from_counts(vec![1]).utilization(0);
+    }
+
+    #[test]
+    fn depth_table_reproduces_table3_shape() {
+        // Two depths: the shallow one better filled (aging).
+        let ls = leaves(&[(4, 1), (4, 1), (4, 0), (5, 0), (5, 0), (5, 1)]);
+        let t = DepthOccupancyTable::from_leaves(&ls);
+        assert_eq!(t.depths(), vec![4, 5]);
+        assert_eq!(t.count(4, 1), 2);
+        assert_eq!(t.count(4, 0), 1);
+        assert_eq!(t.leaves_at(5), 3);
+        assert!(t.average_occupancy_at(4).unwrap() > t.average_occupancy_at(5).unwrap());
+        assert_eq!(t.average_occupancy_at(9), None);
+        assert_eq!(t.count(9, 0), 0);
+    }
+
+    #[test]
+    fn depth_table_collapses_to_profile() {
+        let ls = leaves(&[(4, 1), (5, 1), (5, 2)]);
+        let t = DepthOccupancyTable::from_leaves(&ls);
+        let p = t.profile();
+        assert_eq!(p.count(1), 2);
+        assert_eq!(p.count(2), 1);
+        assert_eq!(p.total_leaves(), 3);
+        assert_eq!(p, OccupancyProfile::from_leaves(&ls));
+    }
+
+    #[test]
+    fn trait_default_methods_agree_with_manual_construction() {
+        struct Fake;
+        impl OccupancyInstrumented for Fake {
+            fn capacity(&self) -> usize {
+                2
+            }
+            fn leaf_records(&self) -> Vec<LeafRecord> {
+                leaves(&[(1, 0), (1, 2), (2, 1)])
+            }
+        }
+        let f = Fake;
+        assert_eq!(f.occupancy_profile().total_leaves(), 3);
+        assert_eq!(f.depth_table().leaves_at(1), 2);
+        assert_eq!(f.capacity(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn proportions_always_sum_to_one_when_nonempty(
+            occupancies in proptest::collection::vec((0u32..12, 0usize..10), 1..60),
+            capacity in 1usize..9,
+        ) {
+            let ls: Vec<LeafRecord> = occupancies
+                .iter()
+                .map(|&(d, o)| LeafRecord { depth: d, occupancy: o })
+                .collect();
+            let p = OccupancyProfile::from_leaves(&ls);
+            let props = p.proportions(capacity);
+            prop_assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(props.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+
+        #[test]
+        fn depth_table_conserves_counts(
+            occupancies in proptest::collection::vec((0u32..8, 0usize..6), 0..60),
+        ) {
+            let ls: Vec<LeafRecord> = occupancies
+                .iter()
+                .map(|&(d, o)| LeafRecord { depth: d, occupancy: o })
+                .collect();
+            let t = DepthOccupancyTable::from_leaves(&ls);
+            let total: u64 = t.depths().iter().map(|&d| t.leaves_at(d)).sum();
+            prop_assert_eq!(total, ls.len() as u64);
+            prop_assert_eq!(t.profile().total_leaves(), ls.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The classical (Finkel–Bentley) point quadtree.
+//!
+//! Included for the paper's §II taxonomy: the second decomposition family,
+//! where "the partition is determined explicitly by the data as it is
+//! entered into the structure" — each stored point becomes the partition
+//! origin of its subtree, so "the shape of the final structure depends
+//! critically on the order in which the information was inserted".
+//!
+//! Because every node holds exactly one point, the point quadtree has no
+//! occupancy populations; the interesting statistics are depth-related,
+//! which is what this implementation exposes.
+
+use crate::pr_quadtree::TreeError;
+use popan_geom::Point2;
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: Point2,
+    /// Children by quadrant relative to `point`: index = (y ≥ py)·2 + (x ≥ px),
+    /// matching [`popan_geom::Quadrant`] numbering.
+    children: [Option<Box<Node>>; 4],
+}
+
+impl Node {
+    fn new(point: Point2) -> Node {
+        Node {
+            point,
+            children: [None, None, None, None],
+        }
+    }
+
+    fn quadrant_index(&self, p: &Point2) -> usize {
+        usize::from(p.y >= self.point.y) * 2 + usize::from(p.x >= self.point.x)
+    }
+}
+
+/// A point quadtree: one point per node, data-dependent partitions.
+#[derive(Debug, Clone, Default)]
+pub struct PointQuadtree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl PointQuadtree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        PointQuadtree::default()
+    }
+
+    /// Builds a tree by inserting `points` in order.
+    pub fn build(points: impl IntoIterator<Item = Point2>) -> Result<Self, TreeError> {
+        let mut t = Self::new();
+        for p in points {
+            t.insert(p)?;
+        }
+        Ok(t)
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point. Duplicate points are rejected (the point quadtree
+    /// stores *distinct* keys; a duplicate would land forever in the same
+    /// `≥/≥` quadrant of itself).
+    pub fn insert(&mut self, p: Point2) -> Result<(), TreeError> {
+        if !p.is_finite() {
+            return Err(TreeError::NonFinitePoint);
+        }
+        match &mut self.root {
+            None => {
+                self.root = Some(Box::new(Node::new(p)));
+            }
+            Some(root) => {
+                let mut node = root.as_mut();
+                loop {
+                    if node.point == p {
+                        return Err(TreeError::InvalidParameter(format!(
+                            "duplicate point {p}"
+                        )));
+                    }
+                    let q = node.quadrant_index(&p);
+                    if node.children[q].is_none() {
+                        node.children[q] = Some(Box::new(Node::new(p)));
+                        break;
+                    }
+                    node = node.children[q].as_mut().unwrap();
+                }
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &Point2) -> bool {
+        let mut node = match &self.root {
+            None => return false,
+            Some(n) => n.as_ref(),
+        };
+        loop {
+            if node.point == *p {
+                return true;
+            }
+            match &node.children[node.quadrant_index(p)] {
+                None => return false,
+                Some(child) => node = child.as_ref(),
+            }
+        }
+    }
+
+    /// Depth of the deepest node (root = 0); `None` when empty.
+    pub fn max_depth(&self) -> Option<u32> {
+        fn walk(node: &Node) -> u32 {
+            node.children
+                .iter()
+                .flatten()
+                .map(|c| 1 + walk(c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.root.as_ref().map(|r| walk(r))
+    }
+
+    /// Mean node depth; `None` when empty. Order-sensitivity shows up
+    /// here: sorted insertions degenerate toward a list.
+    pub fn mean_depth(&self) -> Option<f64> {
+        fn walk(node: &Node, depth: u64, sum: &mut u64, count: &mut u64) {
+            *sum += depth;
+            *count += 1;
+            for c in node.children.iter().flatten() {
+                walk(c, depth + 1, sum, count);
+            }
+        }
+        let root = self.root.as_ref()?;
+        let mut sum = 0;
+        let mut count = 0;
+        walk(root, 0, &mut sum, &mut count);
+        Some(sum as f64 / count as f64)
+    }
+
+    /// Total node count (equals [`Self::len`] — one point per node).
+    pub fn node_count(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_workload::points::{PointSource, UniformRect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = PointQuadtree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_depth(), None);
+        assert_eq!(t.mean_depth(), None);
+        assert!(!t.contains(&pt(0.0, 0.0)));
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut t = PointQuadtree::new();
+        t.insert(pt(0.5, 0.5)).unwrap();
+        t.insert(pt(0.25, 0.75)).unwrap();
+        t.insert(pt(0.75, 0.25)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&pt(0.25, 0.75)));
+        assert!(!t.contains(&pt(0.25, 0.25)));
+        assert_eq!(t.max_depth(), Some(1));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut t = PointQuadtree::new();
+        t.insert(pt(0.5, 0.5)).unwrap();
+        assert!(t.insert(pt(0.5, 0.5)).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut t = PointQuadtree::new();
+        assert!(t.insert(pt(f64::NAN, 0.0)).is_err());
+    }
+
+    #[test]
+    fn shape_depends_on_insertion_order() {
+        // Paper §II: the point quadtree is order-sensitive (the PR
+        // quadtree is not — see the PR quadtree tests).
+        let balanced = PointQuadtree::build([
+            pt(0.5, 0.5),
+            pt(0.25, 0.25),
+            pt(0.75, 0.75),
+            pt(0.25, 0.75),
+            pt(0.75, 0.25),
+        ])
+        .unwrap();
+        // Sorted along the diagonal: degenerates to a path.
+        let degenerate = PointQuadtree::build([
+            pt(0.1, 0.1),
+            pt(0.2, 0.2),
+            pt(0.3, 0.3),
+            pt(0.4, 0.4),
+            pt(0.5, 0.5),
+        ])
+        .unwrap();
+        assert_eq!(balanced.max_depth(), Some(1));
+        assert_eq!(degenerate.max_depth(), Some(4));
+    }
+
+    #[test]
+    fn random_build_contains_everything() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = src.sample_n(&mut rng, 500);
+        let t = PointQuadtree::build(points.iter().copied()).unwrap();
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.node_count(), 500);
+        for p in &points {
+            assert!(t.contains(p));
+        }
+        // Random order gives roughly logarithmic depth.
+        let d = t.max_depth().unwrap();
+        assert!(d < 25, "random point quadtree depth {d} suspiciously large");
+        assert!(t.mean_depth().unwrap() < d as f64);
+    }
+}

@@ -1,0 +1,356 @@
+//! The PR octree: the PR bucketing discipline in 3-D.
+//!
+//! The paper remarks that "the same principles apply in the case of
+//! octrees and higher dimensional data structures" — branching factor 8
+//! instead of 4. The `dims` extension experiment validates the generalized
+//! population model against this tree.
+
+use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::pr_quadtree::TreeError;
+use popan_geom::{Aabb3, Octant, Point3};
+
+/// Default depth limit (see [`crate::pr_quadtree::DEFAULT_MAX_DEPTH`]).
+pub const DEFAULT_MAX_DEPTH: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<Point3>),
+    Internal(Vec<Node>), // always 8 children
+}
+
+impl Node {
+    fn empty_leaf() -> Node {
+        Node::Leaf(Vec::new())
+    }
+}
+
+/// A generalized PR octree with node capacity `m`.
+#[derive(Debug, Clone)]
+pub struct PrOctree {
+    root: Node,
+    region: Aabb3,
+    capacity: usize,
+    max_depth: u32,
+    len: usize,
+}
+
+impl PrOctree {
+    /// Creates an empty octree over `region` with node capacity `capacity`.
+    pub fn new(region: Aabb3, capacity: usize) -> Result<Self, TreeError> {
+        if capacity == 0 {
+            return Err(TreeError::InvalidParameter(
+                "node capacity must be at least 1".into(),
+            ));
+        }
+        Ok(PrOctree {
+            root: Node::empty_leaf(),
+            region,
+            capacity,
+            max_depth: DEFAULT_MAX_DEPTH,
+            len: 0,
+        })
+    }
+
+    /// Builds an octree by inserting `points` in order.
+    pub fn build(
+        region: Aabb3,
+        capacity: usize,
+        points: impl IntoIterator<Item = Point3>,
+    ) -> Result<Self, TreeError> {
+        let mut t = Self::new(region, capacity)?;
+        for p in points {
+            t.insert(p)?;
+        }
+        Ok(t)
+    }
+
+    /// The region covered.
+    pub fn region(&self) -> Aabb3 {
+        self.region
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point, splitting per the PR rule.
+    pub fn insert(&mut self, p: Point3) -> Result<(), TreeError> {
+        if !p.is_finite() {
+            return Err(TreeError::NonFinitePoint);
+        }
+        if !self.region.contains(&p) {
+            return Err(TreeError::InvalidParameter(format!(
+                "point {p} lies outside the octree region"
+            )));
+        }
+        Self::insert_rec(
+            &mut self.root,
+            self.region,
+            0,
+            self.max_depth,
+            self.capacity,
+            p,
+        );
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        node: &mut Node,
+        block: Aabb3,
+        depth: u32,
+        max_depth: u32,
+        capacity: usize,
+        p: Point3,
+    ) {
+        match node {
+            Node::Internal(children) => {
+                let o = block.octant_of(&p);
+                Self::insert_rec(
+                    &mut children[o.index()],
+                    block.octant(o),
+                    depth + 1,
+                    max_depth,
+                    capacity,
+                    p,
+                );
+            }
+            Node::Leaf(points) => {
+                points.push(p);
+                if points.len() > capacity && depth < max_depth {
+                    let first = points[0];
+                    if points.iter().all(|q| *q == first) {
+                        return;
+                    }
+                    Self::split_leaf(node, block, depth, max_depth, capacity);
+                }
+            }
+        }
+    }
+
+    fn split_leaf(node: &mut Node, block: Aabb3, depth: u32, max_depth: u32, capacity: usize) {
+        let points = match std::mem::replace(node, Node::empty_leaf()) {
+            Node::Leaf(points) => points,
+            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
+        };
+        let mut children: Vec<Node> = (0..8).map(|_| Node::empty_leaf()).collect();
+        for p in points {
+            let o = block.octant_of(&p);
+            match &mut children[o.index()] {
+                Node::Leaf(v) => v.push(p),
+                Node::Internal(_) => unreachable!(),
+            }
+        }
+        for (i, child) in children.iter_mut().enumerate() {
+            let needs_split = match child {
+                Node::Leaf(v) => {
+                    v.len() > capacity && depth + 1 < max_depth && {
+                        let first = v[0];
+                        !v.iter().all(|q| *q == first)
+                    }
+                }
+                Node::Internal(_) => false,
+            };
+            if needs_split {
+                Self::split_leaf(
+                    child,
+                    block.octant(Octant::from_index(i)),
+                    depth + 1,
+                    max_depth,
+                    capacity,
+                );
+            }
+        }
+        *node = Node::Internal(children);
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &Point3) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        let mut node = &self.root;
+        let mut block = self.region;
+        loop {
+            match node {
+                Node::Leaf(points) => return points.contains(p),
+                Node::Internal(children) => {
+                    let o = block.octant_of(p);
+                    node = &children[o.index()];
+                    block = block.octant(o);
+                }
+            }
+        }
+    }
+
+    /// Total node count (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Leaf node count.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_records().len()
+    }
+
+    /// Verifies structural invariants (see
+    /// [`crate::pr_quadtree::PrQuadtree::check_invariants`]).
+    pub fn check_invariants(&self) {
+        fn walk(node: &Node, block: Aabb3, depth: u32, capacity: usize, max_depth: u32, total: &mut usize) {
+            match node {
+                Node::Leaf(points) => {
+                    *total += points.len();
+                    for p in points {
+                        assert!(block.contains(p), "point {p} outside its leaf block");
+                    }
+                    if points.len() > capacity {
+                        let first = points[0];
+                        let coincident = points.iter().all(|q| *q == first);
+                        assert!(
+                            depth >= max_depth || coincident,
+                            "over-full octree leaf at depth {depth}"
+                        );
+                    }
+                }
+                Node::Internal(children) => {
+                    assert_eq!(children.len(), 8);
+                    for (i, child) in children.iter().enumerate() {
+                        walk(
+                            child,
+                            block.octant(Octant::from_index(i)),
+                            depth + 1,
+                            capacity,
+                            max_depth,
+                            total,
+                        );
+                    }
+                }
+            }
+        }
+        let mut total = 0;
+        walk(
+            &self.root,
+            self.region,
+            0,
+            self.capacity,
+            self.max_depth,
+            &mut total,
+        );
+        assert_eq!(total, self.len, "stored point count mismatch");
+    }
+}
+
+impl OccupancyInstrumented for PrOctree {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn leaf_records(&self) -> Vec<LeafRecord> {
+        fn walk(node: &Node, depth: u32, out: &mut Vec<LeafRecord>) {
+            match node {
+                Node::Leaf(points) => out.push(LeafRecord {
+                    depth,
+                    occupancy: points.len(),
+                }),
+                Node::Internal(children) => {
+                    for child in children {
+                        walk(child, depth + 1, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_workload::points::UniformCube;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_single() {
+        let mut t = PrOctree::new(Aabb3::unit(), 1).unwrap();
+        assert!(t.is_empty());
+        t.insert(Point3::new(0.5, 0.5, 0.5)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.contains(&Point3::new(0.5, 0.5, 0.5)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(PrOctree::new(Aabb3::unit(), 0).is_err());
+        let mut t = PrOctree::new(Aabb3::unit(), 1).unwrap();
+        assert!(t.insert(Point3::new(2.0, 0.0, 0.0)).is_err());
+        assert!(t.insert(Point3::new(f64::NAN, 0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn split_produces_eight_children() {
+        let mut t = PrOctree::new(Aabb3::unit(), 1).unwrap();
+        t.insert(Point3::new(0.1, 0.1, 0.1)).unwrap();
+        t.insert(Point3::new(0.9, 0.9, 0.9)).unwrap();
+        assert_eq!(t.node_count(), 9); // root + 8 children
+        assert_eq!(t.leaf_count(), 8);
+        let profile = t.occupancy_profile();
+        assert_eq!(profile.count(0), 6);
+        assert_eq!(profile.count(1), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn random_build_invariants_and_lookup() {
+        let src = UniformCube::unit();
+        let mut rng = StdRng::seed_from_u64(5);
+        let points = src.sample_n(&mut rng, 600);
+        let t = PrOctree::build(Aabb3::unit(), 4, points.iter().copied()).unwrap();
+        t.check_invariants();
+        assert_eq!(t.len(), 600);
+        for p in &points {
+            assert!(t.contains(p));
+        }
+        let profile = t.occupancy_profile();
+        assert_eq!(profile.total_items(), 600);
+        assert!(profile.max_occupancy() <= 4);
+    }
+
+    #[test]
+    fn coincident_points_do_not_split() {
+        let mut t = PrOctree::new(Aabb3::unit(), 1).unwrap();
+        for _ in 0..4 {
+            t.insert(Point3::new(0.3, 0.3, 0.3)).unwrap();
+        }
+        assert_eq!(t.node_count(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn node_count_identity_for_octree() {
+        // Every split adds 8 nodes: leaves = 7·internal + 1.
+        let src = UniformCube::unit();
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = PrOctree::build(Aabb3::unit(), 1, src.sample_n(&mut rng, 300)).unwrap();
+        let n = t.node_count();
+        let leaves = t.leaf_count();
+        let internal = n - leaves;
+        assert_eq!(leaves, internal * 7 + 1);
+    }
+}

@@ -1,0 +1,1106 @@
+//! The generalized PR quadtree for point data.
+//!
+//! Regular decomposition of a square region into quadrants with the
+//! paper's splitting rule: *"split until no block contains more than m
+//! points"* (§II). `m = 1` gives the simple PR quadtree of Figure 1;
+//! larger `m` gives the generalized (bucket) PR quadtree whose occupancy
+//! populations the paper analyzes.
+//!
+//! # Semantics
+//!
+//! * The tree covers a fixed region; inserting a point outside it is an
+//!   error (regular decomposition has "pre-defined boundaries").
+//! * Points are a multiset: exact duplicates are stored. Since coincident
+//!   points can never be separated by splitting, a leaf whose points are
+//!   all coincident is not split further (and a `max_depth` bound caps
+//!   pathological near-duplicates, reproducing the paper's
+//!   depth-truncation artifact when set low).
+//! * Leaves at `max_depth` may exceed the capacity.
+
+use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use popan_geom::{Point2, Quadrant, Rect};
+
+/// Default depth limit: effectively unbounded for the workloads here, but
+/// protects against coincident-point pathologies.
+pub const DEFAULT_MAX_DEPTH: u32 = 32;
+
+/// Error type for tree operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// The point lies outside the tree's region.
+    OutOfRegion {
+        /// The offending point.
+        point: Point2,
+    },
+    /// The point has a non-finite coordinate.
+    NonFinitePoint,
+    /// Invalid construction parameter.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::OutOfRegion { point } => {
+                write!(f, "point {point} lies outside the tree region")
+            }
+            TreeError::NonFinitePoint => write!(f, "point has a non-finite coordinate"),
+            TreeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<Point2>),
+    Internal(Box<[Node; 4]>),
+}
+
+impl Node {
+    fn empty_leaf() -> Node {
+        Node::Leaf(Vec::new())
+    }
+}
+
+/// A generalized PR quadtree with node capacity `m`.
+#[derive(Debug, Clone)]
+pub struct PrQuadtree {
+    root: Node,
+    region: Rect,
+    capacity: usize,
+    max_depth: u32,
+    len: usize,
+}
+
+impl PrQuadtree {
+    /// Creates an empty tree over `region` with node capacity `capacity`
+    /// and the default depth limit.
+    pub fn new(region: Rect, capacity: usize) -> Result<Self, TreeError> {
+        Self::with_max_depth(region, capacity, DEFAULT_MAX_DEPTH)
+    }
+
+    /// Creates an empty tree with an explicit depth limit.
+    ///
+    /// The paper's implementation "truncates the tree at that depth
+    /// (9)"; passing `max_depth = 9` reproduces its Table 3 artifact.
+    pub fn with_max_depth(region: Rect, capacity: usize, max_depth: u32) -> Result<Self, TreeError> {
+        if capacity == 0 {
+            return Err(TreeError::InvalidParameter(
+                "node capacity must be at least 1".into(),
+            ));
+        }
+        Ok(PrQuadtree {
+            root: Node::empty_leaf(),
+            region,
+            capacity,
+            max_depth,
+            len: 0,
+        })
+    }
+
+    /// Builds a tree by inserting `points` in order.
+    pub fn build(
+        region: Rect,
+        capacity: usize,
+        points: impl IntoIterator<Item = Point2>,
+    ) -> Result<Self, TreeError> {
+        let mut t = Self::new(region, capacity)?;
+        for p in points {
+            t.insert(p)?;
+        }
+        Ok(t)
+    }
+
+    /// The region covered.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The depth limit.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point, splitting per the PR rule.
+    pub fn insert(&mut self, p: Point2) -> Result<(), TreeError> {
+        if !p.is_finite() {
+            return Err(TreeError::NonFinitePoint);
+        }
+        if !self.region.contains(&p) {
+            return Err(TreeError::OutOfRegion { point: p });
+        }
+        Self::insert_rec(
+            &mut self.root,
+            self.region,
+            0,
+            self.max_depth,
+            self.capacity,
+            p,
+        );
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        node: &mut Node,
+        block: Rect,
+        depth: u32,
+        max_depth: u32,
+        capacity: usize,
+        p: Point2,
+    ) {
+        match node {
+            Node::Internal(children) => {
+                let q = block.quadrant_of(&p);
+                Self::insert_rec(
+                    &mut children[q.index()],
+                    block.quadrant(q),
+                    depth + 1,
+                    max_depth,
+                    capacity,
+                    p,
+                );
+            }
+            Node::Leaf(points) => {
+                points.push(p);
+                if points.len() > capacity && depth < max_depth {
+                    // Coincident points can never be separated; splitting
+                    // such a leaf would recurse to max_depth for nothing.
+                    let first = points[0];
+                    if points.iter().all(|q| *q == first) {
+                        return;
+                    }
+                    Self::split_leaf(node, block, depth, max_depth, capacity);
+                }
+            }
+        }
+    }
+
+    /// Converts an over-full leaf into an internal node, redistributing
+    /// points and splitting children recursively while they overflow —
+    /// the paper's "the block must be split, perhaps several times, until
+    /// the points lie in separate blocks".
+    fn split_leaf(node: &mut Node, block: Rect, depth: u32, max_depth: u32, capacity: usize) {
+        let points = match std::mem::replace(node, Node::empty_leaf()) {
+            Node::Leaf(points) => points,
+            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
+        };
+        let mut children = Box::new([
+            Node::empty_leaf(),
+            Node::empty_leaf(),
+            Node::empty_leaf(),
+            Node::empty_leaf(),
+        ]);
+        for p in points {
+            let q = block.quadrant_of(&p);
+            match &mut children[q.index()] {
+                Node::Leaf(v) => v.push(p),
+                Node::Internal(_) => unreachable!(),
+            }
+        }
+        for (i, child) in children.iter_mut().enumerate() {
+            let needs_split = match child {
+                Node::Leaf(v) => {
+                    v.len() > capacity && depth + 1 < max_depth && {
+                        let first = v[0];
+                        !v.iter().all(|q| *q == first)
+                    }
+                }
+                Node::Internal(_) => false,
+            };
+            if needs_split {
+                let q = Quadrant::from_index(i);
+                Self::split_leaf(child, block.quadrant(q), depth + 1, max_depth, capacity);
+            }
+        }
+        *node = Node::Internal(children);
+    }
+
+    /// Removes one stored instance of `p`. Returns `true` when a point
+    /// was removed.
+    ///
+    /// After a removal, internal nodes whose children are all leaves and
+    /// whose combined occupancy fits within the capacity are collapsed
+    /// back into a single leaf, restoring the PR quadtree's minimality:
+    /// the structure after deletions is exactly what building from the
+    /// surviving point set produces (order-independence extends to
+    /// deletion).
+    pub fn remove(&mut self, p: &Point2) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        let removed = Self::remove_rec(&mut self.root, self.region, self.capacity, p);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node, block: Rect, capacity: usize, p: &Point2) -> bool {
+        match node {
+            Node::Leaf(points) => match points.iter().position(|q| q == p) {
+                Some(idx) => {
+                    points.swap_remove(idx);
+                    true
+                }
+                None => false,
+            },
+            Node::Internal(children) => {
+                let q = block.quadrant_of(p);
+                let removed = Self::remove_rec(
+                    &mut children[q.index()],
+                    block.quadrant(q),
+                    capacity,
+                    p,
+                );
+                if removed {
+                    Self::try_collapse(node, capacity);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Collapses an internal node whose children are all leaves holding
+    /// at most `capacity` points combined.
+    fn try_collapse(node: &mut Node, capacity: usize) {
+        let Node::Internal(children) = node else {
+            return;
+        };
+        let mut total = 0;
+        for child in children.iter() {
+            match child {
+                Node::Leaf(points) => total += points.len(),
+                Node::Internal(_) => return,
+            }
+        }
+        if total > capacity {
+            // One exception mirrors insertion's coincident-point rule: a
+            // pile of identical points larger than the capacity lives in
+            // a single undivided leaf, so siblings of such a pile that
+            // have emptied out must still fold away.
+            let mut first: Option<Point2> = None;
+            let all_coincident = children.iter().all(|child| match child {
+                Node::Leaf(points) => points.iter().all(|q| match first {
+                    Some(f) => *q == f,
+                    None => {
+                        first = Some(*q);
+                        true
+                    }
+                }),
+                Node::Internal(_) => false,
+            });
+            if !all_coincident {
+                return;
+            }
+        }
+        let mut merged = Vec::with_capacity(total);
+        for child in children.iter_mut() {
+            if let Node::Leaf(points) = child {
+                merged.append(points);
+            }
+        }
+        *node = Node::Leaf(merged);
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &Point2) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        let mut node = &self.root;
+        let mut block = self.region;
+        loop {
+            match node {
+                Node::Leaf(points) => return points.contains(p),
+                Node::Internal(children) => {
+                    let q = block.quadrant_of(p);
+                    node = &children[q.index()];
+                    block = block.quadrant(q);
+                }
+            }
+        }
+    }
+
+    /// All stored points inside `query` (half-open on both axes).
+    pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, self.region, query, &mut out);
+        out
+    }
+
+    fn range_rec(node: &Node, block: Rect, query: &Rect, out: &mut Vec<Point2>) {
+        if !block.overlaps(query) {
+            return;
+        }
+        match node {
+            Node::Leaf(points) => {
+                out.extend(points.iter().filter(|p| query.contains(p)).copied());
+            }
+            Node::Internal(children) => {
+                for (i, child) in children.iter().enumerate() {
+                    Self::range_rec(child, block.quadrant(Quadrant::from_index(i)), query, out);
+                }
+            }
+        }
+    }
+
+    /// Counts stored points inside `query` without materializing them.
+    pub fn count_in_range(&self, query: &Rect) -> usize {
+        fn rec(node: &Node, block: Rect, query: &Rect) -> usize {
+            if !block.overlaps(query) {
+                return 0;
+            }
+            match node {
+                Node::Leaf(points) => points.iter().filter(|p| query.contains(p)).count(),
+                Node::Internal(children) => {
+                    if query.contains_rect(&block) {
+                        // Whole block inside the query: count everything.
+                        return children
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| count_all(c, block.quadrant(Quadrant::from_index(i))))
+                            .sum();
+                    }
+                    children
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| rec(c, block.quadrant(Quadrant::from_index(i)), query))
+                        .sum()
+                }
+            }
+        }
+        fn count_all(node: &Node, block: Rect) -> usize {
+            match node {
+                Node::Leaf(points) => points.len(),
+                Node::Internal(children) => children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| count_all(c, block.quadrant(Quadrant::from_index(i))))
+                    .sum(),
+            }
+        }
+        rec(&self.root, self.region, query)
+    }
+
+    /// The `k` stored points nearest to `target`, nearest first (fewer
+    /// when the tree holds fewer than `k` points).
+    pub fn k_nearest(&self, target: &Point2, k: usize) -> Vec<Point2> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Best list kept sorted ascending by distance; worst-first pruning.
+        let mut best: Vec<(f64, Point2)> = Vec::with_capacity(k + 1);
+        Self::k_nearest_rec(&self.root, self.region, target, k, &mut best);
+        best.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn k_nearest_rec(
+        node: &Node,
+        block: Rect,
+        target: &Point2,
+        k: usize,
+        best: &mut Vec<(f64, Point2)>,
+    ) {
+        if best.len() == k {
+            let worst = best.last().expect("non-empty at capacity").0;
+            if Self::min_dist_squared(&block, target) > worst {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf(points) => {
+                for p in points {
+                    let d2 = p.distance_squared(target);
+                    if best.len() < k || d2 < best.last().expect("full").0 {
+                        let pos = best
+                            .partition_point(|&(bd, _)| bd <= d2);
+                        best.insert(pos, (d2, *p));
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                let mut order: Vec<(f64, usize)> = (0..4)
+                    .map(|i| {
+                        let b = block.quadrant(Quadrant::from_index(i));
+                        (Self::min_dist_squared(&b, target), i)
+                    })
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                for (_, i) in order {
+                    Self::k_nearest_rec(
+                        &children[i],
+                        block.quadrant(Quadrant::from_index(i)),
+                        target,
+                        k,
+                        best,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The stored point nearest to `target` (ties broken arbitrarily);
+    /// `None` when the tree is empty. `target` need not be in the region.
+    pub fn nearest(&self, target: &Point2) -> Option<Point2> {
+        let mut best: Option<(f64, Point2)> = None;
+        Self::nearest_rec(&self.root, self.region, target, &mut best);
+        best.map(|(_, p)| p)
+    }
+
+    fn nearest_rec(node: &Node, block: Rect, target: &Point2, best: &mut Option<(f64, Point2)>) {
+        // Prune blocks that cannot beat the current best.
+        if let Some((best_d2, _)) = best {
+            if Self::min_dist_squared(&block, target) > *best_d2 {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf(points) => {
+                for p in points {
+                    let d2 = p.distance_squared(target);
+                    if best.is_none_or(|(bd, _)| d2 < bd) {
+                        *best = Some((d2, *p));
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                // Visit children nearest-first for tighter pruning.
+                let mut order: Vec<(f64, usize)> = (0..4)
+                    .map(|i| {
+                        let b = block.quadrant(Quadrant::from_index(i));
+                        (Self::min_dist_squared(&b, target), i)
+                    })
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                for (_, i) in order {
+                    Self::nearest_rec(
+                        &children[i],
+                        block.quadrant(Quadrant::from_index(i)),
+                        target,
+                        best,
+                    );
+                }
+            }
+        }
+    }
+
+    fn min_dist_squared(block: &Rect, p: &Point2) -> f64 {
+        let dx = (block.x().lo() - p.x).max(p.x - block.x().hi()).max(0.0);
+        let dy = (block.y().lo() - p.y).max(p.y - block.y().hi()).max(0.0);
+        dx * dx + dy * dy
+    }
+
+    /// Total node count (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Leaf node count — the paper's `nodes` column (its node counts are
+    /// leaf counts: Table 4 reports 16.9 "nodes" for 64 points at m = 8).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_records().len()
+    }
+
+    /// Visits every leaf with its block, depth and points.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(Rect, u32, &[Point2])) {
+        fn walk(
+            node: &Node,
+            block: Rect,
+            depth: u32,
+            f: &mut impl FnMut(Rect, u32, &[Point2]),
+        ) {
+            match node {
+                Node::Leaf(points) => f(block, depth, points),
+                Node::Internal(children) => {
+                    for (i, child) in children.iter().enumerate() {
+                        walk(child, block.quadrant(Quadrant::from_index(i)), depth + 1, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, self.region, 0, &mut f);
+    }
+
+    /// All stored points, in leaf order.
+    pub fn points(&self) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_leaf(|_, _, pts| out.extend_from_slice(pts));
+        out
+    }
+
+    /// Verifies structural invariants; panics with a description on
+    /// violation. Test/diagnostic hook.
+    ///
+    /// Checks: point count consistency; every point inside its leaf block;
+    /// no leaf above capacity unless at `max_depth` or all-coincident;
+    /// no internal node with all-empty children that could have been a
+    /// leaf is *not* checked (the PR rule can legitimately create empty
+    /// siblings).
+    pub fn check_invariants(&self) {
+        let mut total = 0usize;
+        self.for_each_leaf(|block, depth, points| {
+            total += points.len();
+            for p in points {
+                assert!(
+                    block.contains(p),
+                    "point {p} stored in leaf {block} that does not contain it"
+                );
+            }
+            if points.len() > self.capacity {
+                let first = points[0];
+                let coincident = points.iter().all(|q| *q == first);
+                assert!(
+                    depth >= self.max_depth || coincident,
+                    "leaf at depth {depth} holds {} > capacity {} without cause",
+                    points.len(),
+                    self.capacity
+                );
+            }
+            assert!(depth <= self.max_depth, "leaf deeper than max_depth");
+        });
+        assert_eq!(total, self.len, "stored point count mismatch");
+    }
+}
+
+impl OccupancyInstrumented for PrQuadtree {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn leaf_records(&self) -> Vec<LeafRecord> {
+        let mut out = Vec::new();
+        self.for_each_leaf(|_, depth, points| {
+            out.push(LeafRecord {
+                depth,
+                occupancy: points.len(),
+            })
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_stats::OccupancyInstrumented;
+    use popan_workload::points::{PointSource, UniformRect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.nearest(&pt(0.5, 0.5)), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(matches!(
+            PrQuadtree::new(Rect::unit(), 0),
+            Err(TreeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_region_and_non_finite() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        assert!(matches!(
+            t.insert(pt(1.5, 0.5)),
+            Err(TreeError::OutOfRegion { .. })
+        ));
+        assert!(matches!(
+            t.insert(pt(f64::NAN, 0.5)),
+            Err(TreeError::NonFinitePoint)
+        ));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn single_insert_no_split() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.3, 0.3)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.contains(&pt(0.3, 0.3)));
+        assert!(!t.contains(&pt(0.3, 0.31)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn figure1_four_points() {
+        // Four points in separate quadrants at m = 1: one split, 5 nodes.
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        for p in [pt(0.1, 0.1), pt(0.9, 0.1), pt(0.1, 0.9), pt(0.9, 0.9)] {
+            t.insert(p).unwrap();
+        }
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.leaf_count(), 4);
+        let profile = t.occupancy_profile();
+        assert_eq!(profile.count(1), 4);
+        assert_eq!(profile.count(0), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn close_points_force_recursive_splitting() {
+        // Two points in the same deep quadrant chain: repeated splits.
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.01, 0.01)).unwrap();
+        t.insert(pt(0.02, 0.02)).unwrap();
+        // Both in SW repeatedly; they separate at depth 6
+        // (block size 1/64: 0.01 -> cell 0, 0.02 -> cell 1 at scale 64).
+        let records = t.leaf_records();
+        let max_depth = records.iter().map(|r| r.depth).max().unwrap();
+        assert!(max_depth >= 5, "expected deep split, got {max_depth}");
+        assert!(t.contains(&pt(0.01, 0.01)));
+        assert!(t.contains(&pt(0.02, 0.02)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn capacity_m_defers_split() {
+        let mut t = PrQuadtree::new(Rect::unit(), 4).unwrap();
+        for i in 0..4 {
+            t.insert(pt(0.1 + 0.2 * i as f64, 0.5)).unwrap();
+        }
+        assert_eq!(t.node_count(), 1, "4 points fit in an m=4 root");
+        t.insert(pt(0.9, 0.9)).unwrap();
+        assert!(t.node_count() > 1, "5th point splits the m=4 root");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicates_are_stored_without_infinite_split() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        for _ in 0..5 {
+            t.insert(pt(0.25, 0.25)).unwrap();
+        }
+        assert_eq!(t.len(), 5);
+        // All coincident: no split should have happened.
+        assert_eq!(t.node_count(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn near_duplicates_respect_max_depth() {
+        let mut t = PrQuadtree::with_max_depth(Rect::unit(), 1, 4).unwrap();
+        t.insert(pt(0.100000, 0.1)).unwrap();
+        t.insert(pt(0.100001, 0.1)).unwrap(); // separate only at depth ~20
+        let records = t.leaf_records();
+        assert!(records.iter().all(|r| r.depth <= 4));
+        // The max-depth leaf holds both.
+        assert!(records.iter().any(|r| r.occupancy == 2));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn mixed_duplicate_and_distinct_points_split_correctly() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.25, 0.25)).unwrap();
+        t.insert(pt(0.25, 0.25)).unwrap(); // coincident pair, no split
+        t.insert(pt(0.75, 0.75)).unwrap(); // distinct: now splits
+        assert_eq!(t.len(), 3);
+        t.check_invariants();
+        // The coincident pair stays together in one leaf.
+        let profile = t.occupancy_profile();
+        assert_eq!(profile.count(2), 1);
+        assert_eq!(profile.count(1), 1);
+    }
+
+    #[test]
+    fn contains_finds_all_inserted_points() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(11);
+        let points = src.sample_n(&mut rng, 500);
+        let t = PrQuadtree::build(Rect::unit(), 3, points.iter().copied()).unwrap();
+        assert_eq!(t.len(), 500);
+        for p in &points {
+            assert!(t.contains(p));
+        }
+        assert!(!t.contains(&pt(2.0, 2.0)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(13);
+        let points = src.sample_n(&mut rng, 400);
+        let t = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+        let query = Rect::from_bounds(0.2, 0.3, 0.6, 0.9);
+        let mut got = t.range_query(&query);
+        let mut expect: Vec<Point2> =
+            points.iter().filter(|p| query.contains(p)).copied().collect();
+        let key = |p: &Point2| (p.x, p.y);
+        got.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        expect.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_query_whole_region_returns_everything() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(17);
+        let points = src.sample_n(&mut rng, 100);
+        let t = PrQuadtree::build(Rect::unit(), 1, points.iter().copied()).unwrap();
+        assert_eq!(t.range_query(&Rect::unit()).len(), 100);
+        assert_eq!(t.points().len(), 100);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(19);
+        let points = src.sample_n(&mut rng, 300);
+        let t = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+        for target in src.sample_n(&mut rng, 50) {
+            let got = t.nearest(&target).unwrap();
+            let best = points
+                .iter()
+                .min_by(|a, b| {
+                    a.distance_squared(&target)
+                        .partial_cmp(&b.distance_squared(&target))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(
+                got.distance_squared(&target),
+                best.distance_squared(&target),
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_works_for_targets_outside_region() {
+        let t = PrQuadtree::build(
+            Rect::unit(),
+            1,
+            [pt(0.1, 0.1), pt(0.9, 0.9)],
+        )
+        .unwrap();
+        assert_eq!(t.nearest(&pt(2.0, 2.0)).unwrap(), pt(0.9, 0.9));
+        assert_eq!(t.nearest(&pt(-1.0, -1.0)).unwrap(), pt(0.1, 0.1));
+    }
+
+    #[test]
+    fn node_count_identity() {
+        // Every split adds exactly 4 nodes: node_count = 1 + 4·splits.
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = PrQuadtree::build(Rect::unit(), 1, src.sample_n(&mut rng, 200)).unwrap();
+        let n = t.node_count();
+        assert_eq!((n - 1) % 4, 0, "node count {n} not of form 1 + 4k");
+        let leaves = t.leaf_count();
+        // For a 4-ary tree: leaves = internal·3 + 1.
+        let internal = n - leaves;
+        assert_eq!(leaves, internal * 3 + 1);
+    }
+
+    #[test]
+    fn occupancy_profile_consistency() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(29);
+        let t = PrQuadtree::build(Rect::unit(), 4, src.sample_n(&mut rng, 1000)).unwrap();
+        let profile = t.occupancy_profile();
+        assert_eq!(profile.total_items(), 1000);
+        assert_eq!(profile.total_leaves() as usize, t.leaf_count());
+        assert!(profile.max_occupancy() <= 4);
+        let props = profile.proportions(4);
+        assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m1_distribution_is_roughly_half_empty_half_full() {
+        // The paper's headline experimental result: ~53% empty, ~47% full.
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = PrQuadtree::build(Rect::unit(), 1, src.sample_n(&mut rng, 1000)).unwrap();
+        let props = t.occupancy_profile().proportions(1);
+        assert!(
+            (props[0] - 0.53).abs() < 0.06,
+            "empty fraction {} far from paper's 0.53",
+            props[0]
+        );
+        assert!(
+            (props[1] - 0.47).abs() < 0.06,
+            "full fraction {} far from paper's 0.47",
+            props[1]
+        );
+    }
+
+    #[test]
+    fn insertion_order_invariance_of_point_set() {
+        // The PR quadtree's shape is determined by the point set, not the
+        // insertion order (unlike the point quadtree) — paper §II.
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(37);
+        let points = src.sample_n(&mut rng, 200);
+        let forward = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+        let mut reversed = points.clone();
+        reversed.reverse();
+        let backward = PrQuadtree::build(Rect::unit(), 2, reversed).unwrap();
+        assert_eq!(forward.node_count(), backward.node_count());
+        let mut fr = forward.leaf_records();
+        let mut br = backward.leaf_records();
+        let key = |r: &LeafRecord| (r.depth, r.occupancy);
+        fr.sort_by_key(key);
+        br.sort_by_key(key);
+        assert_eq!(fr, br);
+    }
+
+    #[test]
+    fn remove_missing_and_out_of_region() {
+        let mut t = PrQuadtree::build(Rect::unit(), 1, [pt(0.2, 0.2)]).unwrap();
+        assert!(!t.remove(&pt(0.3, 0.3)));
+        assert!(!t.remove(&pt(5.0, 5.0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_collapses_back_to_single_leaf() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.1, 0.1)).unwrap();
+        t.insert(pt(0.9, 0.9)).unwrap();
+        assert_eq!(t.node_count(), 5);
+        assert!(t.remove(&pt(0.9, 0.9)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node_count(), 1, "merge must collapse the split");
+        assert!(t.contains(&pt(0.1, 0.1)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_cascades_collapse_through_deep_splits() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.01, 0.01)).unwrap();
+        t.insert(pt(0.02, 0.02)).unwrap(); // deep recursive split
+        assert!(t.node_count() > 5);
+        assert!(t.remove(&pt(0.02, 0.02)));
+        assert_eq!(t.node_count(), 1, "cascaded collapse to the root");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_one_of_coincident_duplicates() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.4, 0.4)).unwrap();
+        t.insert(pt(0.4, 0.4)).unwrap();
+        assert!(t.remove(&pt(0.4, 0.4)));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&pt(0.4, 0.4)));
+        assert!(t.remove(&pt(0.4, 0.4)));
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn deletion_restores_fresh_build_shape() {
+        // Build 300, delete 150, compare against building the survivors
+        // from scratch: identical structure (deletion order-independence).
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(59);
+        let points = src.sample_n(&mut rng, 300);
+        let mut tree = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+        for p in &points[..150] {
+            assert!(tree.remove(p), "{p}");
+        }
+        tree.check_invariants();
+        let fresh = PrQuadtree::build(Rect::unit(), 2, points[150..].iter().copied()).unwrap();
+        assert_eq!(tree.node_count(), fresh.node_count());
+        let mut a = tree.leaf_records();
+        let mut b = fresh.leaf_records();
+        let key = |r: &LeafRecord| (r.depth, r.occupancy);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coincident_pile_collapses_after_sibling_empties() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.2, 0.2)).unwrap();
+        t.insert(pt(0.2, 0.2)).unwrap(); // coincident pair, single leaf
+        t.insert(pt(0.9, 0.9)).unwrap(); // forces split
+        assert!(t.node_count() > 1);
+        assert!(t.remove(&pt(0.9, 0.9)));
+        // The surviving pile exceeds capacity but is coincident: a fresh
+        // build would keep it at the root, so the collapse must too.
+        assert_eq!(t.node_count(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn count_in_range_matches_range_query() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(61);
+        let t = PrQuadtree::build(Rect::unit(), 3, src.sample_n(&mut rng, 800)).unwrap();
+        for rect in [
+            Rect::from_bounds(0.1, 0.1, 0.4, 0.9),
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Rect::from_bounds(0.45, 0.45, 0.55, 0.55),
+        ] {
+            assert_eq!(t.count_in_range(&rect), t.range_query(&rect).len());
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_scan() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(67);
+        let points = src.sample_n(&mut rng, 400);
+        let t = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+        let target = pt(0.3, 0.7);
+        for k in [0usize, 1, 5, 50, 400, 500] {
+            let got = t.k_nearest(&target, k);
+            let mut expect = points.clone();
+            expect.sort_by(|a, b| {
+                a.distance_squared(&target)
+                    .partial_cmp(&b.distance_squared(&target))
+                    .unwrap()
+            });
+            expect.truncate(k);
+            assert_eq!(got.len(), expect.len(), "k={k}");
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(
+                    g.distance_squared(&target),
+                    e.distance_squared(&target),
+                    "k={k}"
+                );
+            }
+            // Results are sorted nearest-first.
+            for w in got.windows(2) {
+                assert!(
+                    w[0].distance_squared(&target) <= w[1].distance_squared(&target)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_over_non_unit_region() {
+        let region = Rect::from_bounds(-10.0, 5.0, 30.0, 25.0);
+        let src = UniformRect::new(region);
+        let mut rng = StdRng::seed_from_u64(41);
+        let points = src.sample_n(&mut rng, 300);
+        let t = PrQuadtree::build(region, 3, points.iter().copied()).unwrap();
+        t.check_invariants();
+        for p in &points {
+            assert!(t.contains(p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..150)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn invariants_hold_for_random_builds(
+            points in arb_points(),
+            capacity in 1usize..6,
+        ) {
+            let t = PrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
+            t.check_invariants();
+            prop_assert_eq!(t.len(), points.len());
+            for p in &points {
+                prop_assert!(t.contains(p));
+            }
+        }
+
+        #[test]
+        fn range_query_agrees_with_scan(
+            points in arb_points(),
+            qx in 0.0f64..0.8,
+            qy in 0.0f64..0.8,
+            qw in 0.05f64..0.2,
+        ) {
+            let t = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+            let query = Rect::from_bounds(qx, qy, qx + qw, qy + qw);
+            let got = t.range_query(&query).len();
+            let expect = points.iter().filter(|p| query.contains(p)).count();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn mixed_insert_remove_matches_multiset_model(
+            seed_points in arb_points(),
+            ops in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, proptest::bool::ANY), 0..80),
+            capacity in 1usize..4,
+        ) {
+            let mut tree = PrQuadtree::build(Rect::unit(), capacity, seed_points.iter().copied()).unwrap();
+            let mut model: Vec<Point2> = seed_points.clone();
+            for (x, y, is_insert) in ops {
+                if is_insert {
+                    let p = Point2::new(x, y);
+                    tree.insert(p).unwrap();
+                    model.push(p);
+                } else if let Some(p) = model.first().copied() {
+                    // Remove an existing point (deterministic choice).
+                    prop_assert!(tree.remove(&p));
+                    model.remove(0);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            tree.check_invariants();
+            for p in &model {
+                prop_assert!(tree.contains(p));
+            }
+            // After deletions, the structure equals a fresh build of the
+            // survivors.
+            let fresh = PrQuadtree::build(Rect::unit(), capacity, model.iter().copied()).unwrap();
+            prop_assert_eq!(tree.node_count(), fresh.node_count());
+        }
+
+        #[test]
+        fn leaf_occupancies_account_for_all_points(
+            points in arb_points(),
+            capacity in 1usize..5,
+        ) {
+            use crate::node_stats::OccupancyInstrumented;
+            let t = PrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
+            let profile = t.occupancy_profile();
+            prop_assert_eq!(profile.total_items() as usize, points.len());
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The generalized PR tree in `D` dimensions (branching factor `2^D`).
+//!
+//! The paper: "The same principles apply in the case of octrees and
+//! higher dimensional data structures." This const-generic tree
+//! instantiates the PR bucketing discipline for any `D`, so the
+//! generalized `b = 2^D` population model can be validated well beyond
+//! the quadtree — `PrTreeNd<1>` is a 1-D bintree, `PrTreeNd<2>` matches
+//! [`crate::PrQuadtree`], `PrTreeNd<3>` matches [`crate::PrOctree`], and
+//! `PrTreeNd<4>` gives the `b = 16` data point no concrete structure in
+//! this crate otherwise provides.
+
+use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::pr_quadtree::TreeError;
+use popan_geom::{BoxN, PointN};
+
+/// Default depth limit.
+pub const DEFAULT_MAX_DEPTH: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum Node<const D: usize> {
+    Leaf(Vec<PointN<D>>),
+    Internal(Vec<Node<D>>), // always 2^D children
+}
+
+impl<const D: usize> Node<D> {
+    fn empty_leaf() -> Self {
+        Node::Leaf(Vec::new())
+    }
+}
+
+/// A PR tree over `[f64; D]` points with node capacity `m`.
+#[derive(Debug, Clone)]
+pub struct PrTreeNd<const D: usize> {
+    root: Node<D>,
+    region: BoxN<D>,
+    capacity: usize,
+    max_depth: u32,
+    len: usize,
+}
+
+impl<const D: usize> PrTreeNd<D> {
+    /// Creates an empty tree over `region` with node capacity `capacity`.
+    pub fn new(region: BoxN<D>, capacity: usize) -> Result<Self, TreeError> {
+        if D == 0 {
+            return Err(TreeError::InvalidParameter(
+                "dimension must be at least 1".into(),
+            ));
+        }
+        if capacity == 0 {
+            return Err(TreeError::InvalidParameter(
+                "node capacity must be at least 1".into(),
+            ));
+        }
+        Ok(PrTreeNd {
+            root: Node::empty_leaf(),
+            region,
+            capacity,
+            max_depth: DEFAULT_MAX_DEPTH,
+            len: 0,
+        })
+    }
+
+    /// Builds a tree by inserting `points` in order.
+    pub fn build(
+        region: BoxN<D>,
+        capacity: usize,
+        points: impl IntoIterator<Item = PointN<D>>,
+    ) -> Result<Self, TreeError> {
+        let mut t = Self::new(region, capacity)?;
+        for p in points {
+            t.insert(p)?;
+        }
+        Ok(t)
+    }
+
+    /// Branching factor `2^D`.
+    pub const fn branching() -> usize {
+        1 << D
+    }
+
+    /// The region covered.
+    pub fn region(&self) -> BoxN<D> {
+        self.region
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point, splitting per the PR rule.
+    pub fn insert(&mut self, p: PointN<D>) -> Result<(), TreeError> {
+        if !p.is_finite() {
+            return Err(TreeError::NonFinitePoint);
+        }
+        if !self.region.contains(&p) {
+            return Err(TreeError::InvalidParameter(format!(
+                "point {p} lies outside the tree region"
+            )));
+        }
+        Self::insert_rec(
+            &mut self.root,
+            self.region,
+            0,
+            self.max_depth,
+            self.capacity,
+            p,
+        );
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        node: &mut Node<D>,
+        block: BoxN<D>,
+        depth: u32,
+        max_depth: u32,
+        capacity: usize,
+        p: PointN<D>,
+    ) {
+        match node {
+            Node::Internal(children) => {
+                let o = block.orthant_of(&p);
+                Self::insert_rec(
+                    &mut children[o],
+                    block.orthant(o),
+                    depth + 1,
+                    max_depth,
+                    capacity,
+                    p,
+                );
+            }
+            Node::Leaf(points) => {
+                points.push(p);
+                if points.len() > capacity && depth < max_depth {
+                    let first = points[0];
+                    if points.iter().all(|q| *q == first) {
+                        return;
+                    }
+                    Self::split_leaf(node, block, depth, max_depth, capacity);
+                }
+            }
+        }
+    }
+
+    fn split_leaf(
+        node: &mut Node<D>,
+        block: BoxN<D>,
+        depth: u32,
+        max_depth: u32,
+        capacity: usize,
+    ) {
+        let points = match std::mem::replace(node, Node::empty_leaf()) {
+            Node::Leaf(points) => points,
+            Node::Internal(_) => unreachable!("split_leaf on internal node"),
+        };
+        let mut children: Vec<Node<D>> =
+            (0..Self::branching()).map(|_| Node::empty_leaf()).collect();
+        for p in points {
+            match &mut children[block.orthant_of(&p)] {
+                Node::Leaf(v) => v.push(p),
+                Node::Internal(_) => unreachable!(),
+            }
+        }
+        for (i, child) in children.iter_mut().enumerate() {
+            let needs_split = match child {
+                Node::Leaf(v) => {
+                    v.len() > capacity && depth + 1 < max_depth && {
+                        let first = v[0];
+                        !v.iter().all(|q| *q == first)
+                    }
+                }
+                Node::Internal(_) => false,
+            };
+            if needs_split {
+                Self::split_leaf(child, block.orthant(i), depth + 1, max_depth, capacity);
+            }
+        }
+        *node = Node::Internal(children);
+    }
+
+    /// `true` when an exactly equal point is stored.
+    pub fn contains(&self, p: &PointN<D>) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        let mut node = &self.root;
+        let mut block = self.region;
+        loop {
+            match node {
+                Node::Leaf(points) => return points.contains(p),
+                Node::Internal(children) => {
+                    let o = block.orthant_of(p);
+                    node = &children[o];
+                    block = block.orthant(o);
+                }
+            }
+        }
+    }
+
+    /// Total node count (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        fn walk<const D: usize>(node: &Node<D>) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Leaf node count.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_records().len()
+    }
+
+    /// Verifies structural invariants; panics on violation.
+    pub fn check_invariants(&self) {
+        fn walk<const D: usize>(
+            node: &Node<D>,
+            block: BoxN<D>,
+            depth: u32,
+            capacity: usize,
+            max_depth: u32,
+            total: &mut usize,
+        ) {
+            match node {
+                Node::Leaf(points) => {
+                    *total += points.len();
+                    for p in points {
+                        assert!(block.contains(p), "point {p} outside its leaf block");
+                    }
+                    if points.len() > capacity {
+                        let first = points[0];
+                        let coincident = points.iter().all(|q| *q == first);
+                        assert!(depth >= max_depth || coincident, "over-full leaf");
+                    }
+                }
+                Node::Internal(children) => {
+                    assert_eq!(children.len(), 1 << D);
+                    for (i, child) in children.iter().enumerate() {
+                        walk(child, block.orthant(i), depth + 1, capacity, max_depth, total);
+                    }
+                }
+            }
+        }
+        let mut total = 0;
+        walk(
+            &self.root,
+            self.region,
+            0,
+            self.capacity,
+            self.max_depth,
+            &mut total,
+        );
+        assert_eq!(total, self.len);
+    }
+}
+
+impl<const D: usize> OccupancyInstrumented for PrTreeNd<D> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn leaf_records(&self) -> Vec<LeafRecord> {
+        fn walk<const D: usize>(node: &Node<D>, depth: u32, out: &mut Vec<LeafRecord>) {
+            match node {
+                Node::Leaf(points) => out.push(LeafRecord {
+                    depth,
+                    occupancy: points.len(),
+                }),
+                Node::Internal(children) => {
+                    for child in children {
+                        walk(child, depth + 1, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_points<const D: usize>(n: usize, seed: u64) -> Vec<PointN<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PointN::new(std::array::from_fn(|_| rng.random_range(0.0..1.0))))
+            .collect()
+    }
+
+    #[test]
+    fn basic_operations_in_4d() {
+        let points = sample_points::<4>(500, 1);
+        let t = PrTreeNd::build(BoxN::unit(), 3, points.iter().copied()).unwrap();
+        t.check_invariants();
+        assert_eq!(t.len(), 500);
+        assert_eq!(PrTreeNd::<4>::branching(), 16);
+        for p in &points {
+            assert!(t.contains(p));
+        }
+        assert!(!t.contains(&PointN::new([0.999999; 4])));
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(PrTreeNd::<2>::new(BoxN::unit(), 0).is_err());
+        let mut t = PrTreeNd::<2>::new(BoxN::unit(), 1).unwrap();
+        assert!(t.insert(PointN::new([2.0, 0.0])).is_err());
+        assert!(t.insert(PointN::new([f64::NAN, 0.0])).is_err());
+    }
+
+    #[test]
+    fn node_count_identity_for_16_ary() {
+        let points = sample_points::<4>(800, 2);
+        let t = PrTreeNd::build(BoxN::unit(), 1, points).unwrap();
+        let internal = t.node_count() - t.leaf_count();
+        assert_eq!(t.leaf_count(), internal * 15 + 1);
+    }
+
+    #[test]
+    fn coincident_points_do_not_split() {
+        let mut t = PrTreeNd::<3>::new(BoxN::unit(), 1).unwrap();
+        for _ in 0..4 {
+            t.insert(PointN::new([0.3; 3])).unwrap();
+        }
+        assert_eq!(t.node_count(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn matches_quadtree_structure_in_2d() {
+        use crate::pr_quadtree::PrQuadtree;
+        use popan_geom::{Point2, Rect};
+        let nd_points = sample_points::<2>(400, 3);
+        let q_points: Vec<Point2> = nd_points
+            .iter()
+            .map(|p| Point2::new(p.coords[0], p.coords[1]))
+            .collect();
+        let nd = PrTreeNd::build(BoxN::unit(), 2, nd_points).unwrap();
+        let qt = PrQuadtree::build(Rect::unit(), 2, q_points).unwrap();
+        assert_eq!(nd.node_count(), qt.node_count());
+        assert_eq!(nd.leaf_count(), qt.leaf_count());
+        let mut a = nd.leaf_records();
+        let mut b = qt.leaf_records();
+        let key = |r: &LeafRecord| (r.depth, r.occupancy);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b, "PrTreeNd<2> must mirror PrQuadtree exactly");
+    }
+
+    #[test]
+    fn one_dimensional_tree_works() {
+        let points = sample_points::<1>(300, 4);
+        let t = PrTreeNd::build(BoxN::unit(), 2, points.iter().copied()).unwrap();
+        t.check_invariants();
+        let internal = t.node_count() - t.leaf_count();
+        assert_eq!(t.leaf_count(), internal + 1);
+    }
+
+    #[test]
+    fn occupancy_decreases_with_dimension() {
+        // Higher branching scatters points more thinly (same trend the
+        // model predicts for growing b).
+        let occ1 = {
+            let t = PrTreeNd::<1>::build(BoxN::unit(), 4, sample_points(2000, 5)).unwrap();
+            t.occupancy_profile().average_occupancy()
+        };
+        let occ4 = {
+            let t = PrTreeNd::<4>::build(BoxN::unit(), 4, sample_points(2000, 5)).unwrap();
+            t.occupancy_profile().average_occupancy()
+        };
+        assert!(occ1 > occ4, "d=1 {occ1:.2} vs d=4 {occ4:.2}");
+    }
+}

@@ -1,0 +1,136 @@
+//! ASCII rendering of a PR quadtree's block decomposition.
+//!
+//! Reproduces the paper's Figure 1 ("PR quadtree for four points: blocks
+//! are recursively quartered until no block contains more than one
+//! point") as a character grid: block borders drawn with `+-|`, stored
+//! points marked `*`.
+
+use crate::pr_quadtree::PrQuadtree;
+use popan_geom::Rect;
+
+/// Renders the tree's leaf blocks on a `cells × cells` character grid
+/// (each cell is 2 characters wide for squarer output).
+///
+/// `cells` must be a power of two at least `2^max_leaf_depth` for block
+/// borders to land on grid lines; the function rounds up internally, and
+/// caps the grid at 128×128 cells to keep output printable.
+pub fn render_blocks(tree: &PrQuadtree, min_cells: usize) -> String {
+    // Find the deepest leaf to choose the resolution.
+    let mut max_depth = 0;
+    tree.for_each_leaf(|_, depth, _| max_depth = max_depth.max(depth));
+    let mut cells = 1usize << max_depth.min(7);
+    while cells < min_cells && cells < 128 {
+        cells *= 2;
+    }
+
+    let width = cells * 2 + 1; // 2 chars per cell + border column
+    let height = cells + 1;
+    let mut grid = vec![vec![' '; width]; height];
+
+    let region = tree.region();
+    let col_of = |x: f64| -> usize {
+        let f = (x - region.x().lo()) / region.width();
+        ((f * cells as f64).round() as usize).min(cells) * 2
+    };
+    let row_of = |y: f64| -> usize {
+        // Flip y: row 0 is the top of the region.
+        let f = (y - region.y().lo()) / region.height();
+        cells - ((f * cells as f64).round() as usize).min(cells)
+    };
+
+    tree.for_each_leaf(|block, _, points| {
+        let c0 = col_of(block.x().lo());
+        let c1 = col_of(block.x().hi());
+        let r_top = row_of(block.y().hi());
+        let r_bot = row_of(block.y().lo());
+        // Horizontal borders.
+        for r in [r_top, r_bot] {
+            for (c, cell) in grid[r].iter_mut().enumerate().take(c1 + 1).skip(c0) {
+                let corner = c == c0 || c == c1;
+                *cell = if *cell == '|' || *cell == '+' || corner {
+                    '+'
+                } else {
+                    '-'
+                };
+            }
+        }
+        // Vertical borders.
+        for row in grid.iter_mut().take(r_bot + 1).skip(r_top) {
+            for c in [c0, c1] {
+                row[c] = if row[c] == '-' || row[c] == '+' { '+' } else { '|' };
+            }
+        }
+        // Points.
+        for p in points {
+            let pc = (col_of(p.x) + 1).min(width - 2);
+            let pr = row_of(p.y).clamp(r_top + 1, r_bot.saturating_sub(1).max(r_top + 1));
+            grid[pr][pc] = '*';
+        }
+    });
+
+    let mut out = String::with_capacity(height * (width + 1));
+    for row in &grid {
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: renders the decomposition of `points` (capacity 1, the
+/// simple PR quadtree of Figure 1) over `region`.
+pub fn figure1(region: Rect, points: &[popan_geom::Point2]) -> String {
+    let tree = PrQuadtree::build(region, 1, points.iter().copied())
+        .expect("figure1: points must lie inside the region");
+    render_blocks(&tree, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_geom::Point2;
+
+    #[test]
+    fn renders_empty_tree_as_single_block() {
+        let t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        let s = render_blocks(&t, 4);
+        assert!(s.contains('+'));
+        assert!(s.contains('-'));
+        assert!(s.contains('|'));
+        assert!(!s.contains('*'));
+    }
+
+    #[test]
+    fn renders_points_as_stars() {
+        let s = figure1(
+            Rect::unit(),
+            &[
+                Point2::new(0.1, 0.1),
+                Point2::new(0.9, 0.1),
+                Point2::new(0.1, 0.9),
+                Point2::new(0.9, 0.9),
+            ],
+        );
+        assert_eq!(s.matches('*').count(), 4);
+        // The split introduces interior borders: more than 4 corner '+'.
+        assert!(s.matches('+').count() > 4);
+    }
+
+    #[test]
+    fn output_is_rectangular() {
+        let s = figure1(Rect::unit(), &[Point2::new(0.3, 0.6), Point2::new(0.31, 0.61)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(!lines.is_empty());
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+    }
+
+    #[test]
+    fn deeper_trees_render_more_blocks() {
+        let shallow = figure1(Rect::unit(), &[Point2::new(0.2, 0.2), Point2::new(0.8, 0.8)]);
+        let deep = figure1(
+            Rect::unit(),
+            &[Point2::new(0.501, 0.501), Point2::new(0.52, 0.52)],
+        );
+        assert!(deep.matches('+').count() >= shallow.matches('+').count());
+    }
+}

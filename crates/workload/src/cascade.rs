@@ -1,0 +1,191 @@
+//! Multiplicative-cascade point distributions.
+//!
+//! The skewed population model ([`popan-core`'s
+//! `PrModel::with_bucket_probs`]) assumes a *self-similar* skew: at every
+//! block, quadrant `j` receives a fixed fraction `q_j` of the local
+//! probability mass, recursively. The matching data source is a
+//! multiplicative cascade (a de Wijs / binomial-measure process): to draw
+//! a point, descend the regular decomposition choosing quadrant `j` with
+//! probability `q_j` at each of `depth` levels, then place the point
+//! uniformly within the reached cell.
+//!
+//! This makes the skewed model *exactly* testable: a PR quadtree built
+//! from cascade data has local interaction statistics equal to the
+//! model's by construction (up to the finite cascade depth).
+
+use crate::points::PointSource;
+use popan_geom::{Point2, Quadrant, Rect};
+use rand::Rng;
+
+/// A multiplicative-cascade distribution over a rectangle.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    region: Rect,
+    /// Quadrant probabilities in [`Quadrant::ALL`] order (sum 1).
+    quadrant_probs: [f64; 4],
+    /// Cascade depth; below it the measure is uniform.
+    depth: u32,
+}
+
+impl Cascade {
+    /// Creates a cascade. Panics unless the probabilities are positive
+    /// and sum to 1 (±1e-9) and `depth ≥ 1`.
+    pub fn new(region: Rect, quadrant_probs: [f64; 4], depth: u32) -> Self {
+        assert!(depth >= 1, "cascade depth must be at least 1");
+        assert!(
+            quadrant_probs.iter().all(|&q| q > 0.0 && q.is_finite()),
+            "quadrant probabilities must be positive"
+        );
+        let total: f64 = quadrant_probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "quadrant probabilities must sum to 1, got {total}"
+        );
+        Cascade {
+            region,
+            quadrant_probs,
+            depth,
+        }
+    }
+
+    /// The uniform cascade — identical in distribution to
+    /// [`crate::points::UniformRect`] (useful as a control).
+    pub fn uniform(region: Rect, depth: u32) -> Self {
+        Cascade::new(region, [0.25; 4], depth)
+    }
+
+    /// The quadrant probabilities.
+    pub fn quadrant_probs(&self) -> [f64; 4] {
+        self.quadrant_probs
+    }
+
+    fn pick_quadrant(&self, rng: &mut dyn rand::RngCore) -> Quadrant {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, &q) in self.quadrant_probs.iter().enumerate() {
+            acc += q;
+            if u < acc {
+                return Quadrant::from_index(i);
+            }
+        }
+        Quadrant::Ne
+    }
+}
+
+impl PointSource for Cascade {
+    fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2 {
+        let mut cell = self.region;
+        for _ in 0..self.depth {
+            cell = cell.quadrant(self.pick_quadrant(rng));
+        }
+        // Uniform within the reached cell.
+        let x = cell.x().lo() + rng.random_range(0.0..1.0) * cell.width();
+        let y = cell.y().lo() + rng.random_range(0.0..1.0) * cell.height();
+        Point2::new(
+            x.min(self.region.x().hi() - f64::EPSILON),
+            y.min(self.region.y().hi() - f64::EPSILON),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xca5c)
+    }
+
+    #[test]
+    fn samples_stay_in_region() {
+        let c = Cascade::new(Rect::unit(), [0.4, 0.3, 0.2, 0.1], 12);
+        let mut r = rng();
+        for p in c.sample_n(&mut r, 2000) {
+            assert!(c.region().contains(&p));
+        }
+    }
+
+    #[test]
+    fn quadrant_frequencies_match_probabilities() {
+        let probs = [0.5, 0.25, 0.15, 0.1];
+        let c = Cascade::new(Rect::unit(), probs, 10);
+        let mut r = rng();
+        let n = 8000;
+        let mut counts = [0usize; 4];
+        for p in c.sample_n(&mut r, n) {
+            counts[Rect::unit().quadrant_of(&p).index()] += 1;
+        }
+        for (i, &cnt) in counts.iter().enumerate() {
+            let freq = cnt as f64 / n as f64;
+            assert!(
+                (freq - probs[i]).abs() < 0.02,
+                "quadrant {i}: frequency {freq} vs prob {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn skew_is_self_similar() {
+        // Within the heavy quadrant, the sub-quadrant frequencies follow
+        // the same probabilities.
+        let probs = [0.55, 0.15, 0.15, 0.15];
+        let c = Cascade::new(Rect::unit(), probs, 10);
+        let mut r = rng();
+        let heavy = Rect::unit().quadrant(Quadrant::Sw);
+        let mut counts = [0usize; 4];
+        let mut total = 0usize;
+        for p in c.sample_n(&mut r, 20_000) {
+            if heavy.contains(&p) {
+                counts[heavy.quadrant_of(&p).index()] += 1;
+                total += 1;
+            }
+        }
+        assert!(total > 8000, "heavy quadrant should hold >40% of mass");
+        for (i, &cnt) in counts.iter().enumerate() {
+            let freq = cnt as f64 / total as f64;
+            assert!(
+                (freq - probs[i]).abs() < 0.03,
+                "sub-quadrant {i}: {freq} vs {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_cascade_is_uniform() {
+        let c = Cascade::uniform(Rect::unit(), 8);
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        for p in c.sample_n(&mut r, 4000) {
+            counts[Rect::unit().quadrant_of(&p).index()] += 1;
+        }
+        for &cnt in &counts {
+            assert!((cnt as i64 - 1000).abs() < 160, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized_probs() {
+        Cascade::new(Rect::unit(), [0.5, 0.5, 0.5, 0.5], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_prob() {
+        Cascade::new(Rect::unit(), [0.0, 0.5, 0.25, 0.25], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn rejects_zero_depth() {
+        Cascade::new(Rect::unit(), [0.25; 4], 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper's experiments insert random points into quadtrees — uniform
+//! for Tables 1–4, Gaussian for Table 5 — and average over 10 trees. This
+//! crate provides those data sources plus the extras the extension
+//! experiments need:
+//!
+//! * [`points`] — 2-D/3-D point distributions: uniform, truncated
+//!   Gaussian, clustered (Neyman–Scott), jittered grid.
+//! * [`lines`] — random line segments for the PMR quadtree experiments.
+//! * [`keys`] — random hash keys for the extendible-hashing baseline.
+//! * [`trials`] — the seeded multi-trial runner: derives independent
+//!   per-trial RNG streams from one master seed so every experiment is
+//!   exactly reproducible.
+//!
+//! All generators draw from a caller-supplied [`rand::Rng`]; nothing here
+//! touches global or OS randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod keys;
+pub mod lines;
+pub mod points;
+pub mod trials;
+
+pub use lines::SegmentSource;
+pub use points::{GaussianCentered, PointSource, UniformRect};
+pub use trials::TrialRunner;

@@ -1,0 +1,179 @@
+//! Random line-segment generators for the PMR quadtree experiments.
+//!
+//! The PMR quadtree stores segments; its population analysis needs a model
+//! of "random lines in a block". Two standard models are provided:
+//!
+//! * [`UniformEndpoints`] — both endpoints uniform in the region: long
+//!   chords that typically cross several blocks.
+//! * [`FixedLengthSegments`] — uniform midpoint and direction with a fixed
+//!   length (rejection-sampled to stay in the region): short edges, the
+//!   regime typical of map data (many short road/river segments).
+
+use crate::points::{PointSource, UniformRect};
+use popan_geom::{Point2, Rect, Segment2};
+
+/// A distribution of segments over a planar region.
+pub trait SegmentSource {
+    /// The region all segments fall in.
+    fn region(&self) -> Rect;
+
+    /// Draws one segment, entirely inside [`Self::region`].
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Segment2;
+
+    /// Draws `n` segments.
+    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<Segment2> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Segments whose endpoints are independent uniform points.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformEndpoints {
+    region: Rect,
+}
+
+impl UniformEndpoints {
+    /// Creates the source.
+    pub fn new(region: Rect) -> Self {
+        UniformEndpoints { region }
+    }
+
+    /// Over the unit square.
+    pub fn unit() -> Self {
+        UniformEndpoints::new(Rect::unit())
+    }
+}
+
+impl SegmentSource for UniformEndpoints {
+    fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Segment2 {
+        let uniform = UniformRect::new(self.region);
+        loop {
+            let a = uniform.sample(rng);
+            let b = uniform.sample(rng);
+            if a != b {
+                return Segment2::new(a, b);
+            }
+        }
+    }
+}
+
+/// Segments of a fixed length with uniform midpoint and direction,
+/// rejection-sampled so both endpoints stay inside the region.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLengthSegments {
+    region: Rect,
+    length: f64,
+}
+
+impl FixedLengthSegments {
+    /// Creates the source. Panics unless `0 < length` and the length fits
+    /// inside the region (otherwise rejection would never terminate).
+    pub fn new(region: Rect, length: f64) -> Self {
+        assert!(length > 0.0, "segment length must be positive");
+        assert!(
+            length < region.width().min(region.height()),
+            "segment length {length} cannot fit in region {region}"
+        );
+        FixedLengthSegments { region, length }
+    }
+
+    /// The configured segment length.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+}
+
+impl SegmentSource for FixedLengthSegments {
+    fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Segment2 {
+        use rand::Rng;
+        let uniform = UniformRect::new(self.region);
+        loop {
+            let mid = uniform.sample(rng);
+            let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            let (dy, dx) = theta.sin_cos();
+            let half = self.length / 2.0;
+            let a = Point2::new(mid.x - dx * half, mid.y - dy * half);
+            let b = Point2::new(mid.x + dx * half, mid.y + dy * half);
+            if self.region.contains(&a) && self.region.contains(&b) {
+                return Segment2::new(a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x11e5)
+    }
+
+    #[test]
+    fn uniform_endpoints_inside_region() {
+        let src = UniformEndpoints::unit();
+        let mut r = rng();
+        for s in src.sample_n(&mut r, 500) {
+            assert!(src.region().contains(&s.a));
+            assert!(src.region().contains(&s.b));
+            assert!(s.length() > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_endpoints_have_expected_mean_length() {
+        // Mean distance between two uniform points in a unit square is
+        // ≈ 0.5214.
+        let src = UniformEndpoints::unit();
+        let mut r = rng();
+        let n = 5000;
+        let mean: f64 = src
+            .sample_n(&mut r, n)
+            .iter()
+            .map(Segment2::length)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5214).abs() < 0.02, "mean length {mean}");
+    }
+
+    #[test]
+    fn fixed_length_segments_have_exact_length() {
+        let src = FixedLengthSegments::new(Rect::unit(), 0.1);
+        let mut r = rng();
+        for s in src.sample_n(&mut r, 300) {
+            assert!((s.length() - 0.1).abs() < 1e-12);
+            assert!(src.region().contains(&s.a));
+            assert!(src.region().contains(&s.b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn fixed_length_rejects_oversized() {
+        FixedLengthSegments::new(Rect::unit(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fixed_length_rejects_zero() {
+        FixedLengthSegments::new(Rect::unit(), 0.0);
+    }
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        let src = UniformEndpoints::unit();
+        let a = src.sample_n(&mut StdRng::seed_from_u64(3), 5);
+        let b = src.sample_n(&mut StdRng::seed_from_u64(3), 5);
+        assert_eq!(a, b);
+    }
+}

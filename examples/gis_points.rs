@@ -1,0 +1,69 @@
+//! GIS scenario: index a synthetic city's point features.
+//!
+//! The paper grew out of a geographic information system ([Same85c]);
+//! this example plays that role with synthetic data: a clustered
+//! "city" of point features (clusters = neighborhoods) indexed by a PR
+//! quadtree, queried by window and by nearest-neighbor, and audited
+//! against the population model's storage predictions.
+//!
+//! ```text
+//! cargo run --release --example gis_points
+//! ```
+
+use popan::core::{PrModel, SteadyStateSolver};
+use popan::geom::{Point2, Rect};
+use popan::spatial::{OccupancyInstrumented, PrQuadtree};
+use popan::workload::points::{Clustered, PointSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1987);
+    // A 10km × 10km city with 12 neighborhoods; coordinates in km.
+    let city = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+    let features = Clustered::new(city, 12, 0.45, &mut rng).sample_n(&mut rng, 20_000);
+
+    let capacity = 8; // disk-page-sized buckets
+    let tree = PrQuadtree::build(city, capacity, features.iter().copied())
+        .expect("features lie inside the city");
+
+    println!("indexed {} point features (capacity {capacity})", tree.len());
+    println!("  leaf nodes: {}", tree.leaf_count());
+    let profile = tree.occupancy_profile();
+    println!("  avg occupancy: {:.2}", profile.average_occupancy());
+    println!("  utilization:   {:.1}%", 100.0 * profile.utilization(capacity));
+
+    // Window query: everything in a 1km × 1km downtown block.
+    let window = Rect::from_bounds(4.5, 4.5, 5.5, 5.5);
+    let hits = tree.range_query(&window);
+    println!("\nwindow query {window}: {} features", hits.len());
+
+    // Nearest feature to a dispatch point.
+    let dispatch = Point2::new(2.0, 7.5);
+    let nearest = tree.nearest(&dispatch).expect("non-empty index");
+    println!(
+        "nearest feature to {dispatch}: {nearest} ({:.0} m away)",
+        dispatch.distance(&nearest) * 1000.0
+    );
+
+    // How does the uniform-model prediction fare on clustered data? The
+    // model assumes uniformity *within a block*; clustering across the
+    // city mostly shifts where splitting happens, not the local mix, so
+    // the prediction degrades only moderately.
+    let model = PrModel::quadtree(capacity).expect("valid capacity");
+    let theory = SteadyStateSolver::new()
+        .solve(&model)
+        .expect("model solves")
+        .distribution()
+        .average_occupancy();
+    println!(
+        "\nmodel check: predicted occupancy {:.2} vs measured {:.2} ({:+.1}%)",
+        theory,
+        profile.average_occupancy(),
+        100.0 * (theory - profile.average_occupancy()) / profile.average_occupancy()
+    );
+    println!(
+        "  (clustered data → deeper local subtrees, same local statistics; \
+         the population model still lands within a few tens of percent)"
+    );
+}

@@ -1,0 +1,77 @@
+//! Phasing explorer: watch the occupancy oscillation live.
+//!
+//! Reproduces the heart of the paper's §IV interactively: builds PR
+//! quadtrees along a ×√2 size ladder under a uniform and a Gaussian
+//! workload, charts both series on a semi-log axis, and reports the
+//! oscillation metrics (period, amplitude, damping).
+//!
+//! ```text
+//! cargo run --release --example phasing_explorer
+//! ```
+
+use popan::core::phasing::analyze_phasing;
+use popan::experiments::plot::{ascii_semilog, Series};
+use popan::geom::Rect;
+use popan::spatial::{OccupancyInstrumented, PrQuadtree};
+use popan::workload::points::{GaussianCentered, PointSource, UniformRect};
+use popan::workload::TrialRunner;
+
+fn sweep(source: &dyn PointSource, label: &str, trials: usize) -> Series {
+    let capacity = 8;
+    let ladder: Vec<usize> = (0..13)
+        .map(|k| (64.0 * 2f64.powf(k as f64 / 2.0)).round() as usize)
+        .collect();
+    let points: Vec<(f64, f64)> = ladder
+        .iter()
+        .map(|&n| {
+            let runner = TrialRunner::new(0xcafe ^ (n as u64) << 16, trials);
+            let occ = runner.run_mean(|_, rng| {
+                let tree = PrQuadtree::build(Rect::unit(), capacity, source.sample_n(rng, n))
+                    .expect("points in region");
+                tree.occupancy_profile().average_occupancy()
+            });
+            (n as f64, occ)
+        })
+        .collect();
+    Series::new(label, points)
+}
+
+fn main() {
+    let trials = 10;
+    println!("building {trials} trees per size along the ×√2 ladder 64 … 4096\n");
+
+    let uniform = sweep(&UniformRect::unit(), "uniform", trials);
+    let gaussian = sweep(
+        &GaussianCentered::two_sigma_wide(Rect::unit()),
+        "gaussian (2σ wide)",
+        trials,
+    );
+
+    println!(
+        "{}",
+        ascii_semilog(&[uniform.clone(), gaussian.clone()], 72, 18)
+    );
+
+    for s in [&uniform, &gaussian] {
+        let series: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+        let report = analyze_phasing(&series, 4, 2f64.sqrt()).expect("long series");
+        println!(
+            "{:<20} amplitude {:.2}  autocorr@period4 {:+.2}  damping {:+.2}  -> {}",
+            s.label,
+            report.metrics.amplitude,
+            report.metrics.autocorr_at_period.unwrap_or(f64::NAN),
+            report.damping,
+            if report.is_damped(0.5) {
+                "damps out (regions drift out of phase)"
+            } else if report.oscillates(0.2) {
+                "sustained oscillation (nodes split in phase)"
+            } else {
+                "no clear cycle"
+            }
+        );
+    }
+    println!(
+        "\nthe uniform curve repeats every ×4 in N — the paper's 'phasing'; \
+         the Gaussian curve starts the same and flattens (Table 5 / Figure 3)"
+    );
+}

@@ -1,0 +1,36 @@
+//! # popan — population analysis for hierarchical data structures
+//!
+//! Umbrella crate for the reproduction of **Nelson & Samet, "A Population
+//! Analysis for Hierarchical Data Structures" (SIGMOD 1987)**. It re-exports
+//! the public API of every workspace crate so applications can depend on a
+//! single crate:
+//!
+//! * [`core`] — the paper's contribution: transform matrices, steady-state
+//!   solvers, expected distributions, aging & phasing analysis.
+//! * [`spatial`] — PR quadtree/octree, bintree, point quadtree, PMR
+//!   quadtree, with occupancy instrumentation.
+//! * [`exthash`] — extendible hashing, the statistical baseline.
+//! * [`workload`] — seeded synthetic data generators.
+//! * [`geom`] — geometric primitives.
+//! * [`numeric`] — the numeric substrate (linear algebra, solvers, stats).
+//! * [`experiments`] — the table/figure reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use popan::core::{PrModel, SteadyStateSolver};
+//!
+//! // Expected occupancy distribution of a PR quadtree with node capacity 4.
+//! let model = PrModel::quadtree(4).unwrap();
+//! let steady = SteadyStateSolver::new().solve(&model).unwrap();
+//! println!("distribution: {:?}", steady.distribution().proportions());
+//! println!("average occupancy: {:.3}", steady.distribution().average_occupancy());
+//! ```
+
+pub use popan_core as core;
+pub use popan_exthash as exthash;
+pub use popan_experiments as experiments;
+pub use popan_geom as geom;
+pub use popan_numeric as numeric;
+pub use popan_spatial as spatial;
+pub use popan_workload as workload;

@@ -1,0 +1,73 @@
+//! Reproducibility: everything in the suite is a pure function of its
+//! seed. These tests pin that property across crate boundaries — if any
+//! component starts consuming ambient randomness or iteration order, the
+//! published EXPERIMENTS.md numbers would silently drift.
+
+use popan::experiments::table45::{run_ladder, Workload};
+use popan::experiments::{table1, ExperimentConfig};
+use popan::geom::Rect;
+use popan::spatial::{OccupancyInstrumented, PrQuadtree};
+use popan::workload::points::{PointSource, UniformRect};
+use popan::workload::TrialRunner;
+
+fn cfg(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        master_seed: seed,
+        trials: 3,
+        points: 300,
+    }
+}
+
+#[test]
+fn table1_is_seed_deterministic() {
+    let a = table1::run_capacity(&cfg(7), 2);
+    let b = table1::run_capacity(&cfg(7), 2);
+    assert_eq!(a.experiment, b.experiment);
+    assert_eq!(a.theory, b.theory);
+    let c = table1::run_capacity(&cfg(8), 2);
+    assert_ne!(a.experiment, c.experiment, "different seeds must differ");
+}
+
+#[test]
+fn sweeps_are_seed_deterministic() {
+    let ladder = [64usize, 128, 256];
+    let a = run_ladder(&cfg(3), Workload::Gaussian, &ladder);
+    let b = run_ladder(&cfg(3), Workload::Gaussian, &ladder);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.nodes, y.nodes);
+        assert_eq!(x.occupancy, y.occupancy);
+    }
+}
+
+#[test]
+fn trees_from_identical_streams_are_identical() {
+    let build = || {
+        let mut rng = TrialRunner::new(42, 1).rng_for_trial(0);
+        let pts = UniformRect::unit().sample_n(&mut rng, 500);
+        PrQuadtree::build(Rect::unit(), 2, pts).unwrap()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.leaf_records(), b.leaf_records());
+    assert_eq!(a.points(), b.points());
+}
+
+#[test]
+fn pmr_model_estimation_is_seed_deterministic() {
+    use popan::core::pmr_model::{PmrModel, RandomChords};
+    use popan::core::PopulationModel;
+    let a = PmrModel::estimate(2, 4, &RandomChords, 1000, 5).unwrap();
+    let b = PmrModel::estimate(2, 4, &RandomChords, 1000, 5).unwrap();
+    assert_eq!(a.transform_matrix().matrix(), b.transform_matrix().matrix());
+}
+
+#[test]
+fn solver_is_fully_deterministic() {
+    use popan::core::{PrModel, SteadyStateSolver};
+    let model = PrModel::quadtree(6).unwrap();
+    let a = SteadyStateSolver::new().solve(&model).unwrap();
+    let b = SteadyStateSolver::new().solve(&model).unwrap();
+    assert_eq!(a.distribution().proportions(), b.distribution().proportions());
+    assert_eq!(a.diagnostics().iterations, b.diagnostics().iterations);
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration: model → solver → data structure → measurement.
+//!
+//! These tests exercise the full pipeline across crates: build the
+//! analytic model in `popan-core`, solve it, generate workloads with
+//! `popan-workload`, build trees with `popan-spatial`, and check that the
+//! prediction describes the measurement the way the paper reports.
+
+use popan::core::{PrModel, SolveMethod, SteadyStateSolver};
+use popan::geom::Rect;
+use popan::spatial::{OccupancyInstrumented, PrQuadtree};
+use popan::workload::points::{PointSource, UniformRect};
+use popan::workload::TrialRunner;
+
+/// Builds the paper's experimental estimate for one capacity.
+fn measured_distribution(capacity: usize, trials: usize, points: usize, seed: u64) -> Vec<f64> {
+    let runner = TrialRunner::new(seed, trials);
+    let source = UniformRect::unit();
+    let vectors: Vec<Vec<f64>> = runner.run(|_, rng| {
+        let tree = PrQuadtree::build(Rect::unit(), capacity, source.sample_n(rng, points))
+            .expect("points in region");
+        tree.occupancy_profile().proportions(capacity)
+    });
+    popan::numeric::stats::mean_vector(&vectors).expect("equal lengths")
+}
+
+#[test]
+fn theory_predicts_measurement_for_small_capacities() {
+    for capacity in 1..=4 {
+        let model = PrModel::quadtree(capacity).unwrap();
+        let steady = SteadyStateSolver::new().solve(&model).unwrap();
+        let theory = steady.distribution();
+        let measured = measured_distribution(capacity, 8, 1000, 0xe2e ^ capacity as u64);
+        // Componentwise within 0.08 — the paper's own theory/experiment
+        // gaps (Table 1) reach ~0.06.
+        for (i, (&m, &t)) in measured.iter().zip(theory.proportions()).enumerate() {
+            assert!(
+                (m - t).abs() < 0.08,
+                "m={capacity}, class {i}: measured {m:.3} vs theory {t:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn m1_split_is_near_53_47() {
+    // The paper: "approximately 53% empty and 47% full nodes" vs the
+    // model's (1/2, 1/2).
+    let measured = measured_distribution(1, 10, 1000, 0x5347);
+    assert!(
+        (measured[0] - 0.53).abs() < 0.03,
+        "empty fraction {:.3}",
+        measured[0]
+    );
+    assert!(
+        measured[0] > 0.5,
+        "experiment must show MORE empty nodes than the model's 1/2 (aging)"
+    );
+}
+
+#[test]
+fn both_solver_methods_agree_with_measurement() {
+    let model = PrModel::quadtree(3).unwrap();
+    let fp = SteadyStateSolver::new()
+        .method(SolveMethod::FixedPoint)
+        .solve(&model)
+        .unwrap();
+    let nt = SteadyStateSolver::new()
+        .method(SolveMethod::Newton)
+        .solve(&model)
+        .unwrap();
+    assert!(
+        fp.distribution().max_abs_diff(nt.distribution()).unwrap() < 1e-10,
+        "solver cross-check"
+    );
+    let measured = measured_distribution(3, 6, 1000, 0xabc);
+    let theory_avg = fp.distribution().average_occupancy();
+    let measured_avg: f64 = measured
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| i as f64 * p)
+        .sum();
+    let pd = 100.0 * (theory_avg - measured_avg) / measured_avg;
+    // The paper's Table 2 band for m=3 is ~13%; allow noise around it.
+    assert!((2.0..25.0).contains(&pd), "percent difference {pd:.1}");
+}
+
+#[test]
+fn analytic_numeric_and_measured_m1_line_up() {
+    let analytic = popan::core::analytic::simple_pr_distribution();
+    let model = PrModel::quadtree(1).unwrap();
+    let numeric = SteadyStateSolver::new().solve(&model).unwrap();
+    assert!(
+        numeric
+            .distribution()
+            .max_abs_diff(&analytic)
+            .unwrap()
+            < 1e-10
+    );
+    let measured = measured_distribution(1, 8, 1000, 0x111);
+    assert!((measured[0] - analytic.proportion(0)).abs() < 0.06);
+}
+
+#[test]
+fn count_dynamics_tree_and_solver_triangulate() {
+    // Three independent routes to the same occupancy mix:
+    // solver fixed point, mean-field count dynamics, and (approximately,
+    // aging aside) real trees.
+    let model = PrModel::quadtree(2).unwrap();
+    let steady = SteadyStateSolver::new().solve(&model).unwrap();
+    let mut dynamics = popan::core::dynamics::CountDynamics::new(&model).unwrap();
+    dynamics.run(50_000).unwrap();
+    assert!(
+        dynamics
+            .distribution()
+            .unwrap()
+            .max_abs_diff(steady.distribution())
+            .unwrap()
+            < 5e-3
+    );
+    let measured = measured_distribution(2, 6, 1000, 0x3f);
+    for (i, &m) in measured.iter().enumerate() {
+        assert!(
+            (m - steady.distribution().proportion(i)).abs() < 0.07,
+            "class {i}"
+        );
+    }
+}
+
+#[test]
+fn deeper_trees_do_not_change_the_mix() {
+    // The steady state is size-free: 4000-point trees show the same mix
+    // as 1000-point trees up to phasing wobble.
+    let a = measured_distribution(2, 5, 1000, 0xd0);
+    let b = measured_distribution(2, 5, 4000, 0xd1);
+    for i in 0..3 {
+        assert!(
+            (a[i] - b[i]).abs() < 0.07,
+            "class {i}: {0:.3} vs {1:.3}",
+            a[i],
+            b[i]
+        );
+    }
+}

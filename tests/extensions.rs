@@ -1,0 +1,127 @@
+//! Integration tests for the extension systems, exercised through the
+//! umbrella crate's public API the way a downstream user would.
+
+use popan::core::btree_model::{BTreeModel, SplitKind};
+use popan::core::convergence::fixed_point_rate;
+use popan::core::{PopulationModel, PrModel};
+use popan::exthash::excell::ExcellGrid;
+use popan::exthash::gridfile::GridFile;
+use popan::geom::{BoxN, PointN, Rect};
+use popan::spatial::{LinearQuadtree, OccupancyInstrumented, PrQuadtree, PrTreeNd};
+use popan::workload::cascade::Cascade;
+use popan::workload::points::{PointSource, UniformRect};
+use popan::workload::TrialRunner;
+
+#[test]
+fn three_directory_structures_agree_on_membership() {
+    // ExcellGrid, GridFile and PrQuadtree answer the same membership
+    // questions over the same data.
+    let mut rng = TrialRunner::new(0xe6, 1).rng_for_trial(0);
+    let points = UniformRect::unit().sample_n(&mut rng, 600);
+    let probes = UniformRect::unit().sample_n(&mut rng, 100);
+
+    let tree = PrQuadtree::build(Rect::unit(), 8, points.iter().copied()).unwrap();
+    let mut excell = ExcellGrid::new(Rect::unit(), 8).unwrap();
+    let mut gridfile = GridFile::new(Rect::unit(), 8).unwrap();
+    for p in &points {
+        excell.insert(*p).unwrap();
+        gridfile.insert(*p).unwrap();
+    }
+    for p in points.iter().chain(&probes) {
+        let expect = tree.contains(p);
+        assert_eq!(excell.contains(p), expect, "excell {p}");
+        assert_eq!(gridfile.contains(p), expect, "gridfile {p}");
+    }
+}
+
+#[test]
+fn linear_quadtree_round_trips_through_public_api() {
+    let mut rng = TrialRunner::new(3, 1).rng_for_trial(0);
+    let points = UniformRect::unit().sample_n(&mut rng, 400);
+    let tree = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+    let linear = LinearQuadtree::from_tree(&tree);
+    linear.check_invariants();
+    let window = Rect::from_bounds(0.25, 0.25, 0.8, 0.6);
+    assert_eq!(
+        linear.range_query(&window).len(),
+        tree.range_query(&window).len()
+    );
+}
+
+#[test]
+fn four_dimensional_tree_matches_generalized_model_direction() {
+    // b = 16: measured occupancy sits below the count-model prediction
+    // (aging), as for every other branching factor.
+    let model = PrModel::with_branching(16, 4).unwrap();
+    let theory = popan::core::SteadyStateSolver::new()
+        .solve(&model)
+        .unwrap()
+        .distribution()
+        .average_occupancy();
+    let runner = TrialRunner::new(0x4d, 3);
+    let measured = runner.run_mean(|_, rng| {
+        use rand::Rng;
+        let pts = (0..3000)
+            .map(|_| PointN::<4>::new(std::array::from_fn(|_| rng.random_range(0.0..1.0))));
+        let t = PrTreeNd::<4>::build(BoxN::unit(), 4, pts).unwrap();
+        t.occupancy_profile().average_occupancy()
+    });
+    assert!(theory > measured, "theory {theory} vs measured {measured}");
+    assert!(measured > 0.5 * theory, "not wildly apart");
+}
+
+#[test]
+fn cascade_workload_drives_skewed_model_through_public_api() {
+    let q = [0.5, 0.2, 0.2, 0.1];
+    let model = PrModel::with_bucket_probs(q.to_vec(), 3).unwrap();
+    let steady = popan::core::SteadyStateSolver::new().solve(&model).unwrap();
+    let runner = TrialRunner::new(0x5c, 3);
+    let source = Cascade::new(Rect::unit(), q, 14);
+    let measured_empty = runner.run_mean(|_, rng| {
+        let tree = PrQuadtree::build(Rect::unit(), 3, source.sample_n(rng, 1200)).unwrap();
+        tree.occupancy_profile().proportions(3)[0]
+    });
+    // Skew raises the empty fraction in both model and measurement
+    // relative to the uniform model's 0.165.
+    assert!(steady.distribution().fraction_empty() > 0.17);
+    assert!(measured_empty > 0.17, "measured empty {measured_empty}");
+}
+
+#[test]
+fn btree_model_solves_through_the_shared_framework() {
+    // The B-tree model plugs into the same PopulationModel machinery.
+    let model = BTreeModel::new(8, SplitKind::BPlusLeaf).unwrap();
+    assert_eq!(model.classes(), 9);
+    assert_eq!(model.transform_matrix().row_sums()[8], 2.0);
+    // And the convergence analysis applies to any model that solves.
+    let pr = PrModel::quadtree(4).unwrap();
+    let est = fixed_point_rate(&pr, 1e-12).unwrap();
+    assert!(est.rate > 0.0 && est.rate < 1.0);
+    assert!(est.predicted_iterations > 1.0);
+}
+
+#[test]
+fn churned_tree_serves_all_query_kinds() {
+    // Insert, delete, then exercise every query the PR quadtree offers.
+    let mut rng = TrialRunner::new(0x17, 1).rng_for_trial(0);
+    let points = UniformRect::unit().sample_n(&mut rng, 500);
+    let mut tree = PrQuadtree::build(Rect::unit(), 4, points.iter().copied()).unwrap();
+    for p in &points[..250] {
+        assert!(tree.remove(p));
+    }
+    tree.check_invariants();
+    let survivors = &points[250..];
+    let window = Rect::from_bounds(0.1, 0.1, 0.9, 0.5);
+    assert_eq!(
+        tree.count_in_range(&window),
+        survivors.iter().filter(|p| window.contains(p)).count()
+    );
+    let target = popan::geom::Point2::new(0.4, 0.4);
+    let knn = tree.k_nearest(&target, 5);
+    assert_eq!(knn.len(), 5);
+    let nearest = tree.nearest(&target).unwrap();
+    assert_eq!(
+        nearest.distance_squared(&target),
+        knn[0].distance_squared(&target)
+    );
+}

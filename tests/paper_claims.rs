@@ -1,0 +1,141 @@
+//! The paper's headline claims, asserted against this implementation.
+//!
+//! Each test names the claim (section/table) it checks. These are the
+//! "shape" assertions of the reproduction: who wins, in which direction,
+//! with what periodicity — not bit-exact 1987 numbers.
+
+use popan::core::aging::newborn_average_occupancy;
+use popan::core::phasing::analyze_phasing;
+use popan::core::{PopulationModel, PrModel, SteadyStateSolver};
+use popan::experiments::table45::{run_ladder, Workload};
+use popan::experiments::{table2, table3, ExperimentConfig};
+
+fn cfg(trials: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        trials,
+        ..ExperimentConfig::paper()
+    }
+}
+
+/// §III: the m = 1 model solves to (1/2, 1/2) and the transform matrix is
+/// t₀ = (0,1), t₁ = (3,2).
+#[test]
+fn claim_section3_worked_example() {
+    let model = PrModel::quadtree(1).unwrap();
+    let t = model.transform_matrix();
+    assert_eq!(t.row(0).as_slice(), &[0.0, 1.0]);
+    assert!((t.row(1)[0] - 3.0).abs() < 1e-12);
+    assert!((t.row(1)[1] - 2.0).abs() < 1e-12);
+    let e = SteadyStateSolver::new().solve(&model).unwrap();
+    assert!((e.distribution().proportion(0) - 0.5).abs() < 1e-10);
+}
+
+/// Table 2, trend 1: "the theoretical occupancy predictions are slightly,
+/// but uniformly higher than the experimental values".
+#[test]
+fn claim_table2_uniform_overprediction() {
+    for row in table2::run(&cfg(5), 8) {
+        assert!(
+            row.theoretical > row.experimental,
+            "m={}: {} !> {}",
+            row.capacity,
+            row.theoretical,
+            row.experimental
+        );
+    }
+}
+
+/// Table 3: occupancy decreases with depth toward the newborn value
+/// (0.4 for m = 1), with the truncation-depth artifact bouncing back up.
+#[test]
+fn claim_table3_aging_gradient() {
+    let model = PrModel::quadtree(1).unwrap();
+    assert!((newborn_average_occupancy(&model) - 0.4).abs() < 1e-12);
+    let rows = table3::run(&cfg(5));
+    let populated: Vec<_> = rows.iter().filter(|r| r.n0 + r.n1 > 30.0).collect();
+    assert!(populated.len() >= 3);
+    assert!(
+        populated.first().unwrap().occupancy > populated.last().unwrap().occupancy,
+        "occupancy must fall from shallow to deep"
+    );
+}
+
+/// Table 4 / Figure 2: uniform workload oscillates with period ×4 in N
+/// and does not damp.
+#[test]
+fn claim_table4_sustained_phasing() {
+    let ladder: Vec<usize> = (0..13)
+        .map(|k| (64.0 * 2f64.powf(k as f64 / 2.0)).round() as usize)
+        .collect();
+    let rows = run_ladder(&cfg(6), Workload::Uniform, &ladder);
+    let series: Vec<f64> = rows.iter().map(|r| r.occupancy).collect();
+    let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+    assert_eq!(report.period_samples, 4);
+    assert!(report.oscillates(0.2), "{:?}", report.metrics);
+    assert!(!report.is_damped(0.4), "damping {}", report.damping);
+}
+
+/// Table 5 / Figure 3: the Gaussian workload's oscillation damps.
+#[test]
+fn claim_table5_gaussian_damps() {
+    let ladder: Vec<usize> = (0..13)
+        .map(|k| (64.0 * 2f64.powf(k as f64 / 2.0)).round() as usize)
+        .collect();
+    let uniform = run_ladder(&cfg(6), Workload::Uniform, &ladder);
+    let gauss = run_ladder(&cfg(6), Workload::Gaussian, &ladder);
+    let late_swing = |rows: &[popan::experiments::table45::SizeSweepRow]| -> f64 {
+        let series: Vec<f64> = rows.iter().map(|r| r.occupancy).collect();
+        let r = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
+        r.metrics.amplitude - r.damping
+    };
+    assert!(
+        late_swing(&gauss) < late_swing(&uniform),
+        "gaussian late swing {} vs uniform {}",
+        late_swing(&gauss),
+        late_swing(&uniform)
+    );
+}
+
+/// §II: the statistical limit d⃗_N does not settle — consecutive ladder
+/// points keep moving by a non-vanishing amount under uniform data.
+#[test]
+fn claim_no_statistical_limit_under_uniform() {
+    let ladder: Vec<usize> = (0..13)
+        .map(|k| (64.0 * 2f64.powf(k as f64 / 2.0)).round() as usize)
+        .collect();
+    let rows = run_ladder(&cfg(6), Workload::Uniform, &ladder);
+    // Late-series successive differences stay macroscopic.
+    let late: Vec<f64> = rows.iter().rev().take(5).map(|r| r.occupancy).collect();
+    let max_step = late
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_step > 0.15,
+        "occupancy keeps oscillating late in the series (max step {max_step})"
+    );
+}
+
+/// §V: the method needs only local probabilities — the PMR model built
+/// purely from local Monte-Carlo agrees with full-tree simulation.
+#[test]
+fn claim_pmr_agrees_well() {
+    let result = popan::experiments::pmr_exp::run(&cfg(4), 4, 500);
+    let rel =
+        (result.theory_occupancy - result.experiment_occupancy).abs() / result.experiment_occupancy;
+    assert!(
+        rel < 0.15,
+        "PMR model {} vs simulation {} (rel {rel:.3})",
+        result.theory_occupancy,
+        result.experiment_occupancy
+    );
+}
+
+/// The Fagin et al. connection: extendible hashing shows the same
+/// phenomenon class (utilization oscillating around ln 2).
+#[test]
+fn claim_fagin_baseline_utilization() {
+    let rows = popan::experiments::exthash_exp::run(&cfg(4));
+    let mean: f64 = rows.iter().map(|r| r.utilization).sum::<f64>() / rows.len() as f64;
+    assert!((mean - std::f64::consts::LN_2).abs() < 0.04, "mean {mean}");
+}
