@@ -1,14 +1,14 @@
 //! Bench for Figure 1: prints the block diagram once, then measures the
 //! ASCII rendering of quadtree decompositions at two tree sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
 use popan_experiments::figures;
 use popan_geom::Rect;
 use popan_spatial::{visualize, PrQuadtree};
 use popan_workload::points::{PointSource, UniformRect};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Bench for Figure 2: prints the uniform-workload semi-log chart once,
 //! then measures chart rendering (ASCII and SVG) from a fixed series.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
 use popan_experiments::plot::{ascii_semilog, svg_semilog, Series};
 use popan_experiments::{figures, ExperimentConfig};

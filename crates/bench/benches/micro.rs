@@ -3,7 +3,7 @@
 //! extendible-hashing throughput, PMR insertion, and the Monte-Carlo
 //! transform estimation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_core::pmr_model::{PmrModel, RandomChords};
 use popan_core::{PrModel, SolveMethod, SteadyStateSolver};
 use popan_exthash::ExtendibleHashTable;
@@ -12,8 +12,8 @@ use popan_spatial::{Bintree, PmrQuadtree, PrOctree, PrQuadtree};
 use popan_workload::keys::UniformKeys;
 use popan_workload::lines::{SegmentSource, UniformEndpoints};
 use popan_workload::points::{PointSource, UniformCube, UniformRect};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_solvers(c: &mut Criterion) {

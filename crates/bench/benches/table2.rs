@@ -2,7 +2,7 @@
 //! reduction from a solved distribution to the scalar occupancy metrics,
 //! and the full per-capacity pipeline at a reduced trial count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
 use popan_core::{PrModel, SteadyStateSolver};
 use popan_experiments::{table2, ExperimentConfig};

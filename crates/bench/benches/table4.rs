@@ -2,7 +2,7 @@
 //! measures a single ladder point (4096-point tree, the heaviest) and
 //! the phasing analysis of the resulting series.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
 use popan_core::phasing::analyze_phasing;
 use popan_experiments::table45::{self, Workload};
@@ -10,8 +10,8 @@ use popan_experiments::ExperimentConfig;
 use popan_geom::Rect;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::points::{PointSource, UniformRect};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_table4(c: &mut Criterion) {

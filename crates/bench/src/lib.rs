@@ -1,9 +1,14 @@
-//! Shared helpers for the Criterion bench targets.
+//! Shared infrastructure for the bench targets.
 //!
 //! Every `benches/tableN.rs` / `benches/figN.rs` target regenerates its
 //! paper artifact once (printing the same rows/series the paper reports)
-//! and then benchmarks the work that produces it. [`print_once`] keeps
-//! the regeneration out of the measured region.
+//! and then benchmarks the work that produces it, using the in-repo
+//! [`harness`] (no Criterion — the workspace builds with zero external
+//! dependencies; see DESIGN.md "Hermetic builds").
+
+pub mod harness;
+
+pub use harness::{BenchStats, Bencher, BenchmarkGroup, Criterion};
 
 use std::sync::Once;
 

@@ -29,8 +29,8 @@ use crate::transform::{PopulationModel, TransformMatrix};
 use crate::{ModelError, Result};
 use popan_geom::{Point2, Rect, Segment2};
 use popan_numeric::DVector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use popan_rng::rngs::StdRng;
+use popan_rng::{Rng, SeedableRng};
 
 /// A model of "a random line interacting with a block", normalized to the
 /// unit square.

@@ -372,12 +372,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #[test]
         fn split_row_conserves_items_for_random_skews(
-            raw in proptest::collection::vec(0.05f64..1.0, 2..6),
+            raw in popan_proptest::collection::vec(0.05f64..1.0, 2..6),
             capacity in 1usize..7,
         ) {
             let total: f64 = raw.iter().sum();

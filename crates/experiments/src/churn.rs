@@ -57,7 +57,7 @@ pub fn run(config: &ExperimentConfig, capacity: usize, target: usize) -> ChurnRe
         // Three churn cycles: delete half (random victims), insert back.
         for cycle in 0..3 {
             for _ in 0..target {
-                use rand::Rng;
+                use popan_rng::Rng;
                 let idx = rng.random_range(0..live.len());
                 let victim = live.swap_remove(idx);
                 assert!(tree.remove(&victim));

@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn runners_with_different_salts_differ() {
-        use rand::Rng;
+        use popan_rng::Rng;
         let c = ExperimentConfig::paper();
         let a: u64 = c.runner(1).rng_for_trial(0).random();
         let b: u64 = c.runner(2).rng_for_trial(0).random();

@@ -56,7 +56,7 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
             .map(|k| (config.points as f64 * (b as f64).powf(k as f64 / 4.0)) as usize)
             .collect()
     };
-    let cycle_mean = |salt: u64, b: usize, build: &dyn Fn(&mut rand::rngs::StdRng, usize) -> f64| -> f64 {
+    let cycle_mean = |salt: u64, b: usize, build: &dyn Fn(&mut popan_rng::rngs::StdRng, usize) -> f64| -> f64 {
         let sizes = cycle_sizes(b);
         let total: f64 = sizes
             .iter()
@@ -121,7 +121,7 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
 
     // 4-D hypercube tree (b = 16) via the const-generic PR tree.
     let occ = cycle_mean(0xd1b16, 16, &|rng, n| {
-        use rand::Rng;
+        use popan_rng::Rng;
         let points = (0..n).map(|_| {
             popan_geom::PointN::new(std::array::from_fn(|_| rng.random_range(0.0..1.0)))
         });

@@ -341,8 +341,8 @@ mod tests {
     #[test]
     fn range_query_matches_scan() {
         use popan_workload::points::{PointSource, UniformRect};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use popan_rng::rngs::StdRng;
+        use popan_rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(8);
         let points = UniformRect::unit().sample_n(&mut rng, 500);
         let mut g = ExcellGrid::new(Rect::unit(), 4).unwrap();
@@ -363,8 +363,8 @@ mod tests {
     #[test]
     fn uniform_utilization_near_ln2() {
         use popan_workload::points::{PointSource, UniformRect};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use popan_rng::rngs::StdRng;
+        use popan_rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(9);
         let mut g = ExcellGrid::new(Rect::unit(), 8).unwrap();
         for p in UniformRect::unit().sample_n(&mut rng, 20_000) {
@@ -378,8 +378,8 @@ mod tests {
     #[test]
     fn occupancy_counts_account_for_buckets_and_points() {
         use popan_workload::points::{PointSource, UniformRect};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use popan_rng::rngs::StdRng;
+        use popan_rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(10);
         let mut g = ExcellGrid::new(Rect::unit(), 4).unwrap();
         for p in UniformRect::unit().sample_n(&mut rng, 1000) {
@@ -396,8 +396,8 @@ mod tests {
         // EXCELL refines ALL cells at once: cell_count is always a power
         // of two and ≥ bucket_count... (buckets ≤ cells).
         use popan_workload::points::{PointSource, UniformRect};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use popan_rng::rngs::StdRng;
+        use popan_rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(11);
         let mut g = ExcellGrid::new(Rect::unit(), 2).unwrap();
         for p in UniformRect::unit().sample_n(&mut rng, 300) {

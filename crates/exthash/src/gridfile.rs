@@ -432,8 +432,8 @@ impl GridFile {
 mod tests {
     use super::*;
     use popan_workload::points::{PointSource, UniformRect};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)
@@ -576,14 +576,14 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
         fn invariants_hold_and_all_points_findable(
-            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120),
+            raw in popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120),
             capacity in 1usize..5,
         ) {
             let mut g = GridFile::new(Rect::unit(), capacity).unwrap();

@@ -613,14 +613,14 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
         fn model_equivalence_with_btreeset(
-            ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..300),
+            ops in popan_proptest::collection::vec((any::<u64>(), any::<bool>()), 0..300),
             capacity in 1usize..6,
         ) {
             let mut t = ExtendibleHashTable::new(capacity).unwrap();

@@ -213,12 +213,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #[test]
         fn contained_point_in_exactly_one_orthant(
-            coords in proptest::array::uniform4(0.0f64..1.0)
+            coords in popan_proptest::array::uniform4(0.0f64..1.0)
         ) {
             let b = BoxN::<4>::unit();
             let p = PointN::new(coords);

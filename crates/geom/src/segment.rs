@@ -222,7 +222,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #[test]

@@ -234,10 +234,10 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     fn distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
-        proptest::collection::vec(0.01f64..1.0, n).prop_map(|v| {
+        popan_proptest::collection::vec(0.01f64..1.0, n).prop_map(|v| {
             let s: f64 = v.iter().sum();
             v.into_iter().map(|x| x / s).collect()
         })
@@ -260,7 +260,7 @@ mod proptests {
         #[test]
         fn chi_square_statistic_nonnegative(
             p in distribution(5),
-            counts in proptest::collection::vec(1.0f64..500.0, 5),
+            counts in popan_proptest::collection::vec(1.0f64..500.0, 5),
         ) {
             let (stat, df) = chi_square(&counts, &p, 1.0).unwrap();
             prop_assert!(stat >= 0.0);

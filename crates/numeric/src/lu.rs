@@ -262,12 +262,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     fn well_conditioned_matrix() -> impl Strategy<Value = DMatrix> {
         // Diagonally dominant random matrices are guaranteed nonsingular.
         (2usize..6).prop_flat_map(|n| {
-            proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
+            popan_proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
                 for i in 0..n {
                     data[i * n + i] = if data[i * n + i] >= 0.0 {
                         data[i * n + i] + n as f64 + 1.0

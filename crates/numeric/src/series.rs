@@ -304,7 +304,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #[test]
@@ -322,7 +322,7 @@ mod proptests {
 
         #[test]
         fn detrended_series_has_zero_mean(
-            y in proptest::collection::vec(-100.0f64..100.0, 3..40)
+            y in popan_proptest::collection::vec(-100.0f64..100.0, 3..40)
         ) {
             let r = detrend(&y).unwrap();
             let mean = r.iter().sum::<f64>() / r.len() as f64;
@@ -331,7 +331,7 @@ mod proptests {
 
         #[test]
         fn autocorrelation_bounded(
-            y in proptest::collection::vec(-10.0f64..10.0, 4..40),
+            y in popan_proptest::collection::vec(-10.0f64..10.0, 4..40),
             lag_frac in 0.0f64..1.0,
         ) {
             let mean = y.iter().sum::<f64>() / y.len() as f64;

@@ -303,11 +303,11 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #[test]
-        fn mean_within_min_max(sample in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        fn mean_within_min_max(sample in popan_proptest::collection::vec(-100.0f64..100.0, 1..50)) {
             let s = Summary::of(&sample).unwrap();
             prop_assert!(s.min <= s.mean + 1e-12);
             prop_assert!(s.mean <= s.max + 1e-12);
@@ -316,7 +316,7 @@ mod proptests {
 
         #[test]
         fn shifting_sample_shifts_mean_not_variance(
-            sample in proptest::collection::vec(-10.0f64..10.0, 2..30),
+            sample in popan_proptest::collection::vec(-10.0f64..10.0, 2..30),
             shift in -5.0f64..5.0,
         ) {
             let s1 = Summary::of(&sample).unwrap();
@@ -328,7 +328,7 @@ mod proptests {
 
         #[test]
         fn histogram_conserves_observations(
-            values in proptest::collection::vec(-2.0f64..12.0, 0..100)
+            values in popan_proptest::collection::vec(-2.0f64..12.0, 0..100)
         ) {
             let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
             for v in &values {

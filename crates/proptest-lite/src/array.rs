@@ -1,0 +1,33 @@
+//! Fixed-size array strategies (`proptest::array` equivalents).
+
+use crate::strategy::Strategy;
+use popan_rng::StdRng;
+
+/// Strategy for `[S::Value; N]`, each element drawn independently.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        core::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Array of independent draws from `element`.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+uniform_fn!(
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform6 => 6,
+    uniform8 => 8
+);

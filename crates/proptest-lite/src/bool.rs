@@ -1,0 +1,36 @@
+//! Boolean strategies (`proptest::bool` equivalents).
+
+use crate::strategy::Strategy;
+use popan_rng::{Rng, StdRng};
+
+/// Strategy for a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// A fair-coin `bool` strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+/// `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random_bool(self.p)
+    }
+}

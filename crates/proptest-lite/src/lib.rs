@@ -1,0 +1,481 @@
+//! # popan-proptest — a minimal, hermetic property-testing harness
+//!
+//! A drop-in replacement for the subset of `proptest` this workspace
+//! uses, built on [`popan_rng`] so property tests need no external
+//! crates and no network. Design goals, in order:
+//!
+//! 1. **Reproducibility.** Every run is seeded from a fixed default;
+//!    a failing case prints the exact values and the per-case seed.
+//!    Set `POPAN_PROPTEST_SEED=<u64>` to rerun a different stream, and
+//!    `POPAN_PROPTEST_CASES=<n>` to change the per-test case count.
+//! 2. **Compatibility.** Existing `proptest! { … }` blocks compile after
+//!    `use proptest::prelude::*` becomes `use popan_proptest::prelude::*`
+//!    (strategy ranges, tuples, `collection::vec`, `array::uniform4`,
+//!    `bool::ANY`, `any::<T>()`, `prop_map`, `prop_flat_map`,
+//!    `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//!    `ProptestConfig::with_cases`).
+//! 3. **Simplicity.** Fixed-iteration, shrink-free runs: on failure the
+//!    harness reports the offending inputs verbatim instead of
+//!    shrinking. With seeded streams that is enough to reproduce and
+//!    debug, and it keeps the harness a few hundred lines.
+
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+use popan_rng::{Rng, SeedableRng, StdRng};
+
+/// Result type threaded out of a property body by the assertion macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violate a `prop_assume!` precondition; the
+    /// harness draws a replacement case.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with a reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (overridable with `POPAN_PROPTEST_CASES`) — smaller than
+    /// proptest's 256 because these suites run in CI on every push; the
+    /// fixed seed means more cases add diversity only across seeds.
+    fn default() -> Self {
+        let cases = std::env::var("POPAN_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The fixed default master seed (overridable with
+/// `POPAN_PROPTEST_SEED`). Chosen once; never change it casually —
+/// stability of the stream is what makes failures reproducible across
+/// machines and CI runs.
+pub const DEFAULT_SEED: u64 = 0x5167_4d0d_1987_u64;
+
+fn master_seed() -> u64 {
+    std::env::var("POPAN_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// FNV-1a over the test path, so each property gets an independent
+/// stream regardless of the order tests run in.
+fn test_name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: draws cases, skips rejections, panics with full
+/// reproduction info on the first failure. Called by the [`proptest!`]
+/// macro — not intended for direct use.
+pub fn run_property(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let seed = master_seed();
+    let stream = seed ^ test_name_hash(test_path);
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    // Generous rejection budget: properties here use prop_assume! only
+    // for rare degenerate inputs.
+    let max_attempts = config.cases as u64 * 64 + 256;
+    while passed < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "proptest {test_path}: gave up after {attempt} attempts \
+                 ({passed}/{} cases passed, rest rejected by prop_assume!)",
+                config.cases
+            );
+        }
+        // Every case gets its own generator keyed by (stream, attempt):
+        // a failure is reproducible in isolation without replaying the
+        // preceding cases.
+        let case_seed = stream.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {test_path} failed at case {} (attempt {}):\n{msg}\n\
+                     reproduce with POPAN_PROPTEST_SEED={seed}\
+                     {}",
+                    passed + 1,
+                    attempt,
+                    if seed == DEFAULT_SEED {
+                        " (the default seed)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support: types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T` (`any::<u64>()`,
+/// `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Everything a `proptest!` call site needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use popan_proptest::prelude::*;
+///
+/// proptest! {
+///     // In real code add #[test] here; the doctest runs it directly.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`, then any
+/// number of `#[test] fn name(arg in strategy, …) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |__popan_proptest_rng| {
+                        $(
+                            let $arg = $crate::Strategy::generate(
+                                &($strategy),
+                                __popan_proptest_rng,
+                            );
+                        )+
+                        // Formatted eagerly: the body may consume the
+                        // inputs by value.
+                        let __popan_proptest_inputs: ::std::string::String = {
+                            let mut parts: ::std::vec::Vec<::std::string::String> =
+                                ::std::vec::Vec::new();
+                            $(
+                                parts.push(format!(
+                                    "  {} = {:?}",
+                                    stringify!($arg),
+                                    &$arg
+                                ));
+                            )+
+                            parts.join("\n")
+                        };
+                        let __popan_proptest_result: ::core::result::Result<
+                            (),
+                            $crate::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        match __popan_proptest_result {
+                            ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                                ::core::result::Result::Err($crate::TestCaseError::Fail(
+                                    format!("{msg}\ninputs:\n{}", __popan_proptest_inputs),
+                                ))
+                            }
+                            other => other,
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, recording the inputs on
+/// failure instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format!($($fmt)*),
+                file!(),
+                line!(),
+            )));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_generate_in_bounds(
+            a in 0u64..100,
+            b in -5i32..=5,
+            c in 0.25f64..0.75,
+            d in 1usize..4,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&c));
+            prop_assert!((1..4).contains(&d));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pairs in crate::collection::vec((0u32..10, 0.0f64..1.0), 1..20),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 20);
+            for (n, x) in &pairs {
+                prop_assert!(*n < 10);
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn exact_vec_len_is_exact(v in crate::collection::vec(0u8..255, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn uniform4_fills_arrays(coords in crate::array::uniform4(0.0f64..1.0)) {
+            prop_assert_eq!(coords.len(), 4);
+            prop_assert!(coords.iter().all(|c| (0.0..1.0).contains(c)));
+        }
+
+        #[test]
+        fn any_and_bool_any_work(k in any::<u64>(), flag in crate::bool::ANY) {
+            let _ = k;
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn prop_map_transforms(
+            scaled in (1u32..10).prop_map(|v| v * 100),
+        ) {
+            prop_assert!((100..1000).contains(&scaled));
+            prop_assert_eq!(scaled % 100, 0);
+        }
+
+        #[test]
+        fn prop_flat_map_chains(
+            v in (2usize..6).prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n * n)),
+        ) {
+            let n = (v.len() as f64).sqrt().round() as usize;
+            prop_assert_eq!(v.len(), n * n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+
+        #[test]
+        fn just_yields_constant(v in Just(42u8)) {
+            prop_assert_eq!(v, 42);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_parses(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        use crate::Strategy;
+        let collect = || {
+            let mut out = Vec::new();
+            crate::run_property(
+                "determinism_probe",
+                &crate::ProptestConfig::with_cases(10),
+                |rng| {
+                    out.push((0u64..1000).generate(rng));
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn failure_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 10u32..20) {
+                    prop_assert!(x < 5, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("always_fails"), "panic message: {msg}");
+        assert!(msg.contains("POPAN_PROPTEST_SEED"), "panic message: {msg}");
+        assert!(msg.contains("x ="), "panic message should list inputs: {msg}");
+    }
+
+    #[test]
+    fn too_many_rejections_give_up() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property(
+                "reject_everything",
+                &crate::ProptestConfig::with_cases(4),
+                |_| Err(crate::TestCaseError::reject("never satisfied")),
+            );
+        });
+        assert!(result.is_err());
+    }
+}

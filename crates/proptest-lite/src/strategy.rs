@@ -1,0 +1,188 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! A strategy is just a seeded generator: `generate(&mut StdRng) ->
+//! Value`. There is no shrink tree — the harness reports failing inputs
+//! verbatim (see the crate docs for why that trade was taken).
+
+use popan_rng::{Rng, StdRng};
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from
+    /// it, and draws from that (proptest's `prop_flat_map`).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `predicate` by redrawing, up to
+    /// a fixed retry budget (proptest's `prop_filter`, sans shrinking).
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            predicate,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.predicate)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 1000 consecutive draws — strategy and filter disagree",
+            self.whence
+        );
+    }
+}
+
+/// A strategy producing one constant value (proptest's `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_rng::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let s = (0u32..4, 0.0f64..1.0, -3i32..=3);
+        let (a, b, c) = s.generate(&mut rng());
+        assert!(a < 4);
+        assert!((0.0..1.0).contains(&b));
+        assert!((-3..=3).contains(&c));
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+}

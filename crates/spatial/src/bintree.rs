@@ -328,8 +328,8 @@ impl OccupancyInstrumented for Bintree {
 mod tests {
     use super::*;
     use popan_workload::points::{PointSource, UniformRect};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)

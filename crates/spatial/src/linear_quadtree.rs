@@ -203,8 +203,8 @@ impl From<&PrQuadtree> for LinearQuadtree {
 mod tests {
     use super::*;
     use popan_workload::points::{PointSource, UniformRect};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn build_pair(n: usize, capacity: usize, seed: u64) -> (PrQuadtree, LinearQuadtree) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -322,16 +322,16 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
         fn linear_and_pointer_trees_agree(
-            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120),
+            raw in popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120),
             capacity in 1usize..5,
-            probe in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10),
+            probe in popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10),
         ) {
             let points: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
             let tree = PrQuadtree::build(Rect::unit(), capacity, points).unwrap();

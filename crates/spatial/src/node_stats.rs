@@ -300,12 +300,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     proptest! {
         #[test]
         fn proportions_always_sum_to_one_when_nonempty(
-            occupancies in proptest::collection::vec((0u32..12, 0usize..10), 1..60),
+            occupancies in popan_proptest::collection::vec((0u32..12, 0usize..10), 1..60),
             capacity in 1usize..9,
         ) {
             let ls: Vec<LeafRecord> = occupancies
@@ -320,7 +320,7 @@ mod proptests {
 
         #[test]
         fn depth_table_conserves_counts(
-            occupancies in proptest::collection::vec((0u32..8, 0usize..6), 0..60),
+            occupancies in popan_proptest::collection::vec((0u32..8, 0usize..6), 0..60),
         ) {
             let ls: Vec<LeafRecord> = occupancies
                 .iter()

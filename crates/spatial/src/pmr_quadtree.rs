@@ -307,8 +307,8 @@ mod tests {
     use super::*;
     use popan_geom::Point2;
     use popan_workload::lines::{SegmentSource, UniformEndpoints};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment2 {
         Segment2::new(Point2::new(ax, ay), Point2::new(bx, by))

@@ -281,8 +281,8 @@ impl OccupancyInstrumented for PrOctree {
 mod tests {
     use super::*;
     use popan_workload::points::UniformCube;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     #[test]
     fn empty_and_single() {

@@ -606,8 +606,8 @@ mod tests {
     use super::*;
     use crate::node_stats::OccupancyInstrumented;
     use popan_workload::points::{PointSource, UniformRect};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)
@@ -1025,10 +1025,10 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use popan_proptest::prelude::*;
 
     fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
-        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..150)
+        popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..150)
             .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
     }
 
@@ -1065,7 +1065,7 @@ mod proptests {
         #[test]
         fn mixed_insert_remove_matches_multiset_model(
             seed_points in arb_points(),
-            ops in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, proptest::bool::ANY), 0..80),
+            ops in popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, popan_proptest::bool::ANY), 0..80),
             capacity in 1usize..4,
         ) {
             let mut tree = PrQuadtree::build(Rect::unit(), capacity, seed_points.iter().copied()).unwrap();

@@ -290,8 +290,8 @@ impl<const D: usize> OccupancyInstrumented for PrTreeNd<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use popan_rng::rngs::StdRng;
+    use popan_rng::{Rng, SeedableRng};
 
     fn sample_points<const D: usize>(n: usize, seed: u64) -> Vec<PointN<D>> {
         let mut rng = StdRng::seed_from_u64(seed);

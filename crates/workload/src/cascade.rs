@@ -15,7 +15,7 @@
 
 use crate::points::PointSource;
 use popan_geom::{Point2, Quadrant, Rect};
-use rand::Rng;
+use popan_rng::Rng;
 
 /// A multiplicative-cascade distribution over a rectangle.
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ impl Cascade {
         self.quadrant_probs
     }
 
-    fn pick_quadrant(&self, rng: &mut dyn rand::RngCore) -> Quadrant {
+    fn pick_quadrant(&self, rng: &mut dyn popan_rng::RngCore) -> Quadrant {
         let u: f64 = rng.random_range(0.0..1.0);
         let mut acc = 0.0;
         for (i, &q) in self.quadrant_probs.iter().enumerate() {
@@ -77,7 +77,7 @@ impl PointSource for Cascade {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2 {
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point2 {
         let mut cell = self.region;
         for _ in 0..self.depth {
             cell = cell.quadrant(self.pick_quadrant(rng));
@@ -95,8 +95,8 @@ impl PointSource for Cascade {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xca5c)

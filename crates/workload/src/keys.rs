@@ -6,7 +6,7 @@
 //! that become uniform only after hashing, which exercises the hash
 //! function itself.
 
-use rand::Rng;
+use popan_rng::Rng;
 
 /// Uniformly random 64-bit keys (duplicates possible but vanishingly rare).
 #[derive(Debug, Clone, Copy, Default)]
@@ -14,12 +14,12 @@ pub struct UniformKeys;
 
 impl UniformKeys {
     /// Draws one key.
-    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> u64 {
+    pub fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> u64 {
         rng.random()
     }
 
     /// Draws `n` keys.
-    pub fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<u64> {
+    pub fn sample_n(&self, rng: &mut dyn popan_rng::RngCore, n: usize) -> Vec<u64> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -57,8 +57,8 @@ pub fn mix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     #[test]
     fn uniform_keys_are_deterministic_and_distinct() {

@@ -13,7 +13,7 @@
 //!   per-trial RNG streams from one master seed so every experiment is
 //!   exactly reproducible.
 //!
-//! All generators draw from a caller-supplied [`rand::Rng`]; nothing here
+//! All generators draw from a caller-supplied [`popan_rng::Rng`]; nothing here
 //! touches global or OS randomness.
 
 #![forbid(unsafe_code)]

@@ -18,10 +18,10 @@ pub trait SegmentSource {
     fn region(&self) -> Rect;
 
     /// Draws one segment, entirely inside [`Self::region`].
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Segment2;
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Segment2;
 
     /// Draws `n` segments.
-    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<Segment2> {
+    fn sample_n(&self, rng: &mut dyn popan_rng::RngCore, n: usize) -> Vec<Segment2> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -49,7 +49,7 @@ impl SegmentSource for UniformEndpoints {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Segment2 {
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Segment2 {
         let uniform = UniformRect::new(self.region);
         loop {
             let a = uniform.sample(rng);
@@ -92,8 +92,8 @@ impl SegmentSource for FixedLengthSegments {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Segment2 {
-        use rand::Rng;
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Segment2 {
+        use popan_rng::Rng;
         let uniform = UniformRect::new(self.region);
         loop {
             let mid = uniform.sample(rng);
@@ -112,8 +112,8 @@ impl SegmentSource for FixedLengthSegments {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x11e5)

@@ -22,7 +22,7 @@
 //!   experiments.
 
 use popan_geom::{Aabb3, Point2, Point3, Rect};
-use rand::Rng;
+use popan_rng::Rng;
 
 /// A distribution of points over a planar region.
 pub trait PointSource {
@@ -30,10 +30,10 @@ pub trait PointSource {
     fn region(&self) -> Rect;
 
     /// Draws one point, always inside [`Self::region`].
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2;
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point2;
 
     /// Draws `n` points.
-    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<Point2> {
+    fn sample_n(&self, rng: &mut dyn popan_rng::RngCore, n: usize) -> Vec<Point2> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -61,7 +61,7 @@ impl PointSource for UniformRect {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2 {
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point2 {
         let x = self.region.x().lo() + rng.random_range(0.0..1.0) * self.region.width();
         let y = self.region.y().lo() + rng.random_range(0.0..1.0) * self.region.height();
         Point2::new(x, y)
@@ -72,7 +72,7 @@ impl PointSource for UniformRect {
 ///
 /// One branch of the transform is enough here; callers needing pairs can
 /// call twice (throughput is irrelevant next to tree construction).
-pub fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+pub fn standard_normal(rng: &mut dyn popan_rng::RngCore) -> f64 {
     // Guard the log: random_range(0.0..1.0) can return exactly 0.
     let mut u1: f64 = rng.random_range(0.0..1.0);
     if u1 <= f64::MIN_POSITIVE {
@@ -125,7 +125,7 @@ impl PointSource for GaussianCentered {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2 {
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point2 {
         let c = self.region.center();
         loop {
             let p = Point2::new(
@@ -156,7 +156,7 @@ impl Clustered {
     /// Creates a cluster process with centers drawn through `rng`.
     ///
     /// Panics if `clusters == 0` or `spread <= 0`.
-    pub fn new(region: Rect, clusters: usize, spread: f64, rng: &mut dyn rand::RngCore) -> Self {
+    pub fn new(region: Rect, clusters: usize, spread: f64, rng: &mut dyn popan_rng::RngCore) -> Self {
         assert!(clusters > 0, "need at least one cluster");
         assert!(spread > 0.0, "spread must be positive");
         let uniform = UniformRect::new(region);
@@ -179,7 +179,7 @@ impl PointSource for Clustered {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2 {
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point2 {
         let c = self.centers[rng.random_range(0..self.centers.len())];
         loop {
             let p = Point2::new(
@@ -219,13 +219,13 @@ impl PointSource for GridJitter {
         self.region
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point2 {
+    fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point2 {
         let cw = self.region.width() / self.k as f64;
         let ch = self.region.height() / self.k as f64;
         let ci = rng.random_range(0..self.k) as f64;
         let cj = rng.random_range(0..self.k) as f64;
         // Jittered offset around the cell center.
-        let off = |rng: &mut dyn rand::RngCore, jitter: f64| {
+        let off = |rng: &mut dyn popan_rng::RngCore, jitter: f64| {
             0.5 + jitter * (rng.random_range(0.0..1.0) - 0.5)
         };
         let x = self.region.x().lo() + (ci + off(rng, self.jitter)) * cw;
@@ -260,7 +260,7 @@ impl UniformCube {
     }
 
     /// Draws one point.
-    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> Point3 {
+    pub fn sample(&self, rng: &mut dyn popan_rng::RngCore) -> Point3 {
         Point3::new(
             self.region.x().lo() + rng.random_range(0.0..1.0) * self.region.x().length(),
             self.region.y().lo() + rng.random_range(0.0..1.0) * self.region.y().length(),
@@ -269,7 +269,7 @@ impl UniformCube {
     }
 
     /// Draws `n` points.
-    pub fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<Point3> {
+    pub fn sample_n(&self, rng: &mut dyn popan_rng::RngCore, n: usize) -> Vec<Point3> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -277,8 +277,8 @@ impl UniformCube {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed)

@@ -7,8 +7,8 @@
 //! per trial, and returns the per-trial results for aggregation.
 
 use crate::keys::mix64;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 
 /// Runs `n` seeded trials of an experiment.
 #[derive(Debug, Clone, Copy)]
@@ -66,7 +66,7 @@ impl TrialRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use popan_rng::Rng;
 
     #[test]
     fn runs_requested_number_of_trials() {

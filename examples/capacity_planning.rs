@@ -14,8 +14,8 @@ use popan::core::{PrModel, SteadyStateSolver};
 use popan::geom::Rect;
 use popan::spatial::{OccupancyInstrumented, PrQuadtree};
 use popan::workload::points::{PointSource, UniformRect};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 
 fn main() {
     let target_utilization = 0.50;

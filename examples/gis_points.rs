@@ -14,8 +14,8 @@ use popan::core::{PrModel, SteadyStateSolver};
 use popan::geom::{Point2, Rect};
 use popan::spatial::{OccupancyInstrumented, PrQuadtree};
 use popan::workload::points::{Clustered, PointSource};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1987);

@@ -15,8 +15,8 @@ use popan::core::SteadyStateSolver;
 use popan::geom::Rect;
 use popan::spatial::{OccupancyInstrumented, PmrQuadtree};
 use popan::workload::lines::{SegmentSource, UniformEndpoints};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 
 fn main() {
     let threshold = 4;

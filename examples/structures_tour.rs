@@ -19,8 +19,8 @@ use popan::spatial::{
 };
 use popan::workload::keys::UniformKeys;
 use popan::workload::points::{PointSource, UniformCube, UniformRect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use popan_rng::rngs::StdRng;
+use popan_rng::{Rng, SeedableRng};
 
 const N: usize = 4000;
 const CAPACITY: usize = 4;

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, and smoke-bench the workspace.
+#
+# The repo is hermetic — every dependency lives in-tree (popan-rng,
+# popan-proptest, the popan-bench harness), so this script must succeed
+# with no network and an empty cargo registry. CI runs it with network
+# access disabled to keep that invariant honest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+# --smoke: one iteration per bench, just proving every target runs and
+# writes its target/popan-bench/BENCH_<group>.json artifact.
+cargo bench -q --offline --workspace -- --smoke
+
+echo "verify: build + test + bench smoke all green (offline)"

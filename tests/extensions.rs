@@ -60,7 +60,7 @@ fn four_dimensional_tree_matches_generalized_model_direction() {
         .average_occupancy();
     let runner = TrialRunner::new(0x4d, 3);
     let measured = runner.run_mean(|_, rng| {
-        use rand::Rng;
+        use popan_rng::Rng;
         let pts = (0..3000)
             .map(|_| PointN::<4>::new(std::array::from_fn(|_| rng.random_range(0.0..1.0))));
         let t = PrTreeNd::<4>::build(BoxN::unit(), 4, pts).unwrap();

@@ -1,0 +1,115 @@
+//! Golden-value tests for the PR-quadtree split row.
+//!
+//! The paper's closed form for the `b = 4` split row is
+//!
+//! ```text
+//! T_{m,i} = C(m+1, i) · 3^{m+1−i} / (4^m − 1),   i = 0..=m
+//! ```
+//!
+//! These tests recompute the expected values *independently* of the
+//! library — in exact `u128` integer arithmetic, converted to `f64` only
+//! at the very end — and pin both the closed-form accessor and the
+//! transform-matrix rows against them to 1e-12, for capacities well past
+//! the paper's `m ≤ 8` range.
+
+use popan::core::{PopulationModel, PrModel};
+
+/// Exact binomial coefficient. Each step `acc·(n−j)/(j+1)` is an exact
+/// integer because `acc` is `C(n, j)` and `C(n, j+1) = C(n,j)(n−j)/(j+1)`.
+fn binomial_u128(n: u64, k: u64) -> u128 {
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for j in 0..k {
+        acc = acc * (n - j) as u128 / (j as u128 + 1);
+    }
+    acc
+}
+
+fn pow_u128(base: u128, exp: u32) -> u128 {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc *= base;
+    }
+    acc
+}
+
+/// `T_{m,i}` from exact integers: `C(m+1,i)·3^{m+1−i}/(4^m − 1)`.
+fn golden_split_entry(m: u64, i: u64) -> f64 {
+    let numer = binomial_u128(m + 1, i) * pow_u128(3, (m + 1 - i) as u32);
+    let denom = pow_u128(4, m as u32) - 1;
+    numer as f64 / denom as f64
+}
+
+const CAPACITIES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+#[test]
+fn split_row_matches_exact_integer_golden_values() {
+    for &m in &CAPACITIES {
+        let model = PrModel::quadtree(m).unwrap();
+        let row = model.transform_matrix().row(m);
+        for i in 0..=m {
+            let want = golden_split_entry(m as u64, i as u64);
+            let closed = model.split_row_closed_form(i);
+            assert!(
+                (closed - want).abs() < 1e-12,
+                "closed form m={m} i={i}: {closed:.17e} vs golden {want:.17e}"
+            );
+            assert!(
+                (row[i] - want).abs() < 1e-12,
+                "transform row m={m} i={i}: {:.17e} vs golden {want:.17e}",
+                row[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_m1_split_row_is_3_2() {
+    // §III worked example: t_1 = (3, 2) — three empty children and two
+    // singletons per split, on average, once re-splits are resummed.
+    assert_eq!(golden_split_entry(1, 0), 3.0);
+    assert_eq!(golden_split_entry(1, 1), 2.0);
+}
+
+#[test]
+fn every_row_sums_to_its_node_count_growth_factor() {
+    // Inserting into a non-full node leaves the node count unchanged
+    // (rows 0..m are shifts, factor exactly 1); splitting a full node
+    // replaces it with (4^{m+1} − 1)/(4^m − 1) nodes on average (the
+    // resummed 1 + 4 + 4·4^{-m} + … series).
+    for &m in &CAPACITIES {
+        let model = PrModel::quadtree(m).unwrap();
+        let sums = model.transform_matrix().row_sums();
+        for (i, &s) in sums.iter().enumerate().take(m) {
+            assert_eq!(s, 1.0, "m={m}: non-split row {i} sums to {s}");
+        }
+        let numer = pow_u128(4, m as u32 + 1) - 1;
+        let denom = pow_u128(4, m as u32) - 1;
+        let want = numer as f64 / denom as f64;
+        assert!(
+            (sums[m] - want).abs() < 1e-12,
+            "m={m}: split row sums to {:.17e}, golden growth factor {want:.17e}",
+            sums[m]
+        );
+        assert!(
+            (model.split_yield() - want).abs() < 1e-12,
+            "m={m}: split_yield {:.17e} vs golden {want:.17e}",
+            model.split_yield()
+        );
+    }
+}
+
+#[test]
+fn split_row_conserves_the_m_plus_1_items() {
+    // Σᵢ i·T_{m,i} = m + 1: the split scatters exactly the overflowing
+    // node's items into the surviving children.
+    for &m in &CAPACITIES {
+        let model = PrModel::quadtree(m).unwrap();
+        let row = model.transform_matrix().row(m);
+        let items: f64 = (0..=m).map(|i| i as f64 * row[i]).sum();
+        assert!(
+            (items - (m as f64 + 1.0)).abs() < 1e-9,
+            "m={m}: split scatters {items} items"
+        );
+    }
+}

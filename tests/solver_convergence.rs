@@ -1,0 +1,71 @@
+//! Convergence regression for the steady-state solver.
+//!
+//! The paper: "The systems were solved numerically using an iterative
+//! technique which converged on the positive solution." This suite pins
+//! that the normalized fixed-point iteration keeps converging far past
+//! the paper's `m ≤ 8` range, and that what it converges *to* is a
+//! genuine probability vector matching the published `m = 1` values.
+
+use popan::core::{PrModel, SteadyStateSolver};
+use popan::experiments::paper_data;
+
+#[test]
+fn fixed_point_converges_for_capacities_1_through_32() {
+    for m in 1..=32 {
+        let model = PrModel::quadtree(m).unwrap();
+        let steady = SteadyStateSolver::new()
+            .solve(&model)
+            .unwrap_or_else(|e| panic!("m={m}: solver failed: {e}"));
+        let e = steady.distribution().proportions();
+        assert_eq!(e.len(), m + 1, "m={m}: wrong class count");
+        let total: f64 = e.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-10,
+            "m={m}: Σe = {total:.15} is not 1 ± 1e-10"
+        );
+        assert!(
+            e.iter().all(|&p| p >= 0.0),
+            "m={m}: negative component in {e:?}"
+        );
+        // The paper's uniqueness argument requires the *positive* solution.
+        assert!(
+            e.iter().all(|&p| p > 0.0),
+            "m={m}: zero component in {e:?}"
+        );
+        assert!(
+            steady.diagnostics().residual < 1e-10,
+            "m={m}: residual {:.3e}",
+            steady.diagnostics().residual
+        );
+    }
+}
+
+#[test]
+fn other_branching_factors_converge_too() {
+    for m in 1..=32 {
+        for model in [PrModel::bintree(m).unwrap(), PrModel::octree(m).unwrap()] {
+            let steady = SteadyStateSolver::new().solve(&model).unwrap();
+            let total: f64 = steady.distribution().proportions().iter().sum();
+            assert!((total - 1.0).abs() < 1e-10);
+        }
+    }
+}
+
+#[test]
+fn m1_solution_matches_paper_values() {
+    // §III solves m = 1 analytically: e = (1/2, 1/2). Table 1 prints the
+    // same row to three decimals; check both the exact value and the
+    // transcription in paper_data.
+    let model = PrModel::quadtree(1).unwrap();
+    let steady = SteadyStateSolver::new().solve(&model).unwrap();
+    let e = steady.distribution().proportions();
+    assert!((e[0] - 0.5).abs() < 1e-10, "e₀ = {:.15}", e[0]);
+    assert!((e[1] - 0.5).abs() < 1e-10, "e₁ = {:.15}", e[1]);
+    for (i, &printed) in paper_data::TABLE1_THEORY[0].iter().enumerate() {
+        assert!(
+            (e[i] - printed).abs() < 5e-4,
+            "i={i}: computed {:.4} vs paper {printed:.3}",
+            e[i]
+        );
+    }
+}
