@@ -1,0 +1,54 @@
+//! Bench for the experiment engine: trials/sec, sequential vs parallel.
+//!
+//! Paper scale per measurement: 10 trees × 1000 points, node capacity
+//! m = 1..=8. The `seq_m*` and `par4_m*` pairs run the identical trial
+//! function through `Engine::with_threads(1)` and `with_threads(4)` —
+//! the speedup ratio is the scheduler's contribution on this machine
+//! (1.0 on a single-core host; the results stay bit-identical either
+//! way, which `tests/engine_determinism.rs` enforces).
+
+use popan_bench::{criterion_group, criterion_main, Criterion};
+use popan_engine::Engine;
+use popan_experiments::ExperimentConfig;
+use popan_geom::Rect;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+use std::hint::black_box;
+
+const TREES: usize = 10;
+const POINTS: usize = 1000;
+
+fn bench_engine(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        trials: TREES,
+        points: POINTS,
+        ..ExperimentConfig::paper()
+    };
+
+    let mut group = c.benchmark_group("engine");
+    for m in 1usize..=8 {
+        let runner = config.runner(0xbe9c ^ (m as u64) << 32);
+        let trial = move |_t: usize, rng: &mut popan_rng::rngs::StdRng| {
+            let tree =
+                PrQuadtree::build(Rect::unit(), m, UniformRect::unit().sample_n(rng, POINTS))
+                    .expect("in-region points");
+            tree.occupancy_profile().average_occupancy()
+        };
+        group.bench_function(format!("seq_m{m}"), |b| {
+            let engine = Engine::with_threads(1);
+            b.iter(|| engine.map_trials(black_box(runner), trial))
+        });
+        group.bench_function(format!("par4_m{m}"), |b| {
+            let engine = Engine::with_threads(4);
+            b.iter(|| engine.map_trials(black_box(runner), trial))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! # popan-engine — the unified experiment engine
+//!
+//! Every paper table/figure driver follows the same protocol: solve the
+//! deterministic theory side once, build `N` independently seeded trees,
+//! and aggregate the per-tree measurements. This crate factors that
+//! protocol out of the drivers:
+//!
+//! * [`Experiment`] — the trait a driver implements instead of
+//!   open-coding the loop: a deterministic [`theory`](Experiment::theory)
+//!   step, an independently seeded
+//!   [`run_trial`](Experiment::run_trial), and an order-sensitive
+//!   [`aggregate`](Experiment::aggregate).
+//! * [`Engine`] — the executor. It runs the trials either sequentially
+//!   or across `std::thread` workers
+//!   ([`TrialRunner::run_par`](popan_workload::TrialRunner::run_par)),
+//!   and reassembles results in trial order before aggregation.
+//!
+//! ## Determinism contract
+//!
+//! Trial `t`'s RNG stream is derived from `(master_seed, t)` alone, and
+//! the engine hands `aggregate` the trial results sorted by trial index.
+//! Therefore **every summary is bit-identical for every thread count**:
+//! `Engine::with_threads(8)` produces exactly the bytes
+//! `Engine::sequential()` produces. The test suites pin this for each
+//! experiment in the workspace.
+//!
+//! ## Thread-count selection
+//!
+//! [`Engine::from_env`] reads `POPAN_THREADS`: unset or `0` means "use
+//! [`std::thread::available_parallelism`]", `1` forces the sequential
+//! path, any other value is the worker count. Experiments never spawn
+//! more workers than trials.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use popan_rng::rngs::StdRng;
+use popan_workload::TrialRunner;
+
+/// One Monte-Carlo experiment: a deterministic theory side, an
+/// independently seeded trial, and an order-sensitive aggregation.
+///
+/// Implementations must be [`Sync`]: the engine shares `&self` across
+/// worker threads while trials run.
+pub trait Experiment: Sync {
+    /// The run configuration the experiment was built from (exposed so
+    /// generic tooling — reports, determinism tests — can inspect it).
+    type Config;
+    /// Output of the deterministic (non-Monte-Carlo) side, computed once
+    /// per run before any trial.
+    type Theory: Send;
+    /// One trial's measurement. Crosses thread boundaries.
+    type Trial: Send;
+    /// The aggregated result.
+    type Summary;
+
+    /// Stable experiment id for reports and logs (`"table1/m4"`, …).
+    fn name(&self) -> String;
+
+    /// The configuration this experiment runs under.
+    fn config(&self) -> &Self::Config;
+
+    /// The trial schedule: master seed (already salted per experiment)
+    /// and trial count.
+    fn runner(&self) -> TrialRunner;
+
+    /// Solves the deterministic side (model steady state, closed forms).
+    /// Called exactly once per run, before the trials, on the caller's
+    /// thread. Experiments without a theory side return `()`.
+    fn theory(&self) -> Self::Theory;
+
+    /// Runs trial `t` on its own RNG stream. Must depend only on
+    /// `(&self, t, rng)` — never on other trials or shared mutable
+    /// state — so the scheduler may execute trials in any order on any
+    /// worker.
+    fn run_trial(&self, t: usize, rng: &mut StdRng) -> Self::Trial;
+
+    /// Reduces the theory output and the trial results (always in trial
+    /// order) to the experiment's summary.
+    fn aggregate(&self, theory: Self::Theory, trials: &[Self::Trial]) -> Self::Summary;
+}
+
+/// Executes [`Experiment`]s over a fixed worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine that runs trials one after another on the calling
+    /// thread.
+    pub fn sequential() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// An engine with an explicit worker count. Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        Engine { threads }
+    }
+
+    /// The engine selected by the environment: `POPAN_THREADS` workers,
+    /// where unset or `0` means [`std::thread::available_parallelism`]
+    /// and `1` forces the sequential path. Panics on an unparsable
+    /// value — a misconfigured run should fail loudly, not silently
+    /// fall back to one thread.
+    pub fn from_env() -> Self {
+        let spec = std::env::var("POPAN_THREADS").ok();
+        match threads_from_spec(spec.as_deref()) {
+            Ok(n) => Engine::with_threads(n),
+            Err(bad) => panic!("POPAN_THREADS={bad:?} is not a thread count (expected an integer; 0 = all cores, 1 = sequential)"),
+        }
+    }
+
+    /// The worker count this engine schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs an experiment end to end: theory once, all trials (in
+    /// parallel when `threads > 1`), then aggregation over the
+    /// trial-ordered results.
+    pub fn run<E: Experiment>(&self, experiment: &E) -> E::Summary {
+        let theory = experiment.theory();
+        let trials = experiment
+            .runner()
+            .run_par(self.threads, |t, rng| experiment.run_trial(t, rng));
+        experiment.aggregate(theory, &trials)
+    }
+
+    /// Runs a bare trial closure over a runner's schedule — the engine
+    /// path for sub-loops that don't warrant a named [`Experiment`]
+    /// (cycle averages inside a sweep, for example). Results come back
+    /// in trial order, bit-identical for every thread count.
+    pub fn map_trials<T: Send>(
+        &self,
+        runner: TrialRunner,
+        f: impl Fn(usize, &mut StdRng) -> T + Sync,
+    ) -> Vec<T> {
+        runner.run_par(self.threads, f)
+    }
+
+    /// [`map_trials`](Engine::map_trials) reduced to the trial mean via a
+    /// streaming [`Welford`](popan_workload::Welford) accumulator.
+    pub fn mean_trials(
+        &self,
+        runner: TrialRunner,
+        f: impl Fn(usize, &mut StdRng) -> f64 + Sync,
+    ) -> f64 {
+        let mut acc = popan_workload::Welford::new();
+        for x in self.map_trials(runner, f) {
+            acc.push(x);
+        }
+        acc.mean()
+    }
+}
+
+/// Parses a `POPAN_THREADS` specification: `None` or `Some("0")` →
+/// available parallelism, otherwise the integer worker count.
+fn threads_from_spec(spec: Option<&str>) -> Result<usize, String> {
+    match spec {
+        None | Some("") => Ok(available_parallelism()),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(0) => Ok(available_parallelism()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(s.to_string()),
+        },
+    }
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_rng::Rng;
+
+    /// A toy experiment: theory = trial count, trial = one draw + its
+    /// index, summary = (theory, draws).
+    struct Draws {
+        config: u64,
+        trials: usize,
+    }
+
+    impl Experiment for Draws {
+        type Config = u64;
+        type Theory = usize;
+        type Trial = (usize, u64);
+        type Summary = (usize, Vec<(usize, u64)>);
+
+        fn name(&self) -> String {
+            "draws".into()
+        }
+        fn config(&self) -> &u64 {
+            &self.config
+        }
+        fn runner(&self) -> TrialRunner {
+            TrialRunner::new(self.config, self.trials)
+        }
+        fn theory(&self) -> usize {
+            self.trials
+        }
+        fn run_trial(&self, t: usize, rng: &mut StdRng) -> (usize, u64) {
+            (t, rng.random())
+        }
+        fn aggregate(&self, theory: usize, trials: &[(usize, u64)]) -> Self::Summary {
+            (theory, trials.to_vec())
+        }
+    }
+
+    #[test]
+    fn engine_runs_theory_trials_and_aggregation() {
+        let exp = Draws {
+            config: 9,
+            trials: 5,
+        };
+        let (theory, trials) = Engine::sequential().run(&exp);
+        assert_eq!(theory, 5);
+        assert_eq!(trials.len(), 5);
+        assert_eq!(exp.name(), "draws");
+        assert_eq!(*exp.config(), 9);
+        for (i, (t, _)) in trials.iter().enumerate() {
+            assert_eq!(i, *t);
+        }
+    }
+
+    #[test]
+    fn parallel_summary_is_bit_identical_to_sequential() {
+        let exp = Draws {
+            config: 0xabc,
+            trials: 13,
+        };
+        let seq = Engine::sequential().run(&exp);
+        for threads in 2..=8 {
+            assert_eq!(Engine::with_threads(threads).run(&exp), seq);
+        }
+    }
+
+    #[test]
+    fn mean_trials_streams_the_trial_mean() {
+        let engine = Engine::sequential();
+        let mean = engine.mean_trials(TrialRunner::new(0, 4), |t, _| t as f64);
+        assert_eq!(mean, 1.5);
+        let par = Engine::with_threads(3).mean_trials(TrialRunner::new(0, 4), |t, _| t as f64);
+        assert_eq!(par.to_bits(), mean.to_bits());
+    }
+
+    #[test]
+    fn map_trials_preserves_order_across_threads() {
+        let engine = Engine::with_threads(4);
+        let out = engine.map_trials(TrialRunner::new(1, 9), |t, _| t * t);
+        assert_eq!(out, (0..9).map(|t| t * t).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_spec_parsing() {
+        let cores = available_parallelism();
+        assert_eq!(threads_from_spec(None), Ok(cores));
+        assert_eq!(threads_from_spec(Some("")), Ok(cores));
+        assert_eq!(threads_from_spec(Some("0")), Ok(cores));
+        assert_eq!(threads_from_spec(Some("1")), Ok(1));
+        assert_eq!(threads_from_spec(Some("4")), Ok(4));
+        assert_eq!(threads_from_spec(Some(" 2 ")), Ok(2));
+        assert!(threads_from_spec(Some("four")).is_err());
+        assert!(threads_from_spec(Some("-1")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_is_rejected() {
+        Engine::with_threads(0);
+    }
+}

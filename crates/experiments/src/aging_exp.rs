@@ -58,10 +58,11 @@ fn measured_cycle_average(config: &ExperimentConfig, capacity: usize, from_point
     let sizes: Vec<usize> = (0..8)
         .map(|k| (from_points as f64 * 4f64.powf(k as f64 / 8.0)) as usize)
         .collect();
+    let engine = config.engine();
     let mut samples = Vec::new();
     for n in sizes {
         let runner = config.runner(0xa9e ^ ((capacity as u64) << 40) ^ (n as u64));
-        samples.push(runner.run_mean(|_, rng| {
+        samples.push(engine.mean_trials(runner, |_, rng| {
             let tree = PrQuadtree::build(
                 Rect::unit(),
                 capacity,

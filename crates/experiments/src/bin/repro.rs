@@ -3,75 +3,70 @@
 //! ```text
 //! cargo run -p popan-experiments --release --bin repro            # everything
 //! cargo run -p popan-experiments --release --bin repro -- table1  # one artifact
+//! cargo run -p popan-experiments --release --bin repro -- --list  # what exists
 //! cargo run -p popan-experiments --release --bin repro -- --quick # fast pass
 //! cargo run -p popan-experiments --release --bin repro -- --out EXPERIMENTS.md
+//! cargo run -p popan-experiments --release --bin repro -- --json target/report
+//! cargo run -p popan-experiments --release --bin repro -- --threads 4
 //! ```
 //!
-//! `--out <path>` additionally writes the full report as a Markdown file
-//! (ASCII figures fenced); SVG figures land in `target/figures/`.
+//! Experiments come from the registry (`popan_experiments::registry`);
+//! any subset can be selected by id. `--out <path>` additionally writes
+//! the full report as a Markdown file (ASCII figures fenced), `--json
+//! <dir>` writes one JSON artifact per experiment, `--threads <n>` sets
+//! `POPAN_THREADS` for the run (0 = available parallelism). SVG figures
+//! land in `target/figures/`.
 
-use popan_experiments::table45::Workload;
-use popan_experiments::{
-    ablation, aging_exp, churn, dims, excell_exp, exthash_exp, figures, phasing_sweep, pmr_exp, skew, table1,
-    table2, table3, table45, ExperimentConfig,
-};
+use popan_experiments::registry::{self, Artifact};
+use popan_experiments::ExperimentConfig;
 use std::io::Write;
 
-const ALL: &[&str] = &[
-    "fig1", "table1", "table2", "table3", "table4", "fig2", "table5", "fig3", "dims", "exthash",
-    "excell", "pmr", "aging", "ablation", "skew", "churn", "phasing_sweep",
-];
-
-fn render_figure(fig: &popan_experiments::figures::Figure) -> String {
-    let mut s = format!("## {} — {}\n\n```text\n{}```\n", fig.id, fig.caption, fig.ascii);
-    if !fig.svg.is_empty() {
-        let dir = std::path::Path::new("target/figures");
-        if std::fs::create_dir_all(dir).is_ok() {
-            let path = dir.join(format!("{}.svg", fig.id));
-            if std::fs::write(&path, &fig.svg).is_ok() {
-                s.push_str(&format!("\n(SVG written to {})\n", path.display()));
+fn render(artifact: &Artifact) -> String {
+    let mut s = artifact.section();
+    if let Artifact::Figure(fig) = artifact {
+        if !fig.svg.is_empty() {
+            let dir = std::path::Path::new("target/figures");
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join(format!("{}.svg", fig.id));
+                if std::fs::write(&path, &fig.svg).is_ok() {
+                    s.push_str(&format!("\n(SVG written to {})\n", path.display()));
+                }
             }
         }
     }
     s
 }
 
-fn render(id: &str, config: &ExperimentConfig) -> String {
-    match id {
-        "fig1" => render_figure(&figures::fig1()),
-        "fig2" => render_figure(&figures::fig2(config)),
-        "fig3" => render_figure(&figures::fig3(config)),
-        "table1" => table1::table(config).render(),
-        "table2" => table2::table(config).render(),
-        "table3" => table3::table(config).render(),
-        "table4" => table45::table(config, Workload::Uniform).render(),
-        "table5" => table45::table(config, Workload::Gaussian).render(),
-        "dims" => dims::table(config).render(),
-        "exthash" => exthash_exp::table(config).render(),
-        "excell" => excell_exp::table(config).render(),
-        "skew" => skew::table(config).render(),
-        "churn" => churn::table(config).render(),
-        "phasing_sweep" => phasing_sweep::table(config).render(),
-        "pmr" => pmr_exp::table(config).render(),
-        "aging" => aging_exp::table(config).render(),
-        "ablation" => ablation::table(config).render(),
-        other => unreachable!("validated in main: {other}"),
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = value_of("--out");
+    let json_dir = value_of("--json");
+
+    if args.iter().any(|a| a == "--list") {
+        for e in registry::ALL {
+            println!("{:14} {}", e.id, e.title);
+        }
+        return;
+    }
+    if let Some(threads) = value_of("--threads") {
+        // Engine::from_env reads POPAN_THREADS at construction; setting
+        // it here (before any engine exists) configures the whole run.
+        std::env::set_var("POPAN_THREADS", threads);
+    }
+
     let config = if quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::paper()
     };
+    let flags_with_value = ["--out", "--json", "--threads"];
     let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
@@ -80,7 +75,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" {
+            if flags_with_value.contains(&a.as_str()) {
                 skip_next = true;
                 return false;
             }
@@ -89,11 +84,11 @@ fn main() {
         .map(String::as_str)
         .collect();
     let selected: Vec<&str> = if selected.is_empty() {
-        ALL.to_vec()
+        registry::ids()
     } else {
         for s in &selected {
-            if !ALL.contains(s) {
-                eprintln!("unknown experiment {s:?}; known: {ALL:?}");
+            if registry::find(s).is_none() {
+                eprintln!("unknown experiment {s:?}; known: {:?}", registry::ids());
                 std::process::exit(2);
             }
         }
@@ -115,13 +110,29 @@ fn main() {
     let mut report = header;
     report.push('\n');
 
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("failed to create {dir}: {e}");
+            std::process::exit(1);
+        });
+    }
+
     for id in selected {
+        let experiment = registry::find(id).expect("validated above");
         let t0 = std::time::Instant::now();
-        let section = render(id, &config);
+        let artifact = experiment.run(&config);
+        let section = render(&artifact);
         writeln!(out, "{section}").unwrap();
         writeln!(out, "  [{id} done in {:.1?}]\n", t0.elapsed()).unwrap();
         report.push_str(&section);
         report.push('\n');
+        if let Some(dir) = &json_dir {
+            let path = std::path::Path::new(dir).join(format!("{id}.json"));
+            std::fs::write(&path, artifact.to_json()).unwrap_or_else(|e| {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        }
     }
 
     if let Some(path) = out_path {
@@ -130,5 +141,8 @@ fn main() {
             std::process::exit(1);
         });
         writeln!(out, "report written to {path}").unwrap();
+    }
+    if let Some(dir) = json_dir {
+        writeln!(out, "JSON artifacts written to {dir}/").unwrap();
     }
 }

@@ -14,12 +14,15 @@
 
 use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
+use popan_engine::Experiment;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::points::{PointSource, UniformRect};
+use popan_workload::{ClassAccumulator, TrialRunner};
 
 /// Result of the churn comparison.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChurnResult {
     /// Node capacity.
     pub capacity: usize,
@@ -36,54 +39,140 @@ pub struct ChurnResult {
     pub tv_distance: f64,
 }
 
+/// Which side of the churn comparison an experiment instance measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnPhase {
+    /// Grow to `2·target`, churn down and up three times, end at
+    /// `target` live points.
+    Churned,
+    /// Build a fresh tree of `target` points.
+    Fresh,
+}
+
+/// One side of the churn comparison: trial = `(operations applied,
+/// occupancy proportions)`, summary = `(operations, mean proportions)`.
+#[derive(Debug, Clone)]
+pub struct ChurnExperiment {
+    config: ExperimentConfig,
+    capacity: usize,
+    target: usize,
+    phase: ChurnPhase,
+}
+
+impl ChurnExperiment {
+    /// An instance for one `(capacity, live-point target, phase)` triple.
+    pub fn new(
+        config: ExperimentConfig,
+        capacity: usize,
+        target: usize,
+        phase: ChurnPhase,
+    ) -> Self {
+        ChurnExperiment {
+            config,
+            capacity,
+            target,
+            phase,
+        }
+    }
+}
+
+impl Experiment for ChurnExperiment {
+    type Config = ExperimentConfig;
+    type Theory = ();
+    type Trial = (usize, Vec<f64>);
+    type Summary = (usize, Vec<f64>);
+
+    fn name(&self) -> String {
+        match self.phase {
+            ChurnPhase::Churned => format!("churn/churned/m{}", self.capacity),
+            ChurnPhase::Fresh => format!("churn/fresh/m{}", self.capacity),
+        }
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        let salt = match self.phase {
+            ChurnPhase::Churned => 0xc4a,
+            ChurnPhase::Fresh => 0xc4b,
+        };
+        self.config.runner(salt ^ (self.capacity as u64) << 32)
+    }
+
+    fn theory(&self) {}
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> (usize, Vec<f64>) {
+        let source = UniformRect::unit();
+        let (capacity, target) = (self.capacity, self.target);
+        match self.phase {
+            ChurnPhase::Churned => {
+                let mut tree = PrQuadtree::new(Rect::unit(), capacity).expect("valid");
+                let mut live: Vec<popan_geom::Point2> = Vec::new();
+                let mut ops = 0usize;
+                // Grow to 2×target.
+                for p in source.sample_n(rng, 2 * target) {
+                    tree.insert(p).expect("in region");
+                    live.push(p);
+                    ops += 1;
+                }
+                // Three churn cycles: delete half (random victims),
+                // insert back.
+                for cycle in 0..3 {
+                    for _ in 0..target {
+                        use popan_rng::Rng;
+                        let idx = rng.random_range(0..live.len());
+                        let victim = live.swap_remove(idx);
+                        assert!(tree.remove(&victim));
+                        ops += 1;
+                    }
+                    let refill = if cycle < 2 { target } else { 0 };
+                    for p in source.sample_n(rng, refill) {
+                        tree.insert(p).expect("in region");
+                        live.push(p);
+                        ops += 1;
+                    }
+                }
+                assert_eq!(tree.len(), target);
+                (ops, tree.occupancy_profile().proportions(capacity))
+            }
+            ChurnPhase::Fresh => {
+                let tree = PrQuadtree::build(Rect::unit(), capacity, source.sample_n(rng, target))
+                    .expect("in region");
+                (target, tree.occupancy_profile().proportions(capacity))
+            }
+        }
+    }
+
+    fn aggregate(&self, _theory: (), trials: &[(usize, Vec<f64>)]) -> (usize, Vec<f64>) {
+        let mut classes = ClassAccumulator::new();
+        let mut operations = 0;
+        for (ops, vector) in trials {
+            operations = *ops;
+            classes.push(vector);
+        }
+        (operations, classes.means())
+    }
+}
+
 /// Runs the comparison: grow to `2·target`, churn down and up repeatedly,
 /// end at `target` live points; compare against fresh builds of `target`
 /// points.
 pub fn run(config: &ExperimentConfig, capacity: usize, target: usize) -> ChurnResult {
-    let source = UniformRect::unit();
-
-    let runner = config.runner(0xc4a ^ (capacity as u64) << 32);
-    let mut total_ops = 0usize;
-    let churned_vectors: Vec<Vec<f64>> = runner.run(|_, rng| {
-        let mut tree = PrQuadtree::new(Rect::unit(), capacity).expect("valid");
-        let mut live: Vec<popan_geom::Point2> = Vec::new();
-        let mut ops = 0usize;
-        // Grow to 2×target.
-        for p in source.sample_n(rng, 2 * target) {
-            tree.insert(p).expect("in region");
-            live.push(p);
-            ops += 1;
-        }
-        // Three churn cycles: delete half (random victims), insert back.
-        for cycle in 0..3 {
-            for _ in 0..target {
-                use popan_rng::Rng;
-                let idx = rng.random_range(0..live.len());
-                let victim = live.swap_remove(idx);
-                assert!(tree.remove(&victim));
-                ops += 1;
-            }
-            let refill = if cycle < 2 { target } else { 0 };
-            for p in source.sample_n(rng, refill) {
-                tree.insert(p).expect("in region");
-                live.push(p);
-                ops += 1;
-            }
-        }
-        total_ops = ops;
-        assert_eq!(tree.len(), target);
-        tree.occupancy_profile().proportions(capacity)
-    });
-
-    let fresh_runner = config.runner(0xc4b ^ (capacity as u64) << 32);
-    let fresh_vectors: Vec<Vec<f64>> = fresh_runner.run(|_, rng| {
-        let tree = PrQuadtree::build(Rect::unit(), capacity, source.sample_n(rng, target))
-            .expect("in region");
-        tree.occupancy_profile().proportions(capacity)
-    });
-
-    let churned = popan_numeric::stats::mean_vector(&churned_vectors).expect("equal lengths");
-    let fresh = popan_numeric::stats::mean_vector(&fresh_vectors).expect("equal lengths");
+    let engine = config.engine();
+    let (total_ops, churned) = engine.run(&ChurnExperiment::new(
+        *config,
+        capacity,
+        target,
+        ChurnPhase::Churned,
+    ));
+    let (_, fresh) = engine.run(&ChurnExperiment::new(
+        *config,
+        capacity,
+        target,
+        ChurnPhase::Fresh,
+    ));
     let tv_distance =
         popan_numeric::goodness::total_variation(&churned, &fresh).expect("same length");
 

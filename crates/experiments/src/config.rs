@@ -47,6 +47,14 @@ impl ExperimentConfig {
     pub fn runner(&self, salt: u64) -> popan_workload::TrialRunner {
         popan_workload::TrialRunner::new(self.master_seed ^ salt, self.trials)
     }
+
+    /// The execution engine for this run: `POPAN_THREADS` workers
+    /// (default = available parallelism, `1` forces sequential). Every
+    /// driver routes its trials through this engine; summaries are
+    /// bit-identical for every thread count.
+    pub fn engine(&self) -> popan_engine::Engine {
+        popan_engine::Engine::from_env()
+    }
 }
 
 #[cfg(test)]

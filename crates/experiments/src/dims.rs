@@ -56,14 +56,16 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
             .map(|k| (config.points as f64 * (b as f64).powf(k as f64 / 4.0)) as usize)
             .collect()
     };
-    let cycle_mean = |salt: u64, b: usize, build: &dyn Fn(&mut popan_rng::rngs::StdRng, usize) -> f64| -> f64 {
+    let engine = config.engine();
+    let cycle_mean = |salt: u64,
+                      b: usize,
+                      build: &(dyn Fn(&mut popan_rng::rngs::StdRng, usize) -> f64 + Sync)|
+     -> f64 {
         let sizes = cycle_sizes(b);
         let total: f64 = sizes
             .iter()
             .map(|&n| {
-                config
-                    .runner(salt ^ (n as u64) << 20)
-                    .run_mean(|_, rng| build(rng, n))
+                engine.mean_trials(config.runner(salt ^ (n as u64) << 20), |_, rng| build(rng, n))
             })
             .sum();
         total / sizes.len() as f64

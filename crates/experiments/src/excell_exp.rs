@@ -10,13 +10,16 @@
 
 use crate::config::ExperimentConfig;
 use crate::report::TableData;
+use popan_engine::Experiment;
 use popan_exthash::excell::ExcellGrid;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::points::{Clustered, PointSource, UniformRect};
+use popan_workload::{TrialRunner, Welford};
 
 /// One structure × workload measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExcellRow {
     /// Structure name.
     pub structure: &'static str,
@@ -37,53 +40,109 @@ pub const CAPACITY: usize = 8;
 /// utilization, quadtree leaves, quadtree nodes, quadtree utilization).
 type Measurement = (f64, f64, f64, f64, f64, f64);
 
+/// One workload of the four-way comparison: trial = both structures'
+/// counts on the same point set, summary = the EXCELL row and the PR
+/// quadtree row for that workload.
+#[derive(Debug, Clone)]
+pub struct ExcellExperiment {
+    config: ExperimentConfig,
+    workload: &'static str,
+    points: usize,
+}
+
+impl ExcellExperiment {
+    /// An instance for one workload (`"uniform"` or `"clustered"`).
+    pub fn new(config: ExperimentConfig, workload: &'static str, points: usize) -> Self {
+        ExcellExperiment {
+            config,
+            workload,
+            points,
+        }
+    }
+}
+
+impl Experiment for ExcellExperiment {
+    type Config = ExperimentConfig;
+    type Theory = ();
+    type Trial = Measurement;
+    type Summary = [ExcellRow; 2];
+
+    fn name(&self) -> String {
+        format!("excell/{}", self.workload)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        let salt = match self.workload {
+            "uniform" => 0xecu64,
+            _ => 0xec1,
+        };
+        self.config.runner(salt)
+    }
+
+    fn theory(&self) {}
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> Measurement {
+        let pts = match self.workload {
+            "uniform" => UniformRect::unit().sample_n(rng, self.points),
+            _ => {
+                let src = Clustered::new(Rect::unit(), 8, 0.01, rng);
+                src.sample_n(rng, self.points)
+            }
+        };
+        let mut grid = ExcellGrid::new(Rect::unit(), CAPACITY).expect("valid");
+        for p in &pts {
+            grid.insert(*p).expect("in region");
+        }
+        let tree =
+            PrQuadtree::build(Rect::unit(), CAPACITY, pts.iter().copied()).expect("in region");
+        let profile = tree.occupancy_profile();
+        (
+            grid.bucket_count() as f64,
+            grid.cell_count() as f64,
+            grid.utilization(),
+            profile.total_leaves() as f64,
+            tree.node_count() as f64,
+            profile.utilization(CAPACITY),
+        )
+    }
+
+    fn aggregate(&self, _theory: (), trials: &[Measurement]) -> [ExcellRow; 2] {
+        let mut stats = [(); 6].map(|_| Welford::new());
+        for &(a, b, c, d, e, f) in trials {
+            for (w, v) in stats.iter_mut().zip([a, b, c, d, e, f]) {
+                w.push(v);
+            }
+        }
+        [
+            ExcellRow {
+                structure: "EXCELL",
+                workload: self.workload,
+                buckets: stats[0].mean(),
+                directory: stats[1].mean(),
+                utilization: stats[2].mean(),
+            },
+            ExcellRow {
+                structure: "PR quadtree",
+                workload: self.workload,
+                buckets: stats[3].mean(),
+                directory: stats[4].mean(),
+                utilization: stats[5].mean(),
+            },
+        ]
+    }
+}
+
 /// Runs the four-way comparison.
 pub fn run(config: &ExperimentConfig, points: usize) -> Vec<ExcellRow> {
-    let mut rows = Vec::new();
-    for (workload, salt) in [("uniform", 0xecu64), ("clustered", 0xec1)] {
-        let runner = config.runner(salt);
-        let results: Vec<Measurement> = runner.run(|_, rng| {
-            let pts = match workload {
-                "uniform" => UniformRect::unit().sample_n(rng, points),
-                _ => {
-                    let src = Clustered::new(Rect::unit(), 8, 0.01, rng);
-                    src.sample_n(rng, points)
-                }
-            };
-            let mut grid = ExcellGrid::new(Rect::unit(), CAPACITY).expect("valid");
-            for p in &pts {
-                grid.insert(*p).expect("in region");
-            }
-            let tree =
-                PrQuadtree::build(Rect::unit(), CAPACITY, pts.iter().copied()).expect("in region");
-            let profile = tree.occupancy_profile();
-            (
-                grid.bucket_count() as f64,
-                grid.cell_count() as f64,
-                grid.utilization(),
-                profile.total_leaves() as f64,
-                tree.node_count() as f64,
-                profile.utilization(CAPACITY),
-            )
-        });
-        let n = results.len() as f64;
-        let mean = |f: &dyn Fn(&Measurement) -> f64| results.iter().map(f).sum::<f64>() / n;
-        rows.push(ExcellRow {
-            structure: "EXCELL",
-            workload,
-            buckets: mean(&|r| r.0),
-            directory: mean(&|r| r.1),
-            utilization: mean(&|r| r.2),
-        });
-        rows.push(ExcellRow {
-            structure: "PR quadtree",
-            workload,
-            buckets: mean(&|r| r.3),
-            directory: mean(&|r| r.4),
-            utilization: mean(&|r| r.5),
-        });
-    }
-    rows
+    let engine = config.engine();
+    ["uniform", "clustered"]
+        .into_iter()
+        .flat_map(|workload| engine.run(&ExcellExperiment::new(*config, workload, points)))
+        .collect()
 }
 
 /// Renders the comparison table.

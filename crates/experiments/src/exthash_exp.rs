@@ -14,11 +14,14 @@
 use crate::config::ExperimentConfig;
 use crate::report::TableData;
 use popan_core::phasing::analyze_phasing;
+use popan_engine::Experiment;
 use popan_exthash::{fagin, ExtendibleHashTable};
+use popan_rng::rngs::StdRng;
 use popan_workload::keys::UniformKeys;
+use popan_workload::{TrialRunner, Welford};
 
 /// One ladder point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExthashRow {
     /// Keys inserted.
     pub keys: usize,
@@ -40,28 +43,74 @@ pub fn ladder() -> Vec<usize> {
         .collect()
 }
 
+/// One ladder point of the extendible-hashing sweep: `config.trials`
+/// tables of `keys` uniform keys, reduced to mean bucket count and mean
+/// utilization; theory = the Fagin bucket-count prediction.
+#[derive(Debug, Clone)]
+pub struct ExthashPointExperiment {
+    config: ExperimentConfig,
+    keys: usize,
+}
+
+impl ExthashPointExperiment {
+    /// An instance for one key count.
+    pub fn new(config: ExperimentConfig, keys: usize) -> Self {
+        ExthashPointExperiment { config, keys }
+    }
+}
+
+impl Experiment for ExthashPointExperiment {
+    type Config = ExperimentConfig;
+    type Theory = f64;
+    type Trial = (f64, f64);
+    type Summary = ExthashRow;
+
+    fn name(&self) -> String {
+        format!("exthash/n{}", self.keys)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0xe8a5 ^ (self.keys as u64) << 20)
+    }
+
+    fn theory(&self) -> f64 {
+        fagin::expected_bucket_count(self.keys, BUCKET_CAPACITY)
+    }
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> (f64, f64) {
+        let mut table = ExtendibleHashTable::new(BUCKET_CAPACITY).expect("capacity ≥ 1");
+        for k in UniformKeys.sample_n(rng, self.keys) {
+            table.insert(k);
+        }
+        (table.bucket_count() as f64, table.utilization())
+    }
+
+    fn aggregate(&self, theory: f64, trials: &[(f64, f64)]) -> ExthashRow {
+        let mut buckets = Welford::new();
+        let mut utilization = Welford::new();
+        for &(b, u) in trials {
+            buckets.push(b);
+            utilization.push(u);
+        }
+        ExthashRow {
+            keys: self.keys,
+            buckets: buckets.mean(),
+            utilization: utilization.mean(),
+            predicted_buckets: theory,
+        }
+    }
+}
+
 /// Runs the sweep.
 pub fn run(config: &ExperimentConfig) -> Vec<ExthashRow> {
+    let engine = config.engine();
     ladder()
         .into_iter()
-        .map(|n| {
-            let runner = config.runner(0xe8a5 ^ (n as u64) << 20);
-            let results: Vec<(f64, f64)> = runner.run(|_, rng| {
-                let mut table =
-                    ExtendibleHashTable::new(BUCKET_CAPACITY).expect("capacity ≥ 1");
-                for k in UniformKeys.sample_n(rng, n) {
-                    table.insert(k);
-                }
-                (table.bucket_count() as f64, table.utilization())
-            });
-            let trials = results.len() as f64;
-            ExthashRow {
-                keys: n,
-                buckets: results.iter().map(|r| r.0).sum::<f64>() / trials,
-                utilization: results.iter().map(|r| r.1).sum::<f64>() / trials,
-                predicted_buckets: fagin::expected_bucket_count(n, BUCKET_CAPACITY),
-            }
-        })
+        .map(|n| engine.run(&ExthashPointExperiment::new(*config, n)))
         .collect()
 }
 

@@ -45,6 +45,7 @@ pub mod paper_data;
 pub mod phasing_sweep;
 pub mod plot;
 pub mod pmr_exp;
+pub mod registry;
 pub mod report;
 pub mod skew;
 pub mod table1;
@@ -53,4 +54,5 @@ pub mod table3;
 pub mod table45;
 
 pub use config::ExperimentConfig;
+pub use registry::{Artifact, RegisteredExperiment};
 pub use report::TableData;

@@ -39,6 +39,7 @@ fn ladder() -> Vec<usize> {
 
 /// Runs the sweep over `capacities`.
 pub fn run(config: &ExperimentConfig, capacities: &[usize]) -> Vec<PhasingSweepRow> {
+    let engine = config.engine();
     capacities
         .iter()
         .map(|&m| {
@@ -47,7 +48,7 @@ pub fn run(config: &ExperimentConfig, capacities: &[usize]) -> Vec<PhasingSweepR
                 .into_iter()
                 .map(|n| {
                     let runner = config.runner(0x9a5e ^ ((m as u64) << 40) ^ (n as u64));
-                    runner.run_mean(|_, rng| {
+                    engine.mean_trials(runner, |_, rng| {
                         let tree = PrQuadtree::build(
                             Rect::unit(),
                             m,

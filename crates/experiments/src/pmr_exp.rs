@@ -12,16 +12,19 @@ use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
 use popan_core::pmr_model::{PmrModel, RandomChords};
 use popan_core::SteadyStateSolver;
+use popan_engine::Experiment;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PmrQuadtree};
 use popan_workload::lines::{SegmentSource, UniformEndpoints};
+use popan_workload::{ClassAccumulator, TrialRunner};
 
 /// Classes kept above the splitting threshold in both the model state
 /// space and the measured histogram.
 pub const EXTRA_CLASSES: usize = 6;
 
 /// Result of the PMR validation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PmrResult {
     /// Splitting threshold `m`.
     pub threshold: usize,
@@ -35,44 +38,97 @@ pub struct PmrResult {
     pub experiment_occupancy: f64,
 }
 
-/// Runs the validation for one threshold.
-pub fn run(config: &ExperimentConfig, threshold: usize, segments: usize) -> PmrResult {
-    let model = PmrModel::estimate(
-        threshold,
-        EXTRA_CLASSES,
-        &RandomChords,
-        20_000,
-        config.master_seed ^ 0x9a7,
-    )
-    .expect("valid PMR model");
-    let steady = SteadyStateSolver::new()
-        .tolerance(1e-12)
-        .solve(&model)
-        .expect("PMR model solves");
-    let theory = steady.distribution().proportions().to_vec();
+/// The PMR validation experiment: theory = the local Monte-Carlo chord
+/// model's steady state (itself seeded and deterministic), trial = one
+/// PMR quadtree's occupancy mix.
+#[derive(Debug, Clone)]
+pub struct PmrExperiment {
+    config: ExperimentConfig,
+    threshold: usize,
+    segments: usize,
+}
 
-    let runner = config.runner(0x9a72 ^ (threshold as u64) << 16);
-    let source = UniformEndpoints::unit();
-    let cap = threshold + EXTRA_CLASSES;
-    let vectors: Vec<Vec<f64>> = runner.run(|_, rng| {
+impl PmrExperiment {
+    /// An instance for one `(threshold, segment count)` pair.
+    pub fn new(config: ExperimentConfig, threshold: usize, segments: usize) -> Self {
+        PmrExperiment {
+            config,
+            threshold,
+            segments,
+        }
+    }
+}
+
+impl Experiment for PmrExperiment {
+    type Config = ExperimentConfig;
+    type Theory = Vec<f64>;
+    type Trial = Vec<f64>;
+    type Summary = PmrResult;
+
+    fn name(&self) -> String {
+        format!("pmr/t{}", self.threshold)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0x9a72 ^ (self.threshold as u64) << 16)
+    }
+
+    fn theory(&self) -> Vec<f64> {
+        let model = PmrModel::estimate(
+            self.threshold,
+            EXTRA_CLASSES,
+            &RandomChords,
+            20_000,
+            self.config.master_seed ^ 0x9a7,
+        )
+        .expect("valid PMR model");
+        SteadyStateSolver::new()
+            .tolerance(1e-12)
+            .solve(&model)
+            .expect("PMR model solves")
+            .distribution()
+            .proportions()
+            .to_vec()
+    }
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> Vec<f64> {
         let tree = PmrQuadtree::build(
             Rect::unit(),
-            threshold,
-            source.sample_n(rng, segments),
+            self.threshold,
+            UniformEndpoints::unit().sample_n(rng, self.segments),
         )
         .expect("segments cross the unit square");
-        tree.occupancy_profile().proportions(cap)
-    });
-    let experiment = popan_numeric::stats::mean_vector(&vectors).expect("equal lengths");
-
-    let weighted = |v: &[f64]| -> f64 { v.iter().enumerate().map(|(i, &p)| i as f64 * p).sum() };
-    PmrResult {
-        threshold,
-        theory_occupancy: weighted(&theory),
-        experiment_occupancy: weighted(&experiment),
-        theory,
-        experiment,
+        tree.occupancy_profile()
+            .proportions(self.threshold + EXTRA_CLASSES)
     }
+
+    fn aggregate(&self, theory: Vec<f64>, trials: &[Vec<f64>]) -> PmrResult {
+        let mut classes = ClassAccumulator::new();
+        for vector in trials {
+            classes.push(vector);
+        }
+        let experiment = classes.means();
+        let weighted =
+            |v: &[f64]| -> f64 { v.iter().enumerate().map(|(i, &p)| i as f64 * p).sum() };
+        PmrResult {
+            threshold: self.threshold,
+            theory_occupancy: weighted(&theory),
+            experiment_occupancy: weighted(&experiment),
+            theory,
+            experiment,
+        }
+    }
+}
+
+/// Runs the validation for one threshold.
+pub fn run(config: &ExperimentConfig, threshold: usize, segments: usize) -> PmrResult {
+    config
+        .engine()
+        .run(&PmrExperiment::new(*config, threshold, segments))
 }
 
 /// Renders the PMR validation table.

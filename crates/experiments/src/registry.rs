@@ -1,0 +1,215 @@
+//! Registry of every reproduction artifact for the unified runner.
+//!
+//! Each table and figure registers an `id`, a human title, and a run
+//! function producing an [`Artifact`]. The `repro` binary (and anything
+//! else that wants "run experiments by name") enumerates this registry
+//! instead of hard-coding a match per artifact, so adding an experiment
+//! is one line here plus its module.
+
+use crate::config::ExperimentConfig;
+use crate::figures::Figure;
+use crate::report::TableData;
+use crate::table45::Workload;
+use crate::{
+    ablation, aging_exp, churn, dims, excell_exp, exthash_exp, figures, phasing_sweep, pmr_exp,
+    skew, table1, table2, table3, table45,
+};
+
+/// The output of one registered experiment.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A rendered table (paper table or extension).
+    Table(TableData),
+    /// An ASCII + SVG figure.
+    Figure(Figure),
+}
+
+impl Artifact {
+    /// The artifact's markdown section (ASCII figures fenced).
+    pub fn section(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.render(),
+            Artifact::Figure(f) => format!(
+                "## {} — {}\n\n```text\n{}```\n",
+                f.id, f.caption, f.ascii
+            ),
+        }
+    }
+
+    /// The artifact as a JSON object (tables carry their rows, figures
+    /// their ASCII rendering).
+    pub fn to_json(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.to_json(),
+            Artifact::Figure(f) => format!(
+                "{{\"id\":{},\"caption\":{},\"ascii\":{}}}",
+                crate::report::json_string(&f.id),
+                crate::report::json_string(&f.caption),
+                crate::report::json_string(&f.ascii),
+            ),
+        }
+    }
+}
+
+/// One entry in the experiment registry.
+pub struct RegisteredExperiment {
+    /// Stable name used on the command line (`table1`, `fig2`, …).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    run: fn(&ExperimentConfig) -> Artifact,
+}
+
+impl RegisteredExperiment {
+    /// Runs the experiment at the given configuration.
+    pub fn run(&self, config: &ExperimentConfig) -> Artifact {
+        (self.run)(config)
+    }
+}
+
+/// Every registered artifact, in report order (paper artifacts first,
+/// then extensions).
+pub const ALL: &[RegisteredExperiment] = &[
+    RegisteredExperiment {
+        id: "fig1",
+        title: "Figure 1 — model block diagram",
+        run: |_| Artifact::Figure(figures::fig1()),
+    },
+    RegisteredExperiment {
+        id: "table1",
+        title: "Table 1 — expected occupancy distribution, theory vs experiment",
+        run: |c| Artifact::Table(table1::table(c)),
+    },
+    RegisteredExperiment {
+        id: "table2",
+        title: "Table 2 — average node occupancy + percent difference",
+        run: |c| Artifact::Table(table2::table(c)),
+    },
+    RegisteredExperiment {
+        id: "table3",
+        title: "Table 3 — occupancy by node size (aging)",
+        run: |c| Artifact::Table(table3::table(c)),
+    },
+    RegisteredExperiment {
+        id: "table4",
+        title: "Table 4 — occupancy vs tree size, uniform workload (phasing)",
+        run: |c| Artifact::Table(table45::table(c, Workload::Uniform)),
+    },
+    RegisteredExperiment {
+        id: "fig2",
+        title: "Figure 2 — phasing, uniform workload",
+        run: |c| Artifact::Figure(figures::fig2(c)),
+    },
+    RegisteredExperiment {
+        id: "table5",
+        title: "Table 5 — occupancy vs tree size, Gaussian workload",
+        run: |c| Artifact::Table(table45::table(c, Workload::Gaussian)),
+    },
+    RegisteredExperiment {
+        id: "fig3",
+        title: "Figure 3 — phasing, Gaussian workload",
+        run: |c| Artifact::Figure(figures::fig3(c)),
+    },
+    RegisteredExperiment {
+        id: "dims",
+        title: "Extension — model vs simulation across branching factors",
+        run: |c| Artifact::Table(dims::table(c)),
+    },
+    RegisteredExperiment {
+        id: "exthash",
+        title: "Extension — Fagin extendible-hashing baseline",
+        run: |c| Artifact::Table(exthash_exp::table(c)),
+    },
+    RegisteredExperiment {
+        id: "excell",
+        title: "Extension — EXCELL vs PR quadtree",
+        run: |c| Artifact::Table(excell_exp::table(c)),
+    },
+    RegisteredExperiment {
+        id: "pmr",
+        title: "Extension — PMR quadtree population analysis",
+        run: |c| Artifact::Table(pmr_exp::table(c)),
+    },
+    RegisteredExperiment {
+        id: "aging",
+        title: "Extension — area-weighted mean-field aging correction",
+        run: |c| Artifact::Table(aging_exp::table(c)),
+    },
+    RegisteredExperiment {
+        id: "ablation",
+        title: "Extension — solver ablation",
+        run: |c| Artifact::Table(ablation::table(c)),
+    },
+    RegisteredExperiment {
+        id: "skew",
+        title: "Extension — skew-aware model vs cascade data",
+        run: |c| Artifact::Table(skew::table(c)),
+    },
+    RegisteredExperiment {
+        id: "churn",
+        title: "Extension — steady state under deletion churn",
+        run: |c| Artifact::Table(churn::table(c)),
+    },
+    RegisteredExperiment {
+        id: "phasing_sweep",
+        title: "Extension — phasing amplitude vs node capacity",
+        run: |c| Artifact::Table(phasing_sweep::table(c)),
+    },
+];
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<&'static RegisteredExperiment> {
+    ALL.iter().find(|e| e.id == id)
+}
+
+/// All registered ids, in report order.
+pub fn ids() -> Vec<&'static str> {
+    ALL.iter().map(|e| e.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids = ids();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate registry id");
+    }
+
+    #[test]
+    fn find_resolves_known_ids_only() {
+        assert!(find("table1").is_some());
+        assert!(find("phasing_sweep").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn registry_covers_paper_and_extensions() {
+        // 5 tables + 3 figures from the paper, 9 extension artifacts.
+        assert_eq!(ALL.len(), 17);
+        for e in ALL {
+            assert!(!e.title.is_empty(), "{} needs a title", e.id);
+        }
+    }
+
+    #[test]
+    fn table_artifacts_render_and_serialize() {
+        let quick = ExperimentConfig::quick();
+        let artifact = find("table2").unwrap().run(&quick);
+        let section = artifact.section();
+        assert!(section.starts_with("## table2"));
+        let json = artifact.to_json();
+        assert!(json.contains("\"id\":\"table2\""));
+    }
+
+    #[test]
+    fn figure_artifacts_render_and_serialize() {
+        let artifact = find("fig1").unwrap().run(&ExperimentConfig::quick());
+        assert!(artifact.section().contains("```text"));
+        assert!(artifact.to_json().contains("\"ascii\""));
+    }
+}

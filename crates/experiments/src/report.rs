@@ -83,6 +83,25 @@ impl TableData {
         out
     }
 
+    /// Renders the table as a JSON object (`id`, `title`, `headers`,
+    /// `rows`, `notes`) — hand-rolled so the hermetic build needs no
+    /// serialization dependency.
+    pub fn to_json(&self) -> String {
+        let list = |items: &[String]| -> String {
+            let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+            format!("[{}]", cells.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| list(r)).collect();
+        format!(
+            "{{\"id\":{},\"title\":{},\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_string(&self.id),
+            json_string(&self.title),
+            list(&self.headers),
+            rows.join(","),
+            list(&self.notes),
+        )
+    }
+
     /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
     pub fn to_csv(&self) -> String {
         fn field(s: &str) -> String {
@@ -108,6 +127,25 @@ impl TableData {
         }
         out
     }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a distribution vector as the paper prints them: parenthesized
@@ -179,6 +217,22 @@ mod tests {
         assert!(csv.contains("\"q\"\"q\""));
         assert!(csv.contains("\"with,comma\""));
         assert!(csv.contains("plain"));
+    }
+
+    #[test]
+    fn json_escapes_and_round_trips_structure() {
+        let t = sample().with_note("a \"note\"\nwith newline");
+        let json = t.to_json();
+        assert!(json.starts_with("{\"id\":\"t\""));
+        assert!(json.contains("\"headers\":[\"a\",\"b\"]"));
+        assert!(json.contains("\"rows\":[[\"1\",\"22\"],[\"333\",\"4\"]]"));
+        assert!(json.contains("a \\\"note\\\"\\nwith newline"));
+    }
+
+    #[test]
+    fn json_string_escapes_control_chars() {
+        assert_eq!(json_string("x\u{1}y"), "\"x\\u0001y\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
     }
 
     #[test]

@@ -12,13 +12,16 @@
 use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
 use popan_core::{PrModel, SteadyStateSolver};
+use popan_engine::Experiment;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::cascade::Cascade;
 use popan_workload::points::PointSource;
+use popan_workload::{ClassAccumulator, TrialRunner};
 
 /// Result of the skew validation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SkewResult {
     /// Quadrant probabilities of both the model and the workload.
     pub quadrant_probs: [f64; 4],
@@ -36,48 +39,100 @@ pub struct SkewResult {
     pub tv_uniform: f64,
 }
 
+/// The skew validation experiment: theory = skew-aware and uniform
+/// steady states, trial = one cascade-built tree's occupancy mix.
+#[derive(Debug, Clone)]
+pub struct SkewExperiment {
+    config: ExperimentConfig,
+    quadrant_probs: [f64; 4],
+    capacity: usize,
+}
+
+impl SkewExperiment {
+    /// An instance for one `(quadrant probabilities, capacity)` pair.
+    pub fn new(config: ExperimentConfig, quadrant_probs: [f64; 4], capacity: usize) -> Self {
+        SkewExperiment {
+            config,
+            quadrant_probs,
+            capacity,
+        }
+    }
+}
+
+impl Experiment for SkewExperiment {
+    type Config = ExperimentConfig;
+    /// `(skewed steady state, uniform steady state)`.
+    type Theory = (Vec<f64>, Vec<f64>);
+    type Trial = Vec<f64>;
+    type Summary = SkewResult;
+
+    fn name(&self) -> String {
+        format!("skew/m{}", self.capacity)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0x5e3)
+    }
+
+    fn theory(&self) -> (Vec<f64>, Vec<f64>) {
+        let skewed_model = PrModel::with_bucket_probs(self.quadrant_probs.to_vec(), self.capacity)
+            .expect("valid skew");
+        let uniform_model = PrModel::quadtree(self.capacity).expect("valid capacity");
+        let solver = SteadyStateSolver::new();
+        let solve = |model| {
+            solver
+                .solve(model)
+                .expect("solves")
+                .distribution()
+                .proportions()
+                .to_vec()
+        };
+        (solve(&skewed_model), solve(&uniform_model))
+    }
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> Vec<f64> {
+        let source = Cascade::new(Rect::unit(), self.quadrant_probs, 16);
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            self.capacity,
+            source.sample_n(rng, self.config.points),
+        )
+        .expect("in-region points");
+        tree.occupancy_profile().proportions(self.capacity)
+    }
+
+    fn aggregate(&self, theory: (Vec<f64>, Vec<f64>), trials: &[Vec<f64>]) -> SkewResult {
+        let (skewed_theory, uniform_theory) = theory;
+        let mut classes = ClassAccumulator::new();
+        for vector in trials {
+            classes.push(vector);
+        }
+        let experiment = classes.means();
+        let tv_skewed = popan_numeric::goodness::total_variation(&skewed_theory, &experiment)
+            .expect("same len");
+        let tv_uniform = popan_numeric::goodness::total_variation(&uniform_theory, &experiment)
+            .expect("same len");
+        SkewResult {
+            quadrant_probs: self.quadrant_probs,
+            capacity: self.capacity,
+            skewed_theory,
+            uniform_theory,
+            experiment,
+            tv_skewed,
+            tv_uniform,
+        }
+    }
+}
+
 /// Runs the validation.
 pub fn run(config: &ExperimentConfig, quadrant_probs: [f64; 4], capacity: usize) -> SkewResult {
-    let skewed_model =
-        PrModel::with_bucket_probs(quadrant_probs.to_vec(), capacity).expect("valid skew");
-    let uniform_model = PrModel::quadtree(capacity).expect("valid capacity");
-    let solver = SteadyStateSolver::new();
-    let skewed_theory = solver
-        .solve(&skewed_model)
-        .expect("solves")
-        .distribution()
-        .proportions()
-        .to_vec();
-    let uniform_theory = solver
-        .solve(&uniform_model)
-        .expect("solves")
-        .distribution()
-        .proportions()
-        .to_vec();
-
-    let runner = config.runner(0x5e3);
-    let source = Cascade::new(Rect::unit(), quadrant_probs, 16);
-    let vectors: Vec<Vec<f64>> = runner.run(|_, rng| {
-        let tree = PrQuadtree::build(Rect::unit(), capacity, source.sample_n(rng, config.points))
-            .expect("in-region points");
-        tree.occupancy_profile().proportions(capacity)
-    });
-    let experiment = popan_numeric::stats::mean_vector(&vectors).expect("equal lengths");
-
-    let tv_skewed =
-        popan_numeric::goodness::total_variation(&skewed_theory, &experiment).expect("same len");
-    let tv_uniform =
-        popan_numeric::goodness::total_variation(&uniform_theory, &experiment).expect("same len");
-
-    SkewResult {
-        quadrant_probs,
-        capacity,
-        skewed_theory,
-        uniform_theory,
-        experiment,
-        tv_skewed,
-        tv_uniform,
-    }
+    config
+        .engine()
+        .run(&SkewExperiment::new(*config, quadrant_probs, capacity))
 }
 
 /// Renders the skew-validation table.

@@ -9,12 +9,15 @@
 use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
 use popan_core::{PrModel, SteadyStateSolver};
+use popan_engine::Experiment;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::points::{PointSource, UniformRect};
+use popan_workload::{ClassAccumulator, TrialRunner, Welford};
 
 /// Result for one node capacity.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Node capacity `m`.
     pub capacity: usize,
@@ -27,6 +30,79 @@ pub struct Table1Row {
     pub trial_spread: f64,
 }
 
+/// The Table 1 experiment for one node capacity: theory = solved PR
+/// model, trial = one tree's occupancy proportions + average occupancy.
+#[derive(Debug, Clone)]
+pub struct Table1Experiment {
+    config: ExperimentConfig,
+    capacity: usize,
+}
+
+impl Table1Experiment {
+    /// An experiment instance for one capacity.
+    pub fn new(config: ExperimentConfig, capacity: usize) -> Self {
+        Table1Experiment { config, capacity }
+    }
+}
+
+impl Experiment for Table1Experiment {
+    type Config = ExperimentConfig;
+    type Theory = Vec<f64>;
+    type Trial = (Vec<f64>, f64);
+    type Summary = Table1Row;
+
+    fn name(&self) -> String {
+        format!("table1/m{}", self.capacity)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0x7ab1e1 ^ (self.capacity as u64) << 32)
+    }
+
+    fn theory(&self) -> Vec<f64> {
+        let model = PrModel::quadtree(self.capacity).expect("capacity ≥ 1");
+        SteadyStateSolver::new()
+            .solve(&model)
+            .expect("paper models solve")
+            .distribution()
+            .proportions()
+            .to_vec()
+    }
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> (Vec<f64>, f64) {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            self.capacity,
+            UniformRect::unit().sample_n(rng, self.config.points),
+        )
+        .expect("points lie in the unit square");
+        let profile = tree.occupancy_profile();
+        (
+            profile.proportions(self.capacity),
+            profile.average_occupancy(),
+        )
+    }
+
+    fn aggregate(&self, theory: Vec<f64>, trials: &[(Vec<f64>, f64)]) -> Table1Row {
+        let mut classes = ClassAccumulator::new();
+        let mut occupancy = Welford::new();
+        for (vector, avg) in trials {
+            classes.push(vector);
+            occupancy.push(*avg);
+        }
+        Table1Row {
+            capacity: self.capacity,
+            theory,
+            experiment: classes.means(),
+            trial_spread: occupancy.relative_spread(),
+        }
+    }
+}
+
 /// Runs the experiment for capacities `1..=max_capacity`.
 pub fn run(config: &ExperimentConfig, max_capacity: usize) -> Vec<Table1Row> {
     (1..=max_capacity)
@@ -36,41 +112,9 @@ pub fn run(config: &ExperimentConfig, max_capacity: usize) -> Vec<Table1Row> {
 
 /// Runs one capacity.
 pub fn run_capacity(config: &ExperimentConfig, capacity: usize) -> Table1Row {
-    let model = PrModel::quadtree(capacity).expect("capacity ≥ 1");
-    let theory = SteadyStateSolver::new()
-        .solve(&model)
-        .expect("paper models solve")
-        .distribution()
-        .proportions()
-        .to_vec();
-
-    let runner = config.runner(0x7ab1e1 ^ (capacity as u64) << 32);
-    let source = UniformRect::unit();
-    let per_trial: Vec<(Vec<f64>, f64)> = runner.run(|_, rng| {
-        let tree = PrQuadtree::build(
-            Rect::unit(),
-            capacity,
-            source.sample_n(rng, config.points),
-        )
-        .expect("points lie in the unit square");
-        let profile = tree.occupancy_profile();
-        (profile.proportions(capacity), profile.average_occupancy())
-    });
-
-    let vectors: Vec<Vec<f64>> = per_trial.iter().map(|(v, _)| v.clone()).collect();
-    let experiment =
-        popan_numeric::stats::mean_vector(&vectors).expect("equal-length proportion vectors");
-    let occupancies: Vec<f64> = per_trial.iter().map(|&(_, o)| o).collect();
-    let trial_spread = popan_numeric::stats::Summary::of(&occupancies)
-        .expect("non-empty trials")
-        .relative_spread();
-
-    Table1Row {
-        capacity,
-        theory,
-        experiment,
-        trial_spread,
-    }
+    config
+        .engine()
+        .run(&Table1Experiment::new(*config, capacity))
 }
 
 /// Renders the paper's Table 1 with the published values alongside.

@@ -11,15 +11,18 @@ use crate::config::ExperimentConfig;
 use crate::report::TableData;
 use popan_core::aging::newborn_average_occupancy;
 use popan_core::PrModel;
+use popan_engine::Experiment;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::points::{PointSource, UniformRect};
+use popan_workload::TrialRunner;
 
 /// The paper's truncation depth.
 pub const PAPER_MAX_DEPTH: u32 = 9;
 
 /// One depth row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Leaf depth.
     pub depth: u32,
@@ -33,6 +36,94 @@ pub struct Table3Row {
     pub occupancy: f64,
 }
 
+/// One trial's per-depth raw counts: `(depth, n0, n1, items, leaves)`.
+type DepthCounts = Vec<(u32, f64, f64, f64, f64)>;
+
+/// The Table 3 experiment: depth-resolved occupancy of `m = 1` trees
+/// truncated at the paper's depth cap.
+#[derive(Debug, Clone)]
+pub struct Table3Experiment {
+    config: ExperimentConfig,
+    max_depth: u32,
+}
+
+impl Table3Experiment {
+    /// An instance with an explicit truncation depth.
+    pub fn new(config: ExperimentConfig, max_depth: u32) -> Self {
+        Table3Experiment { config, max_depth }
+    }
+}
+
+impl Experiment for Table3Experiment {
+    type Config = ExperimentConfig;
+    type Theory = ();
+    type Trial = DepthCounts;
+    type Summary = Vec<Table3Row>;
+
+    fn name(&self) -> String {
+        "table3".into()
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0x7ab1e3)
+    }
+
+    fn theory(&self) {}
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> DepthCounts {
+        let tree = PrQuadtree::with_max_depth(Rect::unit(), 1, self.max_depth)
+            .and_then(|mut t| {
+                for p in UniformRect::unit().sample_n(rng, self.config.points) {
+                    t.insert(p)?;
+                }
+                Ok(t)
+            })
+            .expect("in-region points");
+        let table = tree.depth_table();
+        table
+            .depths()
+            .into_iter()
+            .map(|depth| {
+                let leaves = table.leaves_at(depth) as f64;
+                (
+                    depth,
+                    table.count(depth, 0) as f64,
+                    table.count(depth, 1) as f64,
+                    table.average_occupancy_at(depth).unwrap_or(0.0) * leaves,
+                    leaves,
+                )
+            })
+            .collect()
+    }
+
+    fn aggregate(&self, _theory: (), trials: &[DepthCounts]) -> Vec<Table3Row> {
+        // depth → (n0 total, n1 total, items total, leaves total).
+        let mut acc: std::collections::BTreeMap<u32, (f64, f64, f64, f64)> = Default::default();
+        for trial in trials {
+            for &(depth, n0, n1, items, leaves) in trial {
+                let entry = acc.entry(depth).or_default();
+                entry.0 += n0;
+                entry.1 += n1;
+                entry.2 += items;
+                entry.3 += leaves;
+            }
+        }
+        let trials = trials.len() as f64;
+        acc.into_iter()
+            .map(|(depth, (n0, n1, items, leaves))| Table3Row {
+                depth,
+                n0: n0 / trials,
+                n1: n1 / trials,
+                occupancy: if leaves > 0.0 { items / leaves } else { 0.0 },
+            })
+            .collect()
+    }
+}
+
 /// Runs the experiment.
 pub fn run(config: &ExperimentConfig) -> Vec<Table3Row> {
     run_with_depth(config, PAPER_MAX_DEPTH)
@@ -40,38 +131,9 @@ pub fn run(config: &ExperimentConfig) -> Vec<Table3Row> {
 
 /// Runs with an explicit truncation depth (test hook).
 pub fn run_with_depth(config: &ExperimentConfig, max_depth: u32) -> Vec<Table3Row> {
-    let runner = config.runner(0x7ab1e3);
-    let source = UniformRect::unit();
-    // depth → (n0 total, n1 total, items total, leaves total).
-    let mut acc: std::collections::BTreeMap<u32, (f64, f64, f64, f64)> = Default::default();
-    runner.run(|_, rng| {
-        let tree = PrQuadtree::with_max_depth(Rect::unit(), 1, max_depth)
-            .and_then(|mut t| {
-                for p in source.sample_n(rng, config.points) {
-                    t.insert(p)?;
-                }
-                Ok(t)
-            })
-            .expect("in-region points");
-        let table = tree.depth_table();
-        for depth in table.depths() {
-            let entry = acc.entry(depth).or_default();
-            entry.0 += table.count(depth, 0) as f64;
-            entry.1 += table.count(depth, 1) as f64;
-            let leaves = table.leaves_at(depth) as f64;
-            entry.3 += leaves;
-            entry.2 += table.average_occupancy_at(depth).unwrap_or(0.0) * leaves;
-        }
-    });
-    let trials = config.trials as f64;
-    acc.into_iter()
-        .map(|(depth, (n0, n1, items, leaves))| Table3Row {
-            depth,
-            n0: n0 / trials,
-            n1: n1 / trials,
-            occupancy: if leaves > 0.0 { items / leaves } else { 0.0 },
-        })
-        .collect()
+    config
+        .engine()
+        .run(&Table3Experiment::new(*config, max_depth))
 }
 
 /// Renders the paper's Table 3 with published values alongside (for the

@@ -10,9 +10,12 @@ use crate::config::ExperimentConfig;
 use crate::paper_data::SIZE_LADDER;
 use crate::report::TableData;
 use popan_core::phasing::{analyze_phasing, PhasingReport};
+use popan_engine::Experiment;
 use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
 use popan_workload::points::{GaussianCentered, PointSource, UniformRect};
+use popan_workload::{TrialRunner, Welford};
 
 /// Node capacity used by the paper for these tables.
 pub const CAPACITY: usize = 8;
@@ -28,7 +31,7 @@ pub enum Workload {
 }
 
 /// One ladder point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeSweepRow {
     /// Number of points inserted.
     pub points: usize,
@@ -36,6 +39,82 @@ pub struct SizeSweepRow {
     pub nodes: f64,
     /// Mean average occupancy over trials.
     pub occupancy: f64,
+}
+
+/// One ladder point of the Tables 4/5 size sweep: `config.trials` trees
+/// of `points` points from `workload`, reduced to mean leaf count and
+/// mean occupancy.
+#[derive(Debug, Clone)]
+pub struct SizePointExperiment {
+    config: ExperimentConfig,
+    workload: Workload,
+    points: usize,
+}
+
+impl SizePointExperiment {
+    /// An instance for one `(workload, tree size)` pair.
+    pub fn new(config: ExperimentConfig, workload: Workload, points: usize) -> Self {
+        SizePointExperiment {
+            config,
+            workload,
+            points,
+        }
+    }
+}
+
+impl Experiment for SizePointExperiment {
+    type Config = ExperimentConfig;
+    type Theory = ();
+    type Trial = (f64, f64);
+    type Summary = SizeSweepRow;
+
+    fn name(&self) -> String {
+        let table = match self.workload {
+            Workload::Uniform => "table4",
+            Workload::Gaussian => "table5",
+        };
+        format!("{table}/n{}", self.points)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn runner(&self) -> TrialRunner {
+        let salt = match self.workload {
+            Workload::Uniform => 0x7ab1e4,
+            Workload::Gaussian => 0x7ab1e5,
+        };
+        self.config.runner(salt ^ (self.points as u64) << 24)
+    }
+
+    fn theory(&self) {}
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> (f64, f64) {
+        let pts = match self.workload {
+            Workload::Uniform => UniformRect::unit().sample_n(rng, self.points),
+            Workload::Gaussian => {
+                GaussianCentered::two_sigma_wide(Rect::unit()).sample_n(rng, self.points)
+            }
+        };
+        let tree = PrQuadtree::build(Rect::unit(), CAPACITY, pts).expect("in-region points");
+        let profile = tree.occupancy_profile();
+        (profile.total_leaves() as f64, profile.average_occupancy())
+    }
+
+    fn aggregate(&self, _theory: (), trials: &[(f64, f64)]) -> SizeSweepRow {
+        let mut nodes = Welford::new();
+        let mut occupancy = Welford::new();
+        for &(n, o) in trials {
+            nodes.push(n);
+            occupancy.push(o);
+        }
+        SizeSweepRow {
+            points: self.points,
+            nodes: nodes.mean(),
+            occupancy: occupancy.mean(),
+        }
+    }
 }
 
 /// Runs the sweep for a workload over the paper's ladder.
@@ -49,33 +128,10 @@ pub fn run_ladder(
     workload: Workload,
     ladder: &[usize],
 ) -> Vec<SizeSweepRow> {
-    let salt = match workload {
-        Workload::Uniform => 0x7ab1e4,
-        Workload::Gaussian => 0x7ab1e5,
-    };
+    let engine = config.engine();
     ladder
         .iter()
-        .map(|&n| {
-            let runner = config.runner(salt ^ (n as u64) << 24);
-            let results: Vec<(f64, f64)> = runner.run(|_, rng| {
-                let pts = match workload {
-                    Workload::Uniform => UniformRect::unit().sample_n(rng, n),
-                    Workload::Gaussian => {
-                        GaussianCentered::two_sigma_wide(Rect::unit()).sample_n(rng, n)
-                    }
-                };
-                let tree =
-                    PrQuadtree::build(Rect::unit(), CAPACITY, pts).expect("in-region points");
-                let profile = tree.occupancy_profile();
-                (profile.total_leaves() as f64, profile.average_occupancy())
-            });
-            let trials = results.len() as f64;
-            SizeSweepRow {
-                points: n,
-                nodes: results.iter().map(|r| r.0).sum::<f64>() / trials,
-                occupancy: results.iter().map(|r| r.1).sum::<f64>() / trials,
-            }
-        })
+        .map(|&n| engine.run(&SizePointExperiment::new(*config, workload, n)))
         .collect()
 }
 

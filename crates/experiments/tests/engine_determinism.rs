@@ -1,0 +1,114 @@
+//! Parallel/sequential determinism for every `Experiment` impl.
+//!
+//! The engine's contract: because trial `t`'s RNG stream is derived only
+//! from `(master_seed, t)`, a 4-thread run must produce a `Summary`
+//! bit-identical to the 1-thread run. Each test below runs one driver's
+//! experiment both ways and compares at the bit level (`Debug`
+//! formatting round-trips every finite `f64` exactly, so string equality
+//! plus `PartialEq` is a bit-level check without per-field plumbing).
+
+use popan_engine::{Engine, Experiment};
+use popan_experiments::churn::{ChurnExperiment, ChurnPhase};
+use popan_experiments::excell_exp::ExcellExperiment;
+use popan_experiments::exthash_exp::ExthashPointExperiment;
+use popan_experiments::pmr_exp::PmrExperiment;
+use popan_experiments::skew::SkewExperiment;
+use popan_experiments::table1::Table1Experiment;
+use popan_experiments::table3::Table3Experiment;
+use popan_experiments::table45::{SizePointExperiment, Workload};
+use popan_experiments::ExperimentConfig;
+
+fn cfg(trials: usize, points: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        trials,
+        points,
+        ..ExperimentConfig::paper()
+    }
+}
+
+/// Runs `experiment` sequentially and on four threads; asserts the
+/// summaries are bit-identical.
+fn assert_parallel_matches_sequential<E>(experiment: &E)
+where
+    E: Experiment,
+    E::Summary: std::fmt::Debug + PartialEq,
+{
+    let sequential = Engine::with_threads(1).run(experiment);
+    let parallel = Engine::with_threads(4).run(experiment);
+    assert_eq!(
+        sequential,
+        parallel,
+        "{}: parallel summary differs from sequential",
+        experiment.name()
+    );
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "{}: bit-level mismatch between parallel and sequential",
+        experiment.name()
+    );
+}
+
+#[test]
+fn table1_is_parallel_deterministic() {
+    for capacity in [1, 4, 8] {
+        assert_parallel_matches_sequential(&Table1Experiment::new(cfg(6, 600), capacity));
+    }
+}
+
+#[test]
+fn table3_is_parallel_deterministic() {
+    assert_parallel_matches_sequential(&Table3Experiment::new(cfg(6, 600), 16));
+}
+
+#[test]
+fn table45_is_parallel_deterministic() {
+    for workload in [Workload::Uniform, Workload::Gaussian] {
+        assert_parallel_matches_sequential(&SizePointExperiment::new(cfg(6, 600), workload, 500));
+    }
+}
+
+#[test]
+fn skew_is_parallel_deterministic() {
+    assert_parallel_matches_sequential(&SkewExperiment::new(
+        cfg(5, 800),
+        [0.55, 0.15, 0.15, 0.15],
+        4,
+    ));
+}
+
+#[test]
+fn pmr_is_parallel_deterministic() {
+    assert_parallel_matches_sequential(&PmrExperiment::new(cfg(4, 600), 4, 300));
+}
+
+#[test]
+fn churn_is_parallel_deterministic() {
+    for phase in [ChurnPhase::Churned, ChurnPhase::Fresh] {
+        assert_parallel_matches_sequential(&ChurnExperiment::new(cfg(5, 400), 4, 400, phase));
+    }
+}
+
+#[test]
+fn exthash_is_parallel_deterministic() {
+    assert_parallel_matches_sequential(&ExthashPointExperiment::new(cfg(5, 600), 2000));
+}
+
+#[test]
+fn excell_is_parallel_deterministic() {
+    for workload in ["uniform", "clustered"] {
+        assert_parallel_matches_sequential(&ExcellExperiment::new(cfg(5, 600), workload, 1500));
+    }
+}
+
+#[test]
+fn odd_thread_counts_agree_too() {
+    // The worker count should be invisible, not just 4-vs-1: check a
+    // thread count that does not divide the trial count.
+    let experiment = Table1Experiment::new(cfg(7, 500), 4);
+    let sequential = Engine::with_threads(1).run(&experiment);
+    for threads in [2, 3, 5, 8] {
+        let parallel = Engine::with_threads(threads).run(&experiment);
+        assert_eq!(sequential, parallel, "threads = {threads}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Streaming trial aggregation.
+//!
+//! The experiment drivers used to collect every trial's output into a
+//! `Vec<Vec<f64>>` and average afterwards; these accumulators replace
+//! that with one-pass streaming reduction. [`Welford`] tracks
+//! mean/variance/min/max of a scalar series with Welford's numerically
+//! stable update; [`ClassAccumulator`] keeps one [`Welford`] per
+//! occupancy class, consuming one proportion vector per trial.
+//!
+//! Determinism contract: an accumulator's output is a pure function of
+//! the *sequence* of pushed values. The engine feeds trials in trial
+//! order whether it ran them sequentially or in parallel, so aggregated
+//! summaries are bit-identical across thread counts.
+
+/// Streaming mean/variance/min/max (Welford's online algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator); 0 for n ≤ 1.
+    pub fn variance(&self) -> f64 {
+        if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Relative spread `(max − min) / |mean|` — the statistic behind the
+    /// paper's "corresponding data points from different trees were
+    /// typically within about 10% of each other". Zero when the mean is
+    /// zero or fewer than two observations were pushed.
+    pub fn relative_spread(&self) -> f64 {
+        if self.n < 2 || self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean.abs()
+        }
+    }
+}
+
+/// One [`Welford`] per vector component — the per-occupancy-class
+/// accumulator for distribution vectors.
+#[derive(Debug, Clone, Default)]
+pub struct ClassAccumulator {
+    classes: Vec<Welford>,
+}
+
+impl ClassAccumulator {
+    /// An empty accumulator; the class count is fixed by the first push.
+    pub fn new() -> Self {
+        ClassAccumulator {
+            classes: Vec::new(),
+        }
+    }
+
+    /// Consumes one per-class vector (e.g. an occupancy proportion
+    /// vector). Panics if its length differs from previous pushes —
+    /// trials of one experiment must report the same classes.
+    pub fn push(&mut self, vector: &[f64]) {
+        if self.classes.is_empty() {
+            self.classes = vec![Welford::new(); vector.len()];
+        }
+        assert_eq!(
+            vector.len(),
+            self.classes.len(),
+            "per-class vector length changed between trials"
+        );
+        for (acc, &v) in self.classes.iter_mut().zip(vector) {
+            acc.push(v);
+        }
+    }
+
+    /// Number of vectors consumed.
+    pub fn count(&self) -> usize {
+        self.classes.first().map_or(0, Welford::count)
+    }
+
+    /// Per-class running means (empty before the first push).
+    pub fn means(&self) -> Vec<f64> {
+        self.classes.iter().map(Welford::mean).collect()
+    }
+
+    /// The per-class accumulators.
+    pub fn classes(&self) -> &[Welford] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_textbook_mean_and_variance() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of the classic sample: 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn spread_formula_is_max_minus_min_over_mean() {
+        // Pins the dedup'd trial-spread formula: (max − min) / |mean|.
+        let mut w = Welford::new();
+        for x in [0.95, 1.0, 1.05] {
+            w.push(x);
+        }
+        assert!((w.relative_spread() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_of_constant_or_short_series_is_zero() {
+        let mut w = Welford::new();
+        w.push(3.0);
+        assert_eq!(w.relative_spread(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.relative_spread(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn spread_uses_absolute_mean() {
+        let mut w = Welford::new();
+        for x in [-1.05, -1.0, -0.95] {
+            w.push(x);
+        }
+        assert!((w.relative_spread() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_accumulator_averages_componentwise() {
+        let mut acc = ClassAccumulator::new();
+        acc.push(&[1.0, 2.0]);
+        acc.push(&[3.0, 6.0]);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.means(), vec![2.0, 4.0]);
+        assert_eq!(acc.classes()[1].max(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn class_accumulator_rejects_ragged_vectors() {
+        let mut acc = ClassAccumulator::new();
+        acc.push(&[1.0]);
+        acc.push(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_accumulators_are_harmless() {
+        assert_eq!(Welford::new().mean(), 0.0);
+        assert_eq!(ClassAccumulator::new().means(), Vec::<f64>::new());
+        assert_eq!(ClassAccumulator::new().count(), 0);
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`keys`] — random hash keys for the extendible-hashing baseline.
 //! * [`trials`] — the seeded multi-trial runner: derives independent
 //!   per-trial RNG streams from one master seed so every experiment is
-//!   exactly reproducible.
+//!   exactly reproducible, sequentially or across threads
+//!   ([`TrialRunner::run_par`]).
+//! * [`accum`] — streaming trial aggregation (Welford mean/variance,
+//!   min/max, per-occupancy-class accumulators).
 //!
 //! All generators draw from a caller-supplied [`popan_rng::Rng`]; nothing here
 //! touches global or OS randomness.
@@ -19,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod cascade;
 pub mod keys;
 pub mod lines;
 pub mod points;
 pub mod trials;
 
+pub use accum::{ClassAccumulator, Welford};
 pub use lines::SegmentSource;
 pub use points::{GaussianCentered, PointSource, UniformRect};
 pub use trials::TrialRunner;

@@ -61,6 +61,57 @@ impl TrialRunner {
         let results = self.run(f);
         results.iter().sum::<f64>() / results.len() as f64
     }
+
+    /// Runs `f` once per trial across `threads` workers, returning the
+    /// results in trial order.
+    ///
+    /// Bit-identical to [`run`](TrialRunner::run) for every thread count:
+    /// trial `t`'s RNG stream depends only on `(master_seed, t)` (see
+    /// [`rng_for_trial`](TrialRunner::rng_for_trial)), so it does not
+    /// matter which worker executes it or in what order, and the output
+    /// vector is reassembled by trial index before it is returned.
+    /// Workers take trials round-robin (worker `w` runs trials `w`,
+    /// `w + k`, `w + 2k`, …) so long and short trials spread evenly.
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_par<T: Send>(
+        &self,
+        threads: usize,
+        f: impl Fn(usize, &mut StdRng) -> T + Sync,
+    ) -> Vec<T> {
+        assert!(threads > 0, "thread count must be positive");
+        let workers = threads.min(self.trials);
+        if workers == 1 {
+            return self.run(f);
+        }
+        let mut slots: Vec<Option<T>> = (0..self.trials).map(|_| None).collect();
+        let runner = *self;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        (w..runner.trials)
+                            .step_by(workers)
+                            .map(|t| {
+                                let mut rng = runner.rng_for_trial(t);
+                                (t, f(t, &mut rng))
+                            })
+                            .collect::<Vec<(usize, T)>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (t, value) in handle.join().expect("trial worker panicked") {
+                    slots[t] = Some(value);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every trial index was assigned to exactly one worker"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +174,36 @@ mod tests {
         let runner = TrialRunner::new(0, 4);
         let mean = runner.run_mean(|t, _| t as f64);
         assert_eq!(mean, 1.5);
+    }
+
+    #[test]
+    fn run_par_matches_run_for_every_thread_count() {
+        let runner = TrialRunner::new(0xfeed, 7);
+        let sequential: Vec<u64> = runner.run(|_, rng| rng.random());
+        for threads in 1..=9 {
+            let parallel = runner.run_par(threads, |_, rng| rng.random::<u64>());
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_par_preserves_trial_order() {
+        let runner = TrialRunner::new(3, 10);
+        let indices = runner.run_par(4, |t, _| t);
+        assert_eq!(indices, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_par_with_more_threads_than_trials() {
+        let runner = TrialRunner::new(5, 2);
+        let a = runner.run_par(16, |_, rng| rng.random::<u64>());
+        let b = runner.run(|_, rng| rng.random::<u64>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn run_par_rejects_zero_threads() {
+        TrialRunner::new(1, 3).run_par(0, |t, _| t);
     }
 }

@@ -1,0 +1,44 @@
+//! Property tests for the deterministic parallel trial scheduler:
+//! for any master seed, trial count, and thread count, `run_par` must
+//! return exactly what the sequential `run` returns, in trial order.
+
+use popan_proptest::prelude::*;
+use popan_rng::Rng;
+use popan_workload::TrialRunner;
+
+proptest! {
+    #[test]
+    fn run_par_is_bit_identical_to_run(
+        seed in any::<u64>(),
+        trials in 1usize..24,
+        threads in 1usize..9,
+    ) {
+        let runner = TrialRunner::new(seed, trials);
+        let sequential: Vec<(usize, u64, f64)> =
+            runner.run(|t, rng| (t, rng.random(), rng.random_range(0.0f64..1.0)));
+        let parallel = runner.run_par(threads, |t, rng| {
+            (t, rng.random::<u64>(), rng.random_range(0.0f64..1.0))
+        });
+        prop_assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            prop_assert_eq!(p.0, s.0);
+            prop_assert_eq!(p.1, s.1);
+            // Floats compared at the bit level: reproducibility means
+            // identical bit patterns, not approximate equality.
+            prop_assert_eq!(p.2.to_bits(), s.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_par_thread_counts_agree_with_each_other(
+        seed in any::<u64>(),
+        trials in 1usize..16,
+        threads_a in 2usize..7,
+        threads_b in 2usize..7,
+    ) {
+        let runner = TrialRunner::new(seed, trials);
+        let a = runner.run_par(threads_a, |_, rng| rng.random::<u64>());
+        let b = runner.run_par(threads_b, |_, rng| rng.random::<u64>());
+        prop_assert_eq!(a, b);
+    }
+}

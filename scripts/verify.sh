@@ -9,9 +9,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
-cargo test -q --offline --workspace
+# The whole suite runs twice: once forced sequential, once on four
+# engine workers. The experiment engine's contract is that the two are
+# bit-identical (tests/engine_determinism.rs asserts it directly; this
+# double run keeps every other test honest under parallel execution).
+POPAN_THREADS=1 cargo test -q --offline --workspace
+POPAN_THREADS=4 cargo test -q --offline --workspace
 # --smoke: one iteration per bench, just proving every target runs and
 # writes its target/popan-bench/BENCH_<group>.json artifact.
 cargo bench -q --offline --workspace -- --smoke
 
-echo "verify: build + test + bench smoke all green (offline)"
+echo "verify: build + test (POPAN_THREADS=1 and =4) + bench smoke all green (offline)"

@@ -11,6 +11,8 @@
 //!   quadtree, with occupancy instrumentation.
 //! * [`exthash`] — extendible hashing, the statistical baseline.
 //! * [`workload`] — seeded synthetic data generators.
+//! * [`engine`] — the unified experiment engine: the `Experiment` trait
+//!   and the deterministic parallel trial scheduler (`POPAN_THREADS`).
 //! * [`geom`] — geometric primitives.
 //! * [`numeric`] — the numeric substrate (linear algebra, solvers, stats).
 //! * [`experiments`] — the table/figure reproduction harness.
@@ -28,6 +30,7 @@
 //! ```
 
 pub use popan_core as core;
+pub use popan_engine as engine;
 pub use popan_exthash as exthash;
 pub use popan_experiments as experiments;
 pub use popan_geom as geom;
