@@ -1,0 +1,118 @@
+//! Bench for the fault-tolerance machinery's overhead on the no-fault
+//! path.
+//!
+//! The isolation layer (`catch_unwind` per trial, outcome bookkeeping)
+//! and the checkpoint layer (encode + append + flush per trial) must not
+//! tax a healthy run: `raw_*` drives trials through the pre-isolation
+//! `map_trials` path, `isolated_*` through `Engine::try_run` with no
+//! faults, and `checkpointed_*` adds JSONL streaming. `raw` vs
+//! `isolated` should be within noise at paper scale (the trial body —
+//! 1000 point inserts — dwarfs one `catch_unwind` frame); `checkpointed`
+//! pays one small flushed write per trial.
+
+use popan_bench::{criterion_group, criterion_main, Criterion};
+use popan_engine::{fingerprint_of, Engine, Experiment};
+use popan_experiments::ExperimentConfig;
+use popan_geom::Rect;
+use popan_rng::rngs::StdRng;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
+use popan_workload::TrialRunner;
+use std::hint::black_box;
+
+const TREES: usize = 10;
+const POINTS: usize = 1000;
+const CAPACITY: usize = 4;
+
+/// The engine bench's trial (one m=4 tree, average occupancy) wrapped
+/// as an `Experiment` so it can run under `try_run`.
+struct OccupancyExperiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment for OccupancyExperiment {
+    type Config = ExperimentConfig;
+    type Theory = ();
+    type Trial = f64;
+    type Summary = f64;
+
+    fn name(&self) -> String {
+        "bench/occupancy".into()
+    }
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[0xbe9c, CAPACITY as u64, self.config.points as u64])
+    }
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0xbe9c ^ (CAPACITY as u64) << 32)
+    }
+    fn theory(&self) {}
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> f64 {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            CAPACITY,
+            UniformRect::unit().sample_n(rng, self.config.points),
+        )
+        .expect("in-region points");
+        tree.occupancy_profile().average_occupancy()
+    }
+    fn aggregate(&self, _theory: (), trials: &[f64]) -> f64 {
+        trials.iter().sum::<f64>() / trials.len() as f64
+    }
+}
+
+fn bench_engine_faults(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        trials: TREES,
+        points: POINTS,
+        ..ExperimentConfig::paper()
+    };
+    let experiment = OccupancyExperiment { config };
+    let runner = experiment.runner();
+    let trial = |_t: usize, rng: &mut StdRng| {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            CAPACITY,
+            UniformRect::unit().sample_n(rng, POINTS),
+        )
+        .expect("in-region points");
+        tree.occupancy_profile().average_occupancy()
+    };
+    let checkpoint_dir = std::env::temp_dir().join(format!(
+        "popan-bench-engine-faults-{}",
+        std::process::id()
+    ));
+
+    let mut group = c.benchmark_group("engine_faults");
+    for threads in [1usize, 4] {
+        let tag = if threads == 1 { "seq" } else { "par4" };
+        group.bench_function(format!("raw_{tag}"), |b| {
+            let engine = Engine::with_threads(threads);
+            b.iter(|| engine.map_trials(black_box(runner), trial))
+        });
+        group.bench_function(format!("isolated_{tag}"), |b| {
+            let engine = Engine::with_threads(threads);
+            b.iter(|| engine.try_run(black_box(&experiment)).unwrap().summary)
+        });
+        group.bench_function(format!("checkpointed_{tag}"), |b| {
+            let engine = Engine::with_threads(threads).with_checkpoint(&checkpoint_dir);
+            b.iter(|| {
+                // Fresh directory each iteration: measure writing, not
+                // the (near-free) resume short-circuit.
+                let _ = std::fs::remove_dir_all(&checkpoint_dir);
+                engine.try_run(black_box(&experiment)).unwrap().summary
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_faults
+}
+criterion_main!(benches);

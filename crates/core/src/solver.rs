@@ -116,10 +116,19 @@ impl SteadyStateSolver {
         let (solution, iterations, method) = match self.method {
             SolveMethod::FixedPoint => {
                 let t = model.transform_matrix();
-                let map = |e: &DVector| {
-                    t.apply(e)
-                        .and_then(|et| et.normalized_l1().map_err(ModelError::Numeric))
-                        .map_err(|e| popan_numeric::NumericError::invalid(e.to_string()))
+                let map = |e: &DVector| -> popan_numeric::Result<DVector> {
+                    let et = t
+                        .apply(e)
+                        .map_err(|e| popan_numeric::NumericError::invalid(e.to_string()))?;
+                    // A component or normalizing-sum overflow means the
+                    // iterate has left the reals: hand the iteration loop
+                    // a non-finite vector so it reports `NonFinite` with
+                    // the iteration count instead of an opaque
+                    // normalization error.
+                    if !et.sum().is_finite() || et.iter().any(|v| !v.is_finite()) {
+                        return Ok(DVector::filled(et.len(), f64::NAN));
+                    }
+                    et.normalized_l1()
                 };
                 let outcome = solve_fixed_point(
                     map,
@@ -130,7 +139,7 @@ impl SteadyStateSolver {
                         damping: 1.0,
                     },
                 )
-                .map_err(ModelError::Numeric)?;
+                .map_err(|e| solver_error(e, model))?;
                 (outcome.solution, outcome.iterations, SolveMethod::FixedPoint)
             }
             SolveMethod::Newton => {
@@ -148,7 +157,7 @@ impl SteadyStateSolver {
                         ..NewtonOptions::default()
                     },
                 )
-                .map_err(ModelError::Numeric)?;
+                .map_err(|e| solver_error(e, model))?;
                 (outcome.solution, outcome.iterations, SolveMethod::Newton)
             }
         };
@@ -203,6 +212,30 @@ impl SteadyStateSolver {
             });
         }
         Ok(fp)
+    }
+}
+
+/// Maps a numeric failure to the model-level error. A [`NumericError::NonFinite`]
+/// breakdown means the model's transform is numerically poisoned (NaN, or
+/// entries large enough to overflow the insertion map), which is a
+/// no-positive-solution verdict with diagnostics, not a generic numeric
+/// bug.
+fn solver_error<M: PopulationModel + ?Sized>(
+    err: popan_numeric::NumericError,
+    model: &M,
+) -> ModelError {
+    match err {
+        popan_numeric::NumericError::NonFinite {
+            iterations,
+            residual,
+        } => ModelError::NoPositiveSolution {
+            detail: format!(
+                "iterate became non-finite (NaN/inf) at iteration {iterations} \
+                 (last residual {residual:.3e}) while solving {}",
+                model.describe()
+            ),
+        },
+        other => ModelError::Numeric(other),
     }
 }
 
@@ -374,6 +407,61 @@ mod tests {
             "newton {} vs fixed-point {}",
             nt.diagnostics().iterations,
             fp.diagnostics().iterations
+        );
+    }
+
+    #[test]
+    fn poisoned_transform_matrix_fails_fast_with_diagnostics() {
+        use crate::transform::TransformMatrix;
+        use popan_numeric::DMatrix;
+
+        // Entries near f64::MAX pass construction-time validation
+        // (finite, nonnegative, row sums ≥ 1) but overflow the insertion
+        // map `e ↦ eT` on the first application — the canonical way a
+        // numerically poisoned model reaches the solver.
+        struct Poisoned {
+            t: TransformMatrix,
+        }
+        impl PopulationModel for Poisoned {
+            fn classes(&self) -> usize {
+                2
+            }
+            fn transform_matrix(&self) -> &TransformMatrix {
+                &self.t
+            }
+        }
+        let huge = 1.5e308;
+        let model = Poisoned {
+            t: TransformMatrix::new(DMatrix::from_row_major(2, 2, vec![huge; 4]).unwrap())
+                .unwrap(),
+        };
+
+        for method in [SolveMethod::FixedPoint, SolveMethod::Newton] {
+            let err = SteadyStateSolver::new()
+                .method(method)
+                .solve(&model)
+                .unwrap_err();
+            match err {
+                ModelError::NoPositiveSolution { detail } => {
+                    assert!(
+                        detail.contains("non-finite"),
+                        "{method:?}: detail should name the breakdown: {detail}"
+                    );
+                    assert!(
+                        detail.contains("iteration"),
+                        "{method:?}: detail should carry the iteration count: {detail}"
+                    );
+                }
+                other => panic!("{method:?}: expected NoPositiveSolution, got {other}"),
+            }
+        }
+
+        // The fixed-point path must bail at iteration 1, not spin through
+        // the 100k-iteration default budget.
+        let err = SteadyStateSolver::new().solve(&model).unwrap_err();
+        assert!(
+            err.to_string().contains("iteration 1"),
+            "expected early detection, got: {err}"
         );
     }
 

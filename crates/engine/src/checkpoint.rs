@@ -1,0 +1,338 @@
+//! Append-only trial checkpoints for kill-and-resume.
+//!
+//! Long sweeps should not lose finished work to a crash. As each trial
+//! completes, the engine appends one line to a per-experiment JSONL file
+//! and flushes it; a resumed run loads the file, skips every trial it
+//! already holds, and aggregates loaded and fresh results together —
+//! byte-identical to the uninterrupted run (the codec in
+//! [`crate::codec`] roundtrips `f64`s bit-exactly).
+//!
+//! ## File format
+//!
+//! One line per completed trial:
+//!
+//! ```text
+//! {"v":1,"scope":"table1/m4","seed":"5167…","fp":"9e37…","t":3,"data":"3ff0…"}
+//! ```
+//!
+//! * `scope` — the experiment's [`name`](crate::Experiment::name);
+//! * `seed` — the master seed, hex;
+//! * `fp` — the experiment's [`fingerprint`](crate::Experiment::fingerprint)
+//!   (a digest of its parameters), hex;
+//! * `t` — the trial index;
+//! * `data` — the [`TrialData`](crate::codec::TrialData) encoding, hex.
+//!
+//! Every line carries the full key, and loading drops lines whose key
+//! does not match the requesting experiment — so a stale file from a
+//! different configuration can never leak foreign trial results into an
+//! aggregate. Unparsable lines (a write cut off mid-line by the very
+//! crash this module exists for) are skipped, not fatal: those trials
+//! simply run again.
+//!
+//! The trial *count* is deliberately not part of the key: a checkpoint
+//! taken at `--quick` trial counts still serves a longer run of the same
+//! configuration, because trial `t`'s stream depends only on
+//! `(master_seed, t)`.
+
+use crate::codec::{from_hex, to_hex};
+use crate::outcome::EngineError;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Identifies whose trials a checkpoint line belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointKey {
+    /// The experiment's name.
+    pub scope: String,
+    /// The master seed of the trial schedule.
+    pub seed: u64,
+    /// Digest of the experiment's parameters.
+    pub fingerprint: u64,
+}
+
+impl CheckpointKey {
+    fn file_name(&self) -> String {
+        // '/' in scopes (e.g. "table1/m4") must not create directories.
+        let safe: String = self
+            .scope
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("{safe}-{:016x}.jsonl", self.seed ^ self.fingerprint)
+    }
+
+    fn render_line(&self, trial: usize, data: &[u8]) -> String {
+        format!(
+            "{{\"v\":1,\"scope\":\"{}\",\"seed\":\"{:016x}\",\"fp\":\"{:016x}\",\"t\":{},\"data\":\"{}\"}}",
+            self.scope,
+            self.seed,
+            self.fingerprint,
+            trial,
+            to_hex(data)
+        )
+    }
+
+    /// Parses one checkpoint line; `None` for malformed input or a line
+    /// belonging to a different key.
+    fn parse_line(&self, line: &str) -> Option<(usize, Vec<u8>)> {
+        let line = line.trim();
+        let body = line.strip_prefix('{')?.strip_suffix('}')?;
+        let mut version = None;
+        let mut scope = None;
+        let mut seed = None;
+        let mut fp = None;
+        let mut trial = None;
+        let mut data = None;
+        for field in split_fields(body) {
+            let (key, value) = field.split_once(':')?;
+            match key {
+                "\"v\"" => version = Some(value.to_string()),
+                "\"scope\"" => scope = Some(unquote(value)?),
+                "\"seed\"" => seed = Some(u64::from_str_radix(&unquote(value)?, 16).ok()?),
+                "\"fp\"" => fp = Some(u64::from_str_radix(&unquote(value)?, 16).ok()?),
+                "\"t\"" => trial = Some(value.parse::<usize>().ok()?),
+                "\"data\"" => data = Some(from_hex(&unquote(value)?)?),
+                _ => return None,
+            }
+        }
+        (version.as_deref() == Some("1")
+            && scope.as_deref() == Some(self.scope.as_str())
+            && seed == Some(self.seed)
+            && fp == Some(self.fingerprint))
+        .then_some(())?;
+        Some((trial?, data?))
+    }
+}
+
+/// Splits a JSON object body into `"key":value` fields. Checkpoint
+/// strings never contain `,`, `:` or escapes (scopes are identifiers,
+/// everything else is hex), so a flat split suffices.
+fn split_fields(body: &str) -> impl Iterator<Item = &str> {
+    body.split(',').map(str::trim)
+}
+
+fn unquote(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.contains(['"', '\\'])).then(|| inner.to_string())
+}
+
+/// A checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    dir: PathBuf,
+}
+
+impl Checkpoint {
+    /// A checkpoint rooted at `dir` (created on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Checkpoint { dir: dir.into() }
+    }
+
+    /// The directory this checkpoint lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &CheckpointKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Loads every completed trial recorded for `key`: trial index →
+    /// encoded trial bytes. A missing file is an empty map; malformed or
+    /// foreign lines are skipped. Later lines win on duplicate indices
+    /// (they re-recorded the same deterministic result).
+    pub fn load(&self, key: &CheckpointKey) -> Result<HashMap<usize, Vec<u8>>, EngineError> {
+        let path = self.path_for(key);
+        let file = match File::open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+            Err(e) => return Err(checkpoint_error(&path, e)),
+        };
+        let mut loaded = HashMap::new();
+        for line in BufReader::new(file).lines() {
+            let line = line.map_err(|e| checkpoint_error(&path, e))?;
+            if let Some((trial, data)) = key.parse_line(&line) {
+                loaded.insert(trial, data);
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Opens an append-mode writer for `key`, creating the directory as
+    /// needed.
+    pub fn writer(&self, key: &CheckpointKey) -> Result<CheckpointWriter, EngineError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| checkpoint_error(&self.dir, e))?;
+        let path = self.path_for(key);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| checkpoint_error(&path, e))?;
+        Ok(CheckpointWriter {
+            key: key.clone(),
+            path,
+            file: Mutex::new(file),
+        })
+    }
+}
+
+fn checkpoint_error(path: &Path, e: std::io::Error) -> EngineError {
+    EngineError::Checkpoint {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    }
+}
+
+/// Appends completed trials to a checkpoint file. Shared across worker
+/// threads; each record is one line, flushed immediately so a kill loses
+/// at most the line being written.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    key: CheckpointKey,
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl CheckpointWriter {
+    /// Records trial `t`'s encoded result.
+    pub fn record(&self, trial: usize, data: &[u8]) -> Result<(), EngineError> {
+        let line = self.key.render_line(trial, data);
+        let mut file = self.file.lock().expect("checkpoint writer poisoned");
+        writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .map_err(|e| checkpoint_error(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "popan-checkpoint-test-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key() -> CheckpointKey {
+        CheckpointKey {
+            scope: "table1/m4".into(),
+            seed: 0x5167_4d0d_1987,
+            fingerprint: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let ckpt = Checkpoint::new(temp_dir());
+        assert!(ckpt.load(&key()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_then_load_roundtrips() {
+        let dir = temp_dir();
+        let ckpt = Checkpoint::new(&dir);
+        let writer = ckpt.writer(&key()).unwrap();
+        writer.record(0, &[1, 2, 3]).unwrap();
+        writer.record(2, &[0xff]).unwrap();
+        writer.record(5, &[]).unwrap();
+        let loaded = ckpt.load(&key()).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[&0], vec![1, 2, 3]);
+        assert_eq!(loaded[&2], vec![0xff]);
+        assert_eq!(loaded[&5], Vec::<u8>::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_keys_do_not_leak() {
+        let dir = temp_dir();
+        let ckpt = Checkpoint::new(&dir);
+        let mine = key();
+        // Same file name would be fine — the key fields gate loading.
+        let other_seed = CheckpointKey { seed: 99, ..mine.clone() };
+        let other_fp = CheckpointKey { fingerprint: 1, ..mine.clone() };
+        let other_scope = CheckpointKey { scope: "table3".into(), ..mine.clone() };
+        ckpt.writer(&other_seed).unwrap().record(0, &[1]).unwrap();
+        ckpt.writer(&other_fp).unwrap().record(1, &[2]).unwrap();
+        ckpt.writer(&other_scope).unwrap().record(2, &[3]).unwrap();
+        assert!(ckpt.load(&mine).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_lines_are_skipped() {
+        let dir = temp_dir();
+        let ckpt = Checkpoint::new(&dir);
+        let key = key();
+        let writer = ckpt.writer(&key).unwrap();
+        writer.record(0, &[0xaa]).unwrap();
+        writer.record(1, &[0xbb]).unwrap();
+        // Simulate a crash mid-write: append garbage and a cut-off line.
+        let path = ckpt.path_for(&key);
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("not json at all\n");
+        let full = key.render_line(2, &[0xcc]);
+        contents.push_str(&full[..full.len() / 2]);
+        std::fs::write(&path, contents).unwrap();
+
+        let loaded = ckpt.load(&key).unwrap();
+        assert_eq!(loaded.len(), 2, "only the intact lines survive");
+        assert_eq!(loaded[&0], vec![0xaa]);
+        assert_eq!(loaded[&1], vec![0xbb]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn line_format_is_the_documented_json() {
+        let line = key().render_line(3, &[0x3f, 0xf0]);
+        assert_eq!(
+            line,
+            "{\"v\":1,\"scope\":\"table1/m4\",\"seed\":\"000051674d0d1987\",\
+             \"fp\":\"00000000deadbeef\",\"t\":3,\"data\":\"3ff0\"}"
+        );
+        assert_eq!(key().parse_line(&line), Some((3, vec![0x3f, 0xf0])));
+    }
+
+    #[test]
+    fn version_bump_invalidates_old_lines() {
+        let line = key().render_line(0, &[1]).replace("\"v\":1", "\"v\":2");
+        assert_eq!(key().parse_line(&line), None);
+    }
+
+    #[test]
+    fn scope_slashes_stay_in_one_file_name() {
+        assert!(!key().file_name().contains('/'));
+        assert!(key().file_name().ends_with(".jsonl"));
+    }
+
+    #[test]
+    fn writer_is_shareable_across_threads() {
+        let dir = temp_dir();
+        let ckpt = Checkpoint::new(&dir);
+        let writer = ckpt.writer(&key()).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..4u8 {
+                let writer = &writer;
+                scope.spawn(move || {
+                    for i in 0..8usize {
+                        writer.record(usize::from(w) * 8 + i, &[w]).unwrap();
+                    }
+                });
+            }
+        });
+        let loaded = ckpt.load(&key()).unwrap();
+        assert_eq!(loaded.len(), 32, "every concurrent record landed intact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

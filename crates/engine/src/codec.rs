@@ -1,0 +1,334 @@
+//! Bit-exact serialization for trial results.
+//!
+//! Checkpoint/resume only works if a trial decoded from disk is
+//! indistinguishable from one that just ran: the aggregate over resumed
+//! trials must be **byte-identical** to the uninterrupted run. That rules
+//! out decimal text for floats, so [`TrialData`] encodes `f64` via
+//! [`f64::to_bits`] (NaN payloads and `-0.0` included) into a compact
+//! little-endian byte stream, which the checkpoint stores hex-encoded
+//! inside its JSONL lines.
+//!
+//! Implementations exist for every shape the drivers use as
+//! [`Experiment::Trial`](crate::Experiment::Trial): scalars, tuples up to
+//! arity six, `Vec`s, options and nested combinations thereof. Decoding is
+//! total: any truncated or corrupt input yields `None`, never a panic —
+//! a checkpoint file killed mid-write must not poison the resume.
+
+use std::time::Duration;
+
+/// A cursor over checkpoint bytes. [`TrialData::decode`] consumes from
+/// the front; [`ByteReader::is_exhausted`] lets callers insist the
+/// payload had no trailing garbage.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Takes the next `n` bytes, or `None` past the end.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        let bytes = self.take(8)?;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+/// A trial result that can roundtrip through the checkpoint byte format
+/// without losing a single bit.
+pub trait TrialData: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, or `None` on truncated or
+    /// malformed input.
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self>;
+
+    /// This value's encoding as a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value that must occupy `bytes` exactly (no trailing
+    /// garbage) — the form checkpoint loading uses.
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut reader = ByteReader::new(bytes);
+        let value = Self::decode(&mut reader)?;
+        reader.is_exhausted().then_some(value)
+    }
+}
+
+impl TrialData for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        reader.take_u64()
+    }
+}
+
+impl TrialData for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        usize::try_from(reader.take_u64()?).ok()
+    }
+}
+
+impl TrialData for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        u64::from(*self).encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        u32::try_from(reader.take_u64()?).ok()
+    }
+}
+
+impl TrialData for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        Some(f64::from_bits(reader.take_u64()?))
+    }
+}
+
+impl TrialData for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        match reader.take(1)? {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl TrialData for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_reader: &mut ByteReader<'_>) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl TrialData for Duration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_secs().encode(out);
+        u64::from(self.subsec_nanos()).encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        let secs = reader.take_u64()?;
+        let nanos = u32::try_from(reader.take_u64()?).ok()?;
+        (nanos < 1_000_000_000).then(|| Duration::new(secs, nanos))
+    }
+}
+
+impl<T: TrialData> TrialData for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        let len = usize::decode(reader)?;
+        // A corrupt length would otherwise ask for an absurd
+        // pre-allocation; each element consumes ≥ 1 byte, so the
+        // remaining input bounds any honest length.
+        if len > reader.bytes.len().saturating_sub(reader.pos) {
+            return None;
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(reader)?);
+        }
+        Some(items)
+    }
+}
+
+impl<T: TrialData> TrialData for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => false.encode(out),
+            Some(value) => {
+                true.encode(out);
+                value.encode(out);
+            }
+        }
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        if bool::decode(reader)? {
+            Some(Some(T::decode(reader)?))
+        } else {
+            Some(None)
+        }
+    }
+}
+
+impl<T: TrialData, const N: usize> TrialData for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::decode(reader)?);
+        }
+        items.try_into().ok()
+    }
+}
+
+macro_rules! tuple_trial_data {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: TrialData),+> TrialData for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+                Some(($($name::decode(reader)?,)+))
+            }
+        }
+    };
+}
+
+tuple_trial_data!(A: 0, B: 1);
+tuple_trial_data!(A: 0, B: 1, C: 2);
+tuple_trial_data!(A: 0, B: 1, C: 2, D: 3);
+tuple_trial_data!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_trial_data!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Lowercase hex of `bytes` — the form checkpoint lines store payloads in.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    s
+}
+
+/// Decodes lowercase/uppercase hex, or `None` on odd length or
+/// non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let digits: Vec<u8> = s
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect::<Option<_>>()?;
+    Some(digits.chunks(2).map(|pair| (pair[0] << 4) | pair[1]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: TrialData + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes), Some(value));
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(42usize);
+        roundtrip(7u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+        roundtrip(Duration::from_millis(1234));
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for value in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+            let bytes = value.to_bytes();
+            assert_eq!(
+                f64::from_bytes(&bytes).map(f64::to_bits),
+                Some(value.to_bits()),
+                "{value}"
+            );
+        }
+        // NaN payload preserved, not canonicalized.
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert_eq!(
+            f64::from_bytes(&nan.to_bytes()).map(f64::to_bits),
+            Some(nan.to_bits())
+        );
+    }
+
+    #[test]
+    fn driver_trial_shapes_roundtrip() {
+        // The shapes every Experiment in crates/experiments uses.
+        roundtrip((vec![0.1, 0.2, 0.7], 1.5)); // table1
+        roundtrip(vec![(3u32, 1.0, 2.0, 3.0, 4.0)]); // table3
+        roundtrip((0.25, 0.75)); // table45 / exthash
+        roundtrip(vec![0.5; 9]); // skew / pmr
+        roundtrip((1.0, 2.0, 3.0, 4.0, 5.0, 6.0)); // excell
+        roundtrip((11usize, vec![0.0, 1.0])); // churn
+        roundtrip([0.1f64, 0.2, 0.3, 0.4]); // fixed-size arrays
+        roundtrip(Some(vec![(1usize, 2u64)]));
+        roundtrip(Option::<f64>::None);
+    }
+
+    #[test]
+    fn truncated_input_decodes_to_none() {
+        let bytes = (vec![1.0f64, 2.0], 3.0f64).to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(<(Vec<f64>, f64)>::from_bytes(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = 1.5f64.to_bytes();
+        bytes.push(0);
+        assert_eq!(f64::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn absurd_vec_length_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        assert_eq!(Vec::<f64>::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        for bytes in [vec![], vec![0u8], vec![0xde, 0xad, 0xbe, 0xef], (0..=255u8).collect()] {
+            let hex = to_hex(&bytes);
+            assert_eq!(from_hex(&hex), Some(bytes));
+        }
+        assert_eq!(from_hex("abc"), None, "odd length");
+        assert_eq!(from_hex("zz"), None, "non-hex");
+        assert_eq!(from_hex("DEADbeef"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic fault injection.
+//!
+//! Robustness code that only runs when something actually breaks is
+//! untested code. A [`FaultPlan`] lets tests, `scripts/verify.sh`, and
+//! ad-hoc debugging sessions inject failures at chosen `(experiment,
+//! trial, attempt)` coordinates — panics, NaN results, artificial delays,
+//! or a hard process abort — so the isolation, retry, and checkpoint
+//! machinery is exercised on demand and reproducibly.
+//!
+//! Plans are deterministic by construction: a fault fires iff its
+//! coordinates match, never randomly. The environment syntax
+//! (`POPAN_FAULTS`) is a comma-separated list of
+//! `scope:trial:kind[@attempt]` entries:
+//!
+//! ```text
+//! table1/m4:2:panic        panic in trial 2 of table1/m4 (attempt 0)
+//! *:0:nan                  every experiment's trial 0 returns NaN
+//! table3:1:delay50         trial 1 sleeps 50 ms before running
+//! table1/m2:2:abort@0      hard process exit (simulates kill -9)
+//! table1/m4:2:panic@1      panic only on the first retry
+//! ```
+
+use crate::outcome::EngineError;
+use std::time::Duration;
+
+/// The kinds of fault the engine can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the trial (exercises `catch_unwind` isolation).
+    Panic,
+    /// Run the trial, then poison the attempt as if it produced a
+    /// non-finite result (exercises retry without unwinding).
+    Nan,
+    /// Sleep this long before running the trial (exercises scheduling
+    /// skew and checkpoint interleaving).
+    Delay(Duration),
+    /// Exit the process immediately with [`ABORT_EXIT_CODE`] (simulates a
+    /// kill mid-run for checkpoint/resume tests).
+    Abort,
+}
+
+/// Exit code used by [`Fault::Abort`] so harnesses can tell an injected
+/// abort from an ordinary failure.
+pub const ABORT_EXIT_CODE: i32 = 86;
+
+/// One planned fault at `(scope, trial, attempt)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlannedFault {
+    /// Experiment name the fault applies to; `None` is the `*` wildcard.
+    scope: Option<String>,
+    trial: usize,
+    attempt: usize,
+    fault: Fault,
+}
+
+/// A deterministic set of planned faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults ever fire.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a fault at `(scope, trial)`, attempt 0. `"*"` as the scope
+    /// matches every experiment.
+    pub fn inject(self, scope: &str, trial: usize, fault: Fault) -> Self {
+        self.inject_at(scope, trial, 0, fault)
+    }
+
+    /// Adds a fault at `(scope, trial, attempt)`.
+    pub fn inject_at(mut self, scope: &str, trial: usize, attempt: usize, fault: Fault) -> Self {
+        self.faults.push(PlannedFault {
+            scope: (scope != "*").then(|| scope.to_string()),
+            trial,
+            attempt,
+            fault,
+        });
+        self
+    }
+
+    /// The fault planned for `(experiment, trial, attempt)`, if any.
+    /// First match wins when entries overlap.
+    pub fn fault_for(&self, experiment: &str, trial: usize, attempt: usize) -> Option<Fault> {
+        self.faults
+            .iter()
+            .find(|p| {
+                p.trial == trial
+                    && p.attempt == attempt
+                    && p.scope.as_deref().is_none_or(|s| s == experiment)
+            })
+            .map(|p| p.fault)
+    }
+
+    /// Parses the `POPAN_FAULTS` syntax: comma-separated
+    /// `scope:trial:kind[@attempt]` entries (see the module docs). The
+    /// empty string is the empty plan.
+    pub fn parse(spec: &str) -> Result<Self, EngineError> {
+        let bad = |reason: &str| EngineError::BadFaultSpec {
+            value: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut plan = FaultPlan::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            // Split from the right: experiment names may contain `:` in
+            // principle, but trial and kind never do.
+            let (rest, kind_spec) = entry
+                .rsplit_once(':')
+                .ok_or_else(|| bad("entry is not scope:trial:kind"))?;
+            let (scope, trial_spec) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| bad("entry is not scope:trial:kind"))?;
+            if scope.is_empty() {
+                return Err(bad("empty scope (use `*` for any experiment)"));
+            }
+            let trial: usize = trial_spec
+                .parse()
+                .map_err(|_| bad("trial index is not an integer"))?;
+            let (kind, attempt) = match kind_spec.split_once('@') {
+                None => (kind_spec, 0),
+                Some((kind, attempt_spec)) => (
+                    kind,
+                    attempt_spec
+                        .parse()
+                        .map_err(|_| bad("attempt is not an integer"))?,
+                ),
+            };
+            let fault = match kind {
+                "panic" => Fault::Panic,
+                "nan" => Fault::Nan,
+                "abort" => Fault::Abort,
+                _ => match kind.strip_prefix("delay") {
+                    Some(ms) => Fault::Delay(Duration::from_millis(
+                        ms.parse()
+                            .map_err(|_| bad("delay needs integer milliseconds, e.g. delay50"))?,
+                    )),
+                    None => return Err(bad("unknown fault kind")),
+                },
+            };
+            plan = plan.inject_at(scope, trial, attempt, fault);
+        }
+        Ok(plan)
+    }
+
+    /// The plan selected by `POPAN_FAULTS` (the empty plan when unset).
+    pub fn from_env() -> Result<Self, EngineError> {
+        match std::env::var("POPAN_FAULTS") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.fault_for("table1/m4", 0, 0), None);
+    }
+
+    #[test]
+    fn scoped_fault_fires_only_at_its_coordinates() {
+        let plan = FaultPlan::none().inject("table1/m4", 2, Fault::Panic);
+        assert_eq!(plan.fault_for("table1/m4", 2, 0), Some(Fault::Panic));
+        assert_eq!(plan.fault_for("table1/m4", 1, 0), None);
+        assert_eq!(plan.fault_for("table1/m8", 2, 0), None);
+        assert_eq!(plan.fault_for("table1/m4", 2, 1), None, "attempt-0 only");
+    }
+
+    #[test]
+    fn wildcard_scope_matches_every_experiment() {
+        let plan = FaultPlan::none().inject("*", 0, Fault::Nan);
+        assert_eq!(plan.fault_for("table1/m4", 0, 0), Some(Fault::Nan));
+        assert_eq!(plan.fault_for("anything", 0, 0), Some(Fault::Nan));
+        assert_eq!(plan.fault_for("anything", 1, 0), None);
+    }
+
+    #[test]
+    fn attempt_targeted_fault() {
+        let plan = FaultPlan::none().inject_at("x", 3, 1, Fault::Panic);
+        assert_eq!(plan.fault_for("x", 3, 0), None);
+        assert_eq!(plan.fault_for("x", 3, 1), Some(Fault::Panic));
+    }
+
+    #[test]
+    fn parses_the_env_syntax() {
+        let plan = FaultPlan::parse("table1/m4:2:panic, *:0:nan ,table3:1:delay50").unwrap();
+        assert_eq!(plan.fault_for("table1/m4", 2, 0), Some(Fault::Panic));
+        assert_eq!(plan.fault_for("whatever", 0, 0), Some(Fault::Nan));
+        assert_eq!(
+            plan.fault_for("table3", 1, 0),
+            Some(Fault::Delay(Duration::from_millis(50)))
+        );
+    }
+
+    #[test]
+    fn parses_attempt_suffix_and_abort() {
+        let plan = FaultPlan::parse("a:1:panic@2,b:0:abort").unwrap();
+        assert_eq!(plan.fault_for("a", 1, 2), Some(Fault::Panic));
+        assert_eq!(plan.fault_for("a", 1, 0), None);
+        assert_eq!(plan.fault_for("b", 0, 0), Some(Fault::Abort));
+    }
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse(" , ").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for spec in [
+            "nocolons",
+            "a:b",          // too few fields
+            "a:x:panic",    // non-integer trial
+            "a:1:explode",  // unknown kind
+            "a:1:delay",    // delay without milliseconds
+            "a:1:delayxx",  // delay with junk
+            "a:1:panic@x",  // non-integer attempt
+            ":1:panic",     // empty scope
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(
+                matches!(err, EngineError::BadFaultSpec { .. }),
+                "{spec} should fail as BadFaultSpec, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_match_wins_on_overlap() {
+        let plan = FaultPlan::none()
+            .inject("x", 0, Fault::Panic)
+            .inject("*", 0, Fault::Nan);
+        assert_eq!(plan.fault_for("x", 0, 0), Some(Fault::Panic));
+        assert_eq!(plan.fault_for("y", 0, 0), Some(Fault::Nan));
+    }
+}

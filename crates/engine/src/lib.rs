@@ -24,18 +24,58 @@
 //! `Engine::sequential()` produces. The test suites pin this for each
 //! experiment in the workspace.
 //!
-//! ## Thread-count selection
+//! ## Fault tolerance
 //!
-//! [`Engine::from_env`] reads `POPAN_THREADS`: unset or `0` means "use
-//! [`std::thread::available_parallelism`]", `1` forces the sequential
-//! path, any other value is the worker count. Experiments never spawn
-//! more workers than trials.
+//! [`Engine::try_run`] isolates every trial behind
+//! [`std::panic::catch_unwind`]: a panicking trial takes down neither its
+//! worker nor its siblings. Failed trials may be retried under a
+//! [`RetryPolicy`] whose re-run RNG streams are pure functions of
+//! `(master_seed, trial, attempt)` — so retried runs stay bit-identical
+//! at any thread count, and the default policy (replay the attempt-0
+//! stream) makes a retried transient fault reproduce the no-fault result
+//! exactly. The [`RunReport`] aggregates over the surviving trials and
+//! itemizes every [`TrialFailure`]; only a run with **zero** surviving
+//! trials is an error. Faults can be injected deterministically for
+//! testing via a [`FaultPlan`] (`POPAN_FAULTS`), and completed trials can
+//! stream to an append-only checkpoint (`POPAN_CHECKPOINT`) that a later
+//! run resumes from, reproducing the uninterrupted aggregate
+//! byte-for-byte (see [`checkpoint`]).
+//!
+//! ## Environment knobs
+//!
+//! | variable | meaning |
+//! |---|---|
+//! | `POPAN_THREADS` | worker count; unset/`0` = all cores, `1` = sequential |
+//! | `POPAN_RETRIES` | re-runs per failed trial (default 0) |
+//! | `POPAN_FAULTS` | fault plan, `scope:trial:kind[@attempt]`, comma-separated |
+//! | `POPAN_CHECKPOINT` | directory for trial checkpoints (and resume source) |
+//!
+//! [`Engine::from_env`] is lenient — a malformed value warns on stderr
+//! and falls back to a safe default (sequential, no retries, no faults)
+//! rather than killing a long batch. [`Engine::try_from_env`] is the
+//! strict variant for front-ends that want to reject a misconfigured run
+//! before it starts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod codec;
+pub mod fault;
+pub mod outcome;
+
+pub use checkpoint::{Checkpoint, CheckpointKey, CheckpointWriter};
+pub use codec::{ByteReader, TrialData};
+pub use fault::{Fault, FaultPlan, ABORT_EXIT_CODE};
+pub use outcome::{EngineError, RetryPolicy, RunReport, TrialFailure};
+
 use popan_rng::rngs::StdRng;
+use popan_workload::keys::mix64;
 use popan_workload::TrialRunner;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// One Monte-Carlo experiment: a deterministic theory side, an
 /// independently seeded trial, and an order-sensitive aggregation.
@@ -49,8 +89,9 @@ pub trait Experiment: Sync {
     /// Output of the deterministic (non-Monte-Carlo) side, computed once
     /// per run before any trial.
     type Theory: Send;
-    /// One trial's measurement. Crosses thread boundaries.
-    type Trial: Send;
+    /// One trial's measurement. Crosses thread boundaries, and — for
+    /// checkpoint/resume — roundtrips bit-exactly through [`TrialData`].
+    type Trial: Send + TrialData;
     /// The aggregated result.
     type Summary;
 
@@ -59,6 +100,12 @@ pub trait Experiment: Sync {
 
     /// The configuration this experiment runs under.
     fn config(&self) -> &Self::Config;
+
+    /// A digest of every parameter that changes trial results, used to
+    /// key checkpoints: a resumed run only reuses a recorded trial when
+    /// name, master seed **and** fingerprint all match. Build it with
+    /// [`fingerprint_of`].
+    fn fingerprint(&self) -> u64;
 
     /// The trial schedule: master seed (already salted per experiment)
     /// and trial count.
@@ -80,36 +127,126 @@ pub trait Experiment: Sync {
     fn aggregate(&self, theory: Self::Theory, trials: &[Self::Trial]) -> Self::Summary;
 }
 
-/// Executes [`Experiment`]s over a fixed worker count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Folds experiment parameters into a checkpoint fingerprint. Hash
+/// floats via [`f64::to_bits`] before passing them in. Order-sensitive,
+/// and `fingerprint_of(&[])` is a fixed non-zero constant.
+pub fn fingerprint_of(parts: &[u64]) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15;
+    for &part in parts {
+        acc = mix64(acc ^ mix64(part));
+    }
+    acc
+}
+
+/// Executes [`Experiment`]s over a fixed worker count, with per-trial
+/// panic isolation, optional deterministic fault injection, retries, and
+/// checkpoint/resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Engine {
     threads: usize,
+    retry: RetryPolicy,
+    faults: FaultPlan,
+    checkpoint: Option<PathBuf>,
 }
 
 impl Engine {
     /// An engine that runs trials one after another on the calling
     /// thread.
     pub fn sequential() -> Self {
-        Engine { threads: 1 }
+        Engine::with_threads(1)
     }
 
     /// An engine with an explicit worker count. Panics if `threads == 0`.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
-        Engine { threads }
+        Engine {
+            threads,
+            retry: RetryPolicy::none(),
+            faults: FaultPlan::none(),
+            checkpoint: None,
+        }
     }
 
-    /// The engine selected by the environment: `POPAN_THREADS` workers,
-    /// where unset or `0` means [`std::thread::available_parallelism`]
-    /// and `1` forces the sequential path. Panics on an unparsable
-    /// value — a misconfigured run should fail loudly, not silently
-    /// fall back to one thread.
+    /// Sets the retry policy for failed trials.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets a deterministic fault-injection plan.
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Streams completed trials to (and resumes them from) JSONL
+    /// checkpoints under `dir`.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(dir.into());
+        self
+    }
+
+    /// The engine selected by the environment (see the module docs for
+    /// the variables). **Lenient**: a malformed value warns on stderr and
+    /// falls back to a safe default — sequential execution for
+    /// `POPAN_THREADS`, no retries, no faults — instead of panicking;
+    /// a long batch run keeps going, just slower and louder.
     pub fn from_env() -> Self {
-        let spec = std::env::var("POPAN_THREADS").ok();
-        match threads_from_spec(spec.as_deref()) {
-            Ok(n) => Engine::with_threads(n),
-            Err(bad) => panic!("POPAN_THREADS={bad:?} is not a thread count (expected an integer; 0 = all cores, 1 = sequential)"),
+        match Engine::try_from_env() {
+            Ok(engine) => engine,
+            Err(first_error) => {
+                // Rebuild knob by knob so one bad variable doesn't
+                // discard the good ones.
+                let threads = match threads_from_spec(env_spec("POPAN_THREADS").as_deref()) {
+                    Ok(n) => n,
+                    Err(value) => {
+                        warn_fallback(&EngineError::BadThreadSpec { value }, "running sequentially");
+                        1
+                    }
+                };
+                let retry = match retry_from_spec(env_spec("POPAN_RETRIES").as_deref()) {
+                    Ok(retry) => retry,
+                    Err(e) => {
+                        warn_fallback(&e, "not retrying failed trials");
+                        RetryPolicy::none()
+                    }
+                };
+                let faults = match FaultPlan::from_env() {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        warn_fallback(&e, "injecting no faults");
+                        FaultPlan::none()
+                    }
+                };
+                // try_from_env only fails on the three specs above, all
+                // now defaulted — but keep the original error visible if
+                // a future knob slips through this rebuild.
+                let _ = first_error;
+                Engine {
+                    threads,
+                    retry,
+                    faults,
+                    checkpoint: env_spec("POPAN_CHECKPOINT").map(PathBuf::from),
+                }
+            }
         }
+    }
+
+    /// The engine selected by the environment, **strict**: any malformed
+    /// variable is a typed [`EngineError`] naming the knob, for
+    /// front-ends that validate configuration before starting a run.
+    pub fn try_from_env() -> Result<Self, EngineError> {
+        let threads = threads_from_spec(env_spec("POPAN_THREADS").as_deref())
+            .map_err(|value| EngineError::BadThreadSpec { value })?;
+        let retry = retry_from_spec(env_spec("POPAN_RETRIES").as_deref())?;
+        let faults = FaultPlan::from_env()?;
+        let mut engine = Engine::with_threads(threads)
+            .with_retry(retry)
+            .with_fault_plan(faults);
+        if let Some(dir) = env_spec("POPAN_CHECKPOINT") {
+            engine = engine.with_checkpoint(dir);
+        }
+        Ok(engine)
     }
 
     /// The worker count this engine schedules onto.
@@ -117,21 +254,183 @@ impl Engine {
         self.threads
     }
 
-    /// Runs an experiment end to end: theory once, all trials (in
+    /// The retry policy applied to failed trials.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Runs an experiment end to end, strict: theory once, all trials (in
     /// parallel when `threads > 1`), then aggregation over the
-    /// trial-ordered results.
+    /// trial-ordered results. Panics with an itemized message if any
+    /// trial fails every attempt — for callers that tolerate partial
+    /// results, use [`try_run`](Engine::try_run).
     pub fn run<E: Experiment>(&self, experiment: &E) -> E::Summary {
+        match self.try_run(experiment) {
+            Ok(report) if report.is_complete() => report.summary,
+            Ok(report) => {
+                let mut message = format!(
+                    "{}: {} of {} trials failed",
+                    report.name,
+                    report.failures.len(),
+                    report.total
+                );
+                for failure in &report.failures {
+                    message.push_str("\n  ");
+                    message.push_str(&failure.to_string());
+                }
+                panic!("{message}");
+            }
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Runs an experiment with per-trial fault isolation: a panicking
+    /// trial is caught, optionally retried under the engine's
+    /// [`RetryPolicy`], and — if it exhausts its attempts — recorded as a
+    /// [`TrialFailure`] while every other trial proceeds. The summary
+    /// aggregates the surviving trials in trial order; surviving results
+    /// are bit-identical for every thread count whether or not other
+    /// trials failed.
+    ///
+    /// With a checkpoint configured, completed trials stream to an
+    /// append-only JSONL file as they finish, and already-recorded trials
+    /// are loaded instead of re-run (see [`checkpoint`]).
+    ///
+    /// Errors only when there is nothing to aggregate
+    /// ([`EngineError::AllTrialsFailed`]) or the checkpoint is unusable.
+    pub fn try_run<E: Experiment>(
+        &self,
+        experiment: &E,
+    ) -> Result<RunReport<E::Summary>, EngineError> {
+        let name = experiment.name();
+        let runner = experiment.runner();
+        let total = runner.trials();
+
+        let mut resumed: HashMap<usize, E::Trial> = HashMap::new();
+        let writer = match &self.checkpoint {
+            None => None,
+            Some(dir) => {
+                let checkpoint = Checkpoint::new(dir);
+                let key = CheckpointKey {
+                    scope: name.clone(),
+                    seed: runner.master_seed(),
+                    fingerprint: experiment.fingerprint(),
+                };
+                for (t, bytes) in checkpoint.load(&key)? {
+                    // A checkpoint from a longer run of the same
+                    // configuration may hold trials past this schedule;
+                    // an undecodable payload just means the trial reruns.
+                    if t < total {
+                        if let Some(trial) = E::Trial::from_bytes(&bytes) {
+                            resumed.insert(t, trial);
+                        }
+                    }
+                }
+                Some(checkpoint.writer(&key)?)
+            }
+        };
+        let resumed_count = resumed.len();
+
         let theory = experiment.theory();
-        let trials = experiment
-            .runner()
-            .run_par(self.threads, |t, rng| experiment.run_trial(t, rng));
-        experiment.aggregate(theory, &trials)
+        let pending: Vec<usize> = (0..total).filter(|t| !resumed.contains_key(t)).collect();
+        let outcomes = runner.run_par_subset(self.threads, &pending, |t| {
+            self.execute_trial(experiment, &runner, &name, t, writer.as_ref())
+        });
+
+        let mut completed: Vec<(usize, E::Trial)> = resumed.into_iter().collect();
+        let mut failures = Vec::new();
+        for (t, outcome) in outcomes {
+            match outcome {
+                Ok(trial) => completed.push((t, trial)),
+                Err(failure) => failures.push(failure),
+            }
+        }
+        completed.sort_by_key(|&(t, _)| t);
+        failures.sort_by_key(|f| f.trial);
+
+        if completed.is_empty() {
+            return Err(EngineError::AllTrialsFailed { name, failures });
+        }
+        let trials: Vec<E::Trial> = completed.into_iter().map(|(_, trial)| trial).collect();
+        let summary = experiment.aggregate(theory, &trials);
+        Ok(RunReport {
+            name,
+            summary,
+            completed: trials.len(),
+            resumed: resumed_count,
+            failures,
+            total,
+        })
+    }
+
+    /// One trial under isolation: fault injection, `catch_unwind`, the
+    /// retry loop, and checkpoint streaming on success.
+    fn execute_trial<E: Experiment>(
+        &self,
+        experiment: &E,
+        runner: &TrialRunner,
+        name: &str,
+        t: usize,
+        writer: Option<&CheckpointWriter>,
+    ) -> Result<E::Trial, TrialFailure> {
+        let start = Instant::now();
+        let mut last_payload = String::new();
+        for attempt in 0..self.retry.max_attempts {
+            let fault = self.faults.fault_for(name, t, attempt);
+            match fault {
+                Some(Fault::Abort) => {
+                    // Simulate a kill mid-run for resume testing: flush
+                    // nothing further, just die. Checkpointed trials are
+                    // already on disk (each record is flushed).
+                    eprintln!(
+                        "popan-engine: injected abort at ({name}, trial {t}, attempt {attempt})"
+                    );
+                    std::process::exit(ABORT_EXIT_CODE);
+                }
+                Some(Fault::Delay(duration)) => std::thread::sleep(duration),
+                _ => {}
+            }
+            let stream = self.retry.stream_for_attempt(attempt);
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<E::Trial, String> {
+                if fault == Some(Fault::Panic) {
+                    panic!("injected fault: panic at ({name}, trial {t}, attempt {attempt})");
+                }
+                let mut rng = runner.rng_for_attempt(t, stream);
+                let trial = experiment.run_trial(t, &mut rng);
+                if fault == Some(Fault::Nan) {
+                    return Err(format!(
+                        "injected fault: non-finite result at ({name}, trial {t}, attempt {attempt})"
+                    ));
+                }
+                Ok(trial)
+            }));
+            match outcome {
+                Ok(Ok(trial)) => {
+                    if let Some(writer) = writer {
+                        if let Err(e) = writer.record(t, &trial.to_bytes()) {
+                            // Losing durability must not fail the trial.
+                            eprintln!("popan-engine: warning: {e}");
+                        }
+                    }
+                    return Ok(trial);
+                }
+                Ok(Err(payload)) => last_payload = payload,
+                Err(panic) => last_payload = panic_message(panic.as_ref()),
+            }
+        }
+        Err(TrialFailure {
+            trial: t,
+            attempts: self.retry.max_attempts,
+            payload: last_payload,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// Runs a bare trial closure over a runner's schedule — the engine
     /// path for sub-loops that don't warrant a named [`Experiment`]
     /// (cycle averages inside a sweep, for example). Results come back
-    /// in trial order, bit-identical for every thread count.
+    /// in trial order, bit-identical for every thread count. No fault
+    /// isolation: a panic here propagates.
     pub fn map_trials<T: Send>(
         &self,
         runner: TrialRunner,
@@ -155,6 +454,26 @@ impl Engine {
     }
 }
 
+/// Renders a panic payload for failure reports: the `&str` / `String`
+/// payloads `panic!` produces, or a placeholder for exotic types.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn env_spec(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+fn warn_fallback(error: &EngineError, fallback: &str) {
+    eprintln!("popan-engine: warning: {error}; {fallback}");
+}
+
 /// Parses a `POPAN_THREADS` specification: `None` or `Some("0")` →
 /// available parallelism, otherwise the integer worker count.
 fn threads_from_spec(spec: Option<&str>) -> Result<usize, String> {
@@ -168,6 +487,21 @@ fn threads_from_spec(spec: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Parses a `POPAN_RETRIES` specification: the number of re-runs granted
+/// to a failed trial (`None`/empty → zero).
+fn retry_from_spec(spec: Option<&str>) -> Result<RetryPolicy, EngineError> {
+    match spec {
+        None | Some("") => Ok(RetryPolicy::none()),
+        Some(s) => s
+            .trim()
+            .parse::<usize>()
+            .map(RetryPolicy::retries)
+            .map_err(|_| EngineError::BadRetrySpec {
+                value: s.to_string(),
+            }),
+    }
+}
+
 fn available_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -176,6 +510,7 @@ fn available_parallelism() -> usize {
 mod tests {
     use super::*;
     use popan_rng::Rng;
+    use std::sync::Mutex;
 
     /// A toy experiment: theory = trial count, trial = one draw + its
     /// index, summary = (theory, draws).
@@ -195,6 +530,9 @@ mod tests {
         }
         fn config(&self) -> &u64 {
             &self.config
+        }
+        fn fingerprint(&self) -> u64 {
+            fingerprint_of(&[self.config, self.trials as u64])
         }
         fn runner(&self) -> TrialRunner {
             TrialRunner::new(self.config, self.trials)
@@ -239,6 +577,118 @@ mod tests {
     }
 
     #[test]
+    fn try_run_reports_a_clean_run_as_complete() {
+        let exp = Draws {
+            config: 1,
+            trials: 4,
+        };
+        let report = Engine::sequential().try_run(&exp).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.name, "draws");
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.total, 4);
+        assert_eq!(report.summary, Engine::sequential().run(&exp));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_itemized() {
+        let exp = Draws {
+            config: 5,
+            trials: 6,
+        };
+        let clean = Engine::sequential().run(&exp);
+        let engine =
+            Engine::sequential().with_fault_plan(FaultPlan::none().inject("draws", 2, Fault::Panic));
+        let report = engine.try_run(&exp).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].trial, 2);
+        assert_eq!(report.failures[0].attempts, 1);
+        assert!(report.failures[0].payload.contains("injected fault"));
+        assert_eq!(report.completed, 5);
+        // Survivors are exactly the clean trials minus trial 2.
+        let expected: Vec<(usize, u64)> = clean
+            .1
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t != 2)
+            .collect();
+        assert_eq!(report.summary.1, expected);
+    }
+
+    #[test]
+    fn strict_run_panics_on_trial_failure() {
+        let exp = Draws {
+            config: 5,
+            trials: 3,
+        };
+        let engine =
+            Engine::sequential().with_fault_plan(FaultPlan::none().inject("*", 1, Fault::Panic));
+        let panic = catch_unwind(AssertUnwindSafe(|| engine.run(&exp))).unwrap_err();
+        let message = panic_message(panic.as_ref());
+        assert!(message.contains("1 of 3 trials failed"), "{message}");
+        assert!(message.contains("injected fault"), "{message}");
+    }
+
+    #[test]
+    fn all_trials_failing_is_a_typed_error() {
+        let exp = Draws {
+            config: 5,
+            trials: 2,
+        };
+        let engine = Engine::sequential().with_fault_plan(
+            FaultPlan::none()
+                .inject("*", 0, Fault::Panic)
+                .inject("*", 1, Fault::Nan),
+        );
+        match engine.try_run(&exp) {
+            Err(EngineError::AllTrialsFailed { name, failures }) => {
+                assert_eq!(name, "draws");
+                assert_eq!(failures.len(), 2);
+                assert!(failures[1].payload.contains("non-finite"));
+            }
+            other => panic!("expected AllTrialsFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_retry_reproduces_the_no_fault_summary_exactly() {
+        let exp = Draws {
+            config: 0xfeed,
+            trials: 5,
+        };
+        let clean = Engine::sequential().run(&exp);
+        // Fault on attempt 0 only; one retry replays the attempt-0 stream.
+        let engine = Engine::sequential()
+            .with_retry(RetryPolicy::retries(1))
+            .with_fault_plan(FaultPlan::none().inject_at("draws", 3, 0, Fault::Panic));
+        let report = engine.try_run(&exp).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.summary, clean);
+    }
+
+    #[test]
+    fn reseeded_retry_draws_a_fresh_deterministic_stream() {
+        let exp = Draws {
+            config: 0xfeed,
+            trials: 5,
+        };
+        let clean = Engine::sequential().run(&exp);
+        let engine = Engine::sequential()
+            .with_retry(RetryPolicy::retries(1).reseeded())
+            .with_fault_plan(FaultPlan::none().inject_at("draws", 3, 0, Fault::Panic));
+        let report = engine.try_run(&exp).unwrap();
+        assert!(report.is_complete());
+        assert_ne!(report.summary, clean, "attempt-1 stream differs");
+        // But it is still a pure function of (seed, trial, attempt):
+        let again = engine.try_run(&exp).unwrap();
+        assert_eq!(report.summary, again.summary);
+        // And matches the directly derived attempt-1 draw.
+        let mut rng = exp.runner().rng_for_attempt(3, 1);
+        assert_eq!(report.summary.1[3], (3, rng.random::<u64>()));
+    }
+
+    #[test]
     fn mean_trials_streams_the_trial_mean() {
         let engine = Engine::sequential();
         let mean = engine.mean_trials(TrialRunner::new(0, 4), |t, _| t as f64);
@@ -268,8 +718,159 @@ mod tests {
     }
 
     #[test]
+    fn retry_spec_parsing() {
+        assert_eq!(retry_from_spec(None), Ok(RetryPolicy::none()));
+        assert_eq!(retry_from_spec(Some("")), Ok(RetryPolicy::none()));
+        assert_eq!(retry_from_spec(Some("0")), Ok(RetryPolicy::none()));
+        assert_eq!(retry_from_spec(Some("2")), Ok(RetryPolicy::retries(2)));
+        assert!(matches!(
+            retry_from_spec(Some("lots")),
+            Err(EngineError::BadRetrySpec { .. })
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_threads_is_rejected() {
         Engine::with_threads(0);
+    }
+
+    #[test]
+    fn fingerprint_of_distinguishes_parameter_sets() {
+        assert_eq!(fingerprint_of(&[1, 2]), fingerprint_of(&[1, 2]));
+        assert_ne!(fingerprint_of(&[1, 2]), fingerprint_of(&[2, 1]));
+        assert_ne!(fingerprint_of(&[1]), fingerprint_of(&[1, 0]));
+        assert_ne!(fingerprint_of(&[]), 0);
+    }
+
+    /// Env-mutating tests share this lock so they cannot interleave with
+    /// each other (Rust runs tests concurrently in one process).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    struct EnvGuard {
+        name: &'static str,
+        saved: Option<String>,
+    }
+
+    impl EnvGuard {
+        fn set(name: &'static str, value: Option<&str>) -> Self {
+            let saved = std::env::var(name).ok();
+            match value {
+                Some(v) => std::env::set_var(name, v),
+                None => std::env::remove_var(name),
+            }
+            EnvGuard { name, saved }
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.saved {
+                Some(v) => std::env::set_var(self.name, v),
+                None => std::env::remove_var(self.name),
+            }
+        }
+    }
+
+    #[test]
+    fn from_env_warns_and_falls_back_on_malformed_threads() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        let _threads = EnvGuard::set("POPAN_THREADS", Some("four"));
+        let _retries = EnvGuard::set("POPAN_RETRIES", Some("2"));
+        let _faults = EnvGuard::set("POPAN_FAULTS", None);
+        let _checkpoint = EnvGuard::set("POPAN_CHECKPOINT", None);
+        // Lenient: sequential fallback, but the valid knobs still apply.
+        let engine = Engine::from_env();
+        assert_eq!(engine.threads(), 1);
+        assert_eq!(engine.retry(), RetryPolicy::retries(2));
+        // Strict: typed error naming the knob.
+        match Engine::try_from_env() {
+            Err(EngineError::BadThreadSpec { value }) => assert_eq!(value, "four"),
+            other => panic!("expected BadThreadSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_env_reads_all_knobs_when_well_formed() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        let _threads = EnvGuard::set("POPAN_THREADS", Some("3"));
+        let _retries = EnvGuard::set("POPAN_RETRIES", Some("1"));
+        let _faults = EnvGuard::set("POPAN_FAULTS", Some("draws:0:nan"));
+        let _checkpoint = EnvGuard::set("POPAN_CHECKPOINT", Some("/tmp/popan-ckpt"));
+        let engine = Engine::try_from_env().unwrap();
+        assert_eq!(engine.threads(), 3);
+        assert_eq!(engine.retry(), RetryPolicy::retries(1));
+        assert_eq!(
+            engine.faults.fault_for("draws", 0, 0),
+            Some(Fault::Nan)
+        );
+        assert_eq!(engine.checkpoint.as_deref(), Some(std::path::Path::new("/tmp/popan-ckpt")));
+        assert_eq!(Engine::from_env(), engine);
+    }
+
+    #[test]
+    fn from_env_malformed_faults_fall_back_to_none() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        let _threads = EnvGuard::set("POPAN_THREADS", Some("2"));
+        let _retries = EnvGuard::set("POPAN_RETRIES", None);
+        let _faults = EnvGuard::set("POPAN_FAULTS", Some("garbage"));
+        let _checkpoint = EnvGuard::set("POPAN_CHECKPOINT", None);
+        let engine = Engine::from_env();
+        assert_eq!(engine.threads(), 2, "valid thread spec survives");
+        assert!(engine.faults.is_empty());
+        assert!(matches!(
+            Engine::try_from_env(),
+            Err(EngineError::BadFaultSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_and_reproduces_the_clean_summary() {
+        let exp = Draws {
+            config: 0xc0ffee,
+            trials: 6,
+        };
+        let clean = Engine::sequential().run(&exp);
+        let dir = std::env::temp_dir().join(format!("popan-engine-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First run fails trial 4 and checkpoints the other five.
+        let faulty = Engine::sequential()
+            .with_checkpoint(&dir)
+            .with_fault_plan(FaultPlan::none().inject("draws", 4, Fault::Panic));
+        let partial = faulty.try_run(&exp).unwrap();
+        assert_eq!(partial.completed, 5);
+        assert_eq!(partial.resumed, 0);
+
+        // Second run (no faults) resumes the five and runs only trial 4.
+        let resumed = Engine::sequential()
+            .with_checkpoint(&dir)
+            .try_run(&exp)
+            .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed, 5);
+        assert_eq!(resumed.summary, clean, "bit-identical to the uninterrupted run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_is_keyed_by_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("popan-engine-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let small = Draws {
+            config: 7,
+            trials: 2,
+        };
+        let engine = Engine::sequential().with_checkpoint(&dir);
+        engine.try_run(&small).unwrap();
+        // Same name and seed, different fingerprint: nothing reused.
+        let large = Draws {
+            config: 7,
+            trials: 3,
+        };
+        let report = engine.try_run(&large).unwrap();
+        assert_eq!(report.resumed, 0);
+        assert!(report.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

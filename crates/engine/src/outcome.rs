@@ -1,0 +1,289 @@
+//! Structured results of a fault-isolated run: per-trial failures, the
+//! retry policy that governs re-runs, the run report, and the engine's
+//! typed error.
+
+use std::fmt;
+use std::time::Duration;
+
+/// How many times a trial may run, and on which RNG streams.
+///
+/// The re-run stream for `(trial t, attempt a)` is a pure function of
+/// `(master_seed, t, a)` (see
+/// [`TrialRunner::rng_for_attempt`](popan_workload::TrialRunner::rng_for_attempt)),
+/// so retries are bit-identical at any thread count. By default every
+/// attempt replays the *attempt-0* stream — a retried transient fault
+/// (a panic injected on attempt 0, say) reproduces the no-fault result
+/// exactly. [`reseeded`](RetryPolicy::reseeded) switches later attempts
+/// to their own independent streams for failures that are data-dependent
+/// rather than transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per trial (first run included). Never zero.
+    pub max_attempts: usize,
+    /// When `true`, attempt `a > 0` runs on its own `(seed, t, a)` stream
+    /// instead of replaying the attempt-0 stream.
+    pub reseed: bool,
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries — the default.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            reseed: false,
+        }
+    }
+
+    /// Up to `retries` re-runs after the first attempt, all replaying the
+    /// attempt-0 RNG stream.
+    pub fn retries(retries: usize) -> Self {
+        RetryPolicy {
+            max_attempts: 1 + retries,
+            reseed: false,
+        }
+    }
+
+    /// Re-runs draw from independent per-attempt streams instead of
+    /// replaying the first attempt's stream.
+    pub fn reseeded(self) -> Self {
+        RetryPolicy {
+            reseed: true,
+            ..self
+        }
+    }
+
+    /// The stream index attempt `a` runs on under this policy.
+    pub(crate) fn stream_for_attempt(&self, attempt: usize) -> usize {
+        if self.reseed {
+            attempt
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// One trial that failed every attempt it was given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// The trial index within the experiment's schedule.
+    pub trial: usize,
+    /// How many attempts ran (= the policy's `max_attempts` unless the
+    /// run was cut short).
+    pub attempts: usize,
+    /// The panic payload (or synthetic fault description) of the **last**
+    /// attempt.
+    pub payload: String,
+    /// Wall-clock time spent across all attempts of this trial.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trial {} failed after {} attempt{} ({:.1?}): {}",
+            self.trial,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.elapsed,
+            self.payload
+        )
+    }
+}
+
+/// What a fault-isolated run produced: the aggregate over surviving
+/// trials plus an account of what did not survive.
+#[derive(Debug, Clone)]
+pub struct RunReport<S> {
+    /// The experiment's [`name`](crate::Experiment::name).
+    pub name: String,
+    /// The aggregate over all trials that completed (in trial order).
+    pub summary: S,
+    /// Trials that exhausted their retry budget, in trial order. Empty on
+    /// a clean run.
+    pub failures: Vec<TrialFailure>,
+    /// Number of trials whose results entered the aggregate.
+    pub completed: usize,
+    /// Of `completed`, how many were loaded from a checkpoint instead of
+    /// being executed.
+    pub resumed: usize,
+    /// The experiment's total trial count (`completed + failures.len()`).
+    pub total: usize,
+}
+
+impl<S> RunReport<S> {
+    /// `true` when every scheduled trial contributed to the summary.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.completed == self.total
+    }
+}
+
+/// The engine's typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// `POPAN_THREADS` was set to something that is not a thread count.
+    BadThreadSpec {
+        /// The offending value.
+        value: String,
+    },
+    /// `POPAN_FAULTS` did not parse as a fault plan.
+    BadFaultSpec {
+        /// The offending value.
+        value: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// `POPAN_RETRIES` was set to something that is not a retry count.
+    BadRetrySpec {
+        /// The offending value.
+        value: String,
+    },
+    /// Every trial of the experiment failed — there is nothing to
+    /// aggregate.
+    AllTrialsFailed {
+        /// The experiment's name.
+        name: String,
+        /// The per-trial failures, in trial order.
+        failures: Vec<TrialFailure>,
+    },
+    /// The checkpoint file could not be opened, read, or appended to.
+    Checkpoint {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadThreadSpec { value } => write!(
+                f,
+                "POPAN_THREADS={value:?} is not a thread count \
+                 (expected an integer; 0 = all cores, 1 = sequential)"
+            ),
+            EngineError::BadFaultSpec { value, reason } => write!(
+                f,
+                "POPAN_FAULTS={value:?} is not a fault plan: {reason} \
+                 (expected `scope:trial:kind[@attempt]`, comma-separated; \
+                 kind = panic | nan | abort | delay<ms>)"
+            ),
+            EngineError::BadRetrySpec { value } => write!(
+                f,
+                "POPAN_RETRIES={value:?} is not a retry count (expected a non-negative integer)"
+            ),
+            EngineError::AllTrialsFailed { name, failures } => {
+                write!(f, "every trial of {name} failed:")?;
+                for failure in failures {
+                    write!(f, "\n  {failure}")?;
+                }
+                Ok(())
+            }
+            EngineError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_constructors() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::retries(2).max_attempts, 3);
+        assert!(!RetryPolicy::retries(2).reseed);
+        assert!(RetryPolicy::retries(2).reseeded().reseed);
+        assert_eq!(RetryPolicy::default(), RetryPolicy::none());
+    }
+
+    #[test]
+    fn default_policy_replays_attempt_zero_stream() {
+        let same = RetryPolicy::retries(3);
+        assert_eq!(same.stream_for_attempt(0), 0);
+        assert_eq!(same.stream_for_attempt(2), 0);
+        let reseeded = same.reseeded();
+        assert_eq!(reseeded.stream_for_attempt(0), 0);
+        assert_eq!(reseeded.stream_for_attempt(2), 2);
+    }
+
+    #[test]
+    fn trial_failure_displays_the_essentials() {
+        let failure = TrialFailure {
+            trial: 3,
+            attempts: 2,
+            payload: "boom".into(),
+            elapsed: Duration::from_millis(5),
+        };
+        let text = failure.to_string();
+        assert!(text.contains("trial 3"), "{text}");
+        assert!(text.contains("2 attempts"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+
+    #[test]
+    fn run_report_completeness() {
+        let clean: RunReport<f64> = RunReport {
+            name: "x".into(),
+            summary: 1.0,
+            failures: vec![],
+            completed: 4,
+            resumed: 0,
+            total: 4,
+        };
+        assert!(clean.is_complete());
+        let degraded = RunReport {
+            failures: vec![TrialFailure {
+                trial: 0,
+                attempts: 1,
+                payload: "p".into(),
+                elapsed: Duration::ZERO,
+            }],
+            completed: 3,
+            ..clean
+        };
+        assert!(!degraded.is_complete());
+    }
+
+    #[test]
+    fn error_messages_name_the_knob() {
+        let e = EngineError::BadThreadSpec { value: "four".into() };
+        assert!(e.to_string().contains("POPAN_THREADS"));
+        let e = EngineError::BadFaultSpec {
+            value: "x".into(),
+            reason: "missing field".into(),
+        };
+        assert!(e.to_string().contains("POPAN_FAULTS"));
+        assert!(e.to_string().contains("missing field"));
+        let e = EngineError::BadRetrySpec { value: "-1".into() };
+        assert!(e.to_string().contains("POPAN_RETRIES"));
+        let e = EngineError::AllTrialsFailed {
+            name: "table1/m4".into(),
+            failures: vec![TrialFailure {
+                trial: 1,
+                attempts: 1,
+                payload: "injected".into(),
+                elapsed: Duration::ZERO,
+            }],
+        };
+        let text = e.to_string();
+        assert!(text.contains("table1/m4"), "{text}");
+        assert!(text.contains("trial 1"), "{text}");
+        let e = EngineError::Checkpoint {
+            path: "/tmp/x.jsonl".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/x.jsonl"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Integration tests for the engine's fault-tolerance surface: panic
+//! isolation, deterministic retry streams, fault injection, and
+//! checkpoint/resume — all through the public API only.
+
+use popan_engine::{
+    fingerprint_of, Engine, EngineError, Experiment, Fault, FaultPlan, RetryPolicy,
+};
+use popan_rng::rngs::StdRng;
+use popan_rng::Rng;
+use popan_workload::TrialRunner;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A toy experiment whose trials are cheap but RNG-dependent, so
+/// bit-identity checks are meaningful.
+struct Sum {
+    seed: u64,
+    trials: usize,
+}
+
+impl Experiment for Sum {
+    type Config = ();
+    type Theory = ();
+    type Trial = (usize, f64);
+    type Summary = Vec<(usize, f64)>;
+
+    fn name(&self) -> String {
+        "sum".into()
+    }
+    fn config(&self) -> &() {
+        &()
+    }
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[self.seed, self.trials as u64])
+    }
+    fn runner(&self) -> TrialRunner {
+        TrialRunner::new(self.seed, self.trials)
+    }
+    fn theory(&self) {}
+    fn run_trial(&self, t: usize, rng: &mut StdRng) -> (usize, f64) {
+        let draws: f64 = (0..16).map(|_| rng.random::<f64>()).sum();
+        (t, draws)
+    }
+    fn aggregate(&self, _theory: (), trials: &[(usize, f64)]) -> Self::Summary {
+        trials.to_vec()
+    }
+}
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "popan-fault-isolation-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn survivors_are_bit_identical_across_thread_counts() {
+    let exp = Sum {
+        seed: 0xdead,
+        trials: 9,
+    };
+    let plan = FaultPlan::none()
+        .inject("sum", 2, Fault::Panic)
+        .inject("sum", 7, Fault::Nan);
+    let baseline = Engine::sequential()
+        .with_fault_plan(plan.clone())
+        .try_run(&exp)
+        .unwrap();
+    assert_eq!(baseline.completed, 7);
+    assert_eq!(
+        baseline
+            .failures
+            .iter()
+            .map(|f| f.trial)
+            .collect::<Vec<_>>(),
+        vec![2, 7]
+    );
+    for threads in [2, 3, 4, 8] {
+        let report = Engine::with_threads(threads)
+            .with_fault_plan(plan.clone())
+            .try_run(&exp)
+            .unwrap();
+        let bits = |summary: &Vec<(usize, f64)>| {
+            summary
+                .iter()
+                .map(|&(t, x)| (t, x.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            bits(&report.summary),
+            bits(&baseline.summary),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn survivors_match_the_clean_run_exactly() {
+    let exp = Sum {
+        seed: 0xbeef,
+        trials: 6,
+    };
+    let clean = Engine::sequential().try_run(&exp).unwrap().summary;
+    let report = Engine::with_threads(4)
+        .with_fault_plan(FaultPlan::none().inject("sum", 4, Fault::Panic))
+        .try_run(&exp)
+        .unwrap();
+    let expected: Vec<(usize, u64)> = clean
+        .iter()
+        .filter(|&&(t, _)| t != 4)
+        .map(|&(t, x)| (t, x.to_bits()))
+        .collect();
+    let got: Vec<(usize, u64)> = report
+        .summary
+        .iter()
+        .map(|&(t, x)| (t, x.to_bits()))
+        .collect();
+    assert_eq!(got, expected, "a failing sibling must not perturb survivors");
+}
+
+#[test]
+fn delay_fault_changes_timing_but_not_results() {
+    let exp = Sum {
+        seed: 0x0123,
+        trials: 4,
+    };
+    let clean = Engine::sequential().try_run(&exp).unwrap();
+    let delayed = Engine::with_threads(4)
+        .with_fault_plan(
+            FaultPlan::none().inject("sum", 0, Fault::Delay(std::time::Duration::from_millis(30))),
+        )
+        .try_run(&exp)
+        .unwrap();
+    assert!(delayed.is_complete());
+    assert_eq!(
+        format!("{:?}", delayed.summary),
+        format!("{:?}", clean.summary)
+    );
+}
+
+#[test]
+fn all_trials_failing_is_a_typed_error_not_a_panic() {
+    let exp = Sum {
+        seed: 0x7777,
+        trials: 3,
+    };
+    let plan = (0..3).fold(FaultPlan::none(), |p, t| p.inject("*", t, Fault::Panic));
+    match Engine::with_threads(2).with_fault_plan(plan).try_run(&exp) {
+        Err(EngineError::AllTrialsFailed { name, failures }) => {
+            assert_eq!(name, "sum");
+            assert_eq!(failures.len(), 3);
+            for f in &failures {
+                assert_eq!(f.attempts, 1);
+                assert!(f.payload.contains("injected fault"), "{}", f.payload);
+            }
+        }
+        other => panic!("expected AllTrialsFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn retry_on_same_stream_reproduces_the_clean_run() {
+    let exp = Sum {
+        seed: 0x4242,
+        trials: 5,
+    };
+    let clean = Engine::sequential().try_run(&exp).unwrap();
+    for threads in [1, 4] {
+        let report = Engine::with_threads(threads)
+            .with_retry(RetryPolicy::retries(2))
+            .with_fault_plan(
+                FaultPlan::none()
+                    .inject_at("sum", 1, 0, Fault::Panic)
+                    .inject_at("sum", 1, 1, Fault::Nan),
+            )
+            .try_run(&exp)
+            .unwrap();
+        assert!(report.is_complete(), "third attempt succeeds");
+        assert_eq!(
+            format!("{:?}", report.summary),
+            format!("{:?}", clean.summary),
+            "replayed attempt-0 stream must reproduce the clean result (threads = {threads})"
+        );
+    }
+}
+
+#[test]
+fn exhausted_retries_report_the_attempt_count_and_last_payload() {
+    let exp = Sum {
+        seed: 0x1111,
+        trials: 2,
+    };
+    let report = Engine::sequential()
+        .with_retry(RetryPolicy::retries(1))
+        .with_fault_plan(
+            FaultPlan::none()
+                .inject_at("sum", 0, 0, Fault::Nan)
+                .inject_at("sum", 0, 1, Fault::Panic),
+        )
+        .try_run(&exp)
+        .unwrap();
+    assert_eq!(report.failures.len(), 1);
+    let failure = &report.failures[0];
+    assert_eq!(failure.attempts, 2);
+    assert!(
+        failure.payload.contains("panic"),
+        "last attempt's payload wins: {}",
+        failure.payload
+    );
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_uninterrupted_aggregate() {
+    let exp = Sum {
+        seed: 0x5555,
+        trials: 8,
+    };
+    let clean = Engine::sequential().try_run(&exp).unwrap();
+    let dir = temp_dir("resume");
+
+    // Run 1: three trials fail, five checkpoint.
+    let plan = (0..3).fold(FaultPlan::none(), |p, t| p.inject("sum", 2 * t, Fault::Panic));
+    let partial = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .with_fault_plan(plan)
+        .try_run(&exp)
+        .unwrap();
+    assert_eq!(partial.completed, 5);
+
+    // Run 2: resume; only the three failed trials execute.
+    let resumed = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .try_run(&exp)
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.resumed, 5);
+    assert_eq!(
+        format!("{:?}", resumed.summary),
+        format!("{:?}", clean.summary),
+        "resumed aggregate must be bit-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoint_lines_degrade_to_recomputation() {
+    let exp = Sum {
+        seed: 0x9999,
+        trials: 4,
+    };
+    let clean = Engine::sequential().try_run(&exp).unwrap();
+    let dir = temp_dir("corrupt");
+    Engine::sequential()
+        .with_checkpoint(&dir)
+        .try_run(&exp)
+        .unwrap();
+
+    // Vandalize the checkpoint: truncate the single file mid-line.
+    let file = std::fs::read_dir(&dir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let contents = std::fs::read_to_string(&file).unwrap();
+    let cut = contents.len() - contents.len() / 3;
+    std::fs::write(&file, &contents[..cut]).unwrap();
+
+    let resumed = Engine::sequential()
+        .with_checkpoint(&dir)
+        .try_run(&exp)
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert!(
+        resumed.resumed < 4,
+        "the damaged tail must not be trusted (resumed {})",
+        resumed.resumed
+    );
+    assert_eq!(
+        format!("{:?}", resumed.summary),
+        format!("{:?}", clean.summary),
+        "recomputed trials land on the identical bits"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoints_of_different_experiments_do_not_mix() {
+    let dir = temp_dir("mix");
+    let a = Sum {
+        seed: 0xaaaa,
+        trials: 3,
+    };
+    let b = Sum {
+        seed: 0xbbbb,
+        trials: 3,
+    };
+    let engine = Engine::sequential().with_checkpoint(&dir);
+    engine.try_run(&a).unwrap();
+    // Same name, different seed/fingerprint: must not reuse a's trials.
+    let report = engine.try_run(&b).unwrap();
+    assert_eq!(report.resumed, 0);
+    let clean = Engine::sequential().try_run(&b).unwrap();
+    assert_eq!(format!("{:?}", report.summary), format!("{:?}", clean.summary));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_checkpoint_dir_is_a_typed_error() {
+    let exp = Sum {
+        seed: 0xcccc,
+        trials: 2,
+    };
+    // A path under a regular file cannot be created.
+    let bogus = std::env::temp_dir().join(format!("popan-flat-file-{}", std::process::id()));
+    std::fs::write(&bogus, b"flat").unwrap();
+    let result = Engine::sequential()
+        .with_checkpoint(bogus.join("nested"))
+        .try_run(&exp);
+    assert!(
+        matches!(result, Err(EngineError::Checkpoint { .. })),
+        "{result:?}"
+    );
+    let _ = std::fs::remove_file(&bogus);
+}

@@ -8,6 +8,7 @@
 //! cargo run -p popan-experiments --release --bin repro -- --out EXPERIMENTS.md
 //! cargo run -p popan-experiments --release --bin repro -- --json target/report
 //! cargo run -p popan-experiments --release --bin repro -- --threads 4
+//! cargo run -p popan-experiments --release --bin repro -- --resume target/ckpt
 //! ```
 //!
 //! Experiments come from the registry (`popan_experiments::registry`);
@@ -16,6 +17,20 @@
 //! <dir>` writes one JSON artifact per experiment, `--threads <n>` sets
 //! `POPAN_THREADS` for the run (0 = available parallelism). SVG figures
 //! land in `target/figures/`.
+//!
+//! ## Fault tolerance
+//!
+//! * `--resume <dir>` streams completed trials to JSONL checkpoints
+//!   under `<dir>` and, on a re-run after a crash or kill, loads them
+//!   instead of recomputing — the finished report is byte-identical to
+//!   an uninterrupted run (sets `POPAN_CHECKPOINT`).
+//! * `--retries <n>` grants each failed trial `n` deterministic re-runs
+//!   (sets `POPAN_RETRIES`).
+//! * `--faults <plan>` injects deterministic faults for testing the
+//!   machinery, e.g. `table1/m4:2:panic` (sets `POPAN_FAULTS`).
+//! * A driver that still fails is reported — in the report, and as
+//!   `{"id":…,"error":…}` in its JSON artifact — while the remaining
+//!   drivers run to completion; the exit code is then 1.
 
 use popan_experiments::registry::{self, Artifact};
 use popan_experiments::ExperimentConfig;
@@ -55,10 +70,25 @@ fn main() {
         }
         return;
     }
+    // Engine::from_env reads these at construction; setting them here
+    // (before any engine exists) configures the whole run.
     if let Some(threads) = value_of("--threads") {
-        // Engine::from_env reads POPAN_THREADS at construction; setting
-        // it here (before any engine exists) configures the whole run.
         std::env::set_var("POPAN_THREADS", threads);
+    }
+    if let Some(retries) = value_of("--retries") {
+        std::env::set_var("POPAN_RETRIES", retries);
+    }
+    if let Some(faults) = value_of("--faults") {
+        std::env::set_var("POPAN_FAULTS", faults);
+    }
+    if let Some(dir) = value_of("--resume") {
+        std::env::set_var("POPAN_CHECKPOINT", dir);
+    }
+    // Fail a misconfigured run up front with the typed message, rather
+    // than letting every driver warn-and-fall-back individually.
+    if let Err(e) = popan_engine::Engine::try_from_env() {
+        eprintln!("repro: {e}");
+        std::process::exit(2);
     }
 
     let config = if quick {
@@ -66,7 +96,7 @@ fn main() {
     } else {
         ExperimentConfig::paper()
     };
-    let flags_with_value = ["--out", "--json", "--threads"];
+    let flags_with_value = ["--out", "--json", "--threads", "--retries", "--faults", "--resume"];
     let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
@@ -117,18 +147,32 @@ fn main() {
         });
     }
 
+    let mut failed: Vec<&str> = Vec::new();
     for id in selected {
         let experiment = registry::find(id).expect("validated above");
         let t0 = std::time::Instant::now();
-        let artifact = experiment.run(&config);
-        let section = render(&artifact);
+        let (section, json) = match experiment.try_run(&config) {
+            Ok(artifact) => (render(&artifact), artifact.to_json()),
+            Err(error) => {
+                failed.push(id);
+                eprintln!("repro: {id} FAILED: {error}");
+                (
+                    format!("## {id} — FAILED\n\n```text\n{error}\n```\n"),
+                    format!(
+                        "{{\"id\":{},\"error\":{}}}",
+                        popan_experiments::report::json_string(id),
+                        popan_experiments::report::json_string(&error),
+                    ),
+                )
+            }
+        };
         writeln!(out, "{section}").unwrap();
         writeln!(out, "  [{id} done in {:.1?}]\n", t0.elapsed()).unwrap();
         report.push_str(&section);
         report.push('\n');
         if let Some(dir) = &json_dir {
             let path = std::path::Path::new(dir).join(format!("{id}.json"));
-            std::fs::write(&path, artifact.to_json()).unwrap_or_else(|e| {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
                 eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             });
@@ -144,5 +188,9 @@ fn main() {
     }
     if let Some(dir) = json_dir {
         writeln!(out, "JSON artifacts written to {dir}/").unwrap();
+    }
+    if !failed.is_empty() {
+        eprintln!("repro: {} experiment(s) failed: {}", failed.len(), failed.join(", "));
+        std::process::exit(1);
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
@@ -91,6 +91,14 @@ impl Experiment for ChurnExperiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let phase = match self.phase {
+            ChurnPhase::Churned => 0xc4a,
+            ChurnPhase::Fresh => 0xc4b,
+        };
+        fingerprint_of(&[phase, self.capacity as u64, self.target as u64])
     }
 
     fn runner(&self) -> TrialRunner {

@@ -10,7 +10,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::report::TableData;
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_exthash::excell::ExcellGrid;
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
@@ -73,6 +73,14 @@ impl Experiment for ExcellExperiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let workload = match self.workload {
+            "uniform" => 0xecu64,
+            _ => 0xec1,
+        };
+        fingerprint_of(&[workload, self.points as u64])
     }
 
     fn runner(&self) -> TrialRunner {

@@ -14,7 +14,7 @@
 use crate::config::ExperimentConfig;
 use crate::report::TableData;
 use popan_core::phasing::analyze_phasing;
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_exthash::{fagin, ExtendibleHashTable};
 use popan_rng::rngs::StdRng;
 use popan_workload::keys::UniformKeys;
@@ -71,6 +71,10 @@ impl Experiment for ExthashPointExperiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[0xe8a5, self.keys as u64])
     }
 
     fn runner(&self) -> TrialRunner {

@@ -12,7 +12,7 @@ use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
 use popan_core::pmr_model::{PmrModel, RandomChords};
 use popan_core::SteadyStateSolver;
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PmrQuadtree};
@@ -71,6 +71,10 @@ impl Experiment for PmrExperiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[0x9a72, self.threshold as u64, self.segments as u64])
     }
 
     fn runner(&self) -> TrialRunner {

@@ -65,6 +65,25 @@ impl RegisteredExperiment {
     pub fn run(&self, config: &ExperimentConfig) -> Artifact {
         (self.run)(config)
     }
+
+    /// Runs the experiment with panic isolation: a driver that panics
+    /// (its own `expect`, a failed trial under the strict engine path,
+    /// an injected fault) becomes an `Err` carrying the panic message,
+    /// so the remaining registry entries still run. This is the runner's
+    /// graceful-degradation path.
+    pub fn try_run(&self, config: &ExperimentConfig) -> Result<Artifact, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.run)(config))).map_err(
+            |payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic with non-string payload".to_string()
+                }
+            },
+        )
+    }
 }
 
 /// Every registered artifact, in report order (paper artifacts first,
@@ -204,6 +223,24 @@ mod tests {
         assert!(section.starts_with("## table2"));
         let json = artifact.to_json();
         assert!(json.contains("\"id\":\"table2\""));
+    }
+
+    #[test]
+    fn try_run_passes_a_clean_artifact_through() {
+        let quick = ExperimentConfig::quick();
+        let artifact = find("fig1").unwrap().try_run(&quick).unwrap();
+        assert!(artifact.section().contains("fig1"));
+    }
+
+    #[test]
+    fn try_run_catches_a_panicking_driver() {
+        let exploding = RegisteredExperiment {
+            id: "exploding",
+            title: "always panics",
+            run: |_| panic!("driver exploded for the test"),
+        };
+        let err = exploding.try_run(&ExperimentConfig::quick()).unwrap_err();
+        assert!(err.contains("driver exploded"), "{err}");
     }
 
     #[test]

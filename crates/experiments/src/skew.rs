@@ -12,7 +12,7 @@
 use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
 use popan_core::{PrModel, SteadyStateSolver};
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
@@ -72,6 +72,12 @@ impl Experiment for SkewExperiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut parts = vec![0x5e3, self.capacity as u64, self.config.points as u64];
+        parts.extend(self.quadrant_probs.iter().map(|p| p.to_bits()));
+        fingerprint_of(&parts)
     }
 
     fn runner(&self) -> TrialRunner {

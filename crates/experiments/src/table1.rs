@@ -9,7 +9,7 @@
 use crate::config::ExperimentConfig;
 use crate::report::{format_distribution, TableData};
 use popan_core::{PrModel, SteadyStateSolver};
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
@@ -57,6 +57,10 @@ impl Experiment for Table1Experiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[0x7ab1e1, self.capacity as u64, self.config.points as u64])
     }
 
     fn runner(&self) -> TrialRunner {

@@ -11,7 +11,7 @@ use crate::config::ExperimentConfig;
 use crate::report::TableData;
 use popan_core::aging::newborn_average_occupancy;
 use popan_core::PrModel;
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
@@ -66,6 +66,10 @@ impl Experiment for Table3Experiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[0x7ab1e3, u64::from(self.max_depth), self.config.points as u64])
     }
 
     fn runner(&self) -> TrialRunner {

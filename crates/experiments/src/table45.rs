@@ -10,7 +10,7 @@ use crate::config::ExperimentConfig;
 use crate::paper_data::SIZE_LADDER;
 use crate::report::TableData;
 use popan_core::phasing::{analyze_phasing, PhasingReport};
-use popan_engine::Experiment;
+use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_spatial::{OccupancyInstrumented, PrQuadtree};
@@ -78,6 +78,14 @@ impl Experiment for SizePointExperiment {
 
     fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let workload = match self.workload {
+            Workload::Uniform => 0x7ab1e4,
+            Workload::Gaussian => 0x7ab1e5,
+        };
+        fingerprint_of(&[workload, self.points as u64])
     }
 
     fn runner(&self) -> TrialRunner {

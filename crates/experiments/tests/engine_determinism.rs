@@ -7,7 +7,7 @@
 //! formatting round-trips every finite `f64` exactly, so string equality
 //! plus `PartialEq` is a bit-level check without per-field plumbing).
 
-use popan_engine::{Engine, Experiment};
+use popan_engine::{Engine, Experiment, Fault, FaultPlan, RetryPolicy};
 use popan_experiments::churn::{ChurnExperiment, ChurnPhase};
 use popan_experiments::excell_exp::ExcellExperiment;
 use popan_experiments::exthash_exp::ExthashPointExperiment;
@@ -99,6 +99,92 @@ fn excell_is_parallel_deterministic() {
     for workload in ["uniform", "clustered"] {
         assert_parallel_matches_sequential(&ExcellExperiment::new(cfg(5, 600), workload, 1500));
     }
+}
+
+#[test]
+fn injected_panic_leaves_survivors_bit_identical_across_threads() {
+    // Fault isolation must not weaken the determinism contract: with
+    // trial 2 panicking, the aggregate over the surviving trials is
+    // still bit-identical for every thread count.
+    let experiment = Table1Experiment::new(cfg(6, 500), 4);
+    let plan = FaultPlan::none().inject("table1/m4", 2, Fault::Panic);
+    let baseline = Engine::with_threads(1)
+        .with_fault_plan(plan.clone())
+        .try_run(&experiment)
+        .expect("survivors remain");
+    assert_eq!(baseline.failures.len(), 1);
+    assert_eq!(baseline.failures[0].trial, 2);
+    assert_eq!(baseline.completed, 5);
+    assert!(baseline.failures[0].payload.contains("injected fault"));
+    for threads in [2, 4] {
+        let report = Engine::with_threads(threads)
+            .with_fault_plan(plan.clone())
+            .try_run(&experiment)
+            .expect("survivors remain");
+        assert_eq!(
+            report.failures.len(),
+            1,
+            "threads = {threads}: same trial fails"
+        );
+        assert_eq!(
+            format!("{:?}", report.summary),
+            format!("{:?}", baseline.summary),
+            "threads = {threads}: surviving summary must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn retried_trial_reproduces_the_no_fault_summary_exactly() {
+    // The default retry policy replays the attempt-0 RNG stream, so a
+    // transient fault (panic on attempt 0 only) retried once produces a
+    // summary bit-identical to the run with no fault at all.
+    let experiment = Table1Experiment::new(cfg(5, 400), 4);
+    let clean = Engine::with_threads(1).run(&experiment);
+    for threads in [1, 4] {
+        let report = Engine::with_threads(threads)
+            .with_retry(RetryPolicy::retries(1))
+            .with_fault_plan(FaultPlan::none().inject_at("table1/m4", 2, 0, Fault::Panic))
+            .try_run(&experiment)
+            .expect("retry succeeds");
+        assert!(report.is_complete(), "threads = {threads}");
+        assert_eq!(
+            format!("{:?}", report.summary),
+            format!("{clean:?}"),
+            "threads = {threads}: retried summary must equal the no-fault summary"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_to_the_uninterrupted_run() {
+    let experiment = Table1Experiment::new(cfg(6, 400), 2);
+    let clean = Engine::with_threads(1).run(&experiment);
+    let dir = std::env::temp_dir().join(format!(
+        "popan-determinism-ckpt-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Interrupted run: trial 3 fails, the other five checkpoint.
+    let partial = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .with_fault_plan(FaultPlan::none().inject("table1/m2", 3, Fault::Panic))
+        .try_run(&experiment)
+        .expect("survivors remain");
+    assert_eq!(partial.completed, 5);
+    // Resume: five loaded, one executed, aggregate identical to clean.
+    let resumed = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .try_run(&experiment)
+        .expect("resume completes");
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.resumed, 5);
+    assert_eq!(
+        format!("{:?}", resumed.summary),
+        format!("{clean:?}"),
+        "resumed aggregate must be bit-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -32,6 +32,19 @@ pub enum NumericError {
         /// Convergence tolerance that was requested.
         tolerance: f64,
     },
+    /// An iterate became non-finite (NaN or ±inf) mid-solve.
+    ///
+    /// Distinct from [`NumericError::DidNotConverge`]: the iteration did
+    /// not merely stall, it left the domain of real vectors entirely, so
+    /// running longer cannot help and solvers bail out immediately.
+    NonFinite {
+        /// Iteration at which the non-finite value appeared (0 when the
+        /// very first evaluation was already non-finite).
+        iterations: usize,
+        /// Last step/residual norm observed before the breakdown (may
+        /// itself be infinite on the first iteration).
+        residual: f64,
+    },
     /// An argument was outside the routine's domain.
     InvalidArgument {
         /// Description of the violated requirement.
@@ -70,6 +83,14 @@ impl fmt::Display for NumericError {
                 f,
                 "iteration did not converge after {iterations} steps \
                  (residual {residual:.3e} > tolerance {tolerance:.3e})"
+            ),
+            NumericError::NonFinite {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterate became non-finite (NaN/inf) at iteration {iterations} \
+                 (last residual {residual:.3e})"
             ),
             NumericError::InvalidArgument { message } => {
                 write!(f, "invalid argument: {message}")
@@ -114,6 +135,18 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("100"));
         assert!(s.contains("1.000e-3"));
+    }
+
+    #[test]
+    fn display_non_finite() {
+        let e = NumericError::NonFinite {
+            iterations: 7,
+            residual: 2.5e3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("non-finite"));
+        assert!(s.contains("iteration 7"));
+        assert!(s.contains("2.500e3"));
     }
 
     #[test]

@@ -83,9 +83,13 @@ where
             });
         }
         if gx.iter().any(|v| !v.is_finite()) {
-            return Err(NumericError::invalid(format!(
-                "fixed-point map produced non-finite values at iteration {k}"
-            )));
+            // Bail out immediately: a NaN/inf iterate can only beget more
+            // of the same, so spinning to max_iterations wastes the whole
+            // budget to report a worse diagnosis.
+            return Err(NumericError::NonFinite {
+                iterations: k,
+                residual: step,
+            });
         }
         let next = if options.damping == 1.0 {
             gx
@@ -199,7 +203,33 @@ mod tests {
     fn rejects_non_finite_map_output() {
         let g = |_: &DVector| Ok(DVector::from(&[f64::NAN][..]));
         let res = solve_fixed_point(g, &DVector::zeros(1), &opts());
-        assert!(matches!(res, Err(NumericError::InvalidArgument { .. })));
+        assert!(matches!(
+            res,
+            Err(NumericError::NonFinite { iterations: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_detection_reports_the_breakdown_iteration() {
+        // Finite for two iterations, then inf: the error must carry the
+        // iteration at which the breakdown happened, not max_iterations.
+        let g = |x: &DVector| {
+            Ok(if x[0] < 2.5 {
+                DVector::from(&[x[0] + 1.0][..])
+            } else {
+                DVector::from(&[f64::INFINITY][..])
+            })
+        };
+        match solve_fixed_point(g, &DVector::zeros(1), &opts()) {
+            Err(NumericError::NonFinite {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(iterations, 4);
+                assert_eq!(residual, 1.0, "last finite step size");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
     }
 
     #[test]

@@ -79,7 +79,17 @@ where
                 residual: res,
             });
         }
-        let jac = forward_difference_jacobian(&f, &x, &fx, options.fd_step)?;
+        let jac = forward_difference_jacobian(&f, &x, &fx, options.fd_step).map_err(|e| {
+            // Stamp the breakdown with the step at which it happened —
+            // the probe evaluations inside the Jacobian don't know it.
+            match e {
+                NumericError::NonFinite { .. } => NumericError::NonFinite {
+                    iterations: k,
+                    residual: res,
+                },
+                other => other,
+            }
+        })?;
         let lu = LuDecomposition::new(&jac)?;
         let delta = lu.solve(&fx)?;
 
@@ -144,9 +154,12 @@ where
         });
     }
     if fx.iter().any(|v| !v.is_finite()) {
-        return Err(NumericError::invalid(
-            "Newton residual contains non-finite values",
-        ));
+        // Iteration count is stamped by the caller where it is known;
+        // the initial evaluation legitimately reports 0.
+        return Err(NumericError::NonFinite {
+            iterations: 0,
+            residual: f64::NAN,
+        });
     }
     Ok(fx)
 }
@@ -257,6 +270,17 @@ mod tests {
         let f = |_: &DVector| Ok(DVector::zeros(3));
         let res = solve_newton(f, &DVector::zeros(2), &opts());
         assert!(matches!(res, Err(NumericError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn non_finite_residual_fails_fast_with_typed_error() {
+        // The residual is NaN from the start: no spinning, typed error.
+        let f = |_: &DVector| Ok(DVector::from_vec(vec![f64::NAN]));
+        let res = solve_newton(f, &DVector::filled(1, 1.0), &opts());
+        assert!(matches!(
+            res,
+            Err(NumericError::NonFinite { iterations: 0, .. })
+        ));
     }
 
     #[test]

@@ -40,10 +40,31 @@ impl TrialRunner {
         self.trials
     }
 
+    /// The master seed all per-trial streams derive from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
     /// The RNG for trial `t` (stable across runs and across reorderings —
     /// trial 3 gets the same stream whether or not trials 0–2 ran).
     pub fn rng_for_trial(&self, t: usize) -> StdRng {
         StdRng::seed_from_u64(mix64(self.master_seed ^ mix64(t as u64 + 1)))
+    }
+
+    /// The RNG for re-run `attempt` of trial `t` — a pure function of
+    /// `(master_seed, t, attempt)`, so retried trials stay bit-identical
+    /// at any thread count. Attempt 0 is exactly
+    /// [`rng_for_trial`](TrialRunner::rng_for_trial)'s stream (first
+    /// attempts are unchanged by the existence of a retry policy); later
+    /// attempts get independent streams for policies that re-draw after a
+    /// data-dependent failure.
+    pub fn rng_for_attempt(&self, t: usize, attempt: usize) -> StdRng {
+        if attempt == 0 {
+            return self.rng_for_trial(t);
+        }
+        StdRng::seed_from_u64(mix64(
+            self.master_seed ^ mix64(t as u64 + 1) ^ mix64(0x9e77_0000 + attempt as u64),
+        ))
     }
 
     /// Runs `f` once per trial, collecting results in trial order.
@@ -79,37 +100,62 @@ impl TrialRunner {
         threads: usize,
         f: impl Fn(usize, &mut StdRng) -> T + Sync,
     ) -> Vec<T> {
+        let indices: Vec<usize> = (0..self.trials).collect();
+        self.run_par_subset(threads, &indices, |t| {
+            let mut rng = self.rng_for_trial(t);
+            f(t, &mut rng)
+        })
+        .into_iter()
+        .map(|(_, value)| value)
+        .collect()
+    }
+
+    /// Runs `f` over an explicit subset of trial indices across `threads`
+    /// workers, returning `(index, result)` pairs in the order of
+    /// `indices`. This is the scheduling primitive under
+    /// [`run_par`](TrialRunner::run_par) and the engine's fault-isolated
+    /// and checkpoint-resumed runs: `f` receives the trial index only —
+    /// deriving the RNG stream (and catching panics) is the caller's
+    /// business, which is what lets callers skip already-checkpointed
+    /// trials or re-run an attempt on a different stream.
+    ///
+    /// Workers take entries round-robin (worker `w` runs positions `w`,
+    /// `w + k`, `w + 2k`, …) so long and short trials spread evenly.
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_par_subset<T: Send>(
+        &self,
+        threads: usize,
+        indices: &[usize],
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<(usize, T)> {
         assert!(threads > 0, "thread count must be positive");
-        let workers = threads.min(self.trials);
-        if workers == 1 {
-            return self.run(f);
+        let workers = threads.min(indices.len());
+        if workers <= 1 {
+            return indices.iter().map(|&t| (t, f(t))).collect();
         }
-        let mut slots: Vec<Option<T>> = (0..self.trials).map(|_| None).collect();
-        let runner = *self;
+        let mut slots: Vec<Option<(usize, T)>> = (0..indices.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let f = &f;
                     scope.spawn(move || {
-                        (w..runner.trials)
+                        (w..indices.len())
                             .step_by(workers)
-                            .map(|t| {
-                                let mut rng = runner.rng_for_trial(t);
-                                (t, f(t, &mut rng))
-                            })
+                            .map(|pos| (pos, f(indices[pos])))
                             .collect::<Vec<(usize, T)>>()
                     })
                 })
                 .collect();
             for handle in handles {
-                for (t, value) in handle.join().expect("trial worker panicked") {
-                    slots[t] = Some(value);
+                for (pos, value) in handle.join().expect("trial worker panicked") {
+                    slots[pos] = Some((indices[pos], value));
                 }
             }
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every trial index was assigned to exactly one worker"))
+            .map(|s| s.expect("every position was assigned to exactly one worker"))
             .collect()
     }
 }
@@ -205,5 +251,48 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn run_par_rejects_zero_threads() {
         TrialRunner::new(1, 3).run_par(0, |t, _| t);
+    }
+
+    #[test]
+    fn attempt_zero_is_the_trial_stream() {
+        let runner = TrialRunner::new(0xabcd, 5);
+        for t in 0..5 {
+            let a: u64 = runner.rng_for_attempt(t, 0).random();
+            let b: u64 = runner.rng_for_trial(t).random();
+            assert_eq!(a, b, "trial {t}");
+        }
+    }
+
+    #[test]
+    fn later_attempts_are_independent_but_reproducible() {
+        let runner = TrialRunner::new(0xabcd, 3);
+        let a0: u64 = runner.rng_for_attempt(1, 0).random();
+        let a1: u64 = runner.rng_for_attempt(1, 1).random();
+        let a2: u64 = runner.rng_for_attempt(1, 2).random();
+        assert_ne!(a0, a1);
+        assert_ne!(a1, a2);
+        // Pure function of (master_seed, t, attempt): re-deriving gives
+        // the identical stream.
+        let again: u64 = runner.rng_for_attempt(1, 1).random();
+        assert_eq!(a1, again);
+        // And distinct trials get distinct attempt-1 streams.
+        let other: u64 = runner.rng_for_attempt(2, 1).random();
+        assert_ne!(a1, other);
+    }
+
+    #[test]
+    fn run_par_subset_runs_exactly_the_requested_indices() {
+        let runner = TrialRunner::new(7, 10);
+        for threads in [1, 3, 4, 16] {
+            let out = runner.run_par_subset(threads, &[1, 4, 7], |t| t * 10);
+            assert_eq!(out, vec![(1, 10), (4, 40), (7, 70)], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_par_subset_of_nothing_is_empty() {
+        let runner = TrialRunner::new(7, 4);
+        let out = runner.run_par_subset(4, &[], |t| t);
+        assert!(out.is_empty());
     }
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the repro runner's checkpointing.
+#
+# Protocol:
+#   1. reference: run `repro table1 --quick --json` uninterrupted;
+#   2. aborted:   the same run with an injected hard abort
+#      (POPAN_FAULTS=...:abort simulates kill -9 mid-run) and a
+#      checkpoint directory — it must die with the abort exit code (86);
+#   3. resumed:   re-run with --resume pointing at the same directory —
+#      it must finish, loading the checkpointed trials;
+#   4. the resumed JSON artifact must be byte-identical to the reference.
+#
+# Run after `cargo build --release` (verify.sh does); uses the release
+# binary directly so an injected abort kills repro, not cargo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPRO=target/release/repro
+[ -x "$REPRO" ] || { echo "resume_smoke: $REPRO missing; build first" >&2; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/popan-resume-smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# 1. Reference run, no faults, no checkpoint.
+"$REPRO" table1 --quick --json "$WORK/ref" > /dev/null
+
+# 2. Aborted run: trial 2 of table1/m2 hard-exits the process. Trials
+#    completed before the abort are already flushed to the checkpoint.
+set +e
+POPAN_FAULTS='table1/m2:2:abort' \
+  "$REPRO" table1 --quick --json "$WORK/aborted" --resume "$WORK/ckpt" > /dev/null 2>"$WORK/abort.log"
+status=$?
+set -e
+if [ "$status" -ne 86 ]; then
+  echo "resume_smoke: expected abort exit code 86, got $status" >&2
+  cat "$WORK/abort.log" >&2
+  exit 1
+fi
+if ! ls "$WORK"/ckpt/*.jsonl > /dev/null 2>&1; then
+  echo "resume_smoke: aborted run left no checkpoint files" >&2
+  exit 1
+fi
+
+# 3. Resume: no faults this time; checkpointed trials are loaded, the
+#    rest run fresh.
+"$REPRO" table1 --quick --json "$WORK/res" --resume "$WORK/ckpt" > /dev/null
+
+# 4. Byte-identical artifact.
+if ! cmp -s "$WORK/ref/table1.json" "$WORK/res/table1.json"; then
+  echo "resume_smoke: resumed artifact differs from the uninterrupted run" >&2
+  diff "$WORK/ref/table1.json" "$WORK/res/table1.json" >&2 || true
+  exit 1
+fi
+
+echo "resume_smoke: abort(86) -> resume -> byte-identical artifact"

@@ -15,8 +15,34 @@ cargo build --release --offline --workspace
 # double run keeps every other test honest under parallel execution).
 POPAN_THREADS=1 cargo test -q --offline --workspace
 POPAN_THREADS=4 cargo test -q --offline --workspace
+# Fault-injection suite: panic isolation, retry determinism, and
+# checkpoint behavior, exercised explicitly (they are also part of the
+# workspace runs above; this names them so a regression is unmissable).
+cargo test -q --offline -p popan-engine --test fault_isolation
+cargo test -q --offline -p popan-experiments --test engine_determinism
+
+# Graceful degradation: an injected panic fails one registry entry; the
+# runner must exit 1 yet still produce the other artifacts.
+DEGRADE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/popan-degrade.XXXXXX")
+trap 'rm -rf "$DEGRADE_DIR"' EXIT
+set +e
+POPAN_FAULTS='table1/m1:0:panic' \
+  target/release/repro table1 fig1 --quick --json "$DEGRADE_DIR" > /dev/null 2>&1
+degrade_status=$?
+set -e
+[ "$degrade_status" -eq 1 ] || {
+  echo "verify: degraded repro run should exit 1, got $degrade_status" >&2; exit 1; }
+grep -q '"error"' "$DEGRADE_DIR/table1.json" || {
+  echo "verify: failed driver must write an error artifact" >&2; exit 1; }
+grep -q '"ascii"' "$DEGRADE_DIR/fig1.json" || {
+  echo "verify: surviving drivers must still produce artifacts" >&2; exit 1; }
+
+# Kill-and-resume: abort mid-run via an injected fault, resume from the
+# checkpoint, require a byte-identical JSON artifact.
+bash scripts/resume_smoke.sh
+
 # --smoke: one iteration per bench, just proving every target runs and
 # writes its target/popan-bench/BENCH_<group>.json artifact.
 cargo bench -q --offline --workspace -- --smoke
 
-echo "verify: build + test (POPAN_THREADS=1 and =4) + bench smoke all green (offline)"
+echo "verify: build + test (POPAN_THREADS=1 and =4) + faults + resume + bench smoke all green (offline)"
