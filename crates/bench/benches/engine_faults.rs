@@ -80,10 +80,8 @@ fn bench_engine_faults(c: &mut Criterion) {
         .expect("in-region points");
         tree.occupancy_profile().average_occupancy()
     };
-    let checkpoint_dir = std::env::temp_dir().join(format!(
-        "popan-bench-engine-faults-{}",
-        std::process::id()
-    ));
+    let checkpoint_dir =
+        std::env::temp_dir().join(format!("popan-bench-engine-faults-{}", std::process::id()));
 
     let mut group = c.benchmark_group("engine_faults");
     for threads in [1usize, 4] {

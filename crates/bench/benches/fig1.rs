@@ -1,14 +1,14 @@
 //! Bench for Figure 1: prints the block diagram once, then measures the
 //! ASCII rendering of quadtree decompositions at two tree sizes.
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_experiments::figures;
 use popan_geom::Rect;
-use popan_spatial::{visualize, PrQuadtree};
-use popan_workload::points::{PointSource, UniformRect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
+use popan_spatial::{visualize, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {
@@ -34,9 +34,8 @@ fn bench_fig1(c: &mut Criterion) {
     });
     group.bench_function("render_200_points", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        let tree =
-            PrQuadtree::build(Rect::unit(), 1, UniformRect::unit().sample_n(&mut rng, 200))
-                .unwrap();
+        let tree = PrQuadtree::build(Rect::unit(), 1, UniformRect::unit().sample_n(&mut rng, 200))
+            .unwrap();
         b.iter(|| visualize::render_blocks(black_box(&tree), 64))
     });
     group.finish();

@@ -1,8 +1,8 @@
 //! Bench for Figure 2: prints the uniform-workload semi-log chart once,
 //! then measures chart rendering (ASCII and SVG) from a fixed series.
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_experiments::plot::{ascii_semilog, svg_semilog, Series};
 use popan_experiments::{figures, ExperimentConfig};
 use std::hint::black_box;

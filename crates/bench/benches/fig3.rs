@@ -2,8 +2,8 @@
 //! measures the full figure pipeline at a reduced trial count (sweep +
 //! analysis + both renderings).
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_experiments::{figures, ExperimentConfig};
 use std::hint::black_box;
 

@@ -8,12 +8,12 @@ use popan_core::pmr_model::{PmrModel, RandomChords};
 use popan_core::{PrModel, SolveMethod, SteadyStateSolver};
 use popan_exthash::ExtendibleHashTable;
 use popan_geom::{Aabb3, Rect};
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
 use popan_spatial::{Bintree, PmrQuadtree, PrOctree, PrQuadtree};
 use popan_workload::keys::UniformKeys;
 use popan_workload::lines::{SegmentSource, UniformEndpoints};
 use popan_workload::points::{PointSource, UniformCube, UniformRect};
-use popan_rng::rngs::StdRng;
-use popan_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_solvers(c: &mut Criterion) {

@@ -2,15 +2,15 @@
 //! ingredients — the steady-state solve (theory column) and a full
 //! 1000-point tree build plus occupancy profile (one experimental trial).
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_core::{PrModel, SteadyStateSolver};
 use popan_experiments::{table1, ExperimentConfig};
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
-use popan_workload::points::{PointSource, UniformRect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 //! reduction from a solved distribution to the scalar occupancy metrics,
 //! and the full per-capacity pipeline at a reduced trial count.
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_core::{PrModel, SteadyStateSolver};
 use popan_experiments::{table2, ExperimentConfig};
 use std::hint::black_box;

@@ -2,14 +2,14 @@
 //! depth-table collection over a depth-truncated tree (the per-trial unit
 //! of the experiment).
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_experiments::{table3, ExperimentConfig};
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
-use popan_workload::points::{PointSource, UniformRect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 
 fn bench_table3(c: &mut Criterion) {

@@ -2,16 +2,16 @@
 //! measures a single ladder point (4096-point tree, the heaviest) and
 //! the phasing analysis of the resulting series.
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_core::phasing::analyze_phasing;
 use popan_experiments::table45::{self, Workload};
 use popan_experiments::ExperimentConfig;
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
-use popan_workload::points::{PointSource, UniformRect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 
 fn bench_table4(c: &mut Criterion) {

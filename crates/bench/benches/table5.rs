@@ -2,15 +2,15 @@
 //! measures the Gaussian sampling (rejection cost) and the tree build on
 //! Gaussian data.
 
-use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_bench::print_once;
+use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_experiments::table45::{self, Workload};
 use popan_experiments::ExperimentConfig;
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
-use popan_workload::points::{GaussianCentered, PointSource, UniformRect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
+use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_workload::points::{GaussianCentered, PointSource, UniformRect};
 use std::hint::black_box;
 
 fn bench_table5(c: &mut Criterion) {

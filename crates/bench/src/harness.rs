@@ -37,8 +37,7 @@ fn default_out_dir() -> PathBuf {
         return PathBuf::from(dir);
     }
     // crates/bench/../../target/popan-bench == <workspace>/target/popan-bench.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/popan-bench")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/popan-bench")
 }
 
 impl Criterion {
@@ -48,7 +47,7 @@ impl Criterion {
     pub fn default() -> Self {
         Criterion {
             sample_size: 20,
-            smoke: std::env::var("POPAN_BENCH_SMOKE").map_or(false, |v| v == "1"),
+            smoke: std::env::var("POPAN_BENCH_SMOKE").is_ok_and(|v| v == "1"),
             out_dir: default_out_dir(),
         }
     }
@@ -354,8 +353,7 @@ mod tests {
         let mut group = criterion.benchmark_group("harness_selftest");
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
         group.finish();
-        let json =
-            std::fs::read_to_string(dir.join("BENCH_harness_selftest.json")).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_harness_selftest.json")).unwrap();
         assert!(json.contains("\"group\": \"harness_selftest\""));
         assert!(json.contains("\"id\": \"noop\""));
         assert!(json.contains("\"median_ns\""));

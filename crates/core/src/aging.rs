@@ -54,7 +54,7 @@ pub fn aging_gradient(rows: &[(u32, f64)]) -> Option<AgingGradient> {
     let ys: Vec<f64> = sorted.iter().map(|&(_, o)| o).collect();
     let fit = popan_numeric::series::linear_fit(&xs, &ys).ok()?;
     Some(AgingGradient {
-        deepest_occupancy: *ys.last().expect("non-empty"),
+        deepest_occupancy: ys[ys.len() - 1],
         rows: sorted,
         slope_per_level: fit.slope,
     })
@@ -83,7 +83,10 @@ mod tests {
                 let expect =
                     (m as f64 + 1.0) * (bf.powi(m as i32) - 1.0) / (bf.powi(m as i32 + 1) - 1.0);
                 let got = newborn_average_occupancy(&model);
-                assert!((got - expect).abs() < 1e-10, "b={b} m={m}: {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-10,
+                    "b={b} m={m}: {got} vs {expect}"
+                );
             }
         }
     }
@@ -97,8 +100,7 @@ mod tests {
             let model = PrModel::quadtree(m).unwrap();
             let steady = SteadyStateSolver::new().solve(&model).unwrap();
             assert!(
-                newborn_average_occupancy(&model)
-                    < steady.distribution().average_occupancy(),
+                newborn_average_occupancy(&model) < steady.distribution().average_occupancy(),
                 "m={m}"
             );
         }

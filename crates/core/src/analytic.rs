@@ -26,9 +26,7 @@ use popan_numeric::{solve_newton, DVector, NewtonOptions};
 /// `e = (1 − b^{−1/2}, b^{−1/2})`.
 pub fn m1_distribution(branching: usize) -> Result<ExpectedDistribution> {
     if branching < 2 {
-        return Err(ModelError::invalid(
-            "branching factor must be at least 2",
-        ));
+        return Err(ModelError::invalid("branching factor must be at least 2"));
     }
     let inv_sqrt_b = 1.0 / (branching as f64).sqrt();
     ExpectedDistribution::from_slice(&[1.0 - inv_sqrt_b, inv_sqrt_b])
@@ -36,6 +34,7 @@ pub fn m1_distribution(branching: usize) -> Result<ExpectedDistribution> {
 
 /// The paper's §III analytic result: `m = 1`, `b = 4` gives `(½, ½)`.
 pub fn simple_pr_distribution() -> ExpectedDistribution {
+    // popan-lint: allow(R1, "constant argument b = 4 satisfies the b >= 2 precondition")
     m1_distribution(4).expect("b = 4 is valid")
 }
 
@@ -97,9 +96,7 @@ pub fn verify_unique_positive_solution(model: &PrModel, starts: usize) -> Result
             .map_err(ModelError::Numeric)?;
         if diff > 1e-6 {
             return Err(ModelError::NoPositiveSolution {
-                detail: format!(
-                    "found a second positive root {normalized} at distance {diff:.3e}"
-                ),
+                detail: format!("found a second positive root {normalized} at distance {diff:.3e}"),
             });
         }
         positive_roots_found += 1;
@@ -139,11 +136,7 @@ mod tests {
             let numeric = SteadyStateSolver::new().solve(&model).unwrap();
             let analytic = m1_distribution(b).unwrap();
             assert!(
-                numeric
-                    .distribution()
-                    .max_abs_diff(&analytic)
-                    .unwrap()
-                    < 1e-10,
+                numeric.distribution().max_abs_diff(&analytic).unwrap() < 1e-10,
                 "b={b}"
             );
         }
@@ -167,7 +160,10 @@ mod tests {
         for m in [1usize, 2, 4] {
             let model = PrModel::quadtree(m).unwrap();
             let found = verify_unique_positive_solution(&model, 25).unwrap();
-            assert!(found >= 5, "m={m}: only {found} starts converged positively");
+            assert!(
+                found >= 5,
+                "m={m}: only {found} starts converged positively"
+            );
         }
     }
 

@@ -103,11 +103,7 @@ mod tests {
         for m in 2..=8 {
             let model = PrModel::quadtree(m).unwrap();
             let est = fixed_point_rate(&model, 1e-14).unwrap();
-            assert!(
-                est.rate > 0.0 && est.rate < 1.0,
-                "m={m}: rate {}",
-                est.rate
-            );
+            assert!(est.rate > 0.0 && est.rate < 1.0, "m={m}: rate {}", est.rate);
         }
     }
 

@@ -22,7 +22,9 @@ impl ExpectedDistribution {
             return Err(ModelError::invalid("distribution must be non-empty"));
         }
         if proportions.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::invalid("distribution has non-finite components"));
+            return Err(ModelError::invalid(
+                "distribution has non-finite components",
+            ));
         }
         if !proportions.is_nonnegative(1e-12) {
             return Err(ModelError::invalid(format!(
@@ -35,9 +37,7 @@ impl ExpectedDistribution {
                 proportions.sum()
             )));
         }
-        let normalized = proportions
-            .normalized_l1()
-            .map_err(ModelError::Numeric)?;
+        let normalized = proportions.normalized_l1().map_err(ModelError::Numeric)?;
         Ok(ExpectedDistribution {
             proportions: normalized,
         })

@@ -138,11 +138,7 @@ impl CountDynamics {
 
     /// Current occupancy mix as a distribution.
     pub fn distribution(&self) -> Result<ExpectedDistribution> {
-        ExpectedDistribution::new(
-            self.counts
-                .normalized_l1()
-                .map_err(ModelError::Numeric)?,
-        )
+        ExpectedDistribution::new(self.counts.normalized_l1().map_err(ModelError::Numeric)?)
     }
 
     /// Average occupancy of the current mix.
@@ -211,6 +207,7 @@ impl MeanFieldTree {
             }
         }
         for (level, i, p) in hits {
+            // popan-lint: allow(R1, "key was snapshotted from this same map above; no removal between")
             let row = self.levels.get_mut(&level).expect("level exists");
             row[i] -= p;
             if i < self.capacity {
@@ -346,9 +343,7 @@ mod tests {
         let model = PrModel::quadtree(2).unwrap();
         assert!(CountDynamics::with_start(&model, &DVector::zeros(3)).is_err());
         assert!(CountDynamics::with_start(&model, &DVector::zeros(2)).is_err());
-        assert!(
-            CountDynamics::with_start(&model, &DVector::from(&[-1.0, 1.0, 1.0][..])).is_err()
-        );
+        assert!(CountDynamics::with_start(&model, &DVector::from(&[-1.0, 1.0, 1.0][..])).is_err());
     }
 
     #[test]
@@ -366,7 +361,11 @@ mod tests {
     fn mean_field_tree_conserves_area_and_items() {
         let mut t = MeanFieldTree::new(4, 2).unwrap();
         t.run(500);
-        assert!((t.total_area() - 1.0).abs() < 1e-9, "area {}", t.total_area());
+        assert!(
+            (t.total_area() - 1.0).abs() < 1e-9,
+            "area {}",
+            t.total_area()
+        );
         let implied = t.average_occupancy() * t.leaf_count();
         assert!((implied - 500.0).abs() < 1e-6, "items {implied}");
         assert_eq!(t.items(), 500.0);
@@ -441,8 +440,7 @@ mod tests {
             n = target;
             series.push(t.average_occupancy());
         }
-        let metrics =
-            popan_numeric::series::oscillation_metrics(&series, Some(4)).unwrap();
+        let metrics = popan_numeric::series::oscillation_metrics(&series, Some(4)).unwrap();
         assert!(
             metrics.amplitude > 0.1,
             "phasing amplitude {} too small",

@@ -61,7 +61,9 @@ mod tests {
         let me: ModelError = ne.clone().into();
         assert!(me.to_string().contains("singular"));
         assert_eq!(me, ModelError::Numeric(ne));
-        assert!(ModelError::invalid("capacity 0").to_string().contains("capacity 0"));
+        assert!(ModelError::invalid("capacity 0")
+            .to_string()
+            .contains("capacity 0"));
         let nps = ModelError::NoPositiveSolution {
             detail: "negative component".into(),
         };

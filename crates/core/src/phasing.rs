@@ -78,8 +78,7 @@ pub fn analyze_phasing(
     ladder_step: f64,
 ) -> Result<PhasingReport> {
     let period = phasing_period_in_samples(branching, ladder_step)?.round() as usize;
-    let metrics =
-        oscillation_metrics(series, Some(period.max(1))).map_err(ModelError::Numeric)?;
+    let metrics = oscillation_metrics(series, Some(period.max(1))).map_err(ModelError::Numeric)?;
     // Damping: compare peak-to-trough swing of the two halves of the
     // detrended series.
     let resid = popan_numeric::series::detrend(series).map_err(ModelError::Numeric)?;
@@ -176,7 +175,10 @@ mod tests {
         let report = analyze_phasing(&series, 4, 2f64.sqrt()).unwrap();
         assert!(report.is_damped(0.6), "damping {}", report.damping);
         // And its late-half swing is small in absolute terms too.
-        let (first, second) = (report.metrics.amplitude, report.metrics.amplitude - report.damping);
+        let (first, second) = (
+            report.metrics.amplitude,
+            report.metrics.amplitude - report.damping,
+        );
         assert!(second < 0.5 * first, "first {first}, second {second}");
     }
 }

@@ -326,9 +326,16 @@ mod tests {
         // across 2+. Splitting short segments therefore leaves more empty
         // children.
         let chords = quick_model(2);
-        let shorts =
-            PmrModel::estimate(2, 6, &ShortSegments { relative_length: 0.15 }, 2_000, 42)
-                .unwrap();
+        let shorts = PmrModel::estimate(
+            2,
+            6,
+            &ShortSegments {
+                relative_length: 0.15,
+            },
+            2_000,
+            42,
+        )
+        .unwrap();
         let chord_row = chords.transform_matrix().row(2);
         let short_row = shorts.transform_matrix().row(2);
         assert!(

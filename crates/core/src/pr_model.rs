@@ -71,7 +71,10 @@ impl PrModel {
         if bucket_probs.len() < 2 {
             return Err(ModelError::invalid("need at least 2 buckets"));
         }
-        if bucket_probs.iter().any(|&q| q.is_nan() || q <= 0.0 || !q.is_finite()) {
+        if bucket_probs
+            .iter()
+            .any(|&q| q.is_nan() || q <= 0.0 || !q.is_finite())
+        {
             return Err(ModelError::invalid(
                 "bucket probabilities must be positive and finite",
             ));
@@ -334,8 +337,7 @@ mod tests {
         // A strong skew pushes most items into one bucket, raising the
         // probability of high-occupancy children relative to uniform.
         let uniform = PrModel::quadtree(4).unwrap();
-        let skewed =
-            PrModel::with_bucket_probs(vec![0.7, 0.1, 0.1, 0.1], 4).unwrap();
+        let skewed = PrModel::with_bucket_probs(vec![0.7, 0.1, 0.1, 0.1], 4).unwrap();
         assert!(!skewed.is_uniform());
         let u_row = uniform.transform_matrix().row(4);
         let s_row = skewed.transform_matrix().row(4);

@@ -14,9 +14,7 @@
 use crate::distribution::ExpectedDistribution;
 use crate::transform::PopulationModel;
 use crate::{ModelError, Result};
-use popan_numeric::{
-    solve_fixed_point, solve_newton, DVector, FixedPointOptions, NewtonOptions,
-};
+use popan_numeric::{solve_fixed_point, solve_newton, DVector, FixedPointOptions, NewtonOptions};
 
 /// Which numerical method to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,7 +138,11 @@ impl SteadyStateSolver {
                     },
                 )
                 .map_err(|e| solver_error(e, model))?;
-                (outcome.solution, outcome.iterations, SolveMethod::FixedPoint)
+                (
+                    outcome.solution,
+                    outcome.iterations,
+                    SolveMethod::FixedPoint,
+                )
             }
             SolveMethod::Newton => {
                 let t = model.transform_matrix();
@@ -201,9 +203,7 @@ impl SteadyStateSolver {
     ) -> Result<SteadyState> {
         let fp = self.clone().method(SolveMethod::FixedPoint).solve(model)?;
         let newton = self.clone().method(SolveMethod::Newton).solve(model)?;
-        let diff = fp
-            .distribution()
-            .max_abs_diff(newton.distribution())?;
+        let diff = fp.distribution().max_abs_diff(newton.distribution())?;
         if diff > agreement_tol {
             return Err(ModelError::NoPositiveSolution {
                 detail: format!(
@@ -278,7 +278,9 @@ mod tests {
             &[0.065, 0.179, 0.238, 0.220, 0.172, 0.126],
             &[0.043, 0.132, 0.200, 0.207, 0.176, 0.137, 0.105],
             &[0.028, 0.098, 0.165, 0.189, 0.173, 0.143, 0.114, 0.090],
-            &[0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078],
+            &[
+                0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078,
+            ],
         ];
         for (m, row) in expected.iter().enumerate() {
             let m = m + 1;
@@ -432,8 +434,7 @@ mod tests {
         }
         let huge = 1.5e308;
         let model = Poisoned {
-            t: TransformMatrix::new(DMatrix::from_row_major(2, 2, vec![huge; 4]).unwrap())
-                .unwrap(),
+            t: TransformMatrix::new(DMatrix::from_row_major(2, 2, vec![huge; 4]).unwrap()).unwrap(),
         };
 
         for method in [SolveMethod::FixedPoint, SolveMethod::Newton] {

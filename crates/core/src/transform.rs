@@ -36,7 +36,9 @@ impl TransformMatrix {
             )));
         }
         if matrix.as_slice().iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::invalid("transform matrix has non-finite entries"));
+            return Err(ModelError::invalid(
+                "transform matrix has non-finite entries",
+            ));
         }
         if !matrix.is_nonnegative(0.0) {
             return Err(ModelError::invalid(

@@ -36,7 +36,7 @@
 
 use crate::codec::{from_hex, to_hex};
 use crate::outcome::EngineError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -141,17 +141,18 @@ impl Checkpoint {
     }
 
     /// Loads every completed trial recorded for `key`: trial index →
-    /// encoded trial bytes. A missing file is an empty map; malformed or
-    /// foreign lines are skipped. Later lines win on duplicate indices
-    /// (they re-recorded the same deterministic result).
-    pub fn load(&self, key: &CheckpointKey) -> Result<HashMap<usize, Vec<u8>>, EngineError> {
+    /// encoded trial bytes, in trial order. A missing file is an empty
+    /// map; malformed or foreign lines are skipped. Later lines win on
+    /// duplicate indices (they re-recorded the same deterministic
+    /// result).
+    pub fn load(&self, key: &CheckpointKey) -> Result<BTreeMap<usize, Vec<u8>>, EngineError> {
         let path = self.path_for(key);
         let file = match File::open(&path) {
             Ok(file) => file,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
             Err(e) => return Err(checkpoint_error(&path, e)),
         };
-        let mut loaded = HashMap::new();
+        let mut loaded = BTreeMap::new();
         for line in BufReader::new(file).lines() {
             let line = line.map_err(|e| checkpoint_error(&path, e))?;
             if let Some((trial, data)) = key.parse_line(&line) {
@@ -200,7 +201,14 @@ impl CheckpointWriter {
     /// Records trial `t`'s encoded result.
     pub fn record(&self, trial: usize, data: &[u8]) -> Result<(), EngineError> {
         let line = self.key.render_line(trial, data);
-        let mut file = self.file.lock().expect("checkpoint writer poisoned");
+        // A panicking writer thread poisons the mutex, but the file
+        // handle itself stays valid — recover it and keep recording
+        // (dropping further checkpoints would lose finished work, the
+        // exact failure this module exists to prevent).
+        let mut file = match self.file.lock() {
+            Ok(file) => file,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         writeln!(file, "{line}")
             .and_then(|()| file.flush())
             .map_err(|e| checkpoint_error(&self.path, e))
@@ -216,10 +224,8 @@ mod tests {
 
     fn temp_dir() -> PathBuf {
         let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "popan-checkpoint-test-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("popan-checkpoint-test-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -260,9 +266,18 @@ mod tests {
         let ckpt = Checkpoint::new(&dir);
         let mine = key();
         // Same file name would be fine — the key fields gate loading.
-        let other_seed = CheckpointKey { seed: 99, ..mine.clone() };
-        let other_fp = CheckpointKey { fingerprint: 1, ..mine.clone() };
-        let other_scope = CheckpointKey { scope: "table3".into(), ..mine.clone() };
+        let other_seed = CheckpointKey {
+            seed: 99,
+            ..mine.clone()
+        };
+        let other_fp = CheckpointKey {
+            fingerprint: 1,
+            ..mine.clone()
+        };
+        let other_scope = CheckpointKey {
+            scope: "table3".into(),
+            ..mine.clone()
+        };
         ckpt.writer(&other_seed).unwrap().record(0, &[1]).unwrap();
         ckpt.writer(&other_fp).unwrap().record(1, &[2]).unwrap();
         ckpt.writer(&other_scope).unwrap().record(2, &[3]).unwrap();

@@ -225,10 +225,11 @@ tuple_trial_data!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 /// Lowercase hex of `bytes` — the form checkpoint lines store payloads in.
 pub fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
-        s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+        s.push(char::from(HEX[usize::from(b >> 4)]));
+        s.push(char::from(HEX[usize::from(b & 0xf)]));
     }
     s
 }
@@ -236,14 +237,19 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Decodes lowercase/uppercase hex, or `None` on odd length or
 /// non-hex characters.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits: Vec<u8> = s
         .chars()
         .map(|c| c.to_digit(16).map(|d| d as u8))
         .collect::<Option<_>>()?;
-    Some(digits.chunks(2).map(|pair| (pair[0] << 4) | pair[1]).collect())
+    Some(
+        digits
+            .chunks(2)
+            .map(|pair| (pair[0] << 4) | pair[1])
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -269,7 +275,14 @@ mod tests {
 
     #[test]
     fn floats_roundtrip_bit_exactly() {
-        for value in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+        for value in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
             let bytes = value.to_bytes();
             assert_eq!(
                 f64::from_bytes(&bytes).map(f64::to_bits),
@@ -303,7 +316,11 @@ mod tests {
     fn truncated_input_decodes_to_none() {
         let bytes = (vec![1.0f64, 2.0], 3.0f64).to_bytes();
         for cut in 0..bytes.len() {
-            assert_eq!(<(Vec<f64>, f64)>::from_bytes(&bytes[..cut]), None, "cut at {cut}");
+            assert_eq!(
+                <(Vec<f64>, f64)>::from_bytes(&bytes[..cut]),
+                None,
+                "cut at {cut}"
+            );
         }
     }
 
@@ -323,7 +340,12 @@ mod tests {
 
     #[test]
     fn hex_roundtrips() {
-        for bytes in [vec![], vec![0u8], vec![0xde, 0xad, 0xbe, 0xef], (0..=255u8).collect()] {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0xbe, 0xef],
+            (0..=255u8).collect(),
+        ] {
             let hex = to_hex(&bytes);
             assert_eq!(from_hex(&hex), Some(bytes));
         }

@@ -138,10 +138,11 @@ impl FaultPlan {
                 "nan" => Fault::Nan,
                 "abort" => Fault::Abort,
                 _ => match kind.strip_prefix("delay") {
-                    Some(ms) => Fault::Delay(Duration::from_millis(
-                        ms.parse()
-                            .map_err(|_| bad("delay needs integer milliseconds, e.g. delay50"))?,
-                    )),
+                    Some(ms) => {
+                        Fault::Delay(Duration::from_millis(ms.parse().map_err(|_| {
+                            bad("delay needs integer milliseconds, e.g. delay50")
+                        })?))
+                    }
                     None => return Err(bad("unknown fault kind")),
                 },
             };
@@ -223,13 +224,13 @@ mod tests {
     fn rejects_malformed_specs() {
         for spec in [
             "nocolons",
-            "a:b",          // too few fields
-            "a:x:panic",    // non-integer trial
-            "a:1:explode",  // unknown kind
-            "a:1:delay",    // delay without milliseconds
-            "a:1:delayxx",  // delay with junk
-            "a:1:panic@x",  // non-integer attempt
-            ":1:panic",     // empty scope
+            "a:b",         // too few fields
+            "a:x:panic",   // non-integer trial
+            "a:1:explode", // unknown kind
+            "a:1:delay",   // delay without milliseconds
+            "a:1:delayxx", // delay with junk
+            "a:1:panic@x", // non-integer attempt
+            ":1:panic",    // empty scope
         ] {
             let err = FaultPlan::parse(spec).unwrap_err();
             assert!(

@@ -72,7 +72,7 @@ pub use outcome::{EngineError, RetryPolicy, RunReport, TrialFailure};
 use popan_rng::rngs::StdRng;
 use popan_workload::keys::mix64;
 use popan_workload::TrialRunner;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -200,7 +200,10 @@ impl Engine {
                 let threads = match threads_from_spec(env_spec("POPAN_THREADS").as_deref()) {
                     Ok(n) => n,
                     Err(value) => {
-                        warn_fallback(&EngineError::BadThreadSpec { value }, "running sequentially");
+                        warn_fallback(
+                            &EngineError::BadThreadSpec { value },
+                            "running sequentially",
+                        );
                         1
                     }
                 };
@@ -306,7 +309,7 @@ impl Engine {
         let runner = experiment.runner();
         let total = runner.trials();
 
-        let mut resumed: HashMap<usize, E::Trial> = HashMap::new();
+        let mut resumed: BTreeMap<usize, E::Trial> = BTreeMap::new();
         let writer = match &self.checkpoint {
             None => None,
             Some(dir) => {
@@ -373,6 +376,7 @@ impl Engine {
         t: usize,
         writer: Option<&CheckpointWriter>,
     ) -> Result<E::Trial, TrialFailure> {
+        // popan-lint: allow(D2, "elapsed time feeds TrialFailure diagnostics only, never results")
         let start = Instant::now();
         let mut last_payload = String::new();
         for attempt in 0..self.retry.max_attempts {
@@ -598,8 +602,11 @@ mod tests {
             trials: 6,
         };
         let clean = Engine::sequential().run(&exp);
-        let engine =
-            Engine::sequential().with_fault_plan(FaultPlan::none().inject("draws", 2, Fault::Panic));
+        let engine = Engine::sequential().with_fault_plan(FaultPlan::none().inject(
+            "draws",
+            2,
+            Fault::Panic,
+        ));
         let report = engine.try_run(&exp).unwrap();
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.failures[0].trial, 2);
@@ -607,12 +614,8 @@ mod tests {
         assert!(report.failures[0].payload.contains("injected fault"));
         assert_eq!(report.completed, 5);
         // Survivors are exactly the clean trials minus trial 2.
-        let expected: Vec<(usize, u64)> = clean
-            .1
-            .iter()
-            .copied()
-            .filter(|&(t, _)| t != 2)
-            .collect();
+        let expected: Vec<(usize, u64)> =
+            clean.1.iter().copied().filter(|&(t, _)| t != 2).collect();
         assert_eq!(report.summary.1, expected);
     }
 
@@ -800,11 +803,11 @@ mod tests {
         let engine = Engine::try_from_env().unwrap();
         assert_eq!(engine.threads(), 3);
         assert_eq!(engine.retry(), RetryPolicy::retries(1));
+        assert_eq!(engine.faults.fault_for("draws", 0, 0), Some(Fault::Nan));
         assert_eq!(
-            engine.faults.fault_for("draws", 0, 0),
-            Some(Fault::Nan)
+            engine.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/popan-ckpt"))
         );
-        assert_eq!(engine.checkpoint.as_deref(), Some(std::path::Path::new("/tmp/popan-ckpt")));
         assert_eq!(Engine::from_env(), engine);
     }
 
@@ -849,7 +852,10 @@ mod tests {
             .unwrap();
         assert!(resumed.is_complete());
         assert_eq!(resumed.resumed, 5);
-        assert_eq!(resumed.summary, clean, "bit-identical to the uninterrupted run");
+        assert_eq!(
+            resumed.summary, clean,
+            "bit-identical to the uninterrupted run"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

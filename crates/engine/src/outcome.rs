@@ -258,7 +258,9 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_knob() {
-        let e = EngineError::BadThreadSpec { value: "four".into() };
+        let e = EngineError::BadThreadSpec {
+            value: "four".into(),
+        };
         assert!(e.to_string().contains("POPAN_THREADS"));
         let e = EngineError::BadFaultSpec {
             value: "x".into(),

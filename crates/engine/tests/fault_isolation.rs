@@ -120,7 +120,10 @@ fn survivors_match_the_clean_run_exactly() {
         .iter()
         .map(|&(t, x)| (t, x.to_bits()))
         .collect();
-    assert_eq!(got, expected, "a failing sibling must not perturb survivors");
+    assert_eq!(
+        got, expected,
+        "a failing sibling must not perturb survivors"
+    );
 }
 
 #[test]
@@ -131,9 +134,11 @@ fn delay_fault_changes_timing_but_not_results() {
     };
     let clean = Engine::sequential().try_run(&exp).unwrap();
     let delayed = Engine::with_threads(4)
-        .with_fault_plan(
-            FaultPlan::none().inject("sum", 0, Fault::Delay(std::time::Duration::from_millis(30))),
-        )
+        .with_fault_plan(FaultPlan::none().inject(
+            "sum",
+            0,
+            Fault::Delay(std::time::Duration::from_millis(30)),
+        ))
         .try_run(&exp)
         .unwrap();
     assert!(delayed.is_complete());
@@ -224,7 +229,9 @@ fn checkpoint_resume_reproduces_the_uninterrupted_aggregate() {
     let dir = temp_dir("resume");
 
     // Run 1: three trials fail, five checkpoint.
-    let plan = (0..3).fold(FaultPlan::none(), |p, t| p.inject("sum", 2 * t, Fault::Panic));
+    let plan = (0..3).fold(FaultPlan::none(), |p, t| {
+        p.inject("sum", 2 * t, Fault::Panic)
+    });
     let partial = Engine::with_threads(4)
         .with_checkpoint(&dir)
         .with_fault_plan(plan)
@@ -306,7 +313,10 @@ fn checkpoints_of_different_experiments_do_not_mix() {
     let report = engine.try_run(&b).unwrap();
     assert_eq!(report.resumed, 0);
     let clean = Engine::sequential().try_run(&b).unwrap();
-    assert_eq!(format!("{:?}", report.summary), format!("{:?}", clean.summary));
+    assert_eq!(
+        format!("{:?}", report.summary),
+        format!("{:?}", clean.summary)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

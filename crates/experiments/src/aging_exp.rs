@@ -63,12 +63,9 @@ fn measured_cycle_average(config: &ExperimentConfig, capacity: usize, from_point
     for n in sizes {
         let runner = config.runner(0xa9e ^ ((capacity as u64) << 40) ^ (n as u64));
         samples.push(engine.mean_trials(runner, |_, rng| {
-            let tree = PrQuadtree::build(
-                Rect::unit(),
-                capacity,
-                UniformRect::unit().sample_n(rng, n),
-            )
-            .expect("in-region points");
+            let tree =
+                PrQuadtree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, n))
+                    .expect("in-region points");
             tree.occupancy_profile().average_occupancy()
         }));
     }
@@ -166,7 +163,10 @@ mod tests {
             ..ExperimentConfig::paper()
         };
         for row in run(&cfg, &[4]) {
-            assert!(row.count_model > row.measured, "aging bias must be positive");
+            assert!(
+                row.count_model > row.measured,
+                "aging bias must be positive"
+            );
         }
     }
 

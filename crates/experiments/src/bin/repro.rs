@@ -96,7 +96,14 @@ fn main() {
     } else {
         ExperimentConfig::paper()
     };
-    let flags_with_value = ["--out", "--json", "--threads", "--retries", "--faults", "--resume"];
+    let flags_with_value = [
+        "--out",
+        "--json",
+        "--threads",
+        "--retries",
+        "--faults",
+        "--resume",
+    ];
     let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
@@ -150,6 +157,7 @@ fn main() {
     let mut failed: Vec<&str> = Vec::new();
     for id in selected {
         let experiment = registry::find(id).expect("validated above");
+        // popan-lint: allow(D2, "operator progress display only; never enters an artifact")
         let t0 = std::time::Instant::now();
         let (section, json) = match experiment.try_run(&config) {
             Ok(artifact) => (render(&artifact), artifact.to_json()),
@@ -190,7 +198,11 @@ fn main() {
         writeln!(out, "JSON artifacts written to {dir}/").unwrap();
     }
     if !failed.is_empty() {
-        eprintln!("repro: {} experiment(s) failed: {}", failed.len(), failed.join(", "));
+        eprintln!(
+            "repro: {} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
         std::process::exit(1);
     }
 }

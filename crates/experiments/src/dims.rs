@@ -65,7 +65,9 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
         let total: f64 = sizes
             .iter()
             .map(|&n| {
-                engine.mean_trials(config.runner(salt ^ (n as u64) << 20), |_, rng| build(rng, n))
+                engine.mean_trials(config.runner(salt ^ (n as u64) << 20), |_, rng| {
+                    build(rng, n)
+                })
             })
             .sum();
         total / sizes.len() as f64
@@ -89,15 +91,16 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
     };
 
     let mut rows = Vec::new();
-    let make_row = |structure: &'static str, branching: usize, thy: f64, mf: f64, occ: f64| DimsRow {
-        structure,
-        branching,
-        capacity,
-        theory: thy,
-        mean_field: mf,
-        experiment: occ,
-        percent_difference: 100.0 * (thy - occ) / occ,
-    };
+    let make_row =
+        |structure: &'static str, branching: usize, thy: f64, mf: f64, occ: f64| DimsRow {
+            structure,
+            branching,
+            capacity,
+            theory: thy,
+            mean_field: mf,
+            experiment: occ,
+            percent_difference: 100.0 * (thy - occ) / occ,
+        };
 
     let occ = cycle_mean(0xd1b2, 2, &|rng, n| {
         let tree = Bintree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, n))
@@ -107,16 +110,19 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
     rows.push(make_row("bintree", 2, theory(2), mean_field(2), occ));
 
     let occ = cycle_mean(0xd1b4, 4, &|rng, n| {
-        let tree =
-            PrQuadtree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, n))
-                .expect("in-region points");
+        let tree = PrQuadtree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, n))
+            .expect("in-region points");
         tree.occupancy_profile().average_occupancy()
     });
     rows.push(make_row("PR quadtree", 4, theory(4), mean_field(4), occ));
 
     let occ = cycle_mean(0xd1b8, 8, &|rng, n| {
-        let tree = PrOctree::build(Aabb3::unit(), capacity, UniformCube::unit().sample_n(rng, n))
-            .expect("in-region points");
+        let tree = PrOctree::build(
+            Aabb3::unit(),
+            capacity,
+            UniformCube::unit().sample_n(rng, n),
+        )
+        .expect("in-region points");
         tree.occupancy_profile().average_occupancy()
     });
     rows.push(make_row("PR octree", 8, theory(8), mean_field(8), occ));
@@ -124,9 +130,8 @@ pub fn run(config: &ExperimentConfig, capacity: usize) -> Vec<DimsRow> {
     // 4-D hypercube tree (b = 16) via the const-generic PR tree.
     let occ = cycle_mean(0xd1b16, 16, &|rng, n| {
         use popan_rng::Rng;
-        let points = (0..n).map(|_| {
-            popan_geom::PointN::new(std::array::from_fn(|_| rng.random_range(0.0..1.0)))
-        });
+        let points = (0..n)
+            .map(|_| popan_geom::PointN::new(std::array::from_fn(|_| rng.random_range(0.0..1.0))));
         let tree = popan_spatial::PrTreeNd::<4>::build(popan_geom::BoxN::unit(), capacity, points)
             .expect("in-region points");
         tree.occupancy_profile().average_occupancy()
@@ -213,7 +218,9 @@ mod tests {
             assert!(
                 w[0].percent_difference < w[1].percent_difference,
                 "bias should grow with b: {:?}",
-                rows.iter().map(|r| r.percent_difference).collect::<Vec<_>>()
+                rows.iter()
+                    .map(|r| r.percent_difference)
+                    .collect::<Vec<_>>()
             );
         }
     }

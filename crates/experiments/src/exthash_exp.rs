@@ -168,8 +168,7 @@ mod tests {
     #[test]
     fn utilization_oscillates_around_ln2() {
         let rows = run(&cfg());
-        let mean: f64 =
-            rows.iter().map(|r| r.utilization).sum::<f64>() / rows.len() as f64;
+        let mean: f64 = rows.iter().map(|r| r.utilization).sum::<f64>() / rows.len() as f64;
         assert!(
             (mean - fagin::expected_utilization()).abs() < 0.04,
             "mean utilization {mean} vs ln2"

@@ -14,7 +14,9 @@ pub const TABLE1_THEORY: [&[f64]; 8] = [
     &[0.065, 0.179, 0.238, 0.220, 0.172, 0.126],
     &[0.043, 0.132, 0.200, 0.207, 0.176, 0.137, 0.105],
     &[0.028, 0.098, 0.165, 0.189, 0.173, 0.143, 0.114, 0.090],
-    &[0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078],
+    &[
+        0.019, 0.073, 0.135, 0.168, 0.166, 0.145, 0.119, 0.097, 0.078,
+    ],
 ];
 
 /// Table 1, experiment rows (10 trees × 1000 uniform points).
@@ -26,7 +28,9 @@ pub const TABLE1_EXPERIMENT: [&[f64]; 8] = [
     &[0.084, 0.217, 0.241, 0.204, 0.151, 0.104],
     &[0.050, 0.150, 0.201, 0.215, 0.176, 0.127, 0.081],
     &[0.034, 0.110, 0.177, 0.214, 0.187, 0.143, 0.091, 0.044],
-    &[0.024, 0.086, 0.151, 0.206, 0.194, 0.156, 0.100, 0.049, 0.034],
+    &[
+        0.024, 0.086, 0.151, 0.206, 0.194, 0.156, 0.100, 0.049, 0.034,
+    ],
 ];
 
 /// Table 2: (capacity, experimental occupancy, theoretical occupancy,
@@ -123,13 +127,18 @@ mod tests {
         // column (within print rounding).
         for (m, &(cap, exp_occ, thy_occ, _)) in TABLE2.iter().enumerate() {
             assert_eq!(cap, m + 1);
-            let weighted = |row: &[f64]| -> f64 {
-                row.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
-            };
+            let weighted =
+                |row: &[f64]| -> f64 { row.iter().enumerate().map(|(i, &p)| i as f64 * p).sum() };
             let t1_thy = weighted(TABLE1_THEORY[m]);
             let t1_exp = weighted(TABLE1_EXPERIMENT[m]);
-            assert!((t1_thy - thy_occ).abs() < 0.02, "m={cap}: {t1_thy} vs {thy_occ}");
-            assert!((t1_exp - exp_occ).abs() < 0.04, "m={cap}: {t1_exp} vs {exp_occ}");
+            assert!(
+                (t1_thy - thy_occ).abs() < 0.02,
+                "m={cap}: {t1_thy} vs {thy_occ}"
+            );
+            assert!(
+                (t1_exp - exp_occ).abs() < 0.04,
+                "m={cap}: {t1_exp} vs {exp_occ}"
+            );
         }
     }
 

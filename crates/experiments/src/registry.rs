@@ -29,10 +29,9 @@ impl Artifact {
     pub fn section(&self) -> String {
         match self {
             Artifact::Table(t) => t.render(),
-            Artifact::Figure(f) => format!(
-                "## {} — {}\n\n```text\n{}```\n",
-                f.id, f.caption, f.ascii
-            ),
+            Artifact::Figure(f) => {
+                format!("## {} — {}\n\n```text\n{}```\n", f.id, f.caption, f.ascii)
+            }
         }
     }
 

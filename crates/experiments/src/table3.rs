@@ -69,7 +69,11 @@ impl Experiment for Table3Experiment {
     }
 
     fn fingerprint(&self) -> u64 {
-        fingerprint_of(&[0x7ab1e3, u64::from(self.max_depth), self.config.points as u64])
+        fingerprint_of(&[
+            0x7ab1e3,
+            u64::from(self.max_depth),
+            self.config.points as u64,
+        ])
     }
 
     fn runner(&self) -> TrialRunner {
@@ -199,8 +203,7 @@ mod tests {
         // The aging trend over the well-populated depths (≥ 50 leaves):
         // each is within the decreasing envelope the paper shows.
         let rows = run(&cfg());
-        let bulk: Vec<&Table3Row> =
-            rows.iter().filter(|r| r.n0 + r.n1 >= 50.0).collect();
+        let bulk: Vec<&Table3Row> = rows.iter().filter(|r| r.n0 + r.n1 >= 50.0).collect();
         assert!(bulk.len() >= 3, "need several populated depths");
         for w in bulk.windows(2) {
             assert!(
@@ -261,7 +264,10 @@ mod tests {
             if !(5..=7).contains(&depth) {
                 continue;
             }
-            let row = rows.iter().find(|r| r.depth == depth).expect("depth exists");
+            let row = rows
+                .iter()
+                .find(|r| r.depth == depth)
+                .expect("depth exists");
             let p_total = p_n0 + p_n1;
             let total = row.n0 + row.n1;
             assert!(

@@ -160,10 +160,7 @@ fn retried_trial_reproduces_the_no_fault_summary_exactly() {
 fn checkpoint_resume_is_bit_identical_to_the_uninterrupted_run() {
     let experiment = Table1Experiment::new(cfg(6, 400), 2);
     let clean = Engine::with_threads(1).run(&experiment);
-    let dir = std::env::temp_dir().join(format!(
-        "popan-determinism-ckpt-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("popan-determinism-ckpt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     // Interrupted run: trial 3 fails, the other five checkpoint.
     let partial = Engine::with_threads(4)
@@ -183,6 +180,63 @@ fn checkpoint_resume_is_bit_identical_to_the_uninterrupted_run() {
         format!("{:?}", resumed.summary),
         format!("{clean:?}"),
         "resumed aggregate must be bit-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_artifact_json_is_byte_identical() {
+    // D1 regression (popan-lint): the resume path loads checkpointed
+    // trials through an *ordered* map, so an artifact rendered from a
+    // resumed run must be byte-for-byte the uninterrupted run's JSON.
+    // With a HashMap in the resume path this held only by accident of
+    // aggregation re-sorting — this test pins the end-to-end bytes.
+    use popan_experiments::report::{format_distribution, TableData};
+
+    let experiment = Table1Experiment::new(cfg(6, 400), 4);
+    let artifact_json = |row: &popan_experiments::table1::Table1Row| {
+        TableData::new(
+            "table1",
+            "resume regression",
+            vec!["bucket size".into(), "row".into(), "vector".into()],
+            vec![
+                vec![
+                    row.capacity.to_string(),
+                    "thy".into(),
+                    format_distribution(&row.theory),
+                ],
+                vec![
+                    String::new(),
+                    "exp".into(),
+                    format_distribution(&row.experiment),
+                ],
+            ],
+        )
+        .to_json()
+    };
+    let clean = artifact_json(&Engine::with_threads(1).run(&experiment));
+
+    let dir = std::env::temp_dir().join(format!("popan-artifact-json-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Interrupt twice so resume stitches checkpointed and fresh trials.
+    let plan = FaultPlan::none()
+        .inject("table1/m4", 1, Fault::Panic)
+        .inject("table1/m4", 4, Fault::Panic);
+    let partial = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .with_fault_plan(plan)
+        .try_run(&experiment)
+        .expect("survivors remain");
+    assert_eq!(partial.completed, 4);
+    let resumed = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .try_run(&experiment)
+        .expect("resume completes");
+    assert_eq!(resumed.resumed, 4);
+    assert_eq!(
+        artifact_json(&resumed.summary),
+        clean,
+        "resumed artifact JSON must be byte-identical (stable key order)"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

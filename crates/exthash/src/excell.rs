@@ -297,7 +297,13 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut g = ExcellGrid::new(Rect::unit(), 2).unwrap();
-        let points = [pt(0.1, 0.1), pt(0.9, 0.1), pt(0.1, 0.9), pt(0.9, 0.9), pt(0.5, 0.5)];
+        let points = [
+            pt(0.1, 0.1),
+            pt(0.9, 0.1),
+            pt(0.1, 0.9),
+            pt(0.9, 0.9),
+            pt(0.5, 0.5),
+        ];
         for p in points {
             g.insert(p).unwrap();
         }
@@ -340,9 +346,9 @@ mod tests {
 
     #[test]
     fn range_query_matches_scan() {
-        use popan_workload::points::{PointSource, UniformRect};
         use popan_rng::rngs::StdRng;
         use popan_rng::SeedableRng;
+        use popan_workload::points::{PointSource, UniformRect};
         let mut rng = StdRng::seed_from_u64(8);
         let points = UniformRect::unit().sample_n(&mut rng, 500);
         let mut g = ExcellGrid::new(Rect::unit(), 4).unwrap();
@@ -352,8 +358,11 @@ mod tests {
         g.check_invariants();
         let query = Rect::from_bounds(0.2, 0.1, 0.7, 0.8);
         let mut got = g.range_query(&query);
-        let mut expect: Vec<Point2> =
-            points.iter().filter(|p| query.contains(p)).copied().collect();
+        let mut expect: Vec<Point2> = points
+            .iter()
+            .filter(|p| query.contains(p))
+            .copied()
+            .collect();
         let key = |p: &Point2| (p.x, p.y);
         got.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
         expect.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
@@ -362,9 +371,9 @@ mod tests {
 
     #[test]
     fn uniform_utilization_near_ln2() {
-        use popan_workload::points::{PointSource, UniformRect};
         use popan_rng::rngs::StdRng;
         use popan_rng::SeedableRng;
+        use popan_workload::points::{PointSource, UniformRect};
         let mut rng = StdRng::seed_from_u64(9);
         let mut g = ExcellGrid::new(Rect::unit(), 8).unwrap();
         for p in UniformRect::unit().sample_n(&mut rng, 20_000) {
@@ -377,9 +386,9 @@ mod tests {
 
     #[test]
     fn occupancy_counts_account_for_buckets_and_points() {
-        use popan_workload::points::{PointSource, UniformRect};
         use popan_rng::rngs::StdRng;
         use popan_rng::SeedableRng;
+        use popan_workload::points::{PointSource, UniformRect};
         let mut rng = StdRng::seed_from_u64(10);
         let mut g = ExcellGrid::new(Rect::unit(), 4).unwrap();
         for p in UniformRect::unit().sample_n(&mut rng, 1000) {
@@ -395,9 +404,9 @@ mod tests {
     fn directory_growth_is_global() {
         // EXCELL refines ALL cells at once: cell_count is always a power
         // of two and ≥ bucket_count... (buckets ≤ cells).
-        use popan_workload::points::{PointSource, UniformRect};
         use popan_rng::rngs::StdRng;
         use popan_rng::SeedableRng;
+        use popan_workload::points::{PointSource, UniformRect};
         let mut rng = StdRng::seed_from_u64(11);
         let mut g = ExcellGrid::new(Rect::unit(), 2).unwrap();
         for p in UniformRect::unit().sample_n(&mut rng, 300) {

@@ -356,13 +356,11 @@ impl GridFile {
         // Candidate buckets: those whose cell-region bounding box
         // overlaps the query's cell range.
         let cx_lo = self.col_of(query.x().lo().max(self.region.x().lo()));
-        let cx_hi = self.col_of(
-            (query.x().hi() - f64::EPSILON).min(self.region.x().hi() - f64::EPSILON),
-        );
+        let cx_hi =
+            self.col_of((query.x().hi() - f64::EPSILON).min(self.region.x().hi() - f64::EPSILON));
         let cy_lo = self.row_of(query.y().lo().max(self.region.y().lo()));
-        let cy_hi = self.row_of(
-            (query.y().hi() - f64::EPSILON).min(self.region.y().hi() - f64::EPSILON),
-        );
+        let cy_hi =
+            self.row_of((query.y().hi() - f64::EPSILON).min(self.region.y().hi() - f64::EPSILON));
         let mut seen = vec![false; self.buckets.len()];
         for cy in cy_lo..=cy_hi.min(self.ny() - 1) {
             for cx in cx_lo..=cx_hi.min(self.nx() - 1) {
@@ -431,9 +429,9 @@ impl GridFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popan_workload::points::{PointSource, UniformRect};
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::points::{PointSource, UniformRect};
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)
@@ -520,8 +518,11 @@ mod tests {
             Rect::from_bounds(0.45, 0.45, 0.55, 0.55),
         ] {
             let mut got = g.range_query(&query);
-            let mut expect: Vec<Point2> =
-                points.iter().filter(|p| query.contains(p)).copied().collect();
+            let mut expect: Vec<Point2> = points
+                .iter()
+                .filter(|p| query.contains(p))
+                .copied()
+                .collect();
             let key = |p: &Point2| (p.x, p.y);
             got.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
             expect.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());

@@ -311,8 +311,7 @@ impl ExtendibleHashTable {
         let split_bit = 1u64 << old_local;
 
         let keys = std::mem::take(&mut self.buckets[bi].keys);
-        let (stay, go): (Vec<u64>, Vec<u64>) =
-            keys.into_iter().partition(|&k| k & split_bit == 0);
+        let (stay, go): (Vec<u64>, Vec<u64>) = keys.into_iter().partition(|&k| k & split_bit == 0);
         self.buckets[bi].local_depth = new_local;
         self.buckets[bi].keys = stay;
         let new_bi = self.buckets.len();

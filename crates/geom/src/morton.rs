@@ -76,7 +76,13 @@ mod tests {
 
     #[test]
     fn interleave_round_trips() {
-        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (12345, 67890), (0x7fff_ffff, 0x7fff_ffff)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (12345, 67890),
+            (0x7fff_ffff, 0x7fff_ffff),
+        ] {
             assert_eq!(demorton2(morton2(x, y)), (x, y));
         }
     }

@@ -25,7 +25,10 @@ impl Segment2 {
     /// non-finite — zero-length "segments" break quadrant classification
     /// and indicate a generator bug.
     pub fn new(a: Point2, b: Point2) -> Self {
-        assert!(a.is_finite() && b.is_finite(), "non-finite segment endpoint");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "non-finite segment endpoint"
+        );
         assert!(a != b, "degenerate segment: endpoints coincide at {a}");
         Segment2 { a, b }
     }

@@ -1,0 +1,355 @@
+//! `lint.toml` — the linter's self-hosted configuration.
+//!
+//! The workspace is hermetic, so there is no TOML crate to lean on;
+//! this module parses exactly the subset the config (and the workspace
+//! `Cargo.toml`s, see [`crate::manifest`]) uses: `[table.headers]`,
+//! `key = "string"`, `key = integer`, `key = true/false`, and
+//! `key = ["array", "of", "strings"]`, with `#` comments. Anything
+//! outside that subset is a hard error — configuration must not be
+//! silently misread by the tool that polices silent breakage.
+
+use std::collections::BTreeMap;
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// `"..."` (basic strings only, `\"` and `\\` escapes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[ "a", "b" ]` — string elements only.
+    StrArray(Vec<String>),
+    /// `{ key = value, ... }` inline table, values rendered back to a
+    /// flat map (used for `dep = { path = "..." }` manifest entries).
+    Inline(BTreeMap<String, String>),
+}
+
+/// A parsed document: table name (`""` for the root table) → key → value.
+/// Table headers like `[rules.D1]` keep their dotted name verbatim.
+pub type TomlDoc = BTreeMap<String, BTreeMap<String, TomlValue>>;
+
+/// Parses the TOML subset; errors carry the 1-based line number.
+pub fn parse_toml(source: &str) -> Result<TomlDoc, String> {
+    let mut doc: TomlDoc = BTreeMap::new();
+    let mut current = String::new();
+    doc.entry(current.clone()).or_default();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let mut header = header
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unclosed table header"))?
+                .trim();
+            // `[[bench]]` array-of-tables: entries merge under one name
+            // — enough for manifests, where only their presence matters.
+            if let Some(inner) = header.strip_prefix('[').and_then(|h| h.strip_suffix(']')) {
+                header = inner.trim();
+            }
+            if header.is_empty() || header.contains('[') {
+                return Err(format!("line {lineno}: unsupported table header `{line}`"));
+            }
+            current = header.to_string();
+            doc.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = unquote_key(key.trim());
+        if key.is_empty() {
+            return Err(format!("line {lineno}: empty key"));
+        }
+        let value = parse_value(value.trim())
+            .ok_or_else(|| format!("line {lineno}: unsupported value `{}`", value.trim()))?;
+        doc.entry(current.clone()).or_default().insert(key, value);
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote_key(key: &str) -> String {
+    key.strip_prefix('"')
+        .and_then(|k| k.strip_suffix('"'))
+        .unwrap_or(key)
+        .to_string()
+}
+
+fn parse_value(v: &str) -> Option<TomlValue> {
+    if v == "true" {
+        return Some(TomlValue::Bool(true));
+    }
+    if v == "false" {
+        return Some(TomlValue::Bool(false));
+    }
+    if let Some(s) = parse_string(v) {
+        return Some(TomlValue::Str(s));
+    }
+    if let Ok(n) = v.parse::<i64>() {
+        return Some(TomlValue::Int(n));
+    }
+    if let Some(body) = v.strip_prefix('[').and_then(|b| b.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for item in split_top_level(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            items.push(parse_string(item)?);
+        }
+        return Some(TomlValue::StrArray(items));
+    }
+    if let Some(body) = v.strip_prefix('{').and_then(|b| b.strip_suffix('}')) {
+        let mut map = BTreeMap::new();
+        for item in split_top_level(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (k, val) = item.split_once('=')?;
+            let rendered = match parse_value(val.trim())? {
+                TomlValue::Str(s) => s,
+                TomlValue::Int(n) => n.to_string(),
+                TomlValue::Bool(b) => b.to_string(),
+                // `features = ["a", "b"]` in a dep table: only the key's
+                // presence matters to the rules, keep a readable form.
+                TomlValue::StrArray(items) => format!("[{}]", items.join(", ")),
+                TomlValue::Inline(_) => return None,
+            };
+            map.insert(unquote_key(k.trim()), rendered);
+        }
+        return Some(TomlValue::Inline(map));
+    }
+    None
+}
+
+/// Splits on commas that are outside strings and outside nested `[...]`
+/// (an inline dep table may carry `features = ["a", "b"]`).
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut bracket_depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => bracket_depth += 1,
+            ']' if !in_str => bracket_depth = bracket_depth.saturating_sub(1),
+            ',' if !in_str && bracket_depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return None; // unescaped quote mid-string: not our subset
+        } else {
+            out.push(c);
+        }
+    }
+    (!escaped).then_some(out)
+}
+
+/// The linter's configuration, decoded from `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Path prefixes (workspace-relative) no rule looks at — the
+    /// linter's own violation fixtures live here.
+    pub exclude: Vec<String>,
+    /// Package name → layer tier for rule `L1`.
+    pub tiers: BTreeMap<String, i64>,
+    /// Per-rule scoping, keyed by rule id.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+/// Where a rule applies and what it exempts.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// If non-empty, the rule only fires in these packages.
+    pub crates: Vec<String>,
+    /// Package names the rule never fires in.
+    pub allow_crates: Vec<String>,
+    /// Workspace-relative path prefixes the rule never fires in.
+    pub allow_paths: Vec<String>,
+    /// Function names (innermost enclosing `fn`) the rule never fires
+    /// in (used by `E1` for the blessed env-reading entry points).
+    pub allow_fns: Vec<String>,
+}
+
+impl LintConfig {
+    /// Decodes a parsed document, rejecting unknown keys so a typo in
+    /// `lint.toml` cannot silently disable a rule.
+    pub fn from_doc(doc: &TomlDoc) -> Result<LintConfig, String> {
+        let mut config = LintConfig::default();
+        for (table, entries) in doc {
+            match table.as_str() {
+                "" => {
+                    if let Some(key) = entries.keys().next() {
+                        return Err(format!("top-level key `{key}` outside any table"));
+                    }
+                }
+                "workspace" => {
+                    for (key, value) in entries {
+                        match (key.as_str(), value) {
+                            ("exclude", TomlValue::StrArray(paths)) => {
+                                config.exclude = paths.clone();
+                            }
+                            _ => return Err(format!("unknown [workspace] key `{key}`")),
+                        }
+                    }
+                }
+                "tiers" => {
+                    for (key, value) in entries {
+                        match value {
+                            TomlValue::Int(n) => {
+                                config.tiers.insert(key.clone(), *n);
+                            }
+                            _ => return Err(format!("[tiers] {key} must be an integer")),
+                        }
+                    }
+                }
+                rule_table => {
+                    let rule = rule_table
+                        .strip_prefix("rules.")
+                        .ok_or_else(|| format!("unknown table [{rule_table}]"))?;
+                    let scope = config.rules.entry(rule.to_string()).or_default();
+                    for (key, value) in entries {
+                        let list = match value {
+                            TomlValue::StrArray(items) => items.clone(),
+                            _ => {
+                                return Err(format!("[rules.{rule}] {key} must be a string array"))
+                            }
+                        };
+                        match key.as_str() {
+                            "crates" => scope.crates = list,
+                            "allow_crates" => scope.allow_crates = list,
+                            "allow_paths" => scope.allow_paths = list,
+                            "allow_fns" => scope.allow_fns = list,
+                            _ => return Err(format!("unknown [rules.{rule}] key `{key}`")),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Parses `lint.toml` text end to end.
+    pub fn parse(source: &str) -> Result<LintConfig, String> {
+        LintConfig::from_doc(&parse_toml(source)?)
+    }
+
+    /// The scope for `rule`, or a default (applies everywhere) scope.
+    pub fn scope(&self, rule: &str) -> RuleScope {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let doc = parse_toml(
+            r#"
+            # comment
+            [workspace]
+            exclude = ["a/b", "c"] # trailing comment
+
+            [tiers]
+            popan-rng = 0
+            "popan" = 6
+
+            [rules.E1]
+            allow_fns = ["from_env"]
+            "#,
+        )
+        .unwrap();
+        let config = LintConfig::from_doc(&doc).unwrap();
+        assert_eq!(config.exclude, ["a/b", "c"]);
+        assert_eq!(config.tiers["popan-rng"], 0);
+        assert_eq!(config.tiers["popan"], 6);
+        assert_eq!(config.scope("E1").allow_fns, ["from_env"]);
+        assert!(config.scope("D1").crates.is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(LintConfig::parse("[workspace]\nexclud = [\"a\"]").is_err());
+        assert!(LintConfig::parse("[rules.D1]\ncrate = [\"x\"]").is_err());
+        assert!(LintConfig::parse("[bogus]\nx = 1").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse_toml("[workspace]\nexclude = [\"a#b\"]").unwrap();
+        let config = LintConfig::from_doc(&doc).unwrap();
+        assert_eq!(config.exclude, ["a#b"]);
+    }
+
+    #[test]
+    fn inline_table_with_feature_array_parses() {
+        let doc =
+            parse_toml("[dependencies]\nrand = { version = \"0.8\", features = [\"small_rng\"] }")
+                .unwrap();
+        match &doc["dependencies"]["rand"] {
+            TomlValue::Inline(map) => {
+                assert_eq!(map["version"], "0.8");
+                assert_eq!(map["features"], "[small_rng]");
+            }
+            other => panic!("expected inline table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_tables_flatten() {
+        let doc =
+            parse_toml("[dependencies]\nfoo = { path = \"crates/foo\", optional = true }").unwrap();
+        match &doc["dependencies"]["foo"] {
+            TomlValue::Inline(map) => {
+                assert_eq!(map["path"], "crates/foo");
+                assert_eq!(map["optional"], "true");
+            }
+            other => panic!("expected inline table, got {other:?}"),
+        }
+    }
+}

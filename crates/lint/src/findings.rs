@@ -1,0 +1,364 @@
+//! Findings, the rule catalog, and output rendering (human + JSON).
+
+use std::fmt;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // the catalog below documents each variant
+pub enum RuleId {
+    D1,
+    D2,
+    D3,
+    H1,
+    L1,
+    R1,
+    R2,
+    E1,
+    W0,
+    W1,
+}
+
+impl RuleId {
+    /// Every rule, catalog order.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::H1,
+        RuleId::L1,
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::E1,
+        RuleId::W0,
+        RuleId::W1,
+    ];
+
+    /// Parses `"D1"` etc.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// The rule's id string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::H1 => "H1",
+            RuleId::L1 => "L1",
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::E1 => "E1",
+            RuleId::W0 => "W0",
+            RuleId::W1 => "W1",
+        }
+    }
+
+    /// Short rule name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "unordered-iteration",
+            RuleId::D2 => "wall-clock",
+            RuleId::D3 => "foreign-entropy",
+            RuleId::H1 => "hermeticity",
+            RuleId::L1 => "layering",
+            RuleId::R1 => "unwrap-in-lib",
+            RuleId::R2 => "unsafe",
+            RuleId::E1 => "env-read",
+            RuleId::W0 => "waiver-without-reason",
+            RuleId::W1 => "unused-waiver",
+        }
+    }
+
+    /// What the rule guards, one line.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "HashMap/HashSet in non-test code of result-producing crates: iteration \
+                 order is nondeterministic, which breaks the bit-identity contract"
+            }
+            RuleId::D2 => {
+                "SystemTime::now/Instant::now outside the bench harness and the fault-delay \
+                 module: wall-clock reads must never influence trial results"
+            }
+            RuleId::D3 => {
+                "entropy sources other than popan-rng (thread_rng, getrandom, RandomState, \
+                 from_entropy/from_os_rng): all randomness derives from (master_seed, trial, \
+                 attempt)"
+            }
+            RuleId::H1 => {
+                "non-workspace dependencies in Cargo.toml, or use/extern crate of crates \
+                 outside the popan-* set and std: the build must stay hermetic"
+            }
+            RuleId::L1 => {
+                "crate DAG tier violations, parsed from the actual Cargo.toml dependency \
+                 edges against the [tiers] map in lint.toml"
+            }
+            RuleId::R1 => {
+                ".unwrap()/.expect( in library (non-test, non-bin) code of core/engine/\
+                 numeric: library errors must be typed, not panics"
+            }
+            RuleId::R2 => "unsafe anywhere (belt-and-braces over #![forbid(unsafe_code)])",
+            RuleId::E1 => {
+                "std::env reads outside the blessed entry points (Engine::from_env/\
+                 try_from_env via env_spec) and the repro binary: configuration flows \
+                 through one auditable door"
+            }
+            RuleId::W0 => {
+                "a popan-lint waiver without a justification string: suppression must \
+                 carry its reason in-line"
+            }
+            RuleId::W1 => {
+                "a popan-lint waiver that matched no finding: stale waivers must be \
+                 removed so the inventory stays honest"
+            }
+        }
+    }
+
+    /// Fix-it hint shown with each finding.
+    pub fn hint(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "use BTreeMap/BTreeSet, or sort before anything order-sensitive",
+            RuleId::D2 => "thread a seeded value or move the timing into crates/bench",
+            RuleId::D3 => "seed a popan_rng::StdRng from (master_seed, trial, attempt)",
+            RuleId::H1 => "vendor the code in-tree as a popan-* crate",
+            RuleId::L1 => "invert the dependency or move the shared code down a tier",
+            RuleId::R1 => "return a typed error (ModelError/EngineError/NumericError)",
+            RuleId::R2 => "rewrite safely; the workspace forbids unsafe entirely",
+            RuleId::E1 => "read the variable in Engine::from_env and pass the value in",
+            RuleId::W0 => "add the reason: // popan-lint: allow(RULE, \"why this is sound\")",
+            RuleId::W1 => "delete the waiver comment (or fix its rule id / placement)",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message (already specific to the site).
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(rule: RuleId, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// `file:line: [rule] message` — the grep-able report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} (fix: {})",
+            self.file,
+            self.line,
+            self.rule,
+            self.message,
+            self.rule.hint()
+        )
+    }
+}
+
+/// A waiver that suppressed (or failed to suppress) a finding, for the
+/// auditable inventory.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The waived rule id (verbatim from the comment).
+    pub rule: String,
+    /// The justification.
+    pub reason: String,
+    /// Whether a finding actually matched it.
+    pub used: bool,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived findings — each of these fails the run.
+    pub findings: Vec<Finding>,
+    /// The waiver inventory (used and unused; unused ones also appear
+    /// as `W1` findings).
+    pub waivers: Vec<WaiverRecord>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings and waivers by location for stable output.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.waivers
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.render());
+            out.push('\n');
+        }
+        if !self.waivers.is_empty() {
+            out.push_str(&format!("\n{} active waiver(s):\n", self.waivers.len()));
+            for w in &self.waivers {
+                out.push_str(&format!(
+                    "  {}:{}: allow({}) — {}{}\n",
+                    w.file,
+                    w.line,
+                    w.rule,
+                    w.reason,
+                    if w.used { "" } else { " [UNUSED]" }
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "popan-lint: {} file(s) scanned, {} finding(s), {} waiver(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waivers.len()
+        ));
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"name\":{},\"message\":{}}}",
+                json_string(&f.file),
+                f.line,
+                json_string(f.rule.as_str()),
+                json_string(f.rule.name()),
+                json_string(&f.message)
+            ));
+        }
+        out.push_str("],\"waivers\":[");
+        for (i, w) in self.waivers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"reason\":{},\"used\":{}}}",
+                json_string(&w.file),
+                w.line,
+                json_string(&w.rule),
+                json_string(&w.reason),
+                w.used
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"clean\":{}}}",
+            self.files_scanned,
+            self.findings.is_empty()
+        ));
+        out
+    }
+}
+
+/// The machine-readable rule catalog (for `--rules`).
+pub fn rules_json() -> String {
+    let mut out = String::from("[");
+    for (i, rule) in RuleId::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"name\":{},\"summary\":{},\"hint\":{}}}",
+            json_string(rule.as_str()),
+            json_string(rule.name()),
+            json_string(rule.summary()),
+            json_string(rule.hint())
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.as_str()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("Z9"), None);
+    }
+
+    #[test]
+    fn finding_renders_the_documented_shape() {
+        let f = Finding::new(RuleId::D1, "crates/engine/src/lib.rs", 7, "HashMap".into());
+        assert!(f
+            .render()
+            .starts_with("crates/engine/src/lib.rs:7: [D1] HashMap"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let mut report = Report::default();
+        report
+            .findings
+            .push(Finding::new(RuleId::R2, "x.rs", 1, "`unsafe` used".into()));
+        report.waivers.push(WaiverRecord {
+            file: "y.rs".into(),
+            line: 2,
+            rule: "D2".into(),
+            reason: "why".into(),
+            used: true,
+        });
+        let json = report.render_json();
+        assert!(json.contains("\"rule\":\"R2\""));
+        assert!(json.contains("\"used\":true"));
+        assert!(json.contains("\"clean\":false"));
+    }
+}

@@ -1,0 +1,455 @@
+//! A small Rust lexer, just deep enough for invariant linting.
+//!
+//! The rules in [`crate::rules`] match on *token* sequences, so the
+//! lexer's job is to make that matching sound: comments disappear
+//! (except `popan-lint:` waiver comments, which are captured), string
+//! and char literal *contents* are opaque (a string containing
+//! `"HashMap"` is not a `HashMap` use), raw strings and nested block
+//! comments are handled, and lifetimes are distinguished from char
+//! literals. It does not parse — brace matching and attribute
+//! recognition happen as token post-passes in [`crate::rules`].
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String / raw string / byte string literal (contents opaque).
+    Str,
+    /// Char or byte literal (contents opaque).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) — distinct from `Char` so `'a` never terminates.
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text for idents; the single character for puncts; empty
+    /// for literal kinds (their contents must not influence rules).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `// popan-lint: allow(RULE, "reason")` comment, parsed.
+#[derive(Debug, Clone)]
+pub struct WaiverSite {
+    /// 1-based line the waiver comment sits on. It covers findings on
+    /// this line (trailing comment) and the next (comment-above form).
+    pub line: u32,
+    /// The rule id named in `allow(...)` (unvalidated here).
+    pub rule: String,
+    /// The justification string; `None` when missing or empty — which
+    /// is itself a finding (`W0`), never a silent suppression.
+    pub reason: Option<String>,
+    /// Set by the rule engine when a finding matched this waiver.
+    pub used: bool,
+}
+
+/// Lexer output: the token stream plus every waiver comment seen.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Waiver comments in source order.
+    pub waivers: Vec<WaiverSite>,
+    /// Lines containing a comment that *looks like* a waiver attempt
+    /// (`popan-lint:` marker) but did not parse as one.
+    pub malformed_waivers: Vec<u32>,
+}
+
+/// Lexes `source`. Never fails: unrecognized bytes become punctuation
+/// tokens, which at worst makes a rule miss — the property tests in
+/// `tests/` pin the cases that matter.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed {
+            tokens: Vec::new(),
+            waivers: Vec::new(),
+            malformed_waivers: Vec::new(),
+        },
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokKind::Str, String::new(), line);
+                }
+                'r' | 'b' if self.raw_or_byte_string() => {
+                    self.push(TokKind::Str, String::new(), line);
+                }
+                '\'' => self.lifetime_or_char(),
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a `//` comment; captures `popan-lint:` waivers. Doc
+    /// comments (`///`, `//!`) never carry waivers — they *describe*
+    /// the waiver syntax (this crate's own docs do) without enacting it.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        if doc {
+            return;
+        }
+        if let Some(rest) = text.split_once("popan-lint:").map(|(_, r)| r) {
+            match parse_waiver(rest.trim()) {
+                Some((rule, reason)) => self.out.waivers.push(WaiverSite {
+                    line,
+                    rule,
+                    reason,
+                    used: false,
+                }),
+                None => self.out.malformed_waivers.push(line),
+            }
+        }
+    }
+
+    /// Consumes a (nestable) `/* ... */` comment.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes the body of a `"..."` string (opening quote consumed).
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// If positioned at `r"`, `r#"`, `b"`, `br#"`, … consumes the whole
+    /// raw/byte string and returns true. Otherwise consumes nothing.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 1; // past the leading r or b
+        if self.peek(0) == Some('b') && self.peek(ahead) == Some('r') {
+            ahead += 1;
+        }
+        let raw = self.peek(0) == Some('r') || ahead == 2;
+        let mut hashes = 0;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != Some('"') || (!raw && hashes > 0) {
+            return false;
+        }
+        if !raw {
+            // b"...": escape-aware like a normal string.
+            for _ in 0..=ahead {
+                self.bump();
+            }
+            self.string_body();
+            return true;
+        }
+        for _ in 0..=ahead {
+            self.bump();
+        }
+        // Raw string: ends at `"` followed by `hashes` hash marks.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        true
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn lifetime_or_char(&mut self) {
+        let line = self.line;
+        self.bump(); // the opening quote
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime = match (first, second) {
+            (Some(c), Some(q)) if (c.is_ascii_alphanumeric() || c == '_') && q != '\'' => true,
+            (Some(c), None) => c.is_ascii_alphanumeric() || c == '_',
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: consume to the closing quote, escape-aware.
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numeric literal, loosely: digits plus alphanumeric suffix chars;
+    /// a `.` only joins when followed by a digit (so `0..n` and
+    /// `1.max(x)` stay three tokens).
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let joins = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !joins {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+/// Parses the tail of a waiver comment: `allow(RULE, "reason")`.
+/// A missing or empty reason parses as `reason: None` (flagged `W0` by
+/// the rule engine); anything structurally different returns `None`
+/// (flagged as malformed).
+fn parse_waiver(s: &str) -> Option<(String, Option<String>)> {
+    let body = s.strip_prefix("allow")?.trim_start();
+    let body = body.strip_prefix('(')?;
+    let close = body.rfind(')')?;
+    let inner = &body[..close];
+    let (rule, rest) = match inner.split_once(',') {
+        Some((rule, rest)) => (rule.trim(), rest.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return None;
+    }
+    let reason = rest
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Some((rule.to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap /* nested */ in a block comment */
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap in bytes";
+            let d = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert_eq!(ids, ["let", "a", "let", "b", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) { HashMap::new() }";
+        assert!(idents(src).contains(&"HashMap".to_string()));
+        let lifetimes: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn escaped_quotes_and_chars() {
+        let src = r#"let s = "a\"b"; let c = '\''; let d = '\\'; after"#;
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_merge_with_ranges_or_methods() {
+        let toks = lex("for i in 0..n { 1.max(x); 1.5e3; 0xff_u32; }");
+        let nums: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "1", "1.5e3", "0xff_u32"]);
+    }
+
+    #[test]
+    fn waiver_with_reason_parses() {
+        let out = lex("let x = 1; // popan-lint: allow(D2, \"progress display only\")");
+        assert_eq!(out.waivers.len(), 1);
+        assert_eq!(out.waivers[0].rule, "D2");
+        assert_eq!(
+            out.waivers[0].reason.as_deref(),
+            Some("progress display only")
+        );
+        assert!(out.malformed_waivers.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_parses_with_none() {
+        for src in [
+            "// popan-lint: allow(D1)",
+            "// popan-lint: allow(D1, \"\")",
+            "// popan-lint: allow(D1, \"  \")",
+        ] {
+            let out = lex(src);
+            assert_eq!(out.waivers.len(), 1, "{src}");
+            assert!(out.waivers[0].reason.is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn garbled_waiver_is_malformed_not_silent() {
+        let out = lex("// popan-lint: alow(D1, \"typo\")");
+        assert!(out.waivers.is_empty());
+        assert_eq!(out.malformed_waivers, vec![1]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let out = lex("a\nb\n\nc");
+        let lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

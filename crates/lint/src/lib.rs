@@ -1,0 +1,54 @@
+//! # popan-lint — static enforcement of the workspace's invariants
+//!
+//! The reproduction rests on invariants the compiler cannot see:
+//!
+//! * **Determinism** — every trial result is bit-identical at any
+//!   thread count, because entropy is a pure function of
+//!   `(master_seed, trial, attempt)` and aggregation is order-fixed.
+//!   A single `HashMap` iteration feeding an artifact, a stray
+//!   `Instant::now()`, or a `thread_rng()`-style entropy source would
+//!   silently compile — and might even pass the 1-vs-4-thread double
+//!   run — while corrupting that contract.
+//! * **Hermeticity** — every dependency lives in-tree; the workspace
+//!   builds offline with an empty registry.
+//! * **Layering** — the crate DAG flows
+//!   `rng`/`numeric`/`geom` → `workload`/`spatial`/`exthash` → `core`
+//!   → `engine` → `experiments` → `bench`.
+//!
+//! Runtime tests *sample* these invariants; this crate checks them
+//! *analytically at the source level* — the same move the paper makes
+//! when it validates its analytic model against simulation and then
+//! explains the systematic discrepancies instead of hoping they stay
+//! small. The tool is hermetic itself: a from-scratch
+//! comment/string/char-literal-aware Rust lexer ([`lexer`]) plus a
+//! rule engine ([`rules`]) and manifest checks ([`manifest`]),
+//! configured by `crates/lint/lint.toml` ([`config`]).
+//!
+//! ## Rules
+//!
+//! See [`findings::RuleId`] for the catalog (`popan-lint --rules`
+//! dumps it, with the waiver inventory, as JSON). Every rule has an
+//! inline escape hatch that *requires a justification*:
+//!
+//! ```text
+//! // popan-lint: allow(D2, "progress display only; never feeds artifacts")
+//! ```
+//!
+//! A waiver with no reason is itself a finding (`W0`), and a waiver
+//! that stops matching anything becomes `W1` — suppression stays
+//! auditable and cannot rot silently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod scan;
+
+pub use config::LintConfig;
+pub use findings::{Finding, Report, RuleId, WaiverRecord};
+pub use rules::lint_file;
+pub use scan::{find_workspace_root, lint_workspace, load_config};

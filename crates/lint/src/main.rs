@@ -1,0 +1,158 @@
+//! The `popan-lint` command-line interface.
+//!
+//! ```text
+//! popan-lint [--root DIR] [--json] [--only D1,D2] [--rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unwaived findings, `2` usage or
+//! configuration error — so `scripts/verify.sh` and CI can gate on it,
+//! and `--only` scopes the exit status to a rule subset.
+
+use popan_lint::findings::rules_json;
+use popan_lint::rules::retain_rules;
+use popan_lint::{find_workspace_root, lint_workspace, load_config, RuleId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+popan-lint — static enforcement of determinism/hermeticity/layering invariants
+
+USAGE:
+    popan-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR     workspace root (default: found from the current directory)
+    --json         machine-readable findings + waiver inventory
+    --only RULES   comma-separated rule ids (D1,D2,...) to report on
+    --rules        print the rule catalog and waiver inventory, then exit 0
+    --help         this text
+
+EXIT CODES:
+    0  no unwaived findings
+    1  unwaived findings (listed on stdout)
+    2  usage or configuration error
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    only: Vec<RuleId>,
+    rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        root: None,
+        json: false,
+        only: Vec::new(),
+        rules: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root needs a directory")?;
+                options.root = Some(PathBuf::from(dir));
+            }
+            "--json" => options.json = true,
+            "--rules" => options.rules = true,
+            "--only" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--only needs a rule list")?;
+                for part in spec.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    options.only.push(
+                        RuleId::parse(part).ok_or_else(|| format!("unknown rule id `{part}`"))?,
+                    );
+                }
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("popan-lint: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let start = options.root.clone().unwrap_or_else(|| PathBuf::from("."));
+    let run = (|| {
+        let root = find_workspace_root(&start)?;
+        let config = load_config(&root)?;
+        lint_workspace(&root, &config)
+    })();
+    let mut report = match run {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("popan-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.rules {
+        if options.json {
+            // Catalog + waiver inventory, machine-readable, for the
+            // re-anchor reviewer auditing accumulated waivers per PR.
+            let mut waivers = String::from("[");
+            for (i, w) in report.waivers.iter().enumerate() {
+                if i > 0 {
+                    waivers.push(',');
+                }
+                waivers.push_str(&format!(
+                    "{{\"file\":{},\"line\":{},\"rule\":{},\"reason\":{},\"used\":{}}}",
+                    popan_lint::findings::json_string(&w.file),
+                    w.line,
+                    popan_lint::findings::json_string(&w.rule),
+                    popan_lint::findings::json_string(&w.reason),
+                    w.used
+                ));
+            }
+            waivers.push(']');
+            println!("{{\"rules\":{},\"waivers\":{}}}", rules_json(), waivers);
+        } else {
+            println!("popan-lint rule catalog:\n");
+            for rule in RuleId::ALL {
+                println!(
+                    "  {} {}\n      {}\n      fix: {}\n",
+                    rule,
+                    rule.name(),
+                    rule.summary(),
+                    rule.hint()
+                );
+            }
+            println!("waiver inventory ({}):", report.waivers.len());
+            for w in &report.waivers {
+                println!("  {}:{}: allow({}) — {}", w.file, w.line, w.rule, w.reason);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    retain_rules(&mut report, &options.only);
+    if options.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

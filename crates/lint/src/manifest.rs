@@ -1,0 +1,318 @@
+//! Manifest-level rules: `H1` (hermeticity) and `L1` (layering).
+//!
+//! Both rules read the *actual* `Cargo.toml`s rather than a declared
+//! architecture diagram: `H1` demands every dependency resolve inside
+//! the workspace (`path` or `workspace = true` entries naming a member
+//! package — a `version`/`git`/registry dependency is a hermeticity
+//! break even if the name looks local), and `L1` checks the resulting
+//! crate DAG against the tier map in `lint.toml` (normal dependencies
+//! must point strictly *down* the tiers; dev-dependencies may also be
+//! lateral, which cargo permits and the test crates use).
+
+use crate::config::{parse_toml, LintConfig, TomlValue};
+use crate::findings::{Finding, RuleId};
+use std::collections::BTreeMap;
+
+/// One parsed workspace manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Workspace-relative path of the `Cargo.toml`.
+    pub path: String,
+    /// `[package] name` (the root virtual-manifest case keeps the
+    /// `[workspace]`-only file nameless).
+    pub package: Option<String>,
+    /// Dependency entries: `(section, dep name, descriptor)`.
+    pub deps: Vec<DepEntry>,
+}
+
+/// One dependency line of a manifest.
+#[derive(Debug, Clone)]
+pub struct DepEntry {
+    /// `dependencies`, `dev-dependencies`, `build-dependencies`, or
+    /// `workspace.dependencies`.
+    pub section: String,
+    /// The dependency's package name.
+    pub name: String,
+    /// How it is declared, for diagnostics and hermeticity checking.
+    pub descriptor: DepKind,
+}
+
+/// How a dependency is declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepKind {
+    /// `{ path = "..." }` — in-tree.
+    Path,
+    /// `name.workspace = true` — resolved via `[workspace.dependencies]`.
+    Workspace,
+    /// Anything else (`version`, `git`, bare string) — not hermetic.
+    External(String),
+}
+
+/// Parses a manifest (already-read text). Errors are lint findings
+/// against the manifest itself, not panics.
+pub fn parse_manifest(path: &str, text: &str) -> Result<Manifest, String> {
+    let doc = parse_toml(text).map_err(|e| format!("{path}: {e}"))?;
+    let package = doc
+        .get("package")
+        .and_then(|t| t.get("name"))
+        .and_then(|v| match v {
+            TomlValue::Str(s) => Some(s.clone()),
+            _ => None,
+        });
+    let mut deps = Vec::new();
+    for (table, entries) in &doc {
+        let section = match table.as_str() {
+            "dependencies"
+            | "dev-dependencies"
+            | "build-dependencies"
+            | "workspace.dependencies" => table.clone(),
+            other => {
+                // `[dependencies.NAME]` long form.
+                if let Some(name) = other.strip_prefix("dependencies.") {
+                    push_long_form(&mut deps, "dependencies", name, entries);
+                    continue;
+                }
+                if let Some(name) = other.strip_prefix("dev-dependencies.") {
+                    push_long_form(&mut deps, "dev-dependencies", name, entries);
+                    continue;
+                }
+                continue;
+            }
+        };
+        for (key, value) in entries {
+            // `name.workspace = true` parses as a dotted key.
+            if let Some(name) = key.strip_suffix(".workspace") {
+                deps.push(DepEntry {
+                    section: section.clone(),
+                    name: name.to_string(),
+                    descriptor: DepKind::Workspace,
+                });
+                continue;
+            }
+            deps.push(DepEntry {
+                section: section.clone(),
+                name: key.clone(),
+                descriptor: classify_value(value),
+            });
+        }
+    }
+    Ok(Manifest {
+        path: path.to_string(),
+        package,
+        deps,
+    })
+}
+
+fn push_long_form(
+    deps: &mut Vec<DepEntry>,
+    section: &str,
+    name: &str,
+    entries: &BTreeMap<String, TomlValue>,
+) {
+    let descriptor = if entries.contains_key("path") {
+        DepKind::Path
+    } else if matches!(entries.get("workspace"), Some(TomlValue::Bool(true))) {
+        DepKind::Workspace
+    } else {
+        DepKind::External(format!("[{section}.{name}] without path/workspace"))
+    };
+    deps.push(DepEntry {
+        section: section.to_string(),
+        name: name.to_string(),
+        descriptor,
+    });
+}
+
+fn classify_value(value: &TomlValue) -> DepKind {
+    match value {
+        TomlValue::Inline(map) => {
+            if map.contains_key("path") {
+                DepKind::Path
+            } else if map.get("workspace").map(String::as_str) == Some("true") {
+                DepKind::Workspace
+            } else {
+                DepKind::External(format!(
+                    "{{ {} }}",
+                    map.keys().cloned().collect::<Vec<_>>().join(", ")
+                ))
+            }
+        }
+        TomlValue::Str(version) => DepKind::External(format!("\"{version}\"")),
+        other => DepKind::External(format!("{other:?}")),
+    }
+}
+
+/// Runs `H1` and `L1` over every workspace manifest.
+pub fn check_manifests(config: &LintConfig, manifests: &[Manifest]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let members: Vec<String> = manifests.iter().filter_map(|m| m.package.clone()).collect();
+
+    for manifest in manifests {
+        for dep in &manifest.deps {
+            // H1: every dependency must be a workspace member, declared
+            // as a path/workspace dependency.
+            let hermetic_decl = matches!(dep.descriptor, DepKind::Path | DepKind::Workspace);
+            let member = members.iter().any(|m| m == &dep.name);
+            if !hermetic_decl || !member {
+                let how = match &dep.descriptor {
+                    DepKind::External(d) => format!(" (declared as {d})"),
+                    _ => String::new(),
+                };
+                findings.push(Finding::new(
+                    RuleId::H1,
+                    &manifest.path,
+                    1,
+                    format!(
+                        "[{}] `{}`{how} is not an in-workspace path dependency; \
+                         every dependency must live in-tree (hermetic build)",
+                        dep.section, dep.name
+                    ),
+                ));
+            }
+        }
+
+        // L1: tier discipline over the declared DAG.
+        let Some(package) = &manifest.package else {
+            continue;
+        };
+        let Some(&my_tier) = config.tiers.get(package) else {
+            findings.push(Finding::new(
+                RuleId::L1,
+                &manifest.path,
+                1,
+                format!("package `{package}` has no tier in lint.toml [tiers]"),
+            ));
+            continue;
+        };
+        for dep in &manifest.deps {
+            // Only normal and build dependencies shape the shipped DAG;
+            // dev-dependencies (test harnesses like popan-proptest) may
+            // reach across tiers, as cargo itself permits.
+            if dep.section != "dependencies" && dep.section != "build-dependencies" {
+                continue;
+            }
+            let Some(&dep_tier) = config.tiers.get(&dep.name) else {
+                continue; // already an H1 finding if foreign
+            };
+            if dep_tier >= my_tier {
+                findings.push(Finding::new(
+                    RuleId::L1,
+                    &manifest.path,
+                    1,
+                    format!(
+                        "`{package}` (tier {my_tier}) must not depend on `{}` (tier {dep_tier}); \
+                         the crate DAG flows rng/numeric/geom → workload/spatial/exthash → core \
+                         → engine → experiments → bench",
+                        dep.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> LintConfig {
+        LintConfig::parse(
+            "[tiers]\n\
+             popan-rng = 0\n\
+             popan-workload = 1\n\
+             popan-spatial = 1\n\
+             popan-engine = 3\n\
+             popan-experiments = 4\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn workspace_and_path_deps_pass_h1() {
+        let m = parse_manifest(
+            "crates/engine/Cargo.toml",
+            "[package]\nname = \"popan-engine\"\n\
+             [dependencies]\npopan-rng.workspace = true\n\
+             popan-workload = { path = \"../workload\" }\n",
+        )
+        .unwrap();
+        let mut all = vec![m];
+        for name in ["popan-rng", "popan-workload"] {
+            all.push(Manifest {
+                path: "crates/x/Cargo.toml".to_string(),
+                package: Some(name.to_string()),
+                deps: Vec::new(),
+            });
+        }
+        assert!(check_manifests(&config(), &all).is_empty());
+    }
+
+    #[test]
+    fn registry_dep_fails_h1() {
+        let m = parse_manifest(
+            "crates/engine/Cargo.toml",
+            "[package]\nname = \"popan-engine\"\n[dependencies]\nserde = \"1.0\"\n",
+        )
+        .unwrap();
+        let findings = check_manifests(&config(), &[m]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::H1);
+        assert!(findings[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn upward_dependency_fails_l1() {
+        let engine = parse_manifest(
+            "crates/engine/Cargo.toml",
+            "[package]\nname = \"popan-engine\"\n\
+             [dependencies]\npopan-experiments.workspace = true\n",
+        )
+        .unwrap();
+        let experiments = Manifest {
+            path: "crates/experiments/Cargo.toml".into(),
+            package: Some("popan-experiments".into()),
+            deps: Vec::new(),
+        };
+        let findings = check_manifests(&config(), &[engine, experiments]);
+        assert!(
+            findings.iter().any(|f| f.rule == RuleId::L1),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn lateral_dev_dependency_is_allowed_but_lateral_normal_is_not() {
+        let members = |deps: &str| {
+            vec![
+                parse_manifest(
+                    "crates/spatial/Cargo.toml",
+                    &format!("[package]\nname = \"popan-spatial\"\n{deps}"),
+                )
+                .unwrap(),
+                Manifest {
+                    path: "crates/workload/Cargo.toml".into(),
+                    package: Some("popan-workload".into()),
+                    deps: Vec::new(),
+                },
+            ]
+        };
+        // spatial and workload are both tier 1: dev-dep OK, normal dep not.
+        let dev = members("[dev-dependencies]\npopan-workload.workspace = true\n");
+        assert!(check_manifests(&config(), &dev).is_empty());
+        let normal = members("[dependencies]\npopan-workload.workspace = true\n");
+        assert!(check_manifests(&config(), &normal)
+            .iter()
+            .any(|f| f.rule == RuleId::L1));
+    }
+
+    #[test]
+    fn missing_tier_is_a_finding() {
+        let m =
+            parse_manifest("crates/new/Cargo.toml", "[package]\nname = \"popan-new\"\n").unwrap();
+        let findings = check_manifests(&config(), &[m]);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::L1 && f.message.contains("no tier")));
+    }
+}

@@ -1,0 +1,727 @@
+//! The token-level rules and the waiver machinery.
+//!
+//! Each source-file rule walks the lexed token stream of one file with
+//! its context: which package it belongs to, what kind of target it is
+//! (library, binary, test, bench, example), which token ranges are
+//! `#[cfg(test)]` / `#[test]` regions, and which `fn` encloses a given
+//! token. Rules deliberately over-approximate (`D1` flags *any*
+//! `HashMap` mention in scoped crates, not just iteration) — the
+//! escape hatch for a justified exception is an inline waiver with a
+//! reason, never a silent one.
+
+use crate::config::{LintConfig, RuleScope};
+use crate::findings::{Finding, Report, RuleId, WaiverRecord};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` of a library crate.
+    Lib,
+    /// `src/bin/**`.
+    Bin,
+    /// `tests/**`.
+    Test,
+    /// `benches/**`.
+    Bench,
+    /// `examples/**`.
+    Example,
+}
+
+impl FileKind {
+    /// Classifies a workspace-relative path.
+    pub fn classify(rel_path: &str) -> FileKind {
+        let p = rel_path.replace('\\', "/");
+        if p.starts_with("tests/") || p.contains("/tests/") {
+            FileKind::Test
+        } else if p.starts_with("benches/") || p.contains("/benches/") {
+            FileKind::Bench
+        } else if p.starts_with("examples/") || p.contains("/examples/") {
+            FileKind::Example
+        } else if p.contains("/bin/") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        }
+    }
+}
+
+/// One file, lexed and annotated, ready for the rules.
+pub struct FileScan {
+    /// Package the file belongs to (`popan-engine`, …).
+    pub package: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Target kind.
+    pub kind: FileKind,
+    tokens: Vec<Tok>,
+    /// Token-index ranges (inclusive start, exclusive end) that are
+    /// `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// `(fn name, start token, end token)` for every `fn` body.
+    fn_ranges: Vec<(String, usize, usize)>,
+    waivers: Vec<crate::lexer::WaiverSite>,
+    malformed_waivers: Vec<u32>,
+}
+
+impl FileScan {
+    /// Lexes and annotates one file.
+    pub fn new(package: &str, rel_path: &str, source: &str) -> FileScan {
+        let lexed = lex(source);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let fn_ranges = find_fn_ranges(&lexed.tokens);
+        FileScan {
+            package: package.to_string(),
+            rel_path: rel_path.to_string(),
+            kind: FileKind::classify(rel_path),
+            tokens: lexed.tokens,
+            test_ranges,
+            fn_ranges,
+            waivers: lexed.waivers,
+            malformed_waivers: lexed.malformed_waivers,
+        }
+    }
+
+    fn in_test(&self, idx: usize) -> bool {
+        self.kind == FileKind::Test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(start, end)| idx >= start && idx < end)
+    }
+
+    fn enclosing_fns(&self, idx: usize) -> Vec<&str> {
+        self.fn_ranges
+            .iter()
+            .filter(|&&(_, start, end)| idx >= start && idx < end)
+            .map(|(name, _, _)| name.as_str())
+            .collect()
+    }
+
+    fn tok(&self, idx: usize) -> Option<&Tok> {
+        self.tokens.get(idx)
+    }
+
+    /// Does `tokens[idx..]` start with `::`?
+    fn is_path_sep(&self, idx: usize) -> bool {
+        self.tok(idx).is_some_and(|t| t.is_punct(':'))
+            && self.tok(idx + 1).is_some_and(|t| t.is_punct(':'))
+    }
+}
+
+/// Finds `#[cfg(test)]` / `#[test]` item ranges by brace matching.
+fn find_test_ranges(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_test_attribute(tokens, i) {
+            let end = item_end(tokens, after_attr);
+            ranges.push((i, end));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// If `tokens[i..]` starts a `#[cfg(test)]` or `#[test]` attribute,
+/// returns the index just past it.
+fn match_test_attribute(tokens: &[Tok], i: usize) -> Option<usize> {
+    if !(tokens.get(i)?.is_punct('#') && tokens.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    let is_test = tokens.get(i + 2)?.is_ident("test") && tokens.get(i + 3)?.is_punct(']');
+    let is_cfg_test = tokens.get(i + 2)?.is_ident("cfg")
+        && tokens.get(i + 3)?.is_punct('(')
+        && tokens.get(i + 4)?.is_ident("test")
+        && tokens.get(i + 5)?.is_punct(')')
+        && tokens.get(i + 6)?.is_punct(']');
+    if is_test {
+        Some(i + 4)
+    } else if is_cfg_test {
+        Some(i + 7)
+    } else {
+        None
+    }
+}
+
+/// The index just past the item starting at `i`: skips further
+/// attributes, then either ends at the matching `}` of the item's first
+/// brace block, or at a `;` reached before any brace (e.g.
+/// `#[cfg(test)] use x;`).
+fn item_end(tokens: &[Tok], mut i: usize) -> usize {
+    // Skip stacked attributes.
+    while tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 0usize;
+        i += 1;
+        while let Some(t) = tokens.get(i) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Find the first `{` (or a bare `;` ending a braceless item).
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct(';') {
+            return i + 1;
+        }
+        if t.is_punct('{') {
+            break;
+        }
+        i += 1;
+    }
+    // Match braces.
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Tracks `fn name { ... }` body ranges (nested fns stack).
+fn find_fn_ranges(tokens: &[Tok]) -> Vec<(String, usize, usize)> {
+    let mut ranges: Vec<(String, usize, usize)> = Vec::new();
+    let mut stack: Vec<(String, usize, usize)> = Vec::new(); // (name, open depth, start idx)
+    let mut pending: Option<String> = None;
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind == TokKind::Ident && tok.text == "fn" {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.kind == TokKind::Ident {
+                    pending = Some(next.text.clone());
+                }
+            }
+        } else if tok.is_punct(';') {
+            // `fn f(...);` in a trait: no body.
+            pending = None;
+        } else if tok.is_punct('{') {
+            depth += 1;
+            if let Some(name) = pending.take() {
+                stack.push((name, depth, i));
+            }
+        } else if tok.is_punct('}') {
+            if stack.last().is_some_and(|&(_, open, _)| open == depth) {
+                if let Some((name, _, start)) = stack.pop() {
+                    ranges.push((name, start, i + 1));
+                }
+            }
+            depth = depth.saturating_sub(1);
+        }
+    }
+    // Unclosed bodies run to EOF (truncated input).
+    for (name, _, start) in stack {
+        ranges.push((name, start, tokens.len()));
+    }
+    ranges
+}
+
+/// Whether `scope` lets the rule fire for this file at all.
+fn scope_applies(scope: &RuleScope, scan: &FileScan) -> bool {
+    if !scope.crates.is_empty() && !scope.crates.iter().any(|c| c == &scan.package) {
+        return false;
+    }
+    if scope.allow_crates.iter().any(|c| c == &scan.package) {
+        return false;
+    }
+    if scope
+        .allow_paths
+        .iter()
+        .any(|p| scan.rel_path.starts_with(p.as_str()))
+    {
+        return false;
+    }
+    true
+}
+
+/// Runs every source-file rule over one annotated file, returning raw
+/// (pre-waiver) findings.
+fn raw_findings(config: &LintConfig, scan: &FileScan) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_d1(config, scan, &mut out);
+    rule_d2(config, scan, &mut out);
+    rule_d3(config, scan, &mut out);
+    rule_h1_source(config, scan, &mut out);
+    rule_r1(config, scan, &mut out);
+    rule_r2(config, scan, &mut out);
+    rule_e1(config, scan, &mut out);
+    out
+}
+
+/// D1 — unordered iteration: any `HashMap`/`HashSet` mention in
+/// non-test code of the result-producing crates.
+fn rule_d1(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("D1");
+    if !scope_applies(&scope, scan) || !matches!(scan.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        if tok.kind == TokKind::Ident
+            && (tok.text == "HashMap" || tok.text == "HashSet")
+            && !scan.in_test(i)
+        {
+            out.push(Finding::new(
+                RuleId::D1,
+                &scan.rel_path,
+                tok.line,
+                format!(
+                    "`{}` iterates in nondeterministic order; results in `{}` must be \
+                     bit-identical at any thread count",
+                    tok.text, scan.package
+                ),
+            ));
+        }
+    }
+}
+
+/// D2 — wall clock: `Instant::now` / `SystemTime::now` outside the
+/// bench harness and the fault-delay module.
+fn rule_d2(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("D2");
+    if !scope_applies(&scope, scan) || !matches!(scan.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        if tok.kind == TokKind::Ident
+            && (tok.text == "Instant" || tok.text == "SystemTime")
+            && scan.is_path_sep(i + 1)
+            && scan.tok(i + 3).is_some_and(|t| t.is_ident("now"))
+            && !scan.in_test(i)
+        {
+            out.push(Finding::new(
+                RuleId::D2,
+                &scan.rel_path,
+                tok.line,
+                format!(
+                    "`{}::now()` reads the wall clock; trial results may not depend on time",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// D3 — foreign entropy: any entropy source other than popan-rng.
+fn rule_d3(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("D3");
+    if !scope_applies(&scope, scan) {
+        return;
+    }
+    const FOREIGN: [&str; 5] = [
+        "thread_rng",
+        "getrandom",
+        "RandomState",
+        "from_entropy",
+        "from_os_rng",
+    ];
+    for tok in &scan.tokens {
+        if tok.kind == TokKind::Ident && FOREIGN.contains(&tok.text.as_str()) {
+            out.push(Finding::new(
+                RuleId::D3,
+                &scan.rel_path,
+                tok.line,
+                format!(
+                    "`{}` is an entropy source outside popan-rng; all randomness must be a \
+                     pure function of (master_seed, trial, attempt)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// H1 (source side) — `use`/`extern crate` roots outside the workspace
+/// and std.
+fn rule_h1_source(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("H1");
+    if !scope_applies(&scope, scan) {
+        return;
+    }
+    let workspace_roots: Vec<String> = config
+        .tiers
+        .keys()
+        .map(|name| name.replace('-', "_"))
+        .collect();
+    // `use some_module::X` with a uniform (2018+) path: the root may be
+    // a module of this crate. Collect `mod name` declarations — the
+    // crate roots in this workspace declare every top-level module they
+    // re-export from.
+    let local_mods: Vec<&str> = scan
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| t.is_ident("mod") && (*i == 0 || !scan.tokens[i - 1].is_punct('.')))
+        .filter_map(|(i, _)| scan.tok(i + 1))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    let allowed = |root: &str| {
+        matches!(root, "std" | "core" | "alloc" | "crate" | "self" | "super")
+            || workspace_roots.iter().any(|w| w == root)
+            || local_mods.contains(&root)
+    };
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        let root_idx = if tok.is_ident("use") {
+            // `use foo::...` or `use ::foo::...`.
+            if scan.is_path_sep(i + 1) {
+                i + 3
+            } else {
+                i + 1
+            }
+        } else if tok.is_ident("extern") && scan.tok(i + 1).is_some_and(|t| t.is_ident("crate")) {
+            i + 2
+        } else {
+            continue;
+        };
+        // Only item-position `use` matters, but closure captures named
+        // `use` don't exist; a preceding `.` means a method call.
+        if i > 0 && scan.tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        let Some(root) = scan.tok(root_idx) else {
+            continue;
+        };
+        if root.kind == TokKind::Ident && !allowed(&root.text) && root.text != "r" {
+            out.push(Finding::new(
+                RuleId::H1,
+                &scan.rel_path,
+                root.line,
+                format!(
+                    "`{}` is not a workspace crate or std; the build is hermetic — every \
+                     dependency lives in-tree",
+                    root.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R1 — `.unwrap()` / `.expect(` in library code of the scoped crates.
+fn rule_r1(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("R1");
+    if !scope_applies(&scope, scan) || scan.kind != FileKind::Lib {
+        return;
+    }
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        if tok.is_punct('.')
+            && scan
+                .tok(i + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && scan.tok(i + 2).is_some_and(|t| t.is_punct('('))
+            && !scan.in_test(i)
+        {
+            let what = &scan.tokens[i + 1].text;
+            out.push(Finding::new(
+                RuleId::R1,
+                &scan.rel_path,
+                tok.line,
+                format!(
+                    "`.{what}(...)` panics in library code of `{}`; return a typed error",
+                    scan.package
+                ),
+            ));
+        }
+    }
+}
+
+/// R2 — `unsafe` anywhere, including tests.
+fn rule_r2(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("R2");
+    if !scope_applies(&scope, scan) {
+        return;
+    }
+    for tok in &scan.tokens {
+        if tok.is_ident("unsafe") {
+            out.push(Finding::new(
+                RuleId::R2,
+                &scan.rel_path,
+                tok.line,
+                "`unsafe` is forbidden throughout the workspace".to_string(),
+            ));
+        }
+    }
+}
+
+/// E1 — environment reads outside the blessed entry points.
+fn rule_e1(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("E1");
+    if !scope_applies(&scope, scan) || scan.kind != FileKind::Lib {
+        return;
+    }
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        if tok.is_ident("env")
+            && scan.is_path_sep(i + 1)
+            && scan
+                .tok(i + 3)
+                .is_some_and(|t| t.is_ident("var") || t.is_ident("var_os") || t.is_ident("vars"))
+            && !scan.in_test(i)
+        {
+            let fns = scan.enclosing_fns(i);
+            if fns.iter().any(|f| scope.allow_fns.iter().any(|a| a == f)) {
+                continue;
+            }
+            out.push(Finding::new(
+                RuleId::E1,
+                &scan.rel_path,
+                tok.line,
+                format!(
+                    "environment read outside the blessed entry points ({}); configuration \
+                     must flow through one auditable door",
+                    if scope.allow_fns.is_empty() {
+                        "none configured".to_string()
+                    } else {
+                        scope.allow_fns.join(", ")
+                    }
+                ),
+            ));
+        }
+    }
+}
+
+/// Lints one file: raw findings, waiver application, waiver hygiene.
+/// Returns `(unwaived findings, waiver records)`.
+pub fn lint_file(
+    config: &LintConfig,
+    package: &str,
+    rel_path: &str,
+    source: &str,
+) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    let mut scan = FileScan::new(package, rel_path, source);
+    let raw = raw_findings(config, &scan);
+
+    let mut findings = Vec::new();
+    for finding in raw {
+        let mut waived = false;
+        for waiver in scan.waivers.iter_mut() {
+            // A waiver covers its own line (trailing comment) and the
+            // next line (comment-above form), for its named rule only.
+            let near = waiver.line == finding.line || waiver.line + 1 == finding.line;
+            if near && waiver.rule == finding.rule.as_str() {
+                waiver.used = true;
+                if waiver.reason.is_some() {
+                    waived = true;
+                }
+                // A reasonless waiver still "uses" the site (so it is
+                // not W1-unused) but does not suppress — the finding
+                // stands alongside the W0.
+            }
+        }
+        if !waived {
+            findings.push(finding);
+        }
+    }
+
+    let mut records = Vec::new();
+    for waiver in &scan.waivers {
+        match &waiver.reason {
+            None => findings.push(Finding::new(
+                RuleId::W0,
+                rel_path,
+                waiver.line,
+                format!(
+                    "waiver for {} has no justification string; every suppression must \
+                     say why it is sound",
+                    waiver.rule
+                ),
+            )),
+            Some(reason) => {
+                if !waiver.used {
+                    findings.push(Finding::new(
+                        RuleId::W1,
+                        rel_path,
+                        waiver.line,
+                        format!(
+                            "waiver for {} matched no finding; remove it (or fix its rule \
+                             id / placement)",
+                            waiver.rule
+                        ),
+                    ));
+                }
+                records.push(WaiverRecord {
+                    file: rel_path.to_string(),
+                    line: waiver.line,
+                    rule: waiver.rule.clone(),
+                    reason: reason.clone(),
+                    used: waiver.used,
+                });
+            }
+        }
+    }
+    for line in &scan.malformed_waivers {
+        findings.push(Finding::new(
+            RuleId::W0,
+            rel_path,
+            *line,
+            "comment mentions popan-lint but is not `popan-lint: allow(RULE, \"reason\")`"
+                .to_string(),
+        ));
+    }
+    (findings, records)
+}
+
+/// Filters a report to a rule subset (`--only`).
+pub fn retain_rules(report: &mut Report, only: &[RuleId]) {
+    if only.is_empty() {
+        return;
+    }
+    report.findings.retain(|f| only.contains(&f.rule));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_config() -> LintConfig {
+        LintConfig::parse(
+            "[tiers]\n\
+             popan-engine = 3\n\
+             popan-rng = 0\n\
+             [rules.D1]\n\
+             crates = [\"popan-engine\"]\n\
+             [rules.R1]\n\
+             crates = [\"popan-engine\"]\n\
+             [rules.E1]\n\
+             allow_fns = [\"env_spec\"]\n",
+        )
+        .unwrap()
+    }
+
+    fn lint_engine(src: &str) -> Vec<Finding> {
+        lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            src,
+        )
+        .0
+    }
+
+    #[test]
+    fn d1_fires_outside_tests_only() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashMap; fn f() {} }\n";
+        let findings = lint_engine(src);
+        let d1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::D1).collect();
+        assert_eq!(d1.len(), 1, "{findings:?}");
+        assert_eq!(d1[0].line, 1);
+    }
+
+    #[test]
+    fn d2_matches_the_full_path_form() {
+        let findings = lint_engine("fn f() { let t = std::time::Instant::now(); }");
+        assert!(findings.iter().any(|f| f.rule == RuleId::D2));
+        let clean = lint_engine("fn f(now: Instant) { let t = now; }");
+        assert!(!clean.iter().any(|f| f.rule == RuleId::D2));
+    }
+
+    #[test]
+    fn e1_respects_the_blessed_fn() {
+        let blessed = "fn env_spec(name: &str) -> Option<String> { std::env::var(name).ok() }";
+        assert!(lint_engine(blessed).is_empty());
+        let rogue = "fn sneaky() -> Option<String> { std::env::var(\"X\").ok() }";
+        assert!(lint_engine(rogue).iter().any(|f| f.rule == RuleId::E1));
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_and_is_recorded() {
+        let src = "// popan-lint: allow(D1, \"lookup only, never iterated\")\n\
+                   use std::collections::HashMap;\n";
+        let (findings, waivers) = lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            src,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(waivers.len(), 1);
+        assert!(waivers[0].used);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_w0_and_does_not_suppress() {
+        let src = "use std::collections::HashMap; // popan-lint: allow(D1)\n";
+        let (findings, waivers) = lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            src,
+        );
+        assert!(findings.iter().any(|f| f.rule == RuleId::D1));
+        assert!(findings.iter().any(|f| f.rule == RuleId::W0));
+        assert!(waivers.is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_is_w1() {
+        let src = "// popan-lint: allow(D1, \"nothing here\")\nfn f() {}\n";
+        let (findings, waivers) = lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            src,
+        );
+        assert!(findings.iter().any(|f| f.rule == RuleId::W1));
+        assert_eq!(waivers.len(), 1);
+        assert!(!waivers[0].used);
+    }
+
+    #[test]
+    fn r1_ignores_bins_and_tests() {
+        let src = "fn f() { x.unwrap(); }";
+        let (lib, _) = lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            src,
+        );
+        assert!(lib.iter().any(|f| f.rule == RuleId::R1));
+        let (bin, _) = lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/bin/tool.rs",
+            src,
+        );
+        assert!(!bin.iter().any(|f| f.rule == RuleId::R1));
+    }
+
+    #[test]
+    fn h1_source_flags_foreign_use() {
+        let findings = lint_engine("use rand::Rng;\n");
+        assert!(findings.iter().any(|f| f.rule == RuleId::H1));
+        let clean = lint_engine("use popan_rng::Rng;\nuse std::fmt;\nuse crate::x;\n");
+        assert!(!clean.iter().any(|f| f.rule == RuleId::H1), "{clean:?}");
+    }
+
+    #[test]
+    fn r2_fires_even_in_test_regions() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let p = unsafe { *x }; } }";
+        assert!(lint_engine(src).iter().any(|f| f.rule == RuleId::R2));
+    }
+
+    #[test]
+    fn fn_ranges_nest() {
+        let ranges = find_fn_ranges(&lex("fn outer() { fn inner() { body(); } tail(); }").tokens);
+        assert_eq!(ranges.len(), 2);
+        let scan = FileScan::new("p", "src/x.rs", "fn outer() { fn inner() { body(); } }");
+        let body_idx = scan.tokens.iter().position(|t| t.is_ident("body")).unwrap();
+        let fns = scan.enclosing_fns(body_idx);
+        assert!(fns.contains(&"outer") && fns.contains(&"inner"));
+    }
+}

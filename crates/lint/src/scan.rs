@@ -1,0 +1,180 @@
+//! Workspace walking: find every manifest and `.rs` file, attribute
+//! each file to its package, and run the full rule set.
+
+use crate::config::LintConfig;
+use crate::findings::Report;
+use crate::manifest::{check_manifests, parse_manifest, Manifest};
+use crate::rules::lint_file;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Errors that stop a lint run outright (distinct from findings).
+#[derive(Debug)]
+pub enum ScanError {
+    /// IO failure reading the tree.
+    Io(String),
+    /// `lint.toml` or a manifest could not be parsed.
+    Config(String),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Io(m) => write!(f, "io error: {m}"),
+            ScanError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+/// Locates the workspace root at or above `start`: the nearest
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, ScanError> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| ScanError::Io(format!("{}: {e}", start.display())))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| ScanError::Io(format!("{}: {e}", manifest.display())))?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir);
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => {
+                return Err(ScanError::Config(
+                    "no workspace Cargo.toml found at or above the start directory".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Reads `crates/lint/lint.toml` under `root`.
+pub fn load_config(root: &Path) -> Result<LintConfig, ScanError> {
+    let path = root.join("crates/lint/lint.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ScanError::Io(format!("{}: {e}", path.display())))?;
+    LintConfig::parse(&text).map_err(|e| ScanError::Config(format!("{}: {e}", path.display())))
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, ScanError> {
+    let mut report = Report::default();
+
+    // Manifests: the root Cargo.toml plus every crates/*/Cargo.toml.
+    let mut manifests: Vec<Manifest> = Vec::new();
+    let mut package_dirs: BTreeMap<String, String> = BTreeMap::new(); // rel dir -> package
+    for rel in manifest_paths(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| ScanError::Io(format!("{rel}: {e}")))?;
+        let manifest = parse_manifest(&rel, &text).map_err(ScanError::Config)?;
+        if let Some(package) = &manifest.package {
+            let dir = rel.trim_end_matches("Cargo.toml").trim_end_matches('/');
+            package_dirs.insert(dir.to_string(), package.clone());
+        }
+        manifests.push(manifest);
+    }
+    report.findings.extend(check_manifests(config, &manifests));
+
+    // Source files.
+    let mut files = Vec::new();
+    walk_rs(root, root, &mut files)?;
+    files.sort();
+    for rel in files {
+        if config.exclude.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        let package = package_for(&package_dirs, &rel);
+        let source = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| ScanError::Io(format!("{rel}: {e}")))?;
+        let (findings, waivers) = lint_file(config, &package, &rel, &source);
+        report.findings.extend(findings);
+        report.waivers.extend(waivers);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// The workspace's manifests, workspace-relative.
+fn manifest_paths(root: &Path) -> Result<Vec<String>, ScanError> {
+    let mut out = vec!["Cargo.toml".to_string()];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries = std::fs::read_dir(&crates)
+            .map_err(|e| ScanError::Io(format!("{}: {e}", crates.display())))?;
+        let mut names: Vec<String> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| ScanError::Io(e.to_string()))?;
+            if entry.path().join("Cargo.toml").is_file() {
+                names.push(format!(
+                    "crates/{}/Cargo.toml",
+                    entry.file_name().to_string_lossy()
+                ));
+            }
+        }
+        names.sort();
+        out.extend(names);
+    }
+    Ok(out)
+}
+
+/// Which package owns a workspace-relative file.
+fn package_for(package_dirs: &BTreeMap<String, String>, rel: &str) -> String {
+    // Longest matching directory prefix wins (crates/x before the root).
+    let mut best: Option<(&str, &str)> = None;
+    for (dir, package) in package_dirs {
+        let matches = dir.is_empty() || rel.starts_with(&format!("{dir}/"));
+        if matches && best.is_none_or(|(b, _)| dir.len() > b.len()) {
+            best = Some((dir, package));
+        }
+    }
+    best.map(|(_, p)| p.to_string()).unwrap_or_default()
+}
+
+/// Collects `**/*.rs` under `dir`, skipping VCS and build output.
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), ScanError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| ScanError::Io(format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError::Io(e.to_string()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| ScanError::Io(e.to_string()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_attribution_prefers_the_longest_prefix() {
+        let mut dirs = BTreeMap::new();
+        dirs.insert("".to_string(), "popan".to_string());
+        dirs.insert("crates/engine".to_string(), "popan-engine".to_string());
+        assert_eq!(
+            package_for(&dirs, "crates/engine/src/lib.rs"),
+            "popan-engine"
+        );
+        assert_eq!(package_for(&dirs, "src/lib.rs"), "popan");
+        assert_eq!(package_for(&dirs, "tests/end_to_end.rs"), "popan");
+    }
+}

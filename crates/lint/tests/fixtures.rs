@@ -1,0 +1,352 @@
+//! Fixture suite: every rule exercised against a violating and a clean
+//! snippet (see `tests/fixtures/`), the waiver contract, and the
+//! end-to-end CLI — including the acceptance case that re-introducing a
+//! `HashMap` in `crates/engine/src/checkpoint.rs` fails the lint gate.
+//!
+//! The snippet tests run against the repository's *real*
+//! `crates/lint/lint.toml`, so they also pin the shipped rule scoping:
+//! if a config change stopped D1 covering the engine, the fixture would
+//! go green-on-violation and fail here.
+
+use popan_lint::config::LintConfig;
+use popan_lint::findings::RuleId;
+use popan_lint::manifest::{check_manifests, parse_manifest, Manifest};
+use popan_lint::rules::lint_file;
+use popan_lint::{find_workspace_root, load_config};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+fn real_config() -> LintConfig {
+    load_config(&workspace_root()).expect("lint.toml parses")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Lints a fixture as if it sat at `rel_path` of `package`; returns the
+/// rule ids that fired.
+fn rules_fired(package: &str, rel_path: &str, name: &str) -> Vec<RuleId> {
+    let (findings, _) = lint_file(&real_config(), package, rel_path, &fixture(name));
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn d1_fixture_fails_in_engine_checkpoint_context() {
+    // The acceptance case: this fixture is the pre-fix shape of
+    // `crates/engine/src/checkpoint.rs`, linted at that exact path.
+    let fired = rules_fired(
+        "popan-engine",
+        "crates/engine/src/checkpoint.rs",
+        "d1_violating.rs",
+    );
+    assert!(
+        fired.iter().filter(|r| **r == RuleId::D1).count() >= 3,
+        "every HashMap mention must fire: {fired:?}"
+    );
+    let clean = rules_fired(
+        "popan-engine",
+        "crates/engine/src/checkpoint.rs",
+        "d1_clean.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn d1_does_not_fire_outside_the_scoped_crates() {
+    // Same violating source, but in a crate D1 does not cover.
+    let fired = rules_fired("popan-geom", "crates/geom/src/rect.rs", "d1_violating.rs");
+    assert!(!fired.contains(&RuleId::D1), "{fired:?}");
+}
+
+#[test]
+fn d2_fixtures() {
+    let fired = rules_fired(
+        "popan-engine",
+        "crates/engine/src/lib.rs",
+        "d2_violating.rs",
+    );
+    assert!(fired.contains(&RuleId::D2), "{fired:?}");
+    let clean = rules_fired("popan-engine", "crates/engine/src/lib.rs", "d2_clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+    // The bench harness measures time by design.
+    let bench = rules_fired("popan-bench", "crates/bench/src/lib.rs", "d2_violating.rs");
+    assert!(!bench.contains(&RuleId::D2), "{bench:?}");
+}
+
+#[test]
+fn d3_fixtures() {
+    let fired = rules_fired(
+        "popan-workload",
+        "crates/workload/src/keys.rs",
+        "d3_violating.rs",
+    );
+    assert!(fired.contains(&RuleId::D3), "{fired:?}");
+    let clean = rules_fired(
+        "popan-workload",
+        "crates/workload/src/keys.rs",
+        "d3_clean.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn h1_source_fixtures() {
+    let fired = rules_fired("popan-core", "crates/core/src/model.rs", "h1_violating.rs");
+    assert_eq!(
+        fired.iter().filter(|r| **r == RuleId::H1).count(),
+        2,
+        "both foreign `use` roots: {fired:?}"
+    );
+    let clean = rules_fired("popan-core", "crates/core/src/model.rs", "h1_clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn r1_fixtures() {
+    let fired = rules_fired(
+        "popan-numeric",
+        "crates/numeric/src/stats.rs",
+        "r1_violating.rs",
+    );
+    assert_eq!(
+        fired.iter().filter(|r| **r == RuleId::R1).count(),
+        2,
+        "unwrap and expect: {fired:?}"
+    );
+    let clean = rules_fired(
+        "popan-numeric",
+        "crates/numeric/src/stats.rs",
+        "r1_clean.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+    // R1 is scoped to library code: the same source in a binary passes.
+    let bin = rules_fired(
+        "popan-experiments",
+        "crates/experiments/src/bin/repro.rs",
+        "r1_violating.rs",
+    );
+    assert!(!bin.contains(&RuleId::R1), "{bin:?}");
+}
+
+#[test]
+fn r2_fires_even_inside_test_modules() {
+    let fired = rules_fired("popan-core", "crates/core/src/model.rs", "r2_violating.rs");
+    assert!(fired.contains(&RuleId::R2), "{fired:?}");
+    let clean = rules_fired("popan-core", "crates/core/src/model.rs", "r2_clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn e1_fixtures() {
+    let fired = rules_fired(
+        "popan-engine",
+        "crates/engine/src/lib.rs",
+        "e1_violating.rs",
+    );
+    assert!(fired.contains(&RuleId::E1), "{fired:?}");
+    let clean = rules_fired("popan-engine", "crates/engine/src/lib.rs", "e1_clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn justified_waivers_suppress_and_are_inventoried() {
+    let (findings, waivers) = lint_file(
+        &real_config(),
+        "popan-engine",
+        "crates/engine/src/lib.rs",
+        &fixture("waiver_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(waivers.len(), 3);
+    assert!(waivers.iter().all(|w| w.used && w.rule == "D1"));
+}
+
+#[test]
+fn reasonless_waiver_is_w0_and_suppresses_nothing() {
+    let (findings, waivers) = lint_file(
+        &real_config(),
+        "popan-engine",
+        "crates/engine/src/lib.rs",
+        &fixture("waiver_reasonless.rs"),
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::W0),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::D1),
+        "the underlying finding must survive: {findings:?}"
+    );
+    assert!(waivers.is_empty(), "no inventory entry without a reason");
+}
+
+#[test]
+fn stale_waiver_is_w1() {
+    let (findings, waivers) = lint_file(
+        &real_config(),
+        "popan-engine",
+        "crates/engine/src/lib.rs",
+        &fixture("waiver_unused.rs"),
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::W1),
+        "{findings:?}"
+    );
+    assert_eq!(waivers.len(), 1);
+    assert!(!waivers[0].used);
+}
+
+fn member(name: &str) -> Manifest {
+    Manifest {
+        path: format!("crates/{name}/Cargo.toml"),
+        package: Some(name.to_string()),
+        deps: Vec::new(),
+    }
+}
+
+fn manifest_fixture(name: &str) -> Manifest {
+    parse_manifest("crates/engine/Cargo.toml", &fixture(name)).expect("fixture parses")
+}
+
+fn workspace_members() -> Vec<Manifest> {
+    [
+        "popan-rng",
+        "popan-workload",
+        "popan-proptest",
+        "popan-experiments",
+    ]
+    .iter()
+    .map(|n| member(n))
+    .collect()
+}
+
+#[test]
+fn external_dependency_manifest_fails_h1() {
+    let mut all = workspace_members();
+    all.push(manifest_fixture("h1_external_dep.toml"));
+    let findings = check_manifests(&real_config(), &all);
+    let h1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::H1).collect();
+    assert_eq!(h1.len(), 2, "serde and rand: {findings:?}");
+}
+
+#[test]
+fn upward_dependency_manifest_fails_l1() {
+    let mut all = workspace_members();
+    all.push(manifest_fixture("l1_upward_dep.toml"));
+    let findings = check_manifests(&real_config(), &all);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RuleId::L1 && f.message.contains("popan-experiments")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn downward_in_tree_manifest_is_clean() {
+    let mut all = workspace_members();
+    all.push(manifest_fixture("manifest_clean.toml"));
+    let findings = check_manifests(&real_config(), &all);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end CLI runs of the built binary.
+
+fn lint_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_popan-lint"))
+}
+
+#[test]
+fn cli_exits_zero_on_the_real_tree() {
+    let out = lint_bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the tree must lint clean:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_json_reports_the_waiver_inventory() {
+    let out = lint_bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--json")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("\"clean\":true"), "{stdout}");
+    assert!(
+        stdout.contains("\"waivers\":[{\"file\":"),
+        "waivers must appear in --json: {stdout}"
+    );
+    assert!(stdout.contains("\"used\":true"), "{stdout}");
+}
+
+#[test]
+fn cli_rules_catalog_lists_every_rule() {
+    let out = lint_bin().arg("--rules").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in RuleId::ALL {
+        assert!(stdout.contains(rule.as_str()), "missing {rule}: {stdout}");
+    }
+}
+
+#[test]
+fn reintroducing_hashmap_in_checkpoint_fails_the_gate() {
+    // Build a miniature workspace whose engine checkpoint module uses a
+    // HashMap again, and run the real binary against it: exit 1 with a
+    // D1 finding at the checkpoint file — exactly what scripts/verify.sh
+    // gates on.
+    let dir = std::env::temp_dir().join(format!("popan-lint-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine_src = dir.join("crates/engine/src");
+    std::fs::create_dir_all(&engine_src).unwrap();
+    std::fs::create_dir_all(dir.join("crates/lint")).unwrap();
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/engine\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("crates/lint/lint.toml"),
+        "[tiers]\npopan-engine = 3\n[rules.D1]\ncrates = [\"popan-engine\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("crates/engine/Cargo.toml"),
+        "[package]\nname = \"popan-engine\"\n",
+    )
+    .unwrap();
+    std::fs::write(engine_src.join("checkpoint.rs"), fixture("d1_violating.rs")).unwrap();
+
+    let out = lint_bin()
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "must fail the gate:\n{stdout}");
+    assert!(
+        stdout.contains("crates/engine/src/checkpoint.rs") && stdout.contains("[D1]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("fix:"), "findings carry hints: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,9 @@
+//! Fixture: the ordered-map form of the same code — clean under D1.
+
+use std::collections::BTreeMap;
+
+pub fn load() -> BTreeMap<usize, Vec<u8>> {
+    let mut loaded = BTreeMap::new();
+    loaded.insert(0, vec![1]);
+    loaded
+}

@@ -1,0 +1,10 @@
+//! Fixture: the D1 violation shape of `crates/engine/src/checkpoint.rs`
+//! before the BTreeMap fix — re-introducing this must fail the lint.
+
+use std::collections::HashMap;
+
+pub fn load() -> HashMap<usize, Vec<u8>> {
+    let mut loaded = HashMap::new();
+    loaded.insert(0, vec![1]);
+    loaded
+}

@@ -1,0 +1,5 @@
+//! Fixture: timing threaded in from outside — clean under D2.
+
+pub fn measure(elapsed_nanos: u128) -> u128 {
+    elapsed_nanos
+}

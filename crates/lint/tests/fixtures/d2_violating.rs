@@ -1,0 +1,6 @@
+//! Fixture: wall-clock read in engine library code — D2.
+
+pub fn measure() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

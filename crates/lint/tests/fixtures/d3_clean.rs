@@ -1,0 +1,9 @@
+//! Fixture: randomness derived from the seeded in-tree RNG — clean
+//! under D3.
+
+use popan_rng::rngs::StdRng;
+
+pub fn entropy(master_seed: u64, trial: u64) -> u64 {
+    let mut rng = StdRng::for_trial(master_seed, trial);
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+//! Fixture: foreign entropy source — D3 (and the `use` is H1 too).
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,12 @@
+//! Fixture: the environment read lives in the blessed `env_spec`
+//! door — clean under E1.
+
+fn env_spec(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+pub fn threads() -> usize {
+    env_spec("POPAN_THREADS")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: environment read outside the blessed entry points — E1.
+
+pub fn sneaky_threads() -> usize {
+    std::env::var("POPAN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,14 @@
+//! Fixture: only std, workspace crates, and local modules — clean
+//! under H1.
+
+mod helper;
+
+use crate::something;
+use helper::thing;
+use popan_rng::rngs::StdRng;
+use std::fmt;
+
+pub fn f(_r: StdRng) -> fmt::Result {
+    thing();
+    something()
+}

@@ -1,0 +1,6 @@
+//! Fixture: `use` of a crate outside the workspace and std — H1.
+
+use rand::Rng;
+use serde::Serialize;
+
+pub fn f<R: Rng, S: Serialize>(_r: R, _s: S) {}

@@ -1,0 +1,6 @@
+//! Fixture: typed errors instead of panics — clean under R1.
+
+pub fn parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    let n: u64 = s.parse()?;
+    Ok(n)
+}

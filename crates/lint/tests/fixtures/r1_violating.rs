@@ -1,0 +1,7 @@
+//! Fixture: panicking extraction in library code — R1 (twice).
+
+pub fn parse(s: &str) -> u64 {
+    let n: u64 = s.parse().unwrap();
+    let m = s.strip_prefix('x').expect("prefixed");
+    n + m.len() as u64
+}

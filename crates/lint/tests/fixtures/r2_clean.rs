@@ -1,0 +1,5 @@
+//! Fixture: the safe equivalent — clean under R2.
+
+pub fn bits(x: f64) -> u64 {
+    x.to_bits()
+}

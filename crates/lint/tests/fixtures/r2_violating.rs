@@ -1,0 +1,11 @@
+//! Fixture: `unsafe` — R2, even inside a test region.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn transmute_speedup() {
+        let x = 1.0f64;
+        let bits = unsafe { std::mem::transmute::<f64, u64>(x) };
+        assert_ne!(bits, 0);
+    }
+}

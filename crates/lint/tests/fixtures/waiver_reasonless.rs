@@ -1,0 +1,6 @@
+//! Fixture: a waiver without a justification string is W0 and does NOT
+//! suppress the underlying finding.
+
+use std::collections::HashMap; // popan-lint: allow(D1)
+
+pub type Cache = HashMap<u64, u64>;

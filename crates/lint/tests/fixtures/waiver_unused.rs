@@ -1,0 +1,6 @@
+//! Fixture: a waiver that matches no finding is W1 (stale suppression).
+
+// popan-lint: allow(R2, "there is no unsafe anywhere near this line")
+pub fn perfectly_safe() -> u64 {
+    7
+}

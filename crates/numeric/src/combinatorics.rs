@@ -107,9 +107,9 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> Result<f64> {
 pub fn checked_pow_u128(base: u64, exp: u32) -> Result<u128> {
     let mut acc: u128 = 1;
     for _ in 0..exp {
-        acc = acc.checked_mul(base as u128).ok_or_else(|| {
-            NumericError::invalid(format!("{base}^{exp} overflows u128"))
-        })?;
+        acc = acc
+            .checked_mul(base as u128)
+            .ok_or_else(|| NumericError::invalid(format!("{base}^{exp} overflows u128")))?;
     }
     Ok(acc)
 }
@@ -168,8 +168,7 @@ mod tests {
                 if n > 0 && k > 0 {
                     assert_eq!(
                         binomial_exact(n, k).unwrap(),
-                        binomial_exact(n - 1, k - 1).unwrap()
-                            + binomial_exact(n - 1, k).unwrap()
+                        binomial_exact(n - 1, k - 1).unwrap() + binomial_exact(n - 1, k).unwrap()
                     );
                 }
             }

@@ -141,8 +141,7 @@ mod tests {
                 0.5 * (x[1] + 3.0 / x[1]),
             ]))
         };
-        let out =
-            solve_fixed_point(g, &DVector::from(&[1.0, 1.0][..]), &opts()).unwrap();
+        let out = solve_fixed_point(g, &DVector::from(&[1.0, 1.0][..]), &opts()).unwrap();
         assert!((out.solution[0] - 2.0_f64.sqrt()).abs() < 1e-12);
         assert!((out.solution[1] - 3.0_f64.sqrt()).abs() < 1e-12);
     }
@@ -152,15 +151,23 @@ mod tests {
         // g(x) = -x + 2 oscillates forever undamped (period 2 around the
         // fixed point x = 1); damping 0.5 lands on it in one step.
         let g = |x: &DVector| x.scale(-1.0).add(&DVector::filled(1, 2.0));
-        let raw = solve_fixed_point(g, &DVector::zeros(1), &FixedPointOptions {
-            max_iterations: 50,
-            ..opts()
-        });
+        let raw = solve_fixed_point(
+            g,
+            &DVector::zeros(1),
+            &FixedPointOptions {
+                max_iterations: 50,
+                ..opts()
+            },
+        );
         assert!(matches!(raw, Err(NumericError::DidNotConverge { .. })));
-        let damped = solve_fixed_point(g, &DVector::zeros(1), &FixedPointOptions {
-            damping: 0.5,
-            ..opts()
-        })
+        let damped = solve_fixed_point(
+            g,
+            &DVector::zeros(1),
+            &FixedPointOptions {
+                damping: 0.5,
+                ..opts()
+            },
+        )
         .unwrap();
         assert!((damped.solution[0] - 1.0).abs() < 1e-12);
     }
@@ -168,10 +175,14 @@ mod tests {
     #[test]
     fn reports_non_convergence() {
         let g = |x: &DVector| Ok(x.scale(2.0)); // expanding map, fixed point 0 unstable
-        let res = solve_fixed_point(g, &DVector::filled(1, 1.0), &FixedPointOptions {
-            max_iterations: 10,
-            ..opts()
-        });
+        let res = solve_fixed_point(
+            g,
+            &DVector::filled(1, 1.0),
+            &FixedPointOptions {
+                max_iterations: 10,
+                ..opts()
+            },
+        );
         match res {
             Err(NumericError::DidNotConverge { iterations, .. }) => assert_eq!(iterations, 10),
             other => panic!("expected DidNotConverge, got {other:?}"),
@@ -182,14 +193,42 @@ mod tests {
     fn rejects_bad_options() {
         let g = |x: &DVector| Ok(x.clone());
         let x0 = DVector::zeros(1);
-        assert!(solve_fixed_point(g, &x0, &FixedPointOptions { damping: 0.0, ..opts() }).is_err());
-        assert!(solve_fixed_point(g, &x0, &FixedPointOptions { damping: 1.5, ..opts() }).is_err());
-        assert!(
-            solve_fixed_point(g, &x0, &FixedPointOptions { max_iterations: 0, ..opts() }).is_err()
-        );
-        assert!(
-            solve_fixed_point(g, &x0, &FixedPointOptions { tolerance: 0.0, ..opts() }).is_err()
-        );
+        assert!(solve_fixed_point(
+            g,
+            &x0,
+            &FixedPointOptions {
+                damping: 0.0,
+                ..opts()
+            }
+        )
+        .is_err());
+        assert!(solve_fixed_point(
+            g,
+            &x0,
+            &FixedPointOptions {
+                damping: 1.5,
+                ..opts()
+            }
+        )
+        .is_err());
+        assert!(solve_fixed_point(
+            g,
+            &x0,
+            &FixedPointOptions {
+                max_iterations: 0,
+                ..opts()
+            }
+        )
+        .is_err());
+        assert!(solve_fixed_point(
+            g,
+            &x0,
+            &FixedPointOptions {
+                tolerance: 0.0,
+                ..opts()
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -71,10 +71,7 @@ pub fn chi_square(
             "fewer than 2 classes survive pooling; cannot test",
         ));
     }
-    let statistic: f64 = pooled
-        .iter()
-        .map(|&(o, e)| (o - e) * (o - e) / e)
-        .sum();
+    let statistic: f64 = pooled.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
     Ok((statistic, pooled.len() - 1))
 }
 

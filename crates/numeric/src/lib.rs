@@ -44,10 +44,10 @@ pub mod stats;
 pub mod vector;
 
 pub use error::NumericError;
-pub use fixed_point::{FixedPointOptions, FixedPointOutcome, solve_fixed_point};
+pub use fixed_point::{solve_fixed_point, FixedPointOptions, FixedPointOutcome};
 pub use lu::LuDecomposition;
 pub use matrix::DMatrix;
-pub use newton::{NewtonOptions, NewtonOutcome, solve_newton};
+pub use newton::{solve_newton, NewtonOptions, NewtonOutcome};
 pub use vector::DVector;
 
 /// Result alias used throughout the numeric crate.

@@ -206,7 +206,14 @@ mod tests {
 
     #[test]
     fn determinant_of_known_matrices() {
-        assert!((LuDecomposition::new(&DMatrix::identity(4)).unwrap().determinant() - 1.0).abs() < 1e-12);
+        assert!(
+            (LuDecomposition::new(&DMatrix::identity(4))
+                .unwrap()
+                .determinant()
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
         let a = mat(2, 2, &[2.0, 1.0, 1.0, 3.0]);
         let det = LuDecomposition::new(&a).unwrap().determinant();
         assert!((det - 5.0).abs() < 1e-12);
@@ -218,11 +225,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = mat(
-            3,
-            3,
-            &[4.0, 2.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.0, 2.5],
-        );
+        let a = mat(3, 3, &[4.0, 2.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.0, 2.5]);
         let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
         let prod = a.mul(&inv).unwrap();
         for i in 0..3 {

@@ -323,11 +323,10 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged_and_empty() {
         assert!(DMatrix::from_rows(&[]).is_err());
-        assert!(DMatrix::from_rows(&[
-            DVector::from(&[1.0][..]),
-            DVector::from(&[1.0, 2.0][..])
-        ])
-        .is_err());
+        assert!(
+            DMatrix::from_rows(&[DVector::from(&[1.0][..]), DVector::from(&[1.0, 2.0][..])])
+                .is_err()
+        );
     }
 
     #[test]

@@ -165,12 +165,7 @@ where
 }
 
 /// Forward-difference Jacobian `J[i][j] = ∂F_i/∂x_j`.
-fn forward_difference_jacobian<F>(
-    f: &F,
-    x: &DVector,
-    fx: &DVector,
-    h: f64,
-) -> Result<DMatrix>
+fn forward_difference_jacobian<F>(f: &F, x: &DVector, fx: &DVector, h: f64) -> Result<DMatrix>
 where
     F: Fn(&DVector) -> Result<DVector>,
 {
@@ -249,10 +244,14 @@ mod tests {
     fn reports_non_convergence_on_rootless_system() {
         // x^2 + 1 = 0 has no real root; backtracking must eventually fail.
         let f = |x: &DVector| Ok(DVector::from_vec(vec![x[0] * x[0] + 1.0]));
-        let res = solve_newton(f, &DVector::filled(1, 2.0), &NewtonOptions {
-            max_iterations: 50,
-            ..opts()
-        });
+        let res = solve_newton(
+            f,
+            &DVector::filled(1, 2.0),
+            &NewtonOptions {
+                max_iterations: 50,
+                ..opts()
+            },
+        );
         assert!(res.is_err());
     }
 
@@ -260,9 +259,33 @@ mod tests {
     fn rejects_bad_options() {
         let f = |x: &DVector| Ok(x.clone());
         let x0 = DVector::zeros(1);
-        assert!(solve_newton(f, &x0, &NewtonOptions { max_iterations: 0, ..opts() }).is_err());
-        assert!(solve_newton(f, &x0, &NewtonOptions { tolerance: -1.0, ..opts() }).is_err());
-        assert!(solve_newton(f, &x0, &NewtonOptions { fd_step: 0.0, ..opts() }).is_err());
+        assert!(solve_newton(
+            f,
+            &x0,
+            &NewtonOptions {
+                max_iterations: 0,
+                ..opts()
+            }
+        )
+        .is_err());
+        assert!(solve_newton(
+            f,
+            &x0,
+            &NewtonOptions {
+                tolerance: -1.0,
+                ..opts()
+            }
+        )
+        .is_err());
+        assert!(solve_newton(
+            f,
+            &x0,
+            &NewtonOptions {
+                fd_step: 0.0,
+                ..opts()
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok(LinearFit {
         intercept,
         slope,
@@ -263,7 +267,11 @@ mod tests {
             .map(|i| 3.7 + 0.4 * (i as f64 * std::f64::consts::PI / 2.0).sin())
             .collect();
         let m = oscillation_metrics(&y, Some(4)).unwrap();
-        assert!(m.amplitude > 0.6 && m.amplitude < 1.0, "amplitude {}", m.amplitude);
+        assert!(
+            m.amplitude > 0.6 && m.amplitude < 1.0,
+            "amplitude {}",
+            m.amplitude
+        );
         assert!(m.autocorr_at_period.unwrap() > 0.5);
         let spacing = m.mean_peak_spacing.unwrap();
         assert!((spacing - 4.0).abs() < 1.01, "spacing {spacing}");

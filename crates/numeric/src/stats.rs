@@ -194,8 +194,13 @@ pub fn percentile(sample: &[f64], q: f64) -> Result<f64> {
             "percentile q must be in [0, 1], got {q}"
         )));
     }
+    if let Some(bad) = sample.iter().find(|x| x.is_nan()) {
+        return Err(NumericError::invalid(format!(
+            "percentile of a sample containing {bad}"
+        )));
+    }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample value"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -14,10 +14,7 @@ pub trait Distribution<T> {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
 
     /// An infinite iterator of draws borrowing `rng`.
-    fn sample_iter<'a, R: RngCore + ?Sized>(
-        &'a self,
-        rng: &'a mut R,
-    ) -> DistIter<'a, Self, R, T>
+    fn sample_iter<'a, R: RngCore + ?Sized>(&'a self, rng: &'a mut R) -> DistIter<'a, Self, R, T>
     where
         Self: Sized,
     {

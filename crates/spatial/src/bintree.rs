@@ -208,7 +208,14 @@ impl Bintree {
                 Node::Internal(_) => false,
             };
             if needs_split {
-                Self::split_leaf(child, halves[i], axis.next(), depth + 1, max_depth, capacity);
+                Self::split_leaf(
+                    child,
+                    halves[i],
+                    axis.next(),
+                    depth + 1,
+                    max_depth,
+                    capacity,
+                );
             }
         }
         *node = Node::Internal(children);
@@ -280,7 +287,15 @@ impl Bintree {
                 Node::Internal(children) => {
                     let halves = split_block(block, axis);
                     for (i, child) in children.iter().enumerate() {
-                        walk(child, halves[i], axis.next(), depth + 1, capacity, max_depth, total);
+                        walk(
+                            child,
+                            halves[i],
+                            axis.next(),
+                            depth + 1,
+                            capacity,
+                            max_depth,
+                            total,
+                        );
                     }
                 }
             }
@@ -327,9 +342,9 @@ impl OccupancyInstrumented for Bintree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popan_workload::points::{PointSource, UniformRect};
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::points::{PointSource, UniformRect};
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)

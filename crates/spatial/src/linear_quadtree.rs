@@ -151,9 +151,7 @@ impl LinearQuadtree {
         );
         let code_min = morton::morton_of_point(&lo, &self.region);
         let code_max = morton::morton_of_point(&hi, &self.region);
-        let start = self
-            .leaves
-            .partition_point(|l| l.code_hi <= code_min);
+        let start = self.leaves.partition_point(|l| l.code_hi <= code_min);
         for l in &self.leaves[start..] {
             if l.code_lo > code_max {
                 break;
@@ -178,10 +176,7 @@ impl LinearQuadtree {
         let full_span = 1u64 << (2 * morton::MORTON_BITS);
         assert_eq!(self.leaves[0].code_lo, 0, "first leaf starts at 0");
         for w in self.leaves.windows(2) {
-            assert_eq!(
-                w[0].code_hi, w[1].code_lo,
-                "leaf ranges must be contiguous"
-            );
+            assert_eq!(w[0].code_hi, w[1].code_lo, "leaf ranges must be contiguous");
         }
         assert_eq!(
             self.leaves.last().expect("non-empty").code_hi,
@@ -202,9 +197,9 @@ impl From<&PrQuadtree> for LinearQuadtree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popan_workload::points::{PointSource, UniformRect};
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::points::{PointSource, UniformRect};
 
     fn build_pair(n: usize, capacity: usize, seed: u64) -> (PrQuadtree, LinearQuadtree) {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -160,12 +160,7 @@ impl DepthOccupancyTable {
 
     /// Collapses the table into an [`OccupancyProfile`].
     pub fn profile(&self) -> OccupancyProfile {
-        let max = self
-            .rows
-            .values()
-            .map(|r| r.len())
-            .max()
-            .unwrap_or(0);
+        let max = self.rows.values().map(|r| r.len()).max().unwrap_or(0);
         let mut counts = vec![0u64; max];
         for row in self.rows.values() {
             for (i, &c) in row.iter().enumerate() {

@@ -142,7 +142,14 @@ impl PmrQuadtree {
                 for (i, child) in children.iter_mut().enumerate() {
                     let child_block = block.quadrant(Quadrant::from_index(i));
                     if entry.segment.crosses_rect(&child_block) {
-                        Self::insert_rec(child, child_block, depth + 1, max_depth, threshold, entry);
+                        Self::insert_rec(
+                            child,
+                            child_block,
+                            depth + 1,
+                            max_depth,
+                            threshold,
+                            entry,
+                        );
                     }
                 }
             }
@@ -249,7 +256,8 @@ impl PmrQuadtree {
         walk(&self.root, self.region, &mut leaves);
 
         // Each stored entry crosses its leaf's block.
-        let mut by_id: std::collections::BTreeMap<u32, Segment2> = std::collections::BTreeMap::new();
+        let mut by_id: std::collections::BTreeMap<u32, Segment2> =
+            std::collections::BTreeMap::new();
         for (block, entries) in &leaves {
             for e in *entries {
                 assert!(
@@ -306,9 +314,9 @@ impl OccupancyInstrumented for PmrQuadtree {
 mod tests {
     use super::*;
     use popan_geom::Point2;
-    use popan_workload::lines::{SegmentSource, UniformEndpoints};
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::lines::{SegmentSource, UniformEndpoints};
 
     fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment2 {
         Segment2::new(Point2::new(ax, ay), Point2::new(bx, by))
@@ -418,7 +426,9 @@ mod tests {
         let profile = t.occupancy_profile();
         // Occupancy above threshold is possible but must be rare:
         // P(occupancy = threshold + k) decays with k.
-        let above: u64 = (6..=profile.max_occupancy()).map(|i| profile.count(i)).sum();
+        let above: u64 = (6..=profile.max_occupancy())
+            .map(|i| profile.count(i))
+            .sum();
         let total = profile.total_leaves();
         assert!(
             (above as f64) < 0.25 * total as f64,

@@ -81,9 +81,7 @@ impl PointQuadtree {
                 let mut node = root.as_mut();
                 loop {
                     if node.point == p {
-                        return Err(TreeError::InvalidParameter(format!(
-                            "duplicate point {p}"
-                        )));
+                        return Err(TreeError::InvalidParameter(format!("duplicate point {p}")));
                     }
                     let q = node.quadrant_index(&p);
                     if node.children[q].is_none() {
@@ -154,9 +152,9 @@ impl PointQuadtree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popan_workload::points::{PointSource, UniformRect};
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::points::{PointSource, UniformRect};
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)

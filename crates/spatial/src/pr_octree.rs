@@ -208,7 +208,14 @@ impl PrOctree {
     /// Verifies structural invariants (see
     /// [`crate::pr_quadtree::PrQuadtree::check_invariants`]).
     pub fn check_invariants(&self) {
-        fn walk(node: &Node, block: Aabb3, depth: u32, capacity: usize, max_depth: u32, total: &mut usize) {
+        fn walk(
+            node: &Node,
+            block: Aabb3,
+            depth: u32,
+            capacity: usize,
+            max_depth: u32,
+            total: &mut usize,
+        ) {
             match node {
                 Node::Leaf(points) => {
                     *total += points.len();
@@ -280,9 +287,9 @@ impl OccupancyInstrumented for PrOctree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popan_workload::points::UniformCube;
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::points::UniformCube;
 
     #[test]
     fn empty_and_single() {

@@ -85,7 +85,11 @@ impl PrQuadtree {
     ///
     /// The paper's implementation "truncates the tree at that depth
     /// (9)"; passing `max_depth = 9` reproduces its Table 3 artifact.
-    pub fn with_max_depth(region: Rect, capacity: usize, max_depth: u32) -> Result<Self, TreeError> {
+    pub fn with_max_depth(
+        region: Rect,
+        capacity: usize,
+        max_depth: u32,
+    ) -> Result<Self, TreeError> {
         if capacity == 0 {
             return Err(TreeError::InvalidParameter(
                 "node capacity must be at least 1".into(),
@@ -259,12 +263,8 @@ impl PrQuadtree {
             },
             Node::Internal(children) => {
                 let q = block.quadrant_of(p);
-                let removed = Self::remove_rec(
-                    &mut children[q.index()],
-                    block.quadrant(q),
-                    capacity,
-                    p,
-                );
+                let removed =
+                    Self::remove_rec(&mut children[q.index()], block.quadrant(q), capacity, p);
                 if removed {
                     Self::try_collapse(node, capacity);
                 }
@@ -425,8 +425,7 @@ impl PrQuadtree {
                 for p in points {
                     let d2 = p.distance_squared(target);
                     if best.len() < k || d2 < best.last().expect("full").0 {
-                        let pos = best
-                            .partition_point(|&(bd, _)| bd <= d2);
+                        let pos = best.partition_point(|&(bd, _)| bd <= d2);
                         best.insert(pos, (d2, *p));
                         if best.len() > k {
                             best.pop();
@@ -525,12 +524,7 @@ impl PrQuadtree {
 
     /// Visits every leaf with its block, depth and points.
     pub fn for_each_leaf(&self, mut f: impl FnMut(Rect, u32, &[Point2])) {
-        fn walk(
-            node: &Node,
-            block: Rect,
-            depth: u32,
-            f: &mut impl FnMut(Rect, u32, &[Point2]),
-        ) {
+        fn walk(node: &Node, block: Rect, depth: u32, f: &mut impl FnMut(Rect, u32, &[Point2])) {
             match node {
                 Node::Leaf(points) => f(block, depth, points),
                 Node::Internal(children) => {
@@ -605,9 +599,9 @@ impl OccupancyInstrumented for PrQuadtree {
 mod tests {
     use super::*;
     use crate::node_stats::OccupancyInstrumented;
-    use popan_workload::points::{PointSource, UniformRect};
     use popan_rng::rngs::StdRng;
     use popan_rng::SeedableRng;
+    use popan_workload::points::{PointSource, UniformRect};
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)
@@ -760,8 +754,11 @@ mod tests {
         let t = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
         let query = Rect::from_bounds(0.2, 0.3, 0.6, 0.9);
         let mut got = t.range_query(&query);
-        let mut expect: Vec<Point2> =
-            points.iter().filter(|p| query.contains(p)).copied().collect();
+        let mut expect: Vec<Point2> = points
+            .iter()
+            .filter(|p| query.contains(p))
+            .copied()
+            .collect();
         let key = |p: &Point2| (p.x, p.y);
         got.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
         expect.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
@@ -804,12 +801,7 @@ mod tests {
 
     #[test]
     fn nearest_works_for_targets_outside_region() {
-        let t = PrQuadtree::build(
-            Rect::unit(),
-            1,
-            [pt(0.1, 0.1), pt(0.9, 0.9)],
-        )
-        .unwrap();
+        let t = PrQuadtree::build(Rect::unit(), 1, [pt(0.1, 0.1), pt(0.9, 0.9)]).unwrap();
         assert_eq!(t.nearest(&pt(2.0, 2.0)).unwrap(), pt(0.9, 0.9));
         assert_eq!(t.nearest(&pt(-1.0, -1.0)).unwrap(), pt(0.1, 0.1));
     }
@@ -1001,9 +993,7 @@ mod tests {
             }
             // Results are sorted nearest-first.
             for w in got.windows(2) {
-                assert!(
-                    w[0].distance_squared(&target) <= w[1].distance_squared(&target)
-                );
+                assert!(w[0].distance_squared(&target) <= w[1].distance_squared(&target));
             }
         }
     }

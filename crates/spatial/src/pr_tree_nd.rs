@@ -148,13 +148,7 @@ impl<const D: usize> PrTreeNd<D> {
         }
     }
 
-    fn split_leaf(
-        node: &mut Node<D>,
-        block: BoxN<D>,
-        depth: u32,
-        max_depth: u32,
-        capacity: usize,
-    ) {
+    fn split_leaf(node: &mut Node<D>, block: BoxN<D>, depth: u32, max_depth: u32, capacity: usize) {
         let points = match std::mem::replace(node, Node::empty_leaf()) {
             Node::Leaf(points) => points,
             Node::Internal(_) => unreachable!("split_leaf on internal node"),
@@ -244,7 +238,14 @@ impl<const D: usize> PrTreeNd<D> {
                 Node::Internal(children) => {
                     assert_eq!(children.len(), 1 << D);
                     for (i, child) in children.iter().enumerate() {
-                        walk(child, block.orthant(i), depth + 1, capacity, max_depth, total);
+                        walk(
+                            child,
+                            block.orthant(i),
+                            depth + 1,
+                            capacity,
+                            max_depth,
+                            total,
+                        );
                     }
                 }
             }

@@ -57,7 +57,11 @@ pub fn render_blocks(tree: &PrQuadtree, min_cells: usize) -> String {
         // Vertical borders.
         for row in grid.iter_mut().take(r_bot + 1).skip(r_top) {
             for c in [c0, c1] {
-                row[c] = if row[c] == '-' || row[c] == '+' { '+' } else { '|' };
+                row[c] = if row[c] == '-' || row[c] == '+' {
+                    '+'
+                } else {
+                    '|'
+                };
             }
         }
         // Points.
@@ -117,7 +121,10 @@ mod tests {
 
     #[test]
     fn output_is_rectangular() {
-        let s = figure1(Rect::unit(), &[Point2::new(0.3, 0.6), Point2::new(0.31, 0.61)]);
+        let s = figure1(
+            Rect::unit(),
+            &[Point2::new(0.3, 0.6), Point2::new(0.31, 0.61)],
+        );
         let lines: Vec<&str> = s.lines().collect();
         assert!(!lines.is_empty());
         let w = lines[0].chars().count();
@@ -126,7 +133,10 @@ mod tests {
 
     #[test]
     fn deeper_trees_render_more_blocks() {
-        let shallow = figure1(Rect::unit(), &[Point2::new(0.2, 0.2), Point2::new(0.8, 0.8)]);
+        let shallow = figure1(
+            Rect::unit(),
+            &[Point2::new(0.2, 0.2), Point2::new(0.8, 0.8)],
+        );
         let deep = figure1(
             Rect::unit(),
             &[Point2::new(0.501, 0.501), Point2::new(0.52, 0.52)],

@@ -156,7 +156,12 @@ impl Clustered {
     /// Creates a cluster process with centers drawn through `rng`.
     ///
     /// Panics if `clusters == 0` or `spread <= 0`.
-    pub fn new(region: Rect, clusters: usize, spread: f64, rng: &mut dyn popan_rng::RngCore) -> Self {
+    pub fn new(
+        region: Rect,
+        clusters: usize,
+        spread: f64,
+        rng: &mut dyn popan_rng::RngCore,
+    ) -> Self {
         assert!(clusters > 0, "need at least one cluster");
         assert!(spread > 0.0, "spread must be positive");
         let uniform = UniformRect::new(region);
@@ -371,11 +376,7 @@ mod tests {
         let pts = src.sample_n(&mut r, 1000);
         let close = pts
             .iter()
-            .filter(|p| {
-                src.centers()
-                    .iter()
-                    .any(|c| c.distance(p) < 0.1)
-            })
+            .filter(|p| src.centers().iter().any(|c| c.distance(p) < 0.1))
             .count();
         assert!(close > 950, "{close} of 1000 near a center");
         for p in &pts {

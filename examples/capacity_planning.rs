@@ -49,8 +49,7 @@ fn main() {
     // long-run mix, so use enough points to average over phasing).
     let mut rng = StdRng::seed_from_u64(7);
     let points = UniformRect::unit().sample_n(&mut rng, 50_000);
-    let tree =
-        PrQuadtree::build(Rect::unit(), m, points).expect("points in region");
+    let tree = PrQuadtree::build(Rect::unit(), m, points).expect("points in region");
     let measured = tree.occupancy_profile();
     println!(
         "validation: predicted utilization {:.1}%, measured {:.1}% over {} leaves",

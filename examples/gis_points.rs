@@ -27,11 +27,17 @@ fn main() {
     let tree = PrQuadtree::build(city, capacity, features.iter().copied())
         .expect("features lie inside the city");
 
-    println!("indexed {} point features (capacity {capacity})", tree.len());
+    println!(
+        "indexed {} point features (capacity {capacity})",
+        tree.len()
+    );
     println!("  leaf nodes: {}", tree.leaf_count());
     let profile = tree.occupancy_profile();
     println!("  avg occupancy: {:.2}", profile.average_occupancy());
-    println!("  utilization:   {:.1}%", 100.0 * profile.utilization(capacity));
+    println!(
+        "  utilization:   {:.1}%",
+        100.0 * profile.utilization(capacity)
+    );
 
     // Window query: everything in a 1km × 1km downtown block.
     let window = Rect::from_bounds(4.5, 4.5, 5.5, 5.5);

@@ -23,8 +23,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(86);
     let segments = UniformEndpoints::unit().sample_n(&mut rng, 800);
 
-    let tree = PmrQuadtree::build(Rect::unit(), threshold, segments)
-        .expect("segments cross the region");
+    let tree =
+        PmrQuadtree::build(Rect::unit(), threshold, segments).expect("segments cross the region");
     println!(
         "PMR quadtree: {} segments, threshold {threshold}, {} leaves",
         tree.len(),
@@ -44,8 +44,7 @@ fn main() {
     println!("\nmeasured occupancy mix: {measured:.3?}");
     println!("measured avg occupancy: {:.2}", profile.average_occupancy());
 
-    let model = PmrModel::estimate(threshold, 6, &RandomChords, 20_000, 7)
-        .expect("valid model");
+    let model = PmrModel::estimate(threshold, 6, &RandomChords, 20_000, 7).expect("valid model");
     let steady = SteadyStateSolver::new()
         .tolerance(1e-12)
         .solve(&model)

@@ -19,7 +19,9 @@ fn main() {
     //    changes a node of each occupancy; the steady state is the
     //    occupancy mix insertion leaves unchanged.
     let model = PrModel::quadtree(capacity).expect("capacity >= 1");
-    let steady = SteadyStateSolver::new().solve(&model).expect("model solves");
+    let steady = SteadyStateSolver::new()
+        .solve(&model)
+        .expect("model solves");
     let theory = steady.distribution();
 
     println!("PR quadtree, node capacity m = {capacity}");

@@ -63,10 +63,30 @@ fn main() {
             model_occupancy(b)
         );
     };
-    row("bintree", 2, bt.leaf_count(), bt.occupancy_profile().average_occupancy());
-    row("PR quadtree", 4, qt.leaf_count(), qt.occupancy_profile().average_occupancy());
-    row("PR octree", 8, ot.leaf_count(), ot.occupancy_profile().average_occupancy());
-    row("PR 4-d tree", 16, nd.leaf_count(), nd.occupancy_profile().average_occupancy());
+    row(
+        "bintree",
+        2,
+        bt.leaf_count(),
+        bt.occupancy_profile().average_occupancy(),
+    );
+    row(
+        "PR quadtree",
+        4,
+        qt.leaf_count(),
+        qt.occupancy_profile().average_occupancy(),
+    );
+    row(
+        "PR octree",
+        8,
+        ot.leaf_count(),
+        ot.occupancy_profile().average_occupancy(),
+    );
+    row(
+        "PR 4-d tree",
+        16,
+        nd.leaf_count(),
+        nd.occupancy_profile().average_occupancy(),
+    );
 
     // The point quadtree has no bucket populations — depth is its story.
     let pq = PointQuadtree::build(pts2.iter().copied()).unwrap();

@@ -8,6 +8,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Static invariants first (DESIGN.md §8): popan-lint enforces the
+# determinism/hermeticity/layering rules before anything expensive
+# runs. A reintroduced HashMap in the engine, a wall-clock read in a
+# trial path, or a crates.io dependency all fail right here.
+cargo run -q --release --offline -p popan-lint
+
+# Formatting and clippy gates. The toolchain components are optional in
+# minimal containers; skip with a visible notice rather than failing
+# the whole verification when they are absent.
+if cargo fmt --version > /dev/null 2>&1; then
+  cargo fmt --all --check
+else
+  echo "verify: NOTICE — rustfmt unavailable, skipping cargo fmt --check" >&2
+fi
+if cargo clippy --version > /dev/null 2>&1; then
+  cargo clippy --release --offline --workspace --all-targets -- -D warnings
+else
+  echo "verify: NOTICE — clippy unavailable, skipping cargo clippy" >&2
+fi
+
 cargo build --release --offline --workspace
 # The whole suite runs twice: once forced sequential, once on four
 # engine workers. The experiment engine's contract is that the two are
@@ -45,4 +65,4 @@ bash scripts/resume_smoke.sh
 # writes its target/popan-bench/BENCH_<group>.json artifact.
 cargo bench -q --offline --workspace -- --smoke
 
-echo "verify: build + test (POPAN_THREADS=1 and =4) + faults + resume + bench smoke all green (offline)"
+echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + bench smoke all green (offline)"

@@ -31,8 +31,8 @@
 
 pub use popan_core as core;
 pub use popan_engine as engine;
-pub use popan_exthash as exthash;
 pub use popan_experiments as experiments;
+pub use popan_exthash as exthash;
 pub use popan_geom as geom;
 pub use popan_numeric as numeric;
 pub use popan_spatial as spatial;

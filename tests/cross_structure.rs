@@ -26,24 +26,39 @@ fn occupancy_ordering_bintree_quadtree_octree() {
     let capacity = 3;
     let runner = TrialRunner::new(0xc5, 4);
     let bt: f64 = runner.run_mean(|_, rng| {
-        Bintree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, 1200))
-            .unwrap()
-            .occupancy_profile()
-            .average_occupancy()
+        Bintree::build(
+            Rect::unit(),
+            capacity,
+            UniformRect::unit().sample_n(rng, 1200),
+        )
+        .unwrap()
+        .occupancy_profile()
+        .average_occupancy()
     });
     let qt: f64 = runner.run_mean(|_, rng| {
-        PrQuadtree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, 1200))
-            .unwrap()
-            .occupancy_profile()
-            .average_occupancy()
+        PrQuadtree::build(
+            Rect::unit(),
+            capacity,
+            UniformRect::unit().sample_n(rng, 1200),
+        )
+        .unwrap()
+        .occupancy_profile()
+        .average_occupancy()
     });
     let ot: f64 = runner.run_mean(|_, rng| {
-        PrOctree::build(Aabb3::unit(), capacity, UniformCube::unit().sample_n(rng, 1200))
-            .unwrap()
-            .occupancy_profile()
-            .average_occupancy()
+        PrOctree::build(
+            Aabb3::unit(),
+            capacity,
+            UniformCube::unit().sample_n(rng, 1200),
+        )
+        .unwrap()
+        .occupancy_profile()
+        .average_occupancy()
     });
-    assert!(bt > qt && qt > ot, "measured: bt {bt:.2}, qt {qt:.2}, ot {ot:.2}");
+    assert!(
+        bt > qt && qt > ot,
+        "measured: bt {bt:.2}, qt {qt:.2}, ot {ot:.2}"
+    );
     let (tb, tq, to) = (
         theory_occupancy(2, capacity),
         theory_occupancy(4, capacity),
@@ -85,28 +100,40 @@ fn model_average_occupancy_against_every_structure() {
         (
             2,
             runner.run_mean(|_, rng| {
-                Bintree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, 2000))
-                    .unwrap()
-                    .occupancy_profile()
-                    .average_occupancy()
+                Bintree::build(
+                    Rect::unit(),
+                    capacity,
+                    UniformRect::unit().sample_n(rng, 2000),
+                )
+                .unwrap()
+                .occupancy_profile()
+                .average_occupancy()
             }),
         ),
         (
             4,
             runner.run_mean(|_, rng| {
-                PrQuadtree::build(Rect::unit(), capacity, UniformRect::unit().sample_n(rng, 2000))
-                    .unwrap()
-                    .occupancy_profile()
-                    .average_occupancy()
+                PrQuadtree::build(
+                    Rect::unit(),
+                    capacity,
+                    UniformRect::unit().sample_n(rng, 2000),
+                )
+                .unwrap()
+                .occupancy_profile()
+                .average_occupancy()
             }),
         ),
         (
             8,
             runner.run_mean(|_, rng| {
-                PrOctree::build(Aabb3::unit(), capacity, UniformCube::unit().sample_n(rng, 2000))
-                    .unwrap()
-                    .occupancy_profile()
-                    .average_occupancy()
+                PrOctree::build(
+                    Aabb3::unit(),
+                    capacity,
+                    UniformCube::unit().sample_n(rng, 2000),
+                )
+                .unwrap()
+                .occupancy_profile()
+                .average_occupancy()
             }),
         ),
     ];

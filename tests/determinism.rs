@@ -144,6 +144,9 @@ fn solver_is_fully_deterministic() {
     let model = PrModel::quadtree(6).unwrap();
     let a = SteadyStateSolver::new().solve(&model).unwrap();
     let b = SteadyStateSolver::new().solve(&model).unwrap();
-    assert_eq!(a.distribution().proportions(), b.distribution().proportions());
+    assert_eq!(
+        a.distribution().proportions(),
+        b.distribution().proportions()
+    );
     assert_eq!(a.diagnostics().iterations, b.diagnostics().iterations);
 }

@@ -89,13 +89,7 @@ fn analytic_numeric_and_measured_m1_line_up() {
     let analytic = popan::core::analytic::simple_pr_distribution();
     let model = PrModel::quadtree(1).unwrap();
     let numeric = SteadyStateSolver::new().solve(&model).unwrap();
-    assert!(
-        numeric
-            .distribution()
-            .max_abs_diff(&analytic)
-            .unwrap()
-            < 1e-10
-    );
+    assert!(numeric.distribution().max_abs_diff(&analytic).unwrap() < 1e-10);
     let measured = measured_distribution(1, 8, 1000, 0x111);
     assert!((measured[0] - analytic.proportion(0)).abs() < 0.06);
 }

@@ -28,10 +28,7 @@ fn fixed_point_converges_for_capacities_1_through_32() {
             "m={m}: negative component in {e:?}"
         );
         // The paper's uniqueness argument requires the *positive* solution.
-        assert!(
-            e.iter().all(|&p| p > 0.0),
-            "m={m}: zero component in {e:?}"
-        );
+        assert!(e.iter().all(|&p| p > 0.0), "m={m}: zero component in {e:?}");
         assert!(
             steady.diagnostics().residual < 1e-10,
             "m={m}: residual {:.3e}",
