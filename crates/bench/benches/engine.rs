@@ -11,7 +11,7 @@ use popan_bench::{criterion_group, criterion_main, Criterion};
 use popan_engine::Engine;
 use popan_experiments::ExperimentConfig;
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 

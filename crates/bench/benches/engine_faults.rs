@@ -15,7 +15,7 @@ use popan_engine::{fingerprint_of, Engine, Experiment};
 use popan_experiments::ExperimentConfig;
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{PointSource, UniformRect};
 use popan_workload::TrialRunner;
 use std::hint::black_box;

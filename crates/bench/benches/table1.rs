@@ -9,7 +9,7 @@ use popan_experiments::{table1, ExperimentConfig};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 

@@ -20,7 +20,7 @@ use crate::report::TableData;
 use popan_core::dynamics::MeanFieldTree;
 use popan_core::{PrModel, SteadyStateSolver};
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{PointSource, UniformRect};
 
 /// Result for one capacity.

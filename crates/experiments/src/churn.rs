@@ -17,7 +17,7 @@ use crate::report::{format_distribution, TableData};
 use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{PointSource, UniformRect};
 use popan_workload::{ClassAccumulator, TrialRunner};
 

@@ -13,7 +13,7 @@ use crate::config::ExperimentConfig;
 use crate::report::TableData;
 use popan_core::{PrModel, SteadyStateSolver};
 use popan_geom::{Aabb3, Rect};
-use popan_spatial::{Bintree, OccupancyInstrumented, PrOctree, PrQuadtree};
+use popan_spatial::{Bintree, PrOctree, PrQuadtree};
 use popan_workload::points::{PointSource, UniformCube, UniformRect};
 
 /// Result for one structure.

@@ -13,7 +13,7 @@ use crate::report::TableData;
 use popan_core::dynamics::MeanFieldTree;
 use popan_core::phasing::analyze_phasing;
 use popan_geom::Rect;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{PointSource, UniformRect};
 
 /// Result for one capacity.

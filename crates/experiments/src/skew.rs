@@ -15,7 +15,7 @@ use popan_core::{PrModel, SteadyStateSolver};
 use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::cascade::Cascade;
 use popan_workload::points::PointSource;
 use popan_workload::{ClassAccumulator, TrialRunner};

@@ -13,7 +13,7 @@ use popan_core::phasing::{analyze_phasing, PhasingReport};
 use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::Rect;
 use popan_rng::rngs::StdRng;
-use popan_spatial::{OccupancyInstrumented, PrQuadtree};
+use popan_spatial::PrQuadtree;
 use popan_workload::points::{GaussianCentered, PointSource, UniformRect};
 use popan_workload::{TrialRunner, Welford};
 

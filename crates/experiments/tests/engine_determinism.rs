@@ -242,6 +242,52 @@ fn resumed_artifact_json_is_byte_identical() {
 }
 
 #[test]
+fn resumed_churn_artifact_json_is_byte_identical() {
+    // The churn workload is the heaviest user of the arena's remove +
+    // collapse + free-list path; a resumed run stitching checkpointed
+    // and fresh trials must still render byte-identical artifact JSON.
+    use popan_experiments::report::{format_distribution, TableData};
+
+    let experiment = ChurnExperiment::new(cfg(6, 300), 4, 300, ChurnPhase::Churned);
+    let artifact_json = |summary: &(usize, Vec<f64>)| {
+        TableData::new(
+            "churn",
+            "resume regression",
+            vec!["row".into(), "vector".into()],
+            vec![vec![
+                format!("churned ({} ops)", summary.0),
+                format_distribution(&summary.1),
+            ]],
+        )
+        .to_json()
+    };
+    let clean = artifact_json(&Engine::with_threads(1).run(&experiment));
+
+    let dir = std::env::temp_dir().join(format!("popan-churn-json-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::none()
+        .inject("churn/churned/m4", 0, Fault::Panic)
+        .inject("churn/churned/m4", 5, Fault::Panic);
+    let partial = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .with_fault_plan(plan)
+        .try_run(&experiment)
+        .expect("survivors remain");
+    assert_eq!(partial.completed, 4);
+    let resumed = Engine::with_threads(4)
+        .with_checkpoint(&dir)
+        .try_run(&experiment)
+        .expect("resume completes");
+    assert_eq!(resumed.resumed, 4);
+    assert_eq!(
+        artifact_json(&resumed.summary),
+        clean,
+        "resumed churn artifact JSON must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn odd_thread_counts_agree_too() {
     // The worker count should be invisible, not just 4-vs-1: check a
     // thread count that does not divide the trial count.

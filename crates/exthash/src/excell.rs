@@ -46,6 +46,9 @@ pub struct ExcellGrid {
     bucket_capacity: usize,
     global_depth: u32,
     len: usize,
+    /// Incrementally maintained bucket census: `occ_counts[i]` buckets
+    /// hold `i` points (overflowing buckets clamp into the top class).
+    occ_counts: Vec<u64>,
 }
 
 impl ExcellGrid {
@@ -56,6 +59,8 @@ impl ExcellGrid {
                 "bucket capacity must be at least 1",
             ));
         }
+        let mut occ_counts = vec![0u64; bucket_capacity + 1];
+        occ_counts[0] = 1; // the one empty bucket
         Ok(ExcellGrid {
             region,
             directory: vec![0],
@@ -67,7 +72,23 @@ impl ExcellGrid {
             bucket_capacity,
             global_depth: 0,
             len: 0,
+            occ_counts,
         })
+    }
+
+    /// Occupancy class of a bucket holding `n` points (clamped).
+    fn occ_class(&self, n: usize) -> usize {
+        n.min(self.bucket_capacity)
+    }
+
+    /// Census update: a bucket moved from `old` to `new` points.
+    fn occ_move(&mut self, old: usize, new: usize) {
+        let (from, to) = (self.occ_class(old), self.occ_class(new));
+        if from != to {
+            debug_assert!(self.occ_counts[from] > 0, "census class {from} underflow");
+            self.occ_counts[from] -= 1;
+            self.occ_counts[to] += 1;
+        }
     }
 
     /// The covered region.
@@ -136,9 +157,11 @@ impl ExcellGrid {
         let code = self.code_of(&p);
         loop {
             let bi = self.directory[self.dir_index(code)];
-            if self.buckets[bi].points.len() < self.bucket_capacity {
+            let occ = self.buckets[bi].points.len();
+            if occ < self.bucket_capacity {
                 self.buckets[bi].points.push(p);
                 self.len += 1;
+                self.occ_move(occ, occ + 1);
                 return Ok(());
             }
             // Pile-ups that splitting cannot separate — identical Morton
@@ -155,6 +178,7 @@ impl ExcellGrid {
             if unsplittable || local >= MAX_DEPTH || local >= CODE_BITS {
                 self.buckets[bi].points.push(p);
                 self.len += 1;
+                self.occ_move(occ, occ + 1);
                 return Ok(());
             }
             if local == self.global_depth {
@@ -184,9 +208,19 @@ impl ExcellGrid {
         let new_l = l + 1;
         let bit_shift = CODE_BITS - new_l;
         let points = std::mem::take(&mut self.buckets[bi].points);
+        let n = points.len();
         let (zeros, ones): (Vec<Point2>, Vec<Point2>) = points
             .into_iter()
             .partition(|p| (self.code_of(p) >> bit_shift) & 1 == 0);
+        // One bucket of `n` points becomes two with `zeros`/`ones`.
+        let (cn, cz, co) = (
+            self.occ_class(n),
+            self.occ_class(zeros.len()),
+            self.occ_class(ones.len()),
+        );
+        self.occ_counts[cn] -= 1;
+        self.occ_counts[cz] += 1;
+        self.occ_counts[co] += 1;
         let prefix0 = self.buckets[bi].prefix << 1;
         let prefix1 = prefix0 | 1;
         self.buckets[bi].local_depth = new_l;
@@ -236,13 +270,10 @@ impl ExcellGrid {
     }
 
     /// Bucket counts by occupancy (overflowing buckets clamp into the
-    /// last class).
+    /// last class). Served from the incrementally maintained census —
+    /// O(b) in the capacity, not in the bucket count.
     pub fn occupancy_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.bucket_capacity + 1];
-        for b in &self.buckets {
-            counts[b.points.len().min(self.bucket_capacity)] += 1;
-        }
-        counts
+        self.occ_counts.clone()
     }
 
     /// Verifies structural invariants; panics on violation.
@@ -272,6 +303,15 @@ impl ExcellGrid {
             }
         }
         assert_eq!(total, self.len);
+        // The incremental census must equal a fresh scan.
+        let mut scanned = vec![0u64; self.bucket_capacity + 1];
+        for b in &self.buckets {
+            scanned[b.points.len().min(self.bucket_capacity)] += 1;
+        }
+        assert_eq!(
+            self.occ_counts, scanned,
+            "incremental occupancy census diverged from bucket scan"
+        );
     }
 }
 

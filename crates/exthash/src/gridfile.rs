@@ -53,6 +53,9 @@ pub struct GridFile {
     buckets: Vec<Bucket>,
     bucket_capacity: usize,
     len: usize,
+    /// Incrementally maintained bucket census: `occ_counts[i]` buckets
+    /// hold `i` points (overflowing buckets clamp into the top class).
+    occ_counts: Vec<u64>,
 }
 
 impl GridFile {
@@ -63,6 +66,8 @@ impl GridFile {
                 "bucket capacity must be at least 1",
             ));
         }
+        let mut occ_counts = vec![0u64; bucket_capacity + 1];
+        occ_counts[0] = 1; // the one empty bucket
         Ok(GridFile {
             region,
             x_scale: Vec::new(),
@@ -77,7 +82,23 @@ impl GridFile {
             }],
             bucket_capacity,
             len: 0,
+            occ_counts,
         })
+    }
+
+    /// Occupancy class of a bucket holding `n` points (clamped).
+    fn occ_class(&self, n: usize) -> usize {
+        n.min(self.bucket_capacity)
+    }
+
+    /// Census update: a bucket moved from `old` to `new` points.
+    fn occ_move(&mut self, old: usize, new: usize) {
+        let (from, to) = (self.occ_class(old), self.occ_class(new));
+        if from != to {
+            debug_assert!(self.occ_counts[from] > 0, "census class {from} underflow");
+            self.occ_counts[from] -= 1;
+            self.occ_counts[to] += 1;
+        }
     }
 
     /// The covered region.
@@ -118,6 +139,13 @@ impl GridFile {
     /// Storage utilization `n / (buckets · b)`.
     pub fn utilization(&self) -> f64 {
         self.len as f64 / (self.buckets.len() * self.bucket_capacity) as f64
+    }
+
+    /// Bucket counts by occupancy (overflowing buckets clamp into the
+    /// last class). Served from the incrementally maintained census —
+    /// O(b) in the capacity, not in the bucket count.
+    pub fn occupancy_counts(&self) -> Vec<u64> {
+        self.occ_counts.clone()
     }
 
     /// Cell column of coordinate `x` (count of splits ≤ x).
@@ -185,15 +213,18 @@ impl GridFile {
         loop {
             let (cx, cy) = self.cell_of(&p);
             let bi = self.bucket_of_cell(cx, cy);
-            if self.buckets[bi].points.len() < self.bucket_capacity {
+            let occ = self.buckets[bi].points.len();
+            if occ < self.bucket_capacity {
                 self.buckets[bi].points.push(p);
                 self.len += 1;
+                self.occ_move(occ, occ + 1);
                 return Ok(());
             }
             if !self.make_room(bi) {
                 // Unsplittable (coincident pile or scale cap): overflow.
                 self.buckets[bi].points.push(p);
                 self.len += 1;
+                self.occ_move(occ, occ + 1);
                 return Ok(());
             }
         }
@@ -306,6 +337,7 @@ impl GridFile {
         }
         // Redistribute points: those at/right of the boundary move.
         let pts = std::mem::take(&mut self.buckets[bi].points);
+        let n = pts.len();
         let (stay, go): (Vec<Point2>, Vec<Point2>) = pts.into_iter().partition(|p| {
             if split_on_x {
                 self.col_of(p.x) < boundary_col
@@ -313,6 +345,15 @@ impl GridFile {
                 self.row_of(p.y) < boundary_row
             }
         });
+        // One bucket of `n` points becomes two with `stay`/`go`.
+        let (cn, cs, cg) = (
+            self.occ_class(n),
+            self.occ_class(stay.len()),
+            self.occ_class(go.len()),
+        );
+        self.occ_counts[cn] -= 1;
+        self.occ_counts[cs] += 1;
+        self.occ_counts[cg] += 1;
         if split_on_x {
             self.buckets[bi].cx1 = boundary_col;
         } else {
@@ -423,6 +464,15 @@ impl GridFile {
             }
         }
         assert_eq!(total, self.len);
+        // The incremental census must equal a fresh scan.
+        let mut scanned = vec![0u64; self.bucket_capacity + 1];
+        for b in &self.buckets {
+            scanned[b.points.len().min(self.bucket_capacity)] += 1;
+        }
+        assert_eq!(
+            self.occ_counts, scanned,
+            "incremental occupancy census diverged from bucket scan"
+        );
     }
 }
 
@@ -558,6 +608,20 @@ mod tests {
             g.cell_count(),
             g.bucket_count()
         );
+    }
+
+    #[test]
+    fn occupancy_counts_account_for_buckets_and_points() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut g = GridFile::new(Rect::unit(), 4).unwrap();
+        for p in UniformRect::unit().sample_n(&mut rng, 1000) {
+            g.insert(p).unwrap();
+        }
+        g.check_invariants(); // asserts census == scan
+        let counts = g.occupancy_counts();
+        assert_eq!(counts.iter().sum::<u64>() as usize, g.bucket_count());
+        let items: u64 = counts.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
+        assert_eq!(items as usize, g.len());
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub struct ExtendibleHashTable {
     global_depth: u32,
     len: usize,
     hash_keys: bool,
+    /// Incrementally maintained bucket census: `occ_counts[i]` buckets
+    /// hold `i` keys (over-capacity buckets clamp into the top class).
+    /// Updated at every insert/split/remove/merge, so
+    /// [`Self::occupancy_counts`] is a read, not a scan.
+    occ_counts: Vec<u64>,
 }
 
 impl ExtendibleHashTable {
@@ -93,6 +98,8 @@ impl ExtendibleHashTable {
                 "bucket capacity must be at least 1",
             ));
         }
+        let mut occ_counts = vec![0u64; bucket_capacity + 1];
+        occ_counts[0] = 1; // the one empty bucket
         Ok(ExtendibleHashTable {
             directory: vec![0],
             buckets: vec![Bucket {
@@ -103,7 +110,23 @@ impl ExtendibleHashTable {
             global_depth: 0,
             len: 0,
             hash_keys,
+            occ_counts,
         })
+    }
+
+    /// Occupancy class of a bucket holding `n` keys (clamped at capacity).
+    fn occ_class(&self, n: usize) -> usize {
+        n.min(self.bucket_capacity)
+    }
+
+    /// Census update: a bucket moved from `old` to `new` keys.
+    fn occ_move(&mut self, old: usize, new: usize) {
+        let (from, to) = (self.occ_class(old), self.occ_class(new));
+        if from != to {
+            debug_assert!(self.occ_counts[from] > 0, "census class {from} underflow");
+            self.occ_counts[from] -= 1;
+            self.occ_counts[to] += 1;
+        }
     }
 
     fn hash(&self, key: u64) -> u64 {
@@ -174,9 +197,11 @@ impl ExtendibleHashTable {
         }
         loop {
             let bi = self.directory[self.dir_index(h)];
-            if self.buckets[bi].keys.len() < self.bucket_capacity {
+            let occ = self.buckets[bi].keys.len();
+            if occ < self.bucket_capacity {
                 self.buckets[bi].keys.push(h);
                 self.len += 1;
+                self.occ_move(occ, occ + 1);
                 return true;
             }
             // Overflow: split (doubling the directory first if needed).
@@ -185,6 +210,7 @@ impl ExtendibleHashTable {
                     // Pathological collision pile-up: store over capacity.
                     self.buckets[bi].keys.push(h);
                     self.len += 1;
+                    self.occ_move(occ, occ + 1);
                     return true;
                 }
                 self.double_directory();
@@ -203,8 +229,10 @@ impl ExtendibleHashTable {
         let bucket = &mut self.buckets[bi];
         match bucket.keys.iter().position(|&k| k == h) {
             Some(pos) => {
+                let occ = bucket.keys.len();
                 bucket.keys.swap_remove(pos);
                 self.len -= 1;
+                self.occ_move(occ, occ - 1);
                 true
             }
             None => false,
@@ -249,7 +277,14 @@ impl ExtendibleHashTable {
             {
                 return;
             }
-            // Merge the buddy into `bi` and drop it from the arena.
+            // Merge the buddy into `bi` and drop it from the arena. Two
+            // census classes collapse into one (the emptied buddy bucket
+            // is dropped, not recounted).
+            let (a, b) = (self.buckets[bi].keys.len(), self.buckets[buddy].keys.len());
+            let (ca, cb, cm) = (self.occ_class(a), self.occ_class(b), self.occ_class(a + b));
+            self.occ_counts[ca] -= 1;
+            self.occ_counts[cb] -= 1;
+            self.occ_counts[cm] += 1;
             let moved = std::mem::take(&mut self.buckets[buddy].keys);
             self.buckets[bi].keys.extend(moved);
             self.buckets[bi].local_depth = l - 1;
@@ -311,7 +346,17 @@ impl ExtendibleHashTable {
         let split_bit = 1u64 << old_local;
 
         let keys = std::mem::take(&mut self.buckets[bi].keys);
+        let n = keys.len();
         let (stay, go): (Vec<u64>, Vec<u64>) = keys.into_iter().partition(|&k| k & split_bit == 0);
+        // One bucket of `n` keys becomes two with `stay`/`go`.
+        let (cn, cs, cg) = (
+            self.occ_class(n),
+            self.occ_class(stay.len()),
+            self.occ_class(go.len()),
+        );
+        self.occ_counts[cn] -= 1;
+        self.occ_counts[cs] += 1;
+        self.occ_counts[cg] += 1;
         self.buckets[bi].local_depth = new_local;
         self.buckets[bi].keys = stay;
         let new_bi = self.buckets.len();
@@ -342,14 +387,10 @@ impl ExtendibleHashTable {
 
     /// Bucket counts by occupancy: `counts[i]` buckets hold `i` keys.
     /// This is the extendible-hashing analogue of the paper's population
-    /// state vector.
+    /// state vector. Served from the incrementally maintained census —
+    /// O(b) in the capacity, not in the bucket count.
     pub fn occupancy_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.bucket_capacity + 1];
-        for b in &self.buckets {
-            let i = b.keys.len().min(self.bucket_capacity);
-            counts[i] += 1;
-        }
-        counts
+        self.occ_counts.clone()
     }
 
     /// Verifies structural invariants; panics on violation.
@@ -389,6 +430,15 @@ impl ExtendibleHashTable {
             assert_eq!(actual, expected_refs, "directory reference count wrong");
         }
         assert_eq!(total, self.len, "stored key count mismatch");
+        // The incremental census must equal a fresh scan.
+        let mut scanned = vec![0u64; self.bucket_capacity + 1];
+        for b in &self.buckets {
+            scanned[b.keys.len().min(self.bucket_capacity)] += 1;
+        }
+        assert_eq!(
+            self.occ_counts, scanned,
+            "incremental occupancy census diverged from bucket scan"
+        );
     }
 }
 

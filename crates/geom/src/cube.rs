@@ -108,6 +108,21 @@ impl Aabb3 {
     pub fn octants(&self) -> Vec<Aabb3> {
         Octant::all().map(|o| self.octant(o)).collect()
     }
+
+    /// Fused [`Aabb3::octant_of`] + [`Aabb3::octant`]: the octant
+    /// containing `p` and its box, computing each axis midpoint once and
+    /// constructing only the chosen child. Bit-identical to the unfused
+    /// pair; callers must ensure `self.contains(p)` (debug-asserted).
+    pub fn octant_descend(&self, p: &Point3) -> (Octant, Aabb3) {
+        debug_assert!(self.contains(p), "octant_descend: point outside box");
+        let (xh, x) = self.x.descend(p.x);
+        let (yh, y) = self.y.descend(p.y);
+        let (zh, z) = self.z.descend(p.z);
+        (
+            Octant::from_index(zh.index() * 4 + yh.index() * 2 + xh.index()),
+            Aabb3::new(x, y, z),
+        )
+    }
 }
 
 impl fmt::Display for Aabb3 {
@@ -119,6 +134,18 @@ impl fmt::Display for Aabb3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn octant_descend_is_bit_identical_to_unfused_pair() {
+        let mut b = Aabb3::unit();
+        let p = Point3::new(0.694_201_337, 0.333_333_3, 0.871);
+        for _ in 0..40 {
+            let (o, child) = b.octant_descend(&p);
+            assert_eq!(o, b.octant_of(&p));
+            assert_eq!(child, b.octant(o));
+            b = child;
+        }
+    }
 
     #[test]
     fn volume_and_containment() {

@@ -96,6 +96,21 @@ impl Interval {
         [Interval::new(self.lo, m), Interval::new(m, self.hi)]
     }
 
+    /// Fused [`Interval::half_of`] + [`Interval::child`]: which half
+    /// contains `v` and that half as an interval, computing the midpoint
+    /// once and constructing only the chosen child. Bit-identical to the
+    /// unfused pair (same midpoint, same bounds); callers must ensure
+    /// `self.contains(v)`.
+    pub fn descend(&self, v: f64) -> (Half, Interval) {
+        debug_assert!(self.contains(v));
+        let m = self.mid();
+        if v < m {
+            (Half::Lower, Interval::new(self.lo, m))
+        } else {
+            (Half::Upper, Interval::new(m, self.hi))
+        }
+    }
+
     /// The child half as an interval.
     pub fn child(&self, half: Half) -> Interval {
         self.split()[half.index()]
@@ -157,6 +172,18 @@ mod tests {
         // Midpoint belongs to exactly one half.
         assert!(!lo.contains(0.5));
         assert!(hi.contains(0.5));
+    }
+
+    #[test]
+    fn descend_is_bit_identical_to_half_of_plus_child() {
+        let mut i = Interval::new(0.137, 1.731);
+        let v = 0.694_201_337;
+        for _ in 0..40 {
+            let (h, child) = i.descend(v);
+            assert_eq!(h, i.half_of(v));
+            assert_eq!(child, i.child(h));
+            i = child;
+        }
     }
 
     #[test]

@@ -35,6 +35,14 @@ impl<const D: usize> PointN<D> {
     }
 }
 
+impl<const D: usize> Default for PointN<D> {
+    /// The origin — lets fixed-size point buffers initialize without
+    /// tracking validity per element.
+    fn default() -> Self {
+        PointN { coords: [0.0; D] }
+    }
+}
+
 impl<const D: usize> fmt::Display for PointN<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
@@ -130,6 +138,36 @@ impl<const D: usize> BoxN<D> {
         });
         BoxN::new(lo, hi)
     }
+
+    /// Axis midpoints, as a point (the split thresholds of this box).
+    pub fn split_mids(&self) -> PointN<D> {
+        PointN::new(self.mids())
+    }
+
+    /// Fused [`BoxN::orthant_of`] + [`BoxN::orthant`]: the orthant
+    /// containing `p` and its box, computing the midpoints once and
+    /// constructing only the chosen child. Bit-identical to the unfused
+    /// pair; callers must ensure `self.contains(p)` (debug-asserted).
+    pub fn orthant_descend(&self, p: &PointN<D>) -> (usize, BoxN<D>) {
+        debug_assert!(self.contains(p), "orthant_descend: point outside box");
+        let mids = self.mids();
+        let index = (0..D).fold(0, |acc, i| acc | (usize::from(p.coords[i] >= mids[i]) << i));
+        let lo = std::array::from_fn(|i| {
+            if index & (1 << i) == 0 {
+                self.lo[i]
+            } else {
+                mids[i]
+            }
+        });
+        let hi = std::array::from_fn(|i| {
+            if index & (1 << i) == 0 {
+                mids[i]
+            } else {
+                self.hi[i]
+            }
+        });
+        (index, BoxN::new(lo, hi))
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +204,22 @@ mod tests {
         let b = BoxN::<3>::unit();
         let total: f64 = (0..8).map(|i| b.orthant(i).volume()).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthant_descend_is_bit_identical_to_unfused_pair() {
+        let mut b = BoxN::<3>::unit();
+        let p = PointN::new([0.694_201_337, 0.333_333_3, 0.871]);
+        for _ in 0..40 {
+            let (o, child) = b.orthant_descend(&p);
+            assert_eq!(o, b.orthant_of(&p));
+            assert_eq!(child, b.orthant(o));
+            assert_eq!(b.split_mids().coords, {
+                let q = b.orthant(0);
+                q.hi
+            });
+            b = child;
+        }
     }
 
     #[test]

@@ -144,6 +144,20 @@ impl Rect {
         self.quadrants()[q.index()]
     }
 
+    /// Fused [`Rect::quadrant_of`] + [`Rect::quadrant`]: the quadrant
+    /// containing `p` and its rect, computing each axis midpoint once and
+    /// constructing only the chosen child. Bit-identical to the unfused
+    /// pair; callers must ensure `self.contains(p)` (debug-asserted).
+    pub fn quadrant_descend(&self, p: &Point2) -> (Quadrant, Rect) {
+        debug_assert!(self.contains(p), "quadrant_descend: point outside rect");
+        let (xh, x) = self.x.descend(p.x);
+        let (yh, y) = self.y.descend(p.y);
+        (
+            Quadrant::from_index(yh.index() * 2 + xh.index()),
+            Rect::new(x, y),
+        )
+    }
+
     /// `true` when the rectangles overlap (half-open semantics: touching
     /// edges do not overlap).
     pub fn overlaps(&self, other: &Rect) -> bool {
@@ -203,6 +217,20 @@ mod tests {
         // All inside the parent.
         for q in &qs {
             assert!(r.contains_rect(q));
+        }
+    }
+
+    #[test]
+    fn quadrant_descend_is_bit_identical_to_unfused_pair() {
+        // The arena trees descend with the fused call; it must reproduce
+        // quadrant_of + quadrant exactly, bounds bit for bit.
+        let mut r = Rect::new(Interval::new(0.137, 1.731), Interval::new(-2.5, 0.875));
+        let p = Point2::new(0.694_201_337, 0.333_333_3);
+        for _ in 0..40 {
+            let (q, child) = r.quadrant_descend(&p);
+            assert_eq!(q, r.quadrant_of(&p));
+            assert_eq!(child, r.quadrant(q));
+            r = child;
         }
     }
 

@@ -1,0 +1,1091 @@
+//! Arena-backed core shared by the regular-decomposition PR trees.
+//!
+//! The boxed trees (`Node::Internal(Box<[Node; B]>)` plus one heap `Vec`
+//! per leaf) spend most of their time in the allocator and in pointer
+//! chasing. This module keeps every node in one contiguous slot pool
+//! addressed by `u32` ids, stores leaf points in small inline buffers that
+//! spill to a shared point arena, and maintains an
+//! [`OccupancyCensus`](crate::node_stats::OccupancyCensus) incrementally —
+//! O(1) amortized census work per leaf event, O(depth) per tree mutation —
+//! so the occupancy reads the experiments hammer are zero-allocation,
+//! zero-traversal lookups.
+//!
+//! # Layout
+//!
+//! * `slots[0]` is the root. An internal slot stores the base id of its
+//!   `B` children, which always occupy `B` *contiguous* slots
+//!   (`base .. base + B`); a child block freed by a remove-collapse goes on
+//!   `free_blocks` and is reused wholesale by the next split.
+//! * A leaf slot stores the id of a [`LeafBuf`]: a fixed `capacity + 1`
+//!   stride of the pool's shared point slab, spilling *all* points to a
+//!   shared `Vec` arena on overflow — which only coincident piles and
+//!   max-depth leaves can reach (a spilled leaf stays spilled until the
+//!   buffer is freed, so no points move back and forth on the boundary).
+//!
+//! # Bit-identity with the boxed implementation
+//!
+//! Traversal ([`ArenaTree::for_each_leaf`]) is pre-order by child *index*,
+//! never by physical slot id, so free-list reuse cannot affect observable
+//! order. Within a leaf, `push` appends and `swap_remove` replicates
+//! `Vec::swap_remove`, and split/collapse redistribute and merge in the
+//! exact order of the boxed code — `reference::BoxedPrQuadtree` is kept as
+//! the oracle and the equivalence proptests assert bit-identical
+//! `leaf_records()` after arbitrary insert/remove interleavings.
+
+use crate::node_stats::{LeafRecord, OccupancyCensus};
+use popan_geom::{Aabb3, BoxN, Octant, Point2, Point3, PointN, Quadrant, Rect};
+
+/// Sentinel for "no spill vector attached".
+const NO_SPILL: u32 = u32::MAX;
+
+/// Largest branching factor the bulk-build stack arrays accommodate
+/// (`2^6` covers every tree the workspace instantiates); wider schemes
+/// fall back to sequential insertion.
+const MAX_BULK_BRANCHING: usize = 64;
+
+/// A regular decomposition scheme: how a block splits into `BRANCHING`
+/// children and which child a point belongs to. Implemented by zero-sized
+/// markers; all methods are static so the arena stays monomorphized and
+/// branch-free on the scheme.
+pub(crate) trait Decomposition {
+    /// Point type stored in the tree.
+    type Point: Copy + PartialEq + Default + std::fmt::Debug + std::fmt::Display;
+    /// Block (region) type being decomposed.
+    type Block: Copy + std::fmt::Debug;
+    /// Precomputed split thresholds of one block, for classifying many
+    /// points without re-deriving the midpoints per point.
+    type Splitter: Copy;
+    /// Number of children per internal node.
+    const BRANCHING: usize;
+    /// The block of child `i` of `block` split at `depth`.
+    fn child_block(block: &Self::Block, depth: u32, i: usize) -> Self::Block;
+    /// Fused descent step: the index and block of the child of `block`
+    /// containing `p`, computing the split once. The returned block must
+    /// equal `child_block(block, depth, i)` bit for bit — the descent
+    /// hot path uses this, and the oracle-equivalence proptests check
+    /// the agreement end to end.
+    fn descend(block: &Self::Block, depth: u32, p: &Self::Point) -> (usize, Self::Block);
+    /// The split thresholds of `block` at `depth`.
+    fn splitter(block: &Self::Block, depth: u32) -> Self::Splitter;
+    /// The index of the child containing `p`, against precomputed
+    /// thresholds — pure comparisons, no per-point midpoint math. Must
+    /// agree with `descend`'s index.
+    fn classify(s: &Self::Splitter, depth: u32, p: &Self::Point) -> usize;
+    /// Whether `block` contains `p` (half-open semantics).
+    fn contains(block: &Self::Block, p: &Self::Point) -> bool;
+}
+
+/// Quadrant decomposition of a [`Rect`] — the PR quadtree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QuadDecomp;
+
+impl Decomposition for QuadDecomp {
+    type Point = Point2;
+    type Block = Rect;
+    type Splitter = (f64, f64);
+    const BRANCHING: usize = 4;
+
+    fn child_block(block: &Rect, _depth: u32, i: usize) -> Rect {
+        block.quadrant(Quadrant::from_index(i))
+    }
+
+    fn descend(block: &Rect, _depth: u32, p: &Point2) -> (usize, Rect) {
+        let (q, child) = block.quadrant_descend(p);
+        (q.index(), child)
+    }
+
+    fn splitter(block: &Rect, _depth: u32) -> (f64, f64) {
+        (block.x().mid(), block.y().mid())
+    }
+
+    fn classify(&(mx, my): &(f64, f64), _depth: u32, p: &Point2) -> usize {
+        usize::from(p.y >= my) * 2 + usize::from(p.x >= mx)
+    }
+
+    fn contains(block: &Rect, p: &Point2) -> bool {
+        block.contains(p)
+    }
+}
+
+/// Octant decomposition of an [`Aabb3`] — the PR octree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OctDecomp;
+
+impl Decomposition for OctDecomp {
+    type Point = Point3;
+    type Block = Aabb3;
+    type Splitter = (f64, f64, f64);
+    const BRANCHING: usize = 8;
+
+    fn child_block(block: &Aabb3, _depth: u32, i: usize) -> Aabb3 {
+        block.octant(Octant::from_index(i))
+    }
+
+    fn descend(block: &Aabb3, _depth: u32, p: &Point3) -> (usize, Aabb3) {
+        let (o, child) = block.octant_descend(p);
+        (o.index(), child)
+    }
+
+    fn splitter(block: &Aabb3, _depth: u32) -> (f64, f64, f64) {
+        (block.x().mid(), block.y().mid(), block.z().mid())
+    }
+
+    fn classify(&(mx, my, mz): &(f64, f64, f64), _depth: u32, p: &Point3) -> usize {
+        usize::from(p.z >= mz) * 4 + usize::from(p.y >= my) * 2 + usize::from(p.x >= mx)
+    }
+
+    fn contains(block: &Aabb3, p: &Point3) -> bool {
+        block.contains(p)
+    }
+}
+
+/// Alternating-axis halving of a [`Rect`] — the bintree. Depth-even
+/// levels split on x, depth-odd on y.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BinDecomp;
+
+impl Decomposition for BinDecomp {
+    type Point = Point2;
+    type Block = Rect;
+    type Splitter = f64;
+    const BRANCHING: usize = 2;
+
+    fn child_block(block: &Rect, depth: u32, i: usize) -> Rect {
+        if depth.is_multiple_of(2) {
+            let half = block.x().split()[i];
+            Rect::new(half, block.y())
+        } else {
+            let half = block.y().split()[i];
+            Rect::new(block.x(), half)
+        }
+    }
+
+    fn descend(block: &Rect, depth: u32, p: &Point2) -> (usize, Rect) {
+        if depth.is_multiple_of(2) {
+            let (h, half) = block.x().descend(p.x);
+            (h.index(), Rect::new(half, block.y()))
+        } else {
+            let (h, half) = block.y().descend(p.y);
+            (h.index(), Rect::new(block.x(), half))
+        }
+    }
+
+    fn splitter(block: &Rect, depth: u32) -> f64 {
+        if depth.is_multiple_of(2) {
+            block.x().mid()
+        } else {
+            block.y().mid()
+        }
+    }
+
+    fn classify(&mid: &f64, depth: u32, p: &Point2) -> usize {
+        if depth.is_multiple_of(2) {
+            usize::from(p.x >= mid)
+        } else {
+            usize::from(p.y >= mid)
+        }
+    }
+
+    fn contains(block: &Rect, p: &Point2) -> bool {
+        block.contains(p)
+    }
+}
+
+/// Orthant decomposition of a [`BoxN`] — the `2^D`-ary PR tree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NdDecomp<const D: usize>;
+
+impl<const D: usize> Decomposition for NdDecomp<D> {
+    type Point = PointN<D>;
+    type Block = BoxN<D>;
+    type Splitter = PointN<D>;
+    const BRANCHING: usize = 1 << D;
+
+    fn child_block(block: &BoxN<D>, _depth: u32, i: usize) -> BoxN<D> {
+        block.orthant(i)
+    }
+
+    fn descend(block: &BoxN<D>, _depth: u32, p: &PointN<D>) -> (usize, BoxN<D>) {
+        block.orthant_descend(p)
+    }
+
+    fn splitter(block: &BoxN<D>, _depth: u32) -> PointN<D> {
+        block.split_mids()
+    }
+
+    fn classify(mids: &PointN<D>, _depth: u32, p: &PointN<D>) -> usize {
+        (0..D).fold(0, |acc, i| {
+            acc | (usize::from(p.coords[i] >= mids.coords[i]) << i)
+        })
+    }
+
+    fn contains(block: &BoxN<D>, p: &PointN<D>) -> bool {
+        block.contains(p)
+    }
+}
+
+/// One node slot: a leaf (holding a [`LeafBuf`] id) or an internal node
+/// (holding the base id of its contiguous child slots).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    /// Leaf node; payload is the id into the [`LeafPool`].
+    Leaf(u32),
+    /// Internal node; children are slots `base .. base + BRANCHING`.
+    Internal(u32),
+}
+
+/// A read-only view of a slot, for tree-specific query code.
+pub(crate) enum SlotView<'a, P> {
+    /// Leaf with its points.
+    Leaf(&'a [P]),
+    /// Internal node with its child base id.
+    Internal(u32),
+}
+
+/// Per-leaf bookkeeping: point count plus the id of the spill vector
+/// (if any). The points themselves live in the pool's strided slab.
+#[derive(Debug, Clone, Copy)]
+struct LeafBuf {
+    len: u32,
+    spill: u32,
+}
+
+/// Pool of leaf buffers over one shared, strided point slab.
+///
+/// Buffer `i` owns the slab segment `i * stride .. i * stride + len`,
+/// where `stride = capacity + 1` — enough for a full leaf plus the one
+/// transient over-capacity point a split redistributes away. Only leaves
+/// that legitimately exceed that (coincident piles and max-depth leaves)
+/// move to a spill vector, and a spilled leaf stays spilled until the
+/// buffer is freed, so no points ping-pong across the boundary.
+#[derive(Debug, Clone, Default)]
+struct LeafPool<P> {
+    stride: usize,
+    bufs: Vec<LeafBuf>,
+    free: Vec<u32>,
+    slab: Vec<P>,
+    spills: Vec<Vec<P>>,
+    spill_free: Vec<u32>,
+}
+
+impl<P: Copy + Default + PartialEq> LeafPool<P> {
+    fn new(stride: usize) -> Self {
+        LeafPool {
+            stride,
+            bufs: Vec::new(),
+            free: Vec::new(),
+            slab: Vec::new(),
+            spills: Vec::new(),
+            spill_free: Vec::new(),
+        }
+    }
+
+    /// Allocates an empty leaf buffer, reusing a freed one when possible.
+    fn alloc(&mut self) -> u32 {
+        if let Some(id) = self.free.pop() {
+            id
+        } else {
+            self.bufs.push(LeafBuf {
+                len: 0,
+                spill: NO_SPILL,
+            });
+            self.slab
+                .resize(self.slab.len() + self.stride, P::default());
+            (self.bufs.len() - 1) as u32
+        }
+    }
+
+    /// Frees a buffer (and detaches + recycles its spill vector).
+    fn free(&mut self, id: u32) {
+        let buf = &mut self.bufs[id as usize];
+        buf.len = 0;
+        if buf.spill != NO_SPILL {
+            self.spills[buf.spill as usize].clear();
+            self.spill_free.push(buf.spill);
+            buf.spill = NO_SPILL;
+        }
+        self.free.push(id);
+    }
+
+    fn len(&self, id: u32) -> usize {
+        self.bufs[id as usize].len as usize
+    }
+
+    fn points(&self, id: u32) -> &[P] {
+        let buf = &self.bufs[id as usize];
+        if buf.spill == NO_SPILL {
+            let base = id as usize * self.stride;
+            &self.slab[base..base + buf.len as usize]
+        } else {
+            &self.spills[buf.spill as usize]
+        }
+    }
+
+    /// Appends a point, spilling the whole buffer to the arena when its
+    /// slab stride overflows.
+    fn push(&mut self, id: u32, p: P) {
+        let buf = &mut self.bufs[id as usize];
+        if buf.spill == NO_SPILL && (buf.len as usize) < self.stride {
+            self.slab[id as usize * self.stride + buf.len as usize] = p;
+            buf.len += 1;
+            return;
+        }
+        if buf.spill != NO_SPILL {
+            self.spills[buf.spill as usize].push(p);
+        } else {
+            let s = if let Some(s) = self.spill_free.pop() {
+                s
+            } else {
+                self.spills.push(Vec::new());
+                (self.spills.len() - 1) as u32
+            };
+            let base = id as usize * self.stride;
+            let spill = &mut self.spills[s as usize];
+            spill.reserve(buf.len as usize + 1);
+            spill.extend_from_slice(&self.slab[base..base + buf.len as usize]);
+            spill.push(p);
+            buf.spill = s;
+        }
+        self.bufs[id as usize].len += 1;
+    }
+
+    /// Replicates `Vec::swap_remove(idx)` exactly (the removed point is
+    /// replaced by the last one), preserving the boxed trees' within-leaf
+    /// order bit for bit.
+    fn swap_remove(&mut self, id: u32, idx: usize) {
+        let buf = &mut self.bufs[id as usize];
+        let len = buf.len as usize;
+        debug_assert!(idx < len);
+        if buf.spill == NO_SPILL {
+            let base = id as usize * self.stride;
+            self.slab[base + idx] = self.slab[base + len - 1];
+        } else {
+            self.spills[buf.spill as usize].swap_remove(idx);
+        }
+        self.bufs[id as usize].len -= 1;
+    }
+
+    /// Moves all points out of a buffer into `scratch` (cleared first)
+    /// and frees the buffer, so the pool can be mutated while the points
+    /// are redistributed.
+    fn take_into(&mut self, id: u32, scratch: &mut Vec<P>) {
+        scratch.clear();
+        let buf = &mut self.bufs[id as usize];
+        if buf.spill == NO_SPILL {
+            let base = id as usize * self.stride;
+            scratch.extend_from_slice(&self.slab[base..base + buf.len as usize]);
+        } else {
+            let s = buf.spill;
+            buf.spill = NO_SPILL;
+            scratch.extend_from_slice(&self.spills[s as usize]);
+            self.spills[s as usize].clear();
+            self.spill_free.push(s);
+        }
+        buf.len = 0;
+        self.free.push(id);
+    }
+
+    /// Whether every stored point equals the first (the trees'
+    /// coincident-pile exception). Empty buffers are trivially coincident.
+    fn all_coincident(&self, id: u32) -> bool {
+        let pts = self.points(id);
+        match pts.first() {
+            Some(&first) => pts.iter().all(|q| *q == first),
+            None => true,
+        }
+    }
+
+    /// Number of live (allocated, not freed) buffers.
+    fn live_bufs(&self) -> usize {
+        self.bufs.len() - self.free.len()
+    }
+}
+
+/// The arena-backed PR tree core: slot pool, leaf pool, free lists and
+/// the incrementally maintained occupancy census.
+#[derive(Debug, Clone)]
+pub(crate) struct ArenaTree<D: Decomposition> {
+    slots: Vec<Slot>,
+    free_blocks: Vec<u32>,
+    leaves: LeafPool<D::Point>,
+    census: OccupancyCensus,
+    scratch: Vec<D::Point>,
+    split_scratch: Vec<D::Point>,
+    region: D::Block,
+    capacity: usize,
+    max_depth: u32,
+    len: usize,
+}
+
+/// The root slot id.
+pub(crate) const ROOT: u32 = 0;
+
+impl<D: Decomposition> ArenaTree<D> {
+    /// An empty tree: one empty root leaf (counted by the census).
+    pub(crate) fn new(region: D::Block, capacity: usize, max_depth: u32) -> Self {
+        debug_assert!(capacity >= 1, "wrappers validate capacity");
+        // Stride `capacity + 1`: room for a full leaf plus the one
+        // transient over-capacity point a cascading split hands a child
+        // before splitting it in turn.
+        let mut leaves = LeafPool::new(capacity + 1);
+        let root_buf = leaves.alloc();
+        let mut census = OccupancyCensus::new();
+        census.leaf_added(0, 0);
+        ArenaTree {
+            slots: vec![Slot::Leaf(root_buf)],
+            free_blocks: Vec::new(),
+            leaves,
+            census,
+            scratch: Vec::new(),
+            split_scratch: Vec::new(),
+            region,
+            capacity,
+            max_depth,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn region(&self) -> D::Block {
+        self.region
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The maintained census — zero-allocation, zero-traversal.
+    pub(crate) fn census(&self) -> &OccupancyCensus {
+        &self.census
+    }
+
+    /// Total node count (internal + leaf), from pool accounting: every
+    /// allocated block contributes `BRANCHING` slots, freed blocks are
+    /// parked on the free list.
+    pub(crate) fn node_count(&self) -> usize {
+        self.slots.len() - self.free_blocks.len() * D::BRANCHING
+    }
+
+    /// Read-only view of one slot.
+    pub(crate) fn view(&self, slot: u32) -> SlotView<'_, D::Point> {
+        match self.slots[slot as usize] {
+            Slot::Leaf(buf) => SlotView::Leaf(self.leaves.points(buf)),
+            Slot::Internal(base) => SlotView::Internal(base),
+        }
+    }
+
+    /// Inserts a point the caller has already validated (finite, inside
+    /// the region), splitting per the PR rule.
+    pub(crate) fn insert(&mut self, p: D::Point) {
+        let mut slot = ROOT;
+        let mut block = self.region;
+        let mut depth = 0u32;
+        loop {
+            match self.slots[slot as usize] {
+                Slot::Internal(base) => {
+                    let (i, child) = D::descend(&block, depth, &p);
+                    block = child;
+                    slot = base + i as u32;
+                    depth += 1;
+                }
+                Slot::Leaf(buf) => {
+                    let old = self.leaves.len(buf);
+                    if old + 1 > self.capacity
+                        && depth < self.max_depth
+                        && !self.coincident_with(buf, &p)
+                    {
+                        // Split-before-push fast path: the leaf's points
+                        // plus `p` go straight to the children (existing
+                        // points in order, `p` last — exactly the order
+                        // the boxed push-then-split redistributes in),
+                        // skipping the push into a buffer that is about
+                        // to be dismantled anyway.
+                        self.split_leaf_with(slot, block, depth, Some(p));
+                    } else {
+                        self.leaves.push(buf, p);
+                        self.census.occupancy_changed(depth, old, old + 1);
+                    }
+                    break;
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Whether every point in the buffer equals `p` (so pushing `p`
+    /// would leave a coincident pile). Equivalent to pushing `p` and
+    /// asking [`LeafPool::all_coincident`]; empty buffers qualify.
+    fn coincident_with(&self, buf: u32, p: &D::Point) -> bool {
+        self.leaves.points(buf).iter().all(|q| q == p)
+    }
+
+    /// Fills an empty tree from an insertion-order point vector in one
+    /// top-down pass, producing a tree bit-identical to inserting the
+    /// points sequentially.
+    ///
+    /// Identity holds because insert-only construction is order
+    /// independent: subtree populations only grow, so a block ends up
+    /// internal iff its point count exceeds `capacity`, the points are
+    /// not all coincident, and `max_depth` allows a split — a pure
+    /// function of the point multiset. Within a leaf, sequential inserts
+    /// keep points in insertion order (redistribution scans in order and
+    /// appends), which the *stable* partition below reproduces. The
+    /// payoff is the access pattern: instead of an O(depth) pointer walk
+    /// per point, every level streams a contiguous range of points once,
+    /// classifying against one precomputed splitter per node.
+    pub(crate) fn bulk_fill(&mut self, points: Vec<D::Point>) {
+        debug_assert!(self.is_empty(), "bulk_fill requires an empty tree");
+        if D::BRANCHING > MAX_BULK_BRANCHING {
+            // Off the stack-array fast path (only reachable for PR trees
+            // of dimension > 6); semantics are identical either way.
+            for p in points {
+                self.insert(p);
+            }
+            return;
+        }
+        let n = points.len();
+        if n == 0 {
+            return;
+        }
+        let mut pts = points;
+        let mut scratch = vec![D::Point::default(); n];
+        self.len = n;
+        let region = self.region;
+        self.bulk_rec(ROOT, region, 0, &mut pts, &mut scratch);
+    }
+
+    /// Recursive step of [`ArenaTree::bulk_fill`]: `pts` is the
+    /// insertion-order run of points belonging to `block`, `scratch` an
+    /// equally sized work area, and `slot` an empty leaf already counted
+    /// by the census at `(depth, 0)`.
+    fn bulk_rec(
+        &mut self,
+        slot: u32,
+        block: D::Block,
+        depth: u32,
+        pts: &mut [D::Point],
+        scratch: &mut [D::Point],
+    ) {
+        let n = pts.len();
+        let make_leaf = n <= self.capacity || depth >= self.max_depth || {
+            let first = pts[0];
+            pts[1..].iter().all(|q| *q == first)
+        };
+        let Slot::Leaf(buf) = self.slots[slot as usize] else {
+            unreachable!("bulk_rec target must be a leaf");
+        };
+        if make_leaf {
+            for &p in pts.iter() {
+                self.leaves.push(buf, p);
+            }
+            if n > 0 {
+                self.census.occupancy_changed(depth, 0, n);
+            }
+            return;
+        }
+        self.leaves.free(buf);
+        self.census.leaf_removed(depth, 0);
+        let base = self.alloc_block();
+        self.slots[slot as usize] = Slot::Internal(base);
+
+        // Stable partition of the run into child runs: count, prefix-sum,
+        // scatter through the parallel scratch, copy back. Two streaming
+        // classify passes, no per-point midpoint math.
+        let splitter = D::splitter(&block, depth);
+        let mut offs = [0usize; MAX_BULK_BRANCHING + 1];
+        for p in pts.iter() {
+            offs[D::classify(&splitter, depth, p) + 1] += 1;
+        }
+        for i in 0..D::BRANCHING {
+            offs[i + 1] += offs[i];
+        }
+        let mut cursors = offs;
+        for &p in pts.iter() {
+            let k = D::classify(&splitter, depth, &p);
+            scratch[cursors[k]] = p;
+            cursors[k] += 1;
+        }
+        pts.copy_from_slice(scratch);
+
+        for _ in 0..D::BRANCHING {
+            self.census.leaf_added(depth + 1, 0);
+        }
+        for i in 0..D::BRANCHING {
+            let child_block = D::child_block(&block, depth, i);
+            self.bulk_rec(
+                base + i as u32,
+                child_block,
+                depth + 1,
+                &mut pts[offs[i]..offs[i + 1]],
+                &mut scratch[offs[i]..offs[i + 1]],
+            );
+        }
+    }
+
+    /// Converts an over-full leaf into an internal node, redistributing
+    /// points and splitting children recursively while they overflow.
+    /// Redistribution preserves point order and children split in index
+    /// order, mirroring the boxed implementation exactly.
+    fn split_leaf(&mut self, slot: u32, block: D::Block, depth: u32) {
+        self.split_leaf_with(slot, block, depth, None);
+    }
+
+    /// [`ArenaTree::split_leaf`], with an optional in-flight point that
+    /// joins the redistribution after the stored ones (the insert fast
+    /// path hands over the point that triggered the split instead of
+    /// pushing it into the doomed leaf first).
+    fn split_leaf_with(&mut self, slot: u32, block: D::Block, depth: u32, extra: Option<D::Point>) {
+        let Slot::Leaf(buf) = self.slots[slot as usize] else {
+            unreachable!("split_leaf called on internal node");
+        };
+        let n = self.leaves.len(buf);
+        // The scratch is recycled across splits; redistribution finishes
+        // before the recursive child splits below, so handing it back
+        // early lets the recursion reuse the same buffer.
+        let mut taken = std::mem::take(&mut self.split_scratch);
+        self.leaves.take_into(buf, &mut taken);
+        self.census.leaf_removed(depth, n);
+
+        let base = self.alloc_block();
+        self.slots[slot as usize] = Slot::Internal(base);
+        // One splitter for the whole redistribution: classifying a point
+        // is then pure comparisons, with no per-point midpoint math.
+        let splitter = D::splitter(&block, depth);
+        for &p in taken.iter().chain(extra.iter()) {
+            let i = D::classify(&splitter, depth, &p);
+            let Slot::Leaf(child_buf) = self.slots[base as usize + i] else {
+                unreachable!("fresh block slots are leaves");
+            };
+            self.leaves.push(child_buf, p);
+        }
+        taken.clear();
+        self.split_scratch = taken;
+        for i in 0..D::BRANCHING {
+            let Slot::Leaf(child_buf) = self.slots[base as usize + i] else {
+                unreachable!()
+            };
+            self.census
+                .leaf_added(depth + 1, self.leaves.len(child_buf));
+        }
+        for i in 0..D::BRANCHING {
+            let Slot::Leaf(child_buf) = self.slots[base as usize + i] else {
+                unreachable!()
+            };
+            if self.leaves.len(child_buf) > self.capacity
+                && depth + 1 < self.max_depth
+                && !self.leaves.all_coincident(child_buf)
+            {
+                let child_block = D::child_block(&block, depth, i);
+                self.split_leaf(base + i as u32, child_block, depth + 1);
+            }
+        }
+    }
+
+    /// Allocates `BRANCHING` contiguous child slots (reusing a freed
+    /// block when possible), each initialized to a fresh empty leaf.
+    fn alloc_block(&mut self) -> u32 {
+        let base = if let Some(b) = self.free_blocks.pop() {
+            b
+        } else {
+            let b = self.slots.len() as u32;
+            self.slots
+                .resize(self.slots.len() + D::BRANCHING, Slot::Leaf(NO_SPILL));
+            b
+        };
+        for i in 0..D::BRANCHING {
+            let buf = self.leaves.alloc();
+            self.slots[base as usize + i] = Slot::Leaf(buf);
+        }
+        base
+    }
+
+    /// Removes one stored instance of `p` (already validated by the
+    /// caller). Internal nodes left mergeable collapse on the unwind, so
+    /// the structure equals a fresh build of the survivors.
+    pub(crate) fn remove(&mut self, p: &D::Point) -> bool {
+        let region = self.region;
+        let removed = self.remove_rec(ROOT, region, 0, p);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, slot: u32, block: D::Block, depth: u32, p: &D::Point) -> bool {
+        match self.slots[slot as usize] {
+            Slot::Leaf(buf) => match self.leaves.points(buf).iter().position(|q| q == p) {
+                Some(idx) => {
+                    let old = self.leaves.len(buf);
+                    self.leaves.swap_remove(buf, idx);
+                    self.census.occupancy_changed(depth, old, old - 1);
+                    true
+                }
+                None => false,
+            },
+            Slot::Internal(base) => {
+                let (i, child_block) = D::descend(&block, depth, p);
+                let removed = self.remove_rec(base + i as u32, child_block, depth + 1, p);
+                if removed {
+                    self.try_collapse(slot, depth);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Collapses an internal node whose children are all leaves holding
+    /// at most `capacity` points combined — or an over-capacity pile of
+    /// coincident points, mirroring insertion's exception.
+    fn try_collapse(&mut self, slot: u32, depth: u32) {
+        let Slot::Internal(base) = self.slots[slot as usize] else {
+            return;
+        };
+        let mut total = 0usize;
+        for i in 0..D::BRANCHING {
+            match self.slots[base as usize + i] {
+                Slot::Leaf(buf) => total += self.leaves.len(buf),
+                Slot::Internal(_) => return,
+            }
+        }
+        if total > self.capacity {
+            let mut first: Option<D::Point> = None;
+            for i in 0..D::BRANCHING {
+                let Slot::Leaf(buf) = self.slots[base as usize + i] else {
+                    unreachable!()
+                };
+                for q in self.leaves.points(buf) {
+                    match first {
+                        Some(f) => {
+                            if *q != f {
+                                return;
+                            }
+                        }
+                        None => first = Some(*q),
+                    }
+                }
+            }
+        }
+        // Merge in child order (within-child order preserved), matching
+        // the boxed collapse's sequential `append`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for i in 0..D::BRANCHING {
+            let Slot::Leaf(buf) = self.slots[base as usize + i] else {
+                unreachable!()
+            };
+            scratch.extend_from_slice(self.leaves.points(buf));
+            self.census.leaf_removed(depth + 1, self.leaves.len(buf));
+            self.leaves.free(buf);
+        }
+        self.free_blocks.push(base);
+        let merged = self.leaves.alloc();
+        for &q in &scratch {
+            self.leaves.push(merged, q);
+        }
+        self.slots[slot as usize] = Slot::Leaf(merged);
+        self.census.leaf_added(depth, scratch.len());
+        scratch.clear();
+        self.scratch = scratch;
+    }
+
+    /// `true` when an exactly equal point is stored (caller handles the
+    /// out-of-region fast path).
+    pub(crate) fn contains(&self, p: &D::Point) -> bool {
+        let mut slot = ROOT;
+        let mut block = self.region;
+        let mut depth = 0u32;
+        loop {
+            match self.slots[slot as usize] {
+                Slot::Leaf(buf) => return self.leaves.points(buf).contains(p),
+                Slot::Internal(base) => {
+                    let (i, child) = D::descend(&block, depth, p);
+                    block = child;
+                    slot = base + i as u32;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Pre-order traversal by child index — physical slot ids and
+    /// free-list state never affect visit order.
+    pub(crate) fn for_each_leaf(&self, f: &mut impl FnMut(&D::Block, u32, &[D::Point])) {
+        self.walk(ROOT, &self.region, 0, f);
+    }
+
+    fn walk(
+        &self,
+        slot: u32,
+        block: &D::Block,
+        depth: u32,
+        f: &mut impl FnMut(&D::Block, u32, &[D::Point]),
+    ) {
+        match self.slots[slot as usize] {
+            Slot::Leaf(buf) => f(block, depth, self.leaves.points(buf)),
+            Slot::Internal(base) => {
+                for i in 0..D::BRANCHING {
+                    let child_block = D::child_block(block, depth, i);
+                    self.walk(base + i as u32, &child_block, depth + 1, f);
+                }
+            }
+        }
+    }
+
+    /// One record per leaf, in traversal order.
+    pub(crate) fn leaf_records(&self) -> Vec<LeafRecord> {
+        let mut out = Vec::new();
+        self.for_each_leaf(&mut |_, depth, points| {
+            out.push(LeafRecord {
+                depth,
+                occupancy: points.len(),
+            })
+        });
+        out
+    }
+
+    /// Verifies structural invariants, pool accounting and — crucially —
+    /// that the incremental census equals a census rebuilt from a full
+    /// traversal. Panics with a description on violation.
+    pub(crate) fn check_invariants(&self) {
+        let mut total = 0usize;
+        let mut records: Vec<LeafRecord> = Vec::new();
+        self.for_each_leaf(&mut |block, depth, points| {
+            total += points.len();
+            records.push(LeafRecord {
+                depth,
+                occupancy: points.len(),
+            });
+            for p in points {
+                assert!(
+                    D::contains(block, p),
+                    "point {p} stored in leaf {block:?} that does not contain it"
+                );
+            }
+            if points.len() > self.capacity {
+                let first = points[0];
+                let coincident = points.iter().all(|q| *q == first);
+                assert!(
+                    depth >= self.max_depth || coincident,
+                    "leaf at depth {depth} holds {} > capacity {} without cause",
+                    points.len(),
+                    self.capacity
+                );
+            }
+            assert!(depth <= self.max_depth, "leaf deeper than max_depth");
+        });
+        assert_eq!(total, self.len, "stored point count mismatch");
+        assert_eq!(
+            self.census,
+            OccupancyCensus::from_leaves(&records),
+            "incremental census diverged from traversal census"
+        );
+        assert_eq!(
+            self.leaves.live_bufs(),
+            records.len(),
+            "leaf buffer pool leak"
+        );
+        let internal = (records.len() - 1) / (D::BRANCHING - 1).max(1);
+        assert_eq!(
+            self.node_count(),
+            records.len() + internal,
+            "slot pool accounting diverged from tree shape"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn free_list_reuses_blocks_and_bufs() {
+        let mut t: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), 1, 32);
+        t.insert(pt(0.1, 0.1));
+        t.insert(pt(0.9, 0.9));
+        let slots_after_split = t.slots.len();
+        assert!(t.remove(&pt(0.9, 0.9)));
+        assert_eq!(t.free_blocks.len(), 1, "collapse frees the child block");
+        t.insert(pt(0.9, 0.9));
+        assert_eq!(
+            t.slots.len(),
+            slots_after_split,
+            "re-split must reuse the freed block, not grow the pool"
+        );
+        assert!(t.free_blocks.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn max_depth_leaf_spills_past_its_slab_stride() {
+        // max_depth 0: the root can never split, so distinct points pile
+        // up past the stride (capacity + 1 = 3) and force a spill.
+        let mut t: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), 2, 0);
+        let n = 7;
+        for i in 0..n {
+            t.insert(pt(0.001 * i as f64, 0.5));
+        }
+        assert_eq!(t.len(), n);
+        assert_eq!(t.node_count(), 1);
+        let SlotView::Leaf(points) = t.view(ROOT) else {
+            panic!("root must still be a leaf")
+        };
+        assert_eq!(points.len(), n);
+        // Order preserved across the spill boundary.
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(*p, pt(0.001 * i as f64, 0.5));
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn coincident_pile_spills_and_its_vector_is_recycled_on_collapse() {
+        let mut t: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), 1, 32);
+        // A pile of identical points exceeds the stride (2) without
+        // splitting: the coincident exception spills the leaf.
+        let pile = pt(0.9, 0.9);
+        for _ in 0..6 {
+            t.insert(pile);
+        }
+        t.insert(pt(0.1, 0.1)); // splits the root; the pile stays intact
+        assert!(t.node_count() > 1);
+        assert!(!t.leaves.spills.is_empty(), "pile must have spilled");
+        for _ in 0..6 {
+            assert!(t.remove(&pile));
+        }
+        // Survivor fits: cascaded collapse back to a single root leaf,
+        // with the spill vector detached and parked for reuse.
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.leaves.live_bufs(), 1);
+        assert_eq!(t.leaves.spill_free.len(), t.leaves.spills.len());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn census_reads_match_traversal_under_churn() {
+        let mut t: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), 2, 32);
+        let pts: Vec<Point2> = (0..60)
+            .map(|i| {
+                pt(
+                    (i as f64 * 0.618_033_9) % 1.0,
+                    (i as f64 * 0.414_213_6) % 1.0,
+                )
+            })
+            .collect();
+        for &p in &pts {
+            t.insert(p);
+            t.check_invariants();
+        }
+        for &p in pts.iter().take(30) {
+            assert!(t.remove(&p));
+            t.check_invariants();
+        }
+        assert_eq!(t.census().leaf_count(), t.leaf_records().len());
+    }
+
+    #[test]
+    fn descend_and_classify_agree_with_child_block() {
+        // The fused descent and the precomputed-splitter classifier must
+        // reproduce child_block and each other exactly, for every scheme
+        // that branches on depth parity or not.
+        let mut block = Rect::new(
+            popan_geom::Interval::new(0.137, 1.731),
+            popan_geom::Interval::new(-2.5, 0.875),
+        );
+        let p = pt(0.694_201_337, 0.333_333_3);
+        for depth in 0..24 {
+            let (i, child) = BinDecomp::descend(&block, depth, &p);
+            assert_eq!(child, BinDecomp::child_block(&block, depth, i));
+            let s = BinDecomp::splitter(&block, depth);
+            assert_eq!(BinDecomp::classify(&s, depth, &p), i);
+            assert!(BinDecomp::contains(&child, &p));
+            block = child;
+        }
+
+        let mut block = Rect::unit();
+        let p = pt(0.618_033_9, 0.414_213_6);
+        for depth in 0..24 {
+            let (i, child) = QuadDecomp::descend(&block, depth, &p);
+            assert_eq!(child, QuadDecomp::child_block(&block, depth, i));
+            let s = QuadDecomp::splitter(&block, depth);
+            assert_eq!(QuadDecomp::classify(&s, depth, &p), i);
+            block = child;
+        }
+    }
+
+    #[test]
+    fn bulk_fill_matches_sequential_insertion() {
+        // Same multiset, same order: bulk construction must land on the
+        // identical structure, leaf contents and census — including
+        // coincident piles and max-depth truncation.
+        let pile = pt(0.123, 0.456);
+        let mut pts: Vec<Point2> = (0..80)
+            .map(|i| {
+                pt(
+                    (i as f64 * 0.618_033_9) % 1.0,
+                    (i as f64 * 0.414_213_6) % 1.0,
+                )
+            })
+            .collect();
+        pts.extend([pile; 5]);
+        pts.push(pt(0.9999, 0.9999));
+        for (capacity, max_depth) in [(1, 32), (4, 32), (2, 3), (8, 0)] {
+            let mut seq: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), capacity, max_depth);
+            for &p in &pts {
+                seq.insert(p);
+            }
+            let mut bulk: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), capacity, max_depth);
+            bulk.bulk_fill(pts.clone());
+            bulk.check_invariants();
+            assert_eq!(bulk.len(), seq.len());
+            assert_eq!(bulk.node_count(), seq.node_count(), "m={capacity}");
+            assert_eq!(bulk.census(), seq.census(), "m={capacity}");
+            let mut seq_leaves = Vec::new();
+            seq.for_each_leaf(&mut |_, d, ps| seq_leaves.push((d, ps.to_vec())));
+            let mut bulk_leaves = Vec::new();
+            bulk.for_each_leaf(&mut |_, d, ps| bulk_leaves.push((d, ps.to_vec())));
+            assert_eq!(
+                bulk_leaves, seq_leaves,
+                "m={capacity} max_depth={max_depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_fill_of_empty_and_tiny_inputs() {
+        let mut t: ArenaTree<QuadDecomp> = ArenaTree::new(Rect::unit(), 2, 32);
+        t.bulk_fill(Vec::new());
+        assert!(t.is_empty());
+        t.check_invariants();
+        t.insert(pt(0.5, 0.5));
+        assert_eq!(t.len(), 1);
+
+        let mut t: ArenaTree<BinDecomp> = ArenaTree::new(Rect::unit(), 1, 64);
+        t.bulk_fill(vec![pt(0.1, 0.1), pt(0.2, 0.9)]);
+        assert_eq!(t.node_count(), 5, "bintree alternating-axis bulk split");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bintree_decomp_alternates_axes() {
+        let mut t: ArenaTree<BinDecomp> = ArenaTree::new(Rect::unit(), 1, 64);
+        t.insert(pt(0.1, 0.1));
+        t.insert(pt(0.2, 0.9)); // same x half: needs a second (y) split
+        assert_eq!(t.node_count(), 5);
+        t.check_invariants();
+    }
+}

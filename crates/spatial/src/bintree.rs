@@ -5,8 +5,12 @@
 //! It is the `d = 1` end of the paper's "the same principles apply …"
 //! generalization; the `dims` experiment validates the `b = 2` population
 //! model against it.
+//!
+//! Backed by the contiguous arena core with an incrementally maintained
+//! census, like every regular-decomposition tree in this crate.
 
-use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::arena::{ArenaTree, BinDecomp};
+use crate::node_stats::{DepthOccupancyTable, LeafRecord, OccupancyInstrumented, OccupancyProfile};
 use crate::pr_quadtree::TreeError;
 use popan_geom::{Point2, Rect};
 
@@ -14,62 +18,10 @@ use popan_geom::{Point2, Rect};
 /// runs twice as deep as a quadtree for the same resolution.
 pub const DEFAULT_MAX_DEPTH: u32 = 64;
 
-/// Axis being split at a level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Axis {
-    X,
-    Y,
-}
-
-impl Axis {
-    fn next(self) -> Axis {
-        match self {
-            Axis::X => Axis::Y,
-            Axis::Y => Axis::X,
-        }
-    }
-}
-
-fn split_block(block: Rect, axis: Axis) -> [Rect; 2] {
-    match axis {
-        Axis::X => {
-            let [lo, hi] = block.x().split();
-            [Rect::new(lo, block.y()), Rect::new(hi, block.y())]
-        }
-        Axis::Y => {
-            let [lo, hi] = block.y().split();
-            [Rect::new(block.x(), lo), Rect::new(block.x(), hi)]
-        }
-    }
-}
-
-fn child_index(block: &Rect, axis: Axis, p: &Point2) -> usize {
-    match axis {
-        Axis::X => usize::from(p.x >= block.x().mid()),
-        Axis::Y => usize::from(p.y >= block.y().mid()),
-    }
-}
-
-#[derive(Debug, Clone)]
-enum Node {
-    Leaf(Vec<Point2>),
-    Internal(Box<[Node; 2]>),
-}
-
-impl Node {
-    fn empty_leaf() -> Node {
-        Node::Leaf(Vec::new())
-    }
-}
-
 /// A generalized bintree with node capacity `m`.
 #[derive(Debug, Clone)]
 pub struct Bintree {
-    root: Node,
-    region: Rect,
-    capacity: usize,
-    max_depth: u32,
-    len: usize,
+    tree: ArenaTree<BinDecomp>,
 }
 
 impl Bintree {
@@ -82,11 +34,7 @@ impl Bintree {
             ));
         }
         Ok(Bintree {
-            root: Node::empty_leaf(),
-            region,
-            capacity,
-            max_depth: DEFAULT_MAX_DEPTH,
-            len: 0,
+            tree: ArenaTree::new(region, capacity, DEFAULT_MAX_DEPTH),
         })
     }
 
@@ -97,25 +45,33 @@ impl Bintree {
         points: impl IntoIterator<Item = Point2>,
     ) -> Result<Self, TreeError> {
         let mut t = Self::new(region, capacity)?;
+        let mut pts = Vec::new();
         for p in points {
-            t.insert(p)?;
+            if !p.is_finite() {
+                return Err(TreeError::NonFinitePoint);
+            }
+            if !t.region().contains(&p) {
+                return Err(TreeError::OutOfRegion { point: p });
+            }
+            pts.push(p);
         }
+        t.tree.bulk_fill(pts);
         Ok(t)
     }
 
     /// The region covered.
     pub fn region(&self) -> Rect {
-        self.region
+        self.tree.region()
     }
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.len
+        self.tree.len()
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.tree.is_empty()
     }
 
     /// Inserts a point, splitting per the PR rule with alternating axes
@@ -124,218 +80,65 @@ impl Bintree {
         if !p.is_finite() {
             return Err(TreeError::NonFinitePoint);
         }
-        if !self.region.contains(&p) {
+        if !self.region().contains(&p) {
             return Err(TreeError::OutOfRegion { point: p });
         }
-        Self::insert_rec(
-            &mut self.root,
-            self.region,
-            Axis::X,
-            0,
-            self.max_depth,
-            self.capacity,
-            p,
-        );
-        self.len += 1;
+        self.tree.insert(p);
         Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn insert_rec(
-        node: &mut Node,
-        block: Rect,
-        axis: Axis,
-        depth: u32,
-        max_depth: u32,
-        capacity: usize,
-        p: Point2,
-    ) {
-        match node {
-            Node::Internal(children) => {
-                let i = child_index(&block, axis, &p);
-                Self::insert_rec(
-                    &mut children[i],
-                    split_block(block, axis)[i],
-                    axis.next(),
-                    depth + 1,
-                    max_depth,
-                    capacity,
-                    p,
-                );
-            }
-            Node::Leaf(points) => {
-                points.push(p);
-                if points.len() > capacity && depth < max_depth {
-                    let first = points[0];
-                    if points.iter().all(|q| *q == first) {
-                        return;
-                    }
-                    Self::split_leaf(node, block, axis, depth, max_depth, capacity);
-                }
-            }
-        }
-    }
-
-    fn split_leaf(
-        node: &mut Node,
-        block: Rect,
-        axis: Axis,
-        depth: u32,
-        max_depth: u32,
-        capacity: usize,
-    ) {
-        let points = match std::mem::replace(node, Node::empty_leaf()) {
-            Node::Leaf(points) => points,
-            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
-        };
-        let mut children = Box::new([Node::empty_leaf(), Node::empty_leaf()]);
-        for p in points {
-            let i = child_index(&block, axis, &p);
-            match &mut children[i] {
-                Node::Leaf(v) => v.push(p),
-                Node::Internal(_) => unreachable!(),
-            }
-        }
-        let halves = split_block(block, axis);
-        for (i, child) in children.iter_mut().enumerate() {
-            let needs_split = match child {
-                Node::Leaf(v) => {
-                    v.len() > capacity && depth + 1 < max_depth && {
-                        let first = v[0];
-                        !v.iter().all(|q| *q == first)
-                    }
-                }
-                Node::Internal(_) => false,
-            };
-            if needs_split {
-                Self::split_leaf(
-                    child,
-                    halves[i],
-                    axis.next(),
-                    depth + 1,
-                    max_depth,
-                    capacity,
-                );
-            }
-        }
-        *node = Node::Internal(children);
     }
 
     /// `true` when an exactly equal point is stored.
     pub fn contains(&self, p: &Point2) -> bool {
-        if !self.region.contains(p) {
+        if !self.region().contains(p) {
             return false;
         }
-        let mut node = &self.root;
-        let mut block = self.region;
-        let mut axis = Axis::X;
-        loop {
-            match node {
-                Node::Leaf(points) => return points.contains(p),
-                Node::Internal(children) => {
-                    let i = child_index(&block, axis, p);
-                    node = &children[i];
-                    block = split_block(block, axis)[i];
-                    axis = axis.next();
-                }
-            }
-        }
+        self.tree.contains(p)
     }
 
-    /// Total node count (internal + leaf).
+    /// Total node count (internal + leaf) — O(1) pool accounting.
     pub fn node_count(&self) -> usize {
-        fn walk(node: &Node) -> usize {
-            match node {
-                Node::Leaf(_) => 1,
-                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
-            }
-        }
-        walk(&self.root)
+        self.tree.node_count()
     }
 
-    /// Leaf node count.
+    /// Leaf node count, served from the maintained census: O(1).
     pub fn leaf_count(&self) -> usize {
-        self.leaf_records().len()
+        self.tree.census().leaf_count()
     }
 
-    /// Verifies structural invariants; panics on violation.
+    /// The occupancy profile, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn occupancy_profile(&self) -> &OccupancyProfile {
+        self.tree.census().profile()
+    }
+
+    /// The per-depth occupancy table, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn depth_table(&self) -> &DepthOccupancyTable {
+        self.tree.census().depth_table()
+    }
+
+    /// Verifies structural invariants (including census/traversal
+    /// agreement); panics on violation.
     pub fn check_invariants(&self) {
-        fn walk(
-            node: &Node,
-            block: Rect,
-            axis: Axis,
-            depth: u32,
-            capacity: usize,
-            max_depth: u32,
-            total: &mut usize,
-        ) {
-            match node {
-                Node::Leaf(points) => {
-                    *total += points.len();
-                    for p in points {
-                        assert!(block.contains(p), "point {p} outside its bintree leaf");
-                    }
-                    if points.len() > capacity {
-                        let first = points[0];
-                        let coincident = points.iter().all(|q| *q == first);
-                        assert!(
-                            depth >= max_depth || coincident,
-                            "over-full bintree leaf at depth {depth}"
-                        );
-                    }
-                }
-                Node::Internal(children) => {
-                    let halves = split_block(block, axis);
-                    for (i, child) in children.iter().enumerate() {
-                        walk(
-                            child,
-                            halves[i],
-                            axis.next(),
-                            depth + 1,
-                            capacity,
-                            max_depth,
-                            total,
-                        );
-                    }
-                }
-            }
-        }
-        let mut total = 0;
-        walk(
-            &self.root,
-            self.region,
-            Axis::X,
-            0,
-            self.capacity,
-            self.max_depth,
-            &mut total,
-        );
-        assert_eq!(total, self.len, "stored point count mismatch");
+        self.tree.check_invariants();
     }
 }
 
 impl OccupancyInstrumented for Bintree {
     fn capacity(&self) -> usize {
-        self.capacity
+        self.tree.capacity()
     }
 
     fn leaf_records(&self) -> Vec<LeafRecord> {
-        fn walk(node: &Node, depth: u32, out: &mut Vec<LeafRecord>) {
-            match node {
-                Node::Leaf(points) => out.push(LeafRecord {
-                    depth,
-                    occupancy: points.len(),
-                }),
-                Node::Internal(children) => {
-                    for child in children.iter() {
-                        walk(child, depth + 1, out);
-                    }
-                }
-            }
-        }
-        let mut out = Vec::new();
-        walk(&self.root, 0, &mut out);
-        out
+        self.tree.leaf_records()
+    }
+
+    fn occupancy_profile(&self) -> OccupancyProfile {
+        self.tree.census().profile().clone()
+    }
+
+    fn depth_table(&self) -> DepthOccupancyTable {
+        self.tree.census().depth_table().clone()
     }
 }
 

@@ -20,6 +20,15 @@
 //! * [`visualize`] — ASCII rendering of a quadtree's block decomposition
 //!   (Figure 1).
 //!
+//! The regular-decomposition trees (`PrQuadtree`, `PrOctree`, `Bintree`,
+//! `PrTreeNd`) share one arena-backed core ([`arena`], crate-private):
+//! nodes live in a contiguous slot pool addressed by `u32` ids, points in
+//! per-leaf small buffers that spill to a shared point arena, and an
+//! [`node_stats::OccupancyCensus`] is maintained incrementally so
+//! `occupancy_profile()` / `depth_table()` / `leaf_count()` are
+//! zero-allocation reads. [`reference`] keeps the original boxed
+//! implementation as the bit-identity oracle for the equivalence tests.
+//!
 //! All trees are deterministic given their insertion sequence, use
 //! half-open regular decomposition from [`popan_geom`], and enforce their
 //! splitting rule as an internal invariant (checked by `debug_assert` and
@@ -27,6 +36,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod arena;
 
 pub mod bintree;
 pub mod linear_quadtree;
@@ -36,11 +47,14 @@ pub mod point_quadtree;
 pub mod pr_octree;
 pub mod pr_quadtree;
 pub mod pr_tree_nd;
+pub mod reference;
 pub mod visualize;
 
 pub use bintree::Bintree;
 pub use linear_quadtree::LinearQuadtree;
-pub use node_stats::{LeafRecord, OccupancyInstrumented, OccupancyProfile};
+pub use node_stats::{
+    DepthOccupancyTable, LeafRecord, OccupancyCensus, OccupancyInstrumented, OccupancyProfile,
+};
 pub use pmr_quadtree::PmrQuadtree;
 pub use point_quadtree::PointQuadtree;
 pub use pr_octree::PrOctree;

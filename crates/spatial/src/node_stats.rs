@@ -5,8 +5,14 @@
 //! [`OccupancyProfile`] computes that vector (and the derived average
 //! occupancy) from a tree; [`DepthOccupancyTable`] breaks the counts down
 //! by node depth for the aging analysis (Table 3).
-
-use std::collections::BTreeMap;
+//!
+//! Both containers support *incremental* maintenance
+//! ([`OccupancyProfile::record_leaf`] / [`OccupancyProfile::unrecord_leaf`]
+//! and the depth-table analogues), bundled by [`OccupancyCensus`]: a tree
+//! that reports every leaf birth, death and occupancy change keeps a census
+//! that is structurally identical to one rebuilt from a full traversal —
+//! the paper's own framing, where the population state *is* the count
+//! vector and each insertion only moves a node from class `i` to `i + 1`.
 
 /// One leaf node observation: its depth and how many items it holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,39 +107,93 @@ impl OccupancyProfile {
         assert!(capacity > 0, "capacity must be positive");
         self.average_occupancy() / capacity as f64
     }
+
+    /// Incrementally records one leaf of the given occupancy — O(1)
+    /// amortized.
+    pub fn record_leaf(&mut self, occupancy: usize) {
+        if occupancy >= self.counts.len() {
+            self.counts.resize(occupancy + 1, 0);
+        }
+        self.counts[occupancy] += 1;
+    }
+
+    /// Incrementally removes one previously recorded leaf. Trailing zero
+    /// classes are trimmed so the profile stays structurally identical to
+    /// one built by [`OccupancyProfile::from_leaves`] over the surviving
+    /// leaves (`==`, `max_occupancy` and friends agree exactly).
+    pub fn unrecord_leaf(&mut self, occupancy: usize) {
+        assert!(
+            self.counts.get(occupancy).copied().unwrap_or(0) > 0,
+            "unrecord of an absent occupancy class {occupancy}"
+        );
+        self.counts[occupancy] -= 1;
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
+        }
+    }
+
+    /// Moves one leaf from occupancy class `old` to `new` in a single
+    /// pass — the fused unrecord+record used on the tree mutation hot
+    /// path. Structurally identical to `unrecord_leaf(old)` followed by
+    /// `record_leaf(new)`: the trimmed representation is a pure function
+    /// of the recorded multiset, so the fused update lands on the same
+    /// state.
+    pub fn shift_leaf(&mut self, old: usize, new: usize) {
+        assert!(
+            self.counts.get(old).copied().unwrap_or(0) > 0,
+            "shift out of an absent occupancy class {old}"
+        );
+        if new >= self.counts.len() {
+            self.counts.resize(new + 1, 0);
+        }
+        self.counts[old] -= 1;
+        self.counts[new] += 1;
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
+        }
+    }
 }
 
 /// Leaf counts broken down by depth — the raw data of the paper's
 /// Table 3 ("Occupancy by node size").
-#[derive(Debug, Clone, Default)]
+///
+/// Tree depths are small dense integers (root = 0, bounded by the
+/// tree's `max_depth`), so the rows live in a `Vec` indexed by depth —
+/// every maintenance call is an array index, not a map lookup. The
+/// canonical form keeps each row trailing-zero-trimmed and drops
+/// trailing empty rows (interior depths with no leaves stay as empty
+/// rows), so a maintained table is `==` to a
+/// [`DepthOccupancyTable::from_leaves`] rebuild.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DepthOccupancyTable {
-    /// depth → occupancy counts at that depth.
-    rows: BTreeMap<u32, Vec<u64>>,
+    /// `rows[depth]` = occupancy counts at that depth.
+    rows: Vec<Vec<u64>>,
 }
 
 impl DepthOccupancyTable {
     /// Builds the table from leaf records.
     pub fn from_leaves<'a>(leaves: impl IntoIterator<Item = &'a LeafRecord>) -> Self {
-        let mut rows: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        let mut table = DepthOccupancyTable::default();
         for leaf in leaves {
-            let row = rows.entry(leaf.depth).or_default();
-            if leaf.occupancy >= row.len() {
-                row.resize(leaf.occupancy + 1, 0);
-            }
-            row[leaf.occupancy] += 1;
+            table.record(leaf.depth, leaf.occupancy);
         }
-        DepthOccupancyTable { rows }
+        table
     }
 
-    /// Depths present, ascending.
+    /// Depths present (holding at least one leaf), ascending.
     pub fn depths(&self) -> Vec<u32> {
-        self.rows.keys().copied().collect()
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
+            .map(|(depth, _)| depth as u32)
+            .collect()
     }
 
     /// Count of depth-`d` leaves with occupancy `i`.
     pub fn count(&self, depth: u32, occupancy: usize) -> u64 {
         self.rows
-            .get(&depth)
+            .get(depth as usize)
             .and_then(|r| r.get(occupancy))
             .copied()
             .unwrap_or(0)
@@ -141,7 +201,7 @@ impl DepthOccupancyTable {
 
     /// Total leaves at a depth.
     pub fn leaves_at(&self, depth: u32) -> u64 {
-        self.rows.get(&depth).map_or(0, |r| r.iter().sum())
+        self.rows.get(depth as usize).map_or(0, |r| r.iter().sum())
     }
 
     /// Average occupancy of the leaves at a depth (`None` if no leaves).
@@ -149,7 +209,7 @@ impl DepthOccupancyTable {
     /// The paper's Table 3 shows this decreasing with depth (i.e. with
     /// decreasing block size): the *aging* effect.
     pub fn average_occupancy_at(&self, depth: u32) -> Option<f64> {
-        let row = self.rows.get(&depth)?;
+        let row = self.rows.get(depth as usize)?;
         let leaves: u64 = row.iter().sum();
         if leaves == 0 {
             return None;
@@ -158,16 +218,160 @@ impl DepthOccupancyTable {
         Some(items as f64 / leaves as f64)
     }
 
+    /// Incrementally records one leaf at `depth` with the given occupancy.
+    pub fn record(&mut self, depth: u32, occupancy: usize) {
+        let d = depth as usize;
+        if d >= self.rows.len() {
+            self.rows.resize_with(d + 1, Vec::new);
+        }
+        let row = &mut self.rows[d];
+        if occupancy >= row.len() {
+            row.resize(occupancy + 1, 0);
+        }
+        row[occupancy] += 1;
+    }
+
+    /// Incrementally removes one previously recorded leaf. Rows are trimmed
+    /// (trailing zeros dropped, trailing empty depths removed) so the table
+    /// stays structurally identical to one built by
+    /// [`DepthOccupancyTable::from_leaves`] over the surviving leaves.
+    pub fn unrecord(&mut self, depth: u32, occupancy: usize) {
+        let row = self
+            .rows
+            .get_mut(depth as usize)
+            .unwrap_or_else(|| panic!("unrecord at absent depth {depth}"));
+        assert!(
+            row.get(occupancy).copied().unwrap_or(0) > 0,
+            "unrecord of an absent occupancy class {occupancy} at depth {depth}"
+        );
+        row[occupancy] -= 1;
+        while row.last() == Some(&0) {
+            row.pop();
+        }
+        while self.rows.last().is_some_and(Vec::is_empty) {
+            self.rows.pop();
+        }
+    }
+
+    /// Moves one depth-`depth` leaf from occupancy class `old` to `new`
+    /// in a single row access — the fused unrecord+record used on the
+    /// tree mutation hot path. Lands on the same canonical state as
+    /// `unrecord(depth, old)` followed by `record(depth, new)`; the
+    /// depth row cannot empty out because the leaf stays at its depth.
+    pub fn shift(&mut self, depth: u32, old: usize, new: usize) {
+        let row = self
+            .rows
+            .get_mut(depth as usize)
+            .unwrap_or_else(|| panic!("shift at absent depth {depth}"));
+        assert!(
+            row.get(old).copied().unwrap_or(0) > 0,
+            "shift out of an absent occupancy class {old} at depth {depth}"
+        );
+        if new >= row.len() {
+            row.resize(new + 1, 0);
+        }
+        row[old] -= 1;
+        row[new] += 1;
+        while row.last() == Some(&0) {
+            row.pop();
+        }
+    }
+
     /// Collapses the table into an [`OccupancyProfile`].
     pub fn profile(&self) -> OccupancyProfile {
-        let max = self.rows.values().map(|r| r.len()).max().unwrap_or(0);
+        let max = self.rows.iter().map(Vec::len).max().unwrap_or(0);
         let mut counts = vec![0u64; max];
-        for row in self.rows.values() {
+        for row in &self.rows {
             for (i, &c) in row.iter().enumerate() {
                 counts[i] += c;
             }
         }
         OccupancyProfile::from_counts(counts)
+    }
+}
+
+/// Incrementally maintained occupancy census: the profile, the per-depth
+/// table and the leaf count, kept in lockstep with a tree's mutations.
+///
+/// A tree calls [`OccupancyCensus::leaf_added`] when a leaf comes into
+/// existence, [`OccupancyCensus::leaf_removed`] when one disappears (split
+/// or collapse), and [`OccupancyCensus::occupancy_changed`] when a leaf's
+/// item count changes in place. Each call is O(1) amortized, so a whole
+/// insert or remove costs O(depth) census work — and the reads
+/// (`profile()`, `depth_table()`, `leaf_count()`) are free: they just hand
+/// back references to the maintained state.
+///
+/// Invariant (checked by every tree's `check_invariants` and the arena
+/// equivalence proptests): the maintained state is `==` to
+/// [`OccupancyCensus::from_leaves`] over the tree's current
+/// `leaf_records()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyCensus {
+    profile: OccupancyProfile,
+    table: DepthOccupancyTable,
+    leaves: usize,
+}
+
+impl Default for OccupancyCensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OccupancyCensus {
+    /// An empty census (no leaves at all).
+    pub fn new() -> Self {
+        OccupancyCensus {
+            profile: OccupancyProfile::from_counts(Vec::new()),
+            table: DepthOccupancyTable::default(),
+            leaves: 0,
+        }
+    }
+
+    /// Builds a census from a full traversal — the oracle the incremental
+    /// state is checked against.
+    pub fn from_leaves<'a>(leaves: impl IntoIterator<Item = &'a LeafRecord>) -> Self {
+        let records: Vec<&LeafRecord> = leaves.into_iter().collect();
+        OccupancyCensus {
+            profile: OccupancyProfile::from_leaves(records.iter().copied()),
+            table: DepthOccupancyTable::from_leaves(records.iter().copied()),
+            leaves: records.len(),
+        }
+    }
+
+    /// A leaf with the given depth and occupancy came into existence.
+    pub fn leaf_added(&mut self, depth: u32, occupancy: usize) {
+        self.profile.record_leaf(occupancy);
+        self.table.record(depth, occupancy);
+        self.leaves += 1;
+    }
+
+    /// A leaf with the given depth and occupancy ceased to exist.
+    pub fn leaf_removed(&mut self, depth: u32, occupancy: usize) {
+        self.profile.unrecord_leaf(occupancy);
+        self.table.unrecord(depth, occupancy);
+        self.leaves -= 1;
+    }
+
+    /// An existing leaf's occupancy changed from `old` to `new` in place.
+    pub fn occupancy_changed(&mut self, depth: u32, old: usize, new: usize) {
+        self.profile.shift_leaf(old, new);
+        self.table.shift(depth, old, new);
+    }
+
+    /// The maintained occupancy profile — a free read.
+    pub fn profile(&self) -> &OccupancyProfile {
+        &self.profile
+    }
+
+    /// The maintained per-depth table — a free read.
+    pub fn depth_table(&self) -> &DepthOccupancyTable {
+        &self.table
+    }
+
+    /// The maintained leaf count — a free read.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves
     }
 }
 
@@ -275,6 +479,103 @@ mod tests {
     }
 
     #[test]
+    fn incremental_profile_matches_from_leaves_after_unrecord() {
+        let mut p = OccupancyProfile::from_counts(Vec::new());
+        for occ in [0, 3, 3, 1, 5] {
+            p.record_leaf(occ);
+        }
+        p.unrecord_leaf(5);
+        p.unrecord_leaf(3);
+        // Survivors: occupancies 0, 3, 1 — trailing class 4/5 must be gone.
+        let survivors = leaves(&[(0, 0), (0, 3), (0, 1)]);
+        assert_eq!(p, OccupancyProfile::from_leaves(&survivors));
+        assert_eq!(p.max_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent occupancy class")]
+    fn unrecord_of_absent_class_panics() {
+        let mut p = OccupancyProfile::from_counts(vec![1]);
+        p.unrecord_leaf(2);
+    }
+
+    #[test]
+    fn fused_shift_lands_on_the_unrecord_record_state() {
+        // Profile: shrinking shift out of the top class must trim.
+        let mut fused = OccupancyProfile::from_counts(Vec::new());
+        let mut stepwise = fused.clone();
+        for occ in [0, 2, 5] {
+            fused.record_leaf(occ);
+            stepwise.record_leaf(occ);
+        }
+        fused.shift_leaf(5, 4);
+        stepwise.unrecord_leaf(5);
+        stepwise.record_leaf(4);
+        assert_eq!(fused, stepwise);
+        assert_eq!(fused.max_occupancy(), 4);
+        // Growing shift past the current top class must extend.
+        fused.shift_leaf(4, 9);
+        stepwise.unrecord_leaf(4);
+        stepwise.record_leaf(9);
+        assert_eq!(fused, stepwise);
+
+        // Table: same contract per depth row.
+        let mut fused = DepthOccupancyTable::default();
+        let mut stepwise = DepthOccupancyTable::default();
+        for &(d, o) in &[(3, 1), (3, 4), (5, 0)] {
+            fused.record(d, o);
+            stepwise.record(d, o);
+        }
+        fused.shift(3, 4, 3);
+        stepwise.unrecord(3, 4);
+        stepwise.record(3, 3);
+        assert_eq!(fused, stepwise);
+        fused.shift(5, 0, 1);
+        stepwise.unrecord(5, 0);
+        stepwise.record(5, 1);
+        assert_eq!(fused, stepwise);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift out of an absent occupancy class")]
+    fn shift_out_of_absent_class_panics() {
+        let mut t = DepthOccupancyTable::default();
+        t.record(2, 1);
+        t.shift(2, 3, 4);
+    }
+
+    #[test]
+    fn incremental_table_trims_rows_and_depths() {
+        let mut t = DepthOccupancyTable::default();
+        t.record(2, 4);
+        t.record(2, 1);
+        t.record(7, 0);
+        t.unrecord(2, 4);
+        t.unrecord(7, 0);
+        let survivors = leaves(&[(2, 1)]);
+        assert_eq!(t, DepthOccupancyTable::from_leaves(&survivors));
+        assert_eq!(t.depths(), vec![2]);
+    }
+
+    #[test]
+    fn census_tracks_adds_removes_and_changes() {
+        let mut census = OccupancyCensus::new();
+        assert_eq!(census, OccupancyCensus::from_leaves(&[]));
+        census.leaf_added(0, 0); // empty tree: one empty root leaf
+        census.occupancy_changed(0, 0, 1);
+        census.occupancy_changed(0, 1, 2);
+        // Split: the root leaf dies, two children appear.
+        census.leaf_removed(0, 2);
+        census.leaf_added(1, 1);
+        census.leaf_added(1, 1);
+        let expected = leaves(&[(1, 1), (1, 1)]);
+        assert_eq!(census, OccupancyCensus::from_leaves(&expected));
+        assert_eq!(census.leaf_count(), 2);
+        assert_eq!(census.profile().total_items(), 2);
+        assert_eq!(census.depth_table().leaves_at(1), 2);
+    }
+
+    #[test]
     fn trait_default_methods_agree_with_manual_construction() {
         struct Fake;
         impl OccupancyInstrumented for Fake {
@@ -311,6 +612,27 @@ mod proptests {
             let props = p.proportions(capacity);
             prop_assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             prop_assert!(props.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+
+        #[test]
+        fn incremental_census_is_structurally_equal_to_rebuild(
+            ops in popan_proptest::collection::vec((0u32..6, 0usize..8), 1..80),
+        ) {
+            // Treat each (depth, occupancy) as a leaf birth; then kill them
+            // off in an interleaved order and check the census against a
+            // from_leaves rebuild of the survivors at every step.
+            let mut census = OccupancyCensus::new();
+            let mut live: Vec<LeafRecord> = Vec::new();
+            for (i, &(d, o)) in ops.iter().enumerate() {
+                census.leaf_added(d, o);
+                live.push(LeafRecord { depth: d, occupancy: o });
+                if i % 3 == 2 {
+                    let victim = live.remove((i * 7919) % live.len());
+                    census.leaf_removed(victim.depth, victim.occupancy);
+                }
+                prop_assert_eq!(&census, &OccupancyCensus::from_leaves(&live));
+                prop_assert_eq!(census.leaf_count(), live.len());
+            }
         }
 
         #[test]

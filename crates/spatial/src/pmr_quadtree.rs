@@ -49,6 +49,9 @@ pub struct PmrQuadtree {
     threshold: usize,
     max_depth: u32,
     len: usize,
+    /// Incrementally maintained leaf-node count: starts at 1 (the root
+    /// leaf) and each split-once turns one leaf into four (+3).
+    leaf_nodes: usize,
 }
 
 impl PmrQuadtree {
@@ -75,6 +78,7 @@ impl PmrQuadtree {
             threshold,
             max_depth,
             len: 0,
+            leaf_nodes: 1,
         })
     }
 
@@ -117,6 +121,7 @@ impl PmrQuadtree {
             id: self.len as u32,
             segment,
         };
+        let mut splits = 0usize;
         Self::insert_rec(
             &mut self.root,
             self.region,
@@ -124,11 +129,15 @@ impl PmrQuadtree {
             self.max_depth,
             self.threshold,
             entry,
+            &mut splits,
         );
         self.len += 1;
+        // Each split replaces one leaf with an internal and 4 leaves.
+        self.leaf_nodes += 3 * splits;
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_rec(
         node: &mut Node,
         block: Rect,
@@ -136,6 +145,7 @@ impl PmrQuadtree {
         max_depth: u32,
         threshold: usize,
         entry: Entry,
+        splits: &mut usize,
     ) {
         match node {
             Node::Internal(children) => {
@@ -149,6 +159,7 @@ impl PmrQuadtree {
                             max_depth,
                             threshold,
                             entry,
+                            splits,
                         );
                     }
                 }
@@ -159,6 +170,7 @@ impl PmrQuadtree {
                 // insertion, and the split is not applied recursively.
                 if entries.len() > threshold && depth < max_depth {
                     Self::split_leaf_once(node, block);
+                    *splits += 1;
                 }
             }
         }
@@ -231,9 +243,10 @@ impl PmrQuadtree {
         walk(&self.root)
     }
 
-    /// Leaf node count.
+    /// Leaf node count — served from the incrementally maintained
+    /// counter, no traversal.
     pub fn leaf_count(&self) -> usize {
-        self.leaf_records().len()
+        self.leaf_nodes
     }
 
     /// Verifies structural invariants; panics on violation.
@@ -254,6 +267,11 @@ impl PmrQuadtree {
         }
         let mut leaves: Vec<(Rect, &[Entry])> = Vec::new();
         walk(&self.root, self.region, &mut leaves);
+        assert_eq!(
+            leaves.len(),
+            self.leaf_nodes,
+            "incremental leaf count diverged from traversal"
+        );
 
         // Each stored entry crosses its leaf's block.
         let mut by_id: std::collections::BTreeMap<u32, Segment2> =

@@ -4,34 +4,23 @@
 //! octrees and higher dimensional data structures" — branching factor 8
 //! instead of 4. The `dims` extension experiment validates the generalized
 //! population model against this tree.
+//!
+//! Like [`crate::PrQuadtree`], the octree is backed by the contiguous
+//! arena core with an incrementally maintained census, so occupancy reads
+//! are zero-allocation and traversal-free.
 
-use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::arena::{ArenaTree, OctDecomp};
+use crate::node_stats::{DepthOccupancyTable, LeafRecord, OccupancyInstrumented, OccupancyProfile};
 use crate::pr_quadtree::TreeError;
-use popan_geom::{Aabb3, Octant, Point3};
+use popan_geom::{Aabb3, Point3};
 
 /// Default depth limit (see [`crate::pr_quadtree::DEFAULT_MAX_DEPTH`]).
 pub const DEFAULT_MAX_DEPTH: u32 = 32;
 
-#[derive(Debug, Clone)]
-enum Node {
-    Leaf(Vec<Point3>),
-    Internal(Vec<Node>), // always 8 children
-}
-
-impl Node {
-    fn empty_leaf() -> Node {
-        Node::Leaf(Vec::new())
-    }
-}
-
 /// A generalized PR octree with node capacity `m`.
 #[derive(Debug, Clone)]
 pub struct PrOctree {
-    root: Node,
-    region: Aabb3,
-    capacity: usize,
-    max_depth: u32,
-    len: usize,
+    tree: ArenaTree<OctDecomp>,
 }
 
 impl PrOctree {
@@ -43,11 +32,7 @@ impl PrOctree {
             ));
         }
         Ok(PrOctree {
-            root: Node::empty_leaf(),
-            region,
-            capacity,
-            max_depth: DEFAULT_MAX_DEPTH,
-            len: 0,
+            tree: ArenaTree::new(region, capacity, DEFAULT_MAX_DEPTH),
         })
     }
 
@@ -58,25 +43,35 @@ impl PrOctree {
         points: impl IntoIterator<Item = Point3>,
     ) -> Result<Self, TreeError> {
         let mut t = Self::new(region, capacity)?;
+        let mut pts = Vec::new();
         for p in points {
-            t.insert(p)?;
+            if !p.is_finite() {
+                return Err(TreeError::NonFinitePoint);
+            }
+            if !t.region().contains(&p) {
+                return Err(TreeError::InvalidParameter(format!(
+                    "point {p} lies outside the octree region"
+                )));
+            }
+            pts.push(p);
         }
+        t.tree.bulk_fill(pts);
         Ok(t)
     }
 
     /// The region covered.
     pub fn region(&self) -> Aabb3 {
-        self.region
+        self.tree.region()
     }
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.len
+        self.tree.len()
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.tree.is_empty()
     }
 
     /// Inserts a point, splitting per the PR rule.
@@ -84,203 +79,68 @@ impl PrOctree {
         if !p.is_finite() {
             return Err(TreeError::NonFinitePoint);
         }
-        if !self.region.contains(&p) {
+        if !self.region().contains(&p) {
             return Err(TreeError::InvalidParameter(format!(
                 "point {p} lies outside the octree region"
             )));
         }
-        Self::insert_rec(
-            &mut self.root,
-            self.region,
-            0,
-            self.max_depth,
-            self.capacity,
-            p,
-        );
-        self.len += 1;
+        self.tree.insert(p);
         Ok(())
-    }
-
-    fn insert_rec(
-        node: &mut Node,
-        block: Aabb3,
-        depth: u32,
-        max_depth: u32,
-        capacity: usize,
-        p: Point3,
-    ) {
-        match node {
-            Node::Internal(children) => {
-                let o = block.octant_of(&p);
-                Self::insert_rec(
-                    &mut children[o.index()],
-                    block.octant(o),
-                    depth + 1,
-                    max_depth,
-                    capacity,
-                    p,
-                );
-            }
-            Node::Leaf(points) => {
-                points.push(p);
-                if points.len() > capacity && depth < max_depth {
-                    let first = points[0];
-                    if points.iter().all(|q| *q == first) {
-                        return;
-                    }
-                    Self::split_leaf(node, block, depth, max_depth, capacity);
-                }
-            }
-        }
-    }
-
-    fn split_leaf(node: &mut Node, block: Aabb3, depth: u32, max_depth: u32, capacity: usize) {
-        let points = match std::mem::replace(node, Node::empty_leaf()) {
-            Node::Leaf(points) => points,
-            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
-        };
-        let mut children: Vec<Node> = (0..8).map(|_| Node::empty_leaf()).collect();
-        for p in points {
-            let o = block.octant_of(&p);
-            match &mut children[o.index()] {
-                Node::Leaf(v) => v.push(p),
-                Node::Internal(_) => unreachable!(),
-            }
-        }
-        for (i, child) in children.iter_mut().enumerate() {
-            let needs_split = match child {
-                Node::Leaf(v) => {
-                    v.len() > capacity && depth + 1 < max_depth && {
-                        let first = v[0];
-                        !v.iter().all(|q| *q == first)
-                    }
-                }
-                Node::Internal(_) => false,
-            };
-            if needs_split {
-                Self::split_leaf(
-                    child,
-                    block.octant(Octant::from_index(i)),
-                    depth + 1,
-                    max_depth,
-                    capacity,
-                );
-            }
-        }
-        *node = Node::Internal(children);
     }
 
     /// `true` when an exactly equal point is stored.
     pub fn contains(&self, p: &Point3) -> bool {
-        if !self.region.contains(p) {
+        if !self.region().contains(p) {
             return false;
         }
-        let mut node = &self.root;
-        let mut block = self.region;
-        loop {
-            match node {
-                Node::Leaf(points) => return points.contains(p),
-                Node::Internal(children) => {
-                    let o = block.octant_of(p);
-                    node = &children[o.index()];
-                    block = block.octant(o);
-                }
-            }
-        }
+        self.tree.contains(p)
     }
 
-    /// Total node count (internal + leaf).
+    /// Total node count (internal + leaf) — O(1) pool accounting.
     pub fn node_count(&self) -> usize {
-        fn walk(node: &Node) -> usize {
-            match node {
-                Node::Leaf(_) => 1,
-                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
-            }
-        }
-        walk(&self.root)
+        self.tree.node_count()
     }
 
-    /// Leaf node count.
+    /// Leaf node count, served from the maintained census: O(1).
     pub fn leaf_count(&self) -> usize {
-        self.leaf_records().len()
+        self.tree.census().leaf_count()
+    }
+
+    /// The occupancy profile, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn occupancy_profile(&self) -> &OccupancyProfile {
+        self.tree.census().profile()
+    }
+
+    /// The per-depth occupancy table, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn depth_table(&self) -> &DepthOccupancyTable {
+        self.tree.census().depth_table()
     }
 
     /// Verifies structural invariants (see
-    /// [`crate::pr_quadtree::PrQuadtree::check_invariants`]).
+    /// [`crate::pr_quadtree::PrQuadtree::check_invariants`]), including
+    /// census/traversal agreement.
     pub fn check_invariants(&self) {
-        fn walk(
-            node: &Node,
-            block: Aabb3,
-            depth: u32,
-            capacity: usize,
-            max_depth: u32,
-            total: &mut usize,
-        ) {
-            match node {
-                Node::Leaf(points) => {
-                    *total += points.len();
-                    for p in points {
-                        assert!(block.contains(p), "point {p} outside its leaf block");
-                    }
-                    if points.len() > capacity {
-                        let first = points[0];
-                        let coincident = points.iter().all(|q| *q == first);
-                        assert!(
-                            depth >= max_depth || coincident,
-                            "over-full octree leaf at depth {depth}"
-                        );
-                    }
-                }
-                Node::Internal(children) => {
-                    assert_eq!(children.len(), 8);
-                    for (i, child) in children.iter().enumerate() {
-                        walk(
-                            child,
-                            block.octant(Octant::from_index(i)),
-                            depth + 1,
-                            capacity,
-                            max_depth,
-                            total,
-                        );
-                    }
-                }
-            }
-        }
-        let mut total = 0;
-        walk(
-            &self.root,
-            self.region,
-            0,
-            self.capacity,
-            self.max_depth,
-            &mut total,
-        );
-        assert_eq!(total, self.len, "stored point count mismatch");
+        self.tree.check_invariants();
     }
 }
 
 impl OccupancyInstrumented for PrOctree {
     fn capacity(&self) -> usize {
-        self.capacity
+        self.tree.capacity()
     }
 
     fn leaf_records(&self) -> Vec<LeafRecord> {
-        fn walk(node: &Node, depth: u32, out: &mut Vec<LeafRecord>) {
-            match node {
-                Node::Leaf(points) => out.push(LeafRecord {
-                    depth,
-                    occupancy: points.len(),
-                }),
-                Node::Internal(children) => {
-                    for child in children {
-                        walk(child, depth + 1, out);
-                    }
-                }
-            }
-        }
-        let mut out = Vec::new();
-        walk(&self.root, 0, &mut out);
-        out
+        self.tree.leaf_records()
+    }
+
+    fn occupancy_profile(&self) -> OccupancyProfile {
+        self.tree.census().profile().clone()
+    }
+
+    fn depth_table(&self) -> DepthOccupancyTable {
+        self.tree.census().depth_table().clone()
     }
 }
 

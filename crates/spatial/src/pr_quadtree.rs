@@ -16,8 +16,20 @@
 //!   pathological near-duplicates, reproducing the paper's
 //!   depth-truncation artifact when set low).
 //! * Leaves at `max_depth` may exceed the capacity.
+//!
+//! # Representation
+//!
+//! Nodes live in a contiguous arena ([`crate::arena`], `u32` slot ids,
+//! free-list reuse on remove-collapse) and the occupancy census is
+//! maintained incrementally, so [`PrQuadtree::occupancy_profile`],
+//! [`PrQuadtree::depth_table`] and [`PrQuadtree::leaf_count`] are
+//! zero-allocation O(m) reads instead of full traversals. Leaf traversal
+//! order (NW→SE pre-order) and every floating-point result are
+//! bit-identical to the original boxed implementation, which survives as
+//! [`crate::reference::BoxedPrQuadtree`] — the equivalence-test oracle.
 
-use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::arena::{ArenaTree, QuadDecomp, SlotView, ROOT};
+use crate::node_stats::{DepthOccupancyTable, LeafRecord, OccupancyInstrumented, OccupancyProfile};
 use popan_geom::{Point2, Quadrant, Rect};
 
 /// Default depth limit: effectively unbounded for the workloads here, but
@@ -52,26 +64,10 @@ impl std::fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
-#[derive(Debug, Clone)]
-enum Node {
-    Leaf(Vec<Point2>),
-    Internal(Box<[Node; 4]>),
-}
-
-impl Node {
-    fn empty_leaf() -> Node {
-        Node::Leaf(Vec::new())
-    }
-}
-
 /// A generalized PR quadtree with node capacity `m`.
 #[derive(Debug, Clone)]
 pub struct PrQuadtree {
-    root: Node,
-    region: Rect,
-    capacity: usize,
-    max_depth: u32,
-    len: usize,
+    tree: ArenaTree<QuadDecomp>,
 }
 
 impl PrQuadtree {
@@ -96,11 +92,7 @@ impl PrQuadtree {
             ));
         }
         Ok(PrQuadtree {
-            root: Node::empty_leaf(),
-            region,
-            capacity,
-            max_depth,
-            len: 0,
+            tree: ArenaTree::new(region, capacity, max_depth),
         })
     }
 
@@ -111,30 +103,41 @@ impl PrQuadtree {
         points: impl IntoIterator<Item = Point2>,
     ) -> Result<Self, TreeError> {
         let mut t = Self::new(region, capacity)?;
+        let mut pts = Vec::new();
         for p in points {
-            t.insert(p)?;
+            if !p.is_finite() {
+                return Err(TreeError::NonFinitePoint);
+            }
+            if !t.region().contains(&p) {
+                return Err(TreeError::OutOfRegion { point: p });
+            }
+            pts.push(p);
         }
+        // Bulk construction: bit-identical to sequential inserts (see
+        // `ArenaTree::bulk_fill`), but streams points level by level
+        // instead of descending per point.
+        t.tree.bulk_fill(pts);
         Ok(t)
     }
 
     /// The region covered.
     pub fn region(&self) -> Rect {
-        self.region
+        self.tree.region()
     }
 
     /// The depth limit.
     pub fn max_depth(&self) -> u32 {
-        self.max_depth
+        self.tree.max_depth()
     }
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.len
+        self.tree.len()
     }
 
     /// `true` when no points are stored.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.tree.is_empty()
     }
 
     /// Inserts a point, splitting per the PR rule.
@@ -142,98 +145,19 @@ impl PrQuadtree {
         if !p.is_finite() {
             return Err(TreeError::NonFinitePoint);
         }
-        if !self.region.contains(&p) {
+        if !self.region().contains(&p) {
             return Err(TreeError::OutOfRegion { point: p });
         }
-        Self::insert_rec(
-            &mut self.root,
-            self.region,
-            0,
-            self.max_depth,
-            self.capacity,
-            p,
-        );
-        self.len += 1;
+        self.tree.insert(p);
         Ok(())
-    }
-
-    fn insert_rec(
-        node: &mut Node,
-        block: Rect,
-        depth: u32,
-        max_depth: u32,
-        capacity: usize,
-        p: Point2,
-    ) {
-        match node {
-            Node::Internal(children) => {
-                let q = block.quadrant_of(&p);
-                Self::insert_rec(
-                    &mut children[q.index()],
-                    block.quadrant(q),
-                    depth + 1,
-                    max_depth,
-                    capacity,
-                    p,
-                );
-            }
-            Node::Leaf(points) => {
-                points.push(p);
-                if points.len() > capacity && depth < max_depth {
-                    // Coincident points can never be separated; splitting
-                    // such a leaf would recurse to max_depth for nothing.
-                    let first = points[0];
-                    if points.iter().all(|q| *q == first) {
-                        return;
-                    }
-                    Self::split_leaf(node, block, depth, max_depth, capacity);
-                }
-            }
-        }
-    }
-
-    /// Converts an over-full leaf into an internal node, redistributing
-    /// points and splitting children recursively while they overflow —
-    /// the paper's "the block must be split, perhaps several times, until
-    /// the points lie in separate blocks".
-    fn split_leaf(node: &mut Node, block: Rect, depth: u32, max_depth: u32, capacity: usize) {
-        let points = match std::mem::replace(node, Node::empty_leaf()) {
-            Node::Leaf(points) => points,
-            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
-        };
-        let mut children = Box::new([
-            Node::empty_leaf(),
-            Node::empty_leaf(),
-            Node::empty_leaf(),
-            Node::empty_leaf(),
-        ]);
-        for p in points {
-            let q = block.quadrant_of(&p);
-            match &mut children[q.index()] {
-                Node::Leaf(v) => v.push(p),
-                Node::Internal(_) => unreachable!(),
-            }
-        }
-        for (i, child) in children.iter_mut().enumerate() {
-            let needs_split = match child {
-                Node::Leaf(v) => {
-                    v.len() > capacity && depth + 1 < max_depth && {
-                        let first = v[0];
-                        !v.iter().all(|q| *q == first)
-                    }
-                }
-                Node::Internal(_) => false,
-            };
-            if needs_split {
-                let q = Quadrant::from_index(i);
-                Self::split_leaf(child, block.quadrant(q), depth + 1, max_depth, capacity);
-            }
-        }
-        *node = Node::Internal(children);
     }
 
     /// Removes one stored instance of `p`. Returns `true` when a point
     /// was removed.
+    ///
+    /// Non-finite points are rejected outright (mirroring `insert` — they
+    /// can never be stored, so there is nothing to remove and no reason
+    /// to descend).
     ///
     /// After a removal, internal nodes whose children are all leaves and
     /// whose combined occupancy fits within the capacity are collapsed
@@ -242,116 +166,43 @@ impl PrQuadtree {
     /// surviving point set produces (order-independence extends to
     /// deletion).
     pub fn remove(&mut self, p: &Point2) -> bool {
-        if !self.region.contains(p) {
+        if !p.is_finite() || !self.region().contains(p) {
             return false;
         }
-        let removed = Self::remove_rec(&mut self.root, self.region, self.capacity, p);
-        if removed {
-            self.len -= 1;
-        }
-        removed
-    }
-
-    fn remove_rec(node: &mut Node, block: Rect, capacity: usize, p: &Point2) -> bool {
-        match node {
-            Node::Leaf(points) => match points.iter().position(|q| q == p) {
-                Some(idx) => {
-                    points.swap_remove(idx);
-                    true
-                }
-                None => false,
-            },
-            Node::Internal(children) => {
-                let q = block.quadrant_of(p);
-                let removed =
-                    Self::remove_rec(&mut children[q.index()], block.quadrant(q), capacity, p);
-                if removed {
-                    Self::try_collapse(node, capacity);
-                }
-                removed
-            }
-        }
-    }
-
-    /// Collapses an internal node whose children are all leaves holding
-    /// at most `capacity` points combined.
-    fn try_collapse(node: &mut Node, capacity: usize) {
-        let Node::Internal(children) = node else {
-            return;
-        };
-        let mut total = 0;
-        for child in children.iter() {
-            match child {
-                Node::Leaf(points) => total += points.len(),
-                Node::Internal(_) => return,
-            }
-        }
-        if total > capacity {
-            // One exception mirrors insertion's coincident-point rule: a
-            // pile of identical points larger than the capacity lives in
-            // a single undivided leaf, so siblings of such a pile that
-            // have emptied out must still fold away.
-            let mut first: Option<Point2> = None;
-            let all_coincident = children.iter().all(|child| match child {
-                Node::Leaf(points) => points.iter().all(|q| match first {
-                    Some(f) => *q == f,
-                    None => {
-                        first = Some(*q);
-                        true
-                    }
-                }),
-                Node::Internal(_) => false,
-            });
-            if !all_coincident {
-                return;
-            }
-        }
-        let mut merged = Vec::with_capacity(total);
-        for child in children.iter_mut() {
-            if let Node::Leaf(points) = child {
-                merged.append(points);
-            }
-        }
-        *node = Node::Leaf(merged);
+        self.tree.remove(p)
     }
 
     /// `true` when an exactly equal point is stored.
     pub fn contains(&self, p: &Point2) -> bool {
-        if !self.region.contains(p) {
+        if !self.region().contains(p) {
             return false;
         }
-        let mut node = &self.root;
-        let mut block = self.region;
-        loop {
-            match node {
-                Node::Leaf(points) => return points.contains(p),
-                Node::Internal(children) => {
-                    let q = block.quadrant_of(p);
-                    node = &children[q.index()];
-                    block = block.quadrant(q);
-                }
-            }
-        }
+        self.tree.contains(p)
     }
 
     /// All stored points inside `query` (half-open on both axes).
     pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
         let mut out = Vec::new();
-        Self::range_rec(&self.root, self.region, query, &mut out);
+        self.range_rec(ROOT, self.region(), query, &mut out);
         out
     }
 
-    fn range_rec(node: &Node, block: Rect, query: &Rect, out: &mut Vec<Point2>) {
+    fn range_rec(&self, slot: u32, block: Rect, query: &Rect, out: &mut Vec<Point2>) {
         if !block.overlaps(query) {
             return;
         }
-        match node {
-            Node::Leaf(points) => {
+        match self.tree.view(slot) {
+            SlotView::Leaf(points) => {
                 out.extend(points.iter().filter(|p| query.contains(p)).copied());
             }
-            Node::Internal(children) => {
-                for (i, child) in children.iter().enumerate() {
-                    Self::range_rec(child, block.quadrant(Quadrant::from_index(i)), query, out);
+            SlotView::Internal(base) => {
+                for i in 0..4 {
+                    self.range_rec(
+                        base + i as u32,
+                        block.quadrant(Quadrant::from_index(i)),
+                        query,
+                        out,
+                    );
                 }
             }
         }
@@ -359,40 +210,44 @@ impl PrQuadtree {
 
     /// Counts stored points inside `query` without materializing them.
     pub fn count_in_range(&self, query: &Rect) -> usize {
-        fn rec(node: &Node, block: Rect, query: &Rect) -> usize {
-            if !block.overlaps(query) {
-                return 0;
-            }
-            match node {
-                Node::Leaf(points) => points.iter().filter(|p| query.contains(p)).count(),
-                Node::Internal(children) => {
-                    if query.contains_rect(&block) {
-                        // Whole block inside the query: count everything.
-                        return children
-                            .iter()
-                            .enumerate()
-                            .map(|(i, c)| count_all(c, block.quadrant(Quadrant::from_index(i))))
-                            .sum();
-                    }
-                    children
-                        .iter()
-                        .enumerate()
-                        .map(|(i, c)| rec(c, block.quadrant(Quadrant::from_index(i)), query))
-                        .sum()
+        self.count_rec(ROOT, self.region(), query)
+    }
+
+    fn count_rec(&self, slot: u32, block: Rect, query: &Rect) -> usize {
+        if !block.overlaps(query) {
+            return 0;
+        }
+        match self.tree.view(slot) {
+            SlotView::Leaf(points) => points.iter().filter(|p| query.contains(p)).count(),
+            SlotView::Internal(base) => {
+                if query.contains_rect(&block) {
+                    // Whole block inside the query: count everything.
+                    return (0..4)
+                        .map(|i| {
+                            self.count_all(base + i as u32, block.quadrant(Quadrant::from_index(i)))
+                        })
+                        .sum();
                 }
+                (0..4)
+                    .map(|i| {
+                        self.count_rec(
+                            base + i as u32,
+                            block.quadrant(Quadrant::from_index(i)),
+                            query,
+                        )
+                    })
+                    .sum()
             }
         }
-        fn count_all(node: &Node, block: Rect) -> usize {
-            match node {
-                Node::Leaf(points) => points.len(),
-                Node::Internal(children) => children
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| count_all(c, block.quadrant(Quadrant::from_index(i))))
-                    .sum(),
-            }
+    }
+
+    fn count_all(&self, slot: u32, block: Rect) -> usize {
+        match self.tree.view(slot) {
+            SlotView::Leaf(points) => points.len(),
+            SlotView::Internal(base) => (0..4)
+                .map(|i| self.count_all(base + i as u32, block.quadrant(Quadrant::from_index(i))))
+                .sum(),
         }
-        rec(&self.root, self.region, query)
     }
 
     /// The `k` stored points nearest to `target`, nearest first (fewer
@@ -403,12 +258,13 @@ impl PrQuadtree {
         }
         // Best list kept sorted ascending by distance; worst-first pruning.
         let mut best: Vec<(f64, Point2)> = Vec::with_capacity(k + 1);
-        Self::k_nearest_rec(&self.root, self.region, target, k, &mut best);
+        self.k_nearest_rec(ROOT, self.region(), target, k, &mut best);
         best.into_iter().map(|(_, p)| p).collect()
     }
 
     fn k_nearest_rec(
-        node: &Node,
+        &self,
+        slot: u32,
         block: Rect,
         target: &Point2,
         k: usize,
@@ -420,8 +276,8 @@ impl PrQuadtree {
                 return;
             }
         }
-        match node {
-            Node::Leaf(points) => {
+        match self.tree.view(slot) {
+            SlotView::Leaf(points) => {
                 for p in points {
                     let d2 = p.distance_squared(target);
                     if best.len() < k || d2 < best.last().expect("full").0 {
@@ -433,7 +289,7 @@ impl PrQuadtree {
                     }
                 }
             }
-            Node::Internal(children) => {
+            SlotView::Internal(base) => {
                 let mut order: Vec<(f64, usize)> = (0..4)
                     .map(|i| {
                         let b = block.quadrant(Quadrant::from_index(i));
@@ -442,8 +298,8 @@ impl PrQuadtree {
                     .collect();
                 order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
                 for (_, i) in order {
-                    Self::k_nearest_rec(
-                        &children[i],
+                    self.k_nearest_rec(
+                        base + i as u32,
                         block.quadrant(Quadrant::from_index(i)),
                         target,
                         k,
@@ -458,19 +314,25 @@ impl PrQuadtree {
     /// `None` when the tree is empty. `target` need not be in the region.
     pub fn nearest(&self, target: &Point2) -> Option<Point2> {
         let mut best: Option<(f64, Point2)> = None;
-        Self::nearest_rec(&self.root, self.region, target, &mut best);
+        self.nearest_rec(ROOT, self.region(), target, &mut best);
         best.map(|(_, p)| p)
     }
 
-    fn nearest_rec(node: &Node, block: Rect, target: &Point2, best: &mut Option<(f64, Point2)>) {
+    fn nearest_rec(
+        &self,
+        slot: u32,
+        block: Rect,
+        target: &Point2,
+        best: &mut Option<(f64, Point2)>,
+    ) {
         // Prune blocks that cannot beat the current best.
         if let Some((best_d2, _)) = best {
             if Self::min_dist_squared(&block, target) > *best_d2 {
                 return;
             }
         }
-        match node {
-            Node::Leaf(points) => {
+        match self.tree.view(slot) {
+            SlotView::Leaf(points) => {
                 for p in points {
                     let d2 = p.distance_squared(target);
                     if best.is_none_or(|(bd, _)| d2 < bd) {
@@ -478,7 +340,7 @@ impl PrQuadtree {
                     }
                 }
             }
-            Node::Internal(children) => {
+            SlotView::Internal(base) => {
                 // Visit children nearest-first for tighter pruning.
                 let mut order: Vec<(f64, usize)> = (0..4)
                     .map(|i| {
@@ -488,8 +350,8 @@ impl PrQuadtree {
                     .collect();
                 order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
                 for (_, i) in order {
-                    Self::nearest_rec(
-                        &children[i],
+                    self.nearest_rec(
+                        base + i as u32,
                         block.quadrant(Quadrant::from_index(i)),
                         target,
                         best,
@@ -505,41 +367,44 @@ impl PrQuadtree {
         dx * dx + dy * dy
     }
 
-    /// Total node count (internal + leaf).
+    /// Total node count (internal + leaf) — O(1) pool accounting.
     pub fn node_count(&self) -> usize {
-        fn walk(node: &Node) -> usize {
-            match node {
-                Node::Leaf(_) => 1,
-                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
-            }
-        }
-        walk(&self.root)
+        self.tree.node_count()
     }
 
     /// Leaf node count — the paper's `nodes` column (its node counts are
     /// leaf counts: Table 4 reports 16.9 "nodes" for 64 points at m = 8).
+    /// Served from the maintained census: O(1), no traversal.
     pub fn leaf_count(&self) -> usize {
-        self.leaf_records().len()
+        self.tree.census().leaf_count()
+    }
+
+    /// The occupancy profile, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn occupancy_profile(&self) -> &OccupancyProfile {
+        self.tree.census().profile()
+    }
+
+    /// The per-depth occupancy table, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn depth_table(&self) -> &DepthOccupancyTable {
+        self.tree.census().depth_table()
+    }
+
+    /// The full incremental census (profile + depth table + leaf count).
+    pub fn census(&self) -> &crate::node_stats::OccupancyCensus {
+        self.tree.census()
     }
 
     /// Visits every leaf with its block, depth and points.
     pub fn for_each_leaf(&self, mut f: impl FnMut(Rect, u32, &[Point2])) {
-        fn walk(node: &Node, block: Rect, depth: u32, f: &mut impl FnMut(Rect, u32, &[Point2])) {
-            match node {
-                Node::Leaf(points) => f(block, depth, points),
-                Node::Internal(children) => {
-                    for (i, child) in children.iter().enumerate() {
-                        walk(child, block.quadrant(Quadrant::from_index(i)), depth + 1, f);
-                    }
-                }
-            }
-        }
-        walk(&self.root, self.region, 0, &mut f);
+        self.tree
+            .for_each_leaf(&mut |block, depth, points| f(*block, depth, points));
     }
 
     /// All stored points, in leaf order.
     pub fn points(&self) -> Vec<Point2> {
-        let mut out = Vec::with_capacity(self.len);
+        let mut out = Vec::with_capacity(self.len());
         self.for_each_leaf(|_, _, pts| out.extend_from_slice(pts));
         out
     }
@@ -549,49 +414,28 @@ impl PrQuadtree {
     ///
     /// Checks: point count consistency; every point inside its leaf block;
     /// no leaf above capacity unless at `max_depth` or all-coincident;
-    /// no internal node with all-empty children that could have been a
-    /// leaf is *not* checked (the PR rule can legitimately create empty
-    /// siblings).
+    /// arena pool accounting; and that the incremental census equals a
+    /// census rebuilt from a full traversal.
     pub fn check_invariants(&self) {
-        let mut total = 0usize;
-        self.for_each_leaf(|block, depth, points| {
-            total += points.len();
-            for p in points {
-                assert!(
-                    block.contains(p),
-                    "point {p} stored in leaf {block} that does not contain it"
-                );
-            }
-            if points.len() > self.capacity {
-                let first = points[0];
-                let coincident = points.iter().all(|q| *q == first);
-                assert!(
-                    depth >= self.max_depth || coincident,
-                    "leaf at depth {depth} holds {} > capacity {} without cause",
-                    points.len(),
-                    self.capacity
-                );
-            }
-            assert!(depth <= self.max_depth, "leaf deeper than max_depth");
-        });
-        assert_eq!(total, self.len, "stored point count mismatch");
+        self.tree.check_invariants();
     }
 }
 
 impl OccupancyInstrumented for PrQuadtree {
     fn capacity(&self) -> usize {
-        self.capacity
+        self.tree.capacity()
     }
 
     fn leaf_records(&self) -> Vec<LeafRecord> {
-        let mut out = Vec::new();
-        self.for_each_leaf(|_, depth, points| {
-            out.push(LeafRecord {
-                depth,
-                occupancy: points.len(),
-            })
-        });
-        out
+        self.tree.leaf_records()
+    }
+
+    fn occupancy_profile(&self) -> OccupancyProfile {
+        self.tree.census().profile().clone()
+    }
+
+    fn depth_table(&self) -> DepthOccupancyTable {
+        self.tree.census().depth_table().clone()
     }
 }
 
@@ -638,6 +482,18 @@ mod tests {
             Err(TreeError::NonFinitePoint)
         ));
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn remove_rejects_non_finite_points() {
+        let mut t = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        t.insert(pt(0.5, 0.5)).unwrap();
+        assert!(!t.remove(&pt(f64::NAN, 0.5)));
+        assert!(!t.remove(&pt(0.5, f64::NAN)));
+        assert!(!t.remove(&pt(f64::INFINITY, 0.5)));
+        assert!(!t.remove(&pt(0.5, f64::NEG_INFINITY)));
+        assert_eq!(t.len(), 1, "non-finite removals must be no-ops");
+        t.check_invariants();
     }
 
     #[test]
@@ -831,6 +687,18 @@ mod tests {
         assert!(profile.max_occupancy() <= 4);
         let props = profile.proportions(4);
         assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_profile_equals_traversal_profile() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(30);
+        let t = PrQuadtree::build(Rect::unit(), 3, src.sample_n(&mut rng, 700)).unwrap();
+        let incremental = t.occupancy_profile();
+        let traversal = OccupancyProfile::from_leaves(&t.leaf_records());
+        assert_eq!(incremental, &traversal);
+        let table = DepthOccupancyTable::from_leaves(&t.leaf_records());
+        assert_eq!(t.depth_table(), &table);
     }
 
     #[test]
@@ -1087,7 +955,6 @@ mod proptests {
             points in arb_points(),
             capacity in 1usize..5,
         ) {
-            use crate::node_stats::OccupancyInstrumented;
             let t = PrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
             let profile = t.occupancy_profile();
             prop_assert_eq!(profile.total_items() as usize, points.len());

@@ -8,34 +8,22 @@
 //! [`crate::PrQuadtree`], `PrTreeNd<3>` matches [`crate::PrOctree`], and
 //! `PrTreeNd<4>` gives the `b = 16` data point no concrete structure in
 //! this crate otherwise provides.
+//!
+//! Backed by the contiguous arena core with an incrementally maintained
+//! census, like every regular-decomposition tree in this crate.
 
-use crate::node_stats::{LeafRecord, OccupancyInstrumented};
+use crate::arena::{ArenaTree, NdDecomp};
+use crate::node_stats::{DepthOccupancyTable, LeafRecord, OccupancyInstrumented, OccupancyProfile};
 use crate::pr_quadtree::TreeError;
 use popan_geom::{BoxN, PointN};
 
 /// Default depth limit.
 pub const DEFAULT_MAX_DEPTH: u32 = 32;
 
-#[derive(Debug, Clone)]
-enum Node<const D: usize> {
-    Leaf(Vec<PointN<D>>),
-    Internal(Vec<Node<D>>), // always 2^D children
-}
-
-impl<const D: usize> Node<D> {
-    fn empty_leaf() -> Self {
-        Node::Leaf(Vec::new())
-    }
-}
-
 /// A PR tree over `[f64; D]` points with node capacity `m`.
 #[derive(Debug, Clone)]
 pub struct PrTreeNd<const D: usize> {
-    root: Node<D>,
-    region: BoxN<D>,
-    capacity: usize,
-    max_depth: u32,
-    len: usize,
+    tree: ArenaTree<NdDecomp<D>>,
 }
 
 impl<const D: usize> PrTreeNd<D> {
@@ -52,11 +40,7 @@ impl<const D: usize> PrTreeNd<D> {
             ));
         }
         Ok(PrTreeNd {
-            root: Node::empty_leaf(),
-            region,
-            capacity,
-            max_depth: DEFAULT_MAX_DEPTH,
-            len: 0,
+            tree: ArenaTree::new(region, capacity, DEFAULT_MAX_DEPTH),
         })
     }
 
@@ -67,9 +51,19 @@ impl<const D: usize> PrTreeNd<D> {
         points: impl IntoIterator<Item = PointN<D>>,
     ) -> Result<Self, TreeError> {
         let mut t = Self::new(region, capacity)?;
+        let mut pts = Vec::new();
         for p in points {
-            t.insert(p)?;
+            if !p.is_finite() {
+                return Err(TreeError::NonFinitePoint);
+            }
+            if !t.region().contains(&p) {
+                return Err(TreeError::InvalidParameter(format!(
+                    "point {p} lies outside the tree region"
+                )));
+            }
+            pts.push(p);
         }
+        t.tree.bulk_fill(pts);
         Ok(t)
     }
 
@@ -80,17 +74,17 @@ impl<const D: usize> PrTreeNd<D> {
 
     /// The region covered.
     pub fn region(&self) -> BoxN<D> {
-        self.region
+        self.tree.region()
     }
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.len
+        self.tree.len()
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.tree.is_empty()
     }
 
     /// Inserts a point, splitting per the PR rule.
@@ -98,193 +92,67 @@ impl<const D: usize> PrTreeNd<D> {
         if !p.is_finite() {
             return Err(TreeError::NonFinitePoint);
         }
-        if !self.region.contains(&p) {
+        if !self.region().contains(&p) {
             return Err(TreeError::InvalidParameter(format!(
                 "point {p} lies outside the tree region"
             )));
         }
-        Self::insert_rec(
-            &mut self.root,
-            self.region,
-            0,
-            self.max_depth,
-            self.capacity,
-            p,
-        );
-        self.len += 1;
+        self.tree.insert(p);
         Ok(())
-    }
-
-    fn insert_rec(
-        node: &mut Node<D>,
-        block: BoxN<D>,
-        depth: u32,
-        max_depth: u32,
-        capacity: usize,
-        p: PointN<D>,
-    ) {
-        match node {
-            Node::Internal(children) => {
-                let o = block.orthant_of(&p);
-                Self::insert_rec(
-                    &mut children[o],
-                    block.orthant(o),
-                    depth + 1,
-                    max_depth,
-                    capacity,
-                    p,
-                );
-            }
-            Node::Leaf(points) => {
-                points.push(p);
-                if points.len() > capacity && depth < max_depth {
-                    let first = points[0];
-                    if points.iter().all(|q| *q == first) {
-                        return;
-                    }
-                    Self::split_leaf(node, block, depth, max_depth, capacity);
-                }
-            }
-        }
-    }
-
-    fn split_leaf(node: &mut Node<D>, block: BoxN<D>, depth: u32, max_depth: u32, capacity: usize) {
-        let points = match std::mem::replace(node, Node::empty_leaf()) {
-            Node::Leaf(points) => points,
-            Node::Internal(_) => unreachable!("split_leaf on internal node"),
-        };
-        let mut children: Vec<Node<D>> =
-            (0..Self::branching()).map(|_| Node::empty_leaf()).collect();
-        for p in points {
-            match &mut children[block.orthant_of(&p)] {
-                Node::Leaf(v) => v.push(p),
-                Node::Internal(_) => unreachable!(),
-            }
-        }
-        for (i, child) in children.iter_mut().enumerate() {
-            let needs_split = match child {
-                Node::Leaf(v) => {
-                    v.len() > capacity && depth + 1 < max_depth && {
-                        let first = v[0];
-                        !v.iter().all(|q| *q == first)
-                    }
-                }
-                Node::Internal(_) => false,
-            };
-            if needs_split {
-                Self::split_leaf(child, block.orthant(i), depth + 1, max_depth, capacity);
-            }
-        }
-        *node = Node::Internal(children);
     }
 
     /// `true` when an exactly equal point is stored.
     pub fn contains(&self, p: &PointN<D>) -> bool {
-        if !self.region.contains(p) {
+        if !self.region().contains(p) {
             return false;
         }
-        let mut node = &self.root;
-        let mut block = self.region;
-        loop {
-            match node {
-                Node::Leaf(points) => return points.contains(p),
-                Node::Internal(children) => {
-                    let o = block.orthant_of(p);
-                    node = &children[o];
-                    block = block.orthant(o);
-                }
-            }
-        }
+        self.tree.contains(p)
     }
 
-    /// Total node count (internal + leaf).
+    /// Total node count (internal + leaf) — O(1) pool accounting.
     pub fn node_count(&self) -> usize {
-        fn walk<const D: usize>(node: &Node<D>) -> usize {
-            match node {
-                Node::Leaf(_) => 1,
-                Node::Internal(children) => 1 + children.iter().map(walk).sum::<usize>(),
-            }
-        }
-        walk(&self.root)
+        self.tree.node_count()
     }
 
-    /// Leaf node count.
+    /// Leaf node count, served from the maintained census: O(1).
     pub fn leaf_count(&self) -> usize {
-        self.leaf_records().len()
+        self.tree.census().leaf_count()
     }
 
-    /// Verifies structural invariants; panics on violation.
+    /// The occupancy profile, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn occupancy_profile(&self) -> &OccupancyProfile {
+        self.tree.census().profile()
+    }
+
+    /// The per-depth occupancy table, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn depth_table(&self) -> &DepthOccupancyTable {
+        self.tree.census().depth_table()
+    }
+
+    /// Verifies structural invariants (including census/traversal
+    /// agreement); panics on violation.
     pub fn check_invariants(&self) {
-        fn walk<const D: usize>(
-            node: &Node<D>,
-            block: BoxN<D>,
-            depth: u32,
-            capacity: usize,
-            max_depth: u32,
-            total: &mut usize,
-        ) {
-            match node {
-                Node::Leaf(points) => {
-                    *total += points.len();
-                    for p in points {
-                        assert!(block.contains(p), "point {p} outside its leaf block");
-                    }
-                    if points.len() > capacity {
-                        let first = points[0];
-                        let coincident = points.iter().all(|q| *q == first);
-                        assert!(depth >= max_depth || coincident, "over-full leaf");
-                    }
-                }
-                Node::Internal(children) => {
-                    assert_eq!(children.len(), 1 << D);
-                    for (i, child) in children.iter().enumerate() {
-                        walk(
-                            child,
-                            block.orthant(i),
-                            depth + 1,
-                            capacity,
-                            max_depth,
-                            total,
-                        );
-                    }
-                }
-            }
-        }
-        let mut total = 0;
-        walk(
-            &self.root,
-            self.region,
-            0,
-            self.capacity,
-            self.max_depth,
-            &mut total,
-        );
-        assert_eq!(total, self.len);
+        self.tree.check_invariants();
     }
 }
 
 impl<const D: usize> OccupancyInstrumented for PrTreeNd<D> {
     fn capacity(&self) -> usize {
-        self.capacity
+        self.tree.capacity()
     }
 
     fn leaf_records(&self) -> Vec<LeafRecord> {
-        fn walk<const D: usize>(node: &Node<D>, depth: u32, out: &mut Vec<LeafRecord>) {
-            match node {
-                Node::Leaf(points) => out.push(LeafRecord {
-                    depth,
-                    occupancy: points.len(),
-                }),
-                Node::Internal(children) => {
-                    for child in children {
-                        walk(child, depth + 1, out);
-                    }
-                }
-            }
-        }
-        let mut out = Vec::new();
-        walk(&self.root, 0, &mut out);
-        out
+        self.tree.leaf_records()
+    }
+
+    fn occupancy_profile(&self) -> OccupancyProfile {
+        self.tree.census().profile().clone()
+    }
+
+    fn depth_table(&self) -> DepthOccupancyTable {
+        self.tree.census().depth_table().clone()
     }
 }
 

@@ -1,0 +1,92 @@
+//! Census reads must not allocate.
+//!
+//! `occupancy_profile()`, `depth_table()`, `leaf_count()` and `census()`
+//! are O(m) *reads* of incrementally maintained state — the whole point
+//! of the arena rewrite. This test installs a counting global allocator
+//! and pins the zero-allocation contract so a future refactor cannot
+//! quietly reintroduce a rebuild-on-read.
+//!
+//! The `unsafe impl GlobalAlloc` below is the one place the workspace
+//! needs `unsafe` (the trait itself is unsafe); popan-lint carries an
+//! R2 `allow_paths` entry for this file, and the library crates remain
+//! under `#![forbid(unsafe_code)]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+// A single test function: integration tests in one binary run on
+// multiple threads, and a second test's allocations would leak into
+// this one's counter window.
+#[test]
+fn census_reads_do_not_allocate() {
+    use popan_geom::{Point2, Rect};
+    use popan_rng::rngs::StdRng;
+    use popan_rng::{Rng, SeedableRng};
+    use popan_spatial::PrQuadtree;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let points: Vec<Point2> = (0..5_000)
+        .map(|_| Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let mut tree = PrQuadtree::build(Rect::unit(), 4, points.iter().copied()).unwrap();
+    for p in &points[..1_000] {
+        assert!(tree.remove(p));
+    }
+
+    let mut sink = 0usize;
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            sink = sink
+                .wrapping_add(tree.leaf_count())
+                .wrapping_add(tree.occupancy_profile().count(0) as usize)
+                .wrapping_add(tree.depth_table().leaves_at(2) as usize)
+                .wrapping_add(tree.census().leaf_count());
+        }
+    });
+    assert!(sink != 0, "reads must not be optimized away");
+    assert_eq!(
+        allocs, 0,
+        "census reads allocated {allocs} times; they must be allocation-free"
+    );
+
+    // The traversal-based oracle does allocate — sanity-check that the
+    // counter actually observes this binary's allocations.
+    use popan_spatial::OccupancyInstrumented;
+    let oracle_allocs = allocations_during(|| {
+        sink = sink.wrapping_add(tree.leaf_records().len());
+    });
+    assert!(
+        oracle_allocs > 0,
+        "counting allocator failed to observe the traversal oracle's allocations"
+    );
+}

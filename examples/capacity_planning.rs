@@ -12,7 +12,7 @@
 
 use popan::core::{PrModel, SteadyStateSolver};
 use popan::geom::Rect;
-use popan::spatial::{OccupancyInstrumented, PrQuadtree};
+use popan::spatial::PrQuadtree;
 use popan::workload::points::{PointSource, UniformRect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;

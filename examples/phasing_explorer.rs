@@ -12,7 +12,7 @@
 use popan::core::phasing::analyze_phasing;
 use popan::experiments::plot::{ascii_semilog, Series};
 use popan::geom::Rect;
-use popan::spatial::{OccupancyInstrumented, PrQuadtree};
+use popan::spatial::PrQuadtree;
 use popan::workload::points::{GaussianCentered, PointSource, UniformRect};
 use popan::workload::TrialRunner;
 

@@ -14,9 +14,7 @@ use popan::exthash::excell::ExcellGrid;
 use popan::exthash::gridfile::GridFile;
 use popan::exthash::ExtendibleHashTable;
 use popan::geom::{Aabb3, BoxN, PointN, Rect};
-use popan::spatial::{
-    Bintree, LinearQuadtree, OccupancyInstrumented, PointQuadtree, PrOctree, PrQuadtree, PrTreeNd,
-};
+use popan::spatial::{Bintree, LinearQuadtree, PointQuadtree, PrOctree, PrQuadtree, PrTreeNd};
 use popan::workload::keys::UniformKeys;
 use popan::workload::points::{PointSource, UniformCube, UniformRect};
 use popan_rng::rngs::StdRng;

@@ -65,4 +65,14 @@ bash scripts/resume_smoke.sh
 # writes its target/popan-bench/BENCH_<group>.json artifact.
 cargo bench -q --offline --workspace -- --smoke
 
-echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + bench smoke all green (offline)"
+# Archive the spatial bench artifact next to the committed trajectory.
+# bench/BENCH_spatial.json holds full-run numbers (committed per PR, so
+# the trajectory accumulates in history); the .smoke archive proves the
+# group still runs end to end and is deterministic in name, so repeat
+# verifications are idempotent.
+[ -f target/popan-bench/BENCH_spatial.json ] || {
+  echo "verify: bench smoke did not produce BENCH_spatial.json" >&2; exit 1; }
+mkdir -p bench
+cp target/popan-bench/BENCH_spatial.json bench/BENCH_spatial.smoke.json
+
+echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + bench smoke (BENCH_spatial archived) all green (offline)"

@@ -7,7 +7,7 @@ use popan::core::{PopulationModel, PrModel};
 use popan::exthash::excell::ExcellGrid;
 use popan::exthash::gridfile::GridFile;
 use popan::geom::{BoxN, PointN, Rect};
-use popan::spatial::{LinearQuadtree, OccupancyInstrumented, PrQuadtree, PrTreeNd};
+use popan::spatial::{LinearQuadtree, PrQuadtree, PrTreeNd};
 use popan::workload::cascade::Cascade;
 use popan::workload::points::{PointSource, UniformRect};
 use popan::workload::TrialRunner;
