@@ -1,0 +1,190 @@
+//! Bench for the snapshot-serving query tier (`popan-query`).
+//!
+//! Two families:
+//!
+//! * `freeze` / `serve_*`: single-thread costs — freezing a 10⁵-point
+//!   PR quadtree into a Morton-packed snapshot, and one range / count /
+//!   k-NN query through the zero-allocation serving forms.
+//! * `readers_x{1,2,4}`: a fixed 4096-query load answered by 1, 2 and 4
+//!   reader threads over the same published snapshot. Before timing,
+//!   every configuration's merged result log is digested and asserted
+//!   **bit-identical** — reader count is a pure throughput knob, never
+//!   an answer knob. The per-configuration wall times land in
+//!   `BENCH_query.json`; on a multi-core host the wall time per fixed
+//!   load drops toward 1/R (≥ linear read scaling, there is no write
+//!   lock to contend on), while on a single-core host the honest
+//!   expectation is flat wall time with the scaling visible only in
+//!   per-thread CPU share — compare `readers_x4` against `readers_x1`
+//!   with the host's core count in mind.
+
+use std::sync::{Arc, Barrier};
+
+use popan_bench::{criterion_group, criterion_main, Criterion};
+use popan_geom::{Point2, Rect};
+use popan_query::{Snapshot, SnapshotPublisher};
+use popan_rng::rngs::StdRng;
+use popan_rng::{Rng, SeedableRng};
+use popan_spatial::{PrQuadtree, QueryScratch};
+use popan_workload::points::{PointSource, UniformRect};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const CAPACITY: usize = 8;
+const LOAD: usize = 4096;
+
+#[derive(Clone, Copy)]
+enum Query {
+    Range(Rect),
+    Count(Rect),
+    Knn(Point2, usize),
+}
+
+fn load_queries() -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(0xbe_9c);
+    (0..LOAD)
+        .map(|qi| {
+            let x = rng.random_range(0.0..0.85);
+            let y = rng.random_range(0.0..0.85);
+            let w = rng.random_range(0.005..0.15);
+            match qi % 3 {
+                0 => Query::Range(Rect::from_bounds(x, y, x + w, y + w)),
+                1 => Query::Count(Rect::from_bounds(x, y, x + w, y + w)),
+                _ => Query::Knn(Point2::new(x, y), 1 + qi % 16),
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a over one query's full result (epoch + every coordinate bit).
+fn answer_hash(
+    snap: &Snapshot,
+    q: &Query,
+    scratch: &mut QueryScratch,
+    out: &mut Vec<Point2>,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let push = |h: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    push(&mut h, snap.epoch());
+    match q {
+        Query::Range(rect) => {
+            snap.range_into(rect, scratch, out);
+            push(&mut h, out.len() as u64);
+            for p in out.iter() {
+                push(&mut h, p.x.to_bits());
+                push(&mut h, p.y.to_bits());
+            }
+        }
+        Query::Count(rect) => push(&mut h, snap.count_with(rect, scratch) as u64),
+        Query::Knn(target, k) => {
+            snap.knn_into(target, *k, scratch, out);
+            push(&mut h, out.len() as u64);
+            for p in out.iter() {
+                push(&mut h, p.x.to_bits());
+                push(&mut h, p.y.to_bits());
+            }
+        }
+    }
+    h
+}
+
+/// Answers the fixed load with `n_readers` threads; returns the merged
+/// (query, hash) log, sorted by query index.
+fn run_readers(
+    publisher: &SnapshotPublisher,
+    queries: &Arc<Vec<Query>>,
+    n_readers: usize,
+) -> Vec<(usize, u64)> {
+    let barrier = Arc::new(Barrier::new(n_readers));
+    let handles: Vec<_> = (0..n_readers)
+        .map(|rid| {
+            let mut reader = publisher.subscribe();
+            let queries = Arc::clone(queries);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut scratch = QueryScratch::new();
+                let mut out = Vec::new();
+                let mut log = Vec::new();
+                barrier.wait();
+                reader.refresh();
+                let snap = reader.cached();
+                for (qi, q) in queries.iter().enumerate() {
+                    if qi % n_readers == rid {
+                        log.push((qi, answer_hash(snap, q, &mut scratch, &mut out)));
+                    }
+                }
+                log
+            })
+        })
+        .collect();
+    let mut merged = Vec::with_capacity(queries.len());
+    for h in handles {
+        merged.extend(h.join().expect("reader thread panicked"));
+    }
+    merged.sort_unstable();
+    merged
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+
+    let mut rng = StdRng::seed_from_u64(0x5e_21e);
+    let points = UniformRect::unit().sample_n(&mut rng, N);
+    let tree = PrQuadtree::build(Rect::unit(), CAPACITY, points.iter().copied()).unwrap();
+
+    group.bench_function("freeze_1e5", |b| {
+        b.iter(|| Snapshot::freeze(0, black_box(&tree)).unwrap().leaf_count())
+    });
+
+    let snapshot = Snapshot::freeze(0, &tree).unwrap();
+    let rect = Rect::from_bounds(0.4, 0.4, 0.45, 0.45);
+    let target = Point2::new(0.371, 0.629);
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    group.bench_function("serve_range_1e5", |b| {
+        b.iter(|| {
+            snapshot.range_into(black_box(&rect), &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("serve_count_1e5", |b| {
+        b.iter(|| snapshot.count_with(black_box(&rect), &mut scratch))
+    });
+    group.bench_function("serve_knn10_1e5", |b| {
+        b.iter(|| {
+            snapshot.knn_into(black_box(&target), 10, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+
+    // Multi-reader load: the same 4096 queries at 1, 2 and 4 readers.
+    // Bit-identity across reader counts is asserted before any timing.
+    let publisher = SnapshotPublisher::new(snapshot);
+    let queries = Arc::new(load_queries());
+    let reference = run_readers(&publisher, &queries, 1);
+    for readers in [2usize, 4] {
+        assert_eq!(
+            run_readers(&publisher, &queries, readers),
+            reference,
+            "merged result log must be bit-identical at {readers} readers"
+        );
+    }
+    for readers in [1usize, 2, 4] {
+        group.bench_function(format!("readers_x{readers}"), |b| {
+            b.iter(|| run_readers(&publisher, &queries, black_box(readers)).len())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_query
+}
+criterion_main!(benches);

@@ -21,6 +21,7 @@
 //! | [`exthash_exp`] | the Fagin baseline: utilization ≈ ln 2 with log₂ phasing |
 //! | [`excell_exp`] | EXCELL vs PR quadtree: directory blow-up under clustering |
 //! | [`pmr_exp`] | PMR quadtree model (local Monte-Carlo) vs simulation |
+//! | [`query_exp`] | snapshot query tier: frozen directory population, serving accuracy |
 //! | [`aging_exp`] | area-weighted mean-field vs count-proportional model |
 //! | [`skew`] | skew-aware model vs multiplicative-cascade data |
 //! | [`churn`] | does insert/delete churn shift the steady state? (no) |
@@ -45,6 +46,7 @@ pub mod paper_data;
 pub mod phasing_sweep;
 pub mod plot;
 pub mod pmr_exp;
+pub mod query_exp;
 pub mod registry;
 pub mod report;
 pub mod skew;

@@ -1,0 +1,244 @@
+//! Extension: the snapshot-serving query tier as a measurable population.
+//!
+//! The paper analyzes hierarchical structures by the *population* of
+//! their nodes; this extension carries the same lens to the serving
+//! layer built on top of them. Each trial freezes a PR quadtree into a
+//! Morton-packed [`Snapshot`] and answers a seeded query schedule twice
+//! — once through the snapshot, once through the live tree — asserting
+//! bit-identity, then measures the population statistics the snapshot
+//! exposes: leaves per point (the frozen directory's size), heap bytes
+//! per point (cache density), range selectivity against the uniform
+//! expectation `N·area`, and the k-NN radius against the Poisson
+//! prediction `r_k ≈ sqrt(k / (π·N))`.
+
+use crate::config::ExperimentConfig;
+use crate::report::TableData;
+use popan_engine::{fingerprint_of, Experiment};
+use popan_geom::{Point2, Rect};
+use popan_query::{Queryable, Snapshot};
+use popan_rng::rngs::StdRng;
+use popan_rng::Rng;
+use popan_spatial::PrQuadtree;
+use popan_workload::points::{PointSource, UniformRect};
+use popan_workload::{TrialRunner, Welford};
+
+/// Node capacity of the frozen trees (the query tier's default).
+pub const CAPACITY: usize = 4;
+
+/// Queries per trial in the seeded schedule.
+const QUERIES: usize = 32;
+
+/// Neighbors per k-NN probe.
+const KNN_K: usize = 10;
+
+/// One population-size row of the serving-tier table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Snapshot population.
+    pub points: usize,
+    /// Mean leaves per 1000 points (frozen directory size).
+    pub leaves_per_kilopoint: f64,
+    /// Mean snapshot heap bytes per point.
+    pub bytes_per_point: f64,
+    /// Mean observed/expected range selectivity (uniform theory: 1.0).
+    pub selectivity_ratio: f64,
+    /// Mean observed/theoretical k-NN radius (Poisson theory: 1.0 plus
+    /// boundary inflation).
+    pub knn_radius_ratio: f64,
+}
+
+/// One trial's means: (leaves/kpoint, bytes/point, selectivity, knn radius ratio).
+type Measurement = (f64, f64, f64, f64);
+
+/// The serving-tier measurement at one population size.
+#[derive(Debug, Clone)]
+pub struct QueryExperiment {
+    config: ExperimentConfig,
+    points: usize,
+}
+
+impl QueryExperiment {
+    /// An instance freezing snapshots of `points` uniform points.
+    pub fn new(config: ExperimentConfig, points: usize) -> Self {
+        QueryExperiment { config, points }
+    }
+}
+
+impl Experiment for QueryExperiment {
+    type Config = ExperimentConfig;
+    type Theory = ();
+    type Trial = Measurement;
+    type Summary = QueryRow;
+
+    fn name(&self) -> String {
+        format!("query/{}", self.points)
+    }
+
+    fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(&[0x94e7, self.points as u64, CAPACITY as u64])
+    }
+
+    fn runner(&self) -> TrialRunner {
+        self.config.runner(0x94e7)
+    }
+
+    fn theory(&self) {}
+
+    fn run_trial(&self, _t: usize, rng: &mut StdRng) -> Measurement {
+        let n = self.points;
+        let pts = UniformRect::unit().sample_n(rng, n);
+        let tree = PrQuadtree::build(Rect::unit(), CAPACITY, pts.iter().copied()).expect("unit");
+        let snap = Snapshot::freeze(0, &tree).expect("within Morton depth");
+
+        let mut selectivity = Welford::new();
+        let mut knn_ratio = Welford::new();
+        for _ in 0..QUERIES {
+            let x = rng.random_range(0.0..0.75);
+            let y = rng.random_range(0.0..0.75);
+            let w = rng.random_range(0.05..0.25);
+            let rect = Rect::from_bounds(x, y, x + w, y + w);
+
+            // The snapshot must answer exactly as the live tree it froze.
+            let got = snap.range(&rect);
+            let live = Queryable::range(&tree, &rect);
+            assert_eq!(got.len(), live.len(), "snapshot diverged from live tree");
+            assert!(
+                got.iter()
+                    .zip(&live)
+                    .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
+                "snapshot range not bit-identical to the live tree"
+            );
+            assert_eq!(snap.count(&rect), got.len());
+            selectivity.push(got.len() as f64 / (n as f64 * w * w));
+
+            let target = Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            let neighbors = snap.knn(&target, KNN_K);
+            let live_nn = Queryable::knn(&tree, &target, KNN_K);
+            assert!(
+                neighbors
+                    .iter()
+                    .zip(&live_nn)
+                    .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
+                "snapshot knn not bit-identical to the live tree"
+            );
+            if let Some(last) = neighbors.last() {
+                let r = ((last.x - target.x).powi(2) + (last.y - target.y).powi(2)).sqrt();
+                let theory = (KNN_K as f64 / (std::f64::consts::PI * n as f64)).sqrt();
+                knn_ratio.push(r / theory);
+            }
+        }
+
+        (
+            snap.leaf_count() as f64 * 1000.0 / n as f64,
+            snap.heap_bytes() as f64 / n as f64,
+            selectivity.mean(),
+            knn_ratio.mean(),
+        )
+    }
+
+    fn aggregate(&self, _theory: (), trials: &[Measurement]) -> QueryRow {
+        let mut stats = [(); 4].map(|_| Welford::new());
+        for &(a, b, c, d) in trials {
+            for (w, v) in stats.iter_mut().zip([a, b, c, d]) {
+                w.push(v);
+            }
+        }
+        QueryRow {
+            points: self.points,
+            leaves_per_kilopoint: stats[0].mean(),
+            bytes_per_point: stats[1].mean(),
+            selectivity_ratio: stats[2].mean(),
+            knn_radius_ratio: stats[3].mean(),
+        }
+    }
+}
+
+/// Runs the serving-tier measurement at each population size.
+pub fn run(config: &ExperimentConfig, sizes: &[usize]) -> Vec<QueryRow> {
+    let engine = config.engine();
+    sizes
+        .iter()
+        .map(|&n| engine.run(&QueryExperiment::new(*config, n)))
+        .collect()
+}
+
+/// Renders the serving-tier table.
+pub fn table(config: &ExperimentConfig) -> TableData {
+    let rows = run(config, &[1000, 4000]);
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.points),
+                format!("{:.1}", r.leaves_per_kilopoint),
+                format!("{:.1}", r.bytes_per_point),
+                format!("{:.3}", r.selectivity_ratio),
+                format!("{:.3}", r.knn_radius_ratio),
+            ]
+        })
+        .collect();
+    TableData::new(
+        "query",
+        "Snapshot query tier: frozen directory population and serving accuracy (extension)",
+        vec![
+            "points".into(),
+            "leaves / 1000 pts".into(),
+            "heap bytes / pt".into(),
+            "range obs/exp".into(),
+            "kNN radius obs/theory".into(),
+        ],
+        body,
+    )
+    .with_note(
+        "every range and k-NN answer is asserted bit-identical to the live tree before \
+         it is measured; selectivity compares against N·area and the k-NN radius against \
+         the Poisson sqrt(k/(πN)) (boundary effects inflate it slightly)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 3,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    #[test]
+    fn uniform_serving_statistics_match_theory() {
+        let rows = run(&cfg(), &[2000]);
+        let r = &rows[0];
+        assert!(
+            (0.8..=1.2).contains(&r.selectivity_ratio),
+            "selectivity {r:?}"
+        );
+        assert!(
+            (0.7..=1.4).contains(&r.knn_radius_ratio),
+            "knn radius {r:?}"
+        );
+        // Capacity-4 PR quadtree leaves: a few hundred per 1000 points.
+        assert!(r.leaves_per_kilopoint > 100.0 && r.leaves_per_kilopoint < 1500.0);
+        assert!(r.bytes_per_point > 16.0, "{r:?}");
+    }
+
+    #[test]
+    fn summaries_are_reproducible() {
+        let a = run(&cfg(), &[1000]);
+        let b = run(&cfg(), &[1000]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&ExperimentConfig::quick());
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.render().contains("query"));
+    }
+}

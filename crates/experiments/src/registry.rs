@@ -12,7 +12,7 @@ use crate::report::TableData;
 use crate::table45::Workload;
 use crate::{
     ablation, aging_exp, churn, dims, excell_exp, exthash_exp, figures, phasing_sweep, pmr_exp,
-    skew, table1, table2, table3, table45,
+    query_exp, skew, table1, table2, table3, table45,
 };
 
 /// The output of one registered experiment.
@@ -149,6 +149,11 @@ pub const ALL: &[RegisteredExperiment] = &[
         run: |c| Artifact::Table(pmr_exp::table(c)),
     },
     RegisteredExperiment {
+        id: "query",
+        title: "Extension — snapshot query tier population and serving accuracy",
+        run: |c| Artifact::Table(query_exp::table(c)),
+    },
+    RegisteredExperiment {
         id: "aging",
         title: "Extension — area-weighted mean-field aging correction",
         run: |c| Artifact::Table(aging_exp::table(c)),
@@ -207,8 +212,8 @@ mod tests {
 
     #[test]
     fn registry_covers_paper_and_extensions() {
-        // 5 tables + 3 figures from the paper, 9 extension artifacts.
-        assert_eq!(ALL.len(), 17);
+        // 5 tables + 3 figures from the paper, 10 extension artifacts.
+        assert_eq!(ALL.len(), 18);
         for e in ALL {
             assert!(!e.title.is_empty(), "{} needs a title", e.id);
         }

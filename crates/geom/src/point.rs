@@ -48,6 +48,17 @@ impl Point2 {
         assert!(self.is_finite(), "lex_key on non-finite point");
         (self.x, self.y)
     }
+
+    /// Canonical total order on points: `x` then `y`, each by
+    /// [`f64::total_cmp`]. This is *the* tie-breaking order of the query
+    /// tier — every `Queryable` backend sorts range results and resolves
+    /// k-NN ties with it, which is what makes results bit-identical
+    /// across backends and reader counts. Total (never panics), and on
+    /// the finite points the structures store it agrees with the usual
+    /// `(x, y)` lexicographic order.
+    pub fn canonical_cmp(&self, other: &Point2) -> std::cmp::Ordering {
+        self.x.total_cmp(&other.x).then(self.y.total_cmp(&other.y))
+    }
 }
 
 impl fmt::Display for Point2 {
@@ -116,6 +127,23 @@ impl From<(f64, f64, f64)> for Point3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_cmp_is_lexicographic_and_total() {
+        use std::cmp::Ordering;
+        let a = Point2::new(0.1, 0.9);
+        let b = Point2::new(0.2, 0.0);
+        assert_eq!(a.canonical_cmp(&b), Ordering::Less);
+        assert_eq!(b.canonical_cmp(&a), Ordering::Greater);
+        assert_eq!(a.canonical_cmp(&a), Ordering::Equal);
+        assert_eq!(
+            Point2::new(0.1, 0.2).canonical_cmp(&Point2::new(0.1, 0.3)),
+            Ordering::Less
+        );
+        // Total even on NaN (never panics).
+        let nan = Point2::new(f64::NAN, 0.0);
+        let _ = nan.canonical_cmp(&a);
+    }
 
     #[test]
     fn distances_2d() {

@@ -14,13 +14,14 @@ pub enum RuleId {
     R1,
     R2,
     E1,
+    Q1,
     W0,
     W1,
 }
 
 impl RuleId {
     /// Every rule, catalog order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -29,6 +30,7 @@ impl RuleId {
         RuleId::R1,
         RuleId::R2,
         RuleId::E1,
+        RuleId::Q1,
         RuleId::W0,
         RuleId::W1,
     ];
@@ -49,6 +51,7 @@ impl RuleId {
             RuleId::R1 => "R1",
             RuleId::R2 => "R2",
             RuleId::E1 => "E1",
+            RuleId::Q1 => "Q1",
             RuleId::W0 => "W0",
             RuleId::W1 => "W1",
         }
@@ -65,6 +68,7 @@ impl RuleId {
             RuleId::R1 => "unwrap-in-lib",
             RuleId::R2 => "unsafe",
             RuleId::E1 => "env-read",
+            RuleId::Q1 => "lock-on-read-path",
             RuleId::W0 => "waiver-without-reason",
             RuleId::W1 => "unused-waiver",
         }
@@ -104,6 +108,11 @@ impl RuleId {
                  try_from_env via env_spec) and the repro binary: configuration flows \
                  through one auditable door"
             }
+            RuleId::Q1 => {
+                "Mutex/RwLock in popan-query outside the publisher module: the query \
+                 tier's read paths must stay lock-free (readers hold Arc snapshots; \
+                 the only blocking site is the epoch double-buffer in publisher.rs)"
+            }
             RuleId::W0 => {
                 "a popan-lint waiver without a justification string: suppression must \
                  carry its reason in-line"
@@ -126,6 +135,7 @@ impl RuleId {
             RuleId::R1 => "return a typed error (ModelError/EngineError/NumericError)",
             RuleId::R2 => "rewrite safely; the workspace forbids unsafe entirely",
             RuleId::E1 => "read the variable in Engine::from_env and pass the value in",
+            RuleId::Q1 => "route synchronization through publisher.rs; serve from Arc<Snapshot>",
             RuleId::W0 => "add the reason: // popan-lint: allow(RULE, \"why this is sound\")",
             RuleId::W1 => "delete the waiver comment (or fix its rule id / placement)",
         }

@@ -262,6 +262,7 @@ fn raw_findings(config: &LintConfig, scan: &FileScan) -> Vec<Finding> {
     rule_r1(config, scan, &mut out);
     rule_r2(config, scan, &mut out);
     rule_e1(config, scan, &mut out);
+    rule_q1(config, scan, &mut out);
     out
 }
 
@@ -495,6 +496,41 @@ fn rule_e1(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
     }
 }
 
+/// Q1 — lock types on the query tier's read paths: any `Mutex`/`RwLock`
+/// mention in non-test library code of the scoped crates. The epoch
+/// double-buffer in `publisher.rs` is the single sanctioned blocking
+/// site (exempted via `allow_paths`); everything a reader touches
+/// serves from `Arc<Snapshot>` without taking a lock.
+fn rule_q1(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
+    let scope = config.scope("Q1");
+    if scope.crates.is_empty() {
+        // Unscoped Q1 would flag every lock in the workspace; the rule
+        // only means something aimed at the serving crates.
+        return;
+    }
+    if !scope_applies(&scope, scan) || !matches!(scan.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for (i, tok) in scan.tokens.iter().enumerate() {
+        if tok.kind == TokKind::Ident
+            && (tok.text == "Mutex" || tok.text == "RwLock")
+            && !scan.in_test(i)
+        {
+            out.push(Finding::new(
+                RuleId::Q1,
+                &scan.rel_path,
+                tok.line,
+                format!(
+                    "`{}` on a read path of `{}`; the query tier serves from \
+                     lock-free Arc snapshots — only the publisher's epoch \
+                     double-buffer may block",
+                    tok.text, scan.package
+                ),
+            ));
+        }
+    }
+}
+
 /// Lints one file: raw findings, waiver application, waiver hygiene.
 /// Returns `(unwaived findings, waiver records)`.
 pub fn lint_file(
@@ -713,6 +749,77 @@ mod tests {
     fn r2_fires_even_in_test_regions() {
         let src = "#[cfg(test)]\nmod tests { fn f() { let p = unsafe { *x }; } }";
         assert!(lint_engine(src).iter().any(|f| f.rule == RuleId::R2));
+    }
+
+    fn query_config() -> LintConfig {
+        LintConfig::parse(
+            "[tiers]\n\
+             popan-query = 2\n\
+             popan-engine = 3\n\
+             [rules.Q1]\n\
+             crates = [\"popan-query\"]\n\
+             allow_paths = [\"crates/query/src/publisher.rs\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_flags_locks_in_query_lib_code() {
+        let src = "use std::sync::Mutex;\nfn f() { let l: RwLock<u32> = todo!(); }\n";
+        let (findings, _) = lint_file(
+            &query_config(),
+            "popan-query",
+            "crates/query/src/snapshot.rs",
+            src,
+        );
+        let q1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::Q1).collect();
+        assert_eq!(q1.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn q1_exempts_the_publisher_and_other_crates() {
+        let src = "use std::sync::Mutex;\n";
+        let (pubr, _) = lint_file(
+            &query_config(),
+            "popan-query",
+            "crates/query/src/publisher.rs",
+            src,
+        );
+        assert!(!pubr.iter().any(|f| f.rule == RuleId::Q1), "{pubr:?}");
+        let (other, _) = lint_file(
+            &query_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            src,
+        );
+        assert!(!other.iter().any(|f| f.rule == RuleId::Q1), "{other:?}");
+    }
+
+    #[test]
+    fn q1_skips_tests_and_stays_off_when_unscoped() {
+        let src = "#[cfg(test)]\nmod tests { use std::sync::Mutex; fn f() {} }\n";
+        let (findings, _) = lint_file(
+            &query_config(),
+            "popan-query",
+            "crates/query/src/lib.rs",
+            src,
+        );
+        assert!(
+            !findings.iter().any(|f| f.rule == RuleId::Q1),
+            "{findings:?}"
+        );
+        // engine_config has no [rules.Q1] scope: the rule must not fire
+        // anywhere, even on lock mentions in scanned crates.
+        let (unscoped, _) = lint_file(
+            &engine_config(),
+            "popan-engine",
+            "crates/engine/src/lib.rs",
+            "use std::sync::Mutex;\n",
+        );
+        assert!(
+            !unscoped.iter().any(|f| f.rule == RuleId::Q1),
+            "{unscoped:?}"
+        );
     }
 
     #[test]

@@ -157,6 +157,36 @@ fn e1_fixtures() {
 }
 
 #[test]
+fn q1_fixtures() {
+    // The shipped scoping: Q1 covers popan-query's library code…
+    let fired = rules_fired(
+        "popan-query",
+        "crates/query/src/snapshot.rs",
+        "q1_violating.rs",
+    );
+    assert!(
+        fired.iter().filter(|r| **r == RuleId::Q1).count() >= 2,
+        "Mutex and RwLock must both fire: {fired:?}"
+    );
+    let clean = rules_fired("popan-query", "crates/query/src/snapshot.rs", "q1_clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+    // …except the publisher module, the one sanctioned blocking site…
+    let publisher = rules_fired(
+        "popan-query",
+        "crates/query/src/publisher.rs",
+        "q1_violating.rs",
+    );
+    assert!(!publisher.contains(&RuleId::Q1), "{publisher:?}");
+    // …and it says nothing about other crates' locks.
+    let engine = rules_fired(
+        "popan-engine",
+        "crates/engine/src/lib.rs",
+        "q1_violating.rs",
+    );
+    assert!(!engine.contains(&RuleId::Q1), "{engine:?}");
+}
+
+#[test]
 fn justified_waivers_suppress_and_are_inventoried() {
     let (findings, waivers) = lint_file(
         &real_config(),

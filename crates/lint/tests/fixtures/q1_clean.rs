@@ -1,0 +1,28 @@
+// Q1 fixture: the sanctioned shape — readers serve from Arc snapshots
+// and never block; test modules may use locks for harness plumbing.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub struct CleanReader {
+    epoch: Arc<AtomicU64>,
+    cached: Arc<Vec<u64>>,
+}
+
+impl CleanReader {
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn count(&self) -> usize {
+        self.cached.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_locks_are_fine_in_tests() {
+        let log = std::sync::Mutex::new(Vec::<u64>::new());
+        log.lock().unwrap().push(1);
+    }
+}

@@ -1,0 +1,15 @@
+// Q1 fixture: lock types leaking onto the query tier's read path.
+use std::sync::{Mutex, RwLock};
+
+pub struct TornReader {
+    // A reader that takes a lock per query destroys the tier's
+    // wait-free serving contract.
+    snapshot: Mutex<Vec<u64>>,
+    index: RwLock<Vec<u32>>,
+}
+
+impl TornReader {
+    pub fn count(&self) -> usize {
+        self.snapshot.lock().unwrap().len() + self.index.read().unwrap().len()
+    }
+}

@@ -1,0 +1,309 @@
+//! Epoch publishing: single writer, many wait-free readers.
+//!
+//! The protocol (DESIGN.md §10) is a double-buffered epoch swap:
+//!
+//! * The shared state is one atomic epoch counter plus two slots, each
+//!   holding a complete `(epoch, Arc<Snapshot>)` pair. Epoch `e` lives
+//!   in slot `e & 1`, so the writer always overwrites the slot readers
+//!   of the *current* epoch are not directed to.
+//! * **Publish** (writer): write the new pair into slot `(e+1) & 1`,
+//!   *then* advance the epoch counter with `Release`. The slot is
+//!   complete before any reader can be routed to it.
+//! * **Refresh** (reader): load the epoch with `Acquire`; if it moved,
+//!   `try_lock` the indicated slot and clone the `Arc` out. The slot
+//!   lock is only ever held for that clone (or the writer's pair
+//!   store), never while answering queries — and because a slot is
+//!   written *before* the epoch advances, a successfully locked slot
+//!   always holds a complete snapshot at least as new as the loaded
+//!   epoch. If `try_lock` loses the race with a concurrent publish, the
+//!   reader simply keeps serving its cached snapshot — still complete,
+//!   at worst one epoch stale — and retries on the next query.
+//!
+//! Consequences, which `tests/epoch_publish.rs` pins down:
+//!
+//! * Readers never block and never allocate: the hot path is one atomic
+//!   load plus (rarely) one uncontended `try_lock` and an `Arc` clone.
+//! * A reader can never observe a torn snapshot: snapshots are
+//!   immutable after freeze, and the only shared mutation — the slot
+//!   pair store — happens before the epoch that routes readers to it.
+//! * Per-reader epochs are monotone: a refresh only ever installs a
+//!   strictly newer snapshot.
+//!
+//! This module is the query tier's *only* home of lock types: the
+//! in-tree linter's Q1 rule forbids `Mutex`/`RwLock` anywhere else in
+//! the crate, keeping the read paths honest by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use popan_spatial::{FreezeError, PrQuadtree};
+
+use crate::snapshot::Snapshot;
+
+/// One published pair. Slot `i` only ever holds epochs `e ≡ i (mod 2)`.
+struct Slot {
+    epoch: u64,
+    snap: Arc<Snapshot>,
+}
+
+/// State shared between the writer and all readers.
+struct Shared {
+    /// The latest published epoch; advanced with `Release` after the
+    /// owning slot holds the complete pair.
+    epoch: AtomicU64,
+    /// Double buffer, indexed by `epoch & 1`.
+    slots: [Mutex<Slot>; 2],
+}
+
+/// The single writer of an epoch sequence.
+///
+/// Not `Clone` — single-writer is a type-level invariant. Create
+/// readers with [`SnapshotPublisher::subscribe`].
+pub struct SnapshotPublisher {
+    shared: Arc<Shared>,
+    current: u64,
+}
+
+impl SnapshotPublisher {
+    /// Creates a publisher whose initial snapshot is `initial`,
+    /// re-stamped as epoch 0 and installed in both slots (so any routed
+    /// read is valid from the start).
+    pub fn new(initial: Snapshot) -> SnapshotPublisher {
+        let snap = Arc::new(initial.with_epoch(0));
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            slots: [
+                Mutex::new(Slot {
+                    epoch: 0,
+                    snap: Arc::clone(&snap),
+                }),
+                Mutex::new(Slot { epoch: 0, snap }),
+            ],
+        });
+        SnapshotPublisher { shared, current: 0 }
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current
+    }
+
+    /// Publishes `snapshot` as the next epoch and returns that epoch.
+    /// The snapshot's embedded epoch is overwritten with the assigned
+    /// one; readers observe the new epoch only after the slot holds the
+    /// complete pair.
+    pub fn publish(&mut self, snapshot: Snapshot) -> u64 {
+        let epoch = self.current + 1;
+        let snap = Arc::new(snapshot.with_epoch(epoch));
+        {
+            let mut slot = self.shared.slots[(epoch & 1) as usize]
+                .lock()
+                .expect("snapshot slot poisoned");
+            *slot = Slot { epoch, snap };
+        }
+        self.shared.epoch.store(epoch, Ordering::Release);
+        self.current = epoch;
+        epoch
+    }
+
+    /// Freezes `tree` and publishes it as the next epoch.
+    pub fn freeze_and_publish(&mut self, tree: &PrQuadtree) -> Result<u64, FreezeError> {
+        let snap = Snapshot::freeze(0, tree)?;
+        Ok(self.publish(snap))
+    }
+
+    /// Creates a reader handle starting at the latest published epoch.
+    pub fn subscribe(&self) -> SnapshotReader {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        let slot = self.shared.slots[(epoch & 1) as usize]
+            .lock()
+            .expect("snapshot slot poisoned");
+        SnapshotReader {
+            shared: Arc::clone(&self.shared),
+            cached_epoch: slot.epoch,
+            cached: Arc::clone(&slot.snap),
+        }
+    }
+}
+
+/// A reader handle: serves queries from a cached [`Arc<Snapshot>`]
+/// guard, re-syncing opportunistically. One per reader thread
+/// (`SnapshotReader` is `Send`; create as many as needed).
+pub struct SnapshotReader {
+    shared: Arc<Shared>,
+    cached_epoch: u64,
+    cached: Arc<Snapshot>,
+}
+
+impl SnapshotReader {
+    /// Re-syncs with the publisher if a newer epoch is out; returns
+    /// `true` when a newer snapshot was installed. Never blocks: a lost
+    /// `try_lock` race keeps the (complete) cached snapshot. Performs
+    /// no heap allocation.
+    pub fn refresh(&mut self) -> bool {
+        let observed = self.shared.epoch.load(Ordering::Acquire);
+        if observed == self.cached_epoch {
+            return false;
+        }
+        if let Ok(slot) = self.shared.slots[(observed & 1) as usize].try_lock() {
+            // The slot is written before the epoch advances, so it holds
+            // a complete pair with epoch ≥ observed > cached (the epoch
+            // counter is monotone); the guard keeps per-reader epochs
+            // monotone even if a future refactor weakens that argument.
+            if slot.epoch > self.cached_epoch {
+                self.cached_epoch = slot.epoch;
+                self.cached = Arc::clone(&slot.snap);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The freshest available snapshot: refreshes opportunistically,
+    /// then returns the guard.
+    pub fn current(&mut self) -> &Snapshot {
+        self.refresh();
+        &self.cached
+    }
+
+    /// The cached snapshot without attempting a refresh.
+    pub fn cached(&self) -> &Snapshot {
+        &self.cached
+    }
+
+    /// An owned guard on the freshest available snapshot, for holding
+    /// across a batch while the writer keeps publishing.
+    pub fn guard(&mut self) -> Arc<Snapshot> {
+        self.refresh();
+        Arc::clone(&self.cached)
+    }
+
+    /// The epoch of the cached snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cached_epoch
+    }
+}
+
+/// The high-level facade: a publisher plus reader factory, the shape
+/// the README quickstart and the experiment driver use.
+pub struct QueryService {
+    publisher: SnapshotPublisher,
+}
+
+impl QueryService {
+    /// Starts a service serving `initial` as epoch 0.
+    pub fn new(initial: Snapshot) -> QueryService {
+        QueryService {
+            publisher: SnapshotPublisher::new(initial),
+        }
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.publisher.epoch()
+    }
+
+    /// Creates a reader handle (one per reader thread).
+    pub fn reader(&self) -> SnapshotReader {
+        self.publisher.subscribe()
+    }
+
+    /// Publishes a pre-built snapshot as the next epoch.
+    pub fn publish(&mut self, snapshot: Snapshot) -> u64 {
+        self.publisher.publish(snapshot)
+    }
+
+    /// Freezes `tree` and publishes it as the next epoch.
+    pub fn freeze_and_publish(&mut self, tree: &PrQuadtree) -> Result<u64, FreezeError> {
+        self.publisher.freeze_and_publish(tree)
+    }
+}
+
+impl Snapshot {
+    /// Re-stamps the epoch (publisher-assigned epochs are the truth).
+    fn with_epoch(mut self, epoch: u64) -> Snapshot {
+        self.set_epoch(epoch);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queryable::Queryable;
+    use popan_geom::{Point2, Rect};
+
+    fn snap_of(n: usize) -> Snapshot {
+        Snapshot::from_points(
+            0,
+            Rect::unit(),
+            2,
+            (0..n).map(|i| Point2::new((i as f64 + 0.5) / n as f64, 0.5)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn publish_advances_epochs_and_readers_follow() {
+        let mut publisher = SnapshotPublisher::new(snap_of(1));
+        let mut reader = publisher.subscribe();
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.current().len(), 1);
+
+        assert_eq!(publisher.publish(snap_of(2)), 1);
+        assert_eq!(publisher.publish(snap_of(3)), 2);
+        assert_eq!(publisher.epoch(), 2);
+        // The reader skips straight to the freshest epoch.
+        assert_eq!(reader.current().len(), 3);
+        assert_eq!(reader.epoch(), 2);
+        assert_eq!(reader.current().epoch(), 2);
+    }
+
+    #[test]
+    fn cached_serves_without_resync() {
+        let mut publisher = SnapshotPublisher::new(snap_of(4));
+        let reader = publisher.subscribe();
+        publisher.publish(snap_of(5));
+        // `cached` deliberately does not chase the new epoch.
+        assert_eq!(reader.cached().len(), 4);
+    }
+
+    #[test]
+    fn guard_outlives_subsequent_publishes() {
+        let mut publisher = SnapshotPublisher::new(snap_of(2));
+        let mut reader = publisher.subscribe();
+        let guard = reader.guard();
+        for _ in 0..5 {
+            publisher.publish(snap_of(7));
+        }
+        // The guard pins the old snapshot; a refresh then moves on.
+        assert_eq!(guard.len(), 2);
+        assert!(reader.refresh());
+        assert_eq!(reader.cached().len(), 7);
+        assert!(!reader.refresh(), "second refresh is a no-op");
+    }
+
+    #[test]
+    fn service_facade_round_trips() {
+        let mut service = QueryService::new(snap_of(3));
+        let mut reader = service.reader();
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            4,
+            (0..10).map(|i| Point2::new((i as f64 + 0.5) / 10.0, 0.25)),
+        )
+        .unwrap();
+        assert_eq!(service.freeze_and_publish(&tree).unwrap(), 1);
+        assert_eq!(service.epoch(), 1);
+        let snap = reader.current();
+        assert_eq!(snap.len(), 10);
+        assert_eq!(snap.count(&Rect::from_bounds(0.0, 0.0, 1.0, 0.5)), 10);
+    }
+
+    #[test]
+    fn readers_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SnapshotReader>();
+        assert_send::<SnapshotPublisher>();
+    }
+}

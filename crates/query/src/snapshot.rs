@@ -1,0 +1,229 @@
+//! The immutable, epoch-stamped read replica.
+//!
+//! A [`Snapshot`] is a [`LinearQuadtree`] — three flat, Morton-sorted
+//! slabs (leaf records, leaf blocks, points) — plus the epoch it was
+//! published at. Freezing happens once, on the write side; afterwards
+//! the snapshot is strictly read-only and safely shared across threads
+//! behind an [`std::sync::Arc`] (it is `Send + Sync` by construction:
+//! no interior mutability anywhere).
+//!
+//! The serving forms are the `_into` methods: they write into
+//! caller-owned buffers and a per-reader [`QueryScratch`], performing no
+//! heap allocation once those have warmed to the workload's high-water
+//! marks (`tests/zero_alloc_read.rs` pins this with a counting global
+//! allocator).
+
+use popan_geom::{Point2, Rect};
+use popan_spatial::{FreezeError, LinearQuadtree, PrQuadtree, QueryScratch};
+
+use crate::queryable::{canonical_sort, Queryable};
+
+/// An immutable Morton-packed replica of a point set at one epoch.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    index: LinearQuadtree,
+}
+
+impl Snapshot {
+    /// Freezes `tree` into a snapshot stamped `epoch`.
+    ///
+    /// Fails with [`FreezeError::DepthExceedsMortonBits`] when the tree
+    /// has leaves deeper than the Morton resolution (see
+    /// [`LinearQuadtree::from_tree`]).
+    pub fn freeze(epoch: u64, tree: &PrQuadtree) -> Result<Snapshot, FreezeError> {
+        Ok(Snapshot {
+            epoch,
+            index: LinearQuadtree::from_tree(tree)?,
+        })
+    }
+
+    /// Builds a snapshot directly from points: bulk-loads a PR quadtree
+    /// with node capacity `capacity` over `region`, then freezes it.
+    /// The route for structures that are not PR quadtrees (EXCELL, grid
+    /// file, …): enumerate, rebuild, freeze.
+    pub fn from_points(
+        epoch: u64,
+        region: Rect,
+        capacity: usize,
+        points: impl IntoIterator<Item = Point2>,
+    ) -> Result<Snapshot, SnapshotBuildError> {
+        let tree = PrQuadtree::build(region, capacity, points)
+            .map_err(|e| SnapshotBuildError::Tree(e.to_string()))?;
+        Snapshot::freeze(epoch, &tree).map_err(SnapshotBuildError::Freeze)
+    }
+
+    /// The epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-stamps the epoch. Crate-internal: publisher-assigned epochs
+    /// are the truth; user code never renumbers a published snapshot.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The region covered.
+    pub fn region(&self) -> Rect {
+        self.index.region()
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of leaf records in the packed index.
+    pub fn leaf_count(&self) -> usize {
+        self.index.leaf_count()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.index.heap_bytes()
+    }
+
+    /// The underlying Morton-packed index.
+    pub fn index(&self) -> &LinearQuadtree {
+        &self.index
+    }
+
+    /// Serving-form range query: writes all stored points inside
+    /// `query` into `out` (cleared first), sorted canonically.
+    /// Allocation-free once `scratch` and `out` are warm.
+    pub fn range_into(&self, query: &Rect, scratch: &mut QueryScratch, out: &mut Vec<Point2>) {
+        self.index.range_query_into(query, scratch, out);
+        canonical_sort(out);
+    }
+
+    /// Serving-form count: counts stored points inside `query` without
+    /// materializing them. Allocation-free once `scratch` is warm.
+    pub fn count_with(&self, query: &Rect, scratch: &mut QueryScratch) -> usize {
+        self.index.count_in_range_with(query, scratch)
+    }
+
+    /// Serving-form k-NN: writes the `k` nearest points to `target`
+    /// into `out` (cleared first), in the canonical k-NN order.
+    /// Allocation-free once `scratch` and `out` are warm.
+    pub fn knn_into(
+        &self,
+        target: &Point2,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) {
+        self.index.k_nearest_into(target, k, scratch, out);
+    }
+}
+
+impl Queryable for Snapshot {
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn range(&self, query: &Rect) -> Vec<Point2> {
+        let mut out = Vec::new();
+        self.range_into(query, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn count(&self, query: &Rect) -> usize {
+        self.count_with(query, &mut QueryScratch::new())
+    }
+
+    fn knn(&self, target: &Point2, k: usize) -> Vec<Point2> {
+        let mut out = Vec::new();
+        self.knn_into(target, k, &mut QueryScratch::new(), &mut out);
+        out
+    }
+}
+
+/// Errors from [`Snapshot::from_points`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotBuildError {
+    /// Building the intermediate PR quadtree failed (bad parameters,
+    /// out-of-region or non-finite points).
+    Tree(String),
+    /// Freezing failed (leaves below the Morton resolution).
+    Freeze(FreezeError),
+}
+
+impl std::fmt::Display for SnapshotBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotBuildError::Tree(msg) => write!(f, "building load tree: {msg}"),
+            SnapshotBuildError::Freeze(e) => write!(f, "freezing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_stamps_epoch_and_serves() {
+        let tree = PrQuadtree::build(
+            Rect::unit(),
+            2,
+            [
+                Point2::new(0.2, 0.2),
+                Point2::new(0.8, 0.2),
+                Point2::new(0.2, 0.8),
+            ],
+        )
+        .unwrap();
+        let snap = Snapshot::freeze(7, &tree).unwrap();
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.region(), Rect::unit());
+        assert!(snap.leaf_count() >= 1);
+        assert!(snap.heap_bytes() > 0);
+        let q = Rect::from_bounds(0.0, 0.0, 1.0, 0.5);
+        assert_eq!(
+            snap.range(&q),
+            vec![Point2::new(0.2, 0.2), Point2::new(0.8, 0.2)]
+        );
+        assert_eq!(snap.count(&q), 2);
+        assert_eq!(
+            snap.knn(&Point2::new(0.9, 0.1), 1),
+            vec![Point2::new(0.8, 0.2)]
+        );
+    }
+
+    #[test]
+    fn from_points_round_trips() {
+        let snap = Snapshot::from_points(
+            1,
+            Rect::unit(),
+            4,
+            (0..50).map(|i| Point2::new((i as f64 + 0.5) / 50.0, 0.5)),
+        )
+        .unwrap();
+        assert_eq!(snap.len(), 50);
+        assert_eq!(snap.count(&Rect::unit()), 50);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn from_points_reports_build_errors() {
+        let err = Snapshot::from_points(0, Rect::unit(), 0, []).unwrap_err();
+        assert!(matches!(err, SnapshotBuildError::Tree(_)), "{err}");
+        let err = Snapshot::from_points(0, Rect::unit(), 1, [Point2::new(2.0, 2.0)]).unwrap_err();
+        assert!(err.to_string().contains("load tree"), "{err}");
+    }
+
+    #[test]
+    fn snapshots_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+    }
+}

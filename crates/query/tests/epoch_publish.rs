@@ -1,0 +1,280 @@
+//! Deterministic concurrency suite for the epoch protocol.
+//!
+//! Two experiments:
+//!
+//! * **Phase-locked schedule** — a writer publishes a fixed sequence of
+//!   epochs; between publishes, N reader threads (N from
+//!   `POPAN_THREADS`, the workspace-wide determinism knob) sync to the
+//!   round's epoch behind a barrier and answer their share of a seeded
+//!   query schedule. Every result is digested; the merged log, sorted
+//!   by (round, query), must be **bit-identical** for 1 reader and 4
+//!   readers — and identical to the serially computed expected answers
+//!   and to the committed golden (`tests/goldens/epoch_publish.golden`,
+//!   regenerate with `POPAN_BLESS=1`).
+//! * **Unsynchronized churn** — the writer publishes as fast as it can
+//!   while readers query with no coordination at all. Each epoch's
+//!   snapshot has a distinctive point count, so any torn read would
+//!   produce a count that matches *no* epoch; readers assert their
+//!   observed count always matches their snapshot's embedded epoch and
+//!   that per-reader epochs never move backwards.
+
+use std::sync::{Arc, Barrier};
+
+use popan_geom::{Point2, Rect};
+use popan_query::{Queryable, Snapshot, SnapshotPublisher};
+use popan_rng::rngs::StdRng;
+use popan_rng::{Rng, SeedableRng};
+use popan_workload::points::{PointSource, UniformRect};
+
+const EPOCHS: usize = 6;
+const QUERIES_PER_ROUND: usize = 24;
+const MASTER_SEED: u64 = 0x51_6e_a7;
+
+/// FNV-1a 64, the log digest. Stable, dependency-free, byte-exact.
+#[derive(Clone, Copy)]
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    fn push_points(&mut self, pts: &[Point2]) {
+        self.push_u64(pts.len() as u64);
+        for p in pts {
+            self.push_u64(p.x.to_bits());
+            self.push_u64(p.y.to_bits());
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// The point set published at `epoch`: size varies per epoch so every
+/// epoch's answers are distinguishable.
+fn epoch_points(epoch: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(MASTER_SEED ^ (epoch * 0x9e37_79b9));
+    UniformRect::unit().sample_n(&mut rng, 1500 + 173 * epoch as usize)
+}
+
+fn epoch_snapshot(epoch: u64) -> Snapshot {
+    Snapshot::from_points(epoch, Rect::unit(), 4, epoch_points(epoch)).unwrap()
+}
+
+#[derive(Clone, Copy)]
+enum Query {
+    Range(Rect),
+    Count(Rect),
+    Knn(Point2, usize),
+}
+
+/// The seeded query schedule of one round — every thread derives the
+/// identical list.
+fn round_queries(round: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(MASTER_SEED ^ (0xded1 + round * 0x85eb_ca6b));
+    (0..QUERIES_PER_ROUND)
+        .map(|qi| {
+            let x = rng.random_range(0.0..0.8);
+            let y = rng.random_range(0.0..0.8);
+            let w = rng.random_range(0.01..0.2);
+            match qi % 3 {
+                0 => Query::Range(Rect::from_bounds(x, y, x + w, y + w)),
+                1 => Query::Count(Rect::from_bounds(
+                    x,
+                    y,
+                    (x + 4.0 * w).min(1.0),
+                    (y + 4.0 * w).min(1.0),
+                )),
+                _ => Query::Knn(Point2::new(x, y), 1 + (qi % 13)),
+            }
+        })
+        .collect()
+}
+
+/// Answers one query against a snapshot and digests result + epoch.
+fn answer(snap: &Snapshot, q: &Query) -> u64 {
+    let mut d = Digest::new();
+    d.push_u64(snap.epoch());
+    match q {
+        Query::Range(rect) => d.push_points(&snap.range(rect)),
+        Query::Count(rect) => d.push_u64(snap.count(rect) as u64),
+        Query::Knn(target, k) => d.push_points(&snap.knn(target, *k)),
+    }
+    d.finish()
+}
+
+/// Runs the phase-locked schedule with `n_readers` threads and returns
+/// the merged, (round, query)-sorted result log.
+fn run_schedule(n_readers: usize) -> Vec<(u64, usize, u64)> {
+    let mut publisher = SnapshotPublisher::new(epoch_snapshot(0));
+    let barrier = Arc::new(Barrier::new(n_readers + 1));
+    let handles: Vec<_> = (0..n_readers)
+        .map(|rid| {
+            let mut reader = publisher.subscribe();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut log = Vec::new();
+                for round in 0..EPOCHS as u64 {
+                    barrier.wait();
+                    // Sync to the round's epoch. `refresh` is
+                    // opportunistic (try_lock), so a contended attempt
+                    // just retries; the writer is parked at the barrier
+                    // and cannot move the epoch mid-round.
+                    while reader.epoch() != round {
+                        reader.refresh();
+                        std::thread::yield_now();
+                    }
+                    let queries = round_queries(round);
+                    let snap = reader.cached();
+                    for (qi, q) in queries.iter().enumerate() {
+                        if qi % n_readers == rid {
+                            log.push((round, qi, answer(snap, q)));
+                        }
+                    }
+                    barrier.wait();
+                }
+                log
+            })
+        })
+        .collect();
+    for round in 0..EPOCHS as u64 {
+        if round > 0 {
+            assert_eq!(publisher.publish(epoch_snapshot(round)), round);
+        }
+        barrier.wait(); // round starts: readers sync + query
+        barrier.wait(); // round ends: safe to publish the next epoch
+    }
+    let mut merged = Vec::new();
+    for h in handles {
+        merged.extend(h.join().expect("reader thread panicked"));
+    }
+    merged.sort_unstable();
+    assert_eq!(merged.len(), EPOCHS * QUERIES_PER_ROUND);
+    merged
+}
+
+fn digest_of_log(log: &[(u64, usize, u64)]) -> u64 {
+    let mut d = Digest::new();
+    for &(round, qi, h) in log {
+        d.push_u64(round);
+        d.push_u64(qi as u64);
+        d.push_u64(h);
+    }
+    d.finish()
+}
+
+/// Reader count under test: the workspace determinism knob, so
+/// `scripts/verify.sh`'s POPAN_THREADS=1 and =4 runs exercise both.
+fn env_readers() -> usize {
+    std::env::var("POPAN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| (1..=16).contains(&n))
+        .unwrap_or(4)
+}
+
+#[test]
+fn merged_log_is_bit_identical_across_reader_counts() {
+    // Serial expectation: answer every query directly from each round's
+    // snapshot, no threads involved.
+    let mut expected = Vec::new();
+    for round in 0..EPOCHS as u64 {
+        let snap = epoch_snapshot(round);
+        for (qi, q) in round_queries(round).iter().enumerate() {
+            expected.push((round, qi, answer(&snap, q)));
+        }
+    }
+
+    let one = run_schedule(1);
+    assert_eq!(one, expected, "single reader must reproduce the serial log");
+
+    let four = run_schedule(4);
+    assert_eq!(
+        four, one,
+        "4-reader merged log must be bit-identical to 1-reader"
+    );
+
+    let env_n = env_readers();
+    if env_n != 1 && env_n != 4 {
+        assert_eq!(run_schedule(env_n), one);
+    }
+
+    // Pin the whole workload against the committed golden.
+    let digest = format!("{:016x}", digest_of_log(&one));
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/goldens/epoch_publish.golden"
+    );
+    if std::env::var("POPAN_BLESS").is_ok() {
+        std::fs::write(golden_path, format!("{digest}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("missing tests/goldens/epoch_publish.golden — run once with POPAN_BLESS=1");
+    assert_eq!(
+        golden.trim(),
+        digest,
+        "epoch-publish workload digest drifted from the committed golden"
+    );
+}
+
+#[test]
+fn unsynchronized_readers_never_observe_torn_snapshots() {
+    // Every epoch's snapshot has a distinctive size; a torn read would
+    // yield a (epoch, count) pair matching no published snapshot.
+    const CHURN_EPOCHS: u64 = 40;
+    let expected_len = |epoch: u64| 1500 + 173 * epoch as usize;
+
+    let mut publisher = SnapshotPublisher::new(epoch_snapshot(0));
+    let n_readers = env_readers();
+    let start = Arc::new(Barrier::new(n_readers + 1));
+    let handles: Vec<_> = (0..n_readers)
+        .map(|_| {
+            let mut reader = publisher.subscribe();
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                let mut last_epoch = 0u64;
+                let mut observations = 0u64;
+                while reader.cached().epoch() < CHURN_EPOCHS {
+                    let snap = reader.current();
+                    let epoch = snap.epoch();
+                    assert!(
+                        epoch >= last_epoch,
+                        "reader went back in time: {epoch} after {last_epoch}"
+                    );
+                    last_epoch = epoch;
+                    assert_eq!(
+                        snap.len(),
+                        expected_len(epoch),
+                        "snapshot torn: epoch {epoch} with wrong population"
+                    );
+                    assert_eq!(snap.count(&Rect::unit()), expected_len(epoch));
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+    start.wait();
+    for epoch in 1..=CHURN_EPOCHS {
+        assert_eq!(publisher.publish(epoch_snapshot(epoch)), epoch);
+        std::thread::yield_now();
+    }
+    for h in handles {
+        assert!(h.join().expect("reader panicked") > 0);
+    }
+}

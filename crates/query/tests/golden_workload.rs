@@ -1,0 +1,74 @@
+//! Committed golden for a fixed serving workload.
+//!
+//! A seeded N=10⁴ snapshot answers a seeded mix of range/count/k-NN
+//! queries; the digest of every result, bit for bit, is pinned in
+//! `tests/goldens/query_workload.golden`. This is the cross-machine,
+//! cross-run anchor for the query tier: the oracle suite proves the
+//! backends agree with each other *today*, the golden proves the shared
+//! answer never drifts *over time* (a changed sort, a reordered leaf, a
+//! flipped tie would all show up here). Regenerate deliberately with
+//! `POPAN_BLESS=1` and review the diff.
+
+use popan_geom::{Point2, Rect};
+use popan_query::{Queryable, Snapshot};
+use popan_rng::rngs::StdRng;
+use popan_rng::{Rng, SeedableRng};
+use popan_workload::points::{PointSource, UniformRect};
+
+fn fnv1a(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = acc;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn push_points(mut h: u64, pts: &[Point2]) -> u64 {
+    h = fnv1a(h, &(pts.len() as u64).to_le_bytes());
+    for p in pts {
+        h = fnv1a(h, &p.x.to_bits().to_le_bytes());
+        h = fnv1a(h, &p.y.to_bits().to_le_bytes());
+    }
+    h
+}
+
+#[test]
+fn fixed_workload_matches_committed_golden() {
+    let mut rng = StdRng::seed_from_u64(0x90_1d_e2);
+    let points = UniformRect::unit().sample_n(&mut rng, 10_000);
+    let snap = Snapshot::from_points(0, Rect::unit(), 4, points).unwrap();
+    assert_eq!(snap.len(), 10_000);
+
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv1a(h, &(snap.leaf_count() as u64).to_le_bytes());
+    let mut qrng = StdRng::seed_from_u64(0x0b_5e55);
+    for qi in 0..100usize {
+        let x = qrng.random_range(0.0..0.9);
+        let y = qrng.random_range(0.0..0.9);
+        let w = qrng.random_range(0.001..0.4);
+        let rect = Rect::from_bounds(x, y, (x + w).min(1.0), (y + w).min(1.0));
+        match qi % 3 {
+            0 => h = push_points(h, &snap.range(&rect)),
+            1 => h = fnv1a(h, &(snap.count(&rect) as u64).to_le_bytes()),
+            _ => h = push_points(h, &snap.knn(&Point2::new(x, y), 1 + qi % 20)),
+        }
+    }
+    let digest = format!("{h:016x}");
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/goldens/query_workload.golden"
+    );
+    if std::env::var("POPAN_BLESS").is_ok() {
+        std::fs::write(golden_path, format!("{digest}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("missing tests/goldens/query_workload.golden — run once with POPAN_BLESS=1");
+    assert_eq!(
+        golden.trim(),
+        digest,
+        "fixed query workload digest drifted from the committed golden"
+    );
+}

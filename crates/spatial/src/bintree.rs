@@ -100,6 +100,47 @@ impl Bintree {
         self.tree.node_count()
     }
 
+    /// Visits every leaf: the block, its depth, and its stored points.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(Rect, u32, &[Point2])) {
+        self.tree
+            .for_each_leaf(&mut |block, depth, points| f(*block, depth, points));
+    }
+
+    /// All stored points, in leaf-traversal order.
+    pub fn points(&self) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_leaf(|_, _, pts| out.extend_from_slice(pts));
+        out
+    }
+
+    /// All stored points inside `query`, in leaf-traversal order.
+    ///
+    /// A leaf sweep pruned by block overlap — fine for the oracle and
+    /// verification paths this backend serves; the query tier freezes
+    /// hot structures into a `Snapshot` for serving.
+    pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
+        let mut out = Vec::new();
+        self.for_each_leaf(|block, _, pts| {
+            if block.overlaps(query) {
+                out.extend(pts.iter().filter(|p| query.contains(p)).copied());
+            }
+        });
+        out
+    }
+
+    /// Counts stored points inside `query` without materializing them.
+    pub fn count_in_range(&self, query: &Rect) -> usize {
+        let mut count = 0;
+        self.for_each_leaf(|block, _, pts| {
+            if query.contains_rect(&block) {
+                count += pts.len();
+            } else if block.overlaps(query) {
+                count += pts.iter().filter(|p| query.contains(p)).count();
+            }
+        });
+        count
+    }
+
     /// Leaf node count, served from the maintained census: O(1).
     pub fn leaf_count(&self) -> usize {
         self.tree.census().leaf_count()
@@ -218,6 +259,24 @@ mod tests {
         }
         assert_eq!(t.node_count(), 1);
         t.check_invariants();
+    }
+
+    #[test]
+    fn range_and_count_agree_with_scan() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(80);
+        let points = src.sample_n(&mut rng, 600);
+        let t = Bintree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+        assert_eq!(t.points().len(), 600);
+        for query in [
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Rect::from_bounds(0.1, 0.3, 0.6, 0.7),
+            Rect::from_bounds(0.9, 0.9, 0.95, 0.95),
+        ] {
+            let expect = points.iter().filter(|p| query.contains(p)).count();
+            assert_eq!(t.range_query(&query).len(), expect, "{query}");
+            assert_eq!(t.count_in_range(&query), expect, "{query}");
+        }
     }
 
     #[test]

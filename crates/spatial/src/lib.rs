@@ -51,7 +51,7 @@ pub mod reference;
 pub mod visualize;
 
 pub use bintree::Bintree;
-pub use linear_quadtree::LinearQuadtree;
+pub use linear_quadtree::{knn_cmp, FreezeError, LinearQuadtree, QueryScratch};
 pub use node_stats::{
     DepthOccupancyTable, LeafRecord, OccupancyCensus, OccupancyInstrumented, OccupancyProfile,
 };

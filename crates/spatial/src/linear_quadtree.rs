@@ -1,18 +1,93 @@
-//! The linear (pointerless) quadtree.
+//! The linear (pointerless) quadtree — the query tier's snapshot form.
 //!
 //! A classic companion representation from the quadtree literature the
 //! paper builds on (Gargantini's linear quadtrees; Samet's survey
 //! \[Same84a\]): instead of pointer nodes, store one record per *leaf*,
 //! keyed by its locational code — the Morton prefix of its block — in
 //! sorted order. Point lookup is then a binary search, the whole index is
-//! two flat allocations, and the structure is trivially serializable.
+//! three flat allocations, and the structure is trivially serializable.
 //!
 //! [`LinearQuadtree`] is built by freezing a [`crate::PrQuadtree`]; the
 //! two answer queries identically (tested), with the linear form trading
-//! mutability for compactness and cache-friendly search.
+//! mutability for compactness and cache-friendly search. PR 6 grew it
+//! into the read-replica substrate of `popan-query`:
+//!
+//! * **Typed freeze.** [`LinearQuadtree::from_tree`] rejects trees with
+//!   leaves deeper than [`morton::MORTON_BITS`] with
+//!   [`FreezeError::DepthExceedsMortonBits`] instead of silently
+//!   aliasing distinct blocks onto one locational code.
+//! * **Morton-decomposed range queries.** [`LinearQuadtree::range_query_into`]
+//!   and [`LinearQuadtree::count_in_range_with`] prune through
+//!   [`morton::decompose_ranges_into`] spans: leaves wholly inside a
+//!   *covered* span are bulk-copied (or bulk-counted off the flat
+//!   offsets, never touching their points); only boundary leaves pay the
+//!   per-point rectangle test.
+//! * **Deterministic k-NN.** [`LinearQuadtree::k_nearest_into`] returns
+//!   the `k` nearest points under the canonical
+//!   `(distance², Point2::canonical_cmp)` order, so coincident-point and
+//!   equidistant ties resolve identically on every backend.
+//! * **Zero-allocation serving.** The `_into` variants write into
+//!   caller-owned buffers and a reusable [`QueryScratch`]; after warmup
+//!   a query batch performs no heap allocation (pinned by
+//!   `crates/query/tests/zero_alloc_read.rs`).
 
 use crate::pr_quadtree::PrQuadtree;
-use popan_geom::{morton, Point2, Rect};
+use popan_geom::morton::{self, MortonSpan};
+use popan_geom::{Point2, Rect};
+
+/// Errors from freezing a pointer tree into linear form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreezeError {
+    /// A leaf sits deeper than the Morton code resolution: two distinct
+    /// blocks at such depths would receive the *same* locational code,
+    /// so the frozen index could return wrong blocks. The tree must be
+    /// rebuilt with `max_depth ≤` [`morton::MORTON_BITS`].
+    DepthExceedsMortonBits {
+        /// The offending leaf depth.
+        depth: u32,
+        /// The deepest representable level, [`morton::MORTON_BITS`].
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreezeError::DepthExceedsMortonBits { depth, max } => write!(
+                f,
+                "leaf at depth {depth} exceeds the Morton resolution of {max} bits per axis; \
+                 locational codes would alias"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// Depth of the Morton span decomposition used by the range paths: deep
+/// enough that boundary leaves dominate only pathologically small
+/// queries, shallow enough that the span list stays a few hundred
+/// entries (it grows with the query perimeter, O(2^depth) worst case).
+pub const RANGE_DECOMPOSE_DEPTH: u32 = 8;
+
+/// Reusable buffers for the allocation-free query paths. One scratch per
+/// reader thread; contents are meaningless between calls.
+#[derive(Debug, Default, Clone)]
+pub struct QueryScratch {
+    /// Morton span decomposition of the current range query.
+    spans: Vec<MortonSpan>,
+    /// k-NN candidate list: `(distance², point)` sorted by the canonical
+    /// k-NN order.
+    best: Vec<(f64, Point2)>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch (buffers grow on first use and are
+    /// reused afterwards).
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+}
 
 /// One leaf record: the block's locational code and its points.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,38 +112,70 @@ pub struct LinearQuadtree {
     /// Leaf entries sorted by `code_lo`; their `[code_lo, code_hi)`
     /// ranges partition the full Morton range.
     leaves: Vec<LeafEntry>,
+    /// `blocks[i]` is the geometric rect of `leaves[i]` — precomputed at
+    /// freeze so the k-NN pruning loop reads it straight off the slab.
+    blocks: Vec<Rect>,
     /// All points, grouped by leaf.
     points: Vec<Point2>,
 }
 
+/// The canonical k-NN candidate order: squared distance first
+/// ([`f64::total_cmp`]), then [`Point2::canonical_cmp`]. Total, so ties
+/// on coincident or equidistant points resolve bit-identically on every
+/// backend.
+pub fn knn_cmp(a: &(f64, Point2), b: &(f64, Point2)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then_with(|| a.1.canonical_cmp(&b.1))
+}
+
 impl LinearQuadtree {
     /// Freezes a PR quadtree into linear form.
-    pub fn from_tree(tree: &PrQuadtree) -> Self {
+    ///
+    /// Fails with [`FreezeError::DepthExceedsMortonBits`] when any leaf
+    /// sits below the Morton resolution — such leaves cannot be given
+    /// unique locational codes, and silently clamping (the pre-PR 6
+    /// behavior) would alias distinct blocks onto one code.
+    pub fn from_tree(tree: &PrQuadtree) -> Result<Self, FreezeError> {
         let region = tree.region();
         let mut leaves = Vec::new();
+        let mut blocks = Vec::new();
         let mut points = Vec::new();
+        let mut too_deep: Option<u32> = None;
         tree.for_each_leaf(|block, depth, pts| {
+            if depth > morton::MORTON_BITS {
+                too_deep = Some(too_deep.map_or(depth, |d| d.max(depth)));
+                return;
+            }
             // The block's Morton range: its low corner's code is the
             // smallest in the block; a depth-d block spans
-            // 2^(2·(MORTON_BITS − d)) codes.
+            // 4^(MORTON_BITS − d) codes.
             let corner = Point2::new(block.x().lo(), block.y().lo());
             let code_lo = morton::morton_of_point(&corner, &region);
-            let span = 1u64 << (2 * (morton::MORTON_BITS - depth.min(morton::MORTON_BITS)));
             leaves.push(LeafEntry {
                 code_lo,
-                code_hi: code_lo + span,
+                code_hi: code_lo + morton::cells_at_depth(depth),
                 depth,
                 points_start: points.len() as u32,
                 points_len: pts.len() as u32,
             });
+            blocks.push(block);
             points.extend_from_slice(pts);
         });
-        leaves.sort_by_key(|l| l.code_lo);
-        LinearQuadtree {
+        if let Some(depth) = too_deep {
+            return Err(FreezeError::DepthExceedsMortonBits {
+                depth,
+                max: morton::MORTON_BITS,
+            });
+        }
+        let mut order: Vec<usize> = (0..leaves.len()).collect();
+        order.sort_by_key(|&i| leaves[i].code_lo);
+        let leaves = order.iter().map(|&i| leaves[i].clone()).collect();
+        let blocks = order.iter().map(|&i| blocks[i]).collect();
+        Ok(LinearQuadtree {
             region,
             leaves,
+            blocks,
             points,
-        }
+        })
     }
 
     /// The region covered.
@@ -91,6 +198,20 @@ impl LinearQuadtree {
         self.leaves.len()
     }
 
+    /// The geometric block of leaf `i` (freeze order, ascending Morton).
+    pub fn leaf_block(&self, i: usize) -> Rect {
+        self.blocks[i]
+    }
+
+    /// All stored points, grouped by leaf in ascending Morton order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    fn leaf_points(&self, l: &LeafEntry) -> &[Point2] {
+        &self.points[l.points_start as usize..(l.points_start + l.points_len) as usize]
+    }
+
     fn leaf_index_of(&self, p: &Point2) -> Option<usize> {
         if !self.region.contains(p) {
             return None;
@@ -110,10 +231,7 @@ impl LinearQuadtree {
     /// when `p` is outside the region).
     pub fn block_points(&self, p: &Point2) -> &[Point2] {
         match self.leaf_index_of(p) {
-            Some(i) => {
-                let l = &self.leaves[i];
-                &self.points[l.points_start as usize..(l.points_start + l.points_len) as usize]
-            }
+            Some(i) => self.leaf_points(&self.leaves[i]),
             None => &[],
         }
     }
@@ -128,52 +246,198 @@ impl LinearQuadtree {
         self.leaf_index_of(p).map(|i| self.leaves[i].depth)
     }
 
-    /// All stored points inside `query`.
-    ///
-    /// Walks only the leaves whose Morton ranges can intersect the query
-    /// rectangle's code range (a conservative prune: Z-order ranges of a
-    /// rectangle are not contiguous, but the min/max corner codes bound
-    /// them).
+    /// All stored points inside `query` (allocating convenience form of
+    /// [`LinearQuadtree::range_query_into`]). Leaf-order output, same as
+    /// the pointer tree's `range_query`.
     pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
+        let mut scratch = QueryScratch::new();
         let mut out = Vec::new();
-        if !self.region.overlaps(query) {
-            return out;
-        }
-        // Clamp the query into the region to compute code bounds.
-        let eps = f64::EPSILON;
-        let lo = Point2::new(
-            query.x().lo().max(self.region.x().lo()),
-            query.y().lo().max(self.region.y().lo()),
-        );
-        let hi = Point2::new(
-            (query.x().hi().min(self.region.x().hi()) - eps).max(lo.x),
-            (query.y().hi().min(self.region.y().hi()) - eps).max(lo.y),
-        );
-        let code_min = morton::morton_of_point(&lo, &self.region);
-        let code_max = morton::morton_of_point(&hi, &self.region);
-        let start = self.leaves.partition_point(|l| l.code_hi <= code_min);
-        for l in &self.leaves[start..] {
-            if l.code_lo > code_max {
-                break;
-            }
-            let pts =
-                &self.points[l.points_start as usize..(l.points_start + l.points_len) as usize];
-            out.extend(pts.iter().filter(|p| query.contains(p)).copied());
-        }
+        self.range_query_into(query, &mut scratch, &mut out);
         out
     }
 
-    /// Approximate heap footprint in bytes (leaves + points arrays).
+    /// Appends all stored points inside `query` to `out` (cleared
+    /// first), in leaf order.
+    ///
+    /// The query rectangle is decomposed into Morton spans
+    /// ([`morton::decompose_ranges_into`]); a single monotone cursor
+    /// sweep over the sorted leaves then visits each candidate leaf
+    /// exactly once. Leaves wholly inside a *covered* span bulk-copy
+    /// their points without the per-point rectangle test; boundary
+    /// leaves filter. Allocation-free once `scratch` and `out` have
+    /// warmed to the workload's high-water marks.
+    pub fn range_query_into(
+        &self,
+        query: &Rect,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) {
+        out.clear();
+        self.for_range_leaves(
+            query,
+            scratch,
+            |points, out| out.extend_from_slice(points),
+            |points, query, out| out.extend(points.iter().filter(|p| query.contains(p)).copied()),
+            out,
+        );
+    }
+
+    /// Counts stored points inside `query` without materializing them
+    /// (allocating convenience form of
+    /// [`LinearQuadtree::count_in_range_with`]).
+    pub fn count_in_range(&self, query: &Rect) -> usize {
+        self.count_in_range_with(query, &mut QueryScratch::new())
+    }
+
+    /// Counts stored points inside `query`. Leaves wholly inside a
+    /// covered span are counted off the flat offsets — their points are
+    /// never touched — so counts over large rectangles cost O(spans ·
+    /// log leaves + boundary points).
+    pub fn count_in_range_with(&self, query: &Rect, scratch: &mut QueryScratch) -> usize {
+        let mut count = 0usize;
+        self.for_range_leaves(
+            query,
+            scratch,
+            |points, count| *count += points.len(),
+            |points, query, count| *count += points.iter().filter(|p| query.contains(p)).count(),
+            &mut count,
+        );
+        count
+    }
+
+    /// The shared span-decomposed leaf sweep behind the range paths:
+    /// calls `bulk` for leaves wholly inside a covered span and `filter`
+    /// for boundary leaves, each leaf exactly once, in ascending Morton
+    /// order.
+    fn for_range_leaves<Acc>(
+        &self,
+        query: &Rect,
+        scratch: &mut QueryScratch,
+        mut bulk: impl FnMut(&[Point2], &mut Acc),
+        mut filter: impl FnMut(&[Point2], &Rect, &mut Acc),
+        acc: &mut Acc,
+    ) {
+        if !self.region.overlaps(query) {
+            return;
+        }
+        morton::decompose_ranges_into(
+            query,
+            &self.region,
+            RANGE_DECOMPOSE_DEPTH,
+            &mut scratch.spans,
+        );
+        let mut cursor = 0usize;
+        for span in &scratch.spans {
+            // Skip leaves that end before this span starts. The cursor
+            // never moves backwards: spans ascend and a leaf processed
+            // under an earlier span was filtered against the full query,
+            // so re-visiting it would double-report.
+            cursor += self.leaves[cursor..].partition_point(|l| l.code_hi <= span.lo);
+            while cursor < self.leaves.len() && self.leaves[cursor].code_lo < span.hi {
+                let l = &self.leaves[cursor];
+                if span.covered && span.lo <= l.code_lo && l.code_hi <= span.hi {
+                    // Covered span ⊇ leaf block: every point matches.
+                    bulk(self.leaf_points(l), acc);
+                } else {
+                    filter(self.leaf_points(l), query, acc);
+                }
+                cursor += 1;
+            }
+        }
+    }
+
+    /// The `k` stored points nearest to `target` under the canonical
+    /// order (allocating convenience form of
+    /// [`LinearQuadtree::k_nearest_into`]).
+    pub fn k_nearest(&self, target: &Point2, k: usize) -> Vec<Point2> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.k_nearest_into(target, k, &mut scratch, &mut out);
+        out
+    }
+
+    /// Writes the `k` stored points nearest to `target` into `out`
+    /// (cleared first), nearest first; fewer when the snapshot holds
+    /// fewer than `k` points.
+    ///
+    /// Ordering and tie-breaking follow [`knn_cmp`]: squared distance,
+    /// then canonical point order — fully deterministic even for
+    /// coincident piles and equidistant rings. The scan seeds its bound
+    /// from the leaf containing `target`, then sweeps the flat leaf
+    /// slab, pruning every leaf whose block cannot *strictly* beat the
+    /// current k-th candidate (strict, so equal-distance ties are still
+    /// examined and resolved canonically).
+    pub fn k_nearest_into(
+        &self,
+        target: &Point2,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) {
+        out.clear();
+        scratch.best.clear();
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        scratch.best.reserve(k + 1);
+        let seed = self.leaf_index_of(target);
+        if let Some(i) = seed {
+            Self::knn_scan_leaf(
+                self.leaf_points(&self.leaves[i]),
+                target,
+                k,
+                &mut scratch.best,
+            );
+        }
+        for i in 0..self.leaves.len() {
+            if Some(i) == seed {
+                continue;
+            }
+            if scratch.best.len() == k {
+                let worst = scratch.best[k - 1].0;
+                if min_dist_squared(&self.blocks[i], target) > worst {
+                    continue;
+                }
+            }
+            Self::knn_scan_leaf(
+                self.leaf_points(&self.leaves[i]),
+                target,
+                k,
+                &mut scratch.best,
+            );
+        }
+        out.extend(scratch.best.iter().map(|&(_, p)| p));
+    }
+
+    /// Folds one leaf's points into the sorted candidate list.
+    fn knn_scan_leaf(points: &[Point2], target: &Point2, k: usize, best: &mut Vec<(f64, Point2)>) {
+        for p in points {
+            let cand = (p.distance_squared(target), *p);
+            if best.len() == k && knn_cmp(&cand, &best[k - 1]) == std::cmp::Ordering::Greater {
+                continue;
+            }
+            let pos = best.partition_point(|e| knn_cmp(e, &cand) != std::cmp::Ordering::Greater);
+            best.insert(pos, cand);
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (leaves + blocks + points).
     pub fn heap_bytes(&self) -> usize {
         self.leaves.len() * std::mem::size_of::<LeafEntry>()
+            + self.blocks.len() * std::mem::size_of::<Rect>()
             + self.points.len() * std::mem::size_of::<Point2>()
     }
 
     /// Verifies that leaf ranges are sorted, disjoint, and tile the full
-    /// Morton range; panics on violation.
+    /// Morton range, and that blocks stay parallel to leaves; panics on
+    /// violation.
     pub fn check_invariants(&self) {
         assert!(!self.leaves.is_empty(), "at least the root leaf exists");
-        let full_span = 1u64 << (2 * morton::MORTON_BITS);
+        assert_eq!(self.leaves.len(), self.blocks.len(), "blocks track leaves");
+        let full_span = morton::cells_at_depth(0);
         assert_eq!(self.leaves[0].code_lo, 0, "first leaf starts at 0");
         for w in self.leaves.windows(2) {
             assert_eq!(w[0].code_hi, w[1].code_lo, "leaf ranges must be contiguous");
@@ -185,11 +449,28 @@ impl LinearQuadtree {
         );
         let total: u32 = self.leaves.iter().map(|l| l.points_len).sum();
         assert_eq!(total as usize, self.points.len());
+        for (l, b) in self.leaves.iter().zip(&self.blocks) {
+            let corner = Point2::new(b.x().lo(), b.y().lo());
+            assert_eq!(
+                morton::morton_of_point(&corner, &self.region),
+                l.code_lo,
+                "block corner must reproduce the locational code"
+            );
+        }
     }
 }
 
-impl From<&PrQuadtree> for LinearQuadtree {
-    fn from(tree: &PrQuadtree) -> Self {
+/// Smallest squared distance from `p` to any point of `block`.
+fn min_dist_squared(block: &Rect, p: &Point2) -> f64 {
+    let dx = (block.x().lo() - p.x).max(p.x - block.x().hi()).max(0.0);
+    let dy = (block.y().lo() - p.y).max(p.y - block.y().hi()).max(0.0);
+    dx * dx + dy * dy
+}
+
+impl TryFrom<&PrQuadtree> for LinearQuadtree {
+    type Error = FreezeError;
+
+    fn try_from(tree: &PrQuadtree) -> Result<Self, FreezeError> {
         LinearQuadtree::from_tree(tree)
     }
 }
@@ -205,14 +486,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let points = UniformRect::unit().sample_n(&mut rng, n);
         let tree = PrQuadtree::build(Rect::unit(), capacity, points).unwrap();
-        let linear = LinearQuadtree::from_tree(&tree);
+        let linear = LinearQuadtree::from_tree(&tree).unwrap();
         (tree, linear)
     }
 
     #[test]
     fn empty_tree_freezes_to_single_leaf() {
         let tree = PrQuadtree::new(Rect::unit(), 1).unwrap();
-        let linear = LinearQuadtree::from_tree(&tree);
+        let linear = LinearQuadtree::from_tree(&tree).unwrap();
         assert!(linear.is_empty());
         assert_eq!(linear.leaf_count(), 1);
         linear.check_invariants();
@@ -222,6 +503,42 @@ mod tests {
     fn ranges_tile_the_space() {
         let (_, linear) = build_pair(500, 2, 1);
         linear.check_invariants();
+    }
+
+    #[test]
+    fn freeze_rejects_leaves_below_morton_resolution() {
+        // Two points that separate only at depth 32 — representable in
+        // the pointer tree (DEFAULT_MAX_DEPTH = 32) but one level below
+        // the 31-bit Morton grid. The pre-PR 6 freeze silently clamped
+        // the span, aliasing the two sibling blocks onto one code; now
+        // the freeze refuses with a typed error.
+        let step = (0.5f64).powi(32);
+        let mut tree = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        tree.insert(Point2::new(0.0, 0.0)).unwrap();
+        tree.insert(Point2::new(step, 0.0)).unwrap();
+        let err = LinearQuadtree::from_tree(&tree).unwrap_err();
+        assert_eq!(
+            err,
+            FreezeError::DepthExceedsMortonBits {
+                depth: 32,
+                max: morton::MORTON_BITS,
+            }
+        );
+        assert!(err.to_string().contains("alias"), "{err}");
+    }
+
+    #[test]
+    fn freeze_accepts_max_representable_depth() {
+        // Separation exactly at depth 31 = MORTON_BITS: the deepest
+        // representable leaf level must still freeze.
+        let step = (0.5f64).powi(31);
+        let mut tree = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        tree.insert(Point2::new(0.0, 0.0)).unwrap();
+        tree.insert(Point2::new(step, 0.0)).unwrap();
+        let linear = LinearQuadtree::from_tree(&tree).unwrap();
+        linear.check_invariants();
+        assert_eq!(linear.len(), 2);
+        assert!(linear.contains(&Point2::new(step, 0.0)));
     }
 
     #[test]
@@ -265,7 +582,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let linear = LinearQuadtree::from_tree(&tree);
+        let linear = LinearQuadtree::from_tree(&tree).unwrap();
         let blk = linear.block_points(&Point2::new(0.12, 0.11));
         assert_eq!(blk.len(), 2);
         assert!(linear.block_points(&Point2::new(5.0, 5.0)).is_empty());
@@ -282,10 +599,33 @@ mod tests {
         ] {
             let mut a = linear.range_query(&rect);
             let mut b = tree.range_query(&rect);
-            let key = |p: &Point2| (p.x, p.y);
-            a.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
-            b.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+            a.sort_by(Point2::canonical_cmp);
+            b.sort_by(Point2::canonical_cmp);
             assert_eq!(a, b, "{rect}");
+        }
+    }
+
+    #[test]
+    fn count_in_range_matches_range_query() {
+        let (tree, linear) = build_pair(900, 3, 9);
+        let mut scratch = QueryScratch::new();
+        for rect in [
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Rect::from_bounds(0.1, 0.2, 0.5, 0.9),
+            Rect::from_bounds(0.25, 0.25, 0.75, 0.75),
+            Rect::from_bounds(0.001, 0.001, 0.002, 0.002),
+            Rect::from_bounds(0.5, 0.5, 0.500001, 0.500001),
+        ] {
+            assert_eq!(
+                linear.count_in_range_with(&rect, &mut scratch),
+                linear.range_query(&rect).len(),
+                "{rect}"
+            );
+            assert_eq!(
+                linear.count_in_range(&rect),
+                tree.count_in_range(&rect),
+                "{rect}"
+            );
         }
     }
 
@@ -295,6 +635,77 @@ mod tests {
         assert!(linear
             .range_query(&Rect::from_bounds(2.0, 2.0, 3.0, 3.0))
             .is_empty());
+        assert_eq!(
+            linear.count_in_range(&Rect::from_bounds(2.0, 2.0, 3.0, 3.0)),
+            0
+        );
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_scan() {
+        let (tree, linear) = build_pair(400, 2, 7);
+        let all = tree.points();
+        for target in [
+            Point2::new(0.3, 0.7),
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, -1.0), // outside the region
+        ] {
+            for k in [0usize, 1, 5, 50, 400, 500] {
+                let got = linear.k_nearest(&target, k);
+                let mut expect: Vec<(f64, Point2)> = all
+                    .iter()
+                    .map(|p| (p.distance_squared(&target), *p))
+                    .collect();
+                expect.sort_by(knn_cmp);
+                expect.truncate(k);
+                let expect: Vec<Point2> = expect.into_iter().map(|(_, p)| p).collect();
+                assert_eq!(got.len(), expect.len(), "k={k}");
+                for (g, e) in got.iter().zip(&expect) {
+                    assert_eq!(g.x.to_bits(), e.x.to_bits(), "target {target} k={k}");
+                    assert_eq!(g.y.to_bits(), e.y.to_bits(), "target {target} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_breaks_coincident_ties_canonically() {
+        // A pile of coincident points plus an equidistant ring: the
+        // canonical order must pick the same winners every time.
+        let pts = [
+            Point2::new(0.5, 0.5),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.4, 0.5), // distance 0.1 (west)
+            Point2::new(0.6, 0.5), // distance 0.1 (east)
+            Point2::new(0.5, 0.4), // distance 0.1 (south)
+            Point2::new(0.5, 0.6), // distance 0.1 (north)
+        ];
+        let tree = PrQuadtree::build(Rect::unit(), 1, pts).unwrap();
+        let linear = LinearQuadtree::from_tree(&tree).unwrap();
+        let got = linear.k_nearest(&Point2::new(0.5, 0.5), 5);
+        // Three coincident points first, then the two canonically
+        // smallest ring points: (0.4,0.5) before (0.5,0.4).
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0], Point2::new(0.5, 0.5));
+        assert_eq!(got[1], Point2::new(0.5, 0.5));
+        assert_eq!(got[2], Point2::new(0.5, 0.5));
+        assert_eq!(got[3], Point2::new(0.4, 0.5));
+        assert_eq!(got[4], Point2::new(0.5, 0.4));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let (_, linear) = build_pair(500, 4, 8);
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let q = Rect::from_bounds(0.2, 0.2, 0.8, 0.8);
+        linear.range_query_into(&q, &mut scratch, &mut out);
+        let first = out.clone();
+        linear.range_query_into(&q, &mut scratch, &mut out);
+        assert_eq!(first, out, "repeat query must be identical");
+        linear.k_nearest_into(&Point2::new(0.5, 0.5), 10, &mut scratch, &mut out);
+        assert_eq!(out.len(), 10);
     }
 
     #[test]
@@ -302,14 +713,23 @@ mod tests {
         let (_, linear) = build_pair(1000, 4, 7);
         let bytes = linear.heap_bytes();
         assert!(bytes > 0);
-        // Flat arrays: points dominate (16 bytes each), leaves ~32 bytes.
-        assert!(bytes < 1000 * 16 + linear.leaf_count() * 64 + 1024);
+        // Flat arrays: points (16 bytes each), leaves ~32 bytes, blocks 32.
+        assert!(bytes < 1000 * 16 + linear.leaf_count() * 96 + 1024);
     }
 
     #[test]
-    fn from_reference_conversion() {
+    fn leaf_blocks_are_exposed_in_morton_order() {
+        let (_, linear) = build_pair(200, 2, 11);
+        for i in 0..linear.leaf_count() {
+            let b = linear.leaf_block(i);
+            assert!(Rect::unit().contains_rect(&b));
+        }
+    }
+
+    #[test]
+    fn try_from_reference_conversion() {
         let (tree, _) = build_pair(50, 1, 8);
-        let linear: LinearQuadtree = (&tree).into();
+        let linear: LinearQuadtree = (&tree).try_into().unwrap();
         assert_eq!(linear.len(), 50);
     }
 }
@@ -330,11 +750,57 @@ mod proptests {
         ) {
             let points: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
             let tree = PrQuadtree::build(Rect::unit(), capacity, points).unwrap();
-            let linear = LinearQuadtree::from_tree(&tree);
+            let linear = LinearQuadtree::from_tree(&tree).unwrap();
             linear.check_invariants();
             for &(x, y) in &probe {
                 let p = Point2::new(x, y);
                 prop_assert_eq!(linear.contains(&p), tree.contains(&p));
+            }
+        }
+
+        #[test]
+        fn range_and_count_agree_with_scan(
+            raw in popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..150),
+            capacity in 1usize..5,
+            qx in 0.0f64..0.8,
+            qy in 0.0f64..0.8,
+            qw in 0.01f64..0.3,
+        ) {
+            let points: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let tree = PrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
+            let linear = LinearQuadtree::from_tree(&tree).unwrap();
+            let query = Rect::from_bounds(qx, qy, qx + qw, qy + qw);
+            let expect: Vec<&Point2> = points.iter().filter(|p| query.contains(p)).collect();
+            let mut got = linear.range_query(&query);
+            got.sort_by(Point2::canonical_cmp);
+            let mut expect_sorted: Vec<Point2> = expect.iter().copied().copied().collect();
+            expect_sorted.sort_by(Point2::canonical_cmp);
+            prop_assert_eq!(got, expect_sorted);
+            prop_assert_eq!(linear.count_in_range(&query), expect.len());
+        }
+
+        #[test]
+        fn knn_matches_exhaustive_selection(
+            raw in popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..100),
+            tx in 0.0f64..1.0,
+            ty in 0.0f64..1.0,
+            k in 1usize..12,
+        ) {
+            let points: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let tree = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
+            let linear = LinearQuadtree::from_tree(&tree).unwrap();
+            let target = Point2::new(tx, ty);
+            let got = linear.k_nearest(&target, k);
+            let mut expect: Vec<(f64, Point2)> = points
+                .iter()
+                .map(|p| (p.distance_squared(&target), *p))
+                .collect();
+            expect.sort_by(knn_cmp);
+            expect.truncate(k);
+            prop_assert_eq!(got.len(), expect.len());
+            for (g, (_, e)) in got.iter().zip(&expect) {
+                prop_assert_eq!(g.x.to_bits(), e.x.to_bits());
+                prop_assert_eq!(g.y.to_bits(), e.y.to_bits());
             }
         }
     }

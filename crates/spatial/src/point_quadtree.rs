@@ -11,7 +11,7 @@
 //! which is what this implementation exposes.
 
 use crate::pr_quadtree::TreeError;
-use popan_geom::Point2;
+use popan_geom::{Point2, Rect};
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -147,6 +147,78 @@ impl PointQuadtree {
     pub fn node_count(&self) -> usize {
         self.len
     }
+
+    /// All stored points, in preorder (root, then children by quadrant
+    /// index).
+    pub fn points(&self) -> Vec<Point2> {
+        fn walk(node: &Node, out: &mut Vec<Point2>) {
+            out.push(node.point);
+            for c in node.children.iter().flatten() {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(root) = &self.root {
+            walk(root, &mut out);
+        }
+        out
+    }
+
+    /// All stored points inside `query` (half-open on both axes, like
+    /// the PR trees), in preorder.
+    ///
+    /// Prunes subtrees by the partition each node's point induces: a
+    /// child quadrant is descended only when the query rectangle can
+    /// reach its `≥/<` half-planes.
+    pub fn range_query(&self, query: &Rect) -> Vec<Point2> {
+        fn walk(node: &Node, query: &Rect, out: &mut Vec<Point2>) {
+            if query.contains(&node.point) {
+                out.push(node.point);
+            }
+            let (px, py) = (node.point.x, node.point.y);
+            // Child q = (y ≥ py)·2 + (x ≥ px); the query touches the
+            // x < px half-plane iff its low edge is left of px, the
+            // x ≥ px half-plane iff its (exclusive) high edge passes px.
+            let x_reach = [query.x().lo() < px, query.x().hi() > px];
+            let y_reach = [query.y().lo() < py, query.y().hi() > py];
+            for (q, child) in node.children.iter().enumerate() {
+                if let Some(child) = child {
+                    if x_reach[q & 1] && y_reach[q >> 1] {
+                        walk(child, query, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            walk(root, query, &mut out);
+        }
+        out
+    }
+
+    /// Counts stored points inside `query` without materializing them.
+    pub fn count_in_range(&self, query: &Rect) -> usize {
+        fn walk(node: &Node, query: &Rect, count: &mut usize) {
+            if query.contains(&node.point) {
+                *count += 1;
+            }
+            let (px, py) = (node.point.x, node.point.y);
+            let x_reach = [query.x().lo() < px, query.x().hi() > px];
+            let y_reach = [query.y().lo() < py, query.y().hi() > py];
+            for (q, child) in node.children.iter().enumerate() {
+                if let Some(child) = child {
+                    if x_reach[q & 1] && y_reach[q >> 1] {
+                        walk(child, query, count);
+                    }
+                }
+            }
+        }
+        let mut count = 0;
+        if let Some(root) = &self.root {
+            walk(root, query, &mut count);
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +290,44 @@ mod tests {
         .unwrap();
         assert_eq!(balanced.max_depth(), Some(1));
         assert_eq!(degenerate.max_depth(), Some(4));
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let src = UniformRect::unit();
+        let mut rng = StdRng::seed_from_u64(9);
+        let points = src.sample_n(&mut rng, 400);
+        let t = PointQuadtree::build(points.iter().copied()).unwrap();
+        assert_eq!(t.points().len(), 400);
+        for query in [
+            popan_geom::Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            popan_geom::Rect::from_bounds(0.2, 0.3, 0.6, 0.9),
+            popan_geom::Rect::from_bounds(0.5, 0.5, 0.50001, 0.50001),
+        ] {
+            let expect = points.iter().filter(|p| query.contains(p)).count();
+            assert_eq!(t.range_query(&query).len(), expect, "{query}");
+            assert_eq!(t.count_in_range(&query), expect, "{query}");
+        }
+    }
+
+    #[test]
+    fn range_query_prunes_on_partition_boundaries() {
+        // A query whose edges coincide with stored partition points —
+        // the ≥/< half-plane reach tests must not lose boundary nodes.
+        let t = PointQuadtree::build([
+            pt(0.5, 0.5),
+            pt(0.25, 0.25),
+            pt(0.75, 0.75),
+            pt(0.25, 0.75),
+            pt(0.75, 0.25),
+        ])
+        .unwrap();
+        let q = popan_geom::Rect::from_bounds(0.25, 0.25, 0.75, 0.75);
+        // Half-open: (0.75, ·) and (·, 0.75) excluded, (0.25, 0.25) and
+        // (0.5, 0.5) included.
+        let got = t.range_query(&q);
+        assert_eq!(got.len(), 2);
+        assert_eq!(t.count_in_range(&q), 2);
     }
 
     #[test]

@@ -252,11 +252,18 @@ impl PrQuadtree {
 
     /// The `k` stored points nearest to `target`, nearest first (fewer
     /// when the tree holds fewer than `k` points).
+    ///
+    /// Ordering and tie-breaking follow the query tier's canonical k-NN
+    /// order ([`crate::linear_quadtree::knn_cmp`]: squared distance,
+    /// then [`Point2::canonical_cmp`]), so the result is bit-identical
+    /// to every other `Queryable` backend even on coincident piles and
+    /// equidistant rings.
     pub fn k_nearest(&self, target: &Point2, k: usize) -> Vec<Point2> {
         if k == 0 {
             return Vec::new();
         }
-        // Best list kept sorted ascending by distance; worst-first pruning.
+        // Best list kept sorted ascending by the canonical order;
+        // worst-first pruning.
         let mut best: Vec<(f64, Point2)> = Vec::with_capacity(k + 1);
         self.k_nearest_rec(ROOT, self.region(), target, k, &mut best);
         best.into_iter().map(|(_, p)| p).collect()
@@ -278,14 +285,19 @@ impl PrQuadtree {
         }
         match self.tree.view(slot) {
             SlotView::Leaf(points) => {
+                use crate::linear_quadtree::knn_cmp;
                 for p in points {
-                    let d2 = p.distance_squared(target);
-                    if best.len() < k || d2 < best.last().expect("full").0 {
-                        let pos = best.partition_point(|&(bd, _)| bd <= d2);
-                        best.insert(pos, (d2, *p));
-                        if best.len() > k {
-                            best.pop();
-                        }
+                    let cand = (p.distance_squared(target), *p);
+                    if best.len() == k
+                        && knn_cmp(&cand, &best[k - 1]) == std::cmp::Ordering::Greater
+                    {
+                        continue;
+                    }
+                    let pos =
+                        best.partition_point(|e| knn_cmp(e, &cand) != std::cmp::Ordering::Greater);
+                    best.insert(pos, cand);
+                    if best.len() > k {
+                        best.pop();
                     }
                 }
             }

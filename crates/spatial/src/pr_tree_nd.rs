@@ -114,6 +114,40 @@ impl<const D: usize> PrTreeNd<D> {
         self.tree.node_count()
     }
 
+    /// Visits every leaf: the block, its depth, and its stored points.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(&BoxN<D>, u32, &[PointN<D>])) {
+        self.tree.for_each_leaf(&mut f);
+    }
+
+    /// All stored points, in leaf-traversal order.
+    pub fn points(&self) -> Vec<PointN<D>> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_leaf(|_, _, pts| out.extend_from_slice(pts));
+        out
+    }
+
+    /// All stored points inside the axis-aligned box `[lo, hi)` on every
+    /// axis, in leaf-traversal order.
+    ///
+    /// A leaf sweep pruned by a conservative (closed-interval) block
+    /// overlap test — fine for the oracle and verification paths this
+    /// backend serves; the query tier freezes hot structures into a
+    /// `Snapshot` for serving.
+    pub fn range_query(&self, lo: &[f64; D], hi: &[f64; D]) -> Vec<PointN<D>> {
+        let mut out = Vec::new();
+        self.for_each_leaf(|block, _, pts| {
+            let disjoint = (0..D).any(|i| block.hi()[i] < lo[i] || hi[i] < block.lo()[i]);
+            if !disjoint {
+                out.extend(
+                    pts.iter()
+                        .filter(|p| (0..D).all(|i| lo[i] <= p.coords[i] && p.coords[i] < hi[i]))
+                        .copied(),
+                );
+            }
+        });
+        out
+    }
+
     /// Leaf node count, served from the maintained census: O(1).
     pub fn leaf_count(&self) -> usize {
         self.tree.census().leaf_count()
@@ -236,6 +270,20 @@ mod tests {
         t.check_invariants();
         let internal = t.node_count() - t.leaf_count();
         assert_eq!(t.leaf_count(), internal + 1);
+    }
+
+    #[test]
+    fn range_query_matches_scan_in_3d() {
+        let points = sample_points::<3>(500, 6);
+        let t = PrTreeNd::build(BoxN::unit(), 2, points.iter().copied()).unwrap();
+        assert_eq!(t.points().len(), 500);
+        let (lo, hi) = ([0.2, 0.1, 0.3], [0.7, 0.9, 0.6]);
+        let expect = points
+            .iter()
+            .filter(|p| (0..3).all(|i| lo[i] <= p.coords[i] && p.coords[i] < hi[i]))
+            .count();
+        assert_eq!(t.range_query(&lo, &hi).len(), expect);
+        assert!(t.range_query(&[2.0; 3], &[3.0; 3]).is_empty());
     }
 
     #[test]

@@ -80,6 +80,11 @@ impl BoxedPrQuadtree {
         Ok(t)
     }
 
+    /// The region covered.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
     /// Number of stored points.
     pub fn len(&self) -> usize {
         self.len

@@ -96,7 +96,7 @@ fn main() {
     );
 
     // Pointer tree vs linear quadtree: same answers, flat memory.
-    let linear = LinearQuadtree::from_tree(&qt);
+    let linear = LinearQuadtree::from_tree(&qt).expect("tour tree is within Morton depth");
     let window = Rect::from_bounds(0.3, 0.3, 0.4, 0.45);
     assert_eq!(
         linear.range_query(&window).len(),

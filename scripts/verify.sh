@@ -40,6 +40,13 @@ POPAN_THREADS=4 cargo test -q --offline --workspace
 # workspace runs above; this names them so a regression is unmissable).
 cargo test -q --offline -p popan-engine --test fault_isolation
 cargo test -q --offline -p popan-experiments --test engine_determinism
+# Query-tier concurrency suite, named explicitly at both reader counts:
+# the epoch-publish harness reads POPAN_THREADS for its reader pool, so
+# these two runs prove the merged result log is bit-identical for 1 and
+# 4 concurrent readers (plus the oracle differential + zero-alloc read
+# proofs riding in the same crate).
+POPAN_THREADS=1 cargo test -q --offline -p popan-query
+POPAN_THREADS=4 cargo test -q --offline -p popan-query
 
 # Graceful degradation: an injected panic fails one registry entry; the
 # runner must exit 1 yet still produce the other artifacts.
@@ -74,5 +81,12 @@ cargo bench -q --offline --workspace -- --smoke
   echo "verify: bench smoke did not produce BENCH_spatial.json" >&2; exit 1; }
 mkdir -p bench
 cp target/popan-bench/BENCH_spatial.json bench/BENCH_spatial.smoke.json
+# Same for the query tier: bench/BENCH_query.json is the committed
+# full-run trajectory; the .smoke archive proves BENCH_query (including
+# its pre-timing bit-identity assertion across 1/2/4 readers) still
+# runs end to end.
+[ -f target/popan-bench/BENCH_query.json ] || {
+  echo "verify: bench smoke did not produce BENCH_query.json" >&2; exit 1; }
+cp target/popan-bench/BENCH_query.json bench/BENCH_query.smoke.json
 
-echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + bench smoke (BENCH_spatial archived) all green (offline)"
+echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + bench smoke (BENCH_spatial, BENCH_query archived) all green (offline)"

@@ -10,6 +10,8 @@
 //! * [`spatial`] — PR quadtree/octree, bintree, point quadtree, PMR
 //!   quadtree, with occupancy instrumentation.
 //! * [`exthash`] — extendible hashing, the statistical baseline.
+//! * [`query`] — the snapshot-serving query tier: epoch-published,
+//!   Morton-packed read replicas behind the unified `Queryable` trait.
 //! * [`workload`] — seeded synthetic data generators.
 //! * [`engine`] — the unified experiment engine: the `Experiment` trait
 //!   and the deterministic parallel trial scheduler (`POPAN_THREADS`).
@@ -35,5 +37,6 @@ pub use popan_experiments as experiments;
 pub use popan_exthash as exthash;
 pub use popan_geom as geom;
 pub use popan_numeric as numeric;
+pub use popan_query as query;
 pub use popan_spatial as spatial;
 pub use popan_workload as workload;

@@ -39,7 +39,7 @@ fn linear_quadtree_round_trips_through_public_api() {
     let mut rng = TrialRunner::new(3, 1).rng_for_trial(0);
     let points = UniformRect::unit().sample_n(&mut rng, 400);
     let tree = PrQuadtree::build(Rect::unit(), 2, points.iter().copied()).unwrap();
-    let linear = LinearQuadtree::from_tree(&tree);
+    let linear = LinearQuadtree::from_tree(&tree).unwrap();
     linear.check_invariants();
     let window = Rect::from_bounds(0.25, 0.25, 0.8, 0.6);
     assert_eq!(
