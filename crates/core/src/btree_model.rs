@@ -18,9 +18,9 @@
 //! for extendible hashing, which is why the `exthash` experiment's
 //! measured utilization sits where it does.
 
+use crate::split::SplitSpec;
 use crate::transform::{PopulationModel, TransformMatrix};
-use crate::{ModelError, Result};
-use popan_numeric::DVector;
+use crate::Result;
 
 /// Which split discipline to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,9 +34,14 @@ pub enum SplitKind {
 }
 
 /// A population model for deterministic half splits.
+///
+/// Since the split-tree refactor this is a thin wrapper over a rank-rule
+/// [`SplitSpec`] (`b = 2`, `s₀ = 0` for the B⁺-leaf variant, `s₀ = 1`
+/// for the promoted median) whose derived rows are pinned bit-identical
+/// to the historical derivation by `tests/golden_splitspec.rs`.
 #[derive(Debug, Clone)]
 pub struct BTreeModel {
-    capacity: usize,
+    spec: SplitSpec,
     kind: SplitKind,
     transform: TransformMatrix,
 }
@@ -44,52 +49,43 @@ pub struct BTreeModel {
 impl BTreeModel {
     /// Builds the model for node capacity `m ≥ 2`.
     ///
-    /// (`m = 1` is rejected: a promoted-median split of a 1-key node
-    /// would produce empty nodes that immediately re-merge — not a
-    /// meaningful steady-state system.)
+    /// (`m = 1` is rejected with a typed
+    /// [`SplitSpecError`](crate::error::SplitSpecError): a
+    /// promoted-median split of a 1-key node would produce empty nodes
+    /// that immediately re-merge — not a meaningful steady-state
+    /// system.)
     pub fn new(capacity: usize, kind: SplitKind) -> Result<Self> {
-        if capacity < 2 {
-            return Err(ModelError::invalid(
-                "B-tree node capacity must be at least 2",
-            ));
-        }
-        let n = capacity + 1;
-        let mut rows = Vec::with_capacity(n);
-        for i in 0..capacity {
-            rows.push(DVector::basis(n, i + 1).map_err(ModelError::Numeric)?);
-        }
-        // Split row: two children with deterministic occupancies.
-        let keys_staying = match kind {
-            SplitKind::BPlusLeaf => capacity + 1,
-            SplitKind::ClassicWithPromotion => capacity,
+        let spec = match kind {
+            SplitKind::BPlusLeaf => SplitSpec::bplus_leaf(capacity)?,
+            SplitKind::ClassicWithPromotion => SplitSpec::btree_classic(capacity)?,
         };
-        let hi = keys_staying.div_ceil(2);
-        let lo = keys_staying / 2;
-        let mut split = DVector::zeros(n);
-        split[hi] += 1.0;
-        split[lo] += 1.0;
-        rows.push(split);
+        let transform = spec.transform()?;
         Ok(BTreeModel {
-            capacity,
+            spec,
             kind,
-            transform: TransformMatrix::from_rows(&rows)?,
+            transform,
         })
     }
 
     /// Node capacity `m`.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.spec.capacity()
     }
 
     /// The modeled split discipline.
     pub fn kind(&self) -> SplitKind {
         self.kind
     }
+
+    /// The underlying split-tree spec.
+    pub fn spec(&self) -> &SplitSpec {
+        &self.spec
+    }
 }
 
 impl PopulationModel for BTreeModel {
     fn classes(&self) -> usize {
-        self.capacity + 1
+        self.capacity() + 1
     }
 
     fn transform_matrix(&self) -> &TransformMatrix {
@@ -99,7 +95,8 @@ impl PopulationModel for BTreeModel {
     fn describe(&self) -> String {
         format!(
             "B-tree model: capacity {}, {:?} splits",
-            self.capacity, self.kind
+            self.capacity(),
+            self.kind
         )
     }
 }
@@ -108,6 +105,7 @@ impl PopulationModel for BTreeModel {
 mod tests {
     use super::*;
     use crate::solver::SteadyStateSolver;
+    use popan_numeric::DVector;
 
     fn utilization(capacity: usize, kind: SplitKind) -> f64 {
         let model = BTreeModel::new(capacity, kind).unwrap();
@@ -120,8 +118,18 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_capacity() {
-        assert!(BTreeModel::new(0, SplitKind::BPlusLeaf).is_err());
-        assert!(BTreeModel::new(1, SplitKind::BPlusLeaf).is_err());
+        use crate::error::SplitSpecError;
+        use crate::ModelError;
+        for cap in [0usize, 1] {
+            for kind in [SplitKind::BPlusLeaf, SplitKind::ClassicWithPromotion] {
+                match BTreeModel::new(cap, kind) {
+                    Err(ModelError::Split(SplitSpecError::CapacityTooSmall { got, min: 2 })) => {
+                        assert_eq!(got, cap)
+                    }
+                    other => panic!("capacity {cap}: expected typed rejection, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,133 @@
 use popan_numeric::NumericError;
 use std::fmt;
 
+/// A rejected split-tree parameterization.
+///
+/// Every way a [`crate::split::SplitSpec`] can be invalid gets its own
+/// variant so callers (and tests) can match on the precise failure
+/// instead of parsing a message string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitSpecError {
+    /// Branch factor `b < 2` cannot split anything.
+    BranchTooSmall {
+        /// The offending branch factor.
+        got: usize,
+    },
+    /// Node capacity `s = 0` admits no population classes.
+    ZeroCapacity,
+    /// A constructor demanded a larger minimum capacity (e.g. the
+    /// classic B-tree promotion split needs `s ≥ 2`).
+    CapacityTooSmall {
+        /// The offending capacity.
+        got: usize,
+        /// The smallest capacity the constructor accepts.
+        min: usize,
+    },
+    /// A fixed split vector must supply exactly one probability per
+    /// branch.
+    WrongProbabilityCount {
+        /// The branch factor (expected length).
+        expected: usize,
+        /// The supplied length.
+        got: usize,
+    },
+    /// A split probability was NaN or infinite.
+    NonFiniteProbability {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// A split probability was zero or negative.
+    NonPositiveProbability {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The split probabilities do not sum to 1 (within 1e-9).
+    NotNormalized {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The bucket sizes claim more items than an overflowing node has:
+    /// `s₀ + b·s₁` must leave at least one item to place
+    /// (`s₀ + b·s₁ ≤ s`).
+    BucketBudgetExceeded {
+        /// Items retained at the splitting node (`s₀`).
+        retained: usize,
+        /// Items dealt to each child up front (`s₁`).
+        per_child: usize,
+        /// Branch factor `b`.
+        branch: usize,
+        /// Node capacity `s`.
+        capacity: usize,
+    },
+    /// Rank splits partition items evenly by order; a per-child deal
+    /// (`s₁ > 0`) has no meaning there.
+    PerChildWithRankSplit {
+        /// The rejected `s₁`.
+        per_child: usize,
+    },
+    /// The recursive-resplit series diverges: the probability that all
+    /// scattered items land in one child is ≈ 1.
+    DegenerateRecursion {
+        /// The computed recursion probability.
+        probability: f64,
+    },
+}
+
+impl fmt::Display for SplitSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitSpecError::BranchTooSmall { got } => {
+                write!(f, "branch factor must be at least 2, got {got}")
+            }
+            SplitSpecError::ZeroCapacity => write!(f, "node capacity must be at least 1"),
+            SplitSpecError::CapacityTooSmall { got, min } => {
+                write!(f, "node capacity must be at least {min}, got {got}")
+            }
+            SplitSpecError::WrongProbabilityCount { expected, got } => {
+                write!(
+                    f,
+                    "need {expected} split probabilities (one per branch), got {got}"
+                )
+            }
+            SplitSpecError::NonFiniteProbability { index } => {
+                write!(f, "split probability at index {index} is not finite")
+            }
+            SplitSpecError::NonPositiveProbability { index, value } => {
+                write!(
+                    f,
+                    "split probability at index {index} must be positive, got {value}"
+                )
+            }
+            SplitSpecError::NotNormalized { sum } => {
+                write!(f, "split probabilities must sum to 1, got {sum}")
+            }
+            SplitSpecError::BucketBudgetExceeded {
+                retained,
+                per_child,
+                branch,
+                capacity,
+            } => write!(
+                f,
+                "bucket sizes s0={retained} + {branch}*s1={per_child} exceed capacity s={capacity}"
+            ),
+            SplitSpecError::PerChildWithRankSplit { per_child } => {
+                write!(
+                    f,
+                    "rank splits do not take a per-child deal, got s1={per_child}"
+                )
+            }
+            SplitSpecError::DegenerateRecursion { probability } => write!(
+                f,
+                "degenerate skew: recursion probability {probability} ≈ 1, split row diverges"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitSpecError {}
+
 /// Errors from model construction and solving.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
@@ -10,6 +137,8 @@ pub enum ModelError {
     Numeric(NumericError),
     /// A model parameter was invalid.
     InvalidModel(String),
+    /// A split-tree parameterization was rejected.
+    Split(SplitSpecError),
     /// The solver found no acceptable (positive) steady state.
     NoPositiveSolution {
         /// What the solver converged to (if anything useful).
@@ -29,6 +158,7 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::Numeric(e) => write!(f, "numeric error: {e}"),
             ModelError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            ModelError::Split(e) => write!(f, "invalid split spec: {e}"),
             ModelError::NoPositiveSolution { detail } => {
                 write!(f, "no positive steady state found: {detail}")
             }
@@ -40,6 +170,7 @@ impl std::error::Error for ModelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ModelError::Numeric(e) => Some(e),
+            ModelError::Split(e) => Some(e),
             _ => None,
         }
     }
@@ -48,6 +179,12 @@ impl std::error::Error for ModelError {
 impl From<NumericError> for ModelError {
     fn from(e: NumericError) -> Self {
         ModelError::Numeric(e)
+    }
+}
+
+impl From<SplitSpecError> for ModelError {
+    fn from(e: SplitSpecError) -> Self {
+        ModelError::Split(e)
     }
 }
 
@@ -76,5 +213,30 @@ mod tests {
         let me: ModelError = NumericError::invalid("x").into();
         assert!(me.source().is_some());
         assert!(ModelError::invalid("y").source().is_none());
+    }
+
+    #[test]
+    fn split_spec_errors_display_and_chain() {
+        use std::error::Error;
+        let e = SplitSpecError::NotNormalized { sum: 0.9 };
+        let me: ModelError = e.clone().into();
+        assert_eq!(me, ModelError::Split(e));
+        assert!(me.to_string().contains("sum to 1"));
+        assert!(me.source().is_some());
+        assert!(SplitSpecError::ZeroCapacity
+            .to_string()
+            .contains("at least 1"));
+        assert!(SplitSpecError::BranchTooSmall { got: 1 }
+            .to_string()
+            .contains("at least 2"));
+        assert!(SplitSpecError::NonPositiveProbability {
+            index: 2,
+            value: -0.5
+        }
+        .to_string()
+        .contains("index 2"));
+        assert!(SplitSpecError::DegenerateRecursion { probability: 1.0 }
+            .to_string()
+            .contains("diverges"));
     }
 }

@@ -29,6 +29,11 @@
 //! * [`pr_model`] — analytic transform matrices for PR-style trees with
 //!   any branching factor `b = 2^d` (quadtree 4, octree 8, bintree 2) and
 //!   capacity `m`, including skewed-bucket generalizations.
+//! * [`split`] — Devroye's split-tree parameterization
+//!   ([`split::SplitSpec`]): branch factor, bucket sizes and split
+//!   vector, from which every transform matrix above is *derived*
+//!   rather than hand-built, plus the renewal-theory depth and
+//!   path-length constants (Holmgren, Broutin–Holmgren).
 //! * [`pmr_model`] — Monte-Carlo *local simulation* of transform vectors
 //!   for the PMR quadtree for line segments, where no closed form is
 //!   available (the paper's companion analysis \[Nels86b\]).
@@ -60,12 +65,14 @@ pub mod phasing;
 pub mod pmr_model;
 pub mod pr_model;
 pub mod solver;
+pub mod split;
 pub mod transform;
 
 pub use distribution::ExpectedDistribution;
-pub use error::ModelError;
+pub use error::{ModelError, SplitSpecError};
 pub use pr_model::PrModel;
 pub use solver::{SolveMethod, SteadyState, SteadyStateSolver};
+pub use split::{SplitModel, SplitRule, SplitSpec, SplitVector};
 pub use transform::{PopulationModel, TransformMatrix};
 
 /// Result alias for model operations.

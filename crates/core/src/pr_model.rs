@@ -21,16 +21,22 @@
 //! skew model), where the split row becomes
 //! `P_i = Σ_j C(m+1,i) q_j^i (1−q_j)^{m+1−i}` resummed over
 //! `P_{m+1} = Σ_j q_j^{m+1}`.
+//!
+//! Since the split-tree refactor the rows are no longer hand-built here:
+//! every `PrModel` is a thin wrapper over a
+//! [`SplitSpec`](crate::split::SplitSpec) (binomial scatter, `s₀ = s₁ =
+//! 0`, fixed split vector) whose derived transform is proven
+//! bit-identical to the historical derivation by the golden suite in
+//! `tests/golden_splitspec.rs`.
 
+use crate::split::SplitSpec;
 use crate::transform::{PopulationModel, TransformMatrix};
 use crate::{ModelError, Result};
-use popan_numeric::combinatorics::binomial_f64;
-use popan_numeric::DVector;
 
 /// An analytic population model for a PR-style bucketing tree.
 #[derive(Debug, Clone)]
 pub struct PrModel {
-    capacity: usize,
+    spec: SplitSpec,
     bucket_probs: Vec<f64>,
     transform: TransformMatrix,
     uniform: bool,
@@ -54,99 +60,57 @@ impl PrModel {
 
     /// Uniform model with arbitrary branching factor `b ≥ 2`.
     pub fn with_branching(branching: usize, capacity: usize) -> Result<Self> {
-        if branching < 2 {
-            return Err(ModelError::invalid(format!(
-                "branching factor must be at least 2, got {branching}"
-            )));
-        }
-        let probs = vec![1.0 / branching as f64; branching];
-        Self::build(probs, capacity, true)
+        Self::from_spec(SplitSpec::uniform(branching, capacity)?)
     }
 
     /// Skewed model: bucket `j` receives a given item with probability
-    /// `bucket_probs[j]` (must be positive and sum to 1). The skew is
+    /// `bucket_probs[j]` (must be positive, finite, and sum to 1 —
+    /// violations are rejected with a typed
+    /// [`SplitSpecError`](crate::error::SplitSpecError)). The skew is
     /// assumed self-similar (the same `q` applies at every level), which
     /// is what makes the recursive-resplit series geometric.
     pub fn with_bucket_probs(bucket_probs: Vec<f64>, capacity: usize) -> Result<Self> {
-        if bucket_probs.len() < 2 {
-            return Err(ModelError::invalid("need at least 2 buckets"));
-        }
-        if bucket_probs
-            .iter()
-            .any(|&q| q.is_nan() || q <= 0.0 || !q.is_finite())
-        {
-            return Err(ModelError::invalid(
-                "bucket probabilities must be positive and finite",
-            ));
-        }
-        let total: f64 = bucket_probs.iter().sum();
-        if (total - 1.0).abs() > 1e-9 {
-            return Err(ModelError::invalid(format!(
-                "bucket probabilities must sum to 1, got {total}"
-            )));
-        }
+        Self::from_spec(SplitSpec::skewed(bucket_probs, capacity)?)
+    }
+
+    /// Wraps a PR-style spec (binomial scatter with the recursion
+    /// resummed, i.e. `s₀ = s₁ = 0`, fixed split vector), deriving the
+    /// transform matrix from it. Other spec shapes belong to
+    /// [`SplitModel`](crate::split::SplitModel).
+    pub fn from_spec(spec: SplitSpec) -> Result<Self> {
+        let bucket_probs = match spec.split_probs() {
+            Some(p) if spec.resums_recursion() => p.to_vec(),
+            _ => {
+                return Err(ModelError::invalid(
+                    "PrModel requires a fixed-vector scatter spec with s0 = s1 = 0",
+                ))
+            }
+        };
         let uniform = bucket_probs
             .iter()
             .all(|&q| (q - bucket_probs[0]).abs() < 1e-12);
-        Self::build(bucket_probs, capacity, uniform)
-    }
-
-    fn build(bucket_probs: Vec<f64>, capacity: usize, uniform: bool) -> Result<Self> {
-        if capacity == 0 {
-            return Err(ModelError::invalid("node capacity must be at least 1"));
-        }
-        let n = capacity + 1;
-        let mut rows: Vec<DVector> = Vec::with_capacity(n);
-        // Non-splitting rows: t_i = e_{i+1}.
-        for i in 0..capacity {
-            rows.push(DVector::basis(n, i + 1).map_err(ModelError::Numeric)?);
-        }
-        rows.push(Self::split_row(&bucket_probs, capacity)?);
-        let transform = TransformMatrix::from_rows(&rows)?;
+        let transform = spec.transform()?;
         Ok(PrModel {
-            capacity,
+            spec,
             bucket_probs,
             transform,
             uniform,
         })
     }
 
-    /// Computes the resummed split row `t_m`.
-    ///
-    /// `P_i = Σ_j C(m+1, i) q_j^i (1−q_j)^{m+1−i}` is the expected number
-    /// of buckets receiving exactly `i` of the `m+1` items;
-    /// `P_{m+1} = Σ_j q_j^{m+1}` is the probability that the split must
-    /// recurse. With self-similar skew the recursion is
-    /// `t_m = (P_0,…,P_m) + P_{m+1}·t_m`, so
-    /// `t_m = (P_0,…,P_m)/(1 − P_{m+1})`.
-    fn split_row(bucket_probs: &[f64], capacity: usize) -> Result<DVector> {
-        let items = capacity as u64 + 1;
-        let mut p = vec![0.0; capacity + 2];
-        for &q in bucket_probs {
-            for (i, slot) in p.iter_mut().enumerate() {
-                let i = i as u64;
-                *slot +=
-                    binomial_f64(items, i) * q.powi(i as i32) * (1.0 - q).powi((items - i) as i32);
-            }
-        }
-        let p_recurse = p[capacity + 1];
-        if p_recurse >= 1.0 - 1e-12 {
-            return Err(ModelError::invalid(
-                "degenerate skew: recursion probability ≈ 1, split row diverges",
-            ));
-        }
-        let scale = 1.0 / (1.0 - p_recurse);
-        Ok(p[..=capacity].iter().map(|&v| v * scale).collect())
-    }
-
     /// Node capacity `m`.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.spec.capacity()
     }
 
     /// Branching factor `b` (number of buckets).
     pub fn branching(&self) -> usize {
-        self.bucket_probs.len()
+        self.spec.branch()
+    }
+
+    /// The underlying split-tree spec.
+    pub fn spec(&self) -> &SplitSpec {
+        &self.spec
     }
 
     /// Per-bucket probabilities.
@@ -159,28 +123,29 @@ impl PrModel {
         self.uniform
     }
 
-    /// The closed-form split-row entry `T_{m,i}` for the uniform case:
-    /// `C(m+1, i)(b−1)^{m+1−i}/(b^m − 1)`. Panics if the model is skewed
-    /// (no closed form) — use `transform_matrix()` instead.
+    /// The uniform-case split-row entry `T_{m,i}`, equal to the closed
+    /// form `C(m+1, i)(b−1)^{m+1−i}/(b^m − 1)`. Since the split-tree
+    /// refactor there is exactly one derivation — this reads the
+    /// `SplitSpec`-derived matrix, and the closed form lives in a
+    /// cross-check test so the two can never drift silently. Panics if
+    /// the model is skewed (no closed form) — use `transform_matrix()`
+    /// instead.
     pub fn split_row_closed_form(&self, i: usize) -> f64 {
         assert!(self.uniform, "closed form only exists for uniform buckets");
-        assert!(i <= self.capacity, "occupancy index out of range");
-        let b = self.branching() as f64;
-        let m = self.capacity as u64;
-        binomial_f64(m + 1, i as u64) * (b - 1.0).powi((m + 1 - i as u64) as i32)
-            / (b.powi(m as i32) - 1.0)
+        assert!(i <= self.capacity(), "occupancy index out of range");
+        self.transform.row(self.capacity())[i]
     }
 
     /// Expected number of nodes produced when a full node splits:
     /// the split-row sum `(b^{m+1} − 1)/(b^m − 1)` in the uniform case.
     pub fn split_yield(&self) -> f64 {
-        self.transform.row_sums()[self.capacity]
+        self.transform.row_sums()[self.capacity()]
     }
 }
 
 impl PopulationModel for PrModel {
     fn classes(&self) -> usize {
-        self.capacity + 1
+        self.capacity() + 1
     }
 
     fn transform_matrix(&self) -> &TransformMatrix {
@@ -192,12 +157,13 @@ impl PopulationModel for PrModel {
             format!(
                 "PR model: branching {}, capacity {}",
                 self.branching(),
-                self.capacity
+                self.capacity()
             )
         } else {
             format!(
                 "skewed PR model: buckets {:?}, capacity {}",
-                self.bucket_probs, self.capacity
+                self.bucket_probs,
+                self.capacity()
             )
         }
     }
@@ -220,18 +186,30 @@ mod tests {
     }
 
     #[test]
-    fn split_row_matches_closed_form_for_all_paper_capacities() {
-        for m in 1..=8 {
-            let model = PrModel::quadtree(m).unwrap();
-            let row = model.transform_matrix().row(m);
-            for i in 0..=m {
-                let expect = model.split_row_closed_form(i);
-                assert!(
-                    (row[i] - expect).abs() < 1e-10,
-                    "m={m} i={i}: {} vs {}",
-                    row[i],
-                    expect
-                );
+    fn derived_rows_match_the_closed_form_formula() {
+        // The one split-row implementation is the SplitSpec derivation;
+        // the paper's closed form C(m+1,i)(b−1)^{m+1−i}/(b^m − 1) lives
+        // here as a cross-check so the two can never drift silently.
+        use popan_numeric::combinatorics::binomial_f64;
+        for &b in &[2usize, 4, 8, 16] {
+            for m in 1..=8 {
+                let model = PrModel::with_branching(b, m).unwrap();
+                let bf = b as f64;
+                for i in 0..=m {
+                    let formula = binomial_f64(m as u64 + 1, i as u64)
+                        * (bf - 1.0).powi((m + 1 - i) as i32)
+                        / (bf.powi(m as i32) - 1.0);
+                    let derived = model.split_row_closed_form(i);
+                    assert!(
+                        (derived - formula).abs() < 1e-10,
+                        "b={b} m={m} i={i}: {derived} vs {formula}"
+                    );
+                    // And the accessor is exactly the matrix entry.
+                    assert_eq!(
+                        derived.to_bits(),
+                        model.transform_matrix().row(m)[i].to_bits()
+                    );
+                }
             }
         }
     }
@@ -310,12 +288,55 @@ mod tests {
 
     #[test]
     fn rejects_invalid_parameters() {
-        assert!(PrModel::quadtree(0).is_err());
-        assert!(PrModel::with_branching(1, 2).is_err());
-        assert!(PrModel::with_bucket_probs(vec![1.0], 2).is_err());
-        assert!(PrModel::with_bucket_probs(vec![0.5, 0.6], 2).is_err());
-        assert!(PrModel::with_bucket_probs(vec![0.5, -0.5, 1.0], 2).is_err());
-        assert!(PrModel::with_bucket_probs(vec![0.5, f64::NAN], 2).is_err());
+        use crate::error::SplitSpecError;
+        let split_err = |r: Result<PrModel>| match r {
+            Err(ModelError::Split(e)) => e,
+            other => panic!("expected typed split error, got {other:?}"),
+        };
+        assert_eq!(
+            split_err(PrModel::quadtree(0)),
+            SplitSpecError::ZeroCapacity
+        );
+        assert_eq!(
+            split_err(PrModel::with_branching(1, 2)),
+            SplitSpecError::BranchTooSmall { got: 1 }
+        );
+        assert_eq!(
+            split_err(PrModel::with_bucket_probs(vec![1.0], 2)),
+            SplitSpecError::BranchTooSmall { got: 1 }
+        );
+        assert!(matches!(
+            split_err(PrModel::with_bucket_probs(vec![0.5, 0.6], 2)),
+            SplitSpecError::NotNormalized { sum } if (sum - 1.1).abs() < 1e-12
+        ));
+        assert_eq!(
+            split_err(PrModel::with_bucket_probs(vec![0.5, -0.5, 1.0], 2)),
+            SplitSpecError::NonPositiveProbability {
+                index: 1,
+                value: -0.5
+            }
+        );
+        assert_eq!(
+            split_err(PrModel::with_bucket_probs(vec![0.5, f64::NAN], 2)),
+            SplitSpecError::NonFiniteProbability { index: 1 }
+        );
+        assert_eq!(
+            split_err(PrModel::with_bucket_probs(vec![0.5, f64::INFINITY], 2)),
+            SplitSpecError::NonFiniteProbability { index: 1 }
+        );
+        assert_eq!(
+            split_err(PrModel::with_bucket_probs(vec![0.5, 0.0, 0.5], 2)),
+            SplitSpecError::NonPositiveProbability {
+                index: 1,
+                value: 0.0
+            }
+        );
+        // A non-PR spec shape is rejected by the wrapper, not panicked on.
+        let mary = crate::split::SplitSpec::mary_search_tree(4).unwrap();
+        assert!(matches!(
+            PrModel::from_spec(mary),
+            Err(ModelError::InvalidModel(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,718 @@
+//! Devroye's split-tree parameterization: one spec, many structures.
+//!
+//! A *split tree* (Devroye 1999) is described by a handful of numbers
+//! rather than a bespoke derivation per structure:
+//!
+//! * branch factor `b` — children created when a node splits;
+//! * node capacity `s` — items a node holds before overflowing;
+//! * bucket size `s₀` — items *retained* by the node as it becomes
+//!   internal (promoted medians, search-tree pivots); they leave the
+//!   leaf population being modeled;
+//! * bucket size `s₁` — items dealt to each child up front;
+//! * a split vector `V = (V₁,…,V_b)` — the per-child placement
+//!   probabilities for the remaining `k = s + 1 − s₀ − b·s₁` items.
+//!
+//! [`SplitSpec`] captures exactly this, and *derives* the paper's
+//! transform matrix from it instead of hand-building the rows per
+//! structure:
+//!
+//! * rows `0..s` are the absorption shifts `t_i = e_{i+1}`;
+//! * row `s` is the expected child-occupancy vector of one split,
+//!   computed from `(b, s₀, s₁, V)` and the split rule.
+//!
+//! The legacy models are thin instances:
+//!
+//! * PR quadtree / octree / bintree / `2^d`-tree: `b ∈ {4, 8, 2, 2^d}`,
+//!   `s₀ = s₁ = 0`, fixed uniform `V`, binomial scatter with the
+//!   recursive-resplit series resummed ([`PrModel`](crate::PrModel));
+//! * skewed PR models: the same with a fixed non-uniform `V`;
+//! * B⁺-tree leaves / classic B-trees: `b = 2`, rank split
+//!   (deterministic half partition), `s₀ ∈ {0, 1}`
+//!   ([`BTreeModel`](crate::btree_model::BTreeModel));
+//! * random `m`-ary search trees: `b = m`, `s = s₀ = m − 1` (the keys
+//!   become pivots), `k = 1`, and a *random* split vector — the pivots
+//!   cut the key space into `Dirichlet(1,…,1)`-distributed spacings
+//!   ([`SplitVector::DirichletUniform`]).
+//!
+//! The renewal-theory payload rides along: Holmgren's law says the
+//! depth of the `n`-th item is `~ (1/μ)·ln n` and Broutin–Holmgren give
+//! total path length `~ (1/μ)·n·ln n`, where `μ = E[Σⱼ −Vⱼ ln Vⱼ]` is
+//! the split entropy. [`SplitSpec::entropy`] computes `μ` per spec
+//! (`ln b` for uniform fixed vectors, `H_b − 1` for Dirichlet spacings),
+//! and the `split` experiment in `popan-experiments` regresses measured
+//! depths against these constants.
+
+use crate::error::SplitSpecError;
+use crate::transform::{PopulationModel, TransformMatrix};
+use crate::{ModelError, Result};
+use popan_numeric::combinatorics::binomial_f64;
+use popan_numeric::DVector;
+
+/// The distribution of the split vector `V` across realized splits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitVector {
+    /// The same fixed probability vector at every split (regular
+    /// decomposition: PR trees, self-similar skew models).
+    Deterministic(Vec<f64>),
+    /// `V ~ Dirichlet(1,…,1)`: the spacings induced by `b − 1` uniform
+    /// pivots, as in the random `m`-ary search tree.
+    DirichletUniform,
+}
+
+/// How the `k` scattered items are placed among the `b` children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitRule {
+    /// Each item lands in child `j` independently with probability
+    /// `V_j` (multinomial scatter — the PR-tree discipline).
+    Scatter,
+    /// Items are partitioned by rank as evenly as possible
+    /// (deterministic half split — the B-tree discipline). The split
+    /// vector is not consulted.
+    Rank,
+}
+
+/// A split-tree parameterization `(b, s, s₀, s₁, V, rule)`.
+///
+/// Construction validates the parameters ([`SplitSpecError`] on
+/// rejection); [`SplitSpec::transform`] then derives the population
+/// transform matrix, and [`SplitSpec::entropy`] /
+/// [`SplitSpec::depth_coefficient`] expose the renewal-theory
+/// constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitSpec {
+    branch: usize,
+    capacity: usize,
+    retained: usize,
+    per_child: usize,
+    vector: SplitVector,
+    rule: SplitRule,
+}
+
+impl SplitSpec {
+    /// Builds and validates a general spec.
+    pub fn new(
+        branch: usize,
+        capacity: usize,
+        retained: usize,
+        per_child: usize,
+        vector: SplitVector,
+        rule: SplitRule,
+    ) -> Result<Self> {
+        if branch < 2 {
+            return Err(SplitSpecError::BranchTooSmall { got: branch }.into());
+        }
+        if capacity == 0 {
+            return Err(SplitSpecError::ZeroCapacity.into());
+        }
+        if rule == SplitRule::Rank && per_child != 0 {
+            return Err(SplitSpecError::PerChildWithRankSplit { per_child }.into());
+        }
+        // At least one item must remain to place after the buckets are
+        // filled, and (when s₀ + b·s₁ > 0) no child may start above
+        // capacity: both reduce to s₀ + b·s₁ ≤ s.
+        if retained + branch * per_child > capacity {
+            return Err(SplitSpecError::BucketBudgetExceeded {
+                retained,
+                per_child,
+                branch,
+                capacity,
+            }
+            .into());
+        }
+        if let SplitVector::Deterministic(probs) = &vector {
+            if probs.len() != branch {
+                return Err(SplitSpecError::WrongProbabilityCount {
+                    expected: branch,
+                    got: probs.len(),
+                }
+                .into());
+            }
+            for (index, &q) in probs.iter().enumerate() {
+                if !q.is_finite() {
+                    return Err(SplitSpecError::NonFiniteProbability { index }.into());
+                }
+                if q <= 0.0 {
+                    return Err(SplitSpecError::NonPositiveProbability { index, value: q }.into());
+                }
+            }
+            let sum: f64 = probs.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(SplitSpecError::NotNormalized { sum }.into());
+            }
+        }
+        Ok(SplitSpec {
+            branch,
+            capacity,
+            retained,
+            per_child,
+            vector,
+            rule,
+        })
+    }
+
+    /// Uniform binomial-scatter spec: `b` equiprobable children,
+    /// `s₀ = s₁ = 0`. The PR-tree family: `b = 4` is the paper's
+    /// quadtree, `8` the octree, `2` the bintree, `2^d` the d-dim
+    /// generalization.
+    pub fn uniform(branch: usize, capacity: usize) -> Result<Self> {
+        if branch < 2 {
+            return Err(SplitSpecError::BranchTooSmall { got: branch }.into());
+        }
+        let probs = vec![1.0 / branch as f64; branch];
+        Self::new(
+            branch,
+            capacity,
+            0,
+            0,
+            SplitVector::Deterministic(probs),
+            SplitRule::Scatter,
+        )
+    }
+
+    /// Skewed binomial-scatter spec: child `j` receives each item with
+    /// fixed probability `probs[j]` (self-similar skew).
+    pub fn skewed(probs: Vec<f64>, capacity: usize) -> Result<Self> {
+        let branch = probs.len();
+        if branch < 2 {
+            return Err(SplitSpecError::BranchTooSmall { got: branch }.into());
+        }
+        Self::new(
+            branch,
+            capacity,
+            0,
+            0,
+            SplitVector::Deterministic(probs),
+            SplitRule::Scatter,
+        )
+    }
+
+    /// B⁺-tree leaf spec: rank split, all `s + 1` keys stay in the
+    /// level (`s₀ = 0`), split `⌈(s+1)/2⌉ / ⌊(s+1)/2⌋`.
+    pub fn bplus_leaf(capacity: usize) -> Result<Self> {
+        if capacity < 2 {
+            return Err(SplitSpecError::CapacityTooSmall {
+                got: capacity,
+                min: 2,
+            }
+            .into());
+        }
+        Self::new(2, capacity, 0, 0, Self::even_pair(), SplitRule::Rank)
+    }
+
+    /// Classic B-tree spec: rank split with the median promoted out of
+    /// the level (`s₀ = 1`), leaving `⌈s/2⌉ / ⌊s/2⌋`.
+    pub fn btree_classic(capacity: usize) -> Result<Self> {
+        if capacity < 2 {
+            return Err(SplitSpecError::CapacityTooSmall {
+                got: capacity,
+                min: 2,
+            }
+            .into());
+        }
+        Self::new(2, capacity, 1, 0, Self::even_pair(), SplitRule::Rank)
+    }
+
+    /// Random `m`-ary search tree spec: a node buffers up to `b − 1`
+    /// keys; the `b`-th arrival turns them into pivots (`s₀ = s = b−1`)
+    /// whose spacings are `Dirichlet(1,…,1)`, and the one remaining key
+    /// scatters. `b = 2` is the classic binary search tree.
+    pub fn mary_search_tree(branch: usize) -> Result<Self> {
+        if branch < 2 {
+            return Err(SplitSpecError::BranchTooSmall { got: branch }.into());
+        }
+        Self::new(
+            branch,
+            branch - 1,
+            branch - 1,
+            0,
+            SplitVector::DirichletUniform,
+            SplitRule::Scatter,
+        )
+    }
+
+    /// The even rank partition's nominal split vector (used only by the
+    /// theory accessors; rank placement itself is deterministic).
+    fn even_pair() -> SplitVector {
+        SplitVector::Deterministic(vec![0.5, 0.5])
+    }
+
+    /// Branch factor `b`.
+    pub fn branch(&self) -> usize {
+        self.branch
+    }
+
+    /// Node capacity `s`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bucket size `s₀`: items retained at the splitting node.
+    pub fn retained(&self) -> usize {
+        self.retained
+    }
+
+    /// Bucket size `s₁`: items dealt to each child up front.
+    pub fn per_child(&self) -> usize {
+        self.per_child
+    }
+
+    /// The split-vector distribution.
+    pub fn vector(&self) -> &SplitVector {
+        &self.vector
+    }
+
+    /// The fixed split probabilities, when the vector is deterministic.
+    pub fn split_probs(&self) -> Option<&[f64]> {
+        match &self.vector {
+            SplitVector::Deterministic(p) => Some(p),
+            SplitVector::DirichletUniform => None,
+        }
+    }
+
+    /// The placement rule.
+    pub fn rule(&self) -> SplitRule {
+        self.rule
+    }
+
+    /// Number of items placed by the split rule:
+    /// `k = s + 1 − s₀ − b·s₁`.
+    pub fn scatter_count(&self) -> usize {
+        self.capacity + 1 - self.retained - self.branch * self.per_child
+    }
+
+    /// `true` when a scattered split can overflow a child (all `s + 1`
+    /// items in one bucket) and the model resums that geometric
+    /// recursion — exactly the `s₀ = s₁ = 0` scatter case.
+    pub fn resums_recursion(&self) -> bool {
+        self.rule == SplitRule::Scatter && self.retained == 0 && self.per_child == 0
+    }
+
+    /// The split entropy `μ = E[Σⱼ −Vⱼ ln Vⱼ]`:
+    ///
+    /// * fixed vector `q`: `μ = Σⱼ −qⱼ ln qⱼ` (`ln b` when uniform);
+    /// * Dirichlet spacings: `μ = H_b − 1` (harmonic number), so `b = 2`
+    ///   recovers the BST constant `1/μ = 2`.
+    pub fn entropy(&self) -> f64 {
+        match &self.vector {
+            SplitVector::Deterministic(probs) => probs.iter().map(|&q| -q * q.ln()).sum(),
+            SplitVector::DirichletUniform => (2..=self.branch).map(|j| 1.0 / j as f64).sum(),
+        }
+    }
+
+    /// Holmgren's depth constant `c = 1/μ`: the depth of the `n`-th
+    /// inserted item grows as `c·ln n`.
+    pub fn depth_coefficient(&self) -> f64 {
+        1.0 / self.entropy()
+    }
+
+    /// Broutin–Holmgren's total-path-length constant: `Υ_n ~ c·n·ln n`
+    /// with the same `c = 1/μ`.
+    pub fn path_length_coefficient(&self) -> f64 {
+        1.0 / self.entropy()
+    }
+
+    /// Computes the expected child-occupancy row of one split — the
+    /// transform matrix's last row `t_s`.
+    ///
+    /// Scatter rule: `P_i = Σⱼ C(k,i)·E[Vⱼ^i (1−Vⱼ)^{k−i}]` is the
+    /// expected number of children receiving exactly `i` of the `k`
+    /// scattered items (each child's final occupancy is `s₁ + i`). In
+    /// the `s₀ = s₁ = 0` case the split must recurse when all `k = s+1`
+    /// items land in one child; self-similarity makes that series
+    /// geometric, so `t_s = (P_0,…,P_s)/(1 − P_{s+1})`.
+    ///
+    /// Rank rule: `k` items partition into `b` runs of `⌈k/b⌉`/`⌊k/b⌋`,
+    /// a row with at most two nonzero entries.
+    pub fn split_row(&self) -> Result<DVector> {
+        let n = self.capacity + 1;
+        match self.rule {
+            SplitRule::Rank => {
+                let keys = self.capacity + 1 - self.retained;
+                let base = keys / self.branch;
+                let rem = keys % self.branch;
+                let mut row = DVector::zeros(n);
+                for c in 0..self.branch {
+                    let size = base + usize::from(c < rem);
+                    row[size] += 1.0;
+                }
+                Ok(row)
+            }
+            SplitRule::Scatter => {
+                let k = self.scatter_count();
+                let items = k as u64;
+                let mut p = vec![0.0; k + 1];
+                match &self.vector {
+                    SplitVector::Deterministic(probs) => {
+                        for &q in probs {
+                            for (i, slot) in p.iter_mut().enumerate() {
+                                let i = i as u64;
+                                *slot += binomial_f64(items, i)
+                                    * q.powi(i as i32)
+                                    * (1.0 - q).powi((items - i) as i32);
+                            }
+                        }
+                    }
+                    SplitVector::DirichletUniform => {
+                        // P_i = b·C(k,i)·E[V^i(1−V)^{k−i}], V ~ Beta(1, b−1):
+                        // P_i = b(b−1) · Π_{j<i}(k−j) / Π_{j≤i}(k+b−1−j),
+                        // computed as a running product (no factorials to
+                        // overflow). Checks: k = 1 gives P_0 = b−1, P_1 = 1.
+                        let bf = self.branch as f64;
+                        for (i, slot) in p.iter_mut().enumerate() {
+                            let mut v = bf * (bf - 1.0);
+                            for j in 0..i {
+                                v *= (k - j) as f64;
+                            }
+                            for j in 0..=i {
+                                v /= (k + self.branch - 1 - j) as f64;
+                            }
+                            *slot = v;
+                        }
+                    }
+                }
+                if self.resums_recursion() {
+                    let p_recurse = p[k];
+                    if p_recurse >= 1.0 - 1e-12 {
+                        return Err(SplitSpecError::DegenerateRecursion {
+                            probability: p_recurse,
+                        }
+                        .into());
+                    }
+                    let scale = 1.0 / (1.0 - p_recurse);
+                    Ok(p[..k].iter().map(|&v| v * scale).collect())
+                } else {
+                    let mut row = DVector::zeros(n);
+                    for (i, &v) in p.iter().enumerate() {
+                        row[self.per_child + i] = v;
+                    }
+                    Ok(row)
+                }
+            }
+        }
+    }
+
+    /// Derives the full transform matrix: absorption shifts
+    /// `t_i = e_{i+1}` for `i < s`, then [`SplitSpec::split_row`].
+    pub fn transform(&self) -> Result<TransformMatrix> {
+        let n = self.capacity + 1;
+        let mut rows: Vec<DVector> = Vec::with_capacity(n);
+        for i in 0..self.capacity {
+            rows.push(DVector::basis(n, i + 1).map_err(ModelError::Numeric)?);
+        }
+        rows.push(self.split_row()?);
+        TransformMatrix::from_rows(&rows)
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        let vector = match &self.vector {
+            SplitVector::Deterministic(p) => {
+                let uniform = p.iter().all(|&q| (q - p[0]).abs() < 1e-12);
+                if uniform {
+                    "uniform".to_string()
+                } else {
+                    format!("{p:?}")
+                }
+            }
+            SplitVector::DirichletUniform => "Dirichlet(1,…,1)".to_string(),
+        };
+        format!(
+            "split spec: b={} s={} s0={} s1={} V={vector} {:?}",
+            self.branch, self.capacity, self.retained, self.per_child, self.rule
+        )
+    }
+}
+
+/// A [`PopulationModel`] derived from a [`SplitSpec`].
+///
+/// The generic vehicle for split-tree population analysis; the legacy
+/// [`PrModel`](crate::PrModel) and
+/// [`BTreeModel`](crate::btree_model::BTreeModel) wrap the same
+/// derivation behind their historical constructors.
+#[derive(Debug, Clone)]
+pub struct SplitModel {
+    spec: SplitSpec,
+    transform: TransformMatrix,
+}
+
+impl SplitModel {
+    /// Derives the transform matrix for `spec`.
+    pub fn new(spec: SplitSpec) -> Result<Self> {
+        let transform = spec.transform()?;
+        Ok(SplitModel { spec, transform })
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &SplitSpec {
+        &self.spec
+    }
+}
+
+impl PopulationModel for SplitModel {
+    fn classes(&self) -> usize {
+        self.spec.capacity() + 1
+    }
+
+    fn transform_matrix(&self) -> &TransformMatrix {
+        &self.transform
+    }
+
+    fn describe(&self) -> String {
+        self.spec.describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SplitSpecError;
+
+    #[test]
+    fn rejects_each_invalid_parameter_with_typed_error() {
+        let err = |r: Result<SplitSpec>| match r {
+            Err(ModelError::Split(e)) => e,
+            other => panic!("expected Split error, got {other:?}"),
+        };
+        assert_eq!(
+            err(SplitSpec::uniform(1, 4)),
+            SplitSpecError::BranchTooSmall { got: 1 }
+        );
+        assert_eq!(err(SplitSpec::uniform(4, 0)), SplitSpecError::ZeroCapacity);
+        assert_eq!(
+            err(SplitSpec::new(
+                2,
+                4,
+                0,
+                1,
+                SplitSpec::even_pair(),
+                SplitRule::Rank
+            )),
+            SplitSpecError::PerChildWithRankSplit { per_child: 1 }
+        );
+        assert_eq!(
+            err(SplitSpec::new(
+                2,
+                4,
+                3,
+                1,
+                SplitSpec::even_pair(),
+                SplitRule::Scatter
+            )),
+            SplitSpecError::BucketBudgetExceeded {
+                retained: 3,
+                per_child: 1,
+                branch: 2,
+                capacity: 4
+            }
+        );
+        assert_eq!(
+            err(
+                SplitSpec::skewed(vec![0.5, 0.25, 0.25], 2).and_then(|_| SplitSpec::new(
+                    2,
+                    2,
+                    0,
+                    0,
+                    SplitVector::Deterministic(vec![0.5, 0.25, 0.25]),
+                    SplitRule::Scatter
+                ))
+            ),
+            SplitSpecError::WrongProbabilityCount {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(
+            err(SplitSpec::skewed(vec![0.5, f64::NAN], 2)),
+            SplitSpecError::NonFiniteProbability { index: 1 }
+        );
+        assert_eq!(
+            err(SplitSpec::skewed(vec![0.5, f64::INFINITY], 2)),
+            SplitSpecError::NonFiniteProbability { index: 1 }
+        );
+        assert_eq!(
+            err(SplitSpec::skewed(vec![1.5, -0.5], 2)),
+            SplitSpecError::NonPositiveProbability {
+                index: 1,
+                value: -0.5
+            }
+        );
+        assert!(matches!(
+            err(SplitSpec::skewed(vec![0.5, 0.6], 2)),
+            SplitSpecError::NotNormalized { sum } if (sum - 1.1).abs() < 1e-12
+        ));
+        assert_eq!(
+            err(SplitSpec::bplus_leaf(1)),
+            SplitSpecError::CapacityTooSmall { got: 1, min: 2 }
+        );
+        assert_eq!(
+            err(SplitSpec::btree_classic(0)),
+            SplitSpecError::CapacityTooSmall { got: 0, min: 2 }
+        );
+        assert_eq!(
+            err(SplitSpec::mary_search_tree(1)),
+            SplitSpecError::BranchTooSmall { got: 1 }
+        );
+    }
+
+    #[test]
+    fn uniform_split_row_matches_paper_worked_example() {
+        // §III worked example (quadtree, m = 1): t_1 = (3, 2).
+        let spec = SplitSpec::uniform(4, 1).unwrap();
+        let row = spec.split_row().unwrap();
+        assert!((row[0] - 3.0).abs() < 1e-12);
+        assert!((row[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mary_search_tree_row_is_b_minus_one_empties_plus_one_singleton() {
+        for b in 2..=16 {
+            let spec = SplitSpec::mary_search_tree(b).unwrap();
+            assert_eq!(spec.capacity(), b - 1);
+            assert_eq!(spec.retained(), b - 1);
+            assert_eq!(spec.scatter_count(), 1);
+            assert!(!spec.resums_recursion());
+            let row = spec.split_row().unwrap();
+            assert!(
+                (row[0] - (b as f64 - 1.0)).abs() < 1e-12,
+                "b={b}: {} empties",
+                row[0]
+            );
+            assert!((row[1] - 1.0).abs() < 1e-12, "b={b}: {} singletons", row[1]);
+            for i in 2..b {
+                assert_eq!(row[i], 0.0, "b={b} occupancy {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_scatter_distribution_sums_to_branch_and_conserves_items() {
+        // A hypothetical Dirichlet-split bucketing node: b=3 children,
+        // s=5, s0=2 pivots retained, k=4 items scatter.
+        let spec = SplitSpec::new(
+            3,
+            5,
+            2,
+            0,
+            SplitVector::DirichletUniform,
+            SplitRule::Scatter,
+        )
+        .unwrap();
+        let row = spec.split_row().unwrap();
+        let children: f64 = row.iter().sum();
+        assert!((children - 3.0).abs() < 1e-12, "children {children}");
+        let items: f64 = row.iter().enumerate().map(|(i, &v)| i as f64 * v).sum();
+        assert!((items - 4.0).abs() < 1e-12, "items {items}");
+    }
+
+    #[test]
+    fn per_child_deal_shifts_the_scatter() {
+        // b=2, s=5, s0=1, s1=1: k = 5+1−1−2 = 3 items scatter on top of
+        // the one dealt to each child.
+        let spec = SplitSpec::new(
+            2,
+            5,
+            1,
+            1,
+            SplitVector::Deterministic(vec![0.5, 0.5]),
+            SplitRule::Scatter,
+        )
+        .unwrap();
+        assert_eq!(spec.scatter_count(), 3);
+        let row = spec.split_row().unwrap();
+        assert_eq!(row[0], 0.0, "no child can end empty");
+        let children: f64 = row.iter().sum();
+        assert!((children - 2.0).abs() < 1e-12);
+        let items: f64 = row.iter().enumerate().map(|(i, &v)| i as f64 * v).sum();
+        assert!((items - 5.0).abs() < 1e-12, "s1 deal + scatter = 5 placed");
+    }
+
+    #[test]
+    fn rank_rows_reproduce_btree_splits() {
+        // 6 keys, b=2: 3/3.
+        let row = SplitSpec::bplus_leaf(5).unwrap().split_row().unwrap();
+        assert_eq!(row[3], 2.0);
+        // 5 keys: 3/2.
+        let row = SplitSpec::bplus_leaf(4).unwrap().split_row().unwrap();
+        assert_eq!(row[3], 1.0);
+        assert_eq!(row[2], 1.0);
+        // Classic, median promoted: 4 keys split 2/2.
+        let row = SplitSpec::btree_classic(4).unwrap().split_row().unwrap();
+        assert_eq!(row[2], 2.0);
+    }
+
+    #[test]
+    fn entropy_constants_match_theory() {
+        // Uniform fixed vector: μ = ln b.
+        for b in [2usize, 4, 8, 16] {
+            let spec = SplitSpec::uniform(b, 4).unwrap();
+            assert!((spec.entropy() - (b as f64).ln()).abs() < 1e-12, "b={b}");
+            assert!((spec.depth_coefficient() - 1.0 / (b as f64).ln()).abs() < 1e-12);
+        }
+        // Dirichlet spacings: μ = H_b − 1; b = 2 is the BST's 2·ln n.
+        let bst = SplitSpec::mary_search_tree(2).unwrap();
+        assert!((bst.entropy() - 0.5).abs() < 1e-12);
+        assert!((bst.depth_coefficient() - 2.0).abs() < 1e-12);
+        let b3 = SplitSpec::mary_search_tree(3).unwrap();
+        assert!((b3.entropy() - (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        // Path-length constant is the same c (Broutin–Holmgren).
+        assert_eq!(b3.depth_coefficient(), b3.path_length_coefficient());
+        // Skew lowers entropy below ln b → deeper trees.
+        let skew = SplitSpec::skewed(vec![0.7, 0.1, 0.1, 0.1], 4).unwrap();
+        assert!(skew.entropy() < 4.0f64.ln());
+    }
+
+    #[test]
+    fn degenerate_skew_is_rejected_at_derivation() {
+        // Probabilities this extreme make the recursion probability ≈ 1.
+        let probs = vec![1.0 - 1e-15, 1e-15 / 3.0, 1e-15 / 3.0, 1e-15 / 3.0];
+        let spec = SplitSpec::skewed(probs, 2).unwrap();
+        match spec.split_row() {
+            Err(ModelError::Split(SplitSpecError::DegenerateRecursion { probability })) => {
+                assert!(probability >= 1.0 - 1e-12)
+            }
+            other => panic!("expected DegenerateRecursion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_model_implements_population_model() {
+        let model = SplitModel::new(SplitSpec::mary_search_tree(4).unwrap()).unwrap();
+        assert_eq!(model.classes(), 4);
+        assert_eq!(model.spec().branch(), 4);
+        assert!(model.describe().contains("Dirichlet"));
+        // Rows 0..s are shifts; row s is the split row.
+        let t = model.transform_matrix();
+        for i in 0..3 {
+            for j in 0..4 {
+                let expect = if j == i + 1 { 1.0 } else { 0.0 };
+                assert_eq!(t.row(i)[j], expect, "row {i} col {j}");
+            }
+        }
+        assert!((t.row(3)[0] - 3.0).abs() < 1e-12);
+        assert!((t.row(3)[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        let spec = SplitSpec::uniform(4, 8).unwrap();
+        let d = spec.describe();
+        assert!(d.contains("b=4") && d.contains("s=8") && d.contains("uniform"));
+        let skew = SplitSpec::skewed(vec![0.75, 0.25], 3).unwrap();
+        assert!(skew.describe().contains("0.75"));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let spec = SplitSpec::btree_classic(8).unwrap();
+        assert_eq!(spec.branch(), 2);
+        assert_eq!(spec.capacity(), 8);
+        assert_eq!(spec.retained(), 1);
+        assert_eq!(spec.per_child(), 0);
+        assert_eq!(spec.rule(), SplitRule::Rank);
+        assert!(matches!(spec.vector(), SplitVector::Deterministic(_)));
+        assert!(!spec.resums_recursion());
+        let pr = SplitSpec::uniform(4, 2).unwrap();
+        assert!(pr.resums_recursion());
+        assert_eq!(pr.scatter_count(), 3);
+    }
+}

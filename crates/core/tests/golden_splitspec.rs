@@ -1,0 +1,238 @@
+//! Golden equivalence: SplitSpec-derived rows vs the frozen hand-built
+//! derivations they replaced.
+//!
+//! The split-tree refactor rewired `PrModel` and `BTreeModel` to derive
+//! their transform matrices from a [`SplitSpec`] instead of hand-building
+//! the rows. The refactor's contract is *bit identity*: every derived
+//! row must equal the historical derivation down to the last ulp, so no
+//! solved distribution, experiment table, or archived artifact moves.
+//!
+//! This suite freezes the pre-refactor code verbatim
+//! ([`frozen::scatter_split_row`], [`frozen::btree_split_row`] — copied
+//! from the last hand-built `pr_model.rs`/`btree_model.rs`) and compares
+//! against the live derivation with `f64::to_bits` equality across the
+//! full family: uniform b ∈ {2, 4, 8, 16} with m up to 32, skewed
+//! vectors, both B-tree disciplines. A second layer cross-checks the
+//! uniform rows against the paper's closed form evaluated in *exact*
+//! `u128` rational arithmetic, independent of everything the float path
+//! shares with the frozen code.
+
+use popan_core::btree_model::{BTreeModel, SplitKind};
+use popan_core::{PopulationModel, PrModel, SplitSpec};
+
+/// The pre-refactor derivations, copied verbatim (modulo error plumbing)
+/// from the hand-built models. Do not "fix" or modernize this code: its
+/// only job is to stay exactly what shipped before the refactor.
+mod frozen {
+    use popan_numeric::combinatorics::binomial_f64;
+    use popan_numeric::DVector;
+
+    /// `PrModel::split_row` as hand-built before the refactor.
+    pub fn scatter_split_row(bucket_probs: &[f64], capacity: usize) -> DVector {
+        let items = capacity as u64 + 1;
+        let mut p = vec![0.0; capacity + 2];
+        for &q in bucket_probs {
+            for (i, slot) in p.iter_mut().enumerate() {
+                let i = i as u64;
+                *slot +=
+                    binomial_f64(items, i) * q.powi(i as i32) * (1.0 - q).powi((items - i) as i32);
+            }
+        }
+        let p_recurse = p[capacity + 1];
+        assert!(p_recurse < 1.0 - 1e-12, "frozen oracle: degenerate skew");
+        let scale = 1.0 / (1.0 - p_recurse);
+        p[..=capacity].iter().map(|&v| v * scale).collect()
+    }
+
+    /// The B-tree split row as hand-built before the refactor
+    /// (`keys_staying` = m + 1 for the B⁺ leaf, m with promotion).
+    pub fn btree_split_row(capacity: usize, keys_staying: usize) -> DVector {
+        let n = capacity + 1;
+        let hi = keys_staying.div_ceil(2);
+        let lo = keys_staying / 2;
+        let mut split = DVector::zeros(n);
+        split[hi] += 1.0;
+        split[lo] += 1.0;
+        split
+    }
+}
+
+fn assert_rows_bit_identical(derived: &[f64], golden: &[f64], context: &str) {
+    assert_eq!(derived.len(), golden.len(), "{context}: row length");
+    for (i, (&d, &g)) in derived.iter().zip(golden.iter()).enumerate() {
+        assert_eq!(
+            d.to_bits(),
+            g.to_bits(),
+            "{context}: entry {i} differs ({d:e} vs {g:e})"
+        );
+    }
+}
+
+#[test]
+fn uniform_split_rows_are_bit_identical_for_all_branch_factors() {
+    for b in [2usize, 4, 8, 16] {
+        let probs = vec![1.0 / b as f64; b];
+        for m in 1..=32 {
+            let golden = frozen::scatter_split_row(&probs, m);
+            let spec_row = SplitSpec::uniform(b, m)
+                .and_then(|s| s.split_row())
+                .expect("uniform spec derives");
+            assert_rows_bit_identical(
+                spec_row.as_slice(),
+                golden.as_slice(),
+                &format!("SplitSpec::uniform b={b} m={m}"),
+            );
+            let model = PrModel::with_branching(b, m).expect("model builds");
+            assert_rows_bit_identical(
+                model.transform_matrix().row(m).as_slice(),
+                golden.as_slice(),
+                &format!("PrModel::with_branching b={b} m={m}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn named_constructors_match_the_frozen_rows() {
+    for (name, model, b) in [
+        ("quadtree", PrModel::quadtree(8).unwrap(), 4usize),
+        ("octree", PrModel::octree(8).unwrap(), 8),
+        ("bintree", PrModel::bintree(8).unwrap(), 2),
+    ] {
+        let golden = frozen::scatter_split_row(&vec![1.0 / b as f64; b], 8);
+        assert_rows_bit_identical(
+            model.transform_matrix().row(8).as_slice(),
+            golden.as_slice(),
+            name,
+        );
+    }
+}
+
+#[test]
+fn skewed_split_rows_are_bit_identical() {
+    let vectors: [&[f64]; 4] = [
+        &[0.7, 0.3],
+        &[0.55, 0.15, 0.15, 0.15],
+        &[0.4, 0.3, 0.2, 0.1],
+        &[0.3, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1],
+    ];
+    for probs in vectors {
+        for m in 1..=16 {
+            let golden = frozen::scatter_split_row(probs, m);
+            let model = PrModel::with_bucket_probs(probs.to_vec(), m).expect("skewed model");
+            assert_rows_bit_identical(
+                model.transform_matrix().row(m).as_slice(),
+                golden.as_slice(),
+                &format!("skewed {probs:?} m={m}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_transform_matrices_are_bit_identical_not_just_split_rows() {
+    // The absorption rows t_i = e_{i+1} are derived too; pin the entire
+    // matrix for a representative of each family.
+    for (b, m) in [(2usize, 5usize), (4, 8), (8, 3), (16, 4)] {
+        let probs = vec![1.0 / b as f64; b];
+        let model = PrModel::with_branching(b, m).expect("model builds");
+        for i in 0..m {
+            let row = model.transform_matrix().row(i);
+            for (j, &v) in row.as_slice().iter().enumerate() {
+                let expected: f64 = if j == i + 1 { 1.0 } else { 0.0 };
+                assert_eq!(
+                    v.to_bits(),
+                    expected.to_bits(),
+                    "b={b} m={m}: absorption row {i} entry {j}"
+                );
+            }
+        }
+        assert_rows_bit_identical(
+            model.transform_matrix().row(m).as_slice(),
+            frozen::scatter_split_row(&probs, m).as_slice(),
+            &format!("b={b} m={m} split row"),
+        );
+    }
+}
+
+#[test]
+fn btree_rows_are_bit_identical_for_both_disciplines() {
+    for m in 2..=32 {
+        for (kind, keys_staying) in [
+            (SplitKind::BPlusLeaf, m + 1),
+            (SplitKind::ClassicWithPromotion, m),
+        ] {
+            let golden = frozen::btree_split_row(m, keys_staying);
+            let model = BTreeModel::new(m, kind).expect("model builds");
+            assert_rows_bit_identical(
+                model.transform_matrix().row(m).as_slice(),
+                golden.as_slice(),
+                &format!("B-tree m={m} {kind:?}"),
+            );
+        }
+    }
+}
+
+/// Exact binomial coefficient in `u128` (every intermediate product is
+/// exact; the division at each step is exact by construction).
+fn binomial_u128(n: u128, k: u128) -> u128 {
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 1..=k {
+        c = c * (n - k + i) / i;
+    }
+    c
+}
+
+#[test]
+fn uniform_rows_match_the_exact_u128_closed_form() {
+    // Independent of the float path entirely: the paper's closed form
+    //   T_{m,i} = C(m+1, i) · (b−1)^{m+1−i} / (b^m − 1)
+    // evaluated in exact integer arithmetic. The m caps keep the largest
+    // numerator, C(m+1,i)·(b−1)^{m+1−i}, inside u128.
+    for (b, m_max) in [(2u128, 32usize), (4, 32), (8, 32), (16, 28), (32, 24)] {
+        for m in 1..=m_max {
+            let spec = SplitSpec::uniform(b as usize, m).expect("valid spec");
+            let row = spec.split_row().expect("row derives");
+            let den = b.pow(m as u32) - 1;
+            let mut num_sum: u128 = 0;
+            for i in 0..=m {
+                let num = binomial_u128(m as u128 + 1, i as u128) * (b - 1).pow((m + 1 - i) as u32);
+                num_sum += num;
+                let exact = num as f64 / den as f64;
+                let rel = (row[i] - exact).abs() / exact;
+                assert!(
+                    rel < 1e-12,
+                    "b={b} m={m} i={i}: derived {} vs exact {num}/{den} (rel {rel:e})",
+                    row[i]
+                );
+            }
+            // Row sum: Σ_i T_{m,i} = (b^{m+1} − 1)/(b^m − 1), the
+            // expected node yield of one split.
+            assert_eq!(num_sum, b.pow(m as u32 + 1) - 1, "b={b} m={m}: yield sum");
+            let yield_exact = num_sum as f64 / den as f64;
+            let yield_derived: f64 = row.as_slice().iter().sum();
+            assert!(
+                (yield_derived - yield_exact).abs() / yield_exact < 1e-12,
+                "b={b} m={m}: split yield {yield_derived} vs {yield_exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn closed_form_accessor_agrees_with_the_derived_matrix_bitwise() {
+    // Satellite: `split_row_closed_form` is no longer a second
+    // implementation — it reads the derived matrix, so agreement is
+    // exact by construction. Pin that.
+    for (b, m) in [(2usize, 6usize), (4, 8), (8, 10), (16, 12)] {
+        let model = PrModel::with_branching(b, m).expect("model builds");
+        for i in 0..=m {
+            assert_eq!(
+                model.split_row_closed_form(i).to_bits(),
+                model.transform_matrix().row(m)[i].to_bits(),
+                "b={b} m={m} i={i}"
+            );
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`skew`] | skew-aware model vs multiplicative-cascade data |
 //! | [`churn`] | does insert/delete churn shift the steady state? (no) |
 //! | [`phasing_sweep`] | oscillation amplitude vs node capacity |
+//! | [`split_exp`] | do measured depth/path-length slopes match the split-tree constants 1/μ? |
 //! | [`ablation`] | solver ablation: fixed-point vs Newton, contraction rates |
 //!
 //! Run everything with `cargo run -p popan-experiments --release --bin
@@ -50,6 +51,7 @@ pub mod query_exp;
 pub mod registry;
 pub mod report;
 pub mod skew;
+pub mod split_exp;
 pub mod table1;
 pub mod table2;
 pub mod table3;

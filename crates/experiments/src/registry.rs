@@ -12,7 +12,7 @@ use crate::report::TableData;
 use crate::table45::Workload;
 use crate::{
     ablation, aging_exp, churn, dims, excell_exp, exthash_exp, figures, phasing_sweep, pmr_exp,
-    query_exp, skew, table1, table2, table3, table45,
+    query_exp, skew, split_exp, table1, table2, table3, table45,
 };
 
 /// The output of one registered experiment.
@@ -178,6 +178,11 @@ pub const ALL: &[RegisteredExperiment] = &[
         title: "Extension — phasing amplitude vs node capacity",
         run: |c| Artifact::Table(phasing_sweep::table(c)),
     },
+    RegisteredExperiment {
+        id: "split",
+        title: "Extension — split-tree renewal theory: depth and path-length laws",
+        run: |c| Artifact::Table(split_exp::table(c)),
+    },
 ];
 
 /// Looks up an experiment by id.
@@ -212,8 +217,8 @@ mod tests {
 
     #[test]
     fn registry_covers_paper_and_extensions() {
-        // 5 tables + 3 figures from the paper, 10 extension artifacts.
-        assert_eq!(ALL.len(), 18);
+        // 5 tables + 3 figures from the paper, 11 extension artifacts.
+        assert_eq!(ALL.len(), 19);
         for e in ALL {
             assert!(!e.title.is_empty(), "{} needs a title", e.id);
         }

@@ -13,6 +13,7 @@ use popan_experiments::excell_exp::ExcellExperiment;
 use popan_experiments::exthash_exp::ExthashPointExperiment;
 use popan_experiments::pmr_exp::PmrExperiment;
 use popan_experiments::skew::SkewExperiment;
+use popan_experiments::split_exp::{SplitPointExperiment, SplitStructure};
 use popan_experiments::table1::Table1Experiment;
 use popan_experiments::table3::Table3Experiment;
 use popan_experiments::table45::{SizePointExperiment, Workload};
@@ -98,6 +99,21 @@ fn exthash_is_parallel_deterministic() {
 fn excell_is_parallel_deterministic() {
     for workload in ["uniform", "clustered"] {
         assert_parallel_matches_sequential(&ExcellExperiment::new(cfg(5, 600), workload, 1500));
+    }
+}
+
+#[test]
+fn split_is_parallel_deterministic() {
+    for structure in [
+        SplitStructure::Bintree,
+        SplitStructure::Octree,
+        SplitStructure::Mary(3),
+    ] {
+        assert_parallel_matches_sequential(&SplitPointExperiment::new(
+            cfg(5, 600),
+            structure,
+            1200,
+        ));
     }
 }
 

@@ -67,6 +67,25 @@ fn d1_does_not_fire_outside_the_scoped_crates() {
 }
 
 #[test]
+fn d1_covers_the_spatial_census_since_the_split_refactor() {
+    // The census/depth tables feed experiment artifacts directly (probe
+    // depth, path length in the split driver), so a HashMap sneaking
+    // into popan-spatial is a determinism bug, not a style issue.
+    let fired = rules_fired(
+        "popan-spatial",
+        "crates/spatial/src/node_stats.rs",
+        "d1_violating.rs",
+    );
+    assert!(fired.contains(&RuleId::D1), "{fired:?}");
+    let clean = rules_fired(
+        "popan-spatial",
+        "crates/spatial/src/node_stats.rs",
+        "d1_clean.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
 fn d2_fixtures() {
     let fired = rules_fired(
         "popan-engine",

@@ -13,6 +13,11 @@
 //! * [`PointQuadtree`] — the classical Finkel–Bentley point quadtree,
 //!   where partitions are data-dependent (included for the paper's §II
 //!   taxonomy; it has no bucket populations, so only depth statistics).
+//! * [`MarySearchTree`] — the random m-ary search tree over keys, the
+//!   comparison-based member of Devroye's split-tree family
+//!   (`SplitSpec::mary_search_tree` in `popan-core`), with the same
+//!   census integration as the spatial trees plus total-path-length
+//!   accounting over pivots.
 //! * [`PmrQuadtree`] — the PMR quadtree for line segments (split-once
 //!   rule), subject of the paper's companion analysis \[Nels86a/b\].
 //! * [`node_stats`] — occupancy profiles, per-depth tables, and the
@@ -41,6 +46,7 @@ mod arena;
 
 pub mod bintree;
 pub mod linear_quadtree;
+pub mod mary_tree;
 pub mod node_stats;
 pub mod pmr_quadtree;
 pub mod point_quadtree;
@@ -52,6 +58,7 @@ pub mod visualize;
 
 pub use bintree::Bintree;
 pub use linear_quadtree::{knn_cmp, FreezeError, LinearQuadtree, QueryScratch};
+pub use mary_tree::MarySearchTree;
 pub use node_stats::{
     DepthOccupancyTable, LeafRecord, OccupancyCensus, OccupancyInstrumented, OccupancyProfile,
 };

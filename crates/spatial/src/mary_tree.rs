@@ -1,0 +1,529 @@
+//! The random m-ary search tree over keys.
+//!
+//! The classic comparison-based member of Devroye's split-tree family
+//! (`popan_core::split::SplitSpec::mary_search_tree`): a node buffers up
+//! to `b − 1` keys; the `b`-th arrival freezes the buffered keys as
+//! *pivots*, creates `b` children (one per pivot gap), and sends the new
+//! key down. `b = 2` is the classic binary search tree built leaf-ward.
+//!
+//! In split-tree terms: branch factor `b`, capacity `s = b − 1`,
+//! `s₀ = s = b − 1` (every buffered key is retained as a pivot),
+//! `s₁ = 0`, and exactly one key scatters — under uniformly random keys
+//! the pivot gaps are `Dirichlet(1,…,1)` spacings, so the expected split
+//! row is `(b−1)·e₀ + e₁` and the renewal-theory depth constant is
+//! `1/(H_b − 1)` (Holmgren; `b = 2` gives the BST's `2·ln n`).
+//!
+//! Structurally the tree follows the arena idiom of the regular-
+//! decomposition trees: nodes in a contiguous `Vec` addressed by `u32`
+//! ids, children allocated as one contiguous block per split, and an
+//! [`OccupancyCensus`] maintained incrementally so `depth_table()` /
+//! `occupancy_profile()` / `leaf_count()` are zero-allocation reads.
+//! Unlike the spatial trees, items also live at internal nodes (the
+//! pivots); the tree tracks their count and path length so
+//! [`MarySearchTree::total_path_length`] reports the full
+//! Broutin–Holmgren `Υ_n` over *all* stored keys.
+
+use crate::node_stats::{
+    DepthOccupancyTable, LeafRecord, OccupancyCensus, OccupancyInstrumented, OccupancyProfile,
+};
+use crate::pr_quadtree::TreeError;
+
+/// One node: a leaf buffering up to `b − 1` keys, or an internal node
+/// whose `b − 1` keys act as pivots over a contiguous block of `b`
+/// children.
+#[derive(Debug, Clone)]
+struct Node {
+    depth: u32,
+    /// Sorted keys: the leaf buffer, or the pivots once internal.
+    keys: Vec<u64>,
+    /// Base id of the contiguous `b`-child block (`None` for a leaf).
+    children: Option<u32>,
+}
+
+impl Node {
+    fn leaf(depth: u32) -> Self {
+        Node {
+            depth,
+            keys: Vec::new(),
+            children: None,
+        }
+    }
+}
+
+/// A random m-ary search tree over `u64` keys with branch factor `b ≥ 2`.
+///
+/// Duplicate keys are accepted (equal keys route to the right), so a
+/// pathological all-equal stream degrades to a rightmost chain — the
+/// usual BST caveat, bounded per insert by one descent and one split.
+#[derive(Debug, Clone)]
+pub struct MarySearchTree {
+    branch: usize,
+    nodes: Vec<Node>,
+    census: OccupancyCensus,
+    len: usize,
+    /// Keys frozen as pivots at internal nodes.
+    pivot_count: usize,
+    /// Σ depth over pivot keys — the internal-node share of `Υ_n`.
+    pivot_path: u64,
+}
+
+impl MarySearchTree {
+    /// Creates an empty tree with branch factor `branch ≥ 2` (leaf
+    /// capacity `branch − 1`).
+    pub fn new(branch: usize) -> Result<Self, TreeError> {
+        if branch < 2 {
+            return Err(TreeError::InvalidParameter(
+                "branch factor must be at least 2".into(),
+            ));
+        }
+        let mut census = OccupancyCensus::new();
+        census.leaf_added(0, 0);
+        Ok(MarySearchTree {
+            branch,
+            nodes: vec![Node::leaf(0)],
+            census,
+            len: 0,
+            pivot_count: 0,
+            pivot_path: 0,
+        })
+    }
+
+    /// Builds a tree by inserting `keys` in order.
+    pub fn build(branch: usize, keys: impl IntoIterator<Item = u64>) -> Result<Self, TreeError> {
+        let mut t = Self::new(branch)?;
+        for k in keys {
+            t.insert(k);
+        }
+        Ok(t)
+    }
+
+    /// Branch factor `b`.
+    pub fn branch(&self) -> usize {
+        self.branch
+    }
+
+    /// Number of stored keys (pivots + leaf buffers).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of keys frozen as pivots at internal nodes.
+    pub fn pivot_count(&self) -> usize {
+        self.pivot_count
+    }
+
+    /// Total node count (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf count, served from the maintained census: O(1).
+    pub fn leaf_count(&self) -> usize {
+        self.census.leaf_count()
+    }
+
+    /// Deepest leaf depth (0 for the fresh root-only tree).
+    pub fn height(&self) -> u32 {
+        self.census.depth_table().max_depth().unwrap_or(0)
+    }
+
+    /// Child index for `key` among sorted `pivots`: equal keys go right.
+    fn route(pivots: &[u64], key: u64) -> usize {
+        pivots.partition_point(|&p| p <= key)
+    }
+
+    /// Inserts a key. One descent plus at most one split: when the
+    /// `b`-th key reaches a full leaf, the buffered `b − 1` keys become
+    /// pivots over `b` fresh empty children and the arriving key routes
+    /// one level down.
+    pub fn insert(&mut self, key: u64) {
+        let mut id = 0usize;
+        while let Some(base) = self.nodes[id].children {
+            id = base as usize + Self::route(&self.nodes[id].keys, key);
+        }
+        let depth = self.nodes[id].depth;
+        let occ = self.nodes[id].keys.len();
+        if occ < self.branch - 1 {
+            let at = self.nodes[id].keys.partition_point(|&k| k <= key);
+            self.nodes[id].keys.insert(at, key);
+            self.census.occupancy_changed(depth, occ, occ + 1);
+        } else {
+            // Split: the buffer freezes into pivots, b children appear.
+            self.census.leaf_removed(depth, occ);
+            self.pivot_count += occ;
+            self.pivot_path += u64::from(depth) * occ as u64;
+            let base = self.nodes.len() as u32;
+            for _ in 0..self.branch {
+                self.nodes.push(Node::leaf(depth + 1));
+                self.census.leaf_added(depth + 1, 0);
+            }
+            self.nodes[id].children = Some(base);
+            let child = base as usize + Self::route(&self.nodes[id].keys, key);
+            self.nodes[child].keys.push(key);
+            self.census.occupancy_changed(depth + 1, 0, 1);
+        }
+        self.len += 1;
+    }
+
+    /// `true` when an exactly equal key is stored (as pivot or buffered).
+    pub fn contains(&self, key: u64) -> bool {
+        let mut id = 0usize;
+        loop {
+            let node = &self.nodes[id];
+            if node.keys.binary_search(&key).is_ok() {
+                return true;
+            }
+            match node.children {
+                Some(base) => id = base as usize + Self::route(&node.keys, key),
+                None => return false,
+            }
+        }
+    }
+
+    /// All stored keys in sorted (in-order) order.
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        // Explicit stack of (node id, next in-order slot). Slots at an
+        // internal node alternate child 0, pivot 0, child 1, …, child b−1.
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        while let Some((id, slot)) = stack.pop() {
+            let node = &self.nodes[id];
+            match node.children {
+                None => out.extend_from_slice(&node.keys),
+                Some(base) => {
+                    if slot >= 2 * self.branch - 1 {
+                        continue;
+                    }
+                    stack.push((id, slot + 1));
+                    if slot % 2 == 1 {
+                        out.push(node.keys[slot / 2]);
+                    } else {
+                        stack.push((base as usize + slot / 2, 0));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One record per leaf node (traversal; the census serves the same
+    /// data incrementally).
+    pub fn leaf_records(&self) -> Vec<LeafRecord> {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_none())
+            .map(|n| LeafRecord {
+                depth: n.depth,
+                occupancy: n.keys.len(),
+            })
+            .collect()
+    }
+
+    /// The occupancy profile over leaf buffers, maintained
+    /// incrementally — a zero-allocation, zero-traversal read.
+    pub fn occupancy_profile(&self) -> &OccupancyProfile {
+        self.census.profile()
+    }
+
+    /// The per-depth occupancy table, maintained incrementally — a
+    /// zero-allocation, zero-traversal read.
+    pub fn depth_table(&self) -> &DepthOccupancyTable {
+        self.census.depth_table()
+    }
+
+    /// Total path length `Υ_n = Σ depth(key)` over *all* stored keys:
+    /// the pivots' share (tracked at split time) plus the buffered
+    /// keys' share from the census — the Broutin–Holmgren quantity.
+    pub fn total_path_length(&self) -> u64 {
+        self.pivot_path + self.census.depth_table().total_item_path_length()
+    }
+
+    /// Average depth of a stored key (0 for an empty tree).
+    pub fn average_key_depth(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.total_path_length() as f64 / self.len as f64
+        }
+    }
+
+    /// Expected depth at which the *next* uniformly random key would be
+    /// buffered — Holmgren's `D_n`, computed exactly from the census.
+    ///
+    /// The `n` stored keys cut the key space into `n + 1` gaps; a leaf
+    /// buffering `j` keys spans `j + 1` of them, so the next key lands
+    /// in it with probability `(j + 1)/(n + 1)`:
+    /// `E[D] = Σ_d d·(items_at(d) + leaves_at(d)) / (n + 1)`.
+    pub fn expected_insertion_depth(&self) -> f64 {
+        let t = self.census.depth_table();
+        let weighted: u64 = (0..=t.max_depth().unwrap_or(0))
+            .map(|d| u64::from(d) * (t.items_at(d) + t.leaves_at(d)))
+            .sum();
+        weighted as f64 / (self.len as f64 + 1.0)
+    }
+
+    /// Verifies structural invariants; panics on violation.
+    ///
+    /// Checks: node shape (internal nodes carry exactly `b − 1` sorted
+    /// pivots, leaves at most that many sorted keys, children one level
+    /// down), the incremental census against a full-traversal rebuild,
+    /// the pivot accounting against a recount, and global in-order
+    /// sortedness.
+    pub fn check_invariants(&self) {
+        let mut pivots = 0usize;
+        let mut pivot_path = 0u64;
+        let mut leaf_keys = 0usize;
+        for (id, node) in self.nodes.iter().enumerate() {
+            assert!(
+                node.keys.windows(2).all(|w| w[0] <= w[1]),
+                "node {id}: keys not sorted"
+            );
+            match node.children {
+                Some(base) => {
+                    assert_eq!(
+                        node.keys.len(),
+                        self.branch - 1,
+                        "internal node {id} must hold exactly b-1 pivots"
+                    );
+                    pivots += node.keys.len();
+                    pivot_path += u64::from(node.depth) * node.keys.len() as u64;
+                    for c in 0..self.branch {
+                        let child = &self.nodes[base as usize + c];
+                        assert_eq!(child.depth, node.depth + 1, "child depth under node {id}");
+                    }
+                }
+                None => {
+                    assert!(
+                        node.keys.len() < self.branch,
+                        "leaf {id} over capacity: {} keys",
+                        node.keys.len()
+                    );
+                    leaf_keys += node.keys.len();
+                }
+            }
+        }
+        assert_eq!(pivots, self.pivot_count, "pivot count drifted");
+        assert_eq!(pivot_path, self.pivot_path, "pivot path length drifted");
+        assert_eq!(pivots + leaf_keys, self.len, "key count drifted");
+        let records = self.leaf_records();
+        assert_eq!(
+            self.census,
+            OccupancyCensus::from_leaves(&records),
+            "incremental census drifted from traversal rebuild"
+        );
+        let keys = self.keys();
+        assert_eq!(keys.len(), self.len, "in-order enumeration lost keys");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "in-order enumeration not sorted"
+        );
+    }
+}
+
+impl OccupancyInstrumented for MarySearchTree {
+    fn capacity(&self) -> usize {
+        self.branch - 1
+    }
+
+    fn leaf_records(&self) -> Vec<LeafRecord> {
+        MarySearchTree::leaf_records(self)
+    }
+
+    fn occupancy_profile(&self) -> OccupancyProfile {
+        self.census.profile().clone()
+    }
+
+    fn depth_table(&self) -> DepthOccupancyTable {
+        self.census.depth_table().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popan_rng::rngs::StdRng;
+    use popan_rng::SeedableRng;
+    use popan_workload::keys::UniformKeys;
+
+    #[test]
+    fn rejects_branch_below_two() {
+        assert!(MarySearchTree::new(0).is_err());
+        assert!(MarySearchTree::new(1).is_err());
+        assert!(MarySearchTree::new(2).is_ok());
+    }
+
+    #[test]
+    fn empty_tree_is_one_empty_root_leaf() {
+        let t = MarySearchTree::new(4).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.total_path_length(), 0);
+        assert_eq!(t.average_key_depth(), 0.0);
+        assert_eq!(t.expected_insertion_depth(), 0.0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn first_split_freezes_buffer_into_pivots() {
+        // b = 4: three keys buffer at the root; the fourth splits.
+        let mut t = MarySearchTree::new(4).unwrap();
+        for k in [30u64, 10, 20] {
+            t.insert(k);
+        }
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.pivot_count(), 0);
+        t.insert(15);
+        assert_eq!(t.node_count(), 5, "root + 4 children");
+        assert_eq!(t.pivot_count(), 3);
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.len(), 4);
+        // 15 routed between pivots 10 and 20 → child 1, depth 1.
+        assert_eq!(t.total_path_length(), 1);
+        assert_eq!(t.keys(), vec![10, 15, 20, 30]);
+        assert!(t.contains(15) && t.contains(10) && !t.contains(99));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bst_case_matches_hand_trace() {
+        // b = 2 is a leaf-buffered BST: capacity-1 leaves, every second
+        // key per subtree becomes a pivot.
+        let mut t = MarySearchTree::new(2).unwrap();
+        t.insert(50);
+        assert_eq!(t.node_count(), 1);
+        t.insert(30); // splits root: pivot 50, children; 30 goes left
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.pivot_count(), 1);
+        t.insert(70); // right child buffers 70
+        assert_eq!(t.node_count(), 3);
+        t.insert(60); // splits right child: pivot 70, 60 goes left of it
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.keys(), vec![30, 50, 60, 70]);
+        // Depths: 30@1, 50@0 (pivot), 60@2, 70@1 (pivot) → Υ = 4.
+        assert_eq!(t.total_path_length(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicates_route_right_and_are_retained() {
+        let mut t = MarySearchTree::new(3).unwrap();
+        for _ in 0..7 {
+            t.insert(42);
+        }
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.keys(), vec![42; 7]);
+        assert!(t.contains(42));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn random_build_invariants_across_branches() {
+        for branch in [2usize, 3, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(0x5117 + branch as u64);
+            let keys = UniformKeys.sample_n(&mut rng, 500);
+            let t = MarySearchTree::build(branch, keys.iter().copied()).unwrap();
+            assert_eq!(t.len(), 500);
+            t.check_invariants();
+            for &k in &keys {
+                assert!(t.contains(k));
+            }
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(t.keys(), sorted);
+            // Node-count identity: internal·(b−1) + 1 = leaves.
+            let internal = t.node_count() - t.leaf_count();
+            assert_eq!(internal * (branch - 1) + 1, t.leaf_count());
+            // Pivot accounting: internal·(b−1) pivots.
+            assert_eq!(t.pivot_count(), internal * (branch - 1));
+        }
+    }
+
+    #[test]
+    fn census_reads_match_traversal() {
+        let mut rng = StdRng::seed_from_u64(0xa11ce);
+        let keys = UniformKeys.sample_n(&mut rng, 300);
+        let t = MarySearchTree::build(4, keys).unwrap();
+        let records = t.leaf_records();
+        assert_eq!(
+            t.occupancy_profile(),
+            &OccupancyProfile::from_leaves(&records)
+        );
+        assert_eq!(t.depth_table(), &DepthOccupancyTable::from_leaves(&records));
+        assert_eq!(t.leaf_count(), records.len());
+        assert!(OccupancyInstrumented::capacity(&t) == 3);
+    }
+
+    #[test]
+    fn depth_grows_like_holmgren_constant() {
+        // Coarse asymptotics smoke test (the split experiment does the
+        // real regression): BST average depth ≈ 2·ln n within a wide
+        // band at n = 4096.
+        let mut rng = StdRng::seed_from_u64(0xdeeb);
+        let keys = UniformKeys.sample_n(&mut rng, 4096);
+        let t = MarySearchTree::build(2, keys).unwrap();
+        let expect = 2.0 * 4096f64.ln();
+        let measured = t.average_key_depth();
+        assert!(
+            measured > 0.6 * expect && measured < 1.2 * expect,
+            "BST average depth {measured} vs 2 ln n = {expect}"
+        );
+        // Larger branch ⇒ shallower: H_8 − 1 > H_2 − 1.
+        let mut rng = StdRng::seed_from_u64(0xdeeb);
+        let keys = UniformKeys.sample_n(&mut rng, 4096);
+        let t8 = MarySearchTree::build(8, keys).unwrap();
+        assert!(t8.average_key_depth() < measured);
+    }
+
+    #[test]
+    fn expected_insertion_depth_weights_gaps() {
+        // Root split just happened (b = 2, one pivot, two leaves: left
+        // holds 1 key, right empty): gaps are 2 at depth 1 (left leaf)
+        // and 1 at depth 1 (right leaf) over n + 1 = 3 ⇒ E[D] = 1.
+        let mut t = MarySearchTree::new(2).unwrap();
+        t.insert(50);
+        t.insert(30);
+        assert!((t.expected_insertion_depth() - 1.0).abs() < 1e-12);
+        // And it matches a direct traversal computation on a random tree.
+        let mut rng = StdRng::seed_from_u64(0xfeed);
+        let keys = UniformKeys.sample_n(&mut rng, 400);
+        let t = MarySearchTree::build(3, keys).unwrap();
+        let direct: f64 = t
+            .leaf_records()
+            .iter()
+            .map(|r| f64::from(r.depth) * (r.occupancy as f64 + 1.0))
+            .sum::<f64>()
+            / (t.len() as f64 + 1.0);
+        assert!((t.expected_insertion_depth() - direct).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use popan_proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn invariants_hold_under_arbitrary_insertions(
+            keys in popan_proptest::collection::vec(0u64..1000, 1..200),
+            branch in 2usize..9,
+        ) {
+            let t = MarySearchTree::build(branch, keys.iter().copied()).unwrap();
+            t.check_invariants();
+            prop_assert_eq!(t.len(), keys.len());
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(t.keys(), sorted);
+            for &k in &keys {
+                prop_assert!(t.contains(k));
+            }
+        }
+    }
+}

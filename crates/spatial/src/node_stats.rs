@@ -204,6 +204,47 @@ impl DepthOccupancyTable {
         self.rows.get(depth as usize).map_or(0, |r| r.iter().sum())
     }
 
+    /// Total stored items at a depth (`Σ i · count(depth, i)`).
+    pub fn items_at(&self, depth: u32) -> u64 {
+        self.rows.get(depth as usize).map_or(0, |r| {
+            r.iter().enumerate().map(|(i, &c)| i as u64 * c).sum()
+        })
+    }
+
+    /// Deepest depth holding at least one leaf (`None` when empty).
+    pub fn max_depth(&self) -> Option<u32> {
+        self.rows
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, row)| !row.is_empty())
+            .map(|(depth, _)| depth as u32)
+    }
+
+    /// Total path length of the *stored items*: `Σ_d d · items_at(d)` —
+    /// the split-tree quantity `Υ_n` of Broutin–Holmgren (for
+    /// structures that also store items at internal nodes, e.g. the
+    /// m-ary search tree's pivots, the structure adds its internal
+    /// contribution on top of this leaf term).
+    pub fn total_item_path_length(&self) -> u64 {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(d, _)| d as u64 * self.items_at(d as u32))
+            .sum()
+    }
+
+    /// Average depth of a stored item (`None` when no items) — the
+    /// per-item normalization `Υ_n / n` of the path length, the
+    /// quantity Holmgren's `c·ln n` law bounds.
+    pub fn average_item_depth(&self) -> Option<f64> {
+        let items: u64 = (0..self.rows.len()).map(|d| self.items_at(d as u32)).sum();
+        if items == 0 {
+            return None;
+        }
+        Some(self.total_item_path_length() as f64 / items as f64)
+    }
+
     /// Average occupancy of the leaves at a depth (`None` if no leaves).
     ///
     /// The paper's Table 3 shows this decreasing with depth (i.e. with
@@ -465,6 +506,29 @@ mod tests {
         assert!(t.average_occupancy_at(4).unwrap() > t.average_occupancy_at(5).unwrap());
         assert_eq!(t.average_occupancy_at(9), None);
         assert_eq!(t.count(9, 0), 0);
+    }
+
+    #[test]
+    fn path_length_accessors_sum_depth_weighted_items() {
+        let ls = leaves(&[(1, 2), (2, 0), (2, 3), (3, 1)]);
+        let t = DepthOccupancyTable::from_leaves(&ls);
+        assert_eq!(t.items_at(1), 2);
+        assert_eq!(t.items_at(2), 3);
+        assert_eq!(t.items_at(3), 1);
+        assert_eq!(t.items_at(9), 0);
+        assert_eq!(t.max_depth(), Some(3));
+        // Υ = 1·2 + 2·3 + 3·1 = 11 over 6 items.
+        assert_eq!(t.total_item_path_length(), 11);
+        assert!((t.average_item_depth().unwrap() - 11.0 / 6.0).abs() < 1e-12);
+        let empty = DepthOccupancyTable::default();
+        assert_eq!(empty.max_depth(), None);
+        assert_eq!(empty.total_item_path_length(), 0);
+        assert_eq!(empty.average_item_depth(), None);
+        // Leaves with zero items contribute no path length.
+        let zeros = DepthOccupancyTable::from_leaves(&leaves(&[(4, 0), (5, 0)]));
+        assert_eq!(zeros.total_item_path_length(), 0);
+        assert_eq!(zeros.average_item_depth(), None);
+        assert_eq!(zeros.max_depth(), Some(5));
     }
 
     #[test]

@@ -68,6 +68,17 @@ grep -q '"ascii"' "$DEGRADE_DIR/fig1.json" || {
 # checkpoint, require a byte-identical JSON artifact.
 bash scripts/resume_smoke.sh
 
+# Split-tree renewal-theory driver: the regression slopes must be
+# bit-identical between a sequential run and four engine workers (the
+# linear fits consume engine-aggregated means, so any parallel
+# nondeterminism would surface in the JSON bytes).
+SPLIT_DIR=$(mktemp -d "${TMPDIR:-/tmp}/popan-split.XXXXXX")
+trap 'rm -rf "$DEGRADE_DIR" "$SPLIT_DIR"' EXIT
+POPAN_THREADS=1 target/release/repro split --quick --json "$SPLIT_DIR/t1" > /dev/null
+POPAN_THREADS=4 target/release/repro split --quick --json "$SPLIT_DIR/t4" > /dev/null
+cmp "$SPLIT_DIR/t1/split.json" "$SPLIT_DIR/t4/split.json" || {
+  echo "verify: split artifact differs between 1 and 4 engine threads" >&2; exit 1; }
+
 # --smoke: one iteration per bench, just proving every target runs and
 # writes its target/popan-bench/BENCH_<group>.json artifact.
 cargo bench -q --offline --workspace -- --smoke
@@ -88,5 +99,11 @@ cp target/popan-bench/BENCH_spatial.json bench/BENCH_spatial.smoke.json
 [ -f target/popan-bench/BENCH_query.json ] || {
   echo "verify: bench smoke did not produce BENCH_query.json" >&2; exit 1; }
 cp target/popan-bench/BENCH_query.json bench/BENCH_query.smoke.json
+# And the split-tree group: bench/BENCH_split.json is the committed
+# full-run trajectory (m-ary builds, census reads, SplitSpec transform
+# derivation); the .smoke archive proves the group runs end to end.
+[ -f target/popan-bench/BENCH_split.json ] || {
+  echo "verify: bench smoke did not produce BENCH_split.json" >&2; exit 1; }
+cp target/popan-bench/BENCH_split.json bench/BENCH_split.smoke.json
 
-echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + bench smoke (BENCH_spatial, BENCH_query archived) all green (offline)"
+echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + split bit-identity + bench smoke (BENCH_spatial, BENCH_query, BENCH_split archived) all green (offline)"
