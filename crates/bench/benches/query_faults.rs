@@ -1,0 +1,137 @@
+//! Bench for the self-healing query tier: checksum and degraded-query
+//! overheads (`popan-query`).
+//!
+//! Three families, all over the same 10⁵-point snapshot:
+//!
+//! * `freeze_plain` / `freeze_checksummed`: the Morton pack alone
+//!   versus the pack plus freeze-time section digests — their ratio is
+//!   the checksum's freeze overhead (the acceptance bound is ≤ 5%).
+//! * `verify` / `publish_validated` / `publish_quarantined`: one full
+//!   re-digest pass ns/op, a validated publish (verify + slot swap +
+//!   epoch advance), and the rejection path for a corrupt candidate
+//!   (verify failure + quarantine-log append, no slot touched).
+//! * `range/knn budgeted vs unbounded`: the degraded paths under the
+//!   theory-derived default budget (generous — the answer completes)
+//!   against the unbounded serving forms, pricing the budget
+//!   bookkeeping; plus a deliberately starved budget showing a partial
+//!   answer costs *less* than a full one (that is the point of
+//!   degrading).
+
+use popan_bench::{criterion_group, criterion_main, Criterion};
+use popan_core::SplitSpec;
+use popan_geom::{Point2, Rect};
+use popan_query::{default_budget, Snapshot, SnapshotPublisher};
+use popan_rng::rngs::StdRng;
+use popan_rng::SeedableRng;
+use popan_spatial::{CostBudget, LinearQuadtree, PrQuadtree, QueryScratch, SnapshotSection};
+use popan_workload::points::{PointSource, UniformRect};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const CAPACITY: usize = 8;
+
+fn bench_query_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_faults");
+
+    let mut rng = StdRng::seed_from_u64(0xfa_17);
+    let points = UniformRect::unit().sample_n(&mut rng, N);
+    let tree = PrQuadtree::build(Rect::unit(), CAPACITY, points.iter().copied()).unwrap();
+
+    // Checksum overhead at freeze: the pack alone vs pack + digests.
+    group.bench_function("freeze_plain_1e5", |b| {
+        b.iter(|| {
+            LinearQuadtree::from_tree(black_box(&tree))
+                .unwrap()
+                .leaf_count()
+        })
+    });
+    group.bench_function("freeze_checksummed_1e5", |b| {
+        b.iter(|| Snapshot::freeze(0, black_box(&tree)).unwrap().leaf_count())
+    });
+
+    let snapshot = Snapshot::freeze(0, &tree).unwrap();
+    group.bench_function("verify_1e5", |b| {
+        b.iter(|| black_box(&snapshot).verify().is_ok())
+    });
+
+    // Publish paths: validated swap vs quarantined rejection.
+    let mut publisher = SnapshotPublisher::new(snapshot.clone());
+    group.bench_function("publish_validated_1e5", |b| {
+        b.iter(|| publisher.publish(black_box(snapshot.clone())).unwrap())
+    });
+    let mut corrupt = snapshot.clone();
+    assert!(corrupt.corrupt_section(SnapshotSection::Points, 12345));
+    group.bench_function("publish_quarantined_1e5", |b| {
+        b.iter(|| publisher.publish(black_box(corrupt.clone())).unwrap_err())
+    });
+
+    // Budgeted vs unbounded serving. The theory budget (selectivity =
+    // window area, DEFAULT_SLACK) completes on this uniform snapshot,
+    // so the pair prices pure budget bookkeeping; the starved budget
+    // prices a degraded (prefix) answer.
+    let spec = SplitSpec::uniform(4, CAPACITY).unwrap();
+    let rect = Rect::from_bounds(0.4, 0.4, 0.45, 0.45);
+    let theory = default_budget(&spec, N, 0.05 * 0.05).unwrap();
+    let starved = CostBudget::new(4, 64);
+    let target = Point2::new(0.371, 0.629);
+    let knn_budget = default_budget(&spec, N, 16.0 / N as f64).unwrap();
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+
+    {
+        let mut check = Vec::new();
+        let outcome = snapshot.range_bounded_into(&rect, &theory, &mut scratch, &mut check);
+        assert!(
+            outcome.is_complete(),
+            "theory budget must complete: {outcome:?}"
+        );
+        snapshot.range_into(&rect, &mut scratch, &mut out);
+        assert_eq!(check, out, "budgeted answer must equal unbounded");
+        let starved_outcome =
+            snapshot.range_bounded_into(&rect, &starved, &mut scratch, &mut check);
+        assert!(
+            !starved_outcome.is_complete(),
+            "starved budget must degrade"
+        );
+    }
+
+    group.bench_function("range_unbounded_1e5", |b| {
+        b.iter(|| {
+            snapshot.range_into(black_box(&rect), &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("range_budgeted_complete_1e5", |b| {
+        b.iter(|| {
+            snapshot.range_bounded_into(black_box(&rect), &theory, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("range_budgeted_starved_1e5", |b| {
+        b.iter(|| {
+            snapshot.range_bounded_into(black_box(&rect), &starved, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("knn16_unbounded_1e5", |b| {
+        b.iter(|| {
+            snapshot.knn_into(black_box(&target), 16, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("knn16_budgeted_1e5", |b| {
+        b.iter(|| {
+            snapshot.knn_bounded_into(black_box(&target), 16, &knn_budget, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_query_faults
+}
+criterion_main!(benches);

@@ -75,6 +75,15 @@ pub enum SplitSpecError {
         /// The computed recursion probability.
         probability: f64,
     },
+    /// A query-cost estimator argument is out of range: selectivity
+    /// must lie in `[0, 1]` and the slack factor must be ≥ 1, both
+    /// finite.
+    BadQueryCostArg {
+        /// Which argument was rejected ("selectivity" or "slack").
+        what: &'static str,
+        /// The offending value.
+        got: f64,
+    },
 }
 
 impl fmt::Display for SplitSpecError {
@@ -123,6 +132,10 @@ impl fmt::Display for SplitSpecError {
             SplitSpecError::DegenerateRecursion { probability } => write!(
                 f,
                 "degenerate skew: recursion probability {probability} ≈ 1, split row diverges"
+            ),
+            SplitSpecError::BadQueryCostArg { what, got } => write!(
+                f,
+                "query-cost {what} out of range: got {got} (selectivity must be in [0, 1], slack ≥ 1, both finite)"
             ),
         }
     }

@@ -311,6 +311,64 @@ impl SplitSpec {
         1.0 / self.entropy()
     }
 
+    /// Theory-derived expected number of *leaves* a range query of the
+    /// given `selectivity` (query area as a fraction of the region)
+    /// touches on an `n`-point tree built under this spec:
+    ///
+    /// ```text
+    /// E[leaf visits] ≈ c·ln n  +  selectivity · n·(b−1)/(b·s) · slack
+    /// ```
+    ///
+    /// The first term is Holmgren's descent law — reaching the query
+    /// window costs one root-to-leaf path of expected depth `c·ln n`
+    /// with `c = 1/μ` ([`SplitSpec::depth_coefficient`]). The second is
+    /// the interior: the paper's occupancy analysis puts the leaf
+    /// population near `n·(b−1)/(b·s)` fully-split leaves (mean
+    /// occupancy ≈ `s·b/(b−1)` once the resplit series is resummed), of
+    /// which a fraction `selectivity` intersect the window; `slack ≥ 1`
+    /// absorbs perimeter leaves, aging bias, and workload skew. The
+    /// query tier turns this into its default `CostBudget` — a query
+    /// that exceeds the theory-predicted work is itself evidence of
+    /// corrupted or pathological state and is degraded, not trusted
+    /// (DESIGN.md §12).
+    pub fn expected_leaf_visits(&self, n: usize, selectivity: f64, slack: f64) -> Result<f64> {
+        let (n_f, selectivity, slack) = Self::check_budget_args(n, selectivity, slack)?;
+        let b = self.branch as f64;
+        let leaves = n_f * (b - 1.0) / (b * self.capacity as f64);
+        Ok(self.depth_coefficient() * n_f.ln().max(1.0) + selectivity * leaves * slack)
+    }
+
+    /// Theory-derived expected number of *points* the same query reads:
+    /// the matching mass `selectivity·n` plus one boundary ring of
+    /// leaves at full capacity `s`, all stretched by `slack`.
+    pub fn expected_point_visits(&self, n: usize, selectivity: f64, slack: f64) -> Result<f64> {
+        let (n_f, selectivity, slack) = Self::check_budget_args(n, selectivity, slack)?;
+        let boundary = 4.0 * selectivity.sqrt() * (n_f / self.capacity as f64).sqrt();
+        Ok(
+            (selectivity * n_f + boundary * self.capacity as f64) * slack
+                + self.depth_coefficient() * n_f.ln().max(1.0) * self.capacity as f64,
+        )
+    }
+
+    /// Shared validation for the query-cost estimators.
+    fn check_budget_args(n: usize, selectivity: f64, slack: f64) -> Result<(f64, f64, f64)> {
+        if !(0.0..=1.0).contains(&selectivity) || !selectivity.is_finite() {
+            return Err(SplitSpecError::BadQueryCostArg {
+                what: "selectivity",
+                got: selectivity,
+            }
+            .into());
+        }
+        if !slack.is_finite() || slack < 1.0 {
+            return Err(SplitSpecError::BadQueryCostArg {
+                what: "slack",
+                got: slack,
+            }
+            .into());
+        }
+        Ok(((n.max(1)) as f64, selectivity, slack))
+    }
+
     /// Computes the expected child-occupancy row of one split — the
     /// transform matrix's last row `t_s`.
     ///
@@ -659,6 +717,48 @@ mod tests {
         // Skew lowers entropy below ln b → deeper trees.
         let skew = SplitSpec::skewed(vec![0.7, 0.1, 0.1, 0.1], 4).unwrap();
         assert!(skew.entropy() < 4.0f64.ln());
+    }
+
+    #[test]
+    fn query_cost_estimators_track_theory() {
+        let spec = SplitSpec::uniform(4, 8).unwrap();
+        // Point query (selectivity 0, slack 1): one descent, c·ln n.
+        let descent = spec.expected_leaf_visits(100_000, 0.0, 1.0).unwrap();
+        let c = spec.depth_coefficient();
+        assert!((descent - c * (100_000f64).ln()).abs() < 1e-9);
+        // Monotone in n, selectivity, and slack.
+        let base = spec.expected_leaf_visits(100_000, 0.01, 1.5).unwrap();
+        assert!(spec.expected_leaf_visits(1_000_000, 0.01, 1.5).unwrap() > base);
+        assert!(spec.expected_leaf_visits(100_000, 0.02, 1.5).unwrap() > base);
+        assert!(spec.expected_leaf_visits(100_000, 0.01, 2.0).unwrap() > base);
+        // Point visits dominate leaf visits (each leaf holds ≥ 1 point
+        // at the selectivities that matter) and carry the matching mass.
+        let points = spec.expected_point_visits(100_000, 0.01, 1.5).unwrap();
+        assert!(points > 0.01 * 100_000.0);
+        // Tiny n never yields a degenerate ln: floor at one visit.
+        assert!(spec.expected_leaf_visits(0, 0.5, 1.0).unwrap() >= 0.0);
+        assert!(spec.expected_leaf_visits(1, 0.5, 1.0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn query_cost_estimators_reject_bad_arguments() {
+        let spec = SplitSpec::uniform(4, 8).unwrap();
+        for (sel, slack) in [
+            (-0.1, 1.0),
+            (1.1, 1.0),
+            (f64::NAN, 1.0),
+            (0.5, 0.5),
+            (0.5, f64::INFINITY),
+            (0.5, f64::NAN),
+        ] {
+            match spec.expected_leaf_visits(1000, sel, slack) {
+                Err(ModelError::Split(SplitSpecError::BadQueryCostArg { what, .. })) => {
+                    assert!(what == "selectivity" || what == "slack")
+                }
+                other => panic!("expected BadQueryCostArg for ({sel}, {slack}), got {other:?}"),
+            }
+            assert!(spec.expected_point_visits(1000, sel, slack).is_err());
+        }
     }
 
     #[test]

@@ -19,9 +19,48 @@
 //! table1/m2:2:abort@0      hard process exit (simulates kill -9)
 //! table1/m4:2:panic@1      panic only on the first retry
 //! ```
+//!
+//! PR 8 extended the vocabulary to the serving tier (`popan-query`'s
+//! chaos suite interprets these; the engine only carries the plan):
+//!
+//! ```text
+//! chaos:2:corrupt:points   flip one bit in epoch 2's frozen point slab
+//! chaos:3:corrupt:leaf     … in the leaf-record slab (`leaves` works too)
+//! chaos:4:corrupt:blocks   … in the block-rect slab
+//! chaos:1:publish-stall    hold the candidate back one round (readers
+//!                          keep serving the last-good epoch)
+//! chaos:5:reject-epoch     operator-forced quarantine of the candidate
+//! ```
+//!
+//! For the query-tier kinds, `trial` addresses the publish *round*.
 
 use crate::outcome::EngineError;
 use std::time::Duration;
+
+/// The frozen snapshot slab a [`Fault::Corrupt`] fault damages.
+///
+/// Mirrors `popan_spatial::SnapshotSection` without depending on it —
+/// the engine is fault *bookkeeping*; the chaos suite in `popan-query`
+/// maps targets onto actual slabs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptTarget {
+    /// The Morton-sorted leaf-record slab (`corrupt:leaf` / `corrupt:leaves`).
+    Leaves,
+    /// The geometric block-rect slab (`corrupt:blocks`).
+    Blocks,
+    /// The flat point slab (`corrupt:points`).
+    Points,
+}
+
+impl std::fmt::Display for CorruptTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CorruptTarget::Leaves => "leaves",
+            CorruptTarget::Blocks => "blocks",
+            CorruptTarget::Points => "points",
+        })
+    }
+}
 
 /// The kinds of fault the engine can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +76,17 @@ pub enum Fault {
     /// Exit the process immediately with [`ABORT_EXIT_CODE`] (simulates a
     /// kill mid-run for checkpoint/resume tests).
     Abort,
+    /// Query tier: flip one deterministic bit in the named frozen slab
+    /// of the candidate snapshot before it is offered for publishing
+    /// (exercises checksum verification and quarantine).
+    Corrupt(CorruptTarget),
+    /// Query tier: hold the candidate snapshot back one publish round;
+    /// readers keep serving the last-good epoch (exercises stale-but-
+    /// complete serving and delayed recovery).
+    PublishStall,
+    /// Query tier: operator-forced quarantine of the candidate epoch
+    /// (exercises the rejection path without slab damage).
+    RejectEpoch,
 }
 
 /// Exit code used by [`Fault::Abort`] so harnesses can tell an injected
@@ -110,13 +160,14 @@ impl FaultPlan {
         };
         let mut plan = FaultPlan::none();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-            // Split from the right: experiment names may contain `:` in
-            // principle, but trial and kind never do.
-            let (rest, kind_spec) = entry
-                .rsplit_once(':')
+            // Split from the left: the kind itself may contain `:`
+            // (`corrupt:points`), while scope and trial never do —
+            // registry scopes use `/` for sub-rows, not `:`.
+            let (scope, rest) = entry
+                .split_once(':')
                 .ok_or_else(|| bad("entry is not scope:trial:kind"))?;
-            let (scope, trial_spec) = rest
-                .rsplit_once(':')
+            let (trial_spec, kind_spec) = rest
+                .split_once(':')
                 .ok_or_else(|| bad("entry is not scope:trial:kind"))?;
             if scope.is_empty() {
                 return Err(bad("empty scope (use `*` for any experiment)"));
@@ -137,6 +188,14 @@ impl FaultPlan {
                 "panic" => Fault::Panic,
                 "nan" => Fault::Nan,
                 "abort" => Fault::Abort,
+                "publish-stall" => Fault::PublishStall,
+                "reject-epoch" => Fault::RejectEpoch,
+                "corrupt:leaf" | "corrupt:leaves" => Fault::Corrupt(CorruptTarget::Leaves),
+                "corrupt:blocks" => Fault::Corrupt(CorruptTarget::Blocks),
+                "corrupt:points" => Fault::Corrupt(CorruptTarget::Points),
+                _ if kind.starts_with("corrupt") => {
+                    return Err(bad("corrupt needs a section: corrupt:leaf|blocks|points"))
+                }
                 _ => match kind.strip_prefix("delay") {
                     Some(ms) => {
                         Fault::Delay(Duration::from_millis(ms.parse().map_err(|_| {
@@ -212,6 +271,46 @@ mod tests {
         assert_eq!(plan.fault_for("a", 1, 2), Some(Fault::Panic));
         assert_eq!(plan.fault_for("a", 1, 0), None);
         assert_eq!(plan.fault_for("b", 0, 0), Some(Fault::Abort));
+    }
+
+    #[test]
+    fn parses_the_query_tier_vocabulary() {
+        let plan = FaultPlan::parse(
+            "chaos:2:corrupt:points,chaos:3:corrupt:leaf,chaos:4:corrupt:blocks,\
+             chaos:1:publish-stall,chaos:5:reject-epoch,chaos:6:corrupt:leaves@1",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.fault_for("chaos", 2, 0),
+            Some(Fault::Corrupt(CorruptTarget::Points))
+        );
+        assert_eq!(
+            plan.fault_for("chaos", 3, 0),
+            Some(Fault::Corrupt(CorruptTarget::Leaves))
+        );
+        assert_eq!(
+            plan.fault_for("chaos", 4, 0),
+            Some(Fault::Corrupt(CorruptTarget::Blocks))
+        );
+        assert_eq!(plan.fault_for("chaos", 1, 0), Some(Fault::PublishStall));
+        assert_eq!(plan.fault_for("chaos", 5, 0), Some(Fault::RejectEpoch));
+        assert_eq!(
+            plan.fault_for("chaos", 6, 1),
+            Some(Fault::Corrupt(CorruptTarget::Leaves)),
+            "attempt suffix composes with sectioned kinds"
+        );
+        assert_eq!(plan.fault_for("chaos", 6, 0), None);
+    }
+
+    #[test]
+    fn rejects_sectionless_or_unknown_corrupt() {
+        for spec in ["a:1:corrupt", "a:1:corrupt:", "a:1:corrupt:nodes"] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(
+                matches!(err, EngineError::BadFaultSpec { .. }),
+                "{spec}: {err:?}"
+            );
+        }
     }
 
     #[test]

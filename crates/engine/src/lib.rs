@@ -66,7 +66,7 @@ pub mod outcome;
 
 pub use checkpoint::{Checkpoint, CheckpointKey, CheckpointWriter};
 pub use codec::{ByteReader, TrialData};
-pub use fault::{Fault, FaultPlan, ABORT_EXIT_CODE};
+pub use fault::{CorruptTarget, Fault, FaultPlan, ABORT_EXIT_CODE};
 pub use outcome::{EngineError, RetryPolicy, RunReport, TrialFailure};
 
 use popan_rng::rngs::StdRng;

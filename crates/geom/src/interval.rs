@@ -52,6 +52,18 @@ impl Interval {
         Interval::new(0.0, 1.0)
     }
 
+    /// Creates `[lo, hi)` **without validation** — the bounds may be
+    /// inverted, non-finite, anything. Fault-injection machinery only:
+    /// the query tier's chaos suite flips single bits inside frozen
+    /// block slabs to prove `Snapshot::verify` catches the damage, and a
+    /// flipped exponent bit is allowed to produce a degenerate interval
+    /// (the corrupted snapshot is quarantined, never queried). Every
+    /// other caller must use [`Interval::new`].
+    #[doc(hidden)]
+    pub fn from_raw_unchecked(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
     /// Lower bound (inclusive).
     pub fn lo(&self) -> f64 {
         self.lo

@@ -156,6 +156,32 @@ fn r1_fixtures() {
 }
 
 #[test]
+fn r1_covers_the_query_tier_recovery_paths() {
+    // Since the self-healing tier, an unwinding recovery path in
+    // popan-query is a lint failure: a poisoned slot or vanished
+    // publisher must degrade to the cached snapshot, never panic.
+    let fired = rules_fired(
+        "popan-query",
+        "crates/query/src/publisher.rs",
+        "r1_query_violating.rs",
+    );
+    assert_eq!(
+        fired.iter().filter(|r| **r == RuleId::R1).count(),
+        2,
+        "expect on lock and unwrap on upgrade: {fired:?}"
+    );
+    // The hardened shape (PoisonError::into_inner relock, typed
+    // PublisherGone) is clean — `unwrap_or_else`/`unwrap_or` are not
+    // `.unwrap()`.
+    let clean = rules_fired(
+        "popan-query",
+        "crates/query/src/publisher.rs",
+        "r1_query_clean.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
 fn r2_fires_even_inside_test_modules() {
     let fired = rules_fired("popan-core", "crates/core/src/model.rs", "r2_violating.rs");
     assert!(fired.contains(&RuleId::R2), "{fired:?}");

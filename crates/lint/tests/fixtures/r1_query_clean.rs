@@ -1,0 +1,23 @@
+//! Fixture: degrading recovery paths — clean under R1.
+//!
+//! A poisoned slot is relocked (the pair behind it is still complete);
+//! a vanished publisher becomes a typed error and the caller keeps
+//! serving its cached snapshot.
+
+pub enum ReaderError {
+    PublisherGone,
+}
+
+pub fn publish(slot: &std::sync::Mutex<u64>, epoch: u64) {
+    let mut guard = slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = epoch;
+}
+
+pub fn refresh(shared: &std::sync::Weak<u64>) -> Result<u64, ReaderError> {
+    shared
+        .upgrade()
+        .map(|v| *v)
+        .ok_or(ReaderError::PublisherGone)
+}

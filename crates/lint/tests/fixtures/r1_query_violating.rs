@@ -1,0 +1,14 @@
+//! Fixture: panicking recovery paths in the query tier — R1 (twice).
+//!
+//! The pre-hardening shape of the publisher: a poisoned slot mutex and
+//! a vanished publisher both unwind instead of degrading to the cached
+//! snapshot.
+
+pub fn publish(slot: &std::sync::Mutex<u64>, epoch: u64) {
+    let mut guard = slot.lock().expect("snapshot slot poisoned");
+    *guard = epoch;
+}
+
+pub fn refresh(shared: &std::sync::Weak<u64>) -> u64 {
+    *shared.upgrade().unwrap()
+}

@@ -1,0 +1,97 @@
+//! Theory-derived default budgets for degraded serving.
+//!
+//! The paper's occupancy analysis predicts, for a tree grown under a
+//! [`SplitSpec`], how much work a well-formed query *should* cost:
+//! a root-to-leaf descent of expected depth `c·ln n` (Holmgren's law,
+//! `c = 1/μ`) plus the interior leaves the query window actually
+//! covers. [`budget_for`] turns that prediction into a
+//! [`CostBudget`] for the bounded query paths — a query that wants
+//! more work than theory says it needs is itself evidence of a
+//! pathological window or damaged state, and gets a degraded
+//! (prefix-guaranteed) answer instead of unbounded slab traffic.
+//!
+//! Work units are deterministic (leaves scanned, points read), never
+//! wall-clock, so a budgeted answer stays a pure function of
+//! `(snapshot, query, budget)` and the determinism lint's D2 rule
+//! holds across the crate.
+
+use popan_core::{Result, SplitSpec};
+use popan_spatial::CostBudget;
+
+/// Slack multiplier applied by [`default_budget`]: covers perimeter
+/// leaves, aging bias, and moderate workload skew while still tripping
+/// on pathological (or corrupted) traversals within a small constant
+/// factor of the theoretical cost.
+pub const DEFAULT_SLACK: f64 = 4.0;
+
+/// Builds a [`CostBudget`] from the split-spec occupancy model for an
+/// `n`-point snapshot answering windows of the given `selectivity`
+/// (query area as a fraction of the region, in `[0, 1]`).
+///
+/// `slack ≥ 1` scales both limits; estimates are rounded up and floored
+/// at one leaf / one point so a legal query can always make progress.
+/// Errors are the spec's own [`popan_core::SplitSpecError`] argument
+/// rejections.
+pub fn budget_for(spec: &SplitSpec, n: usize, selectivity: f64, slack: f64) -> Result<CostBudget> {
+    let leaves = spec.expected_leaf_visits(n, selectivity, slack)?;
+    let points = spec.expected_point_visits(n, selectivity, slack)?;
+    Ok(CostBudget::new(
+        (leaves.ceil() as u64).max(1),
+        (points.ceil() as u64).max(1),
+    ))
+}
+
+/// [`budget_for`] with the stock [`DEFAULT_SLACK`] — the budget the
+/// README quickstart and the chaos suite use.
+pub fn default_budget(spec: &SplitSpec, n: usize, selectivity: f64) -> Result<CostBudget> {
+    budget_for(spec, n, selectivity, DEFAULT_SLACK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_spec() -> SplitSpec {
+        // A PR-quadtree-shaped spec: branch 4, uniform splits.
+        SplitSpec::uniform(4, 2).unwrap()
+    }
+
+    #[test]
+    fn budgets_scale_with_population_and_selectivity() {
+        let spec = quad_spec();
+        let small = default_budget(&spec, 1_000, 0.01).unwrap();
+        let big = default_budget(&spec, 100_000, 0.01).unwrap();
+        assert!(big.leaf_visits > small.leaf_visits);
+        assert!(big.point_visits > small.point_visits);
+        let wide = default_budget(&spec, 100_000, 0.25).unwrap();
+        assert!(wide.leaf_visits > big.leaf_visits);
+        assert!(wide.point_visits > big.point_visits);
+        // The matching mass is always affordable.
+        assert!(wide.point_visits as f64 >= 0.25 * 100_000.0);
+    }
+
+    #[test]
+    fn point_queries_get_a_descent_budget() {
+        let spec = quad_spec();
+        let budget = default_budget(&spec, 100_000, 0.0).unwrap();
+        // Selectivity zero still pays one descent: c·ln n leaves, ≥ 1.
+        assert!(budget.leaf_visits >= 1);
+        assert!((budget.leaf_visits as f64) < 200.0, "{budget:?}");
+        assert!(budget.point_visits >= 1);
+    }
+
+    #[test]
+    fn bad_arguments_surface_the_spec_error() {
+        let spec = quad_spec();
+        assert!(budget_for(&spec, 1000, -0.5, 1.0).is_err());
+        assert!(budget_for(&spec, 1000, 0.5, 0.0).is_err());
+        assert!(budget_for(&spec, 1000, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn tiny_populations_floor_at_one_unit() {
+        let spec = quad_spec();
+        let b = budget_for(&spec, 0, 0.0, 1.0).unwrap();
+        assert!(b.leaf_visits >= 1 && b.point_visits >= 1);
+    }
+}

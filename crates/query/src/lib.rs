@@ -33,6 +33,30 @@
 //!   schedule and asserts the merged result log is bit-identical for 1
 //!   and 4 readers.
 //!
+//! The tier self-heals (DESIGN.md §12):
+//!
+//! * **Integrity** — every [`Snapshot`] carries per-section FNV-1a 64
+//!   digests computed at freeze; [`Snapshot::verify`] recomputes them
+//!   and names any damaged section in a typed
+//!   [`snapshot::SnapshotCorruption`] report.
+//! * **Quarantine and rollback** — [`SnapshotPublisher::publish`]
+//!   validates every candidate *before* the epoch swap; a corrupt one
+//!   lands in the bounded [`publisher::QuarantineLog`] and the
+//!   last-good epoch keeps serving. [`QueryService::health`] reports
+//!   the last-good epoch, rejection count, and degraded-answer count.
+//! * **Budgeted degraded queries** — `range_bounded` / `count_bounded`
+//!   / `knn_bounded` take a [`popan_spatial::CostBudget`] in
+//!   deterministic work units (leaves scanned, points read — never
+//!   wall clock); on exhaustion the answer is a *guaranteed canonical
+//!   prefix* of the full answer. [`budget::budget_for`] derives the
+//!   default budget from the split-spec occupancy model (expected
+//!   visits ≈ `c·ln n` + selectivity-scaled leaf mass).
+//! * **Chaos-tested** — `tests/chaos.rs` drives publish rounds under a
+//!   seeded fault plan (`corrupt:<section>`, `publish-stall`,
+//!   `reject-epoch`) and asserts the service never serves a damaged
+//!   snapshot, answers stay bit-identical to the last-good oracle, and
+//!   recovery is byte-identical to a never-faulted run.
+//!
 //! ```
 //! use popan_geom::{Point2, Rect};
 //! use popan_query::{QueryService, Queryable, Snapshot};
@@ -53,10 +77,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod publisher;
 pub mod queryable;
 pub mod snapshot;
 
-pub use publisher::{QueryService, SnapshotPublisher, SnapshotReader};
+pub use budget::{budget_for, default_budget, DEFAULT_SLACK};
+pub use publisher::{
+    PublishError, QuarantineCause, QuarantineEntry, QuarantineLog, QueryService, ReaderError,
+    ServiceHealth, SnapshotPublisher, SnapshotReader, QUARANTINE_LOG_CAP,
+};
 pub use queryable::{canonical_sort, knn_by_scan, range_by_scan, Queryable};
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SnapshotBuildError, SnapshotCorruption, SnapshotStats};

@@ -14,15 +14,25 @@
 //! allocator).
 
 use popan_geom::{Point2, Rect};
-use popan_spatial::{FreezeError, LinearQuadtree, PrQuadtree, QueryScratch};
+use popan_spatial::{
+    BoundedOutcome, CostBudget, FreezeError, LinearQuadtree, PrQuadtree, QueryScratch,
+    SectionDigests, SlabFootprint, SnapshotSection,
+};
 
 use crate::queryable::{canonical_sort, Queryable};
 
 /// An immutable Morton-packed replica of a point set at one epoch.
+///
+/// The section digests are computed once, at freeze time, over the
+/// frozen slabs (the epoch is deliberately excluded — the publisher
+/// re-stamps it at publish time without invalidating the checksum).
+/// [`Snapshot::verify`] recomputes them and reports any drift as a
+/// typed [`SnapshotCorruption`] naming the damaged section(s).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     epoch: u64,
     index: LinearQuadtree,
+    digests: SectionDigests,
 }
 
 impl Snapshot {
@@ -32,9 +42,12 @@ impl Snapshot {
     /// has leaves deeper than the Morton resolution (see
     /// [`LinearQuadtree::from_tree`]).
     pub fn freeze(epoch: u64, tree: &PrQuadtree) -> Result<Snapshot, FreezeError> {
+        let index = LinearQuadtree::from_tree(tree)?;
+        let digests = index.section_digests();
         Ok(Snapshot {
             epoch,
-            index: LinearQuadtree::from_tree(tree)?,
+            index,
+            digests,
         })
     }
 
@@ -84,9 +97,70 @@ impl Snapshot {
         self.index.leaf_count()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Heap footprint in bytes, accounting every slab (leaf records,
+    /// block rects, points) at allocated capacity.
     pub fn heap_bytes(&self) -> usize {
         self.index.heap_bytes()
+    }
+
+    /// The per-slab heap footprint.
+    pub fn footprint(&self) -> SlabFootprint {
+        self.index.footprint()
+    }
+
+    /// The freeze-time section digests this snapshot carries.
+    pub fn digests(&self) -> SectionDigests {
+        self.digests
+    }
+
+    /// One-stop health view of the frozen replica, the shape
+    /// `QueryService::health` and the ops tooling consume.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            epoch: self.epoch,
+            len: self.len(),
+            leaf_count: self.leaf_count(),
+            footprint: self.footprint(),
+            digests: self.digests,
+        }
+    }
+
+    /// Recomputes the section digests and checks them against the
+    /// freeze-time values. `Ok(())` means every slab is bit-identical
+    /// to what was frozen; otherwise the error names each damaged
+    /// section. Cost is one linear pass over the slabs — cheap enough
+    /// to run on every publish.
+    pub fn verify(&self) -> Result<(), SnapshotCorruption> {
+        let actual = self.index.section_digests();
+        if actual == self.digests {
+            return Ok(());
+        }
+        let mut damaged = Vec::new();
+        if actual.leaves != self.digests.leaves {
+            damaged.push(SnapshotSection::Leaves);
+        }
+        if actual.blocks != self.digests.blocks {
+            damaged.push(SnapshotSection::Blocks);
+        }
+        if actual.points != self.digests.points {
+            damaged.push(SnapshotSection::Points);
+        }
+        Err(SnapshotCorruption {
+            epoch: self.epoch,
+            expected: self.digests,
+            actual,
+            damaged,
+        })
+    }
+
+    /// Chaos hook: flips one bit in the chosen frozen section *without*
+    /// refreshing the stored digests, so [`Snapshot::verify`] must
+    /// catch it. Returns `false` when the section is empty (nothing to
+    /// damage). Deterministic: the same `bit` always damages the same
+    /// slab byte. Test/fault-injection only — a corrupted snapshot is
+    /// quarantined by the publisher, never served.
+    pub fn corrupt_section(&mut self, section: SnapshotSection, bit: u64) -> bool {
+        self.index.corrupt_slab_bit(section, bit)
     }
 
     /// The underlying Morton-packed index.
@@ -120,7 +194,111 @@ impl Snapshot {
     ) {
         self.index.k_nearest_into(target, k, scratch, out);
     }
+
+    /// Budgeted range query (degraded serving): like
+    /// [`Snapshot::range_into`] but stops once `budget` work units are
+    /// spent. On [`BoundedOutcome::Partial`] the answer is the
+    /// guaranteed canonical *prefix* of the full answer — correct and
+    /// gap-free as far as it goes.
+    pub fn range_bounded_into(
+        &self,
+        query: &Rect,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) -> BoundedOutcome {
+        self.index
+            .range_query_bounded_into(query, budget, scratch, out)
+    }
+
+    /// Budgeted count: the count equals the length of the range prefix
+    /// [`Snapshot::range_bounded_into`] would return under the same
+    /// budget.
+    pub fn count_bounded_with(
+        &self,
+        query: &Rect,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+    ) -> (usize, BoundedOutcome) {
+        self.index
+            .count_in_range_bounded_with(query, budget, scratch)
+    }
+
+    /// Budgeted k-NN: on [`BoundedOutcome::Partial`] every returned
+    /// neighbor is a true `i`-th nearest neighbor (a prefix of the full
+    /// answer under [`popan_spatial::knn_cmp`]).
+    pub fn knn_bounded_into(
+        &self,
+        target: &Point2,
+        k: usize,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) -> BoundedOutcome {
+        self.index
+            .k_nearest_bounded_into(target, k, budget, scratch, out)
+    }
 }
+
+/// A point-in-time health view of one frozen snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// The epoch the snapshot carries.
+    pub epoch: u64,
+    /// Number of stored points.
+    pub len: usize,
+    /// Number of leaf records.
+    pub leaf_count: usize,
+    /// Per-slab heap footprint.
+    pub footprint: SlabFootprint,
+    /// Freeze-time section digests.
+    pub digests: SectionDigests,
+}
+
+impl SnapshotStats {
+    /// Total heap bytes across every slab.
+    pub fn heap_bytes(&self) -> usize {
+        self.footprint.total()
+    }
+}
+
+/// A failed [`Snapshot::verify`]: the recomputed digests drifted from
+/// the freeze-time values. Names every damaged section so operators
+/// (and the chaos suite) can localize the fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotCorruption {
+    /// Epoch stamped on the damaged snapshot.
+    pub epoch: u64,
+    /// Digests recorded at freeze time.
+    pub expected: SectionDigests,
+    /// Digests recomputed over the (damaged) slabs.
+    pub actual: SectionDigests,
+    /// Sections whose digest drifted, in slab order. Empty only in the
+    /// pathological case where just the combined digest drifted (region
+    /// or length tampering).
+    pub damaged: Vec<SnapshotSection>,
+}
+
+impl std::fmt::Display for SnapshotCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot at epoch {} is corrupt: ", self.epoch)?;
+        if self.damaged.is_empty() {
+            write!(
+                f,
+                "structural drift (region or slab lengths), combined {:#018x} != {:#018x}",
+                self.actual.combined, self.expected.combined
+            )
+        } else {
+            write!(f, "damaged section(s):")?;
+            for s in &self.damaged {
+                write!(f, " {s}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCorruption {}
 
 impl Queryable for Snapshot {
     fn len(&self) -> usize {
@@ -219,6 +397,66 @@ mod tests {
         assert!(matches!(err, SnapshotBuildError::Tree(_)), "{err}");
         let err = Snapshot::from_points(0, Rect::unit(), 1, [Point2::new(2.0, 2.0)]).unwrap_err();
         assert!(err.to_string().contains("load tree"), "{err}");
+    }
+
+    #[test]
+    fn verify_accepts_pristine_and_names_damaged_sections() {
+        let snap = Snapshot::from_points(
+            3,
+            Rect::unit(),
+            2,
+            (0..40).map(|i| Point2::new((i as f64 + 0.5) / 40.0, (i as f64 * 0.37) % 1.0)),
+        )
+        .unwrap();
+        snap.verify().expect("pristine snapshot verifies");
+        for (bit, section) in [
+            (5, popan_spatial::SnapshotSection::Points),
+            (97, popan_spatial::SnapshotSection::Blocks),
+            (11, popan_spatial::SnapshotSection::Leaves),
+        ] {
+            let mut damaged = snap.clone();
+            assert!(damaged.corrupt_section(section, bit));
+            let report = damaged.verify().unwrap_err();
+            assert_eq!(report.epoch, 3);
+            assert_eq!(report.damaged, vec![section], "{report}");
+            assert_ne!(report.actual.combined, report.expected.combined);
+            assert!(report.to_string().contains(&section.to_string()));
+        }
+        // The original is untouched: corruption operated on clones.
+        snap.verify().unwrap();
+    }
+
+    #[test]
+    fn epoch_restamp_preserves_the_checksum() {
+        let snap = Snapshot::from_points(0, Rect::unit(), 4, [Point2::new(0.5, 0.5)]).unwrap();
+        let digests = snap.digests();
+        // Publisher-style re-stamp: digests must survive unchanged.
+        let mut restamped = snap.clone();
+        restamped.set_epoch(9);
+        assert_eq!(restamped.digests(), digests);
+        restamped.verify().unwrap();
+    }
+
+    #[test]
+    fn stats_account_every_slab() {
+        let snap = Snapshot::from_points(
+            2,
+            Rect::unit(),
+            2,
+            (0..64).map(|i| Point2::new(((i * 7) % 64) as f64 / 64.0 + 0.001, 0.5)),
+        )
+        .unwrap();
+        let stats = snap.stats();
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.len, 64);
+        assert_eq!(stats.leaf_count, snap.leaf_count());
+        assert_eq!(stats.digests, snap.digests());
+        // heap_bytes is the sum of the per-slab footprints — no slab
+        // missing, none double-counted.
+        let fp = snap.footprint();
+        assert_eq!(stats.heap_bytes(), fp.leaves + fp.blocks + fp.points);
+        assert_eq!(snap.heap_bytes(), stats.heap_bytes());
+        assert!(fp.leaves > 0 && fp.blocks > 0 && fp.points > 0);
     }
 
     #[test]

@@ -152,7 +152,7 @@ fn run_schedule(n_readers: usize) -> Vec<(u64, usize, u64)> {
         .collect();
     for round in 0..EPOCHS as u64 {
         if round > 0 {
-            assert_eq!(publisher.publish(epoch_snapshot(round)), round);
+            assert_eq!(publisher.publish(epoch_snapshot(round)).unwrap(), round);
         }
         barrier.wait(); // round starts: readers sync + query
         barrier.wait(); // round ends: safe to publish the next epoch
@@ -271,7 +271,7 @@ fn unsynchronized_readers_never_observe_torn_snapshots() {
         .collect();
     start.wait();
     for epoch in 1..=CHURN_EPOCHS {
-        assert_eq!(publisher.publish(epoch_snapshot(epoch)), epoch);
+        assert_eq!(publisher.publish(epoch_snapshot(epoch)).unwrap(), epoch);
         std::thread::yield_now();
     }
     for h in handles {

@@ -114,7 +114,7 @@ fn snapshot_read_path_does_not_allocate() {
 
     // Publish a fresh epoch of the same population, outside the window:
     // the measured pass must absorb the epoch swap allocation-free.
-    publisher.publish(snapshot_of(3));
+    publisher.publish(snapshot_of(3)).unwrap();
 
     let allocs = allocations_during(|| {
         batch(&mut reader, &mut scratch, &mut out, &mut sink);

@@ -1,0 +1,280 @@
+//! A tiny, dependency-free 64-bit streaming checksum (FNV-1a).
+//!
+//! The query tier checksums its frozen snapshot slabs at freeze time and
+//! re-verifies them before publishing (DESIGN.md §12). The requirements
+//! are modest — detect any single-bit flip and the common multi-bit
+//! corruptions, be byte-order-stable across platforms, cost a handful of
+//! instructions per byte — and FNV-1a 64 meets them with eight lines of
+//! arithmetic. This is an *integrity* checksum, not a cryptographic one:
+//! it defends against torn writes, bad RAM, and fault injection, not
+//! adversaries.
+//!
+//! The mapping *bytes → digest* is frozen the same way the RNG streams
+//! are: committed goldens (`bench/BENCH_query_faults.json`, the chaos
+//! suite's quarantine logs) embed digests, so changing the constants is
+//! a breaking change to published artifacts.
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher.
+///
+/// ```
+/// use popan_rng::hash::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write_bytes(b"abc");
+/// let d1 = h.finish();
+/// let mut h2 = Fnv64::new();
+/// h2.write_u8(b'a');
+/// h2.write_bytes(b"bc");
+/// assert_eq!(d1, h2.finish(), "chunking never changes the digest");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds one byte into the digest.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a byte slice into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a `u32` (little-endian) into the digest.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by its IEEE-754 bit pattern — bit-exact, so
+    /// distinct NaN payloads and `-0.0` vs `0.0` hash differently, which
+    /// is what an integrity check wants.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current digest. The hasher stays usable.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot convenience: the FNV-1a 64 digest of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// A four-lane, word-at-a-time integrity hasher for bulk slabs.
+///
+/// Byte-serial FNV-1a pays one XOR-multiply *per byte*, all on one
+/// dependency chain — at snapshot-freeze scale (megabytes of Morton
+/// slabs) that doubles the freeze cost. `Mix64x4` keeps the same
+/// per-step transfer `h ← (h ⊕ w)·p` but absorbs a whole 64-bit word
+/// per step and round-robins words across four independent lanes, so
+/// the multiplies pipeline instead of serializing. Words are folded
+/// lane by lane through plain FNV-1a at the end (the word count too, so
+/// trailing zero words are not absorbing).
+///
+/// Detection guarantee, same argument as FNV-1a: for a fixed suffix of
+/// absorbed words, each lane step is a bijection on the lane state (the
+/// prime is odd), and the final fold is a bijection in each lane's
+/// position. Flipping any single bit of any absorbed word therefore
+/// always changes the digest. Like [`Fnv64`] this is an *integrity*
+/// hash, not a cryptographic one.
+///
+/// ```
+/// use popan_rng::hash::Mix64x4;
+/// let mut h = Mix64x4::new();
+/// h.write_word(7);
+/// let d = h.finish();
+/// let mut h2 = Mix64x4::new();
+/// h2.write_word(7 ^ (1 << 63));
+/// assert_ne!(d, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix64x4 {
+    lanes: [u64; 4],
+    count: u64,
+}
+
+impl Default for Mix64x4 {
+    fn default() -> Self {
+        Mix64x4::new()
+    }
+}
+
+impl Mix64x4 {
+    /// A fresh hasher; lanes start at the FNV offset basis perturbed by
+    /// the lane index so empty lanes are distinguishable.
+    pub fn new() -> Mix64x4 {
+        Mix64x4 {
+            lanes: [
+                FNV_OFFSET,
+                FNV_OFFSET.wrapping_mul(FNV_PRIME),
+                FNV_OFFSET.wrapping_mul(FNV_PRIME).wrapping_mul(FNV_PRIME),
+                FNV_OFFSET
+                    .wrapping_mul(FNV_PRIME)
+                    .wrapping_mul(FNV_PRIME)
+                    .wrapping_mul(FNV_PRIME),
+            ],
+            count: 0,
+        }
+    }
+
+    /// Absorbs one 64-bit word into the next lane (round-robin).
+    #[inline]
+    pub fn write_word(&mut self, w: u64) {
+        let i = (self.count & 3) as usize;
+        self.lanes[i] = (self.lanes[i] ^ w).wrapping_mul(FNV_PRIME);
+        self.count += 1;
+    }
+
+    /// Absorbs four words at once, one per lane — the bulk form the
+    /// slab digests use (a leaf record, a block rect, or a point pair
+    /// is exactly four words). Equivalent detection guarantee: each
+    /// word lands in a position-deterministic lane and every lane step
+    /// stays bijective. Not byte-stream-compatible with four
+    /// [`Mix64x4::write_word`] calls when the running count is not a
+    /// multiple of four — the digest is defined by the write sequence,
+    /// which callers keep canonical.
+    #[inline]
+    pub fn write_words4(&mut self, w: [u64; 4]) {
+        self.lanes[0] = (self.lanes[0] ^ w[0]).wrapping_mul(FNV_PRIME);
+        self.lanes[1] = (self.lanes[1] ^ w[1]).wrapping_mul(FNV_PRIME);
+        self.lanes[2] = (self.lanes[2] ^ w[2]).wrapping_mul(FNV_PRIME);
+        self.lanes[3] = (self.lanes[3] ^ w[3]).wrapping_mul(FNV_PRIME);
+        self.count += 4;
+    }
+
+    /// Absorbs an `f64` by its IEEE-754 bit pattern (bit-exact).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_word(v.to_bits());
+    }
+
+    /// The digest: lane states and the word count folded through
+    /// FNV-1a. The hasher stays usable.
+    pub fn finish(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.count);
+        for lane in self.lanes {
+            h.write_u64(lane);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunking_is_immaterial() {
+        let mut a = Fnv64::new();
+        a.write_u64(0x0123_4567_89ab_cdef);
+        a.write_u32(42);
+        let mut b = Fnv64::new();
+        for byte in 0x0123_4567_89ab_cdefu64.to_le_bytes() {
+            b.write_u8(byte);
+        }
+        b.write_bytes(&42u32.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base: Vec<u8> = (0u8..64).collect();
+        let d0 = fnv64(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(fnv64(&flipped), d0, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_lanes_detect_single_bit_flips_at_any_position() {
+        // 9 words so every lane holds at least two, exercising both the
+        // round-robin and the chained bijectivity argument.
+        let base: Vec<u64> = (0..9).map(|i| 0x0123_4567_89ab_cdef ^ i).collect();
+        let digest = |words: &[u64]| {
+            let mut h = Mix64x4::new();
+            for &w in words {
+                h.write_word(w);
+            }
+            h.finish()
+        };
+        let d0 = digest(&base);
+        for wi in 0..base.len() {
+            for bit in 0..64 {
+                let mut flipped = base.clone();
+                flipped[wi] ^= 1 << bit;
+                assert_ne!(digest(&flipped), d0, "word {wi} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_counts_trailing_and_leading_emptiness() {
+        // Zero words are not absorbing: [0] != [] != [0, 0].
+        let mut one = Mix64x4::new();
+        one.write_word(0);
+        let mut two = Mix64x4::new();
+        two.write_word(0);
+        two.write_word(0);
+        let empty = Mix64x4::new();
+        assert_ne!(one.finish(), empty.finish());
+        assert_ne!(two.finish(), one.finish());
+        assert_ne!(two.finish(), empty.finish());
+        // f64 absorption is bit-exact.
+        let mut pos = Mix64x4::new();
+        pos.write_f64(0.0);
+        let mut neg = Mix64x4::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+
+    #[test]
+    fn f64_hashing_is_bit_exact() {
+        let mut pos = Fnv64::new();
+        pos.write_f64(0.0);
+        let mut neg = Fnv64::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish(), "-0.0 and 0.0 differ in bits");
+    }
+}

@@ -33,6 +33,7 @@
 //! themselves.
 
 pub mod distr;
+pub mod hash;
 pub mod rngs;
 
 pub use rngs::StdRng;

@@ -57,7 +57,10 @@ pub mod reference;
 pub mod visualize;
 
 pub use bintree::Bintree;
-pub use linear_quadtree::{knn_cmp, FreezeError, LinearQuadtree, QueryScratch};
+pub use linear_quadtree::{
+    knn_cmp, BoundedOutcome, CostBudget, FreezeError, LinearQuadtree, QueryCost, QueryScratch,
+    SectionDigests, SlabFootprint, SnapshotSection,
+};
 pub use mary_tree::MarySearchTree;
 pub use node_stats::{
     DepthOccupancyTable, LeafRecord, OccupancyCensus, OccupancyInstrumented, OccupancyProfile,

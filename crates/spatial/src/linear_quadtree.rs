@@ -33,7 +33,9 @@
 
 use crate::pr_quadtree::PrQuadtree;
 use popan_geom::morton::{self, MortonSpan};
-use popan_geom::{Point2, Rect};
+use popan_geom::{Interval, Point2, Rect};
+use popan_rng::hash::{Fnv64, Mix64x4};
+use std::cmp::Ordering;
 
 /// Errors from freezing a pointer tree into linear form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +81,13 @@ pub struct QueryScratch {
     /// k-NN candidate list: `(distance², point)` sorted by the canonical
     /// k-NN order.
     best: Vec<(f64, Point2)>,
+    /// Leaves scanned by the current *bounded* query: `(leaf index,
+    /// covered-by-span)`. The budgeted paths replay this list to trim a
+    /// partial answer to its guaranteed canonical prefix.
+    visited: Vec<(u32, bool)>,
+    /// Staging buffer for the bounded count path (it must materialize
+    /// candidates to trim them against the truncation bound).
+    staged: Vec<Point2>,
 }
 
 impl QueryScratch {
@@ -86,6 +95,144 @@ impl QueryScratch {
     /// reused afterwards).
     pub fn new() -> Self {
         QueryScratch::default()
+    }
+}
+
+/// One frozen slab of a [`LinearQuadtree`], as named by integrity
+/// reports and the fault-injection vocabulary (`corrupt:leaf|blocks|points`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SnapshotSection {
+    /// The Morton-sorted leaf records (codes, depths, point offsets).
+    Leaves,
+    /// The parallel geometric block rects.
+    Blocks,
+    /// The flat point slab.
+    Points,
+}
+
+impl std::fmt::Display for SnapshotSection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SnapshotSection::Leaves => "leaves",
+            SnapshotSection::Blocks => "blocks",
+            SnapshotSection::Points => "points",
+        })
+    }
+}
+
+/// The per-section FNV-1a 64 digests of a frozen index, plus a combined
+/// digest folding in the region and the slab lengths. Computed once at
+/// freeze, re-computed by `Snapshot::verify` in `popan-query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionDigests {
+    /// Digest of the leaf-record slab (codes, depths, offsets, lengths).
+    pub leaves: u64,
+    /// Digest of the block-rect slab (all four bounds, bit-exact).
+    pub blocks: u64,
+    /// Digest of the point slab (both coordinates, bit-exact).
+    pub points: u64,
+    /// Digest over the region bounds, slab lengths, and the three
+    /// section digests — one number that pins the whole frozen index.
+    pub combined: u64,
+}
+
+/// Heap bytes held per slab (allocated capacity, not live length — the
+/// freeze shrinks each slab so the two coincide for a fresh snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabFootprint {
+    /// Bytes held by the leaf-record slab.
+    pub leaves: usize,
+    /// Bytes held by the block-rect slab.
+    pub blocks: usize,
+    /// Bytes held by the point slab.
+    pub points: usize,
+}
+
+impl SlabFootprint {
+    /// Total heap bytes across every slab.
+    pub fn total(&self) -> usize {
+        self.leaves + self.blocks + self.points
+    }
+}
+
+/// A work-unit budget for the degraded (bounded) query paths.
+///
+/// Work is measured in deterministic units — leaves scanned and points
+/// read off the slabs — never wall-clock time, so a budgeted answer is a
+/// pure function of (snapshot, query, budget) and the determinism lint's
+/// D2 rule holds. Metadata sweeps (span decomposition, the pruning scan
+/// over leaf records) are O(leaf count) and not charged: the budget
+/// bounds slab traffic, which is what a pathological or corrupted query
+/// would otherwise blow up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostBudget {
+    /// Leaves whose point slices may be scanned.
+    pub leaf_visits: u64,
+    /// Points that may be read off the point slab.
+    pub point_visits: u64,
+}
+
+impl CostBudget {
+    /// No limit: the bounded paths behave exactly like the unbounded
+    /// ones and always report [`BoundedOutcome::Complete`].
+    pub fn unbounded() -> CostBudget {
+        CostBudget {
+            leaf_visits: u64::MAX,
+            point_visits: u64::MAX,
+        }
+    }
+
+    /// A budget of `leaf_visits` leaves and `point_visits` points.
+    pub fn new(leaf_visits: u64, point_visits: u64) -> CostBudget {
+        CostBudget {
+            leaf_visits,
+            point_visits,
+        }
+    }
+}
+
+/// Work actually performed by a bounded query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCost {
+    /// Leaves whose point slices were scanned.
+    pub leaf_visits: u64,
+    /// Points read off the point slab.
+    pub point_visits: u64,
+}
+
+/// How a bounded query ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedOutcome {
+    /// The full answer was produced within budget.
+    Complete {
+        /// Work performed.
+        visited: QueryCost,
+    },
+    /// The budget ran out. The answer is the *guaranteed canonical
+    /// prefix* of the full answer: every returned element is correct and
+    /// no element canonically before it is missing (range results under
+    /// [`popan_geom::Point2::canonical_cmp`], k-NN under [`knn_cmp`]).
+    Partial {
+        /// Work performed before exhaustion.
+        visited: QueryCost,
+        /// Candidate leaves that were *not* examined; their contents are
+        /// what the prefix guarantee had to truncate against.
+        truncated_spans: usize,
+    },
+}
+
+impl BoundedOutcome {
+    /// `true` for [`BoundedOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BoundedOutcome::Complete { .. })
+    }
+
+    /// The work performed.
+    pub fn visited(&self) -> QueryCost {
+        match *self {
+            BoundedOutcome::Complete { visited } => visited,
+            BoundedOutcome::Partial { visited, .. } => visited,
+        }
     }
 }
 
@@ -168,8 +315,11 @@ impl LinearQuadtree {
         }
         let mut order: Vec<usize> = (0..leaves.len()).collect();
         order.sort_by_key(|&i| leaves[i].code_lo);
-        let leaves = order.iter().map(|&i| leaves[i].clone()).collect();
-        let blocks = order.iter().map(|&i| blocks[i]).collect();
+        let leaves: Vec<LeafEntry> = order.iter().map(|&i| leaves[i].clone()).collect();
+        let blocks: Vec<Rect> = order.iter().map(|&i| blocks[i]).collect();
+        // The snapshot is immutable from here on; return the incremental
+        // growth slack so the footprint accounting is exact.
+        points.shrink_to_fit();
         Ok(LinearQuadtree {
             region,
             leaves,
@@ -424,11 +574,446 @@ impl LinearQuadtree {
         }
     }
 
-    /// Approximate heap footprint in bytes (leaves + blocks + points).
+    /// Budgeted range query: like
+    /// [`LinearQuadtree::range_query_into`], but stops when `budget` is
+    /// exhausted and degrades to the **guaranteed canonical prefix** of
+    /// the full answer instead of running unbounded work.
+    ///
+    /// `out` is always sorted by [`Point2::canonical_cmp`]. On
+    /// [`BoundedOutcome::Partial`], every returned point is a true
+    /// answer and *no* canonically-smaller answer is missing: the sweep
+    /// records which candidate leaves went unexamined, takes the
+    /// canonically smallest possible answer point any of them could
+    /// contain (the canonical-min corner of `block ∩ query`), and trims
+    /// the collected answers strictly below that bound. The result is
+    /// exactly the full answer's canonical prefix below the bound.
+    pub fn range_query_bounded_into(
+        &self,
+        query: &Rect,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) -> BoundedOutcome {
+        out.clear();
+        let exhausted = self.bounded_sweep(query, budget, scratch, out);
+        out.sort_unstable_by(Point2::canonical_cmp);
+        let mut visited = QueryCost::default();
+        for &(i, _) in &scratch.visited {
+            visited.leaf_visits += 1;
+            visited.point_visits += u64::from(self.leaves[i as usize].points_len);
+        }
+        match exhausted {
+            None => BoundedOutcome::Complete { visited },
+            Some(resume) => {
+                let (bound, truncated) = self.truncation_bound(query, scratch, resume);
+                match bound {
+                    // Every unexamined leaf was outside the query: the
+                    // answer is in fact complete.
+                    None => BoundedOutcome::Complete { visited },
+                    Some(bound) => {
+                        let keep =
+                            out.partition_point(|p| p.canonical_cmp(&bound) == Ordering::Less);
+                        out.truncate(keep);
+                        BoundedOutcome::Partial {
+                            visited,
+                            truncated_spans: truncated,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Budgeted count: returns `(count, outcome)` where on
+    /// [`BoundedOutcome::Partial`] the count equals
+    /// `range_query_bounded_into(..).len()` under the same budget — the
+    /// size of the guaranteed canonical prefix. The recount after
+    /// exhaustion re-reads the already-visited leaves, so a partial
+    /// count costs at most twice the point budget.
+    pub fn count_in_range_bounded_with(
+        &self,
+        query: &Rect,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+    ) -> (usize, BoundedOutcome) {
+        let mut staged = std::mem::take(&mut scratch.staged);
+        staged.clear();
+        let exhausted = self.bounded_sweep(query, budget, scratch, &mut staged);
+        let mut visited = QueryCost::default();
+        for &(i, _) in &scratch.visited {
+            visited.leaf_visits += 1;
+            visited.point_visits += u64::from(self.leaves[i as usize].points_len);
+        }
+        let outcome = match exhausted {
+            None => (staged.len(), BoundedOutcome::Complete { visited }),
+            Some(resume) => {
+                let (bound, truncated) = self.truncation_bound(query, scratch, resume);
+                match bound {
+                    None => (staged.len(), BoundedOutcome::Complete { visited }),
+                    Some(bound) => {
+                        let kept = staged
+                            .iter()
+                            .filter(|p| p.canonical_cmp(&bound) == Ordering::Less)
+                            .count();
+                        (
+                            kept,
+                            BoundedOutcome::Partial {
+                                visited,
+                                truncated_spans: truncated,
+                            },
+                        )
+                    }
+                }
+            }
+        };
+        scratch.staged = staged;
+        outcome
+    }
+
+    /// The shared budgeted sweep: visits candidate leaves in Morton
+    /// order, appending matches to `out` and recording visited leaves in
+    /// `scratch.visited`, until the budget runs out. Returns the resume
+    /// point `(span index, leaf cursor)` on exhaustion.
+    fn bounded_sweep(
+        &self,
+        query: &Rect,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) -> Option<(usize, usize)> {
+        scratch.visited.clear();
+        if !self.region.overlaps(query) {
+            scratch.spans.clear();
+            return None;
+        }
+        morton::decompose_ranges_into(
+            query,
+            &self.region,
+            RANGE_DECOMPOSE_DEPTH,
+            &mut scratch.spans,
+        );
+        let mut cost = QueryCost::default();
+        let mut cursor = 0usize;
+        for si in 0..scratch.spans.len() {
+            let span = scratch.spans[si];
+            cursor += self.leaves[cursor..].partition_point(|l| l.code_hi <= span.lo);
+            while cursor < self.leaves.len() && self.leaves[cursor].code_lo < span.hi {
+                let l = &self.leaves[cursor];
+                let pts = u64::from(l.points_len);
+                if cost.leaf_visits + 1 > budget.leaf_visits
+                    || cost.point_visits + pts > budget.point_visits
+                {
+                    return Some((si, cursor));
+                }
+                cost.leaf_visits += 1;
+                cost.point_visits += pts;
+                let covered = span.covered && span.lo <= l.code_lo && l.code_hi <= span.hi;
+                if covered {
+                    out.extend_from_slice(self.leaf_points(l));
+                } else {
+                    out.extend(
+                        self.leaf_points(l)
+                            .iter()
+                            .filter(|p| query.contains(p))
+                            .copied(),
+                    );
+                }
+                scratch.visited.push((cursor as u32, covered));
+                cursor += 1;
+            }
+        }
+        None
+    }
+
+    /// Enumerates the candidate leaves an exhausted sweep never reached
+    /// (resuming at `(span index, leaf cursor)`) and returns the
+    /// canonically smallest point any of them could contribute, plus
+    /// their count. `None` bound means no unexamined leaf overlaps the
+    /// query — the answer was complete after all.
+    fn truncation_bound(
+        &self,
+        query: &Rect,
+        scratch: &QueryScratch,
+        resume: (usize, usize),
+    ) -> (Option<Point2>, usize) {
+        let (si, mut cursor) = resume;
+        let mut bound: Option<Point2> = None;
+        let mut truncated = 0usize;
+        for span in &scratch.spans[si..] {
+            cursor += self.leaves[cursor..].partition_point(|l| l.code_hi <= span.lo);
+            while cursor < self.leaves.len() && self.leaves[cursor].code_lo < span.hi {
+                let b = &self.blocks[cursor];
+                if b.overlaps(query) {
+                    truncated += 1;
+                    let corner = Point2::new(
+                        b.x().lo().max(query.x().lo()),
+                        b.y().lo().max(query.y().lo()),
+                    );
+                    bound = Some(match bound {
+                        Some(cur) if cur.canonical_cmp(&corner) != Ordering::Greater => cur,
+                        _ => corner,
+                    });
+                }
+                cursor += 1;
+            }
+        }
+        (bound, truncated)
+    }
+
+    /// Budgeted k-NN: like [`LinearQuadtree::k_nearest_into`], but stops
+    /// scanning leaves when `budget` is exhausted and trims the
+    /// candidate list to the **guaranteed prefix** of the true answer
+    /// under [`knn_cmp`]: only candidates strictly closer than any
+    /// unexamined leaf's nearest possible point survive, so every
+    /// returned neighbor is a true `i`-th nearest neighbor.
+    pub fn k_nearest_bounded_into(
+        &self,
+        target: &Point2,
+        k: usize,
+        budget: &CostBudget,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Point2>,
+    ) -> BoundedOutcome {
+        out.clear();
+        scratch.best.clear();
+        scratch.visited.clear();
+        let mut cost = QueryCost::default();
+        if k == 0 || self.points.is_empty() {
+            return BoundedOutcome::Complete { visited: cost };
+        }
+        scratch.best.reserve(k + 1);
+        let seed = self.leaf_index_of(target);
+        let mut exhausted = false;
+        let order = seed
+            .into_iter()
+            .chain((0..self.leaves.len()).filter(|i| Some(*i) != seed));
+        for i in order {
+            if Some(i) != seed && scratch.best.len() == k {
+                let worst = scratch.best[k - 1].0;
+                if min_dist_squared(&self.blocks[i], target) > worst {
+                    continue; // pruned: no slab traffic, not charged
+                }
+            }
+            let pts = u64::from(self.leaves[i].points_len);
+            if cost.leaf_visits + 1 > budget.leaf_visits
+                || cost.point_visits + pts > budget.point_visits
+            {
+                exhausted = true;
+                break;
+            }
+            cost.leaf_visits += 1;
+            cost.point_visits += pts;
+            scratch.visited.push((i as u32, false));
+            Self::knn_scan_leaf(
+                self.leaf_points(&self.leaves[i]),
+                target,
+                k,
+                &mut scratch.best,
+            );
+        }
+        if !exhausted {
+            out.extend(scratch.best.iter().map(|&(_, p)| p));
+            return BoundedOutcome::Complete { visited: cost };
+        }
+        // Every leaf not *scanned* — including ones pruned earlier, whose
+        // lower bounds exceeded a then-current k-th distance — caps the
+        // provable prefix: a candidate survives only if it is strictly
+        // closer than the nearest possible point of every such leaf.
+        let mut scanned: Vec<u32> = scratch.visited.iter().map(|&(i, _)| i).collect();
+        scanned.sort_unstable();
+        let mut bound = f64::INFINITY;
+        let mut truncated = 0usize;
+        let mut next = 0usize;
+        for i in 0..self.leaves.len() {
+            if next < scanned.len() && scanned[next] as usize == i {
+                next += 1;
+                continue;
+            }
+            truncated += 1;
+            let d = min_dist_squared(&self.blocks[i], target);
+            if d < bound {
+                bound = d;
+            }
+        }
+        out.extend(
+            scratch
+                .best
+                .iter()
+                .take_while(|&&(d, _)| d < bound)
+                .map(|&(_, p)| p),
+        );
+        BoundedOutcome::Partial {
+            visited: cost,
+            truncated_spans: truncated,
+        }
+    }
+
+    /// Heap footprint in bytes across every slab. Counts *allocated
+    /// capacity*, not live length — before PR 8 this under-reported the
+    /// point slab's growth slack; the freeze now shrinks the slabs so
+    /// the two coincide, and [`LinearQuadtree::footprint`] breaks the
+    /// total down per slab.
     pub fn heap_bytes(&self) -> usize {
-        self.leaves.len() * std::mem::size_of::<LeafEntry>()
-            + self.blocks.len() * std::mem::size_of::<Rect>()
-            + self.points.len() * std::mem::size_of::<Point2>()
+        self.footprint().total()
+    }
+
+    /// Per-slab heap bytes (allocated capacity).
+    pub fn footprint(&self) -> SlabFootprint {
+        SlabFootprint {
+            leaves: self.leaves.capacity() * std::mem::size_of::<LeafEntry>(),
+            blocks: self.blocks.capacity() * std::mem::size_of::<Rect>(),
+            points: self.points.capacity() * std::mem::size_of::<Point2>(),
+        }
+    }
+
+    /// Digests of the frozen slabs (DESIGN.md §12): one per section
+    /// over that slab's canonical word stream (four-lane word-at-a-time
+    /// [`Mix64x4`] — the slabs are megabytes at serving scale, and the
+    /// byte-serial FNV chain would double the freeze cost), plus a
+    /// combined FNV-1a digest folding in the region bounds and slab
+    /// lengths. The epoch is deliberately *not* part of any digest —
+    /// the publisher re-stamps epochs at publish time and that must not
+    /// invalidate the checksum.
+    pub fn section_digests(&self) -> SectionDigests {
+        // Each record maps onto one bulk absorb (a leaf record and a
+        // block rect are four words; a pair of points is four), keeping
+        // the multiply lanes saturated instead of paying round-robin
+        // bookkeeping per word.
+        let mut h = Mix64x4::new();
+        h.write_word(self.leaves.len() as u64);
+        for l in &self.leaves {
+            // Two u32 fields share a word; points_len gets its own so
+            // every field lands at a fixed word-lane position.
+            h.write_words4([
+                l.code_lo,
+                l.code_hi,
+                u64::from(l.depth) << 32 | u64::from(l.points_start),
+                u64::from(l.points_len),
+            ]);
+        }
+        let leaves = h.finish();
+
+        let mut h = Mix64x4::new();
+        h.write_word(self.blocks.len() as u64);
+        for b in &self.blocks {
+            h.write_words4([
+                b.x().lo().to_bits(),
+                b.x().hi().to_bits(),
+                b.y().lo().to_bits(),
+                b.y().hi().to_bits(),
+            ]);
+        }
+        let blocks = h.finish();
+
+        let mut h = Mix64x4::new();
+        h.write_word(self.points.len() as u64);
+        let mut pairs = self.points.chunks_exact(2);
+        for pair in &mut pairs {
+            h.write_words4([
+                pair[0].x.to_bits(),
+                pair[0].y.to_bits(),
+                pair[1].x.to_bits(),
+                pair[1].y.to_bits(),
+            ]);
+        }
+        for p in pairs.remainder() {
+            h.write_f64(p.x);
+            h.write_f64(p.y);
+        }
+        let points = h.finish();
+
+        let mut h = Fnv64::new();
+        h.write_f64(self.region.x().lo());
+        h.write_f64(self.region.x().hi());
+        h.write_f64(self.region.y().lo());
+        h.write_f64(self.region.y().hi());
+        h.write_u64(self.leaves.len() as u64);
+        h.write_u64(self.points.len() as u64);
+        h.write_u64(leaves);
+        h.write_u64(blocks);
+        h.write_u64(points);
+        SectionDigests {
+            leaves,
+            blocks,
+            points,
+            combined: h.finish(),
+        }
+    }
+
+    /// **Fault-injection machinery** — flips one bit inside the chosen
+    /// frozen slab, deterministically addressed by `bit` (taken modulo
+    /// the section's total bit width, so any `u64` names a valid bit).
+    /// Returns `false` when the section is empty and nothing could be
+    /// damaged.
+    ///
+    /// This exists so the serving-path chaos suite (`popan-query`
+    /// `tests/chaos.rs`, driven by `popan-engine`'s
+    /// `Fault::Corrupt(..)`) can prove that `Snapshot::verify` catches
+    /// arbitrary single-bit slab damage before a corrupt snapshot is
+    /// published. The damaged index may violate every structural
+    /// invariant — it must be quarantined, never queried.
+    pub fn corrupt_slab_bit(&mut self, section: SnapshotSection, bit: u64) -> bool {
+        match section {
+            SnapshotSection::Leaves => {
+                // 224 bits per record: code_lo | code_hi | depth |
+                // points_start | points_len.
+                if self.leaves.is_empty() {
+                    return false;
+                }
+                let b = bit % (self.leaves.len() as u64 * 224);
+                let l = &mut self.leaves[(b / 224) as usize];
+                match b % 224 {
+                    o @ 0..=63 => l.code_lo ^= 1 << o,
+                    o @ 64..=127 => l.code_hi ^= 1 << (o - 64),
+                    o @ 128..=159 => l.depth ^= 1 << (o - 128),
+                    o @ 160..=191 => l.points_start ^= 1 << (o - 160),
+                    o => l.points_len ^= 1 << (o - 192),
+                }
+            }
+            SnapshotSection::Blocks => {
+                // 256 bits per rect: x.lo | x.hi | y.lo | y.hi. The
+                // damaged bounds may be inverted or non-finite; the
+                // unchecked constructor is exactly for this.
+                if self.blocks.is_empty() {
+                    return false;
+                }
+                let b = bit % (self.blocks.len() as u64 * 256);
+                let r = &mut self.blocks[(b / 256) as usize];
+                let mut bounds = [
+                    r.x().lo().to_bits(),
+                    r.x().hi().to_bits(),
+                    r.y().lo().to_bits(),
+                    r.y().hi().to_bits(),
+                ];
+                let o = b % 256;
+                bounds[(o / 64) as usize] ^= 1 << (o % 64);
+                *r = Rect::new(
+                    Interval::from_raw_unchecked(
+                        f64::from_bits(bounds[0]),
+                        f64::from_bits(bounds[1]),
+                    ),
+                    Interval::from_raw_unchecked(
+                        f64::from_bits(bounds[2]),
+                        f64::from_bits(bounds[3]),
+                    ),
+                );
+            }
+            SnapshotSection::Points => {
+                // 128 bits per point: x | y.
+                if self.points.is_empty() {
+                    return false;
+                }
+                let b = bit % (self.points.len() as u64 * 128);
+                let p = &mut self.points[(b / 128) as usize];
+                let o = b % 128;
+                if o < 64 {
+                    p.x = f64::from_bits(p.x.to_bits() ^ (1 << o));
+                } else {
+                    p.y = f64::from_bits(p.y.to_bits() ^ (1 << (o - 64)));
+                }
+            }
+        }
+        true
     }
 
     /// Verifies that leaf ranges are sorted, disjoint, and tile the full
@@ -723,6 +1308,152 @@ mod tests {
         for i in 0..linear.leaf_count() {
             let b = linear.leaf_block(i);
             assert!(Rect::unit().contains_rect(&b));
+        }
+    }
+
+    #[test]
+    fn footprint_accounts_every_slab_exactly() {
+        let (_, linear) = build_pair(777, 3, 12);
+        let fp = linear.footprint();
+        // The freeze shrinks the slabs, so capacity == live length and
+        // the accounting is exact per slab.
+        assert_eq!(
+            fp.points,
+            linear.len() * std::mem::size_of::<Point2>(),
+            "point slab"
+        );
+        assert_eq!(
+            fp.blocks,
+            linear.leaf_count() * std::mem::size_of::<Rect>(),
+            "block slab"
+        );
+        assert_eq!(
+            fp.leaves,
+            linear.leaf_count() * std::mem::size_of::<LeafEntry>(),
+            "leaf slab"
+        );
+        assert_eq!(linear.heap_bytes(), fp.total());
+    }
+
+    #[test]
+    fn section_digests_localize_damage() {
+        let (_, linear) = build_pair(300, 2, 13);
+        let clean = linear.section_digests();
+        assert_eq!(clean, linear.section_digests(), "digests are pure");
+
+        for (section, bit) in [
+            (SnapshotSection::Leaves, 7u64),
+            (SnapshotSection::Blocks, 1_000_003),
+            (SnapshotSection::Points, 42),
+        ] {
+            let mut damaged = linear.clone();
+            assert!(damaged.corrupt_slab_bit(section, bit));
+            let d = damaged.section_digests();
+            let changed = |s: SnapshotSection| match s {
+                SnapshotSection::Leaves => d.leaves != clean.leaves,
+                SnapshotSection::Blocks => d.blocks != clean.blocks,
+                SnapshotSection::Points => d.points != clean.points,
+            };
+            for probe in [
+                SnapshotSection::Leaves,
+                SnapshotSection::Blocks,
+                SnapshotSection::Points,
+            ] {
+                assert_eq!(
+                    changed(probe),
+                    probe == section,
+                    "corrupting {section} must change exactly that digest ({probe})"
+                );
+            }
+            assert_ne!(d.combined, clean.combined, "{section}");
+        }
+    }
+
+    #[test]
+    fn corrupting_an_empty_section_is_a_no_op() {
+        let tree = PrQuadtree::new(Rect::unit(), 1).unwrap();
+        let mut linear = LinearQuadtree::from_tree(&tree).unwrap();
+        assert!(!linear.corrupt_slab_bit(SnapshotSection::Points, 5));
+        // Leaves/blocks always hold at least the root record.
+        assert!(linear.corrupt_slab_bit(SnapshotSection::Leaves, 5));
+    }
+
+    #[test]
+    fn unbounded_budget_reproduces_the_full_answers() {
+        let (_, linear) = build_pair(800, 3, 14);
+        let budget = CostBudget::unbounded();
+        let mut scratch = QueryScratch::new();
+        let mut bounded = Vec::new();
+        for rect in [
+            Rect::from_bounds(0.1, 0.2, 0.5, 0.9),
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Rect::from_bounds(0.48, 0.48, 0.52, 0.52),
+        ] {
+            let outcome =
+                linear.range_query_bounded_into(&rect, &budget, &mut scratch, &mut bounded);
+            assert!(outcome.is_complete(), "{rect}");
+            assert!(outcome.visited().leaf_visits > 0);
+            let mut full = linear.range_query(&rect);
+            full.sort_by(Point2::canonical_cmp);
+            assert_eq!(bounded, full, "{rect}");
+            let (count, c_outcome) =
+                linear.count_in_range_bounded_with(&rect, &budget, &mut scratch);
+            assert!(c_outcome.is_complete());
+            assert_eq!(count, full.len(), "{rect}");
+        }
+        let target = Point2::new(0.3, 0.7);
+        let outcome =
+            linear.k_nearest_bounded_into(&target, 25, &budget, &mut scratch, &mut bounded);
+        assert!(outcome.is_complete());
+        assert_eq!(bounded, linear.k_nearest(&target, 25));
+    }
+
+    #[test]
+    fn partial_range_is_a_canonical_prefix() {
+        let (_, linear) = build_pair(600, 2, 15);
+        let rect = Rect::from_bounds(0.05, 0.05, 0.95, 0.95);
+        let mut full = linear.range_query(&rect);
+        full.sort_by(Point2::canonical_cmp);
+        let mut scratch = QueryScratch::new();
+        let mut partial = Vec::new();
+        // Tight and loose budgets, all in leaf visits.
+        for leaf_budget in [1u64, 3, 10, 50] {
+            let budget = CostBudget::new(leaf_budget, u64::MAX);
+            let outcome =
+                linear.range_query_bounded_into(&rect, &budget, &mut scratch, &mut partial);
+            assert_eq!(&full[..partial.len()], &partial[..], "budget {leaf_budget}");
+            if let BoundedOutcome::Partial { visited, .. } = outcome {
+                assert!(visited.leaf_visits <= leaf_budget);
+            }
+            let (count, _) = linear.count_in_range_bounded_with(&rect, &budget, &mut scratch);
+            assert_eq!(count, partial.len(), "count tracks the trimmed prefix");
+        }
+    }
+
+    #[test]
+    fn partial_knn_is_a_prefix_of_the_true_answer() {
+        let (_, linear) = build_pair(500, 2, 16);
+        let target = Point2::new(0.41, 0.57);
+        let full = linear.k_nearest(&target, 40);
+        let mut scratch = QueryScratch::new();
+        let mut partial = Vec::new();
+        for point_budget in [4u64, 16, 64, 256] {
+            let budget = CostBudget::new(u64::MAX, point_budget);
+            let outcome =
+                linear.k_nearest_bounded_into(&target, 40, &budget, &mut scratch, &mut partial);
+            assert_eq!(
+                &full[..partial.len()],
+                &partial[..],
+                "budget {point_budget}"
+            );
+            if let BoundedOutcome::Partial {
+                visited,
+                truncated_spans,
+            } = outcome
+            {
+                assert!(visited.point_visits <= point_budget);
+                assert!(truncated_spans > 0);
+            }
         }
     }
 

@@ -47,6 +47,13 @@ cargo test -q --offline -p popan-experiments --test engine_determinism
 # proofs riding in the same crate).
 POPAN_THREADS=1 cargo test -q --offline -p popan-query
 POPAN_THREADS=4 cargo test -q --offline -p popan-query
+# Serving-path chaos suite, named at both reader counts: scripted
+# corrupt/stall/reject fault rounds must leave every reader serving the
+# last-good snapshot (verified, never torn) with a quarantine log and
+# health counters that match the serial oracle bit for bit, and the
+# post-fault recovery publish must restore byte-identical digests.
+POPAN_THREADS=1 cargo test -q --offline -p popan-query --test chaos
+POPAN_THREADS=4 cargo test -q --offline -p popan-query --test chaos
 
 # Graceful degradation: an injected panic fails one registry entry; the
 # runner must exit 1 yet still produce the other artifacts.
@@ -105,5 +112,13 @@ cp target/popan-bench/BENCH_query.json bench/BENCH_query.smoke.json
 [ -f target/popan-bench/BENCH_split.json ] || {
   echo "verify: bench smoke did not produce BENCH_split.json" >&2; exit 1; }
 cp target/popan-bench/BENCH_split.json bench/BENCH_split.smoke.json
+# And the self-healing group: bench/BENCH_query_faults.json is the
+# committed full run (checksummed vs plain freeze — the ≤5% overhead
+# record — plus verify/publish/quarantine and budgeted-query costs);
+# the .smoke archive proves the group, with its pre-timing
+# budget-completeness assertions, runs end to end.
+[ -f target/popan-bench/BENCH_query_faults.json ] || {
+  echo "verify: bench smoke did not produce BENCH_query_faults.json" >&2; exit 1; }
+cp target/popan-bench/BENCH_query_faults.json bench/BENCH_query_faults.smoke.json
 
-echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + split bit-identity + bench smoke (BENCH_spatial, BENCH_query, BENCH_split archived) all green (offline)"
+echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + chaos suite + split bit-identity + bench smoke (BENCH_spatial, BENCH_query, BENCH_split, BENCH_query_faults archived) all green (offline)"
