@@ -1,0 +1,61 @@
+//! Bench for the static analyzer itself: the three phases of a
+//! whole-workspace run, measured separately on the real tree.
+//!
+//! * `parse_phase`: lex + item-parse every workspace source file;
+//! * `graph_phase`: symbol table + dep-closure-filtered call graph;
+//! * `rules_phase`: token rules, transitive taint (per-sink reverse
+//!   BFS with witness chains), waivers, and report assembly.
+//!
+//! The analyzer fronts `scripts/verify.sh`, so its own cost is on the
+//! critical path of every verification run — a regression here taxes
+//! each CI invocation.
+
+use popan_bench::{criterion_group, criterion_main, Criterion};
+use popan_lint::{
+    find_workspace_root, graph_phase, load_config, load_sources, parse_phase, rules_phase,
+};
+use std::hint::black_box;
+use std::path::Path;
+
+fn bench_lint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint");
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let config = load_config(&root).expect("lint.toml parses");
+    let set = load_sources(&root, &config).expect("workspace sources load");
+
+    group.bench_function("parse_phase", |bch| {
+        bch.iter(|| parse_phase(black_box(&set)).len())
+    });
+
+    let scans = parse_phase(&set);
+    group.bench_function("graph_phase", |bch| {
+        bch.iter(|| {
+            let (table, graph) = graph_phase(black_box(&set), black_box(&scans));
+            (table.fns.len(), graph.stats.edges)
+        })
+    });
+
+    group.bench_function("rules_phase", |bch| {
+        let (table, graph) = graph_phase(&set, &scans);
+        let mut scans = parse_phase(&set);
+        bch.iter(|| {
+            let report = rules_phase(
+                black_box(&config),
+                black_box(&set),
+                &mut scans,
+                &table,
+                &graph,
+            );
+            report.findings.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lint
+}
+criterion_main!(benches);

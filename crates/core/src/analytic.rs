@@ -34,8 +34,10 @@ pub fn m1_distribution(branching: usize) -> Result<ExpectedDistribution> {
 
 /// The paper's §III analytic result: `m = 1`, `b = 4` gives `(½, ½)`.
 pub fn simple_pr_distribution() -> ExpectedDistribution {
-    // popan-lint: allow(R1, "constant argument b = 4 satisfies the b >= 2 precondition")
-    m1_distribution(4).expect("b = 4 is valid")
+    // The constant b = 4 satisfies the b >= 2 precondition, but
+    // rather than unwrap the Result, fall back to the literal (½, ½)
+    // the closed form evaluates to — identical and infallible.
+    m1_distribution(4).unwrap_or_else(|_| ExpectedDistribution::half_half())
 }
 
 /// Empirically verifies the paper's uniqueness claim ("for sets of

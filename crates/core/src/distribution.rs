@@ -48,6 +48,16 @@ impl ExpectedDistribution {
         Self::new(DVector::from(proportions))
     }
 
+    /// The exact two-cell `(½, ½)` distribution — the paper's §III
+    /// analytic result for `m = 1`, `b = 4`. Infallible by
+    /// construction: both components are nonnegative and sum to 1.0
+    /// exactly in binary floating point.
+    pub fn half_half() -> Self {
+        ExpectedDistribution {
+            proportions: DVector::from(&[0.5, 0.5][..]),
+        }
+    }
+
     /// Builds from raw (unnormalized, nonnegative) counts — e.g. measured
     /// leaf counts per occupancy.
     pub fn from_counts(counts: &[f64]) -> Result<Self> {

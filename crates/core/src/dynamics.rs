@@ -207,8 +207,12 @@ impl MeanFieldTree {
             }
         }
         for (level, i, p) in hits {
-            // popan-lint: allow(R1, "key was snapshotted from this same map above; no removal between")
-            let row = self.levels.get_mut(&level).expect("level exists");
+            // The key was snapshotted from this same map above with no
+            // removal between, but a lookup miss degrades to a skipped
+            // hit rather than a panic.
+            let Some(row) = self.levels.get_mut(&level) else {
+                continue;
+            };
             row[i] -= p;
             if i < self.capacity {
                 row[i + 1] += p;

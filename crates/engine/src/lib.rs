@@ -377,7 +377,7 @@ impl Engine {
         writer: Option<&CheckpointWriter>,
     ) -> Result<E::Trial, TrialFailure> {
         // popan-lint: allow(D2, "elapsed time feeds TrialFailure diagnostics only, never results")
-        let start = Instant::now();
+        let start = Instant::now(); // popan-lint: allow(D2T, "same site as the D2 waiver above: diagnostics only")
         let mut last_payload = String::new();
         for attempt in 0..self.retry.max_attempts {
             let fault = self.faults.fault_for(name, t, attempt);
@@ -426,7 +426,7 @@ impl Engine {
             trial: t,
             attempts: self.retry.max_attempts,
             payload: last_payload,
-            elapsed: start.elapsed(),
+            elapsed: start.elapsed(), // popan-lint: allow(D2T, "duration feeds TrialFailure diagnostics only")
         })
     }
 

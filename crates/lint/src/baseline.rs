@@ -1,0 +1,471 @@
+//! The graph-rule baseline ratchet.
+//!
+//! The transitive rules (D2T/D3T/E1T/P1/Q2/L2) land on an existing
+//! tree with findings the team has accepted for now. The committed
+//! `lint-baseline.json` records them keyed by `(rule, file, site)` —
+//! where *site* is `"sink-desc in Fn::qual"`, deliberately
+//! line-independent so unrelated edits do not churn the file — and
+//! `--baseline` suppresses a key only while its current count stays at
+//! or below the recorded count. A new key, or one more finding under
+//! an existing key, surfaces **all** findings of that key (the witness
+//! chains are needed to tell the new edge from the old ones). Entries
+//! that no longer match anything are reported as *stale* notices, not
+//! findings, so the file can be re-tightened with `--write-baseline`.
+//!
+//! The workspace is hermetic, so the file format is a fixed JSON shape
+//! parsed by a purpose-built reader (mirroring [`crate::config`] for
+//! TOML): anything outside the shape is a hard configuration error.
+
+use crate::findings::Report;
+use std::collections::BTreeMap;
+
+/// One accepted finding group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id (`"P1"`, ...).
+    pub rule: String,
+    /// Workspace-relative file the finding anchors in.
+    pub file: String,
+    /// Line-independent site key (`"sink in Fn::qual"`).
+    pub site: String,
+    /// Accepted number of findings for this key.
+    pub count: u64,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Accepted groups, sorted by `(rule, file, site)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the committed `lint-baseline.json` text.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("baseline must be a JSON object")?;
+        match obj.get("version") {
+            Some(json::Value::Num(n)) if *n == 1.0 => {}
+            _ => return Err("baseline `version` must be 1".to_string()),
+        }
+        let entries = obj
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or("baseline `entries` must be an array")?;
+        let mut out = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| format!("entries[{i}] must be an object"))?;
+            let field = |key: &str| -> Result<String, String> {
+                obj.get(key)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entries[{i}].{key} must be a string"))
+            };
+            let count = match obj.get("count") {
+                Some(json::Value::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as u64,
+                _ => return Err(format!("entries[{i}].count must be a positive integer")),
+            };
+            out.push(BaselineEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                site: field("site")?,
+                count,
+            });
+        }
+        out.sort_by(|a, b| (&a.rule, &a.file, &a.site).cmp(&(&b.rule, &b.file, &b.site)));
+        Ok(Baseline { entries: out })
+    }
+
+    /// Builds a baseline from a report's current graph findings
+    /// (`--write-baseline`).
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for f in &report.findings {
+            if f.rule.is_graph() && !f.site.is_empty() {
+                *counts
+                    .entry((f.rule.as_str().to_string(), f.file.clone(), f.site.clone()))
+                    .or_default() += 1;
+            }
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file, site), count)| BaselineEntry {
+                    rule,
+                    file,
+                    site,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Byte-deterministic serialization (entries sorted, 2-space
+    /// indent, one entry per line).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"site\": {}, \"count\": {}}}{}\n",
+                crate::findings::json_string(&e.rule),
+                crate::findings::json_string(&e.file),
+                crate::findings::json_string(&e.site),
+                e.count,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Applies the baseline to `report`: suppresses graph-finding
+    /// groups whose count stays within the accepted count, records the
+    /// suppression tally and stale entries on the report. Groups that
+    /// grew (or are new) keep **all** their findings.
+    pub fn apply(&self, report: &mut Report) {
+        let mut accepted: BTreeMap<(&str, &str, &str), u64> = BTreeMap::new();
+        for e in &self.entries {
+            accepted.insert((&e.rule, &e.file, &e.site), e.count);
+        }
+        let mut current: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for f in &report.findings {
+            if f.rule.is_graph() && !f.site.is_empty() {
+                *current
+                    .entry((f.rule.as_str().to_string(), f.file.clone(), f.site.clone()))
+                    .or_default() += 1;
+            }
+        }
+        let mut suppressed = 0usize;
+        report.findings.retain(|f| {
+            if !f.rule.is_graph() || f.site.is_empty() {
+                return true;
+            }
+            let key = (f.rule.as_str().to_string(), f.file.clone(), f.site.clone());
+            let now = current.get(&key).copied().unwrap_or(0);
+            let ok = accepted
+                .get(&(f.rule.as_str(), f.file.as_str(), f.site.as_str()))
+                .is_some_and(|&b| now <= b);
+            if ok {
+                suppressed += 1;
+            }
+            !ok
+        });
+        report.baseline_suppressed = suppressed;
+        for e in &self.entries {
+            let live = current
+                .get(&(e.rule.clone(), e.file.clone(), e.site.clone()))
+                .copied()
+                .unwrap_or(0);
+            if live == 0 {
+                report
+                    .baseline_stale
+                    .push(format!("{} {} — {}", e.rule, e.file, e.site));
+            }
+        }
+    }
+}
+
+/// A minimal JSON reader for the baseline's fixed shape: objects,
+/// arrays, strings (with `\"`, `\\`, `\/`, `\n`, `\t`, `\r`,
+/// `\uXXXX`), numbers, and the three literals.
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (f64 is exact for the counts involved).
+        Num(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object.
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("trailing content at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(chars: &[char], pos: &mut usize) {
+        while chars
+            .get(*pos)
+            .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+        {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some('{') => parse_object(chars, pos),
+            Some('[') => parse_array(chars, pos),
+            Some('"') => Ok(Value::Str(parse_string(chars, pos)?)),
+            Some('t') => parse_literal(chars, pos, "true", Value::Bool(true)),
+            Some('f') => parse_literal(chars, pos, "false", Value::Bool(false)),
+            Some('n') => parse_literal(chars, pos, "null", Value::Null),
+            Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+            other => Err(format!("unexpected {other:?} at offset {pos}")),
+        }
+    }
+
+    fn parse_literal(
+        chars: &[char],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        for expected in word.chars() {
+            if chars.get(*pos) != Some(&expected) {
+                return Err(format!("bad literal at offset {pos}"));
+            }
+            *pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if chars.get(*pos) == Some(&'-') {
+            *pos += 1;
+        }
+        while chars
+            .get(*pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            *pos += 1;
+        }
+        let text: String = chars[start..*pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+
+    fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+        if chars.get(*pos) != Some(&'"') {
+            return Err(format!("expected string at offset {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match chars.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    match chars.get(*pos) {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('b') => out.push('\u{8}'),
+                        Some('f') => out.push('\u{c}'),
+                        Some('u') => {
+                            let hex: String = chars
+                                .get(*pos + 1..*pos + 5)
+                                .unwrap_or(&[])
+                                .iter()
+                                .collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(c) => {
+                    out.push(*c);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_array(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // [
+        let mut items = Vec::new();
+        skip_ws(chars, pos);
+        if chars.get(*pos) == Some(&']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(chars, pos)?);
+            skip_ws(chars, pos);
+            match chars.get(*pos) {
+                Some(',') => *pos += 1,
+                Some(']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_object(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // {
+        let mut map = BTreeMap::new();
+        skip_ws(chars, pos);
+        if chars.get(*pos) == Some(&'}') {
+            *pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            skip_ws(chars, pos);
+            let key = parse_string(chars, pos)?;
+            skip_ws(chars, pos);
+            if chars.get(*pos) != Some(&':') {
+                return Err(format!("expected `:` at offset {pos}"));
+            }
+            *pos += 1;
+            map.insert(key, parse_value(chars, pos)?);
+            skip_ws(chars, pos);
+            match chars.get(*pos) {
+                Some(',') => *pos += 1,
+                Some('}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::{Finding, RuleId};
+
+    fn graph_finding(rule: RuleId, file: &str, line: u32, site: &str) -> Finding {
+        Finding::with_chain(
+            rule,
+            file,
+            line,
+            format!("{site} reachable"),
+            vec!["entry".to_string()],
+            site.to_string(),
+        )
+    }
+
+    fn report_with(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_sorts() {
+        let mut report = report_with(vec![
+            graph_finding(RuleId::Q2, "b.rs", 9, ".push() in f"),
+            graph_finding(RuleId::P1, "a.rs", 3, ".unwrap() in g"),
+        ]);
+        report.sort();
+        let baseline = Baseline::from_report(&report);
+        let rendered = baseline.render();
+        let reparsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(reparsed.entries, baseline.entries);
+        assert_eq!(reparsed.entries[0].rule, "P1");
+    }
+
+    #[test]
+    fn within_count_suppresses_and_growth_surfaces_all() {
+        let baseline = Baseline::parse(
+            r#"{"version":1,"entries":[
+                {"rule":"P1","file":"a.rs","site":".unwrap() in g","count":1}]}"#,
+        )
+        .unwrap();
+        let mut same = report_with(vec![graph_finding(RuleId::P1, "a.rs", 3, ".unwrap() in g")]);
+        baseline.apply(&mut same);
+        assert!(same.findings.is_empty());
+        assert_eq!(same.baseline_suppressed, 1);
+
+        let mut grown = report_with(vec![
+            graph_finding(RuleId::P1, "a.rs", 3, ".unwrap() in g"),
+            graph_finding(RuleId::P1, "a.rs", 8, ".unwrap() in g"),
+        ]);
+        baseline.apply(&mut grown);
+        assert_eq!(grown.findings.len(), 2, "{:?}", grown.findings);
+        assert_eq!(grown.baseline_suppressed, 0);
+    }
+
+    #[test]
+    fn new_keys_surface_and_stale_entries_are_notices() {
+        let baseline = Baseline::parse(
+            r#"{"version":1,"entries":[
+                {"rule":"Q2","file":"gone.rs","site":".push() in old","count":2}]}"#,
+        )
+        .unwrap();
+        let mut report = report_with(vec![graph_finding(RuleId::P1, "a.rs", 3, "new site")]);
+        baseline.apply(&mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.baseline_stale.len(), 1);
+        assert!(report.baseline_stale[0].contains("gone.rs"));
+    }
+
+    #[test]
+    fn non_graph_findings_are_never_suppressed() {
+        let baseline = Baseline::default();
+        let mut report = report_with(vec![Finding::new(
+            RuleId::D1,
+            "a.rs",
+            1,
+            "HashMap".to_string(),
+        )]);
+        baseline.apply(&mut report);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_hard_errors() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse(r#"{"version":2,"entries":[]}"#).is_err());
+        assert!(Baseline::parse(r#"{"version":1,"entries":[{"rule":"P1"}]}"#).is_err());
+        assert!(Baseline::parse(r#"{"version":1,"entries":[]} extra"#).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! The workspace call graph: best-effort name resolution over the
+//! symbol table, with explicit unresolved-edge accounting.
+//!
+//! Resolution is by bare name (plus `use ... as` renames): a call to
+//! `verify` gets an edge to *every* non-test library `fn verify` in
+//! the workspace. That over-approximates (soundness over precision —
+//! a taint rule would rather follow a false edge than miss a real
+//! one); the `GraphStats` published with every report keep the
+//! imprecision visible. Method calls (`recv.name(...)`) prefer method
+//! candidates (`Type::name`), falling back to all candidates so a
+//! mis-classified call never silently drops its edges.
+
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Package → packages it may call into (its transitive dependency
+/// closure, itself included). Built from the parsed manifests; a
+/// caller package missing from the map resolves unrestricted (the
+/// in-memory unit-test path, which has no manifests).
+pub type DepClosure = BTreeMap<String, BTreeSet<String>>;
+
+/// Builds the per-package transitive dependency closure from manifest
+/// dep edges (`package -> dep name`), both normal and dev sections —
+/// a call site in crate A can only land on a function of a crate A
+/// can actually name.
+pub fn dep_closure(edges: &[(String, String)]) -> DepClosure {
+    let mut direct: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (package, dep) in edges {
+        direct.entry(package).or_default().insert(dep);
+    }
+    let mut closure = DepClosure::new();
+    for package in direct.keys() {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue: Vec<&str> = vec![package];
+        while let Some(p) = queue.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            if let Some(deps) = direct.get(p) {
+                queue.extend(deps.iter().copied());
+            }
+        }
+        closure.insert(
+            package.to_string(),
+            seen.into_iter().map(str::to_string).collect(),
+        );
+    }
+    closure
+}
+
+/// Construction statistics, published in text and `--json` reports.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Number of graph nodes (every `fn` item, all target kinds).
+    pub functions: usize,
+    /// Number of distinct resolved edges.
+    pub edges: usize,
+    /// Call sites that resolved to at least one workspace function.
+    pub resolved_calls: usize,
+    /// Call sites with no workspace candidate (std/primitive methods,
+    /// macros-expanded names, foreign trait methods).
+    pub unresolved_calls: usize,
+}
+
+/// The call graph over `SymbolTable::fns` indices.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Forward edges: `callees[f]` sorted, deduplicated.
+    pub callees: Vec<Vec<usize>>,
+    /// Reverse edges: `callers[f]` sorted, deduplicated.
+    pub callers: Vec<Vec<usize>>,
+    /// Unresolved call sites per function: `(name, line)`.
+    pub unresolved: Vec<Vec<(String, u32)>>,
+    /// Construction statistics.
+    pub stats: GraphStats,
+}
+
+/// Builds the graph. Deterministic: iteration is in `fns` order and
+/// edge lists are sorted. `deps` restricts candidates to the caller
+/// package's dependency closure (see [`dep_closure`]).
+pub fn build(table: &SymbolTable, deps: &DepClosure) -> CallGraph {
+    let n = table.fns.len();
+    let mut graph = CallGraph {
+        callees: vec![Vec::new(); n],
+        callers: vec![Vec::new(); n],
+        unresolved: vec![Vec::new(); n],
+        stats: GraphStats {
+            functions: n,
+            ..GraphStats::default()
+        },
+    };
+    for (f, calls) in table.calls.iter().enumerate() {
+        let file_aliases = &table.aliases[table.fns[f].file_idx];
+        for call in calls {
+            let mut candidates: Vec<usize> = Vec::new();
+            let mut names: Vec<&str> = vec![call.name.as_str()];
+            if let Some(orig) = file_aliases.get(&call.name) {
+                names.push(orig.as_str());
+            }
+            for name in names {
+                if let Some(cands) = table.by_name.get(name) {
+                    candidates.extend_from_slice(cands);
+                }
+            }
+            let caller_pkg = &table.fns[f].package;
+            if let Some(allowed) = deps.get(caller_pkg) {
+                candidates.retain(|&c| {
+                    let p = &table.fns[c].package;
+                    p == caller_pkg || allowed.contains(p)
+                });
+            }
+            if call.method {
+                // Method syntax can only land on a method; prefer
+                // `Type::name` candidates, but keep everything if the
+                // filter would empty the set (soundness).
+                let methods: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| table.fns[c].qual != table.fns[c].name)
+                    .collect();
+                if !methods.is_empty() {
+                    candidates = methods;
+                }
+                // `self.name(...)` can only land on the caller's own
+                // impl type — prefer same-type, same-package methods.
+                if call.recv_self && table.fns[f].qual != table.fns[f].name {
+                    let caller = &table.fns[f];
+                    if let Some(own_type) = caller.qual.strip_suffix(&caller.name) {
+                        let own: Vec<usize> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                table.fns[c].package == caller.package
+                                    && table.fns[c]
+                                        .qual
+                                        .strip_suffix(&table.fns[c].name)
+                                        .is_some_and(|t| t == own_type)
+                            })
+                            .collect();
+                        if !own.is_empty() {
+                            candidates = own;
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                graph.stats.unresolved_calls += 1;
+                graph.unresolved[f].push((call.name.clone(), call.line));
+            } else {
+                graph.stats.resolved_calls += 1;
+                for c in candidates {
+                    graph.callees[f].push(c);
+                }
+            }
+        }
+    }
+    for f in 0..n {
+        graph.callees[f].sort_unstable();
+        graph.callees[f].dedup();
+        for i in 0..graph.callees[f].len() {
+            let c = graph.callees[f][i];
+            graph.callers[c].push(f);
+        }
+        graph.stats.edges += graph.callees[f].len();
+    }
+    for callers in &mut graph.callers {
+        callers.sort_unstable();
+        callers.dedup();
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+    use crate::rules::FileKind;
+    use crate::symbols::FileSymbols;
+
+    fn table_of(sources: &[(&str, &str)]) -> SymbolTable {
+        let parsed: Vec<_> = sources
+            .iter()
+            .map(|(_, src)| parse_items(&lex(src).tokens, &[], false))
+            .collect();
+        let files: Vec<FileSymbols<'_>> = sources
+            .iter()
+            .zip(&parsed)
+            .map(|((rel, _), p)| FileSymbols {
+                package: "p",
+                rel_path: rel,
+                kind: FileKind::classify(rel),
+                parsed: p,
+            })
+            .collect();
+        SymbolTable::build(&files)
+    }
+
+    #[test]
+    fn edges_resolve_across_files_and_renames() {
+        let table = table_of(&[
+            (
+                "crates/p/src/lib.rs",
+                "use crate::util::tick as moment;\nfn entry() { moment(); helper(); }",
+            ),
+            ("crates/p/src/util.rs", "fn tick() {} fn helper() {}"),
+        ]);
+        let graph = build(&table, &DepClosure::new());
+        let entry = table.fns.iter().position(|f| f.name == "entry").unwrap();
+        let tick = table.fns.iter().position(|f| f.name == "tick").unwrap();
+        let helper = table.fns.iter().position(|f| f.name == "helper").unwrap();
+        assert!(graph.callees[entry].contains(&tick));
+        assert!(graph.callees[entry].contains(&helper));
+        assert!(graph.callers[tick].contains(&entry));
+        assert_eq!(graph.stats.unresolved_calls, 0);
+    }
+
+    #[test]
+    fn method_calls_prefer_method_candidates() {
+        let table = table_of(&[(
+            "crates/p/src/lib.rs",
+            "fn len() {} impl Buf { fn len(&self) {} fn go(&self) { self.len(); } }",
+        )]);
+        let graph = build(&table, &DepClosure::new());
+        let free = table.fns.iter().position(|f| f.qual == "len").unwrap();
+        let method = table.fns.iter().position(|f| f.qual == "Buf::len").unwrap();
+        let go = table.fns.iter().position(|f| f.qual == "Buf::go").unwrap();
+        assert!(graph.callees[go].contains(&method));
+        assert!(!graph.callees[go].contains(&free));
+    }
+
+    #[test]
+    fn unresolved_calls_are_accounted() {
+        let table = table_of(&[("crates/p/src/lib.rs", "fn f() { mystery(); }")]);
+        let graph = build(&table, &DepClosure::new());
+        let f = table.fns.iter().position(|x| x.name == "f").unwrap();
+        assert_eq!(graph.unresolved[f], vec![("mystery".to_string(), 1)]);
+        assert_eq!(graph.stats.unresolved_calls, 1);
+    }
+
+    #[test]
+    fn candidates_outside_the_dep_closure_are_pruned() {
+        // Both files parse under distinct packages sharing a fn name.
+        let sources = [
+            ("crates/a/src/lib.rs", "fn go() { shared(); }"),
+            ("crates/a/src/util.rs", "fn shared() {}"),
+            ("crates/b/src/lib.rs", "fn shared() {}"),
+        ];
+        let parsed: Vec<_> = sources
+            .iter()
+            .map(|(_, src)| parse_items(&lex(src).tokens, &[], false))
+            .collect();
+        let files: Vec<FileSymbols<'_>> = sources
+            .iter()
+            .zip(&parsed)
+            .map(|((rel, _), p)| FileSymbols {
+                package: if rel.starts_with("crates/a") {
+                    "a"
+                } else {
+                    "b"
+                },
+                rel_path: rel,
+                kind: FileKind::classify(rel),
+                parsed: p,
+            })
+            .collect();
+        let table = SymbolTable::build(&files);
+        // `a` depends on nothing: only its own `shared` is a candidate.
+        let deps = dep_closure(&[("a".to_string(), "a".to_string())]);
+        let graph = build(&table, &deps);
+        let go = table.fns.iter().position(|f| f.name == "go").unwrap();
+        let own = table
+            .fns
+            .iter()
+            .position(|f| f.name == "shared" && f.package == "a")
+            .unwrap();
+        let foreign = table
+            .fns
+            .iter()
+            .position(|f| f.name == "shared" && f.package == "b")
+            .unwrap();
+        assert!(graph.callees[go].contains(&own));
+        assert!(!graph.callees[go].contains(&foreign));
+    }
+}

@@ -212,6 +212,14 @@ pub struct RuleScope {
     /// Function names (innermost enclosing `fn`) the rule never fires
     /// in (used by `E1` for the blessed env-reading entry points).
     pub allow_fns: Vec<String>,
+    /// Function names that are the rule's taint-analysis entry points
+    /// (used by `P1`/`Q2`: the serving-path roots reachability starts
+    /// from).
+    pub entry_fns: Vec<String>,
+    /// Workspace-relative paths the rule examines (used by `L2`: the
+    /// publisher files whose lock discipline is audited). Empty means
+    /// the rule is off.
+    pub paths: Vec<String>,
 }
 
 impl LintConfig {
@@ -263,6 +271,8 @@ impl LintConfig {
                             "allow_crates" => scope.allow_crates = list,
                             "allow_paths" => scope.allow_paths = list,
                             "allow_fns" => scope.allow_fns = list,
+                            "entry_fns" => scope.entry_fns = list,
+                            "paths" => scope.paths = list,
                             _ => return Err(format!("unknown [rules.{rule}] key `{key}`")),
                         }
                     }

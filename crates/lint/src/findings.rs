@@ -8,32 +8,61 @@ use std::fmt;
 pub enum RuleId {
     D1,
     D2,
+    D2T,
     D3,
+    D3T,
     H1,
     L1,
+    L2,
     R1,
     R2,
     E1,
+    E1T,
+    P1,
     Q1,
+    Q2,
     W0,
     W1,
 }
 
 impl RuleId {
     /// Every rule, catalog order.
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 17] = [
         RuleId::D1,
         RuleId::D2,
+        RuleId::D2T,
         RuleId::D3,
+        RuleId::D3T,
         RuleId::H1,
         RuleId::L1,
+        RuleId::L2,
         RuleId::R1,
         RuleId::R2,
         RuleId::E1,
+        RuleId::E1T,
+        RuleId::P1,
         RuleId::Q1,
+        RuleId::Q2,
         RuleId::W0,
         RuleId::W1,
     ];
+
+    /// The graph-powered (transitive) rules: their findings carry a
+    /// witness call chain and a stable `site` key, and only they are
+    /// eligible for `--baseline` suppression.
+    pub const GRAPH: [RuleId; 6] = [
+        RuleId::D2T,
+        RuleId::D3T,
+        RuleId::E1T,
+        RuleId::P1,
+        RuleId::Q2,
+        RuleId::L2,
+    ];
+
+    /// Is this one of the graph-powered rules?
+    pub fn is_graph(&self) -> bool {
+        RuleId::GRAPH.contains(self)
+    }
 
     /// Parses `"D1"` etc.
     pub fn parse(s: &str) -> Option<RuleId> {
@@ -45,13 +74,19 @@ impl RuleId {
         match self {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
+            RuleId::D2T => "D2T",
             RuleId::D3 => "D3",
+            RuleId::D3T => "D3T",
             RuleId::H1 => "H1",
             RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
             RuleId::R1 => "R1",
             RuleId::R2 => "R2",
             RuleId::E1 => "E1",
+            RuleId::E1T => "E1T",
+            RuleId::P1 => "P1",
             RuleId::Q1 => "Q1",
+            RuleId::Q2 => "Q2",
             RuleId::W0 => "W0",
             RuleId::W1 => "W1",
         }
@@ -62,13 +97,19 @@ impl RuleId {
         match self {
             RuleId::D1 => "unordered-iteration",
             RuleId::D2 => "wall-clock",
+            RuleId::D2T => "wall-clock-reachable",
             RuleId::D3 => "foreign-entropy",
+            RuleId::D3T => "foreign-entropy-reachable",
             RuleId::H1 => "hermeticity",
             RuleId::L1 => "layering",
+            RuleId::L2 => "lock-discipline",
             RuleId::R1 => "unwrap-in-lib",
             RuleId::R2 => "unsafe",
             RuleId::E1 => "env-read",
+            RuleId::E1T => "env-read-reachable",
+            RuleId::P1 => "panic-reachable",
             RuleId::Q1 => "lock-on-read-path",
+            RuleId::Q2 => "alloc-on-read-path",
             RuleId::W0 => "waiver-without-reason",
             RuleId::W1 => "unused-waiver",
         }
@@ -85,10 +126,20 @@ impl RuleId {
                 "SystemTime::now/Instant::now outside the bench harness and the fault-delay \
                  module: wall-clock reads must never influence trial results"
             }
+            RuleId::D2T => {
+                "a wall-clock read transitively reachable (via the workspace call graph) \
+                 from a result-bearing function of the scoped crates: one helper \
+                 indirection must not be enough to erode the bit-identity contract"
+            }
             RuleId::D3 => {
                 "entropy sources other than popan-rng (thread_rng, getrandom, RandomState, \
                  from_entropy/from_os_rng): all randomness derives from (master_seed, trial, \
                  attempt)"
+            }
+            RuleId::D3T => {
+                "a foreign entropy source transitively reachable from a result-bearing \
+                 function of the scoped crates, including unresolved calls to \
+                 known-tainted names (soundness over precision)"
             }
             RuleId::H1 => {
                 "non-workspace dependencies in Cargo.toml, or use/extern crate of crates \
@@ -97,6 +148,11 @@ impl RuleId {
             RuleId::L1 => {
                 "crate DAG tier violations, parsed from the actual Cargo.toml dependency \
                  edges against the [tiers] map in lint.toml"
+            }
+            RuleId::L2 => {
+                "lock discipline in the configured publisher files: a single canonical \
+                 acquisition order, no nested same-lock acquisition, and no lock guard \
+                 held across the epoch swap's Release store"
             }
             RuleId::R1 => {
                 ".unwrap()/.expect( in library (non-test, non-bin) code of core/engine/\
@@ -108,10 +164,26 @@ impl RuleId {
                  try_from_env via env_spec) and the repro binary: configuration flows \
                  through one auditable door"
             }
+            RuleId::E1T => {
+                "an environment read transitively reachable from a result-bearing \
+                 function of the scoped crates outside the blessed entry points: \
+                 hidden configuration must not leak into results via helpers"
+            }
+            RuleId::P1 => {
+                "a panic site (unwrap/expect/panic!/unreachable!/[]-indexing) transitively \
+                 reachable from the query tier's serving entry points (range_into/\
+                 count_with/knn_into/try_refresh/publish): the serving tier must degrade, \
+                 never unwind — each finding reports a witness call chain"
+            }
             RuleId::Q1 => {
                 "Mutex/RwLock in popan-query outside the publisher module: the query \
                  tier's read paths must stay lock-free (readers hold Arc snapshots; \
                  the only blocking site is the epoch double-buffer in publisher.rs)"
+            }
+            RuleId::Q2 => {
+                "an allocation (Vec::push/Box::new/collect/format!/to_vec/String::from) \
+                 transitively reachable from the QueryScratch read path: the static \
+                 companion to the counting-allocator runtime proof in zero_alloc_read.rs"
             }
             RuleId::W0 => {
                 "a popan-lint waiver without a justification string: suppression must \
@@ -129,13 +201,19 @@ impl RuleId {
         match self {
             RuleId::D1 => "use BTreeMap/BTreeSet, or sort before anything order-sensitive",
             RuleId::D2 => "thread a seeded value or move the timing into crates/bench",
+            RuleId::D2T => "break the witness call path, or waive at the sink with why it is sound",
             RuleId::D3 => "seed a popan_rng::StdRng from (master_seed, trial, attempt)",
+            RuleId::D3T => "break the witness call path; derive all randomness from popan-rng",
             RuleId::H1 => "vendor the code in-tree as a popan-* crate",
             RuleId::L1 => "invert the dependency or move the shared code down a tier",
+            RuleId::L2 => "scope the guard in a block that closes before the Release store",
             RuleId::R1 => "return a typed error (ModelError/EngineError/NumericError)",
             RuleId::R2 => "rewrite safely; the workspace forbids unsafe entirely",
             RuleId::E1 => "read the variable in Engine::from_env and pass the value in",
+            RuleId::E1T => "break the witness call path; pass configuration in as a value",
+            RuleId::P1 => "make the helper fallible (return Option/Result) along the chain",
             RuleId::Q1 => "route synchronization through publisher.rs; serve from Arc<Snapshot>",
+            RuleId::Q2 => "reuse QueryScratch buffers; move allocation to construction/warmup",
             RuleId::W0 => "add the reason: // popan-lint: allow(RULE, \"why this is sound\")",
             RuleId::W1 => "delete the waiver comment (or fix its rule id / placement)",
         }
@@ -159,6 +237,14 @@ pub struct Finding {
     pub line: u32,
     /// Human message (already specific to the site).
     pub message: String,
+    /// Witness call chain for graph-rule findings, entry first, sink
+    /// last (empty for token-level rules).
+    pub chain: Vec<String>,
+    /// Stable site key for graph-rule findings: what the sink is and
+    /// which function holds it (`"index in LinearQuadtree::leaf_points"`).
+    /// Line-independent, so `--baseline` keys survive unrelated edits.
+    /// Empty for token-level rules.
+    pub site: String,
 }
 
 impl Finding {
@@ -169,19 +255,45 @@ impl Finding {
             file: file.to_string(),
             line,
             message,
+            chain: Vec::new(),
+            site: String::new(),
         }
     }
 
-    /// `file:line: [rule] message` — the grep-able report line.
+    /// Builds a graph-rule finding with its witness chain and site key.
+    pub fn with_chain(
+        rule: RuleId,
+        file: &str,
+        line: u32,
+        message: String,
+        chain: Vec<String>,
+        site: String,
+    ) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            chain,
+            site,
+        }
+    }
+
+    /// `file:line: [rule] message` — the grep-able report line, with
+    /// the witness chain (if any) indented underneath.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: [{}] {} (fix: {})",
             self.file,
             self.line,
             self.rule,
             self.message,
             self.rule.hint()
-        )
+        );
+        if !self.chain.is_empty() {
+            out.push_str(&format!("\n    witness: {}", self.chain.join(" -> ")));
+        }
+        out
     }
 }
 
@@ -211,6 +323,15 @@ pub struct Report {
     pub waivers: Vec<WaiverRecord>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Call-graph construction statistics (set by whole-workspace runs;
+    /// `None` for single-file lints).
+    pub graph: Option<crate::callgraph::GraphStats>,
+    /// Findings suppressed by `--baseline` (count of individual
+    /// findings, not groups).
+    pub baseline_suppressed: usize,
+    /// Baseline entries that no longer match any finding (or whose
+    /// count exceeds what the tree produces) — candidates for ratchet.
+    pub baseline_stale: Vec<String>,
 }
 
 impl Report {
@@ -242,6 +363,21 @@ impl Report {
                 ));
             }
         }
+        if let Some(stats) = &self.graph {
+            out.push_str(&format!(
+                "call graph: {} function(s), {} edge(s), {} resolved / {} unresolved call(s)\n",
+                stats.functions, stats.edges, stats.resolved_calls, stats.unresolved_calls
+            ));
+        }
+        if self.baseline_suppressed > 0 {
+            out.push_str(&format!(
+                "baseline: {} accepted finding(s) suppressed\n",
+                self.baseline_suppressed
+            ));
+        }
+        for stale in &self.baseline_stale {
+            out.push_str(&format!("baseline: stale entry — {stale}\n"));
+        }
         out.push_str(&format!(
             "popan-lint: {} file(s) scanned, {} finding(s), {} waiver(s)\n",
             self.files_scanned,
@@ -258,13 +394,22 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
+            let chain = f
+                .chain
+                .iter()
+                .map(|c| json_string(c))
+                .collect::<Vec<_>>()
+                .join(",");
             out.push_str(&format!(
-                "{{\"file\":{},\"line\":{},\"rule\":{},\"name\":{},\"message\":{}}}",
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"name\":{},\"message\":{},\
+                 \"site\":{},\"chain\":[{}]}}",
                 json_string(&f.file),
                 f.line,
                 json_string(f.rule.as_str()),
                 json_string(f.rule.name()),
-                json_string(&f.message)
+                json_string(&f.message),
+                json_string(&f.site),
+                chain
             ));
         }
         out.push_str("],\"waivers\":[");
@@ -281,8 +426,26 @@ impl Report {
                 w.used
             ));
         }
+        out.push(']');
+        if let Some(stats) = &self.graph {
+            out.push_str(&format!(
+                ",\"graph\":{{\"functions\":{},\"edges\":{},\"resolved_calls\":{},\
+                 \"unresolved_calls\":{}}}",
+                stats.functions, stats.edges, stats.resolved_calls, stats.unresolved_calls
+            ));
+        }
+        let stale = self
+            .baseline_stale
+            .iter()
+            .map(|s| json_string(s))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
-            "],\"files_scanned\":{},\"clean\":{}}}",
+            ",\"baseline\":{{\"suppressed\":{},\"stale\":[{}]}}",
+            self.baseline_suppressed, stale
+        ));
+        out.push_str(&format!(
+            ",\"files_scanned\":{},\"clean\":{}}}",
             self.files_scanned,
             self.findings.is_empty()
         ));

@@ -136,6 +136,28 @@ impl Lexer {
                 'r' | 'b' if self.raw_or_byte_string() => {
                     self.push(TokKind::Str, String::new(), line);
                 }
+                'r' if self.peek(1) == Some('#')
+                    && self
+                        .peek(2)
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_') =>
+                {
+                    // Raw identifier (`r#unsafe`, `r#match`): one Ident
+                    // token whose text keeps the `r#` prefix, so a raw
+                    // identifier never matches a keyword-named rule
+                    // (`let r#unsafe = 1;` must not look like `unsafe`).
+                    self.bump();
+                    self.bump();
+                    let mut text = String::from("r#");
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, text, line);
+                }
                 '\'' => self.lifetime_or_char(),
                 c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
                 c if c.is_ascii_digit() => self.number(),
@@ -444,6 +466,62 @@ mod tests {
         let out = lex("// popan-lint: alow(D1, \"typo\")");
         assert!(out.waivers.is_empty());
         assert_eq!(out.malformed_waivers, vec![1]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_the_matching_close() {
+        // Regression fixture: a doubly-nested block comment must hide
+        // everything up to the *matching* close, then resume lexing.
+        let src = "/* outer /* inner /* deepest HashMap */ */ still hidden */ after";
+        assert_eq!(idents(src), ["after"]);
+        // An unbalanced inner close must not terminate the outer early.
+        let src2 = "/* a /* b */ HashMap */ tail";
+        assert_eq!(idents(src2), ["tail"]);
+    }
+
+    #[test]
+    fn raw_strings_with_two_or_more_hashes_stay_opaque() {
+        // Regression fixture: `r##"..."##` may contain `"#` without
+        // closing; only `"##` (matching hash count) terminates.
+        let src = r####"let a = r##"contains "# and HashMap"##; after"####;
+        assert_eq!(idents(src), ["let", "a", "after"]);
+        let src3 = "let b = r###\"quote\"## not done yet\"###; tail";
+        assert_eq!(idents(src3), ["let", "b", "tail"]);
+        let strs = lex(src3)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_raw_strings_and_comments() {
+        let src = "a\nlet s = r##\"line\nline\nline\"##;\n/* x\ny */\nb";
+        let toks = lex(src);
+        let b = toks.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 7);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        // `r#unsafe` is a raw identifier, not the `unsafe` keyword; it
+        // must not produce an `unsafe` Ident (R2 false positive) nor a
+        // stray `r` + `#` pair that confuses attribute matching.
+        let src = "let r#unsafe = 1; let r#match = r#unsafe + 1;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"match".to_string()), "{ids:?}");
+        assert_eq!(ids.iter().filter(|i| *i == "r#unsafe").count(), 2);
+        // ...while `r#"..."#` raw strings still lex as strings.
+        let toks = lex("let s = r#\"text\"#;");
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            1
+        );
     }
 
     #[test]

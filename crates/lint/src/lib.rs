@@ -24,6 +24,14 @@
 //! rule engine ([`rules`]) and manifest checks ([`manifest`]),
 //! configured by `crates/lint/lint.toml` ([`config`]).
 //!
+//! Since PR 9 the linter is a whole-workspace static analyzer: a
+//! lightweight item parser ([`parser`]) feeds a per-crate symbol
+//! table ([`symbols`]) and a best-effort-resolved call graph
+//! ([`callgraph`]); transitive taint propagation ([`taint`]) powers
+//! the reachability rules (D2T/D3T/E1T/P1/Q2), each finding carrying
+//! a witness call chain, with a committed baseline ratchet
+//! ([`baseline`]) so pre-existing findings ride while new edges fail.
+//!
 //! ## Rules
 //!
 //! See [`findings::RuleId`] for the catalog (`popan-lint --rules`
@@ -41,14 +49,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod findings;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
+pub use baseline::Baseline;
 pub use config::LintConfig;
 pub use findings::{Finding, Report, RuleId, WaiverRecord};
 pub use rules::lint_file;
-pub use scan::{find_workspace_root, lint_workspace, load_config};
+pub use scan::{
+    find_workspace_root, graph_phase, lint_workspace, load_config, load_sources, parse_phase,
+    rules_phase,
+};

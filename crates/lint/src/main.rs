@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! popan-lint [--root DIR] [--json] [--only D1,D2] [--rules]
+//!            [--baseline FILE] [--write-baseline FILE]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` unwaived findings, `2` usage or
@@ -10,7 +11,7 @@
 
 use popan_lint::findings::rules_json;
 use popan_lint::rules::retain_rules;
-use popan_lint::{find_workspace_root, lint_workspace, load_config, RuleId};
+use popan_lint::{find_workspace_root, lint_workspace, load_config, Baseline, RuleId};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,6 +26,13 @@ OPTIONS:
     --json         machine-readable findings + waiver inventory
     --only RULES   comma-separated rule ids (D1,D2,...) to report on
     --rules        print the rule catalog and waiver inventory, then exit 0
+    --baseline FILE
+                   suppress graph-rule findings recorded in FILE while their
+                   per-(rule,file,site) count has not grown; stale entries are
+                   notices, new edges fail
+    --write-baseline FILE
+                   write the current graph-rule findings as a baseline, then
+                   exit 0
     --help         this text
 
 EXIT CODES:
@@ -38,6 +46,8 @@ struct Options {
     json: bool,
     only: Vec<RuleId>,
     rules: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -46,6 +56,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         only: Vec::new(),
         rules: false,
+        baseline: None,
+        write_baseline: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +69,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--json" => options.json = true,
             "--rules" => options.rules = true,
+            "--baseline" => {
+                i += 1;
+                let file = args.get(i).ok_or("--baseline needs a file")?;
+                options.baseline = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => {
+                i += 1;
+                let file = args.get(i).ok_or("--write-baseline needs a file")?;
+                options.write_baseline = Some(PathBuf::from(file));
+            }
             "--only" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--only needs a rule list")?;
@@ -142,6 +164,45 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &options.write_baseline {
+        let baseline = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(path, baseline.render()) {
+            eprintln!("popan-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "popan-lint: wrote {} baseline entr{} to {}",
+            baseline.entries.len(),
+            if baseline.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &options.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("popan-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Baseline::parse(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("popan-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        baseline.apply(&mut report);
+        for stale in &report.baseline_stale {
+            eprintln!("popan-lint: baseline stale entry — {stale}");
+        }
     }
 
     retain_rules(&mut report, &options.only);

@@ -1,0 +1,422 @@
+//! A lightweight item parser on top of [`crate::lexer`].
+//!
+//! This is *not* a Rust parser — it is exactly deep enough to feed the
+//! symbol table and call graph: it tracks `fn` bodies (with the
+//! enclosing `impl` type, so methods get a `Type::name` qualified
+//! name), `use ... as` renames, and call sites inside each body. The
+//! design bias is soundness over precision: it must never panic on
+//! arbitrary token streams (a property test pins this), and when it
+//! cannot tell what a name resolves to, the call graph records the
+//! call as *unresolved* rather than dropping it.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name (last path segment: `new` for `Vec::new(...)`).
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// Whether this was method syntax (`recv.name(...)`).
+    pub method: bool,
+    /// Whether the receiver is literally `self` (`self.name(...)`) —
+    /// such a call can only land on the caller's own impl type (or a
+    /// trait default), so resolution prefers same-type candidates.
+    pub recv_self: bool,
+}
+
+/// One `fn` item with everything the analyzer needs.
+#[derive(Debug, Clone)]
+pub struct ParsedFn {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified name: `Type::name` inside an `impl Type` block,
+    /// otherwise the bare name.
+    pub qual: String,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// Token-index range of the body (inclusive start at the `{`,
+    /// exclusive end past the matching `}`).
+    pub body: (usize, usize),
+    /// Whether the item sits inside a `#[test]`/`#[cfg(test)]` region
+    /// (or the whole file is a test target).
+    pub is_test: bool,
+    /// Call sites inside the body, source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All `fn` items, in order of body *close* (inner fns first).
+    pub fns: Vec<ParsedFn>,
+    /// `use a::b as c` renames: local alias → original name.
+    pub aliases: BTreeMap<String, String>,
+}
+
+/// Rust keywords that must never be mistaken for call names.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "do", "dyn", "else",
+    "enum", "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match",
+    "mod", "move", "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super",
+    "trait", "true", "try", "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// What the next `{` opens.
+enum Pending {
+    Impl(String),
+    Fn {
+        name: String,
+        line: u32,
+        kw_idx: usize,
+    },
+}
+
+/// A `{` that has been opened.
+enum Open {
+    Impl(String),
+    Fn(usize),
+    Other,
+}
+
+/// Extracts items from a lexed token stream. `test_ranges` are the
+/// `#[test]`/`#[cfg(test)]` token ranges (from the rule engine's
+/// brace-matching pass); `file_is_test` marks whole-file test targets.
+pub fn parse_items(
+    tokens: &[Tok],
+    test_ranges: &[(usize, usize)],
+    file_is_test: bool,
+) -> ParsedFile {
+    let in_test = |i: usize| file_is_test || test_ranges.iter().any(|&(s, e)| i >= s && i < e);
+    let mut out = ParsedFile::default();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // Paren/bracket depth since `pending` was set: a `;` inside
+    // `fn f(x: [u8; 4])` must not cancel the pending fn.
+    let mut sig_nest = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokKind::Ident if tok.text == "fn" => {
+                if let Some(next) = tokens.get(i + 1) {
+                    if next.kind == TokKind::Ident {
+                        pending = Some(Pending::Fn {
+                            name: next.text.clone(),
+                            line: next.line,
+                            kw_idx: i,
+                        });
+                        sig_nest = 0;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            TokKind::Ident
+                if tok.text == "impl" && !matches!(pending, Some(Pending::Fn { .. })) =>
+            {
+                // `impl Type {`, `impl Trait for Type {` — but not
+                // `impl Trait` in return/argument position (those never
+                // reach a `{` before a `;`/`)` cancels them).
+                if let Some(ty) = impl_type_name(tokens, i + 1) {
+                    pending = Some(Pending::Impl(ty));
+                    sig_nest = 0;
+                }
+            }
+            TokKind::Ident if tok.text == "use" && (i == 0 || !tokens[i - 1].is_punct('.')) => {
+                collect_aliases(tokens, i + 1, &mut out.aliases);
+            }
+            TokKind::Ident if !is_keyword(&tok.text) => {
+                if let Some(fn_idx) = innermost_fn(&stack) {
+                    if let Some(call) = call_at(tokens, i) {
+                        out.fns[fn_idx].calls.push(call);
+                    }
+                }
+            }
+            TokKind::Punct => match tok.text.as_str() {
+                "{" => match pending.take() {
+                    Some(Pending::Fn { name, line, kw_idx }) => {
+                        let qual = stack
+                            .iter()
+                            .rev()
+                            .find_map(|o| match o {
+                                Open::Impl(ty) => Some(format!("{ty}::{name}")),
+                                _ => None,
+                            })
+                            .unwrap_or_else(|| name.clone());
+                        out.fns.push(ParsedFn {
+                            name,
+                            qual,
+                            line,
+                            body: (i, tokens.len()),
+                            is_test: in_test(kw_idx),
+                            calls: Vec::new(),
+                        });
+                        stack.push(Open::Fn(out.fns.len() - 1));
+                    }
+                    Some(Pending::Impl(ty)) => stack.push(Open::Impl(ty)),
+                    None => stack.push(Open::Other),
+                },
+                "}" => {
+                    if let Some(Open::Fn(idx)) = stack.pop() {
+                        out.fns[idx].body.1 = i + 1;
+                    }
+                }
+                "(" | "[" if pending.is_some() => sig_nest += 1,
+                ")" | "]" if pending.is_some() => {
+                    sig_nest -= 1;
+                    // `fn f()` as an argument of a call that ends:
+                    // a negative nest means the pending item's
+                    // context closed without a body.
+                    if sig_nest < 0 {
+                        pending = None;
+                    }
+                }
+                // Trait method signature / `type F = impl T;` —
+                // but only at signature nest 0 (`[u8; 4]` stays).
+                ";" if sig_nest == 0 => pending = None,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn innermost_fn(stack: &[Open]) -> Option<usize> {
+    stack.iter().rev().find_map(|o| match o {
+        Open::Fn(idx) => Some(*idx),
+        _ => None,
+    })
+}
+
+/// The self type of an `impl` header starting just past the `impl`
+/// keyword: the last path segment at angle-depth 0, after the last
+/// top-level `for` if one is present (`impl Trait for Type`).
+fn impl_type_name(tokens: &[Tok], start: usize) -> Option<String> {
+    let mut idents: Vec<&str> = Vec::new();
+    let mut angle = 0i32;
+    let mut j = start;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            // `->` in an `impl Fn(..) -> T` bound is not a closer.
+            let arrow = j > 0 && tokens[j - 1].is_punct('-');
+            if !arrow && angle > 0 {
+                angle -= 1;
+            }
+        } else if angle == 0 && t.kind == TokKind::Ident {
+            if t.text == "where" {
+                break;
+            }
+            if t.text == "for" {
+                idents.clear();
+            } else {
+                idents.push(&t.text);
+            }
+        }
+        j += 1;
+        if j - start > 256 {
+            break; // degenerate header; give up rather than scan the file
+        }
+    }
+    idents.last().map(|s| s.to_string())
+}
+
+/// If the ident at `i` is a call (`name(...)`, `recv.name(...)`,
+/// `name::<T>(...)`), describes it.
+fn call_at(tokens: &[Tok], i: usize) -> Option<CallSite> {
+    // `fn name(` is a definition, not a call (nested fns are handled
+    // via Pending, but a trait's `fn name(...)` signature is not).
+    if i > 0 && tokens[i - 1].is_ident("fn") {
+        return None;
+    }
+    let tok = &tokens[i];
+    let method = i > 0 && tokens[i - 1].is_punct('.');
+    let recv_self = method && i >= 2 && tokens[i - 2].is_ident("self");
+    let next = tokens.get(i + 1)?;
+    if next.is_punct('(') {
+        return Some(CallSite {
+            name: tok.text.clone(),
+            line: tok.line,
+            method,
+            recv_self,
+        });
+    }
+    // Turbofish: `name::<...>(`.
+    if next.is_punct(':')
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut angle = 0i32;
+        let mut j = i + 3;
+        while let Some(t) = tokens.get(j) {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                let arrow = tokens[j - 1].is_punct('-');
+                if !arrow {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+            }
+            j += 1;
+            if j - i > 64 {
+                return None;
+            }
+        }
+        if angle == 0 && tokens.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+            return Some(CallSite {
+                name: tok.text.clone(),
+                line: tok.line,
+                method,
+                recv_self,
+            });
+        }
+    }
+    None
+}
+
+/// Collects `x as y` renames from a `use` item (scans to the `;`).
+fn collect_aliases(tokens: &[Tok], start: usize, aliases: &mut BTreeMap<String, String>) {
+    let mut j = start;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.is_ident("as") && j > start {
+            let orig = &tokens[j - 1];
+            if let Some(alias) = tokens.get(j + 1) {
+                if orig.kind == TokKind::Ident && alias.kind == TokKind::Ident {
+                    aliases.insert(alias.text.clone(), orig.text.clone());
+                }
+            }
+        }
+        j += 1;
+        if j - start > 512 {
+            break; // unterminated `use`; bail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src).tokens, &[], false)
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a ParsedFn {
+        p.fns.iter().find(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let p = parse(
+            "impl Foo { fn new() -> Foo { Foo } }\n\
+             impl fmt::Display for Bar { fn fmt(&self) {} }\n\
+             impl<'a, T: Clone> Iterator for Iter<'a, T> { fn next(&mut self) {} }\n\
+             fn free() {}",
+        );
+        assert_eq!(fn_named(&p, "new").qual, "Foo::new");
+        assert_eq!(fn_named(&p, "fmt").qual, "Bar::fmt");
+        assert_eq!(fn_named(&p, "next").qual, "Iter::next");
+        assert_eq!(fn_named(&p, "free").qual, "free");
+    }
+
+    #[test]
+    fn calls_are_collected_with_method_flags() {
+        let p = parse(
+            "fn f() { helper(1); recv.method(2); Vec::<u32>::new(); x.collect::<Vec<_>>(); }",
+        );
+        let calls = &fn_named(&p, "f").calls;
+        let names: Vec<(&str, bool)> = calls.iter().map(|c| (c.name.as_str(), c.method)).collect();
+        assert!(names.contains(&("helper", false)), "{names:?}");
+        assert!(names.contains(&("method", true)), "{names:?}");
+        assert!(names.contains(&("new", false)), "{names:?}");
+        assert!(names.contains(&("collect", true)), "{names:?}");
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let p = parse("fn f() { if (a) { return (b); } assert!(x); match (y) { _ => {} } }");
+        let names: Vec<&str> = fn_named(&p, "f")
+            .calls
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert!(names.is_empty(), "{names:?}");
+    }
+
+    #[test]
+    fn use_renames_are_recorded() {
+        let p =
+            parse("use crate::util::tick as moment;\nuse a::{b as c, d};\nfn f() { moment(); }");
+        assert_eq!(p.aliases.get("moment").map(String::as_str), Some("tick"));
+        assert_eq!(p.aliases.get("c").map(String::as_str), Some("b"));
+        assert!(!p.aliases.contains_key("d"));
+    }
+
+    #[test]
+    fn trait_signatures_and_array_types_do_not_confuse_bodies() {
+        let p = parse(
+            "trait T { fn sig(&self); fn with_default(&self) { body_call(); } }\n\
+             fn g(x: [u8; 4]) { after_array(); }",
+        );
+        assert!(p.fns.iter().all(|f| f.name != "sig"));
+        assert!(fn_named(&p, "with_default")
+            .calls
+            .iter()
+            .any(|c| c.name == "body_call"));
+        assert!(fn_named(&p, "g")
+            .calls
+            .iter()
+            .any(|c| c.name == "after_array"));
+    }
+
+    #[test]
+    fn return_position_impl_trait_keeps_the_fn() {
+        let p = parse("fn make() -> impl Fn() -> u32 { builder() }");
+        assert!(fn_named(&p, "make")
+            .calls
+            .iter()
+            .any(|c| c.name == "builder"));
+        assert_eq!(fn_named(&p, "make").qual, "make");
+    }
+
+    #[test]
+    fn test_ranges_mark_fns() {
+        let toks = lex("#[cfg(test)] mod t { fn inner() {} } fn outer() {}").tokens;
+        // Reuse the rule engine's range finder shape: mark the mod.
+        let close = toks.iter().position(|t| t.is_punct('}')).unwrap();
+        let p = parse_items(&toks, &[(0, close + 1)], false);
+        assert!(fn_named(&p, "inner").is_test);
+        assert!(!fn_named(&p, "outer").is_test);
+    }
+
+    #[test]
+    fn nested_fns_attribute_calls_to_the_innermost() {
+        let p = parse("fn outer() { fn inner() { deep(); } shallow(); }");
+        assert!(fn_named(&p, "inner").calls.iter().any(|c| c.name == "deep"));
+        assert!(fn_named(&p, "outer")
+            .calls
+            .iter()
+            .any(|c| c.name == "shallow"));
+        assert!(!fn_named(&p, "outer").calls.iter().any(|c| c.name == "deep"));
+    }
+}

@@ -12,6 +12,7 @@
 use crate::config::{LintConfig, RuleScope};
 use crate::findings::{Finding, Report, RuleId, WaiverRecord};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::{parse_items, ParsedFile};
 
 /// What kind of compilation target a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,9 @@ pub struct FileScan {
     pub rel_path: String,
     /// Target kind.
     pub kind: FileKind,
+    /// Items extracted by the lightweight parser (fns, calls, aliases)
+    /// — the raw material of the symbol table and call graph.
+    pub parsed: ParsedFile,
     tokens: Vec<Tok>,
     /// Token-index ranges (inclusive start, exclusive end) that are
     /// `#[cfg(test)]` / `#[test]` items.
@@ -65,15 +69,18 @@ pub struct FileScan {
 }
 
 impl FileScan {
-    /// Lexes and annotates one file.
+    /// Lexes, annotates, and item-parses one file.
     pub fn new(package: &str, rel_path: &str, source: &str) -> FileScan {
         let lexed = lex(source);
+        let kind = FileKind::classify(rel_path);
         let test_ranges = find_test_ranges(&lexed.tokens);
         let fn_ranges = find_fn_ranges(&lexed.tokens);
+        let parsed = parse_items(&lexed.tokens, &test_ranges, kind == FileKind::Test);
         FileScan {
             package: package.to_string(),
             rel_path: rel_path.to_string(),
-            kind: FileKind::classify(rel_path),
+            kind,
+            parsed,
             tokens: lexed.tokens,
             test_ranges,
             fn_ranges,
@@ -82,7 +89,14 @@ impl FileScan {
         }
     }
 
-    fn in_test(&self, idx: usize) -> bool {
+    /// The lexed token stream (for the taint pass's sink scan).
+    pub fn tokens(&self) -> &[Tok] {
+        &self.tokens
+    }
+
+    /// Whether token `idx` sits inside a test region (or the whole
+    /// file is a test target).
+    pub fn in_test(&self, idx: usize) -> bool {
         self.kind == FileKind::Test
             || self
                 .test_ranges
@@ -253,7 +267,7 @@ fn scope_applies(scope: &RuleScope, scan: &FileScan) -> bool {
 
 /// Runs every source-file rule over one annotated file, returning raw
 /// (pre-waiver) findings.
-fn raw_findings(config: &LintConfig, scan: &FileScan) -> Vec<Finding> {
+pub fn token_findings(config: &LintConfig, scan: &FileScan) -> Vec<Finding> {
     let mut out = Vec::new();
     rule_d1(config, scan, &mut out);
     rule_d2(config, scan, &mut out);
@@ -263,6 +277,7 @@ fn raw_findings(config: &LintConfig, scan: &FileScan) -> Vec<Finding> {
     rule_r2(config, scan, &mut out);
     rule_e1(config, scan, &mut out);
     rule_q1(config, scan, &mut out);
+    out.extend(crate::taint::lock_discipline(config, scan));
     out
 }
 
@@ -531,17 +546,14 @@ fn rule_q1(config: &LintConfig, scan: &FileScan, out: &mut Vec<Finding>) {
     }
 }
 
-/// Lints one file: raw findings, waiver application, waiver hygiene.
-/// Returns `(unwaived findings, waiver records)`.
-pub fn lint_file(
-    config: &LintConfig,
-    package: &str,
-    rel_path: &str,
-    source: &str,
-) -> (Vec<Finding>, Vec<WaiverRecord>) {
-    let mut scan = FileScan::new(package, rel_path, source);
-    let raw = raw_findings(config, &scan);
-
+/// Applies this file's waivers to `raw` findings (anchored in this
+/// file), returning the unwaived remainder. Resets and re-marks the
+/// `used` flags, so the pass is idempotent — the bench harness runs
+/// the rules phase repeatedly over one parse.
+pub fn apply_waivers(scan: &mut FileScan, raw: Vec<Finding>) -> Vec<Finding> {
+    for waiver in scan.waivers.iter_mut() {
+        waiver.used = false;
+    }
     let mut findings = Vec::new();
     for finding in raw {
         let mut waived = false;
@@ -563,7 +575,14 @@ pub fn lint_file(
             findings.push(finding);
         }
     }
+    findings
+}
 
+/// Waiver hygiene after [`apply_waivers`]: W0 for reasonless or
+/// malformed waivers, W1 for unused ones, plus the audit records.
+pub fn waiver_hygiene(scan: &FileScan) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    let rel_path = &scan.rel_path;
+    let mut findings = Vec::new();
     let mut records = Vec::new();
     for waiver in &scan.waivers {
         match &waiver.reason {
@@ -609,6 +628,23 @@ pub fn lint_file(
                 .to_string(),
         ));
     }
+    (findings, records)
+}
+
+/// Lints one file in isolation (token rules only — the graph rules
+/// need the whole workspace): raw findings, waiver application, waiver
+/// hygiene. Returns `(unwaived findings, waiver records)`.
+pub fn lint_file(
+    config: &LintConfig,
+    package: &str,
+    rel_path: &str,
+    source: &str,
+) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    let mut scan = FileScan::new(package, rel_path, source);
+    let raw = token_findings(config, &scan);
+    let mut findings = apply_waivers(&mut scan, raw);
+    let (hygiene, records) = waiver_hygiene(&scan);
+    findings.extend(hygiene);
     (findings, records)
 }
 

@@ -1,10 +1,25 @@
-//! Workspace walking: find every manifest and `.rs` file, attribute
-//! each file to its package, and run the full rule set.
+//! Workspace walking and the phased analysis pipeline.
+//!
+//! The analyzer runs in four phases, each independently callable (the
+//! bench harness times them separately):
+//!
+//! 1. [`load_sources`] — find every manifest and `.rs` file, attribute
+//!    each file to its package, read the text.
+//! 2. [`parse_phase`] — lex + item-parse every file into [`FileScan`]s.
+//! 3. [`graph_phase`] — flatten the parsed items into a
+//!    [`SymbolTable`] and build the workspace [`CallGraph`].
+//! 4. [`rules_phase`] — token rules per file, graph rules over the
+//!    whole workspace, waiver application, report assembly.
+//!
+//! [`lint_workspace`] composes all four.
 
+use crate::callgraph::{self, CallGraph};
 use crate::config::LintConfig;
-use crate::findings::Report;
+use crate::findings::{Finding, Report};
 use crate::manifest::{check_manifests, parse_manifest, Manifest};
-use crate::rules::lint_file;
+use crate::rules::{apply_waivers, token_findings, waiver_hygiene, FileScan};
+use crate::symbols::{FileSymbols, SymbolTable};
+use crate::taint;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -60,11 +75,26 @@ pub fn load_config(root: &Path) -> Result<LintConfig, ScanError> {
     LintConfig::parse(&text).map_err(|e| ScanError::Config(format!("{}: {e}", path.display())))
 }
 
-/// Lints the whole workspace rooted at `root`.
-pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, ScanError> {
-    let mut report = Report::default();
+/// One source file, read and attributed to its package.
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Owning package name.
+    pub package: String,
+    /// File contents.
+    pub text: String,
+}
 
-    // Manifests: the root Cargo.toml plus every crates/*/Cargo.toml.
+/// Everything phase 1 reads off disk; later phases are pure.
+pub struct SourceSet {
+    /// The parsed workspace manifests.
+    pub manifests: Vec<Manifest>,
+    /// Every non-excluded `.rs` file, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+/// Phase 1: read manifests and sources under `root`.
+pub fn load_sources(root: &Path, config: &LintConfig) -> Result<SourceSet, ScanError> {
     let mut manifests: Vec<Manifest> = Vec::new();
     let mut package_dirs: BTreeMap<String, String> = BTreeMap::new(); // rel dir -> package
     for rel in manifest_paths(root)? {
@@ -77,26 +107,112 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, ScanEr
         }
         manifests.push(manifest);
     }
-    report.findings.extend(check_manifests(config, &manifests));
 
-    // Source files.
+    let mut paths = Vec::new();
+    walk_rs(root, root, &mut paths)?;
+    paths.sort();
     let mut files = Vec::new();
-    walk_rs(root, root, &mut files)?;
-    files.sort();
-    for rel in files {
+    for rel in paths {
         if config.exclude.iter().any(|p| rel.starts_with(p.as_str())) {
             continue;
         }
         let package = package_for(&package_dirs, &rel);
-        let source = std::fs::read_to_string(root.join(&rel))
+        let text = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| ScanError::Io(format!("{rel}: {e}")))?;
-        let (findings, waivers) = lint_file(config, &package, &rel, &source);
+        files.push(SourceFile { rel, package, text });
+    }
+    Ok(SourceSet { manifests, files })
+}
+
+/// Phase 2: lex + item-parse every file.
+pub fn parse_phase(set: &SourceSet) -> Vec<FileScan> {
+    set.files
+        .iter()
+        .map(|f| FileScan::new(&f.package, &f.rel, &f.text))
+        .collect()
+}
+
+/// Phase 3: symbol table + workspace call graph. Resolution is
+/// restricted to each caller package's manifest dependency closure —
+/// a call in `popan-spatial` can never land on a `popan-bench`
+/// function it cannot name.
+pub fn graph_phase(set: &SourceSet, scans: &[FileScan]) -> (SymbolTable, CallGraph) {
+    let files: Vec<FileSymbols<'_>> = scans
+        .iter()
+        .map(|s| FileSymbols {
+            package: &s.package,
+            rel_path: &s.rel_path,
+            kind: s.kind,
+            parsed: &s.parsed,
+        })
+        .collect();
+    let table = SymbolTable::build(&files);
+    let mut edges: Vec<(String, String)> = Vec::new();
+    for manifest in &set.manifests {
+        if let Some(package) = &manifest.package {
+            edges.push((package.clone(), package.clone()));
+            for dep in &manifest.deps {
+                edges.push((package.clone(), dep.name.clone()));
+            }
+        }
+    }
+    let deps = callgraph::dep_closure(&edges);
+    let graph = callgraph::build(&table, &deps);
+    (table, graph)
+}
+
+/// Phase 4: token rules per file, graph rules over the workspace,
+/// waivers, report assembly. Idempotent over the same `scans` (waiver
+/// `used` flags are reset each run).
+pub fn rules_phase(
+    config: &LintConfig,
+    set: &SourceSet,
+    scans: &mut [FileScan],
+    table: &SymbolTable,
+    graph: &CallGraph,
+) -> Report {
+    let mut report = Report::default();
+    report
+        .findings
+        .extend(check_manifests(config, &set.manifests));
+
+    let sinks = taint::find_sinks(scans, table, graph);
+    let mut graph_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for finding in taint::graph_findings(config, table, graph, &sinks) {
+        graph_by_file
+            .entry(finding.file.clone())
+            .or_default()
+            .push(finding);
+    }
+
+    for scan in scans.iter_mut() {
+        let mut raw = token_findings(config, scan);
+        if let Some(extra) = graph_by_file.remove(&scan.rel_path) {
+            raw.extend(extra);
+        }
+        let mut findings = apply_waivers(scan, raw);
+        let (hygiene, records) = waiver_hygiene(scan);
+        findings.extend(hygiene);
         report.findings.extend(findings);
-        report.waivers.extend(waivers);
+        report.waivers.extend(records);
         report.files_scanned += 1;
     }
+    // Graph findings anchored in excluded/unscanned files (cannot
+    // happen for sinks found in scanned files, but stay sound).
+    for (_, extra) in graph_by_file {
+        report.findings.extend(extra);
+    }
+    report.graph = Some(graph.stats.clone());
     report.sort();
-    Ok(report)
+    report
+}
+
+/// Lints the whole workspace rooted at `root` (all four phases).
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, ScanError> {
+    let set = load_sources(root, config)?;
+    let mut scans = parse_phase(&set);
+    let (table, graph) = graph_phase(&set, &scans);
+    Ok(rules_phase(config, &set, &mut scans, &table, &graph))
 }
 
 /// The workspace's manifests, workspace-relative.

@@ -1,0 +1,135 @@
+//! The per-workspace symbol table: every `fn` item of every scanned
+//! file, flattened, with a name index for best-effort call resolution.
+//!
+//! Resolution candidates are deliberately restricted to non-test
+//! library functions: binaries, tests, benches, and examples are never
+//! *callees* (nothing in a lib can call into them), which removes a
+//! large class of false edges while keeping the graph sound for the
+//! taint rules (whose entry points are lib functions).
+
+use crate::parser::{CallSite, ParsedFile};
+use crate::rules::FileKind;
+use std::collections::BTreeMap;
+
+/// One file's contribution to the symbol table.
+pub struct FileSymbols<'a> {
+    /// Package the file belongs to.
+    pub package: &'a str,
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// Target kind.
+    pub kind: FileKind,
+    /// The parsed items.
+    pub parsed: &'a ParsedFile,
+}
+
+/// One function, flattened out of its file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Owning package.
+    pub package: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Index of the file in the scan order (for token access).
+    pub file_idx: usize,
+    /// Target kind of the file.
+    pub kind: FileKind,
+    /// Bare name.
+    pub name: String,
+    /// Qualified name (`Type::name` for methods).
+    pub qual: String,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// In a test region / test target.
+    pub is_test: bool,
+    /// Token-index body range within the file.
+    pub body: (usize, usize),
+}
+
+impl FnInfo {
+    /// `package::qual` — the label used in witness chains.
+    pub fn label(&self) -> String {
+        format!("{}::{}", self.package, self.qual)
+    }
+}
+
+/// The whole-workspace symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function, in (file, body-close) order.
+    pub fns: Vec<FnInfo>,
+    /// Call sites per function (parallel to `fns`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// `use ... as` renames per file index.
+    pub aliases: Vec<BTreeMap<String, String>>,
+    /// Bare name → resolution candidates (indices into `fns`),
+    /// restricted to non-test library functions.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from every scanned file, in scan order (the
+    /// file index recorded per function is the position in `files`).
+    pub fn build(files: &[FileSymbols<'_>]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (file_idx, file) in files.iter().enumerate() {
+            table.aliases.push(file.parsed.aliases.clone());
+            for f in &file.parsed.fns {
+                let idx = table.fns.len();
+                table.fns.push(FnInfo {
+                    package: file.package.to_string(),
+                    file: file.rel_path.to_string(),
+                    file_idx,
+                    kind: file.kind,
+                    name: f.name.clone(),
+                    qual: f.qual.clone(),
+                    line: f.line,
+                    is_test: f.is_test,
+                    body: f.body,
+                });
+                table.calls.push(f.calls.clone());
+                if file.kind == FileKind::Lib && !f.is_test {
+                    table.by_name.entry(f.name.clone()).or_default().push(idx);
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    #[test]
+    fn bins_and_tests_are_not_resolution_candidates() {
+        let lib = parse_items(&lex("fn shared() {}").tokens, &[], false);
+        let bin = parse_items(&lex("fn shared() {}").tokens, &[], false);
+        let tst = parse_items(&lex("fn shared() {}").tokens, &[], true);
+        let files = [
+            FileSymbols {
+                package: "p",
+                rel_path: "crates/p/src/lib.rs",
+                kind: FileKind::Lib,
+                parsed: &lib,
+            },
+            FileSymbols {
+                package: "p",
+                rel_path: "crates/p/src/bin/tool.rs",
+                kind: FileKind::Bin,
+                parsed: &bin,
+            },
+            FileSymbols {
+                package: "p",
+                rel_path: "crates/p/tests/t.rs",
+                kind: FileKind::Test,
+                parsed: &tst,
+            },
+        ];
+        let table = SymbolTable::build(&files);
+        assert_eq!(table.fns.len(), 3);
+        assert_eq!(table.by_name["shared"], vec![0]);
+    }
+}

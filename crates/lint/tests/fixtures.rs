@@ -345,13 +345,15 @@ fn cli_exits_zero_on_the_real_tree() {
     let out = lint_bin()
         .arg("--root")
         .arg(workspace_root())
+        .arg("--baseline")
+        .arg(workspace_root().join("lint-baseline.json"))
         .output()
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         out.status.code(),
         Some(0),
-        "the tree must lint clean:\n{stdout}"
+        "the tree must lint clean under the committed baseline:\n{stdout}"
     );
 }
 
@@ -360,6 +362,8 @@ fn cli_json_reports_the_waiver_inventory() {
     let out = lint_bin()
         .arg("--root")
         .arg(workspace_root())
+        .arg("--baseline")
+        .arg(workspace_root().join("lint-baseline.json"))
         .arg("--json")
         .output()
         .expect("binary runs");
@@ -371,6 +375,14 @@ fn cli_json_reports_the_waiver_inventory() {
         "waivers must appear in --json: {stdout}"
     );
     assert!(stdout.contains("\"used\":true"), "{stdout}");
+    assert!(
+        stdout.contains("\"graph\":{\"functions\":"),
+        "graph stats must appear in --json: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"baseline\":{\"suppressed\":"),
+        "baseline tally must appear in --json: {stdout}"
+    );
 }
 
 #[test]

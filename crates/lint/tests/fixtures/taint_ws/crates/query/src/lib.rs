@@ -1,0 +1,30 @@
+//! Serving tier of the taint fixture workspace. Every sink lives two
+//! or more hops away from the entry points, behind a method call, a
+//! use-rename, and a cross-crate edge.
+
+mod publisher;
+
+use popan_util::deep_count as census;
+use popan_util::grow;
+
+pub struct Snapshot {
+    data: Vec<u32>,
+    clock: Ticker,
+}
+
+impl Snapshot {
+    /// Serving entry: reaches the util sinks via `stage`.
+    pub fn range_into(&self, out: &mut Vec<u32>) -> usize {
+        self.stage(out)
+    }
+
+    fn stage(&self, out: &mut Vec<u32>) -> usize {
+        grow(out);
+        census(&self.data)
+    }
+
+    /// Serving entry: holds an unresolved call to a tainted name.
+    pub fn count_with(&self) -> usize {
+        self.clock.now()
+    }
+}

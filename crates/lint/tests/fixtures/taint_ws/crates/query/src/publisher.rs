@@ -1,0 +1,15 @@
+//! Epoch publisher of the taint fixture: holds a guard across the
+//! Release store — the L2 violation the lock-discipline rule reports.
+
+pub struct Publisher {
+    slot: Slot,
+    epoch: Epoch,
+}
+
+impl Publisher {
+    pub fn publish(&self) {
+        let mut guard = self.slot.lock();
+        *guard = 1;
+        self.epoch.store(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,29 @@
+//! Helper tier of the taint fixture workspace: every graph-rule sink
+//! lives here, one per kind, reached only through `deep_count`.
+
+use std::env;
+
+/// The cross-crate hop the query tier renames to `census`.
+pub fn deep_count(data: &[u32]) -> usize {
+    helper(data)
+}
+
+fn helper(data: &[u32]) -> usize {
+    let jitter = entropy_probe();
+    let cap = read_cap();
+    data[0] as usize + jitter + cap
+}
+
+fn entropy_probe() -> usize {
+    let rng = thread_rng();
+    rng.next_value()
+}
+
+fn read_cap() -> usize {
+    env::var("POPAN_CAP").map(|v| v.len()).unwrap_or(0)
+}
+
+/// The allocation on the read path.
+pub fn grow(v: &mut Vec<u32>) {
+    v.push(1);
+}

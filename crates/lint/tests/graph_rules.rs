@@ -1,0 +1,264 @@
+//! End-to-end tests for the graph-powered rules against the committed
+//! `taint_ws` fixture workspace: byte-deterministic JSON against a
+//! golden file, baseline-green runs, and — the gate's whole point —
+//! proof that a panic or allocation site reintroduced two calls deep
+//! under a serving entry fails the run even with the baseline applied.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn lint_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_popan-lint"))
+}
+
+fn taint_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint_ws")
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("mkdir");
+    for entry in fs::read_dir(from).expect("read_dir") {
+        let entry = entry.expect("entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file_type").is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), &target).expect("copy");
+        }
+    }
+}
+
+/// A scratch copy of `taint_ws` the test can mutate, removed on drop.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("popan-taint-ws-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        copy_tree(&taint_ws(), &dir);
+        Scratch { dir }
+    }
+
+    fn baseline(&self) -> PathBuf {
+        self.dir.join("lint-baseline.json")
+    }
+
+    /// Writes the baseline for the current state and asserts the gate
+    /// is then green under it.
+    fn baseline_and_assert_green(&self) {
+        let out = lint_bin()
+            .arg("--root")
+            .arg(&self.dir)
+            .arg("--write-baseline")
+            .arg(self.baseline())
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let out = self.run_with_baseline();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "baselined tree should be green:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    fn run_with_baseline(&self) -> std::process::Output {
+        lint_bin()
+            .arg("--root")
+            .arg(&self.dir)
+            .arg("--baseline")
+            .arg(self.baseline())
+            .output()
+            .expect("binary runs")
+    }
+
+    fn append(&self, rel: &str, extra: &str) {
+        let path = self.dir.join(rel);
+        let mut text = fs::read_to_string(&path).expect("read source");
+        text.push_str(extra);
+        fs::write(&path, text).expect("write source");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn taint_ws_json_is_byte_identical_to_the_golden_file() {
+    let run = || {
+        let out = lint_bin()
+            .arg("--root")
+            .arg(taint_ws())
+            .arg("--json")
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(1), "fixture has findings by design");
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "two runs must agree byte-for-byte");
+    let golden =
+        fs::read(Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint_ws_golden.json"))
+            .expect("golden file");
+    assert_eq!(
+        String::from_utf8_lossy(&first),
+        String::from_utf8_lossy(&golden),
+        "report drifted from tests/fixtures/taint_ws_golden.json; regenerate it if intentional"
+    );
+}
+
+#[test]
+fn taint_ws_reports_one_finding_per_graph_rule() {
+    let out = lint_bin()
+        .arg("--root")
+        .arg(taint_ws())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["[D2T]", "[D3T]", "[E1T]", "[P1]", "[Q2]", "[L2]"] {
+        assert_eq!(
+            stdout.matches(rule).count(),
+            1,
+            "expected exactly one {rule} finding:\n{stdout}"
+        );
+    }
+    // The P1 witness chain crosses the method call, the use-rename, and
+    // the crate boundary.
+    assert!(
+        stdout.contains(
+            "popan-query::Snapshot::range_into -> popan-query::Snapshot::stage \
+             -> popan-util::deep_count -> popan-util::helper"
+        ),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn baseline_keeps_the_fixture_tree_green() {
+    let ws = Scratch::new("green");
+    ws.baseline_and_assert_green();
+    let out = ws.run_with_baseline();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn p1_panic_two_calls_deep_fails_the_baselined_gate() {
+    let ws = Scratch::new("p1");
+    ws.baseline_and_assert_green();
+    // Reintroduce a panic site two calls below the `knn_into` serving
+    // entry. The committed baseline must NOT absorb it.
+    ws.append(
+        "crates/query/src/lib.rs",
+        "\nimpl Snapshot {\n\
+         \x20   pub fn knn_into(&self) -> u32 {\n\
+         \x20       self.fresh_mid()\n\
+         \x20   }\n\
+         \x20   fn fresh_mid(&self) -> u32 {\n\
+         \x20       fresh_deep(None)\n\
+         \x20   }\n\
+         }\n\
+         fn fresh_deep(x: Option<u32>) -> u32 {\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    let out = ws.run_with_baseline();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "new panic edge must fail:\n{stdout}"
+    );
+    assert!(stdout.contains("[P1]"), "{stdout}");
+    assert!(
+        stdout.contains(
+            "popan-query::Snapshot::knn_into -> popan-query::Snapshot::fresh_mid \
+             -> popan-query::fresh_deep -> sink `.unwrap()`"
+        ),
+        "witness chain should name the new path:\n{stdout}"
+    );
+}
+
+#[test]
+fn q2_alloc_two_calls_deep_fails_the_baselined_gate() {
+    let ws = Scratch::new("q2");
+    ws.baseline_and_assert_green();
+    ws.append(
+        "crates/query/src/lib.rs",
+        "\nimpl Snapshot {\n\
+         \x20   pub fn knn_into(&self) -> usize {\n\
+         \x20       self.scratch_mid()\n\
+         \x20   }\n\
+         \x20   fn scratch_mid(&self) -> usize {\n\
+         \x20       alloc_deep()\n\
+         \x20   }\n\
+         }\n\
+         fn alloc_deep() -> usize {\n\
+         \x20   let mut v = Vec::new();\n\
+         \x20   v.push(1);\n\
+         \x20   v.len()\n\
+         }\n",
+    );
+    let out = ws.run_with_baseline();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "new alloc edge must fail:\n{stdout}"
+    );
+    assert!(stdout.contains("[Q2]"), "{stdout}");
+    assert!(stdout.contains("`.push()` in `alloc_deep`"), "{stdout}");
+}
+
+#[test]
+fn growth_of_a_baselined_site_count_is_not_absorbed() {
+    let ws = Scratch::new("growth");
+    ws.baseline_and_assert_green();
+    // A second indexing sink inside the already-baselined `helper`:
+    // same (rule, file, site) key, higher count — the ratchet fires.
+    let src = ws.dir.join("crates/util/src/lib.rs");
+    let text = fs::read_to_string(&src).expect("read");
+    // On its own line: sinks deduplicate per (fn, kind, line).
+    let text = text.replace(
+        "data[0] as usize + jitter + cap",
+        "let extra = data[1] as usize;\n    data[0] as usize + extra + jitter + cap",
+    );
+    fs::write(&src, text).expect("write");
+    let out = ws.run_with_baseline();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "count growth must fail:\n{stdout}"
+    );
+    assert!(stdout.contains("[P1]"), "{stdout}");
+}
+
+#[test]
+fn removing_a_sink_reports_the_baseline_entry_as_stale() {
+    let ws = Scratch::new("stale");
+    ws.baseline_and_assert_green();
+    let src = ws.dir.join("crates/util/src/lib.rs");
+    let text = fs::read_to_string(&src).expect("read");
+    let text = text.replace("v.push(1);", "let _ = v;");
+    fs::write(&src, text).expect("write");
+    let out = ws.run_with_baseline();
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("stale") && stderr.contains(".push() in grow"),
+        "stale entry should be reported for ratcheting down:\n{stderr}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property tests for the analyzer front end: whatever bytes come in,
+//! the lexer, item parser, symbol table, call graph, and sink scan
+//! must never panic. The linter runs on every source file in the tree
+//! — including half-written ones — so total robustness is part of its
+//! contract, not a nicety.
+
+use popan_lint::callgraph::{self, DepClosure};
+use popan_lint::rules::FileScan;
+use popan_lint::symbols::{FileSymbols, SymbolTable};
+use popan_lint::{taint, LintConfig};
+use popan_proptest::prelude::*;
+
+/// Fragments biased toward item syntax so random concatenations hit
+/// the parser's state machine (pending items, signatures, bodies,
+/// impl blocks) rather than degenerating to comment soup.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "impl",
+    "mod",
+    "use",
+    "pub",
+    "struct",
+    "trait",
+    "for",
+    "as",
+    "self",
+    "Self",
+    "where",
+    "f",
+    "g",
+    "Type",
+    "name",
+    "x",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "::",
+    "->",
+    "#",
+    "!",
+    "&",
+    "'a",
+    "=",
+    "\"str\"",
+    "'c'",
+    "// line\n",
+    "/* block */",
+    "r#\"raw\"#",
+    "r#fn",
+    "0",
+    "1.5",
+    "\n",
+    " ",
+    "unwrap",
+    "push",
+    "now",
+    "macro_rules",
+];
+
+fn arb_token_soup() -> impl Strategy<Value = String> {
+    popan_proptest::collection::vec(0usize..FRAGMENTS.len(), 0..200)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect::<String>())
+}
+
+fn arb_bytes() -> impl Strategy<Value = String> {
+    // Printable-ish ASCII plus the characters the lexer treats
+    // specially; unterminated strings and comments included.
+    popan_proptest::collection::vec(32u8..127, 0..300)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect::<String>())
+}
+
+/// Runs the whole front end on one source text; returns finding count
+/// so the optimizer cannot discard the work.
+fn full_pipeline(src: &str) -> usize {
+    let scan = FileScan::new("popan-query", "crates/query/src/lib.rs", src);
+    let files = [FileSymbols {
+        package: "popan-query",
+        rel_path: &scan.rel_path,
+        kind: scan.kind,
+        parsed: &scan.parsed,
+    }];
+    let table = SymbolTable::build(&files);
+    let graph = callgraph::build(&table, &DepClosure::new());
+    let sinks = taint::find_sinks(std::slice::from_ref(&scan), &table, &graph);
+    let config = LintConfig::parse(
+        "[tiers]\npopan-query = 3\n\
+         [rules.P1]\ncrates = [\"popan-query\"]\nentry_fns = [\"range_into\"]\n\
+         [rules.D2T]\ncrates = [\"popan-query\"]\n",
+    )
+    .expect("static config parses");
+    taint::graph_findings(&config, &table, &graph, &sinks).len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_token_soup(src in arb_token_soup()) {
+        full_pipeline(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(src in arb_bytes()) {
+        full_pipeline(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_concatenated_soups(
+        a in arb_token_soup(),
+        b in arb_bytes(),
+        c in arb_token_soup(),
+    ) {
+        full_pipeline(&format!("{a}{b}{c}"));
+    }
+}

@@ -8,11 +8,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Static invariants first (DESIGN.md §8): popan-lint enforces the
-# determinism/hermeticity/layering rules before anything expensive
-# runs. A reintroduced HashMap in the engine, a wall-clock read in a
-# trial path, or a crates.io dependency all fail right here.
-cargo run -q --release --offline -p popan-lint
+# Static invariants first (DESIGN.md §8, §14): popan-lint builds the
+# whole-workspace call graph and enforces the determinism/hermeticity/
+# layering rules plus the transitive taint rules before anything
+# expensive runs. A reintroduced HashMap in the engine, a wall-clock
+# read in a trial path, a crates.io dependency, or a new panic edge
+# under a serving entry point all fail right here. Pre-existing
+# findings ride in lint-baseline.json (a per-site ratchet: counts may
+# only shrink); the machine-readable report is archived next to the
+# bench artifacts.
+mkdir -p bench
+cargo run -q --release --offline -p popan-lint -- \
+  --baseline lint-baseline.json --json > bench/lint-report.json || {
+  cat bench/lint-report.json >&2
+  echo "verify: popan-lint gate failed (report above)" >&2; exit 1; }
 
 # Formatting and clippy gates. The toolchain components are optional in
 # minimal containers; skip with a visible notice rather than failing
@@ -120,5 +129,12 @@ cp target/popan-bench/BENCH_split.json bench/BENCH_split.smoke.json
 [ -f target/popan-bench/BENCH_query_faults.json ] || {
   echo "verify: bench smoke did not produce BENCH_query_faults.json" >&2; exit 1; }
 cp target/popan-bench/BENCH_query_faults.json bench/BENCH_query_faults.smoke.json
+# And the analyzer itself: bench/BENCH_lint.json is the committed full
+# run of the three analysis phases (parse / graph / rules) over the
+# real tree; the .smoke archive proves the phased API still drives a
+# whole-workspace analysis end to end.
+[ -f target/popan-bench/BENCH_lint.json ] || {
+  echo "verify: bench smoke did not produce BENCH_lint.json" >&2; exit 1; }
+cp target/popan-bench/BENCH_lint.json bench/BENCH_lint.smoke.json
 
-echo "verify: lint + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + chaos suite + split bit-identity + bench smoke (BENCH_spatial, BENCH_query, BENCH_split, BENCH_query_faults archived) all green (offline)"
+echo "verify: lint (baselined graph analysis, report archived) + build + test (POPAN_THREADS=1 and =4) + faults + resume + query suite + chaos suite + split bit-identity + bench smoke (BENCH_spatial, BENCH_query, BENCH_split, BENCH_query_faults, BENCH_lint archived) all green (offline)"
