@@ -21,7 +21,7 @@ use popan_geom::{Point2, Rect};
 use popan_rng::rngs::StdRng;
 use popan_rng::SeedableRng;
 use popan_spatial::reference::BoxedPrQuadtree;
-use popan_spatial::{OccupancyInstrumented, OccupancyProfile, PrQuadtree};
+use popan_spatial::{LinearQuadtree, OccupancyInstrumented, OccupancyProfile, PrQuadtree};
 use popan_workload::points::{PointSource, UniformRect};
 use std::hint::black_box;
 
@@ -52,7 +52,31 @@ fn bench_spatial(c: &mut Criterion) {
                     .len()
             })
         });
+        group.bench_function(format!("build_bottomup_m{m}"), |b| {
+            b.iter(|| {
+                PrQuadtree::build_bottomup(Rect::unit(), m, black_box(points.iter().copied()))
+                    .unwrap()
+                    .len()
+            })
+        });
     }
+
+    // Direct bottom-up freeze: points straight to the Morton-packed
+    // linear form, no arena, no from_tree sort. Compare against
+    // `freeze_1e5` in BENCH_query (which freezes a prebuilt tree) plus
+    // `build_arena_m8` (the build that freeze presupposes).
+    group.bench_function("freeze_direct", |b| {
+        b.iter(|| {
+            LinearQuadtree::from_points_direct(
+                Rect::unit(),
+                8,
+                popan_spatial::pr_quadtree::DEFAULT_MAX_DEPTH,
+                black_box(points.clone()),
+            )
+            .unwrap()
+            .leaf_count()
+        })
+    });
 
     // Incremental operation cost: insert + remove restores the tree, so
     // the prebuilt structure is reused across iterations.

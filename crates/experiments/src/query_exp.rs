@@ -15,7 +15,7 @@ use crate::config::ExperimentConfig;
 use crate::report::TableData;
 use popan_engine::{fingerprint_of, Experiment};
 use popan_geom::{Point2, Rect};
-use popan_query::{Queryable, Snapshot};
+use popan_query::{BatchAnswers, BatchScratch, Queryable, Snapshot};
 use popan_rng::rngs::StdRng;
 use popan_rng::Rng;
 use popan_spatial::PrQuadtree;
@@ -94,36 +94,60 @@ impl Experiment for QueryExperiment {
         let tree = PrQuadtree::build(Rect::unit(), CAPACITY, pts.iter().copied()).expect("unit");
         let snap = Snapshot::freeze(0, &tree).expect("within Morton depth");
 
-        let mut selectivity = Welford::new();
-        let mut knn_ratio = Welford::new();
+        // Pre-generate the whole schedule with the exact RNG call order
+        // the serial driver used (x, y, w, target per query), so trial
+        // fingerprints are unchanged; then answer the bulk phase through
+        // the Morton-batched serving forms.
+        let mut rects = Vec::with_capacity(QUERIES);
+        let mut widths = Vec::with_capacity(QUERIES);
+        let mut targets = Vec::with_capacity(QUERIES);
         for _ in 0..QUERIES {
             let x = rng.random_range(0.0..0.75);
             let y = rng.random_range(0.0..0.75);
             let w = rng.random_range(0.05..0.25);
-            let rect = Rect::from_bounds(x, y, x + w, y + w);
+            rects.push(Rect::from_bounds(x, y, x + w, y + w));
+            widths.push(w);
+            targets.push(Point2::new(
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ));
+        }
 
-            // The snapshot must answer exactly as the live tree it froze.
-            let got = snap.range(&rect);
-            let live = Queryable::range(&tree, &rect);
+        let mut scratch = BatchScratch::new();
+        let mut ranges = BatchAnswers::new();
+        snap.range_batch_into(&rects, &mut scratch, &mut ranges);
+        let mut counts = Vec::new();
+        snap.count_batch_with(&rects, &mut scratch, &mut counts);
+        let mut knn = BatchAnswers::new();
+        snap.knn_batch_into(&targets, KNN_K, &mut scratch, &mut knn);
+
+        let mut selectivity = Welford::new();
+        let mut knn_ratio = Welford::new();
+        for (i, rect) in rects.iter().enumerate() {
+            // The snapshot must answer exactly as the live tree it
+            // froze, batch execution or not.
+            let got = ranges.answer(i);
+            let live = Queryable::range(&tree, rect);
             assert_eq!(got.len(), live.len(), "snapshot diverged from live tree");
             assert!(
                 got.iter()
                     .zip(&live)
                     .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
-                "snapshot range not bit-identical to the live tree"
+                "batched snapshot range not bit-identical to the live tree"
             );
-            assert_eq!(snap.count(&rect), got.len());
+            assert_eq!(counts[i], got.len());
+            let w = widths[i];
             selectivity.push(got.len() as f64 / (n as f64 * w * w));
 
-            let target = Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
-            let neighbors = snap.knn(&target, KNN_K);
+            let target = targets[i];
+            let neighbors = knn.answer(i);
             let live_nn = Queryable::knn(&tree, &target, KNN_K);
             assert!(
                 neighbors
                     .iter()
                     .zip(&live_nn)
                     .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
-                "snapshot knn not bit-identical to the live tree"
+                "batched snapshot knn not bit-identical to the live tree"
             );
             if let Some(last) = neighbors.last() {
                 let r = ((last.x - target.x).powi(2) + (last.y - target.y).powi(2)).sqrt();

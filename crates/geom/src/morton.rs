@@ -14,6 +14,7 @@ use crate::rect::Rect;
 pub const MORTON_BITS: u32 = 31;
 
 /// Spreads the low 31 bits of `v` so bit `i` moves to bit `2i`.
+#[inline]
 fn spread_bits(v: u32) -> u64 {
     let mut x = (v as u64) & 0x7fff_ffff;
     x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
@@ -25,6 +26,7 @@ fn spread_bits(v: u32) -> u64 {
 }
 
 /// Collapses bits at even positions back into a compact integer.
+#[inline]
 fn compact_bits(v: u64) -> u32 {
     let mut x = v & 0x5555_5555_5555_5555;
     x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
@@ -36,17 +38,20 @@ fn compact_bits(v: u64) -> u32 {
 }
 
 /// Interleaves two 31-bit integers into a Morton code (x in even bits).
+#[inline]
 pub fn morton2(x: u32, y: u32) -> u64 {
     spread_bits(x) | (spread_bits(y) << 1)
 }
 
 /// Inverse of [`morton2`].
+#[inline]
 pub fn demorton2(code: u64) -> (u32, u32) {
     (compact_bits(code), compact_bits(code >> 1))
 }
 
 /// Quantizes a point in `rect` to a Morton code with [`MORTON_BITS`] bits
 /// per axis. Callers must ensure `rect.contains(p)` (debug-asserted).
+#[inline]
 pub fn morton_of_point(p: &Point2, rect: &Rect) -> u64 {
     debug_assert!(rect.contains(p), "morton_of_point: point outside rect");
     let scale = (1u64 << MORTON_BITS) as f64;
@@ -55,6 +60,40 @@ pub fn morton_of_point(p: &Point2, rect: &Rect) -> u64 {
     let qx = ((fx * scale) as u32).min((1 << MORTON_BITS) - 1);
     let qy = ((fy * scale) as u32).min((1 << MORTON_BITS) - 1);
     morton2(qx, qy)
+}
+
+/// Whether quantization over `rect` is *grid-exact*: the Morton digits
+/// of [`morton_of_point`] agree bit-for-bit with the geometric midpoint
+/// descent (`v >= Interval::mid()`) at every depth the code resolves.
+///
+/// The certificate is per axis: lower bound exactly `0.0` and length a
+/// power of two within a comfortable exponent range. Then every
+/// operation in the quantization is exact — `(p.x - lo)` is `p.x`
+/// itself, division by a power of two and the `2^31` scaling only
+/// adjust exponents, and the `as u32` floor is the true floor — while
+/// every geometric sub-interval bound is the dyadic rational
+/// `i · w / 2^d` with an exactly representable midpoint, so
+/// `p.x >= mid` at depth `d` is exactly "bit `31 - d` of the quantized
+/// coordinate". Regions that fail the certificate (a non-zero origin
+/// rounds `p.x - lo`; a non-power-of-two width rounds the division) can
+/// disagree within one quantum of a split line, so bulk paths keyed on
+/// Morton digits must fall back to geometric classification there.
+pub fn morton_grid_exact(rect: &Rect) -> bool {
+    axis_grid_exact(rect.x().lo(), rect.x().hi()) && axis_grid_exact(rect.y().lo(), rect.y().hi())
+}
+
+/// One axis of [`morton_grid_exact`]: `[0, 2^k)` with `k` in a range
+/// where 62 further halvings stay normal (no subnormal rounding in the
+/// midpoint chain) and products with `2^31` stay finite.
+fn axis_grid_exact(lo: f64, hi: f64) -> bool {
+    // NaN bounds land in the `!is_finite` arm.
+    if lo != 0.0 || hi <= 0.0 || !hi.is_finite() {
+        return false;
+    }
+    let bits = hi.to_bits();
+    let mantissa = bits & ((1u64 << 52) - 1);
+    let exponent = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    mantissa == 0 && (-512..=512).contains(&exponent)
 }
 
 /// The depth-`k` quadtree block id of a Morton code: its top `2k` bits.
@@ -356,6 +395,25 @@ mod tests {
     }
 
     #[test]
+    fn grid_exactness_certificate_accepts_dyadic_origin_rects() {
+        assert!(morton_grid_exact(&Rect::unit()));
+        assert!(morton_grid_exact(&Rect::from_bounds(0.0, 0.0, 2.0, 2.0)));
+        assert!(morton_grid_exact(&Rect::from_bounds(0.0, 0.0, 0.5, 8.0)));
+        // Non-zero origin: p − lo rounds.
+        assert!(!morton_grid_exact(&Rect::from_bounds(
+            -10.0, 5.0, 30.0, 25.0
+        )));
+        assert!(!morton_grid_exact(&Rect::from_bounds(0.5, 0.0, 1.5, 1.0)));
+        // Non-power-of-two width: the division rounds.
+        assert!(!morton_grid_exact(&Rect::from_bounds(0.0, 0.0, 3.0, 3.0)));
+        assert!(!morton_grid_exact(&Rect::from_bounds(0.0, 0.0, 1.0, 0.7)));
+        // Extreme exponents fall outside the certified range.
+        assert!(!morton_grid_exact(&Rect::from_bounds(
+            0.0, 0.0, 1e-200, 1e-200
+        )));
+    }
+
+    #[test]
     fn deeper_blocks_refine_shallower() {
         let r = Rect::unit();
         let c = morton_of_point(&Point2::new(0.3, 0.7), &r);
@@ -395,6 +453,39 @@ mod proptests {
             if query.contains(&p) {
                 let code = morton_of_point(&p, &r);
                 prop_assert!(spans.iter().any(|s| s.lo <= code && code < s.hi));
+            }
+        }
+
+        #[test]
+        fn grid_exact_regions_agree_with_geometry_everywhere(
+            px in 0.0f64..1.0, py in 0.0f64..1.0,
+            depth in 1u32..16,
+            scale_pow in 0i32..3,
+        ) {
+            // On a certified region the agreement is exact for EVERY
+            // point — no near-boundary exclusion, unlike the general
+            // proptest below. Snap some inputs onto dyadic boundaries
+            // to stress the `>= mid` tie itself.
+            let w = f64::powi(2.0, scale_pow);
+            let r = Rect::from_bounds(0.0, 0.0, w, w);
+            prop_assert!(morton_grid_exact(&r));
+            let snap = |v: f64| (v * 64.0).floor() / 64.0 * w;
+            for p in [
+                Point2::new(px * w, py * w),
+                Point2::new(snap(px), py * w),
+                Point2::new(snap(px), snap(py)),
+            ] {
+                let mut block = r;
+                for _ in 0..depth {
+                    block = block.quadrant(block.quadrant_of(&p));
+                }
+                let corner = Point2::new(block.x().lo(), block.y().lo());
+                let code = morton_of_point(&p, &r);
+                prop_assert_eq!(
+                    block_id_at_depth(code, depth),
+                    block_id_at_depth(morton_of_point(&corner, &r), depth),
+                    "point {} depth {}", p, depth
+                );
             }
         }
 

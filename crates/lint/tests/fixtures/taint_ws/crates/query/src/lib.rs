@@ -27,4 +27,11 @@ impl Snapshot {
     pub fn count_with(&self) -> usize {
         self.clock.now()
     }
+
+    /// Batch serving entry: the Morton-batched form reaches the same
+    /// allocation sink through `stage` — per-sink findings must stay
+    /// at one while the entry count grows.
+    pub fn range_batch_into(&self, out: &mut Vec<u32>) -> usize {
+        self.stage(out)
+    }
 }

@@ -77,11 +77,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod budget;
 pub mod publisher;
 pub mod queryable;
 pub mod snapshot;
 
+pub use batch::{BatchAnswers, BatchScratch};
 pub use budget::{budget_for, default_budget, DEFAULT_SLACK};
 pub use publisher::{
     PublishError, QuarantineCause, QuarantineEntry, QuarantineLog, QueryService, ReaderError,

@@ -15,8 +15,8 @@
 
 use popan_geom::{Point2, Rect};
 use popan_spatial::{
-    BoundedOutcome, CostBudget, FreezeError, LinearQuadtree, PrQuadtree, QueryScratch,
-    SectionDigests, SlabFootprint, SnapshotSection,
+    BoundedOutcome, CostBudget, DirectFreezeError, FreezeError, LinearQuadtree, PrQuadtree,
+    QueryScratch, SectionDigests, SlabFootprint, SnapshotSection,
 };
 
 use crate::queryable::{canonical_sort, Queryable};
@@ -51,19 +51,34 @@ impl Snapshot {
         })
     }
 
-    /// Builds a snapshot directly from points: bulk-loads a PR quadtree
-    /// with node capacity `capacity` over `region`, then freezes it.
-    /// The route for structures that are not PR quadtrees (EXCELL, grid
-    /// file, …): enumerate, rebuild, freeze.
+    /// Builds a snapshot directly from points: the route for structures
+    /// that are not PR quadtrees (EXCELL, grid file, …): enumerate,
+    /// rebuild, freeze. Since the Morton-radix bulk path landed this
+    /// freezes bottom-up ([`LinearQuadtree::from_points_direct`]),
+    /// skipping the pointer tree entirely on grid-exact regions —
+    /// same validation, same errors, bit-identical slabs and digests.
     pub fn from_points(
         epoch: u64,
         region: Rect,
         capacity: usize,
         points: impl IntoIterator<Item = Point2>,
     ) -> Result<Snapshot, SnapshotBuildError> {
-        let tree = PrQuadtree::build(region, capacity, points)
-            .map_err(|e| SnapshotBuildError::Tree(e.to_string()))?;
-        Snapshot::freeze(epoch, &tree).map_err(SnapshotBuildError::Freeze)
+        let index = LinearQuadtree::from_points_direct(
+            region,
+            capacity,
+            popan_spatial::pr_quadtree::DEFAULT_MAX_DEPTH,
+            points.into_iter().collect(),
+        )
+        .map_err(|e| match e {
+            DirectFreezeError::Tree(t) => SnapshotBuildError::Tree(t.to_string()),
+            DirectFreezeError::Freeze(f) => SnapshotBuildError::Freeze(f),
+        })?;
+        let digests = index.section_digests();
+        Ok(Snapshot {
+            epoch,
+            index,
+            digests,
+        })
     }
 
     /// The epoch this snapshot was published at.

@@ -35,6 +35,12 @@
 use crate::node_stats::{LeafRecord, OccupancyCensus};
 use popan_geom::{Aabb3, BoxN, Octant, Point2, Point3, PointN, Quadrant, Rect};
 
+// The Morton-radix bottom-up bulk path. A child module (kept in its own
+// file per the layout convention) so it can reach the arena's private
+// slot/leaf/census internals without widening their visibility.
+#[path = "bottomup.rs"]
+pub(crate) mod bottomup;
+
 /// Sentinel for "no spill vector attached".
 const NO_SPILL: u32 = u32::MAX;
 
@@ -295,6 +301,51 @@ impl<P: Copy + Default + PartialEq> LeafPool<P> {
         }
     }
 
+    /// Allocates a leaf buffer holding exactly `pts` — the bottom-up
+    /// builder's leaf emitter: one slab slice copy instead of per-point
+    /// `push` calls. Runs too large for a stride (coincident piles,
+    /// max-depth leaves) take the general push path and spill as usual.
+    fn alloc_filled(&mut self, pts: &[P]) -> u32 {
+        if pts.len() > self.stride {
+            let id = self.alloc();
+            for &p in pts {
+                self.push(id, p);
+            }
+            return id;
+        }
+        if let Some(id) = self.free.pop() {
+            let base = id as usize * self.stride;
+            self.bufs[id as usize].len = pts.len() as u32;
+            self.slab[base..base + pts.len()].copy_from_slice(pts);
+            id
+        } else {
+            let id = self.bufs.len() as u32;
+            self.bufs.push(LeafBuf {
+                len: pts.len() as u32,
+                spill: NO_SPILL,
+            });
+            debug_assert_eq!(self.slab.len(), id as usize * self.stride);
+            // Manual pushes, not `extend_from_slice` + `resize`: most
+            // leaves are a handful of points, where two `memcpy`
+            // dispatches cost more than the copies themselves.
+            self.slab.reserve(self.stride);
+            for &p in pts {
+                self.slab.push(p);
+            }
+            for _ in pts.len()..self.stride {
+                self.slab.push(P::default());
+            }
+            id
+        }
+    }
+
+    /// Pre-reserves room for `extra` more buffers (bulk-build hint, so
+    /// the slab doesn't re-copy itself through doubling growth).
+    fn reserve(&mut self, extra: usize) {
+        self.bufs.reserve(extra);
+        self.slab.reserve(extra * self.stride);
+    }
+
     /// Frees a buffer (and detaches + recycles its spill vector).
     fn free(&mut self, id: u32) {
         let buf = &mut self.bufs[id as usize];
@@ -544,8 +595,16 @@ impl<D: Decomposition> ArenaTree<D> {
     /// payoff is the access pattern: instead of an O(depth) pointer walk
     /// per point, every level streams a contiguous range of points once,
     /// classifying against one precomputed splitter per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree is not empty — in every build, not just
+    /// debug. Bulk-filling a non-empty tree would double-count the
+    /// census and silently corrupt every occupancy read downstream, so
+    /// the precondition is enforced unconditionally (the public wrappers
+    /// only call this on freshly constructed trees).
     pub(crate) fn bulk_fill(&mut self, points: Vec<D::Point>) {
-        debug_assert!(self.is_empty(), "bulk_fill requires an empty tree");
+        assert!(self.is_empty(), "bulk_fill requires an empty tree");
         if D::BRANCHING > MAX_BULK_BRANCHING {
             // Off the stack-array fast path (only reachable for PR trees
             // of dimension > 6); semantics are identical either way.
@@ -695,19 +754,31 @@ impl<D: Decomposition> ArenaTree<D> {
     /// Allocates `BRANCHING` contiguous child slots (reusing a freed
     /// block when possible), each initialized to a fresh empty leaf.
     fn alloc_block(&mut self) -> u32 {
-        let base = if let Some(b) = self.free_blocks.pop() {
-            b
-        } else {
-            let b = self.slots.len() as u32;
-            self.slots
-                .resize(self.slots.len() + D::BRANCHING, Slot::Leaf(NO_SPILL));
-            b
-        };
+        let base = self.alloc_block_bare();
         for i in 0..D::BRANCHING {
             let buf = self.leaves.alloc();
             self.slots[base as usize + i] = Slot::Leaf(buf);
         }
         base
+    }
+
+    /// Allocates `BRANCHING` contiguous child slots *without* leaf
+    /// buffers — for the bottom-up builder, which knows before writing a
+    /// child whether it will be a leaf or split again, and so skips the
+    /// alloc-then-free churn `alloc_block` would pay on every internal
+    /// child. Every slot of the block must be written before the tree is
+    /// used; the placeholder is never a live node.
+    #[inline]
+    fn alloc_block_bare(&mut self) -> u32 {
+        if let Some(b) = self.free_blocks.pop() {
+            b
+        } else {
+            let b = self.slots.len() as u32;
+            for _ in 0..D::BRANCHING {
+                self.slots.push(Slot::Leaf(NO_SPILL));
+            }
+            b
+        }
     }
 
     /// Removes one stored instance of `p` (already validated by the

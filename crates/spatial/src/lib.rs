@@ -56,6 +56,7 @@ pub mod pr_tree_nd;
 pub mod reference;
 pub mod visualize;
 
+pub use arena::bottomup::DirectFreezeError;
 pub use bintree::Bintree;
 pub use linear_quadtree::{
     knn_cmp, BoundedOutcome, CostBudget, FreezeError, LinearQuadtree, QueryCost, QueryScratch,

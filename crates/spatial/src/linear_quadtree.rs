@@ -252,6 +252,47 @@ struct LeafEntry {
     points_len: u32,
 }
 
+/// Incremental slab accumulator for [`LinearQuadtree::assemble`]: the
+/// bottom-up freeze emits leaves in ascending Morton order and points
+/// grouped by leaf, exactly the frozen layout, so assembly is a move.
+#[derive(Debug, Default)]
+pub(crate) struct LinearBuilder {
+    leaves: Vec<LeafEntry>,
+    blocks: Vec<Rect>,
+    points: Vec<Point2>,
+}
+
+impl LinearBuilder {
+    /// Starts a leaf record; its `points_len` grows with each
+    /// [`LinearBuilder::push_points`] until the next leaf begins.
+    pub(crate) fn begin_leaf(&mut self, code_lo: u64, depth: u32, block: Rect) {
+        self.leaves.push(LeafEntry {
+            code_lo,
+            code_hi: code_lo + morton::cells_at_depth(depth),
+            depth,
+            points_start: self.points.len() as u32,
+            points_len: 0,
+        });
+        self.blocks.push(block);
+    }
+
+    /// Appends a whole run to the currently open leaf.
+    pub(crate) fn push_points(&mut self, pts: &[Point2]) {
+        self.points.extend_from_slice(pts);
+        self.leaves
+            .last_mut()
+            .expect("push_points requires an open leaf")
+            .points_len += pts.len() as u32;
+    }
+
+    /// Pre-reserves slab capacity (bulk-freeze hint).
+    pub(crate) fn reserve(&mut self, leaves: usize, points: usize) {
+        self.leaves.reserve(leaves);
+        self.blocks.reserve(leaves);
+        self.points.reserve(points);
+    }
+}
+
 /// A frozen, pointerless PR quadtree.
 #[derive(Debug, Clone)]
 pub struct LinearQuadtree {
@@ -326,6 +367,31 @@ impl LinearQuadtree {
             blocks,
             points,
         })
+    }
+
+    /// Crate-internal assembly for the bottom-up freeze path
+    /// (`arena::bottomup`), which emits leaves already in ascending
+    /// Morton order and so skips both the pointer tree and the
+    /// `from_tree` sort. The builder enforces nothing at push time;
+    /// [`LinearQuadtree::check_invariants`] and the differential suites
+    /// pin the result against the `from_tree` route.
+    pub(crate) fn assemble(builder: LinearBuilder, region: Rect) -> Self {
+        let LinearBuilder {
+            mut leaves,
+            mut blocks,
+            mut points,
+        } = builder;
+        // Freeze contract: every slab at exact capacity, so the
+        // footprint is a linear function of the lengths.
+        leaves.shrink_to_fit();
+        blocks.shrink_to_fit();
+        points.shrink_to_fit();
+        LinearQuadtree {
+            region,
+            leaves,
+            blocks,
+            points,
+        }
     }
 
     /// The region covered.

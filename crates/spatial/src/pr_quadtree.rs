@@ -120,6 +120,52 @@ impl PrQuadtree {
         Ok(t)
     }
 
+    /// [`PrQuadtree::build`] with an explicit depth limit.
+    pub fn build_with_max_depth(
+        region: Rect,
+        capacity: usize,
+        max_depth: u32,
+        points: impl IntoIterator<Item = Point2>,
+    ) -> Result<Self, TreeError> {
+        let mut t = Self::with_max_depth(region, capacity, max_depth)?;
+        let pts = t.validate_points(points)?;
+        t.tree.bulk_fill(pts);
+        Ok(t)
+    }
+
+    /// Builds via the Morton-radix bottom-up bulk path: bit-identical
+    /// to [`PrQuadtree::build`] (same errors, same tree, same census),
+    /// but on grid-exact regions the points are quantized once and the
+    /// tree is emitted from stable radix scatters with zero per-point
+    /// descent. Non-grid-exact regions silently use the level-streaming
+    /// bulk path instead.
+    pub fn build_bottomup(
+        region: Rect,
+        capacity: usize,
+        points: impl IntoIterator<Item = Point2>,
+    ) -> Result<Self, TreeError> {
+        let mut t = Self::new(region, capacity)?;
+        t.tree.bulk_fill_bottomup(points.into_iter().collect())?;
+        Ok(t)
+    }
+
+    fn validate_points(
+        &self,
+        points: impl IntoIterator<Item = Point2>,
+    ) -> Result<Vec<Point2>, TreeError> {
+        let mut pts = Vec::new();
+        for p in points {
+            if !p.is_finite() {
+                return Err(TreeError::NonFinitePoint);
+            }
+            if !self.region().contains(&p) {
+                return Err(TreeError::OutOfRegion { point: p });
+            }
+            pts.push(p);
+        }
+        Ok(pts)
+    }
+
     /// The region covered.
     pub fn region(&self) -> Rect {
         self.tree.region()

@@ -13,7 +13,8 @@ use popan_geom::{Point2, Rect};
 use popan_proptest::prelude::*;
 use popan_spatial::reference::BoxedPrQuadtree;
 use popan_spatial::{
-    DepthOccupancyTable, OccupancyCensus, OccupancyInstrumented, OccupancyProfile, PrQuadtree,
+    Bintree, DepthOccupancyTable, OccupancyCensus, OccupancyInstrumented, OccupancyProfile,
+    PrQuadtree,
 };
 
 /// Asserts every observable of the arena tree against the boxed oracle.
@@ -60,6 +61,26 @@ fn arb_coords() -> impl Strategy<Value = Vec<(f64, f64)>> {
     popan_proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..120)
 }
 
+/// Point multisets slanted toward the bulk paths' hard cases: exact
+/// dyadic-grid collisions (coincident piles on split boundaries) and
+/// sub-quantum clusters (distinct points sharing one full-resolution
+/// Morton cell, which force max-depth spill leaves at capacity 1 and the
+/// bottom-up path's geometric fallback). Lengths 0 and 1 cover the
+/// empty/singleton edges.
+fn arb_messy_points() -> impl Strategy<Value = Vec<Point2>> {
+    popan_proptest::collection::vec((0u8..10, 0.0f64..1.0, 0.0f64..1.0, 0u8..8, 0u8..8), 0..140)
+        .prop_map(|elems| {
+            elems
+                .into_iter()
+                .map(|(kind, x, y, i, j)| match kind {
+                    0..=4 => Point2::new(x, y),
+                    5..=7 => Point2::new(f64::from(i) / 8.0, f64::from(j) / 8.0),
+                    _ => Point2::new(0.5 + f64::from(i) * 1e-13, 0.25 + f64::from(j) * 1e-13),
+                })
+                .collect()
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -70,6 +91,45 @@ proptest! {
         let boxed = BoxedPrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
         assert_matches_oracle(&arena, &boxed);
         assert_census_fresh(&arena);
+    }
+
+    #[test]
+    fn bottomup_builds_are_bit_identical(
+        points in arb_messy_points(),
+        capacity in 1usize..6,
+    ) {
+        // Three-way: Morton-radix bottom-up vs level-streaming bulk
+        // vs the boxed oracle — all three must agree bit for bit.
+        let bottomup =
+            PrQuadtree::build_bottomup(Rect::unit(), capacity, points.iter().copied()).unwrap();
+        let bulk = PrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
+        let boxed =
+            BoxedPrQuadtree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
+        assert_eq!(bottomup.leaf_records(), bulk.leaf_records());
+        assert_eq!(bottomup.node_count(), bulk.node_count());
+        assert_matches_oracle(&bottomup, &boxed);
+        assert_census_fresh(&bottomup);
+        bottomup.check_invariants();
+    }
+
+    #[test]
+    fn bintree_bottomup_builds_are_bit_identical(
+        points in arb_messy_points(),
+        capacity in 1usize..6,
+    ) {
+        let bottomup =
+            Bintree::build_bottomup(Rect::unit(), capacity, points.iter().copied()).unwrap();
+        let bulk = Bintree::build(Rect::unit(), capacity, points.iter().copied()).unwrap();
+        assert_eq!(bottomup.len(), bulk.len());
+        assert_eq!(bottomup.node_count(), bulk.node_count());
+        let mut a = Vec::new();
+        bottomup.for_each_leaf(|r, d, pts| a.push((r, d, pts.to_vec())));
+        let mut b = Vec::new();
+        bulk.for_each_leaf(|r, d, pts| b.push((r, d, pts.to_vec())));
+        assert_eq!(a, b, "bintree leaf traversal diverged");
+        assert_eq!(bottomup.occupancy_profile(), bulk.occupancy_profile());
+        assert_eq!(bottomup.depth_table(), bulk.depth_table());
+        bottomup.check_invariants();
     }
 
     #[test]

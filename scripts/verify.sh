@@ -56,6 +56,14 @@ cargo test -q --offline -p popan-experiments --test engine_determinism
 # proofs riding in the same crate).
 POPAN_THREADS=1 cargo test -q --offline -p popan-query
 POPAN_THREADS=4 cargo test -q --offline -p popan-query
+# Batch differential suite, named at both reader counts: the
+# Morton-batched serving forms must be bit-identical to the serial
+# forms AND the full-scan oracle at every original query index, and a
+# POPAN_THREADS-wide pool of concurrent readers running the same batch
+# must agree byte-for-byte (the bottom-up build feeding these
+# snapshots is covered by the same run via Snapshot::from_points).
+POPAN_THREADS=1 cargo test -q --offline -p popan-query --test batch_equivalence
+POPAN_THREADS=4 cargo test -q --offline -p popan-query --test batch_equivalence
 # Serving-path chaos suite, named at both reader counts: scripted
 # corrupt/stall/reject fault rounds must leave every reader serving the
 # last-good snapshot (verified, never torn) with a quarantine log and
